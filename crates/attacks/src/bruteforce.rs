@@ -1,0 +1,204 @@
+//! Brute-force key search (§VI-A) and the DC-sweep attack against
+//! PuPPIeS-N.
+//!
+//! The real key space (≥ 705 bits even at the low privacy level) is far
+//! beyond exhaustion; [`tiny_keyspace_demo`] shows the attack *would* work
+//! if the space were searchable, which is the honest way to demonstrate
+//! that the defense is the key size and nothing else. The DC sweep
+//! ([`naive_dc_attack`]) exploits PuPPIeS-N's single shared DC
+//! perturbation value: 2048 candidates explain every block at once, and a
+//! smoothness prior picks the right one — the reason PuPPIeS-B rotates the
+//! DC vector.
+
+use puppies_core::matrix::{wrap_dc, MATRIX_LEN};
+use puppies_core::{analysis, PrivacyLevel};
+use puppies_image::Rect;
+use puppies_jpeg::CoeffImage;
+
+/// Secure-bit summary for each Table IV level, with the paper's quoted
+/// numbers alongside (see `puppies_core::analysis` for the discrepancy
+/// discussion).
+pub fn keyspace_report() -> Vec<analysis::SecureBits> {
+    PrivacyLevel::TABLE_IV
+        .iter()
+        .map(|&l| analysis::secure_bits(l))
+        .collect()
+}
+
+/// Demonstrates exhaustive search on a deliberately tiny key space: one
+/// block's DC perturbed with `bits` bits of range. Returns the true
+/// perturbation and the recovered one (they match when the smoothness
+/// prior holds, i.e. the block resembles its neighbours).
+///
+/// The adversary scores each candidate by how close the implied DC is to
+/// the neighbouring blocks' mean DC — the same prior the correlation
+/// attacks use at scale.
+pub fn tiny_keyspace_demo(coeff: &CoeffImage, bx: u32, by: u32, bits: u32, secret: i32) -> (i32, i32) {
+    assert!(bits <= 11, "demo keyspace capped at 11 bits");
+    let range = 1i32 << bits;
+    let secret = secret.rem_euclid(range);
+    let comp = &coeff.components()[0];
+    let original_dc = comp.block(bx, by)[0];
+    let perturbed_dc = wrap_dc(original_dc + secret);
+    // Neighbour context (the adversary sees unperturbed neighbours).
+    let mut neighbour_sum = 0i64;
+    let mut n = 0i64;
+    for (dx, dy) in [(-1i64, 0i64), (1, 0), (0, -1), (0, 1)] {
+        let nx = bx as i64 + dx;
+        let ny = by as i64 + dy;
+        if nx >= 0 && ny >= 0 && (nx as u32) < comp.blocks_w() && (ny as u32) < comp.blocks_h() {
+            neighbour_sum += comp.block(nx as u32, ny as u32)[0] as i64;
+            n += 1;
+        }
+    }
+    let target = if n > 0 { neighbour_sum as f64 / n as f64 } else { 0.0 };
+    let mut best = (f64::INFINITY, 0i32);
+    for cand in 0..range {
+        let implied = wrap_dc(perturbed_dc - cand);
+        let err = (implied as f64 - target).abs();
+        if err < best.0 {
+            best = (err, cand);
+        }
+    }
+    (secret, best.1)
+}
+
+/// The DC-sweep attack on PuPPIeS-N: every block in the ROI shares the
+/// same DC perturbation `p₀`, so the adversary sweeps all 2048 candidates
+/// and scores each by total-variation smoothness of the implied DC plane
+/// against the surrounding unperturbed blocks. Returns the best candidate.
+///
+/// Against PuPPIeS-B and later schemes the assumption is false (rotating
+/// vector) and the attack degenerates to chance — the ablation experiment
+/// quantifies this.
+pub fn naive_dc_attack(coeff: &CoeffImage, roi: Rect) -> i32 {
+    let comp = &coeff.components()[0];
+    let blocks = comp.blocks_in_region(roi);
+    let mut best = (f64::INFINITY, 0i32);
+    for cand in 0..2048i32 {
+        let mut score = 0.0f64;
+        for &(bx, by) in &blocks {
+            let implied = wrap_dc(comp.block(bx, by)[0] - cand);
+            // Compare against each neighbour; unperturbed neighbours use
+            // their stored DC, perturbed ones the same candidate.
+            for (dx, dy) in [(-1i64, 0i64), (1, 0), (0, -1), (0, 1)] {
+                let nx = bx as i64 + dx;
+                let ny = by as i64 + dy;
+                if nx < 0
+                    || ny < 0
+                    || nx as u32 >= comp.blocks_w()
+                    || ny as u32 >= comp.blocks_h()
+                {
+                    continue;
+                }
+                let (nx, ny) = (nx as u32, ny as u32);
+                let inside = blocks.contains(&(nx, ny));
+                let ndc = if inside {
+                    wrap_dc(comp.block(nx, ny)[0] - cand)
+                } else {
+                    comp.block(nx, ny)[0]
+                };
+                score += (implied - ndc).abs() as f64;
+            }
+        }
+        if score < best.0 {
+            best = (score, cand);
+        }
+    }
+    best.1
+}
+
+/// Expected number of candidates for a full private-matrix pair at `level`
+/// expressed as a base-2 exponent.
+pub fn search_exponent(level: PrivacyLevel) -> u32 {
+    analysis::brute_force_exponent(level)
+}
+
+/// Sanity helper: number of matrix entries an adversary must guess.
+pub fn matrix_entries() -> usize {
+    MATRIX_LEN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puppies_core::perturb::{dc_perturbation, perturb_roi, RoiKeys};
+    use puppies_core::{OwnerKey, PerturbProfile, Scheme};
+    use puppies_image::{Rgb, RgbImage};
+
+    fn smooth_image() -> RgbImage {
+        RgbImage::from_fn(64, 64, |x, y| {
+            let v = (100.0 + 40.0 * ((x as f32) / 64.0) + 30.0 * ((y as f32) / 64.0)) as u8;
+            Rgb::new(v, v, v)
+        })
+    }
+
+    #[test]
+    fn keyspace_exceeds_nist_everywhere() {
+        for sb in keyspace_report() {
+            assert!(sb.total_bits >= 256, "{sb:?}");
+        }
+    }
+
+    #[test]
+    fn tiny_keyspace_is_searchable() {
+        let coeff = CoeffImage::from_rgb(&smooth_image(), 75);
+        // 4-bit secret on a smooth image: the smoothness prior nails it.
+        let (secret, guessed) = tiny_keyspace_demo(&coeff, 3, 3, 4, 11);
+        assert_eq!(secret, guessed, "4-bit space must fall to brute force");
+    }
+
+    #[test]
+    fn naive_scheme_falls_to_dc_sweep() {
+        let img = smooth_image();
+        let mut coeff = CoeffImage::from_rgb(&img, 75);
+        let key = OwnerKey::from_seed([3u8; 32]);
+        let grant = key.grant_all();
+        let keys: Vec<RoiKeys> = (0..3)
+            .map(|c| RoiKeys::from_grant(&grant, 1, 0, c).unwrap())
+            .collect();
+        let profile = PerturbProfile::paper(Scheme::Naive, PrivacyLevel::Medium);
+        let roi = Rect::new(16, 16, 32, 32);
+        perturb_roi(&mut coeff, roi, &keys, &profile).unwrap();
+        let truth = dc_perturbation(&profile, &keys[0], 0);
+        let guess = naive_dc_attack(&coeff, roi);
+        // The smoothness prior recovers the shared value up to a small
+        // constant offset (a global brightness shift) — which exposes the
+        // hidden content just the same.
+        let err = puppies_core::matrix::wrap_dc(guess - truth).abs();
+        assert!(err <= 8, "sweep missed by {err} (guess {guess}, truth {truth})");
+    }
+
+    #[test]
+    fn base_scheme_resists_dc_sweep() {
+        let img = smooth_image();
+        let mut coeff = CoeffImage::from_rgb(&img, 75);
+        let key = OwnerKey::from_seed([3u8; 32]);
+        let grant = key.grant_all();
+        let keys: Vec<RoiKeys> = (0..3)
+            .map(|c| RoiKeys::from_grant(&grant, 1, 0, c).unwrap())
+            .collect();
+        let profile = PerturbProfile::paper(Scheme::Base, PrivacyLevel::Medium);
+        let roi = Rect::new(16, 16, 32, 32);
+        perturb_roi(&mut coeff, roi, &keys, &profile).unwrap();
+        let guess = naive_dc_attack(&coeff, roi);
+        // With a rotating DC vector no single candidate explains all
+        // blocks; the sweep's answer should not match the first rotation
+        // slot (and even if it collides, it explains at most 1/64 of
+        // blocks).
+        let matches = (0..64u32)
+            .filter(|&k| dc_perturbation(&profile, &keys[0], k) == guess)
+            .count();
+        assert!(
+            matches <= 4,
+            "sweep candidate matches {matches}/64 rotation slots"
+        );
+    }
+
+    #[test]
+    fn exponents_match_analysis() {
+        assert_eq!(search_exponent(PrivacyLevel::Low), 704 + 10);
+        assert_eq!(matrix_entries(), 64);
+    }
+}
+

@@ -1,0 +1,336 @@
+//! The three signal-correlation attacks of §VI-B.5 (Fig. 23), which try
+//! to undo the perturbation using spatial redundancy:
+//!
+//! 1. **Private-matrix inference from continuity** — assume perturbed and
+//!    unperturbed areas share statistics: take the upper-left perturbed
+//!    coefficient block, subtract the average unperturbed block, and use
+//!    the difference as the guessed matrix.
+//! 2. **Neighbour-correlation inpainting** — predict each encrypted pixel
+//!    as the average of its nearest non-encrypted neighbours, spiralling
+//!    from the ROI boundary inward (after Garnett et al.'s noise-removal
+//!    framing the paper cites).
+//! 3. **PCA reconstruction** — fit PCA to the unperturbed 8×8 patches and
+//!    re-express each perturbed patch with the top components.
+//!
+//! All three fail against PuPPIeS (the paper's Fig. 23 and our
+//! experiments agree); they are implemented honestly rather than as straw
+//! men — each genuinely exploits the correlation it targets.
+
+use puppies_core::matrix::{wrap_ac, wrap_dc};
+use puppies_core::PublicParams;
+use puppies_image::{GrayImage, Rect, RgbImage};
+use puppies_jpeg::{Block, CoeffImage, BLOCK_SIZE};
+use puppies_vision::pca::Pca;
+
+/// Summary of one correlation-attack run (recognizability is scored by
+/// `crate::user_study`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelationAttackReport {
+    /// PSNR of the attack output against the original, in dB.
+    pub psnr: f64,
+    /// Recognizability proxy score in `[0, 1]`.
+    pub recognizability: f64,
+}
+
+impl CorrelationAttackReport {
+    /// Scores an attack output against the original.
+    pub fn score(original: &GrayImage, recovered: &GrayImage) -> CorrelationAttackReport {
+        CorrelationAttackReport {
+            psnr: puppies_image::metrics::psnr_gray(original, recovered),
+            recognizability: puppies_image::metrics::recognizability(original, recovered),
+        }
+    }
+}
+
+/// Attack 1: infer the private matrix from signal continuity and decrypt
+/// every ROI block with the inferred matrix.
+pub fn matrix_inference_attack(perturbed: &CoeffImage, params: &PublicParams) -> RgbImage {
+    let mut out = perturbed.clone();
+    for roi in &params.rois {
+        for comp in out.components_mut().iter_mut() {
+            let positions = comp.blocks_in_region(roi.rect);
+            if positions.is_empty() {
+                continue;
+            }
+            // Average unperturbed block (outside all ROIs).
+            let mut avg = [0i64; 64];
+            let mut n = 0i64;
+            for by in 0..comp.blocks_h() {
+                for bx in 0..comp.blocks_w() {
+                    let px = bx * BLOCK_SIZE;
+                    let py = by * BLOCK_SIZE;
+                    let inside = params
+                        .rois
+                        .iter()
+                        .any(|r| r.rect.contains(px.min(comp.width() - 1), py.min(comp.height() - 1)));
+                    if !inside {
+                        for (a, &v) in avg.iter_mut().zip(comp.block(bx, by).iter()) {
+                            *a += v as i64;
+                        }
+                        n += 1;
+                    }
+                }
+            }
+            if n == 0 {
+                continue;
+            }
+            // Inferred matrix = upper-left perturbed block − average block.
+            let (bx0, by0) = positions[0];
+            let first = *comp.block(bx0, by0);
+            let mut inferred = [0i32; 64];
+            for i in 0..64 {
+                inferred[i] = first[i] - (avg[i] / n) as i32;
+            }
+            // Decrypt every ROI block with it.
+            for &(bx, by) in &positions {
+                let b: &mut Block = comp.block_mut(bx, by);
+                b[0] = wrap_dc(b[0] - inferred[0]);
+                for i in 1..64 {
+                    b[i] = wrap_ac(b[i] - inferred[i]);
+                }
+            }
+        }
+    }
+    out.to_rgb()
+}
+
+/// Attack 2: spiral inpainting. Every pixel inside a ROI is re-estimated
+/// as the mean of its `neighbours` closest already-known pixels, working
+/// from the ROI boundary inward.
+pub fn inpainting_attack(perturbed: &RgbImage, rois: &[Rect], neighbours: usize) -> RgbImage {
+    let mut out = perturbed.clone();
+    let mut known = vec![true; (out.width() * out.height()) as usize];
+    let idx = |x: u32, y: u32, w: u32| (y * w + x) as usize;
+    for r in rois {
+        let r = r.intersect(out.bounds());
+        for y in r.y..r.bottom() {
+            for x in r.x..r.right() {
+                known[idx(x, y, out.width())] = false;
+            }
+        }
+    }
+    // Peel rings from the outside in.
+    let mut remaining: usize = known.iter().filter(|&&k| !k).count();
+    while remaining > 0 {
+        // Find all unknown pixels with at least one known 8-neighbour.
+        let mut frontier = Vec::new();
+        for y in 0..out.height() {
+            for x in 0..out.width() {
+                if known[idx(x, y, out.width())] {
+                    continue;
+                }
+                let has_known = neighbours_of(x, y, out.width(), out.height())
+                    .into_iter()
+                    .any(|(nx, ny)| known[idx(nx, ny, out.width())]);
+                if has_known {
+                    frontier.push((x, y));
+                }
+            }
+        }
+        if frontier.is_empty() {
+            break; // fully enclosed with no seed (cannot happen with ROIs smaller than the image)
+        }
+        // Average the known neighbours (up to `neighbours` of them).
+        let snapshot = out.clone();
+        for &(x, y) in &frontier {
+            let mut acc = [0u32; 3];
+            let mut n = 0u32;
+            for (nx, ny) in neighbours_of(x, y, out.width(), out.height()) {
+                if known[idx(nx, ny, out.width())] {
+                    let p = snapshot.get(nx, ny);
+                    acc[0] += p.r as u32;
+                    acc[1] += p.g as u32;
+                    acc[2] += p.b as u32;
+                    n += 1;
+                    if n as usize >= neighbours {
+                        break;
+                    }
+                }
+            }
+            if n > 0 {
+                out.set(
+                    x,
+                    y,
+                    puppies_image::Rgb::new(
+                        (acc[0] / n) as u8,
+                        (acc[1] / n) as u8,
+                        (acc[2] / n) as u8,
+                    ),
+                );
+            }
+        }
+        for &(x, y) in &frontier {
+            known[idx(x, y, out.width())] = true;
+        }
+        remaining -= frontier.len();
+    }
+    out
+}
+
+fn neighbours_of(x: u32, y: u32, w: u32, h: u32) -> Vec<(u32, u32)> {
+    let mut v = Vec::with_capacity(8);
+    for dy in -1i64..=1 {
+        for dx in -1i64..=1 {
+            if dx == 0 && dy == 0 {
+                continue;
+            }
+            let nx = x as i64 + dx;
+            let ny = y as i64 + dy;
+            if nx >= 0 && ny >= 0 && (nx as u32) < w && (ny as u32) < h {
+                v.push((nx as u32, ny as u32));
+            }
+        }
+    }
+    v
+}
+
+/// Attack 3: PCA reconstruction. Fits PCA to the unperturbed 8×8 patches
+/// and projects every ROI patch onto the top `components`.
+pub fn pca_attack(perturbed: &GrayImage, rois: &[Rect], components: usize) -> GrayImage {
+    let mut clean_patches = Vec::new();
+    let mut roi_patches = Vec::new();
+    let bw = perturbed.width() / BLOCK_SIZE;
+    let bh = perturbed.height() / BLOCK_SIZE;
+    for by in 0..bh {
+        for bx in 0..bw {
+            let rect = Rect::new(bx * BLOCK_SIZE, by * BLOCK_SIZE, BLOCK_SIZE, BLOCK_SIZE);
+            let patch: Vec<f64> = (0..64)
+                .map(|i| {
+                    perturbed.get(rect.x + (i as u32 % 8), rect.y + (i as u32 / 8)) as f64
+                })
+                .collect();
+            if rois.iter().any(|r| r.overlaps(rect)) {
+                roi_patches.push((rect, patch));
+            } else {
+                clean_patches.push(patch);
+            }
+        }
+    }
+    let mut out = perturbed.clone();
+    if clean_patches.len() < 2 {
+        return out;
+    }
+    let pca = Pca::fit(&clean_patches, components);
+    for (rect, patch) in roi_patches {
+        let rec = pca.reconstruct(&pca.project(&patch));
+        for (i, v) in rec.iter().enumerate() {
+            out.set(
+                rect.x + (i as u32 % 8),
+                rect.y + (i as u32 / 8),
+                v.round().clamp(0.0, 255.0) as u8,
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puppies_core::{protect, OwnerKey, PrivacyLevel, ProtectOptions, Scheme};
+    use puppies_image::font::draw_text;
+    use puppies_image::Rgb;
+
+    /// The paper's Fig. 23 setup: white background, "HELLO WORLD!" text,
+    /// text area perturbed.
+    fn hello_world() -> (RgbImage, Rect) {
+        let mut img = RgbImage::filled(128, 64, Rgb::new(245, 245, 245));
+        let r = draw_text(&mut img, "HELLO WORLD!", 8, 24, 1, Rgb::new(10, 10, 10));
+        (img, r.inflate_clamped(4, Rect::new(0, 0, 128, 64)))
+    }
+
+    fn protected_hello() -> (RgbImage, RgbImage, PublicParams, Rect) {
+        let (img, roi) = hello_world();
+        let key = OwnerKey::from_seed([13u8; 32]);
+        let opts = ProtectOptions::new(Scheme::Compression, PrivacyLevel::Medium);
+        let protected = protect(&img, &[roi], &key, &opts).unwrap();
+        let perturbed = CoeffImage::decode(&protected.bytes).unwrap().to_rgb();
+        let reference = CoeffImage::from_rgb(&img, 75).to_rgb();
+        (reference, perturbed, protected.params, roi)
+    }
+
+    fn text_unreadable(original: &GrayImage, recovered: &GrayImage, roi: Rect) -> bool {
+        // Inside the ROI the recovered text must not correlate with the
+        // original strokes.
+        let o = original.crop(roi.align_to(8, original.width(), original.height())).unwrap();
+        let r = recovered.crop(roi.align_to(8, original.width(), original.height())).unwrap();
+        puppies_image::metrics::recognizability(&o, &r) < 0.5
+    }
+
+    #[test]
+    fn matrix_inference_fails() {
+        let (reference, _, params, roi) = protected_hello();
+        let perturbed_coeff = {
+            let (img, _) = hello_world();
+            let key = OwnerKey::from_seed([13u8; 32]);
+            let opts = ProtectOptions::new(Scheme::Compression, PrivacyLevel::Medium);
+            let protected = protect(&img, &[roi], &key, &opts).unwrap();
+            CoeffImage::decode(&protected.bytes).unwrap()
+        };
+        let recovered = matrix_inference_attack(&perturbed_coeff, &params);
+        assert!(
+            text_unreadable(&reference.to_gray(), &recovered.to_gray(), params.rois[0].rect),
+            "matrix inference should not recover the text"
+        );
+    }
+
+    #[test]
+    fn inpainting_fails_to_recover_text() {
+        let (reference, perturbed, params, _) = protected_hello();
+        let rois: Vec<Rect> = params.rois.iter().map(|r| r.rect).collect();
+        let recovered = inpainting_attack(&perturbed, &rois, 4);
+        // Inpainting produces a smooth fill: pleasant, but the text is gone.
+        assert!(
+            text_unreadable(&reference.to_gray(), &recovered.to_gray(), params.rois[0].rect),
+            "inpainting should not recover the text"
+        );
+        // And it should at least have removed the wild perturbation noise
+        // (smoothness sanity: variance inside ROI drops).
+        let roi = params.rois[0].rect;
+        let var = |img: &GrayImage| {
+            let c = img.crop(roi).unwrap();
+            let m = c.mean();
+            c.pixels().iter().map(|&v| (v as f64 - m).powi(2)).sum::<f64>() / c.pixels().len() as f64
+        };
+        assert!(var(&recovered.to_gray()) < var(&perturbed.to_gray()));
+    }
+
+    #[test]
+    fn pca_fails_to_recover_text() {
+        let (reference, perturbed, params, _) = protected_hello();
+        let rois: Vec<Rect> = params.rois.iter().map(|r| r.rect).collect();
+        let recovered = pca_attack(&perturbed.to_gray(), &rois, 8);
+        assert!(
+            text_unreadable(&reference.to_gray(), &recovered, params.rois[0].rect),
+            "PCA should not recover the text"
+        );
+    }
+
+    #[test]
+    fn inpainting_recovers_smooth_regions_well() {
+        // Sanity that the attack is not a straw man: on a *smooth* hidden
+        // region (no text), inpainting approximates the original closely.
+        let img = RgbImage::from_fn(64, 64, |x, y| {
+            let v = (80 + x + y) as u8;
+            Rgb::new(v, v, v)
+        });
+        let roi = Rect::new(24, 24, 16, 16);
+        let mut damaged = img.clone();
+        for y in roi.y..roi.bottom() {
+            for x in roi.x..roi.right() {
+                damaged.set(x, y, Rgb::new(0, 255, 0));
+            }
+        }
+        let recovered = inpainting_attack(&damaged, &[roi], 4);
+        let psnr = puppies_image::metrics::psnr_rgb(&recovered, &img);
+        assert!(psnr > 30.0, "inpainting too weak on smooth data: {psnr} dB");
+    }
+
+    #[test]
+    fn report_scores() {
+        let a = GrayImage::filled(32, 32, 100);
+        let r = CorrelationAttackReport::score(&a, &a);
+        assert_eq!(r.psnr, f64::INFINITY);
+        assert!(r.recognizability > 0.9);
+    }
+}

@@ -1,0 +1,83 @@
+//! The face-detection attack of §VI-B.3: run the Haar detector over
+//! perturbed images (and P3 public parts) and count correctly detected
+//! ground-truth faces.
+
+use puppies_image::{GrayImage, Rect};
+use puppies_vision::face::{detect_faces, FaceDetectorParams};
+
+/// Detection-attack outcome for one image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaceAttackReport {
+    /// Ground-truth faces present.
+    pub truth: usize,
+    /// Ground-truth faces correctly localized (IoU ≥ 0.5 against a
+    /// detection — the usual PASCAL criterion; the paper counts
+    /// "correctly detected faces only").
+    pub detected: usize,
+    /// Spurious detections not matching any ground-truth face.
+    pub false_positives: usize,
+}
+
+/// Runs the detector and scores against ground truth.
+pub fn face_attack(img: &GrayImage, truth: &[Rect]) -> FaceAttackReport {
+    let dets = detect_faces(img, &FaceDetectorParams::default());
+    let mut detected = 0;
+    for t in truth {
+        if dets.iter().any(|d| d.rect.iou(*t) >= 0.5) {
+            detected += 1;
+        }
+    }
+    let false_positives = dets
+        .iter()
+        .filter(|d| truth.iter().all(|t| d.rect.iou(*t) < 0.5))
+        .count();
+    FaceAttackReport {
+        truth: truth.len(),
+        detected,
+        false_positives,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puppies_core::{protect, OwnerKey, PrivacyLevel, ProtectOptions, Scheme};
+    use puppies_image::{Rgb, RgbImage};
+    use puppies_jpeg::CoeffImage;
+    use puppies_vision::face::{render_face, FaceGeometry};
+
+    fn face_scene() -> (RgbImage, Rect) {
+        let mut img = RgbImage::filled(160, 120, Rgb::new(80, 100, 130));
+        let bbox = Rect::new(50, 25, 48, 60);
+        render_face(&mut img, bbox, Rgb::new(226, 188, 152), &FaceGeometry::default());
+        (img, bbox)
+    }
+
+    #[test]
+    fn detects_clean_face() {
+        let (img, bbox) = face_scene();
+        let r = face_attack(&img.to_gray(), &[bbox]);
+        assert_eq!(r.truth, 1);
+        assert_eq!(r.detected, 1, "{r:?}");
+    }
+
+    #[test]
+    fn perturbed_face_not_detected() {
+        let (img, bbox) = face_scene();
+        let key = OwnerKey::from_seed([9u8; 32]);
+        let opts = ProtectOptions::new(Scheme::Zero, PrivacyLevel::Medium);
+        let protected = protect(&img, &[bbox], &key, &opts).unwrap();
+        let perturbed = CoeffImage::decode(&protected.bytes).unwrap().to_rgb();
+        let r = face_attack(&perturbed.to_gray(), &[bbox]);
+        assert_eq!(r.detected, 0, "{r:?}");
+    }
+
+    #[test]
+    fn p3_public_part_not_detected_either() {
+        let (img, bbox) = face_scene();
+        let coeff = CoeffImage::from_rgb(&img, 75);
+        let split = puppies_p3::P3Split::of(&coeff);
+        let r = face_attack(&split.public.to_rgb().to_gray(), &[bbox]);
+        assert_eq!(r.detected, 0, "{r:?}");
+    }
+}

@@ -1,0 +1,98 @@
+//! The SIFT-feature attack of §VI-B.1 (Fig. 20): extract features from a
+//! perturbed image and try to match them against the original's features.
+
+use puppies_image::GrayImage;
+use puppies_vision::sift::{extract_sift, match_descriptors, SiftParams};
+
+/// Result of one SIFT attack run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiftAttackReport {
+    /// Features found in the original image.
+    pub original_features: usize,
+    /// Features found in the perturbed image.
+    pub perturbed_features: usize,
+    /// Raw ratio-test matches between the two (includes chance hits
+    /// between noise descriptors).
+    pub raw_matches: usize,
+    /// Matches whose keypoint positions also agree (within 12 px on the
+    /// aligned pair) — the matches an adversary could actually act on.
+    /// This is the Fig. 20 quantity.
+    pub matches: usize,
+}
+
+impl SiftAttackReport {
+    /// Whether the attack recovered nothing (the paper's ">90% of images
+    /// have zero matches" criterion).
+    pub fn zero_matches(&self) -> bool {
+        self.matches == 0
+    }
+}
+
+/// Runs the attack: SIFT on both images, Lowe ratio-test matching at 0.7
+/// (a strict adversary setting), then a position-consistency filter (the
+/// images are aligned, so a real match must land on the same content).
+pub fn sift_attack(original: &GrayImage, perturbed: &GrayImage) -> SiftAttackReport {
+    let params = SiftParams::default();
+    let ka = extract_sift(original, &params);
+    let kb = extract_sift(perturbed, &params);
+    let raw = match_descriptors(&kb, &ka, 0.7);
+    let consistent = raw
+        .iter()
+        .filter(|&&(bi, ai)| {
+            let (b, a) = (&kb[bi], &ka[ai]);
+            let dx = (b.x - a.x) as f64;
+            let dy = (b.y - a.y) as f64;
+            (dx * dx + dy * dy).sqrt() < 12.0
+        })
+        .count();
+    SiftAttackReport {
+        original_features: ka.len(),
+        perturbed_features: kb.len(),
+        raw_matches: raw.len(),
+        matches: consistent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puppies_core::{protect, OwnerKey, PrivacyLevel, ProtectOptions, Scheme};
+    use puppies_image::{draw, Rect, Rgb, RgbImage};
+    use puppies_jpeg::CoeffImage;
+
+    fn scene() -> RgbImage {
+        let mut img = RgbImage::filled(128, 128, Rgb::new(120, 120, 130));
+        draw::fill_rect(&mut img, Rect::new(16, 16, 40, 30), Rgb::new(220, 220, 210));
+        draw::fill_ellipse(&mut img, 90, 40, 20, 14, Rgb::new(40, 40, 60));
+        draw::fill_rect(&mut img, Rect::new(60, 80, 44, 34), Rgb::new(170, 60, 60));
+        draw::fill_ellipse(&mut img, 32, 96, 14, 14, Rgb::new(240, 210, 60));
+        img
+    }
+
+    #[test]
+    fn self_attack_matches_plenty() {
+        let gray = scene().to_gray();
+        let report = sift_attack(&gray, &gray);
+        assert!(report.original_features > 5);
+        assert!(
+            report.matches * 2 >= report.original_features,
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn perturbation_destroys_matches() {
+        let img = scene();
+        let key = OwnerKey::from_seed([7u8; 32]);
+        let opts = ProtectOptions::new(Scheme::Zero, PrivacyLevel::Medium);
+        // Whole-image ROI, as the paper's Fig. 20 experiment does.
+        let protected = protect(&img, &[Rect::new(0, 0, 128, 128)], &key, &opts).unwrap();
+        let perturbed = CoeffImage::decode(&protected.bytes).unwrap().to_rgb();
+        let reference = CoeffImage::from_rgb(&img, 75).to_rgb();
+        let report = sift_attack(&reference.to_gray(), &perturbed.to_gray());
+        assert!(
+            report.matches <= report.original_features / 10,
+            "too many surviving matches: {report:?}"
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! The privacy attacks of the paper's §VI, played by the semi-honest PSP
+//! (or anyone who downloads the public data).
+//!
+//! - [`bruteforce`] — exhaustive key search: accounting for the real key
+//!   space plus a live demonstration on a deliberately tiny key space, and
+//!   the DC-sweep attack that breaks PuPPIeS-N (§IV-B.1's motivation)
+//! - [`features`] — the SIFT-feature attack (§VI-B.1, Fig. 20)
+//! - [`edges`] — the edge-detection attack (§VI-B.2, Fig. 21)
+//! - [`faces`] — the face-detection attack (§VI-B.3)
+//! - [`recognition`] — the eigenface face-recognition attack (§VI-B.4,
+//!   Fig. 22)
+//! - [`correlation`] — the three signal-correlation attacks (§VI-B.5,
+//!   Fig. 23): private-matrix inference from signal continuity,
+//!   neighbour-correlation inpainting, and PCA reconstruction
+//! - [`user_study`] — the machine proxy for the paper's MTurk study:
+//!   recognizability scoring of attack outputs
+
+pub mod bruteforce;
+pub mod correlation;
+pub mod edges;
+pub mod faces;
+pub mod features;
+pub mod recognition;
+pub mod user_study;
+
+pub use correlation::{
+    inpainting_attack, matrix_inference_attack, pca_attack, CorrelationAttackReport,
+};
+pub use edges::edge_attack;
+pub use features::sift_attack;
+pub use user_study::{recognizability_verdict, RECOGNIZABILITY_THRESHOLD};

@@ -1,0 +1,164 @@
+//! The eigenface recognition attack of §VI-B.4 (Fig. 22): enroll a
+//! gallery of clean faces, then probe with perturbed (or P3-public)
+//! versions and record the rank of the true identity.
+
+use puppies_image::GrayImage;
+use puppies_vision::eigenfaces::EigenfaceGallery;
+
+/// Cumulative rank curve: `curve[k-1]` is the fraction of probes whose
+/// true identity appeared within the top `k` ranks — Fig. 22's y-axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankCurve {
+    counts: Vec<usize>,
+    probes: usize,
+}
+
+impl RankCurve {
+    /// Builds a curve for ranks `1..=max_rank`.
+    pub fn new(max_rank: usize) -> RankCurve {
+        RankCurve {
+            counts: vec![0; max_rank.max(1)],
+            probes: 0,
+        }
+    }
+
+    /// Records one probe whose true identity ranked at `rank` (1-based;
+    /// `None` when the identity never appeared).
+    pub fn record(&mut self, rank: Option<usize>) {
+        self.probes += 1;
+        if let Some(r) = rank {
+            if r >= 1 {
+                for k in (r - 1)..self.counts.len() {
+                    self.counts[k] += 1;
+                }
+            }
+        }
+    }
+
+    /// The cumulative ratio at rank `k` (1-based).
+    ///
+    /// # Panics
+    /// Panics if `k` is 0 or beyond the curve length.
+    pub fn ratio_at(&self, k: usize) -> f64 {
+        assert!(k >= 1 && k <= self.counts.len(), "rank out of range");
+        if self.probes == 0 {
+            0.0
+        } else {
+            self.counts[k - 1] as f64 / self.probes as f64
+        }
+    }
+
+    /// The full curve as `(rank, ratio)` pairs.
+    pub fn points(&self) -> Vec<(usize, f64)> {
+        (1..=self.counts.len()).map(|k| (k, self.ratio_at(k))).collect()
+    }
+
+    /// Number of probes recorded.
+    pub fn probes(&self) -> usize {
+        self.probes
+    }
+}
+
+/// Runs the recognition attack for one probe face against a trained
+/// gallery; returns the rank of `label` (or `None`).
+pub fn recognition_attack(
+    gallery: &EigenfaceGallery,
+    probe: &GrayImage,
+    label: u32,
+) -> Option<usize> {
+    gallery.rank_of(probe, label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puppies_core::{protect, OwnerKey, PrivacyLevel, ProtectOptions, Scheme};
+    use puppies_image::{Rect, Rgb, RgbImage};
+    use puppies_jpeg::CoeffImage;
+    use puppies_vision::face::{render_face, FaceGeometry};
+
+    fn face_img(geom: &FaceGeometry, jitter: u32) -> RgbImage {
+        let mut img = RgbImage::filled(64, 80, Rgb::new(70, 85, 105));
+        render_face(
+            &mut img,
+            Rect::new(6 + jitter, 6 + jitter, 48, 60),
+            Rgb::new(222, 185, 150),
+            geom,
+        );
+        img
+    }
+
+    fn geometries() -> Vec<FaceGeometry> {
+        (0..5)
+            .map(|i| FaceGeometry {
+                eye_spread: 0.16 + i as f32 * 0.02,
+                eye_size: 0.055 + i as f32 * 0.007,
+                mouth_width: 0.13 + i as f32 * 0.022,
+                brow_tilt: i as i32 - 2,
+            })
+            .collect()
+    }
+
+    fn gallery() -> EigenfaceGallery {
+        let mut faces = Vec::new();
+        for (label, g) in geometries().iter().enumerate() {
+            for j in 0..3 {
+                faces.push((label as u32, face_img(g, j).to_gray()));
+            }
+        }
+        EigenfaceGallery::train(&faces, 10)
+    }
+
+    #[test]
+    fn clean_probes_rank_first() {
+        let g = gallery();
+        for (label, geom) in geometries().iter().enumerate() {
+            let rank = recognition_attack(&g, &face_img(geom, 3).to_gray(), label as u32);
+            assert!(rank.unwrap() <= 2, "label {label} rank {rank:?}");
+        }
+    }
+
+    #[test]
+    fn perturbed_probes_rank_poorly() {
+        let g = gallery();
+        let key = OwnerKey::from_seed([11u8; 32]);
+        let opts = ProtectOptions::new(Scheme::Zero, PrivacyLevel::Medium);
+        let mut top1_hits = 0;
+        for (label, geom) in geometries().iter().enumerate() {
+            let img = face_img(geom, 1);
+            let protected =
+                protect(&img, &[Rect::new(0, 0, 64, 80)], &key, &opts).unwrap();
+            let perturbed = CoeffImage::decode(&protected.bytes).unwrap().to_rgb();
+            if recognition_attack(&g, &perturbed.to_gray(), label as u32) == Some(1) {
+                top1_hits += 1;
+            }
+        }
+        // 5 identities: chance is 1/5; allow at most 2 lucky hits.
+        assert!(top1_hits <= 2, "{top1_hits}/5 perturbed probes still rank 1");
+    }
+
+    #[test]
+    fn rank_curve_accumulates() {
+        let mut c = RankCurve::new(5);
+        c.record(Some(1));
+        c.record(Some(3));
+        c.record(None);
+        assert_eq!(c.probes(), 3);
+        assert!((c.ratio_at(1) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((c.ratio_at(3) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.ratio_at(5) - 2.0 / 3.0).abs() < 1e-12);
+        let pts = c.points();
+        assert_eq!(pts.len(), 5);
+        // Monotone non-decreasing.
+        for w in pts.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of range")]
+    fn rank_zero_rejected() {
+        let c = RankCurve::new(3);
+        let _ = c.ratio_at(0);
+    }
+}

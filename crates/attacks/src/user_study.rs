@@ -1,0 +1,99 @@
+//! Machine proxy for the paper's MTurk user study (§VI-B).
+//!
+//! The study asked 53 participants to describe attack-recovered photos;
+//! none could ("Nothing but mosaic"). We replace the human judgment with
+//! the structural [`puppies_image::metrics::recognizability`] score: a
+//! recovered image counts as *recognized* when its score against the
+//! original clears [`RECOGNIZABILITY_THRESHOLD`]. The threshold is
+//! calibrated so that JPEG-compressed originals pass comfortably while
+//! decorrelated noise fails by a wide margin (see the tests).
+
+use puppies_image::metrics::recognizability;
+use puppies_image::GrayImage;
+
+/// Score above which a candidate is considered recognizable as the
+/// original.
+pub const RECOGNIZABILITY_THRESHOLD: f64 = 0.55;
+
+/// The study verdict for one image pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudyVerdict {
+    /// Structural score in `[0, 1]`.
+    pub score: f64,
+    /// Whether the proxy "participant" recognized the content.
+    pub recognized: bool,
+}
+
+/// Scores a recovered image against the original.
+pub fn recognizability_verdict(original: &GrayImage, recovered: &GrayImage) -> StudyVerdict {
+    let score = recognizability(original, recovered);
+    StudyVerdict {
+        score,
+        recognized: score >= RECOGNIZABILITY_THRESHOLD,
+    }
+}
+
+/// Aggregates verdicts into the study's headline number: the fraction of
+/// recovered photos participants could describe.
+pub fn recognition_rate(verdicts: &[StudyVerdict]) -> f64 {
+    if verdicts.is_empty() {
+        return 0.0;
+    }
+    verdicts.iter().filter(|v| v.recognized).count() as f64 / verdicts.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puppies_image::{draw, Rect, Rgb, RgbImage};
+    use puppies_jpeg::CoeffImage;
+
+    fn scene() -> GrayImage {
+        let mut img = RgbImage::filled(96, 96, Rgb::new(180, 180, 180));
+        draw::fill_rect(&mut img, Rect::new(16, 16, 40, 40), Rgb::new(60, 60, 60));
+        draw::fill_ellipse(&mut img, 70, 70, 14, 10, Rgb::new(230, 100, 40));
+        puppies_image::font::draw_text(&mut img, "HI", 60, 20, 3, Rgb::new(20, 20, 20));
+        img.to_gray()
+    }
+
+    #[test]
+    fn jpeg_compressed_original_is_recognized() {
+        let img = scene();
+        let through_jpeg = CoeffImage::from_gray(&img, 50).to_gray_image();
+        let v = recognizability_verdict(&img, &through_jpeg);
+        assert!(v.recognized, "score {}", v.score);
+    }
+
+    #[test]
+    fn noise_is_not_recognized() {
+        let img = scene();
+        let noise = GrayImage::from_fn(96, 96, |x, y| {
+            ((x.wrapping_mul(2654435761) ^ y.wrapping_mul(40503)) % 256) as u8
+        });
+        let v = recognizability_verdict(&img, &noise);
+        assert!(!v.recognized, "score {}", v.score);
+    }
+
+    #[test]
+    fn flat_fill_is_not_recognized() {
+        // An inpainting-style smooth fill: no structure, no recognition.
+        let img = scene();
+        let flat = GrayImage::filled(96, 96, img.mean() as u8);
+        let v = recognizability_verdict(&img, &flat);
+        assert!(!v.recognized, "score {}", v.score);
+    }
+
+    #[test]
+    fn rate_aggregates() {
+        let yes = StudyVerdict {
+            score: 0.9,
+            recognized: true,
+        };
+        let no = StudyVerdict {
+            score: 0.1,
+            recognized: false,
+        };
+        assert_eq!(recognition_rate(&[]), 0.0);
+        assert!((recognition_rate(&[yes, no, no, no]) - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,67 @@
+//! JPEG codec kernel benchmarks: DCT, quantization, entropy coding and
+//! the full encode/decode paths that every experiment leans on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use puppies_bench::pascal_image;
+use puppies_jpeg::{dct, CoeffImage, EncodeOptions, HuffmanMode, QuantTable};
+
+fn bench_dct(c: &mut Criterion) {
+    let mut block = [0.0f32; 64];
+    for (i, v) in block.iter_mut().enumerate() {
+        *v = ((i * 37) % 255) as f32 - 128.0;
+    }
+    c.bench_function("dct_forward_8x8", |b| b.iter(|| dct::forward(&block)));
+    let freq = dct::forward(&block);
+    c.bench_function("dct_inverse_8x8", |b| b.iter(|| dct::inverse(&freq)));
+}
+
+fn bench_quant(c: &mut Criterion) {
+    let table = QuantTable::luma(75);
+    let mut raw = [0.0f32; 64];
+    for (i, v) in raw.iter_mut().enumerate() {
+        *v = (i as f32 * 13.7) - 400.0;
+    }
+    c.bench_function("quantize_block", |b| b.iter(|| table.quantize(&raw)));
+    let q = table.quantize(&raw);
+    c.bench_function("dequantize_block", |b| b.iter(|| table.dequantize(&q)));
+}
+
+fn bench_full_codec(c: &mut Criterion) {
+    let img = pascal_image();
+    let mut group = c.benchmark_group("full_codec");
+    group.sample_size(10);
+    group.bench_function("forward_transform_pascal", |b| {
+        b.iter(|| CoeffImage::from_rgb(&img, 75))
+    });
+    let coeff = CoeffImage::from_rgb(&img, 75);
+    for (name, mode) in [
+        ("encode_standard", HuffmanMode::Standard),
+        ("encode_optimized", HuffmanMode::Optimized),
+    ] {
+        let mut opts = EncodeOptions::default();
+        opts.huffman = mode;
+        group.bench_function(name, |b| b.iter(|| coeff.encode(&opts).expect("encode")));
+    }
+    let bytes = coeff.encode(&EncodeOptions::default()).expect("encode");
+    group.bench_function("decode_pascal", |b| {
+        b.iter(|| CoeffImage::decode(&bytes).expect("decode"))
+    });
+    group.bench_function("idct_to_rgb_pascal", |b| b.iter(|| coeff.to_rgb()));
+    group.finish();
+}
+
+fn bench_p3_split(c: &mut Criterion) {
+    let img = pascal_image();
+    let coeff = CoeffImage::from_rgb(&img, 75);
+    let mut group = c.benchmark_group("p3");
+    group.sample_size(10);
+    group.bench_function("split_pascal", |b| b.iter(|| puppies_p3::P3Split::of(&coeff)));
+    let split = puppies_p3::P3Split::of(&coeff);
+    group.bench_function("reconstruct_pascal", |b| {
+        b.iter(|| puppies_p3::reconstruct(&split.public, &split.private).expect("reconstruct"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dct, bench_quant, bench_full_codec, bench_p3_split);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Table V benchmarks: whole-image perturbation and recovery per scheme,
+//! on PASCAL- and (reduced) INRIA-profile images.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use puppies_bench::{inria_image, pascal_image};
+use puppies_core::perturb::{perturb_roi, recover_roi, RoiKeys};
+use puppies_core::{OwnerKey, PerturbProfile, PrivacyLevel, Scheme};
+use puppies_image::Rect;
+use puppies_jpeg::CoeffImage;
+
+fn keys() -> Vec<RoiKeys> {
+    let key = OwnerKey::from_seed([1u8; 32]);
+    let grant = key.grant_all();
+    (0..3)
+        .map(|c| RoiKeys::from_grant(&grant, 0, 0, c).expect("keys"))
+        .collect()
+}
+
+fn bench_perturb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perturb_whole_image");
+    group.sample_size(20);
+    for (name, img) in [("pascal", pascal_image()), ("inria_half", inria_image())] {
+        let coeff = CoeffImage::from_rgb(&img, 75);
+        let whole = Rect::new(0, 0, coeff.width(), coeff.height());
+        let keys = keys();
+        for scheme in [Scheme::Base, Scheme::Compression, Scheme::Zero] {
+            let profile = PerturbProfile::paper(scheme, PrivacyLevel::Medium);
+            group.bench_with_input(
+                BenchmarkId::new(scheme.name(), name),
+                &coeff,
+                |b, coeff| {
+                    b.iter(|| {
+                        let mut work = coeff.clone();
+                        perturb_roi(&mut work, whole, &keys, &profile).expect("perturb")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_recover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recover_whole_image");
+    group.sample_size(20);
+    let img = pascal_image();
+    let coeff = CoeffImage::from_rgb(&img, 75);
+    let whole = Rect::new(0, 0, coeff.width(), coeff.height());
+    let keys = keys();
+    for scheme in [Scheme::Compression, Scheme::Zero] {
+        let profile = PerturbProfile::paper(scheme, PrivacyLevel::Medium);
+        let mut perturbed = coeff.clone();
+        let record = perturb_roi(&mut perturbed, whole, &keys, &profile).expect("perturb");
+        group.bench_function(scheme.name(), |b| {
+            b.iter(|| {
+                let mut work = perturbed.clone();
+                recover_roi(&mut work, whole, &keys, &profile, &record.zind).expect("recover");
+                work
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_shadow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shadow_planes");
+    group.sample_size(20);
+    let img = pascal_image();
+    let key = OwnerKey::from_seed([1u8; 32]);
+    let opts = puppies_core::ProtectOptions::from_profile(PerturbProfile::transform_friendly());
+    let whole = Rect::new(0, 0, img.width(), img.height());
+    let protected = puppies_core::protect(&img, &[whole], &key, &opts).expect("protect");
+    group.bench_function("pascal_whole", |b| {
+        b.iter(|| {
+            puppies_core::shadow::shadow_planes(&protected.params, &key.grant_all(), 3)
+                .expect("shadow")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_perturb, bench_recover, bench_shadow);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Shared fixtures for the Criterion benchmarks.
+
+use puppies_datasets::{generate_one, DatasetProfile};
+use puppies_image::RgbImage;
+
+/// A deterministic PASCAL-profile image at the paper's typical resolution.
+pub fn pascal_image() -> RgbImage {
+    generate_one(DatasetProfile::pascal().with_count(1), 0xBE7C, 0).image
+}
+
+/// A deterministic reduced-resolution INRIA-profile image (keeps bench
+/// wall time sane; Table V reports the full-resolution numbers).
+pub fn inria_image() -> RgbImage {
+    generate_one(
+        DatasetProfile::inria().with_count(1).with_resolution(612, 816),
+        0xBE7C,
+        0,
+    )
+    .image
+}

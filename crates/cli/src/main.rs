@@ -1,0 +1,280 @@
+//! `puppies` — command-line front end for the PuPPIeS pipeline.
+//!
+//! ```text
+//! puppies keygen <key-file>
+//! puppies detect <in.ppm>
+//! puppies protect <in.ppm> <out.jpg> --key <key-file> --params <out.pup>
+//!         [--roi x,y,w,h]... [--auto] [--scheme n|b|c|z] [--level low|medium|high]
+//!         [--quality 1..100] [--image-id N] [--transform-friendly]
+//! puppies grant --key <key-file> --image-id N --out <grant-file> [--roi i]...
+//! puppies recover <in.jpg> <out.ppm> --params <in.pup> (--key <key-file> | --grant <grant-file>)
+//! puppies inspect --params <in.pup>
+//! ```
+//!
+//! Images are read/written as binary PPM (P6); the protected image is a
+//! baseline JPEG any viewer can open (showing the perturbed regions).
+
+use puppies_core::{
+    protect, KeyGrant, OwnerKey, PerturbProfile, PrivacyLevel, ProtectOptions, PublicParams,
+    Scheme,
+};
+use puppies_image::{io as img_io, Rect};
+use puppies_psp::channel::{decode_grant, encode_grant};
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("keygen") => cmd_keygen(&args[1..]),
+        Some("detect") => cmd_detect(&args[1..]),
+        Some("protect") => cmd_protect(&args[1..]),
+        Some("grant") => cmd_grant(&args[1..]),
+        Some("recover") => cmd_recover(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("help") | None => {
+            usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; try `puppies help`")),
+    };
+    if let Err(e) = code {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "puppies — privacy-preserving partial image sharing\n\
+         commands: keygen, detect, protect, grant, recover, inspect\n\
+         (see the crate docs or README for full flag reference)"
+    );
+}
+
+type CliResult = Result<(), String>;
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .map(|w| w[1].as_str())
+}
+
+fn flag_values<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
+    args.windows(2)
+        .filter(|w| w[0] == name)
+        .map(|w| w[1].as_str())
+        .collect()
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn positional(args: &[String], idx: usize) -> Result<&str, String> {
+    // Positional = arguments not consumed as flags or flag values.
+    let mut positionals = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            // Boolean flags take no value.
+            let boolean = matches!(a.as_str(), "--auto" | "--transform-friendly");
+            if !boolean && i + 1 < args.len() {
+                skip = true;
+            }
+            continue;
+        }
+        positionals.push(a.as_str());
+    }
+    positionals
+        .get(idx)
+        .copied()
+        .ok_or_else(|| format!("missing positional argument #{}", idx + 1))
+}
+
+fn load_key(path: &str) -> Result<OwnerKey, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("reading key {path}: {e}"))?;
+    let seed: [u8; 32] = bytes
+        .try_into()
+        .map_err(|_| format!("key file {path} must be exactly 32 bytes"))?;
+    Ok(OwnerKey::from_seed(seed))
+}
+
+fn cmd_keygen(args: &[String]) -> CliResult {
+    let path = positional(args, 0)?;
+    let mut seed = [0u8; 32];
+    // getrandom via rand's thread_rng (OS entropy).
+    use rand::RngCore;
+    rand::thread_rng().fill_bytes(&mut seed);
+    std::fs::write(path, seed).map_err(|e| format!("writing {path}: {e}"))?;
+    println!("wrote 32-byte owner key to {path} — keep it private");
+    Ok(())
+}
+
+fn cmd_detect(args: &[String]) -> CliResult {
+    let path = positional(args, 0)?;
+    let img = img_io::load_ppm(path).map_err(|e| format!("loading {path}: {e}"))?;
+    let rec = puppies_vision::detect::recommend_rois(
+        &img,
+        &puppies_vision::detect::RecommendParams::default(),
+    );
+    println!("{} raw detection(s):", rec.detections.len());
+    for d in &rec.detections {
+        println!("  {:?} {:?}", d.kind, d.rect);
+    }
+    println!("{} disjoint recommended region(s):", rec.regions.len());
+    for r in &rec.regions {
+        println!("  --roi {},{},{},{}", r.x, r.y, r.w, r.h);
+    }
+    Ok(())
+}
+
+fn parse_roi(spec: &str) -> Result<Rect, String> {
+    let parts: Vec<u32> = spec
+        .split(',')
+        .map(|p| p.trim().parse::<u32>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("bad --roi {spec:?}: {e}"))?;
+    if parts.len() != 4 {
+        return Err(format!("--roi must be x,y,w,h, got {spec:?}"));
+    }
+    Ok(Rect::new(parts[0], parts[1], parts[2], parts[3]))
+}
+
+fn cmd_protect(args: &[String]) -> CliResult {
+    let input = positional(args, 0)?;
+    let output = positional(args, 1)?;
+    let key = load_key(flag_value(args, "--key").ok_or("missing --key")?)?;
+    let params_path = flag_value(args, "--params").ok_or("missing --params")?;
+
+    let img = img_io::load_ppm(input).map_err(|e| format!("loading {input}: {e}"))?;
+    let mut rois: Vec<Rect> = flag_values(args, "--roi")
+        .into_iter()
+        .map(parse_roi)
+        .collect::<Result<_, _>>()?;
+    if has_flag(args, "--auto") {
+        let rec = puppies_vision::detect::recommend_rois(
+            &img,
+            &puppies_vision::detect::RecommendParams::default(),
+        );
+        rois.extend(rec.regions);
+    }
+    if rois.is_empty() {
+        return Err("no regions: pass --roi x,y,w,h and/or --auto".into());
+    }
+
+    let scheme = match flag_value(args, "--scheme").unwrap_or("z") {
+        "n" => Scheme::Naive,
+        "b" => Scheme::Base,
+        "c" => Scheme::Compression,
+        "z" => Scheme::Zero,
+        other => return Err(format!("unknown scheme {other:?} (n|b|c|z)")),
+    };
+    let level = match flag_value(args, "--level").unwrap_or("medium") {
+        "low" => PrivacyLevel::Low,
+        "medium" => PrivacyLevel::Medium,
+        "high" => PrivacyLevel::High,
+        other => return Err(format!("unknown level {other:?} (low|medium|high)")),
+    };
+    let mut opts = if has_flag(args, "--transform-friendly") {
+        ProtectOptions::from_profile(PerturbProfile::transform_friendly())
+    } else {
+        ProtectOptions::new(scheme, level)
+    };
+    if let Some(q) = flag_value(args, "--quality") {
+        opts = opts.with_quality(q.parse().map_err(|e| format!("bad --quality: {e}"))?);
+    }
+    if let Some(id) = flag_value(args, "--image-id") {
+        opts = opts.with_image_id(id.parse().map_err(|e| format!("bad --image-id: {e}"))?);
+    }
+
+    let protected = protect(&img, &rois, &key, &opts).map_err(|e| e.to_string())?;
+    std::fs::write(output, &protected.bytes).map_err(|e| format!("writing {output}: {e}"))?;
+    std::fs::write(params_path, protected.params.to_bytes())
+        .map_err(|e| format!("writing {params_path}: {e}"))?;
+    println!(
+        "protected {} region(s); image {} bytes -> {output}, params {} bytes -> {params_path}",
+        protected.params.rois.len(),
+        protected.bytes.len(),
+        protected.params.encoded_len()
+    );
+    Ok(())
+}
+
+fn cmd_grant(args: &[String]) -> CliResult {
+    let key = load_key(flag_value(args, "--key").ok_or("missing --key")?)?;
+    let image_id: u64 = flag_value(args, "--image-id")
+        .ok_or("missing --image-id")?
+        .parse()
+        .map_err(|e| format!("bad --image-id: {e}"))?;
+    let out = flag_value(args, "--out").ok_or("missing --out")?;
+    let rois: Vec<u16> = {
+        let specified = flag_values(args, "--roi");
+        if specified.is_empty() {
+            (0..16).collect() // grant generously by default
+        } else {
+            specified
+                .into_iter()
+                .map(|s| s.parse::<u16>().map_err(|e| format!("bad --roi index: {e}")))
+                .collect::<Result<_, _>>()?
+        }
+    };
+    let grant = key.grant_rois(image_id, &rois);
+    std::fs::write(out, encode_grant(&grant)).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "granted {} matrix(es) for image {image_id} rois {rois:?} -> {out}",
+        grant.explicit_matrix_count()
+    );
+    Ok(())
+}
+
+fn cmd_recover(args: &[String]) -> CliResult {
+    let input = positional(args, 0)?;
+    let output = positional(args, 1)?;
+    let params_path = flag_value(args, "--params").ok_or("missing --params")?;
+    let grant: KeyGrant = if let Some(kp) = flag_value(args, "--key") {
+        load_key(kp)?.grant_all()
+    } else if let Some(gp) = flag_value(args, "--grant") {
+        let bytes = std::fs::read(gp).map_err(|e| format!("reading {gp}: {e}"))?;
+        decode_grant(&bytes).map_err(|e| e.to_string())?
+    } else {
+        return Err("pass --key (owner) or --grant (receiver)".into());
+    };
+    let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let params_bytes =
+        std::fs::read(params_path).map_err(|e| format!("reading {params_path}: {e}"))?;
+    let params = PublicParams::from_bytes(&params_bytes).map_err(|e| e.to_string())?;
+    let recovered = puppies_core::shadow::recover_transformed(&bytes, &params, &grant)
+        .map_err(|e| e.to_string())?;
+    img_io::save_ppm(&recovered, output).map_err(|e| format!("writing {output}: {e}"))?;
+    println!("recovered image written to {output}");
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> CliResult {
+    let params_path = flag_value(args, "--params").ok_or("missing --params")?;
+    let bytes = std::fs::read(params_path).map_err(|e| format!("reading {params_path}: {e}"))?;
+    let params = PublicParams::from_bytes(&bytes).map_err(|e| e.to_string())?;
+    println!(
+        "image id {} | {}x{} @ q{} | transformation: {:?}",
+        params.image_id, params.width, params.height, params.quality, params.transformation
+    );
+    for roi in &params.rois {
+        let (m_r, k) = roi.profile.range.parameters();
+        println!(
+            "  roi {} {:?} scheme {} mR {} K {} dcRange {} zind {} wind {}",
+            roi.index,
+            roi.rect,
+            roi.profile.scheme.name(),
+            m_r,
+            k,
+            roi.profile.dc_range,
+            roi.zind.len(),
+            roi.wind.len()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,147 @@
+//! End-to-end tests driving the `puppies` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_puppies-cli"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("puppies_cli_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir
+}
+
+fn write_test_ppm(path: &PathBuf) {
+    let img = puppies_image::RgbImage::from_fn(96, 64, |x, y| {
+        puppies_image::Rgb::new((40 + x * 2) as u8, (60 + y * 3) as u8, ((x + y) % 256) as u8)
+    });
+    puppies_image::io::save_ppm(&img, path).expect("write ppm");
+}
+
+#[test]
+fn full_cli_workflow() {
+    let dir = tmp_dir("flow");
+    let input = dir.join("in.ppm");
+    write_test_ppm(&input);
+    let key = dir.join("owner.key");
+    let jpg = dir.join("out.jpg");
+    let params = dir.join("out.pup");
+    let grant = dir.join("bob.grant");
+    let rec = dir.join("rec.ppm");
+
+    let ok = |out: std::process::Output, what: &str| {
+        assert!(
+            out.status.success(),
+            "{what} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out
+    };
+
+    ok(bin().args(["keygen", key.to_str().unwrap()]).output().unwrap(), "keygen");
+    assert_eq!(std::fs::read(&key).unwrap().len(), 32);
+
+    ok(
+        bin()
+            .args([
+                "protect",
+                input.to_str().unwrap(),
+                jpg.to_str().unwrap(),
+                "--key",
+                key.to_str().unwrap(),
+                "--params",
+                params.to_str().unwrap(),
+                "--roi",
+                "16,16,32,32",
+            ])
+            .output()
+            .unwrap(),
+        "protect",
+    );
+    // The protected image decodes as a plain JPEG.
+    let bytes = std::fs::read(&jpg).unwrap();
+    assert!(puppies_jpeg::CoeffImage::decode(&bytes).is_ok());
+
+    let out = ok(
+        bin()
+            .args(["inspect", "--params", params.to_str().unwrap()])
+            .output()
+            .unwrap(),
+        "inspect",
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("PuPPIeS-Z"), "inspect output: {text}");
+
+    ok(
+        bin()
+            .args([
+                "grant",
+                "--key",
+                key.to_str().unwrap(),
+                "--image-id",
+                "0",
+                "--out",
+                grant.to_str().unwrap(),
+                "--roi",
+                "0",
+            ])
+            .output()
+            .unwrap(),
+        "grant",
+    );
+
+    // Recover via the grant; result must match the owner-key recovery.
+    ok(
+        bin()
+            .args([
+                "recover",
+                jpg.to_str().unwrap(),
+                rec.to_str().unwrap(),
+                "--params",
+                params.to_str().unwrap(),
+                "--grant",
+                grant.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap(),
+        "recover",
+    );
+    let recovered = puppies_image::io::load_ppm(&rec).unwrap();
+    let original = puppies_image::io::load_ppm(&input).unwrap();
+    let reference = puppies_jpeg::CoeffImage::from_rgb(&original, 75).to_rgb();
+    assert_eq!(recovered, reference, "grant-based recovery must be exact");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_command_exits_nonzero() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn protect_without_rois_fails_cleanly() {
+    let dir = tmp_dir("noroi");
+    let input = dir.join("in.ppm");
+    write_test_ppm(&input);
+    let key = dir.join("k.key");
+    bin().args(["keygen", key.to_str().unwrap()]).output().unwrap();
+    let out = bin()
+        .args([
+            "protect",
+            input.to_str().unwrap(),
+            dir.join("o.jpg").to_str().unwrap(),
+            "--key",
+            key.to_str().unwrap(),
+            "--params",
+            dir.join("o.pup").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no regions"));
+    std::fs::remove_dir_all(&dir).ok();
+}

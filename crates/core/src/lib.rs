@@ -1,0 +1,139 @@
+//! PuPPIeS: transformation-supported personalized privacy-preserving
+//! partial image sharing (He et al., DSN 2016).
+//!
+//! The sender marks privacy-sensitive regions of interest (ROIs) in a JPEG
+//! image, perturbs the quantized DCT coefficients of those regions with
+//! secret matrices, and uploads the result to an untrusted photo-sharing
+//! platform (PSP). The PSP stores and transforms the image with completely
+//! standard tooling; authorized receivers holding the private matrices
+//! recover the protected regions exactly — even after PSP-side
+//! transformations, via the *shadow ROI* mechanism.
+//!
+//! Crate layout, following the paper:
+//!
+//! - [`matrix`] — private matrix `P`, range matrix `Q'` (Algorithm 3) and
+//!   their ring arithmetic (Lemma III.1)
+//! - [`keys`] — owner key material and deterministic matrix derivation
+//! - [`privacy`] — privacy levels and the `(mR, K)` mapping (Table IV)
+//! - [`roi`] — ROI plans: block alignment, disjoint decomposition,
+//!   per-region key assignment
+//! - [`perturb`] — the four schemes PuPPIeS-N/-B/-C/-Z (§IV-B) and exact
+//!   recovery
+//! - [`params`] — the public parameters stored alongside the image
+//! - [`shadow`] — reconstruction after PSP-side transformations (§IV-C)
+//! - [`analysis`] — secure-bit accounting for the brute-force analysis
+//!   (§VI-A)
+//! - [`protect`](crate::protect()) / [`mod@protect`] — the high-level sender/receiver API tying it together
+//!
+//! # Example
+//!
+//! ```
+//! use puppies_core::{OwnerKey, PrivacyLevel, ProtectOptions, Scheme};
+//! use puppies_image::{Rect, Rgb, RgbImage};
+//!
+//! // The sender protects one region of a photo.
+//! let img = RgbImage::from_fn(64, 64, |x, y| Rgb::new(x as u8 * 3, y as u8 * 3, 40));
+//! let key = OwnerKey::from_seed([7u8; 32]);
+//! let opts = ProtectOptions::new(Scheme::Zero, PrivacyLevel::Medium);
+//! let protected =
+//!     puppies_core::protect(&img, &[Rect::new(16, 16, 24, 24)], &key, &opts)?;
+//!
+//! // An authorized receiver recovers it exactly (bit-exact coefficients).
+//! let recovered = puppies_core::recover(&protected, &key.grant_all())?;
+//! assert_eq!(
+//!     recovered.to_rgb(),
+//!     puppies_jpeg::CoeffImage::from_rgb(&img, opts.quality).to_rgb()
+//! );
+//! # Ok::<(), puppies_core::PuppiesError>(())
+//! ```
+
+pub mod analysis;
+pub mod keys;
+pub mod matrix;
+pub mod params;
+pub mod perturb;
+pub mod privacy;
+pub mod protect;
+pub mod roi;
+pub mod shadow;
+
+pub use keys::{KeyGrant, MatrixId, OwnerKey};
+pub use matrix::{PrivateMatrix, RangeMatrix};
+pub use params::{PublicParams, RoiParams};
+pub use perturb::{PerturbProfile, PerturbRecord, RangeSpec, Scheme, ZeroIndex};
+pub use privacy::PrivacyLevel;
+pub use protect::{protect, protect_coeff, protect_gray, recover, recover_coeff, recover_strict, ProtectOptions, ProtectedImage};
+pub use roi::RoiPlan;
+
+use std::fmt;
+
+/// Errors produced by PuPPIeS operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PuppiesError {
+    /// An ROI is empty or outside the image.
+    BadRoi {
+        /// The offending rectangle.
+        rect: puppies_image::Rect,
+        /// Image width.
+        width: u32,
+        /// Image height.
+        height: u32,
+    },
+    /// The receiver lacks the private matrix for a region it asked to
+    /// decrypt.
+    MissingKey {
+        /// Identifier of the absent matrix.
+        matrix: MatrixId,
+    },
+    /// Public parameters are inconsistent with the image (wrong size,
+    /// overlapping ROIs, bad ZInd entries...).
+    BadParams(String),
+    /// An underlying JPEG codec failure.
+    Jpeg(puppies_jpeg::JpegError),
+    /// An underlying transformation failure.
+    Transform(puppies_transform::TransformError),
+}
+
+impl fmt::Display for PuppiesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PuppiesError::BadRoi {
+                rect,
+                width,
+                height,
+            } => write!(f, "ROI {rect:?} invalid for {width}x{height} image"),
+            PuppiesError::MissingKey { matrix } => {
+                write!(f, "no private matrix {matrix:?} available")
+            }
+            PuppiesError::BadParams(m) => write!(f, "bad public parameters: {m}"),
+            PuppiesError::Jpeg(e) => write!(f, "jpeg error: {e}"),
+            PuppiesError::Transform(e) => write!(f, "transform error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PuppiesError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PuppiesError::Jpeg(e) => Some(e),
+            PuppiesError::Transform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<puppies_jpeg::JpegError> for PuppiesError {
+    fn from(e: puppies_jpeg::JpegError) -> Self {
+        PuppiesError::Jpeg(e)
+    }
+}
+
+impl From<puppies_transform::TransformError> for PuppiesError {
+    fn from(e: puppies_transform::TransformError) -> Self {
+        PuppiesError::Transform(e)
+    }
+}
+
+/// Convenient result alias for PuPPIeS operations.
+pub type Result<T> = std::result::Result<T, PuppiesError>;

@@ -1,0 +1,337 @@
+//! Private matrices, range matrices and the coefficient ring arithmetic of
+//! Lemma III.1.
+//!
+//! A *private matrix* `P` is an 8×8 matrix of secret values, vectorized to
+//! 64 entries, shared between sender and receiver; it is the "security key"
+//! of PuPPIeS (§III). A *range matrix* `Q'` (Algorithm 3) bounds the
+//! per-frequency perturbation range so low frequencies — which carry most
+//! visual information — get the widest randomization while high frequencies
+//! stay cheap to entropy-code.
+//!
+//! # Ring arithmetic
+//!
+//! The paper wraps every coefficient into `[-1024, 1023]` mod 2048
+//! (Lemma III.1). Baseline JPEG entropy coding, however, cannot represent
+//! an AC value of `-1024` (see `puppies_jpeg::huffman`), so this
+//! implementation uses the ring `[-1024, 1023]` (mod 2048) for DC and
+//! `[-1023, 1023]` (mod 2047) for AC. Exact recovery holds for both — the
+//! lemma's proof only needs the perturbation to be addition in a ring
+//! covering the value range.
+
+use puppies_jpeg::{AC_MODULUS, COEFF_MODULUS};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Number of entries in a vectorized 8×8 matrix.
+pub const MATRIX_LEN: usize = 64;
+
+/// Wraps a DC coefficient into `[-1024, 1023]` (the mod-2048 ring).
+#[inline]
+pub fn wrap_dc(v: i32) -> i32 {
+    (v + 1024).rem_euclid(COEFF_MODULUS) - 1024
+}
+
+/// Wraps an AC coefficient into `[-1023, 1023]` (the mod-2047 ring).
+#[inline]
+pub fn wrap_ac(v: i32) -> i32 {
+    (v + 1023).rem_euclid(AC_MODULUS) - 1023
+}
+
+/// A vectorized 8×8 private matrix with entries normalized to `[0, 2047]`
+/// (the form Lemma III.1 calls "normalized by `mR`").
+///
+/// Entries are indexed in the block's row-major (natural) coefficient
+/// order; index 0 lines up with the DC coefficient.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrivateMatrix {
+    entries: Vec<i32>, // length 64, each in [0, 2047]
+}
+
+impl PrivateMatrix {
+    /// Creates a matrix from explicit entries.
+    ///
+    /// # Panics
+    /// Panics if there are not exactly 64 entries or any entry is outside
+    /// `[0, 2047]`.
+    pub fn new(entries: Vec<i32>) -> Self {
+        assert_eq!(entries.len(), MATRIX_LEN, "private matrix needs 64 entries");
+        assert!(
+            entries.iter().all(|&e| (0..COEFF_MODULUS).contains(&e)),
+            "entries must be in [0, 2047]"
+        );
+        PrivateMatrix { entries }
+    }
+
+    /// Draws a uniformly random matrix from `rng`.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        PrivateMatrix {
+            entries: (0..MATRIX_LEN)
+                .map(|_| rng.gen_range(0..COEFF_MODULUS))
+                .collect(),
+        }
+    }
+
+    /// The entries, length 64, each in `[0, 2047]`.
+    pub fn entries(&self) -> &[i32] {
+        &self.entries
+    }
+
+    /// Entry `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= 64`.
+    #[inline]
+    pub fn get(&self, i: usize) -> i32 {
+        self.entries[i]
+    }
+
+    /// The effective AC perturbation for coefficient index `i` under range
+    /// matrix `q`: `P'[i] mod Q'[i]`, as in Algorithm 1 line 6.
+    #[inline]
+    pub fn ac_perturbation(&self, i: usize, q: &RangeMatrix) -> i32 {
+        let range = q.get(i) as i32;
+        if range <= 1 {
+            0
+        } else {
+            self.entries[i] % range.min(AC_MODULUS)
+        }
+    }
+}
+
+/// The privacy range matrix `Q'` produced by Algorithm 3.
+///
+/// `Q'[i]` is the (exclusive) range of the random perturbation applied to
+/// coefficient `i`; `Q'[i] == 1` means the coefficient is left untouched.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RangeMatrix {
+    ranges: Vec<u16>, // length 64
+}
+
+impl RangeMatrix {
+    /// A flat range matrix: the first `k` zigzag AC slots (and slot 0) get
+    /// `range`, the rest 1. Not in the paper — this is the
+    /// "transform-friendly" profile used when the PSP applies pixel-domain
+    /// transformations, where bounded perturbation keeps clamping losses
+    /// small (see `puppies_core::shadow`).
+    pub fn flat(range: u16, k: u8) -> Self {
+        let mut ranges = vec![1u16; MATRIX_LEN];
+        let range = range.clamp(1, 2048);
+        for (i, slot) in ranges.iter_mut().enumerate() {
+            if i as u32 <= k as u32 {
+                *slot = range;
+            }
+        }
+        RangeMatrix { ranges }
+    }
+
+    /// Algorithm 3: generates `Q'` from the minimum range `m_r` and the
+    /// number of perturbed coefficients `k`.
+    ///
+    /// Literal transcription of the paper's pseudocode:
+    ///
+    /// ```text
+    /// r ← 2048
+    /// for i ← 0 to 63:
+    ///     Q'[i] ← r
+    ///     if r > mR: r ← r / 2
+    ///     if i ≥ K:  r ← 1
+    /// ```
+    ///
+    /// Indices are in *zigzag* frequency order in spirit (lower `i` = lower
+    /// frequency); this implementation stores `Q'` in zigzag order and maps
+    /// to natural order via [`RangeMatrix::get`].
+    pub fn generate(m_r: u16, k: u8) -> Self {
+        let mut ranges = vec![1u16; MATRIX_LEN];
+        let mut r: u32 = 2048;
+        for (i, slot) in ranges.iter_mut().enumerate() {
+            *slot = r.min(2048) as u16;
+            if r > m_r as u32 {
+                r /= 2;
+            }
+            if i as u32 >= k as u32 {
+                r = 1;
+            }
+        }
+        RangeMatrix { ranges }
+    }
+
+    /// Range for *zigzag* coefficient index `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= 64`.
+    #[inline]
+    pub fn get_zigzag(&self, i: usize) -> u16 {
+        self.ranges[i]
+    }
+
+    /// Range for *natural-order* (row-major) coefficient index `i`, the
+    /// order [`puppies_jpeg::Block`] uses.
+    ///
+    /// # Panics
+    /// Panics if `i >= 64`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u16 {
+        self.ranges[puppies_jpeg::zigzag::UNZIGZAG[i]]
+    }
+
+    /// All ranges in zigzag order.
+    pub fn ranges_zigzag(&self) -> &[u16] {
+        &self.ranges
+    }
+
+    /// Number of AC coefficients actually perturbed (`Q'[i] > 1` for
+    /// zigzag `i ≥ 1`).
+    pub fn perturbed_ac_count(&self) -> usize {
+        self.ranges[1..].iter().filter(|&&r| r > 1).count()
+    }
+
+    /// Bits of secret entropy the AC part of a private matrix carries
+    /// under this range matrix: `Σ log2(Q'[i])` over perturbed AC entries
+    /// (§VI-A's accounting, computed from the algorithm rather than quoted).
+    pub fn ac_secure_bits(&self) -> u32 {
+        self.ranges[1..]
+            .iter()
+            .filter(|&&r| r > 1)
+            .map(|&r| 32 - (r as u32 - 1).leading_zeros()) // ceil(log2 r) for powers of two
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn wrap_dc_covers_ring() {
+        assert_eq!(wrap_dc(0), 0);
+        assert_eq!(wrap_dc(1023), 1023);
+        assert_eq!(wrap_dc(1024), -1024);
+        assert_eq!(wrap_dc(-1024), -1024);
+        assert_eq!(wrap_dc(-1025), 1023);
+        assert_eq!(wrap_dc(2048), 0);
+        assert_eq!(wrap_dc(-2048), 0);
+    }
+
+    #[test]
+    fn wrap_ac_covers_ring() {
+        assert_eq!(wrap_ac(0), 0);
+        assert_eq!(wrap_ac(1023), 1023);
+        assert_eq!(wrap_ac(1024), -1023);
+        assert_eq!(wrap_ac(-1023), -1023);
+        assert_eq!(wrap_ac(-1024), 1023);
+        assert_eq!(wrap_ac(2047), 0);
+    }
+
+    #[test]
+    fn lemma_iii_1_exact_recovery_dc() {
+        // b = wrap(e - p) for every (b, p) pair: the lemma, exhaustively on
+        // a grid.
+        for b in (-1024..=1023).step_by(17) {
+            for p in (0..2048).step_by(23) {
+                let e = wrap_dc(b + p);
+                assert_eq!(wrap_dc(e - p), b, "b={b} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_iii_1_exact_recovery_ac() {
+        for b in (-1023..=1023).step_by(13) {
+            for p in (0..2047).step_by(29) {
+                let e = wrap_ac(b + p);
+                assert_eq!(wrap_ac(e - p), b, "b={b} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_matrix_entries_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = PrivateMatrix::random(&mut rng);
+        assert_eq!(m.entries().len(), 64);
+        assert!(m.entries().iter().all(|&e| (0..2048).contains(&e)));
+        // Two draws differ.
+        let m2 = PrivateMatrix::random(&mut rng);
+        assert_ne!(m, m2);
+    }
+
+    #[test]
+    #[should_panic(expected = "64 entries")]
+    fn wrong_length_rejected() {
+        let _ = PrivateMatrix::new(vec![0; 63]);
+    }
+
+    #[test]
+    fn algorithm3_low_privacy() {
+        // mR = 1, K = 1 (Table IV "low"): only the DC slot gets a wide
+        // range; every AC slot collapses to 1 after the first index.
+        let q = RangeMatrix::generate(1, 1);
+        assert_eq!(q.get_zigzag(0), 2048);
+        // i = 1: r was halved once (1024) but i >= K reset it to 1 at the
+        // end of iteration 1, so slots 2.. are all 1.
+        assert_eq!(q.get_zigzag(1), 1024);
+        for i in 2..64 {
+            assert_eq!(q.get_zigzag(i), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn algorithm3_medium_privacy() {
+        // mR = 32, K = 8 (Table IV "medium").
+        let q = RangeMatrix::generate(32, 8);
+        let expect_prefix = [2048u16, 1024, 512, 256, 128, 64, 32, 32, 32];
+        for (i, &want) in expect_prefix.iter().enumerate() {
+            assert_eq!(q.get_zigzag(i), want, "index {i}");
+        }
+        for i in 9..64 {
+            assert_eq!(q.get_zigzag(i), 1, "index {i}");
+        }
+        assert_eq!(q.perturbed_ac_count(), 8);
+    }
+
+    #[test]
+    fn algorithm3_high_privacy() {
+        // mR = 2048, K = 64 (Table IV "high"): everything full range.
+        let q = RangeMatrix::generate(2048, 64);
+        for i in 0..64 {
+            assert_eq!(q.get_zigzag(i), 2048, "index {i}");
+        }
+        assert_eq!(q.perturbed_ac_count(), 63);
+        assert_eq!(q.ac_secure_bits(), 63 * 11);
+    }
+
+    #[test]
+    fn natural_order_lookup_matches_zigzag() {
+        let q = RangeMatrix::generate(32, 8);
+        for zz in 0..64 {
+            let nat = puppies_jpeg::zigzag::ZIGZAG[zz];
+            assert_eq!(q.get(nat), q.get_zigzag(zz));
+        }
+    }
+
+    #[test]
+    fn ac_perturbation_respects_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let p = PrivateMatrix::random(&mut rng);
+        let q = RangeMatrix::generate(32, 8);
+        for i in 1..64 {
+            let v = p.ac_perturbation(i, &q);
+            let range = q.get(i) as i32;
+            if range <= 1 {
+                assert_eq!(v, 0, "index {i} should be untouched");
+            } else {
+                assert!((0..range).contains(&v), "index {i}: {v} vs range {range}");
+            }
+        }
+    }
+
+    #[test]
+    fn ac_secure_bits_monotone_in_level() {
+        let low = RangeMatrix::generate(1, 1).ac_secure_bits();
+        let med = RangeMatrix::generate(32, 8).ac_secure_bits();
+        let high = RangeMatrix::generate(2048, 64).ac_secure_bits();
+        assert!(low < med && med < high, "{low} {med} {high}");
+    }
+}

@@ -1,0 +1,738 @@
+//! The four perturbation schemes of §IV-B and their exact inverses.
+//!
+//! | Scheme | Paper name | DC treatment | AC treatment |
+//! |---|---|---|---|
+//! | [`Scheme::Naive`] | PuPPIeS-N | one shared value `p'₀` | full-range `p'ᵢ` |
+//! | [`Scheme::Base`] | PuPPIeS-B | rotating `p'₍ₖ mod 64₎` | full-range `p'ᵢ` |
+//! | [`Scheme::Compression`] | PuPPIeS-C (Alg. 1) | rotating | range-limited `p'ᵢ mod Q'ᵢ` |
+//! | [`Scheme::Zero`] | PuPPIeS-Z (Alg. 2) | rotating | range-limited, zeros skipped, new zeros recorded in `ZInd` |
+//!
+//! All additions wrap in the coefficient ring (Lemma III.1 /
+//! [`crate::matrix::wrap_dc`], [`crate::matrix::wrap_ac`]), so recovery is
+//! bit-exact given the private matrices.
+//!
+//! # Extensions beyond the paper
+//!
+//! - **Wrap index (`WInd`).** The sender records which coefficients
+//!   wrapped around the ring during perturbation. Scenario-1 recovery
+//!   never needs this (the modular inverse handles wraps), but the
+//!   shadow-ROI reconstruction after *pixel-domain* PSP transformations
+//!   (§IV-C.1) implicitly assumes perturbation is linear — which wraps
+//!   break. With `WInd` the receiver builds a shadow equal to the exact
+//!   additive delta `e − b`, restoring the linearity the paper's argument
+//!   requires. Like `ZInd`, `WInd` is public; an entry reveals only that
+//!   a coefficient was near the ring boundary for the (secret) matrix.
+//! - **Bounded DC range.** [`PerturbProfile::dc_range`] limits DC
+//!   perturbation to `[0, dc_range)`. The default 2048 matches the paper;
+//!   the transform-friendly profile uses a small range so that perturbed
+//!   pixels rarely clamp at the PSP, keeping shadow reconstruction
+//!   near-exact (see `crate::shadow` for the full fidelity discussion).
+
+use crate::keys::{KeyGrant, MatrixId, MatrixKind};
+use crate::matrix::{wrap_ac, wrap_dc, PrivateMatrix, RangeMatrix};
+use crate::privacy::PrivacyLevel;
+use crate::{PuppiesError, Result};
+use puppies_image::Rect;
+use puppies_jpeg::{CoeffImage, AC_MAX, AC_MODULUS, COEFF_MAX, COEFF_MODULUS};
+use serde::{Deserialize, Serialize};
+
+/// Which PuPPIeS perturbation variant to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Scheme {
+    /// PuPPIeS-N: every block's DC secured by the same single value. Kept
+    /// for the ablation — §IV-B.1 shows it falls to brute force on DC.
+    Naive,
+    /// PuPPIeS-B: DC rotated through the private vector; AC full range.
+    /// Robust but ~10× file-size blow-up (Table II).
+    Base,
+    /// PuPPIeS-C (Algorithm 1): range-limited AC perturbation so optimized
+    /// Huffman tables stay efficient.
+    Compression,
+    /// PuPPIeS-Z (Algorithm 2): like C but skips already-zero AC
+    /// coefficients, recording coefficients that *become* zero in `ZInd`.
+    /// The smallest perturbed images; the default.
+    #[default]
+    Zero,
+}
+
+impl Scheme {
+    /// Short name used in experiment tables (matches the paper's labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Naive => "PuPPIeS-N",
+            Scheme::Base => "PuPPIeS-B",
+            Scheme::Compression => "PuPPIeS-C",
+            Scheme::Zero => "PuPPIeS-Z",
+        }
+    }
+}
+
+/// How the AC perturbation ranges are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RangeSpec {
+    /// The paper's Algorithm 3 with parameters `(mR, K)`.
+    Algorithm3 {
+        /// Minimum range for the highest perturbed frequency.
+        m_r: u16,
+        /// Number of perturbed coefficients.
+        k: u8,
+    },
+    /// Flat ranges (transform-friendly extension; see module docs).
+    Flat {
+        /// Range applied to the first `k` zigzag slots.
+        range: u16,
+        /// Number of perturbed coefficients.
+        k: u8,
+    },
+}
+
+impl RangeSpec {
+    /// Materializes the range matrix.
+    pub fn range_matrix(self) -> RangeMatrix {
+        match self {
+            RangeSpec::Algorithm3 { m_r, k } => RangeMatrix::generate(m_r, k),
+            RangeSpec::Flat { range, k } => RangeMatrix::flat(range, k),
+        }
+    }
+
+    /// The `(mR, K)`-style parameters for display.
+    pub fn parameters(self) -> (u16, u8) {
+        match self {
+            RangeSpec::Algorithm3 { m_r, k } => (m_r, k),
+            RangeSpec::Flat { range, k } => (range, k),
+        }
+    }
+}
+
+impl From<PrivacyLevel> for RangeSpec {
+    fn from(level: PrivacyLevel) -> Self {
+        let (m_r, k) = level.parameters();
+        RangeSpec::Algorithm3 { m_r, k }
+    }
+}
+
+/// Everything that determines how a region is perturbed (besides the
+/// secret matrices): scheme, AC ranges and DC range. All fields are
+/// public parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerturbProfile {
+    /// Perturbation variant.
+    pub scheme: Scheme,
+    /// AC range generation.
+    pub range: RangeSpec,
+    /// Exclusive bound on DC perturbation values (2..=2048; 2048 is the
+    /// paper's full-range behaviour).
+    pub dc_range: u16,
+}
+
+impl PerturbProfile {
+    /// The paper's configuration: `scheme` at privacy `level`, full-range
+    /// DC.
+    pub fn paper(scheme: Scheme, level: PrivacyLevel) -> Self {
+        PerturbProfile {
+            scheme,
+            range: level.into(),
+            dc_range: 2048,
+        }
+    }
+
+    /// The transform-friendly profile: bounded perturbation so PSP-side
+    /// pixel transformations (scaling, filtering) recover well via shadow
+    /// subtraction — perturbed pixels stay mostly inside the 8-bit gamut,
+    /// so the PSP's decode clamps almost nothing. Still clears NIST's
+    /// 256-bit bar: 64·log₂16 (DC) + 6·log₂16 (AC) = 280 secure bits.
+    pub fn transform_friendly() -> Self {
+        PerturbProfile {
+            scheme: Scheme::Compression,
+            range: RangeSpec::Flat { range: 16, k: 6 },
+            dc_range: 16,
+        }
+    }
+
+    /// The materialized AC range matrix.
+    pub fn range_matrix(&self) -> RangeMatrix {
+        self.range.range_matrix()
+    }
+}
+
+impl Default for PerturbProfile {
+    fn default() -> Self {
+        PerturbProfile::paper(Scheme::Zero, PrivacyLevel::Medium)
+    }
+}
+
+/// One entry of the new-zero index `ZInd` or the wrap index `WInd`
+/// (§IV-B.4: 2 bits layer + 16 bits block index + 6 bits entry index = 28
+/// bits as stored in public parameters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ZeroEntry {
+    /// Color component (0 = Y, 1 = Cb, 2 = Cr).
+    pub component: u8,
+    /// Sequence index `k` of the block within the ROI (row-major).
+    pub block: u32,
+    /// Natural-order coefficient index within the block (0 for DC in
+    /// `WInd`; 1..=63 in `ZInd`).
+    pub coeff: u8,
+}
+
+/// A sparse per-coefficient index: `ZInd` (new zeros) or `WInd` (ring
+/// wraps).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ZeroIndex {
+    entries: Vec<ZeroEntry>,
+}
+
+impl ZeroIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an index from explicit entries (wire decoding).
+    pub fn from_entries(entries: Vec<ZeroEntry>) -> Self {
+        ZeroIndex { entries }
+    }
+
+    /// The recorded entries.
+    pub fn entries(&self) -> &[ZeroEntry] {
+        &self.entries
+    }
+
+    /// Appends an entry.
+    pub fn push(&mut self, e: ZeroEntry) {
+        self.entries.push(e);
+    }
+
+    /// Whether `(component, block, coeff)` is recorded.
+    pub fn contains(&self, component: u8, block: u32, coeff: u8) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.component == component && e.block == block && e.coeff == coeff)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Size in bits when stored as public parameters (28 bits per entry,
+    /// §IV-B.4).
+    pub fn encoded_bits(&self) -> usize {
+        self.entries.len() * 28
+    }
+
+    /// A hash set of `(component, block, coeff)` for O(1) recovery lookups.
+    pub fn to_set(&self) -> std::collections::HashSet<(u8, u32, u8)> {
+        self.entries
+            .iter()
+            .map(|e| (e.component, e.block, e.coeff))
+            .collect()
+    }
+}
+
+/// Everything the sender learns while perturbing one ROI: the new-zero
+/// index and the wrap index. Both are public parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PerturbRecord {
+    /// New zeros (PuPPIeS-Z bookkeeping).
+    pub zind: ZeroIndex,
+    /// Ring wraps (shadow-ROI bookkeeping; extension, see module docs).
+    pub wind: ZeroIndex,
+}
+
+/// The private matrices used for one ROI of one component.
+#[derive(Debug, Clone)]
+pub struct RoiKeys {
+    /// DC matrix (rotating across blocks).
+    pub dc: PrivateMatrix,
+    /// AC matrix (entry `i` perturbs coefficient `i`).
+    pub ac: PrivateMatrix,
+}
+
+impl RoiKeys {
+    /// Looks up both matrices for `(image, roi, component)` in a grant.
+    ///
+    /// # Errors
+    /// Returns [`PuppiesError::MissingKey`] if either matrix is absent.
+    pub fn from_grant(grant: &KeyGrant, image: u64, roi: u16, component: u8) -> Result<RoiKeys> {
+        let dc_id = MatrixId {
+            image,
+            roi,
+            kind: MatrixKind::Dc,
+            component,
+        };
+        let ac_id = MatrixId {
+            image,
+            roi,
+            kind: MatrixKind::Ac,
+            component,
+        };
+        let dc = grant
+            .matrix(dc_id)
+            .ok_or(PuppiesError::MissingKey { matrix: dc_id })?;
+        let ac = grant
+            .matrix(ac_id)
+            .ok_or(PuppiesError::MissingKey { matrix: ac_id })?;
+        Ok(RoiKeys { dc, ac })
+    }
+}
+
+/// The DC perturbation value for block sequence index `k`.
+#[inline]
+pub fn dc_perturbation(profile: &PerturbProfile, keys: &RoiKeys, k: u32) -> i32 {
+    let raw = match profile.scheme {
+        Scheme::Naive => keys.dc.get(0),
+        _ => keys.dc.get((k % 64) as usize),
+    };
+    let range = (profile.dc_range.clamp(1, 2048)) as i32;
+    raw % range
+}
+
+/// The AC perturbation value for natural-order coefficient `i` (ignoring
+/// Zero's skip rule, which depends on the data).
+#[inline]
+pub fn ac_perturbation(profile: &PerturbProfile, keys: &RoiKeys, q: &RangeMatrix, i: usize) -> i32 {
+    match profile.scheme {
+        Scheme::Naive | Scheme::Base => keys.ac.get(i) % AC_MODULUS,
+        Scheme::Compression | Scheme::Zero => keys.ac.ac_perturbation(i, q),
+    }
+}
+
+/// Perturbs one ROI of one component in place. `rect` must be
+/// block-aligned; `k_offset` shifts the block sequence index (0 for whole
+/// ROIs — nonzero is used by transformed-recovery code paths).
+pub fn perturb_component(
+    comp: &mut puppies_jpeg::Component,
+    component_index: u8,
+    rect: Rect,
+    keys: &RoiKeys,
+    profile: &PerturbProfile,
+    q: &RangeMatrix,
+    record: &mut PerturbRecord,
+) {
+    let positions = comp.blocks_in_region(rect);
+    for (k, &(bx, by)) in positions.iter().enumerate() {
+        let k32 = k as u32;
+        let block = comp.block_mut(bx, by);
+        let pdc = dc_perturbation(profile, keys, k32);
+        let raw = block[0] + pdc;
+        if raw > COEFF_MAX {
+            record.wind.push(ZeroEntry {
+                component: component_index,
+                block: k32,
+                coeff: 0,
+            });
+        }
+        block[0] = wrap_dc(raw);
+        for i in 1..64 {
+            let p = ac_perturbation(profile, keys, q, i);
+            if p == 0 {
+                continue;
+            }
+            if profile.scheme == Scheme::Zero && block[i] == 0 {
+                continue; // skip original zeros
+            }
+            let raw = block[i] + p;
+            if raw > AC_MAX {
+                record.wind.push(ZeroEntry {
+                    component: component_index,
+                    block: k32,
+                    coeff: i as u8,
+                });
+            }
+            block[i] = wrap_ac(raw);
+            if profile.scheme == Scheme::Zero && block[i] == 0 {
+                record.zind.push(ZeroEntry {
+                    component: component_index,
+                    block: k32,
+                    coeff: i as u8,
+                });
+            }
+        }
+    }
+}
+
+/// Exactly inverts [`perturb_component`] given the same keys and `ZInd`.
+pub fn recover_component(
+    comp: &mut puppies_jpeg::Component,
+    component_index: u8,
+    rect: Rect,
+    keys: &RoiKeys,
+    profile: &PerturbProfile,
+    q: &RangeMatrix,
+    zind: &ZeroIndex,
+) {
+    let zset = zind.to_set();
+    let positions = comp.blocks_in_region(rect);
+    for (k, &(bx, by)) in positions.iter().enumerate() {
+        let k32 = k as u32;
+        let block = comp.block_mut(bx, by);
+        block[0] = wrap_dc(block[0] - dc_perturbation(profile, keys, k32));
+        for i in 1..64 {
+            let p = ac_perturbation(profile, keys, q, i);
+            if p == 0 {
+                continue;
+            }
+            match profile.scheme {
+                Scheme::Zero => {
+                    if block[i] != 0 || zset.contains(&(component_index, k32, i as u8)) {
+                        block[i] = wrap_ac(block[i] - p);
+                    }
+                    // An untouched zero was an original zero: leave it.
+                }
+                _ => block[i] = wrap_ac(block[i] - p),
+            }
+        }
+    }
+}
+
+/// Perturbs one ROI across every component of `coeff` in place.
+///
+/// `keys` holds one [`RoiKeys`] per component, in component order.
+///
+/// # Errors
+/// Returns [`PuppiesError::BadParams`] if the key count does not match the
+/// component count, or [`PuppiesError::BadRoi`] for an unaligned/out-of-
+/// image rect.
+pub fn perturb_roi(
+    coeff: &mut CoeffImage,
+    rect: Rect,
+    keys: &[RoiKeys],
+    profile: &PerturbProfile,
+) -> Result<PerturbRecord> {
+    validate_roi(coeff, rect, keys.len())?;
+    let q = profile.range_matrix();
+    let mut record = PerturbRecord::default();
+    for (ci, comp) in coeff.components_mut().iter_mut().enumerate() {
+        perturb_component(comp, ci as u8, rect, &keys[ci], profile, &q, &mut record);
+    }
+    Ok(record)
+}
+
+/// Exactly inverts [`perturb_roi`].
+///
+/// # Errors
+/// Same validation as [`perturb_roi`].
+pub fn recover_roi(
+    coeff: &mut CoeffImage,
+    rect: Rect,
+    keys: &[RoiKeys],
+    profile: &PerturbProfile,
+    zind: &ZeroIndex,
+) -> Result<()> {
+    validate_roi(coeff, rect, keys.len())?;
+    let q = profile.range_matrix();
+    for (ci, comp) in coeff.components_mut().iter_mut().enumerate() {
+        recover_component(comp, ci as u8, rect, &keys[ci], profile, &q, zind);
+    }
+    Ok(())
+}
+
+fn validate_roi(coeff: &CoeffImage, rect: Rect, nkeys: usize) -> Result<()> {
+    if nkeys != coeff.components().len() {
+        return Err(PuppiesError::BadParams(format!(
+            "{nkeys} key sets for {} components",
+            coeff.components().len()
+        )));
+    }
+    let bounds = Rect::new(0, 0, coeff.width(), coeff.height());
+    // The last block row/column may be partial; allow rects that end at the
+    // image border even when the border is unaligned.
+    let aligned = rect.x % 8 == 0
+        && rect.y % 8 == 0
+        && (rect.w % 8 == 0 || rect.right() == coeff.width())
+        && (rect.h % 8 == 0 || rect.bottom() == coeff.height());
+    if rect.is_empty() || !bounds.contains_rect(rect) || !aligned {
+        return Err(PuppiesError::BadRoi {
+            rect,
+            width: coeff.width(),
+            height: coeff.height(),
+        });
+    }
+    Ok(())
+}
+
+/// The exact additive delta `e − b` (in quantized units, possibly outside
+/// the ring) the perturbation applied to coefficient `i` of block `k`,
+/// reconstructed from the profile, keys and wrap index. This is the value
+/// the shadow-ROI generator needs (see [`crate::shadow`]).
+pub fn effective_delta(
+    profile: &PerturbProfile,
+    keys: &RoiKeys,
+    q: &RangeMatrix,
+    wind: &std::collections::HashSet<(u8, u32, u8)>,
+    component: u8,
+    k: u32,
+    i: usize,
+) -> i32 {
+    let (p, modulus) = if i == 0 {
+        (dc_perturbation(profile, keys, k), COEFF_MODULUS)
+    } else {
+        (ac_perturbation(profile, keys, q, i), AC_MODULUS)
+    };
+    if wind.contains(&(component, k, i as u8)) {
+        p - modulus
+    } else {
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::OwnerKey;
+    use puppies_image::{Rgb, RgbImage};
+
+    fn test_image() -> RgbImage {
+        RgbImage::from_fn(64, 64, |x, y| {
+            Rgb::new(
+                ((x * 11 + y * 3) % 256) as u8,
+                ((x * 7 + y * 13) % 256) as u8,
+                ((x + 2 * y) % 256) as u8,
+            )
+        })
+    }
+
+    fn keys_for(image: u64, roi: u16) -> Vec<RoiKeys> {
+        let key = OwnerKey::from_seed([5u8; 32]);
+        let grant = key.grant_all();
+        (0..3)
+            .map(|c| RoiKeys::from_grant(&grant, image, roi, c).unwrap())
+            .collect()
+    }
+
+    fn all_profiles() -> Vec<PerturbProfile> {
+        let mut out = Vec::new();
+        for scheme in [
+            Scheme::Naive,
+            Scheme::Base,
+            Scheme::Compression,
+            Scheme::Zero,
+        ] {
+            for level in PrivacyLevel::TABLE_IV {
+                out.push(PerturbProfile::paper(scheme, level));
+            }
+        }
+        out.push(PerturbProfile::transform_friendly());
+        out
+    }
+
+    #[test]
+    fn all_profiles_roundtrip_exactly() {
+        let img = test_image();
+        let rect = Rect::new(8, 8, 32, 24);
+        for profile in all_profiles() {
+            let original = CoeffImage::from_rgb(&img, 75);
+            let mut perturbed = original.clone();
+            let keys = keys_for(1, 0);
+            let record = perturb_roi(&mut perturbed, rect, &keys, &profile).unwrap();
+            assert_ne!(perturbed, original, "{profile:?} must change data");
+            recover_roi(&mut perturbed, rect, &keys, &profile, &record.zind).unwrap();
+            assert_eq!(perturbed, original, "{profile:?} must roundtrip");
+        }
+    }
+
+    #[test]
+    fn perturbation_confined_to_roi() {
+        let img = test_image();
+        let rect = Rect::new(16, 16, 16, 16);
+        let original = CoeffImage::from_rgb(&img, 75);
+        let mut perturbed = original.clone();
+        let profile = PerturbProfile::default();
+        let keys = keys_for(1, 0);
+        perturb_roi(&mut perturbed, rect, &keys, &profile).unwrap();
+        for (co, cp) in original.components().iter().zip(perturbed.components()) {
+            for by in 0..co.blocks_h() {
+                for bx in 0..co.blocks_w() {
+                    let inside = (bx >= 2 && bx < 4) && (by >= 2 && by < 4);
+                    if !inside {
+                        assert_eq!(co.block(bx, by), cp.block(bx, by), "block ({bx},{by})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_key_fails_to_recover() {
+        let img = test_image();
+        let rect = Rect::new(0, 0, 32, 32);
+        let original = CoeffImage::from_rgb(&img, 75);
+        let mut perturbed = original.clone();
+        let profile = PerturbProfile::paper(Scheme::Compression, PrivacyLevel::Medium);
+        let keys = keys_for(1, 0);
+        let record = perturb_roi(&mut perturbed, rect, &keys, &profile).unwrap();
+        let bad_key = OwnerKey::from_seed([6u8; 32]);
+        let bad_grant = bad_key.grant_all();
+        let bad: Vec<RoiKeys> = (0..3)
+            .map(|c| RoiKeys::from_grant(&bad_grant, 1, 0, c).unwrap())
+            .collect();
+        recover_roi(&mut perturbed, rect, &bad, &profile, &record.zind).unwrap();
+        assert_ne!(perturbed, original);
+    }
+
+    #[test]
+    fn naive_shares_dc_perturbation_across_blocks() {
+        let keys = &keys_for(1, 0)[0];
+        let naive = PerturbProfile::paper(Scheme::Naive, PrivacyLevel::Medium);
+        let base = PerturbProfile::paper(Scheme::Base, PrivacyLevel::Medium);
+        assert_eq!(
+            dc_perturbation(&naive, keys, 0),
+            dc_perturbation(&naive, keys, 17)
+        );
+        let d0 = dc_perturbation(&base, keys, 0);
+        let rotated = (0..64).any(|k| dc_perturbation(&base, keys, k) != d0);
+        assert!(rotated, "base DC perturbation must vary across blocks");
+        assert_eq!(
+            dc_perturbation(&base, keys, 0),
+            dc_perturbation(&base, keys, 64),
+            "rotation has period 64"
+        );
+    }
+
+    #[test]
+    fn dc_range_bounds_perturbation() {
+        let keys = &keys_for(1, 0)[0];
+        let mut profile = PerturbProfile::transform_friendly();
+        profile.dc_range = 16;
+        for k in 0..128 {
+            let p = dc_perturbation(&profile, keys, k);
+            assert!((0..16).contains(&p), "k={k}: {p}");
+        }
+    }
+
+    #[test]
+    fn zero_scheme_preserves_zero_positions_off_zind() {
+        let img = RgbImage::filled(32, 32, Rgb::new(200, 100, 50));
+        let original = CoeffImage::from_rgb(&img, 75);
+        let mut perturbed = original.clone();
+        let profile = PerturbProfile::paper(Scheme::Zero, PrivacyLevel::High);
+        let keys = keys_for(2, 0);
+        let record =
+            perturb_roi(&mut perturbed, Rect::new(0, 0, 32, 32), &keys, &profile).unwrap();
+        assert!(record.zind.is_empty(), "no nonzero AC to turn into zero");
+        for (co, cp) in original.components().iter().zip(perturbed.components()) {
+            for (bo, bp) in co.blocks().iter().zip(cp.blocks()) {
+                assert_eq!(&bo[1..], &bp[1..], "AC untouched in flat image");
+                assert_ne!(bo[0], bp[0], "DC still perturbed");
+            }
+        }
+    }
+
+    #[test]
+    fn zind_records_created_zeros() {
+        let img = test_image();
+        let mut coeff = CoeffImage::from_rgb(&img, 75);
+        let profile = PerturbProfile::paper(Scheme::Zero, PrivacyLevel::High);
+        let q = profile.range_matrix();
+        let keys = keys_for(3, 0);
+        let p = ac_perturbation(&profile, &keys[0], &q, 1);
+        assert_ne!(p, 0);
+        coeff.components_mut()[0].block_mut(0, 0)[1] = wrap_ac(-p);
+        let original = coeff.clone();
+        let rect = Rect::new(0, 0, 64, 64);
+        let record = perturb_roi(&mut coeff, rect, &keys, &profile).unwrap();
+        assert!(record.zind.contains(0, 0, 1), "created zero must be recorded");
+        recover_roi(&mut coeff, rect, &keys, &profile, &record.zind).unwrap();
+        assert_eq!(coeff, original);
+    }
+
+    #[test]
+    fn wind_makes_deltas_exact() {
+        // For every perturbed coefficient, e == b + effective_delta with no
+        // modular correction needed.
+        let img = test_image();
+        let original = CoeffImage::from_rgb(&img, 75);
+        let mut perturbed = original.clone();
+        let profile = PerturbProfile::paper(Scheme::Base, PrivacyLevel::High);
+        let q = profile.range_matrix();
+        let keys = keys_for(4, 0);
+        let rect = Rect::new(0, 0, 64, 64);
+        let record = perturb_roi(&mut perturbed, rect, &keys, &profile).unwrap();
+        assert!(!record.wind.is_empty(), "full-range DC must wrap somewhere");
+        let wset = record.wind.to_set();
+        for ci in 0..3 {
+            let co = &original.components()[ci];
+            let cp = &perturbed.components()[ci];
+            let positions = co.blocks_in_region(rect);
+            for (k, &(bx, by)) in positions.iter().enumerate() {
+                let bo = co.block(bx, by);
+                let bp = cp.block(bx, by);
+                for i in 0..64 {
+                    let d = effective_delta(
+                        &profile, &keys[ci], &q, &wset, ci as u8, k as u32, i,
+                    );
+                    assert_eq!(bo[i] + d, bp[i], "comp {ci} block {k} coeff {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transform_friendly_profile_never_wraps_on_natural_images() {
+        let img = test_image();
+        let mut perturbed = CoeffImage::from_rgb(&img, 75);
+        let profile = PerturbProfile::transform_friendly();
+        let keys = keys_for(5, 0);
+        let record =
+            perturb_roi(&mut perturbed, Rect::new(0, 0, 64, 64), &keys, &profile).unwrap();
+        assert!(
+            record.wind.is_empty(),
+            "bounded ranges should not wrap: {} wraps",
+            record.wind.len()
+        );
+    }
+
+    #[test]
+    fn unaligned_roi_rejected() {
+        let img = test_image();
+        let mut coeff = CoeffImage::from_rgb(&img, 75);
+        let keys = keys_for(1, 0);
+        let err = perturb_roi(
+            &mut coeff,
+            Rect::new(3, 0, 16, 16),
+            &keys,
+            &PerturbProfile::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PuppiesError::BadRoi { .. }));
+    }
+
+    #[test]
+    fn partial_border_blocks_allowed() {
+        let img = RgbImage::from_fn(60, 44, |x, y| Rgb::new(x as u8, y as u8, 7));
+        let original = CoeffImage::from_rgb(&img, 75);
+        let mut perturbed = original.clone();
+        let profile = PerturbProfile::default();
+        let keys = keys_for(1, 0);
+        let rect = Rect::new(48, 40, 12, 4);
+        let record = perturb_roi(&mut perturbed, rect, &keys, &profile).unwrap();
+        recover_roi(&mut perturbed, rect, &keys, &profile, &record.zind).unwrap();
+        assert_eq!(perturbed, original);
+    }
+
+    #[test]
+    fn missing_key_reported() {
+        let key = OwnerKey::from_seed([5u8; 32]);
+        let grant = key.grant_rois(1, &[0]);
+        assert!(RoiKeys::from_grant(&grant, 1, 1, 0).is_err());
+        assert!(RoiKeys::from_grant(&grant, 1, 0, 0).is_ok());
+    }
+
+    #[test]
+    fn perturbed_coefficients_stay_encodable() {
+        let img = test_image();
+        let mut coeff = CoeffImage::from_rgb(&img, 75);
+        let profile = PerturbProfile::paper(Scheme::Base, PrivacyLevel::High);
+        let keys = keys_for(1, 0);
+        perturb_roi(&mut coeff, Rect::new(0, 0, 64, 64), &keys, &profile).unwrap();
+        let bytes = coeff.encode(&puppies_jpeg::EncodeOptions::default()).unwrap();
+        let back = CoeffImage::decode(&bytes).unwrap();
+        assert_eq!(back.components()[0].blocks(), coeff.components()[0].blocks());
+    }
+}

@@ -1,0 +1,88 @@
+//! Privacy levels and the Table IV parameter mapping.
+
+use crate::matrix::RangeMatrix;
+use serde::{Deserialize, Serialize};
+
+/// A user-selectable privacy level (Table IV of the paper), or a custom
+/// `(mR, K)` pair for finer control (the paper leaves finer granularity to
+/// future work; [`PrivacyLevel::Custom`] implements it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum PrivacyLevel {
+    /// `mR = 1, K = 1`: only the DC coefficient is randomized.
+    Low,
+    /// `mR = 32, K = 8`: the default trade-off the paper recommends and
+    /// uses for all storage/attack experiments.
+    #[default]
+    Medium,
+    /// `mR = 2048, K = 64`: every coefficient perturbed over the full
+    /// range.
+    High,
+    /// Explicit parameters.
+    Custom {
+        /// Minimum perturbation range for the highest perturbed frequency.
+        m_r: u16,
+        /// Number of (zigzag-ordered) coefficients to perturb.
+        k: u8,
+    },
+}
+
+impl PrivacyLevel {
+    /// The `(mR, K)` pair of Table IV.
+    pub fn parameters(self) -> (u16, u8) {
+        match self {
+            PrivacyLevel::Low => (1, 1),
+            PrivacyLevel::Medium => (32, 8),
+            PrivacyLevel::High => (2048, 64),
+            PrivacyLevel::Custom { m_r, k } => (m_r, k.min(64)),
+        }
+    }
+
+    /// Generates the privacy range matrix `Q'` for this level
+    /// (Algorithm 3).
+    pub fn range_matrix(self) -> RangeMatrix {
+        let (m_r, k) = self.parameters();
+        RangeMatrix::generate(m_r, k)
+    }
+
+    /// A short human-readable name for experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrivacyLevel::Low => "low",
+            PrivacyLevel::Medium => "medium",
+            PrivacyLevel::High => "high",
+            PrivacyLevel::Custom { .. } => "custom",
+        }
+    }
+
+    /// The three levels of Table IV, for parameter sweeps.
+    pub const TABLE_IV: [PrivacyLevel; 3] =
+        [PrivacyLevel::Low, PrivacyLevel::Medium, PrivacyLevel::High];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_parameters() {
+        assert_eq!(PrivacyLevel::Low.parameters(), (1, 1));
+        assert_eq!(PrivacyLevel::Medium.parameters(), (32, 8));
+        assert_eq!(PrivacyLevel::High.parameters(), (2048, 64));
+    }
+
+    #[test]
+    fn custom_clamps_k() {
+        assert_eq!(PrivacyLevel::Custom { m_r: 16, k: 200 }.parameters(), (16, 64));
+    }
+
+    #[test]
+    fn default_is_medium() {
+        assert_eq!(PrivacyLevel::default(), PrivacyLevel::Medium);
+    }
+
+    #[test]
+    fn range_matrix_delegates_to_algorithm3() {
+        let q = PrivacyLevel::Medium.range_matrix();
+        assert_eq!(q, RangeMatrix::generate(32, 8));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based invariants of the core algorithms beyond the facade
+//! suite: range-matrix structure, key derivation, ROI planning.
+
+use proptest::prelude::*;
+use puppies_core::keys::{MatrixId, MatrixKind};
+use puppies_core::matrix::RangeMatrix;
+use puppies_core::{OwnerKey, RoiPlan};
+use puppies_image::Rect;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn algorithm3_ranges_are_monotone_nonincreasing(m_r in 1u16..=2048, k in 0u8..=64) {
+        let q = RangeMatrix::generate(m_r, k);
+        let ranges = q.ranges_zigzag();
+        for w in ranges.windows(2) {
+            prop_assert!(w[0] >= w[1], "ranges must not grow with frequency: {:?}", ranges);
+        }
+        prop_assert!(ranges.iter().all(|&r| (1..=2048).contains(&r)));
+        // Beyond slot K everything is untouched.
+        for (i, &r) in ranges.iter().enumerate() {
+            if i > k as usize {
+                prop_assert_eq!(r, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn secure_bits_monotone_in_parameters(m1 in 1u16..=2048, m2 in 1u16..=2048, k in 1u8..=64) {
+        let (lo, hi) = (m1.min(m2), m1.max(m2));
+        let b_lo = RangeMatrix::generate(lo, k).ac_secure_bits();
+        let b_hi = RangeMatrix::generate(hi, k).ac_secure_bits();
+        prop_assert!(b_hi >= b_lo, "larger mR must not lose entropy");
+    }
+
+    #[test]
+    fn flat_ranges_cover_exactly_k_slots(range in 2u16..=2048, k in 0u8..=63) {
+        let q = RangeMatrix::flat(range, k);
+        prop_assert_eq!(q.perturbed_ac_count(), k as usize);
+    }
+
+    #[test]
+    fn key_derivation_collision_free_on_sample(
+        seed in any::<[u8; 32]>(),
+        ids in proptest::collection::hash_set((0u64..8, 0u16..8, 0u8..3, any::<bool>()), 2..12),
+    ) {
+        let key = OwnerKey::from_seed(seed);
+        let matrices: Vec<_> = ids
+            .iter()
+            .map(|&(image, roi, component, ac)| {
+                key.derive(MatrixId {
+                    image,
+                    roi,
+                    component,
+                    kind: if ac { MatrixKind::Ac } else { MatrixKind::Dc },
+                })
+            })
+            .collect();
+        for (i, a) in matrices.iter().enumerate() {
+            for b in &matrices[i + 1..] {
+                prop_assert_ne!(a, b, "distinct ids must derive distinct matrices");
+            }
+        }
+    }
+
+    #[test]
+    fn roi_plan_regions_are_aligned_disjoint_and_covering(
+        rects in proptest::collection::vec(
+            (0u32..96, 0u32..96, 1u32..64, 1u32..64).prop_map(|(x, y, w, h)| Rect::new(x, y, w, h)),
+            1..5,
+        ),
+    ) {
+        let plan = match RoiPlan::from_rects(128, 128, &rects) {
+            Ok(p) => p,
+            Err(_) => return Ok(()), // fully-outside rect: rejection is correct
+        };
+        for r in plan.regions() {
+            prop_assert_eq!(r.x % 8, 0);
+            prop_assert_eq!(r.y % 8, 0);
+            prop_assert_eq!(r.w % 8, 0);
+            prop_assert_eq!(r.h % 8, 0);
+        }
+        for (i, a) in plan.regions().iter().enumerate() {
+            for b in &plan.regions()[i + 1..] {
+                prop_assert!(!a.overlaps(*b));
+            }
+        }
+        // Every input pixel (clipped to the image) is covered.
+        for r in &rects {
+            let c = r.intersect(Rect::new(0, 0, 128, 128));
+            for y in (c.y..c.bottom()).step_by(3) {
+                for x in (c.x..c.right()).step_by(3) {
+                    prop_assert!(
+                        plan.regions().iter().any(|p| p.contains(x, y)),
+                        "pixel ({}, {}) uncovered", x, y
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grant_scoping_is_exact(image in 0u64..4, granted in 0u16..4, other in 0u16..4) {
+        prop_assume!(granted != other);
+        let key = OwnerKey::from_seed([9u8; 32]);
+        let grant = key.grant_rois(image, &[granted]);
+        prop_assert!(grant.covers(image, granted));
+        prop_assert!(!grant.covers(image, other));
+        prop_assert!(!grant.covers(image.wrapping_add(1), granted));
+    }
+}

@@ -1,0 +1,289 @@
+//! Dataset profiles mirroring Table III, with lazy deterministic
+//! generation.
+
+use crate::scene::{self, GroundTruth};
+use puppies_image::{Rgb, RgbImage};
+use puppies_vision::face::FaceGeometry;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Which paper dataset a profile stands in for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// PASCAL VOC 2007: mixed low/medium-resolution object scenes.
+    Pascal,
+    /// INRIA Holidays: high-resolution landscapes.
+    Inria,
+    /// Caltech faces: frontal-face photographs.
+    CaltechFaces,
+    /// FERET: portrait gallery with repeat identities.
+    Feret,
+}
+
+/// A generatable dataset: kind, image count and resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetProfile {
+    /// Which dataset this stands in for.
+    pub kind: DatasetKind,
+    /// Number of images generated.
+    pub count: usize,
+    /// Image width.
+    pub width: u32,
+    /// Image height.
+    pub height: u32,
+    /// The paper's image count, for Table III reporting.
+    pub paper_count: usize,
+    /// The paper's typical resolution, for Table III reporting.
+    pub paper_resolution: (u32, u32),
+}
+
+impl DatasetProfile {
+    /// PASCAL stand-in: defaults to 64 images at 496×328 (paper: 4,952 at
+    /// ~500×330).
+    pub fn pascal() -> Self {
+        DatasetProfile {
+            kind: DatasetKind::Pascal,
+            count: 64,
+            width: 496,
+            height: 328,
+            paper_count: 4952,
+            paper_resolution: (500, 330),
+        }
+    }
+
+    /// INRIA stand-in: defaults to 8 images at 1224×1632 (paper: 1,491 at
+    /// 2448×3264 — halved resolution keeps the full suite laptop-sized;
+    /// override with [`DatasetProfile::with_resolution`] for paper scale).
+    pub fn inria() -> Self {
+        DatasetProfile {
+            kind: DatasetKind::Inria,
+            count: 8,
+            width: 1224,
+            height: 1632,
+            paper_count: 1491,
+            paper_resolution: (2448, 3264),
+        }
+    }
+
+    /// Caltech-faces stand-in: defaults to 32 images at 448×296 (paper:
+    /// 450 at 896×592).
+    pub fn caltech() -> Self {
+        DatasetProfile {
+            kind: DatasetKind::CaltechFaces,
+            count: 32,
+            width: 448,
+            height: 296,
+            paper_count: 450,
+            paper_resolution: (896, 592),
+        }
+    }
+
+    /// FERET stand-in: defaults to 120 portraits at 256×384 (paper:
+    /// 11,338).
+    pub fn feret() -> Self {
+        DatasetProfile {
+            kind: DatasetKind::Feret,
+            count: 120,
+            width: 256,
+            height: 384,
+            paper_count: 11_338,
+            paper_resolution: (256, 384),
+        }
+    }
+
+    /// Overrides the generated image count.
+    pub fn with_count(mut self, count: usize) -> Self {
+        self.count = count;
+        self
+    }
+
+    /// Overrides the generated resolution.
+    pub fn with_resolution(mut self, width: u32, height: u32) -> Self {
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    /// Short name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self.kind {
+            DatasetKind::Pascal => "PASCAL",
+            DatasetKind::Inria => "INRIA",
+            DatasetKind::CaltechFaces => "Caltech",
+            DatasetKind::Feret => "FERET",
+        }
+    }
+}
+
+/// One generated image with its annotations.
+#[derive(Debug, Clone)]
+pub struct LabeledImage {
+    /// Stable id within the dataset (index).
+    pub id: u64,
+    /// The image.
+    pub image: RgbImage,
+    /// Ground-truth regions.
+    pub truth: GroundTruth,
+    /// Identity label for face datasets (0 for others).
+    pub identity: u32,
+}
+
+/// Lazily generates the images of a profile. Generation is deterministic
+/// in `(profile, seed, index)`, so iterating twice (or in parallel chunks)
+/// yields identical data.
+pub fn generate(profile: DatasetProfile, seed: u64) -> impl Iterator<Item = LabeledImage> {
+    (0..profile.count).map(move |i| generate_one(profile, seed, i))
+}
+
+/// Generates the `index`-th image of a profile directly (O(1) in the
+/// index), for parallel sweeps.
+///
+/// # Panics
+/// Panics if `index >= profile.count`.
+pub fn generate_one(profile: DatasetProfile, seed: u64, index: usize) -> LabeledImage {
+    assert!(index < profile.count, "index {index} out of range");
+    let identities = FaceIdentitySet::new(seed ^ 0xFACE, 24);
+    let i = index;
+    let mut rng =
+        ChaCha8Rng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let (image, truth, identity) = match profile.kind {
+        DatasetKind::Pascal => {
+            let (img, t) = scene::pascal_scene(&mut rng, profile.width, profile.height);
+            (img, t, 0)
+        }
+        DatasetKind::Inria => {
+            let (img, t) = if i % 3 == 0 {
+                scene::landscape_with_people(&mut rng, profile.width, profile.height)
+            } else {
+                scene::landscape(&mut rng, profile.width, profile.height)
+            };
+            (img, t, 0)
+        }
+        DatasetKind::CaltechFaces => {
+            let id = (i % identities.len()) as u32;
+            let (geom, skin) = identities.get(id);
+            let (img, t) = scene::portrait(&mut rng, profile.width, profile.height, &geom, skin);
+            (img, t, id)
+        }
+        DatasetKind::Feret => {
+            let id = (i % identities.len()) as u32;
+            let (geom, skin) = identities.get(id);
+            let (img, t) = scene::portrait(&mut rng, profile.width, profile.height, &geom, skin);
+            (img, t, id)
+        }
+    };
+    LabeledImage {
+        id: i as u64,
+        image,
+        truth,
+        identity,
+    }
+}
+
+/// A fixed set of face identities (geometry + skin tone) shared across a
+/// dataset so recognition has repeat subjects.
+#[derive(Debug, Clone)]
+pub struct FaceIdentitySet {
+    identities: Vec<(FaceGeometry, Rgb)>,
+}
+
+impl FaceIdentitySet {
+    /// Creates `n` identities deterministically from a seed.
+    pub fn new(seed: u64, n: usize) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let identities = (0..n.max(1))
+            .map(|_| {
+                let g = scene::random_geometry(&mut rng);
+                let base = rng.gen_range(150..230);
+                let skin = Rgb::new(
+                    base,
+                    (base as f32 * rng.gen_range(0.78..0.88)) as u8,
+                    (base as f32 * rng.gen_range(0.60..0.72)) as u8,
+                );
+                (g, skin)
+            })
+            .collect();
+        FaceIdentitySet { identities }
+    }
+
+    /// Number of identities.
+    pub fn len(&self) -> usize {
+        self.identities.len()
+    }
+
+    /// Whether the set is empty (never true in practice).
+    pub fn is_empty(&self) -> bool {
+        self.identities.is_empty()
+    }
+
+    /// Identity `id` (wrapping).
+    pub fn get(&self, id: u32) -> (FaceGeometry, Rgb) {
+        self.identities[id as usize % self.identities.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = DatasetProfile::pascal().with_count(3).with_resolution(128, 96);
+        let a: Vec<_> = generate(p, 7).collect();
+        let b: Vec<_> = generate(p, 7).collect();
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.image, y.image);
+            assert_eq!(x.truth, y.truth);
+        }
+        // Different seed differs.
+        let c: Vec<_> = generate(p, 8).collect();
+        assert!(a.iter().zip(c.iter()).any(|(x, y)| x.image != y.image));
+    }
+
+    #[test]
+    fn profiles_have_paper_metadata() {
+        assert_eq!(DatasetProfile::pascal().paper_count, 4952);
+        assert_eq!(DatasetProfile::inria().paper_resolution, (2448, 3264));
+        assert_eq!(DatasetProfile::feret().paper_count, 11_338);
+        assert_eq!(DatasetProfile::caltech().name(), "Caltech");
+    }
+
+    #[test]
+    fn feret_identities_repeat() {
+        let p = DatasetProfile::feret().with_count(48).with_resolution(64, 96);
+        let imgs: Vec<_> = generate(p, 3).collect();
+        let mut counts = std::collections::HashMap::new();
+        for img in &imgs {
+            *counts.entry(img.identity).or_insert(0) += 1;
+        }
+        assert!(counts.values().any(|&c| c >= 2), "no repeat identities");
+        assert!(counts.len() >= 10, "too few identities: {}", counts.len());
+    }
+
+    #[test]
+    fn caltech_images_carry_face_truth() {
+        let p = DatasetProfile::caltech().with_count(4).with_resolution(160, 120);
+        for img in generate(p, 5) {
+            assert_eq!(img.truth.faces.len(), 1);
+        }
+    }
+
+    #[test]
+    fn resolution_override_respected() {
+        let p = DatasetProfile::inria().with_count(1).with_resolution(200, 150);
+        let img = generate(p, 1).next().unwrap();
+        assert_eq!((img.image.width(), img.image.height()), (200, 150));
+    }
+
+    #[test]
+    fn identity_set_deterministic() {
+        let a = FaceIdentitySet::new(9, 10);
+        let b = FaceIdentitySet::new(9, 10);
+        assert_eq!(a.len(), 10);
+        for i in 0..10 {
+            assert_eq!(a.get(i).0, b.get(i).0);
+            assert_eq!(a.get(i).1, b.get(i).1);
+        }
+    }
+}

@@ -1,0 +1,508 @@
+//! Procedural scene renderers with ground-truth annotations.
+
+use crate::noise::ValueNoise;
+use puppies_image::font::{draw_text, text_width, GLYPH_H};
+use puppies_image::{draw, Point, Rect, Rgb, RgbImage};
+use puppies_vision::face::{render_face, FaceGeometry};
+use rand::Rng;
+
+/// Ground-truth annotations of a generated scene.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroundTruth {
+    /// Face bounding boxes.
+    pub faces: Vec<Rect>,
+    /// Sensitive-text bounding boxes (SSNs, plates).
+    pub texts: Vec<Rect>,
+    /// Salient-object bounding boxes.
+    pub objects: Vec<Rect>,
+}
+
+impl GroundTruth {
+    /// All annotated regions, in face/text/object order.
+    pub fn all_regions(&self) -> Vec<Rect> {
+        self.faces
+            .iter()
+            .chain(self.texts.iter())
+            .chain(self.objects.iter())
+            .copied()
+            .collect()
+    }
+}
+
+/// A random per-identity face geometry within the detector's supported
+/// ranges.
+pub fn random_geometry<R: Rng + ?Sized>(rng: &mut R) -> FaceGeometry {
+    FaceGeometry {
+        eye_spread: rng.gen_range(0.16..0.26),
+        eye_size: rng.gen_range(0.05..0.09),
+        mouth_width: rng.gen_range(0.12..0.24),
+        brow_tilt: rng.gen_range(-3..=3),
+    }
+}
+
+fn skin_tone<R: Rng + ?Sized>(rng: &mut R) -> Rgb {
+    let base = rng.gen_range(150..230);
+    Rgb::new(
+        base,
+        (base as f32 * rng.gen_range(0.78..0.88)) as u8,
+        (base as f32 * rng.gen_range(0.60..0.72)) as u8,
+    )
+}
+
+/// Adds fine-grained sensor-noise-like texture so synthetic scenes carry
+/// realistic JPEG entropy (natural photos are far less compressible than
+/// clean vector renders; the storage experiments depend on honest
+/// denominators).
+fn add_grain(img: &mut RgbImage, seed: u64, amp: f32) {
+    let n1 = ValueNoise::new(seed ^ 0x6AA1, 1.1);
+    let n2 = ValueNoise::new(seed ^ 0x6AA2, 3.1);
+    let n3 = ValueNoise::new(seed ^ 0x6AA3, 6.7); // mid-scale: keeps low-frequency AC busy
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            let g = (n1.at(x, y) - 0.5) * amp
+                + (n2.at(x, y) - 0.5) * amp * 0.7
+                + (n3.at(x, y) - 0.5) * amp * 1.3;
+            let p = img.get(x, y);
+            img.set(
+                x,
+                y,
+                Rgb::new(
+                    (p.r as f32 + g).clamp(0.0, 255.0) as u8,
+                    (p.g as f32 + g * 0.9).clamp(0.0, 255.0) as u8,
+                    (p.b as f32 + g * 1.1).clamp(0.0, 255.0) as u8,
+                ),
+            );
+        }
+    }
+}
+
+fn textured_background(img: &mut RgbImage, seed: u64, top: Rgb, bottom: Rgb, amp: f32) {
+    let noise = ValueNoise::new(seed, 24.0);
+    let h = img.height();
+    for y in 0..h {
+        let t = y as f32 / h.max(1) as f32;
+        let base = top.lerp(bottom, t);
+        for x in 0..img.width() {
+            let n = (noise.fbm(x, y, 3) - 0.5) * amp;
+            let c = Rgb::new(
+                (base.r as f32 + n).clamp(0.0, 255.0) as u8,
+                (base.g as f32 + n).clamp(0.0, 255.0) as u8,
+                (base.b as f32 + n).clamp(0.0, 255.0) as u8,
+            );
+            img.set(x, y, c);
+        }
+    }
+}
+
+/// A landscape: sky, mountain ridge, textured ground — the INRIA-style
+/// content whose only experimental role is realistic size/spectrum.
+pub fn landscape<R: Rng + ?Sized>(rng: &mut R, width: u32, height: u32) -> (RgbImage, GroundTruth) {
+    let mut img = RgbImage::new(width, height);
+    let seed = rng.gen();
+    textured_background(
+        &mut img,
+        seed,
+        Rgb::new(110, 160, 230),
+        Rgb::new(200, 220, 245),
+        18.0,
+    );
+    // Mountain ridge via 1-D fractal noise.
+    let ridge_noise = ValueNoise::new(seed ^ 0xABCD, 48.0);
+    let ridge_base = height as f32 * rng.gen_range(0.35..0.55);
+    let rock = Rgb::new(90, 80, 75);
+    for x in 0..width {
+        let ridge = ridge_base + (ridge_noise.fbm(x, 0, 4) - 0.5) * height as f32 * 0.3;
+        for y in (ridge.max(0.0) as u32)..height {
+            let shade = ridge_noise.fbm(x, y, 3);
+            let c = Rgb::new(
+                (rock.r as f32 * (0.7 + shade * 0.6)) as u8,
+                (rock.g as f32 * (0.7 + shade * 0.6)) as u8,
+                (rock.b as f32 * (0.7 + shade * 0.6)) as u8,
+            );
+            img.set(x, y, c);
+        }
+    }
+    // Ground strip.
+    let ground_y = height * 3 / 4;
+    let grass = ValueNoise::new(seed ^ 0x5151, 10.0);
+    for y in ground_y..height {
+        for x in 0..width {
+            let n = grass.fbm(x, y, 3);
+            img.set(
+                x,
+                y,
+                Rgb::new(
+                    (40.0 + 40.0 * n) as u8,
+                    (110.0 + 70.0 * n) as u8,
+                    (40.0 + 30.0 * n) as u8,
+                ),
+            );
+        }
+    }
+    // Sun.
+    let sx = rng.gen_range(width / 8..width / 2) as i32;
+    let sy = rng.gen_range(height / 10..height / 4) as i32;
+    let sr = (width / 24).max(4) as i32;
+    draw::fill_ellipse(&mut img, sx, sy, sr, sr, Rgb::new(255, 240, 180));
+    add_grain(&mut img, seed ^ 0x9A11, 18.0);
+    (img, GroundTruth::default())
+}
+
+/// A landscape with one or two people standing in it — the Fig. 1 scenario
+/// (sensitive people, public background).
+pub fn landscape_with_people<R: Rng + ?Sized>(
+    rng: &mut R,
+    width: u32,
+    height: u32,
+) -> (RgbImage, GroundTruth) {
+    let (mut img, mut truth) = landscape(rng, width, height);
+    let n_people = rng.gen_range(1..=2usize);
+    for i in 0..n_people {
+        let fw = (width / 5).clamp(30, 110);
+        let fh = fw * 5 / 4;
+        let x = (width / 5 + (i as u32) * width / 3 + rng.gen_range(0..width / 8))
+            .min(width.saturating_sub(fw + 1));
+        let y = (height / 3 + rng.gen_range(0..height / 8)).min(height.saturating_sub(fh * 2));
+        let bbox = Rect::new(x, y, fw, fh);
+        // Body below the face.
+        let body = Rect::new(
+            x.saturating_sub(fw / 4),
+            y + fh,
+            fw + fw / 2,
+            (fh * 3 / 2).min(height - y - fh),
+        );
+        draw::fill_rect(
+            &mut img,
+            body,
+            Rgb::new(
+                rng.gen_range(40..200),
+                rng.gen_range(40..200),
+                rng.gen_range(40..200),
+            ),
+        );
+        render_face(&mut img, bbox, skin_tone(rng), &random_geometry(rng));
+        truth.faces.push(bbox);
+    }
+    add_grain(&mut img, rng.gen::<u64>() ^ 0x9A55, 5.0);
+    (img, truth)
+}
+
+/// A street scene with a car and a readable license plate, per Fig. 15.
+pub fn street_with_plate<R: Rng + ?Sized>(
+    rng: &mut R,
+    width: u32,
+    height: u32,
+) -> (RgbImage, GroundTruth) {
+    let mut img = RgbImage::new(width, height);
+    let seed = rng.gen();
+    textured_background(
+        &mut img,
+        seed,
+        Rgb::new(170, 180, 200),
+        Rgb::new(120, 120, 125),
+        12.0,
+    );
+    let mut truth = GroundTruth::default();
+    // Building with windows.
+    let b = Rect::new(0, 0, width / 2, height / 2);
+    draw::fill_rect(&mut img, b, Rgb::new(150, 120, 100));
+    for wy in 0..3u32 {
+        for wx in 0..4u32 {
+            let win = Rect::new(
+                b.x + 8 + wx * (b.w / 4),
+                b.y + 8 + wy * (b.h / 3),
+                (b.w / 6).max(2),
+                (b.h / 5).max(2),
+            );
+            draw::fill_rect(&mut img, win, Rgb::new(70, 90, 120));
+        }
+    }
+    // Car body.
+    let car_w = width * 2 / 5;
+    let car_h = height / 4;
+    let car_x = rng.gen_range(width / 8..width / 3);
+    let car_y = height - car_h - height / 10;
+    let car_color = Rgb::new(
+        rng.gen_range(60..220),
+        rng.gen_range(40..120),
+        rng.gen_range(40..120),
+    );
+    let car = Rect::new(car_x, car_y, car_w, car_h);
+    draw::fill_rect(&mut img, car, car_color);
+    draw::fill_polygon(
+        &mut img,
+        &[
+            Point::new(car_x as i32 + car_w as i32 / 6, car_y as i32),
+            Point::new(car_x as i32 + car_w as i32 * 5 / 6, car_y as i32),
+            Point::new(
+                car_x as i32 + car_w as i32 * 2 / 3,
+                car_y as i32 - car_h as i32 / 2,
+            ),
+            Point::new(
+                car_x as i32 + car_w as i32 / 3,
+                car_y as i32 - car_h as i32 / 2,
+            ),
+        ],
+        car_color,
+    );
+    // Wheels.
+    let wheel_r = (car_h / 3) as i32;
+    for wx in [car_x + car_w / 5, car_x + car_w * 4 / 5] {
+        draw::fill_ellipse(
+            &mut img,
+            wx as i32,
+            (car_y + car_h) as i32,
+            wheel_r,
+            wheel_r,
+            Rgb::new(25, 25, 25),
+        );
+    }
+    truth.objects.push(Rect::new(
+        car_x,
+        car_y.saturating_sub(car_h / 2),
+        car_w,
+        car_h + car_h / 2,
+    ));
+    // License plate with readable text.
+    let plate_text: String = format!(
+        "{}{}{} {}{}{}",
+        rng.gen_range(b'A'..=b'Z') as char,
+        rng.gen_range(b'A'..=b'Z') as char,
+        rng.gen_range(b'A'..=b'Z') as char,
+        rng.gen_range(0..10),
+        rng.gen_range(0..10),
+        rng.gen_range(0..10),
+    );
+    let scale = (width / 200).max(1);
+    let tw = text_width(&plate_text, scale);
+    let th = GLYPH_H * scale;
+    let px = car_x + car_w / 2 - tw.min(car_w) / 2;
+    let py = car_y + car_h - th - 2;
+    let plate_bg = Rect::new(px.saturating_sub(3), py.saturating_sub(2), tw + 6, th + 4);
+    draw::fill_rect(&mut img, plate_bg, Rgb::new(240, 240, 230));
+    draw_text(&mut img, &plate_text, px, py, scale, Rgb::new(15, 15, 25));
+    truth.texts.push(plate_bg);
+    add_grain(&mut img, seed ^ 0x9A22, 16.0);
+    (img, truth)
+}
+
+/// An indoor scene with a document carrying an SSN — the "private text"
+/// motivating example.
+pub fn document_scene<R: Rng + ?Sized>(
+    rng: &mut R,
+    width: u32,
+    height: u32,
+) -> (RgbImage, GroundTruth) {
+    let mut img = RgbImage::new(width, height);
+    let seed = rng.gen();
+    textured_background(
+        &mut img,
+        seed,
+        Rgb::new(160, 140, 120),
+        Rgb::new(110, 95, 80),
+        14.0,
+    );
+    let mut truth = GroundTruth::default();
+    // A paper sheet.
+    let sheet = Rect::new(width / 6, height / 6, width * 3 / 5, height * 3 / 5);
+    draw::fill_rect(&mut img, sheet, Rgb::new(245, 243, 235));
+    draw::stroke_rect(&mut img, sheet, Rgb::new(180, 178, 170));
+    // Filler lines.
+    for i in 0..4u32 {
+        let y = sheet.y + 8 + i * (sheet.h / 8);
+        draw::line(
+            &mut img,
+            Point::new(sheet.x as i32 + 6, y as i32),
+            Point::new((sheet.right() - 8) as i32, y as i32),
+            Rgb::new(150, 150, 160),
+        );
+    }
+    // The SSN.
+    let ssn = format!(
+        "{:03}-{:02}-{:04}",
+        rng.gen_range(1..900),
+        rng.gen_range(1..99),
+        rng.gen_range(1..9999)
+    );
+    let scale = (width / 220).max(1);
+    let tx = sheet.x + 8;
+    let ty = sheet.y + sheet.h / 2;
+    let rect = draw_text(&mut img, &ssn, tx, ty, scale, Rgb::new(20, 20, 30));
+    truth.texts.push(rect.inflate_clamped(2, img.bounds()));
+    truth.objects.push(sheet);
+    add_grain(&mut img, seed ^ 0x9A33, 14.0);
+    (img, truth)
+}
+
+/// A portrait in the Caltech/FERET mold: one large frontal face on a
+/// plain-ish background. Returns the face bbox as ground truth.
+pub fn portrait<R: Rng + ?Sized>(
+    rng: &mut R,
+    width: u32,
+    height: u32,
+    geometry: &FaceGeometry,
+    skin: Rgb,
+) -> (RgbImage, GroundTruth) {
+    let mut img = RgbImage::new(width, height);
+    let seed = rng.gen();
+    let bg = Rgb::new(
+        rng.gen_range(50..110),
+        rng.gen_range(60..120),
+        rng.gen_range(80..140),
+    );
+    textured_background(&mut img, seed, bg, bg.lerp(Rgb::BLACK, 0.3), 10.0);
+    let fw = (width * 3 / 5).min(height * 12 / 25) & !1;
+    let fh = fw * 5 / 4;
+    let fx = width / 2 - fw / 2 + rng.gen_range(0..width / 16);
+    let fy = height / 6 + rng.gen_range(0..height / 12);
+    let bbox = Rect::new(
+        fx.min(width - fw - 1),
+        fy.min(height.saturating_sub(fh + 1)),
+        fw,
+        fh,
+    );
+    // Shoulders.
+    let shoulder = Rect::new(
+        bbox.x.saturating_sub(fw / 3),
+        bbox.bottom().saturating_sub(4),
+        fw + 2 * (fw / 3),
+        height - bbox.bottom().saturating_sub(4).min(height),
+    );
+    draw::fill_rect(
+        &mut img,
+        shoulder,
+        Rgb::new(
+            rng.gen_range(30..160),
+            rng.gen_range(30..160),
+            rng.gen_range(30..160),
+        ),
+    );
+    render_face(&mut img, bbox, skin, geometry);
+    add_grain(&mut img, seed ^ 0x9A44, 8.0);
+    (
+        img,
+        GroundTruth {
+            faces: vec![bbox],
+            texts: Vec::new(),
+            objects: Vec::new(),
+        },
+    )
+}
+
+/// A PASCAL-flavoured mixed scene: randomly one of the object-bearing
+/// generators.
+pub fn pascal_scene<R: Rng + ?Sized>(rng: &mut R, width: u32, height: u32) -> (RgbImage, GroundTruth) {
+    match rng.gen_range(0..4u32) {
+        0 => landscape_with_people(rng, width, height),
+        1 => street_with_plate(rng, width, height),
+        2 => document_scene(rng, width, height),
+        _ => landscape(rng, width, height),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generators_are_deterministic() {
+        for gen in [
+            landscape_with_people
+                as fn(&mut StdRng, u32, u32) -> (RgbImage, GroundTruth),
+            street_with_plate,
+            document_scene,
+            pascal_scene,
+        ] {
+            let (a, ta) = gen(&mut StdRng::seed_from_u64(5), 160, 120);
+            let (b, tb) = gen(&mut StdRng::seed_from_u64(5), 160, 120);
+            assert_eq!(a, b);
+            assert_eq!(ta, tb);
+        }
+    }
+
+    #[test]
+    fn ground_truth_boxes_inside_image() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..8 {
+            let (img, truth) = pascal_scene(&mut rng, 200, 144);
+            for r in truth.all_regions() {
+                assert!(
+                    img.bounds().contains_rect(r.intersect(img.bounds())),
+                    "{r:?}"
+                );
+                assert!(!r.intersect(img.bounds()).is_empty(), "{r:?} fully outside");
+            }
+        }
+    }
+
+    #[test]
+    fn people_scene_faces_are_detectable() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut hits = 0;
+        let mut total = 0;
+        for _ in 0..5 {
+            let (img, truth) = landscape_with_people(&mut rng, 240, 180);
+            for face in &truth.faces {
+                total += 1;
+                let dets = puppies_vision::detect_faces(
+                    &img.to_gray(),
+                    &puppies_vision::FaceDetectorParams::default(),
+                );
+                if dets.iter().any(|d| d.rect.iou(*face) > 0.2) {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(
+            hits * 2 >= total,
+            "detector found {hits}/{total} ground-truth faces"
+        );
+    }
+
+    #[test]
+    fn plate_text_is_detectable() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut hits = 0;
+        for _ in 0..5 {
+            let (img, truth) = street_with_plate(&mut rng, 240, 180);
+            let boxes = puppies_vision::text::detect_text_blocks(
+                &img.to_gray(),
+                &puppies_vision::text::TextDetectorParams::default(),
+            );
+            let plate = truth.texts[0];
+            if boxes.iter().any(|b| b.overlaps(plate)) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 3, "plate found in only {hits}/5 scenes");
+    }
+
+    #[test]
+    fn portrait_truth_matches_render() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let geom = random_geometry(&mut rng);
+        let (img, truth) = portrait(&mut rng, 128, 192, &geom, Rgb::new(220, 185, 150));
+        assert_eq!(truth.faces.len(), 1);
+        let bbox = truth.faces[0];
+        assert!(img.bounds().contains_rect(bbox));
+        // The face area is brighter than the background corners.
+        let face_mean = img
+            .crop(Rect::new(
+                bbox.x + bbox.w / 4,
+                bbox.y + bbox.h / 4,
+                bbox.w / 2,
+                bbox.h / 2,
+            ))
+            .unwrap()
+            .to_gray()
+            .mean();
+        let corner_mean = img
+            .crop(Rect::new(0, 0, 16, 16))
+            .unwrap()
+            .to_gray()
+            .mean();
+        assert!(face_mean > corner_mean + 20.0);
+    }
+}

@@ -1,0 +1,426 @@
+//! Lightweight implementations of the comparison schemes of Table I, so
+//! the compatibility matrix is *executed* rather than transcribed.
+//!
+//! Four baselines are implemented end-to-end in the coefficient domain:
+//!
+//! - [`SignFlip`] — Dufaux & Ebrahimi-style scrambling: pseudorandom sign
+//!   flips of AC coefficients
+//! - [`PermuteBlock`] — Unterweger & Uhl-style length-preserving
+//!   encryption: a keyed permutation of each block's AC coefficients
+//! - [`DqtScramble`] — Chang et al.-style quantization-table encryption:
+//!   the DQT carried in the file is keyed nonsense, so the PSP decodes
+//!   garbage pixels while the receiver substitutes the true table
+//! - [`MhtEncrypt`] — Wu & Kuo-style Huffman-table encryption, modeled at
+//!   the capability level: the PSP cannot even entropy-decode the file,
+//!   so every transformation is unavailable
+//!
+//! Each baseline recovers with full knowledge of the applied
+//! transformation, to the extent its *published design* allows — i.e. a
+//! scheme is not artificially crippled, but neither is it extended with
+//! mechanisms its paper does not describe (that would be inventing a new
+//! scheme). Cryptagram, steganography and the K-SVD dictionary scheme are
+//! reported as modeled rows only (their machinery — base-64-in-pixels,
+//! LSB embedding, dictionary learning — is orthogonal to everything this
+//! reproduction measures).
+
+use puppies_jpeg::{Block, CoeffImage, Component, QuantTable};
+use puppies_transform::Transformation;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A scheme that can be run through the Table I harness.
+pub trait BaselineScheme {
+    /// Display name (matches Table I's rows).
+    fn name(&self) -> &'static str;
+    /// Whether the scheme can protect a sub-region (Table I column 1).
+    fn supports_partial(&self) -> bool;
+    /// Encrypts a coefficient image (whole image).
+    fn encrypt(&self, coeff: &CoeffImage) -> CoeffImage;
+    /// Attempts recovery of a transformed encrypted image, knowing the
+    /// transformation. Returns `None` when the published design has no
+    /// mechanism for this transformation (the harness then grades ✗ after
+    /// double-checking that naive recovery indeed fails).
+    fn recover(&self, transformed: &CoeffImage, t: Option<&Transformation>)
+        -> Option<CoeffImage>;
+    /// Whether the PSP can decode the encrypted file at all (false for
+    /// bitstream/table encryption like MHT).
+    fn psp_can_decode(&self) -> bool {
+        true
+    }
+}
+
+fn map_blocks(coeff: &CoeffImage, f: impl Fn(usize, &Block) -> Block) -> CoeffImage {
+    let comps: Vec<Component> = coeff
+        .components()
+        .iter()
+        .map(|c| {
+            let blocks: Vec<Block> = c
+                .blocks()
+                .iter()
+                .enumerate()
+                .map(|(i, b)| f(i, b))
+                .collect();
+            Component::from_blocks(c.id(), c.width(), c.height(), c.quant().clone(), blocks)
+                .expect("geometry preserved")
+        })
+        .collect();
+    CoeffImage::from_components(coeff.width(), coeff.height(), comps)
+        .expect("geometry preserved")
+}
+
+fn coeff_domain_undo(
+    transformed: &CoeffImage,
+    t: &Transformation,
+    decrypt: impl Fn(&CoeffImage) -> CoeffImage,
+) -> Option<CoeffImage> {
+    // Invert the geometry, decrypt in original coordinates, re-apply.
+    let inverse = match t {
+        Transformation::Rotate90 => Transformation::Rotate270,
+        Transformation::Rotate270 => Transformation::Rotate90,
+        Transformation::Rotate180 => Transformation::Rotate180,
+        Transformation::FlipHorizontal => Transformation::FlipHorizontal,
+        Transformation::FlipVertical => Transformation::FlipVertical,
+        _ => return None,
+    };
+    let original_frame = inverse.apply_to_coeff(transformed).ok()?;
+    let decrypted = decrypt(&original_frame);
+    t.apply_to_coeff(&decrypted).ok()
+}
+
+/// Dufaux & Ebrahimi-style sign scrambling of AC coefficients.
+#[derive(Debug, Clone, Copy)]
+pub struct SignFlip {
+    /// Key seed.
+    pub seed: u64,
+}
+
+impl SignFlip {
+    fn apply(&self, coeff: &CoeffImage) -> CoeffImage {
+        let seed = self.seed;
+        map_blocks(coeff, |bi, b| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (bi as u64) << 8);
+            let mut out = *b;
+            for v in out.iter_mut().skip(1) {
+                if rng.gen::<bool>() {
+                    *v = -*v;
+                }
+            }
+            out
+        })
+    }
+}
+
+impl BaselineScheme for SignFlip {
+    fn name(&self) -> &'static str {
+        "Dufaux (sign flip)"
+    }
+    fn supports_partial(&self) -> bool {
+        false
+    }
+    fn encrypt(&self, coeff: &CoeffImage) -> CoeffImage {
+        self.apply(coeff)
+    }
+    fn recover(
+        &self,
+        transformed: &CoeffImage,
+        t: Option<&Transformation>,
+    ) -> Option<CoeffImage> {
+        match t {
+            None => Some(self.apply(transformed)), // involution
+            Some(Transformation::Recompress { .. }) => {
+                // Requantization commutes with sign flips (odd function).
+                Some(self.apply(transformed))
+            }
+            Some(
+                t @ (Transformation::Rotate90
+                | Transformation::Rotate180
+                | Transformation::Rotate270
+                | Transformation::FlipHorizontal
+                | Transformation::FlipVertical),
+            ) => coeff_domain_undo(transformed, t, |c| self.apply(c)),
+            // No published mechanism for pixel-domain scaling or cropping.
+            _ => None,
+        }
+    }
+}
+
+/// Unterweger & Uhl-style keyed permutation of each block's AC
+/// coefficients.
+#[derive(Debug, Clone, Copy)]
+pub struct PermuteBlock {
+    /// Key seed.
+    pub seed: u64,
+}
+
+impl PermuteBlock {
+    fn permutation(&self, block_index: usize) -> [usize; 63] {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ (block_index as u64) << 4);
+        let mut p: [usize; 63] = std::array::from_fn(|i| i);
+        // Fisher–Yates.
+        for i in (1..63).rev() {
+            let j = rng.gen_range(0..=i);
+            p.swap(i, j);
+        }
+        p
+    }
+
+    fn forward(&self, coeff: &CoeffImage) -> CoeffImage {
+        map_blocks(coeff, |bi, b| {
+            let p = self.permutation(bi);
+            let mut out = *b;
+            for (i, &src) in p.iter().enumerate() {
+                out[1 + i] = b[1 + src];
+            }
+            out
+        })
+    }
+
+    fn backward(&self, coeff: &CoeffImage) -> CoeffImage {
+        map_blocks(coeff, |bi, b| {
+            let p = self.permutation(bi);
+            let mut out = *b;
+            for (i, &src) in p.iter().enumerate() {
+                out[1 + src] = b[1 + i];
+            }
+            out
+        })
+    }
+}
+
+impl BaselineScheme for PermuteBlock {
+    fn name(&self) -> &'static str {
+        "Unterweger (permute)"
+    }
+    fn supports_partial(&self) -> bool {
+        false
+    }
+    fn encrypt(&self, coeff: &CoeffImage) -> CoeffImage {
+        self.forward(coeff)
+    }
+    fn recover(
+        &self,
+        transformed: &CoeffImage,
+        t: Option<&Transformation>,
+    ) -> Option<CoeffImage> {
+        match t {
+            None => Some(self.backward(transformed)),
+            Some(Transformation::Recompress { .. }) => Some(self.backward(transformed)),
+            Some(
+                t @ (Transformation::Rotate90
+                | Transformation::Rotate180
+                | Transformation::Rotate270
+                | Transformation::FlipHorizontal
+                | Transformation::FlipVertical),
+            ) => coeff_domain_undo(transformed, t, |c| self.backward(c)),
+            _ => None,
+        }
+    }
+}
+
+/// Chang et al.-style quantization-table encryption: coefficients travel
+/// in the clear but the DQT in the file is keyed garbage.
+#[derive(Debug, Clone, Copy)]
+pub struct DqtScramble {
+    /// Key seed.
+    pub seed: u64,
+    /// The true encoding quality whose tables the receiver restores.
+    pub quality: u8,
+}
+
+impl DqtScramble {
+    fn fake_table(&self, component: usize) -> QuantTable {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ component as u64);
+        let mut steps = [1u16; 64];
+        for s in &mut steps {
+            *s = rng.gen_range(1..=255);
+        }
+        QuantTable::new(steps)
+    }
+
+    fn swap_tables(&self, coeff: &CoeffImage, to_fake: bool) -> CoeffImage {
+        let comps: Vec<Component> = coeff
+            .components()
+            .iter()
+            .enumerate()
+            .map(|(ci, c)| {
+                let table = if to_fake {
+                    self.fake_table(ci.min(1))
+                } else if ci == 0 {
+                    QuantTable::luma(self.quality)
+                } else {
+                    QuantTable::chroma(self.quality)
+                };
+                Component::from_blocks(
+                    c.id(),
+                    c.width(),
+                    c.height(),
+                    table,
+                    c.blocks().to_vec(),
+                )
+                .expect("geometry preserved")
+            })
+            .collect();
+        CoeffImage::from_components(coeff.width(), coeff.height(), comps)
+            .expect("geometry preserved")
+    }
+}
+
+impl BaselineScheme for DqtScramble {
+    fn name(&self) -> &'static str {
+        "Chang (DQT encrypt)"
+    }
+    fn supports_partial(&self) -> bool {
+        false
+    }
+    fn encrypt(&self, coeff: &CoeffImage) -> CoeffImage {
+        self.swap_tables(coeff, true)
+    }
+    fn recover(
+        &self,
+        transformed: &CoeffImage,
+        t: Option<&Transformation>,
+    ) -> Option<CoeffImage> {
+        match t {
+            // Restoring the true table recovers the image as long as the
+            // PSP never dequantized: untouched storage and lossless
+            // geometry qualify. Rotations additionally permute blocks (and
+            // transpose tables), so undo the geometry, swap, re-apply.
+            None => Some(self.swap_tables(transformed, false)),
+            Some(
+                t @ (Transformation::Rotate90
+                | Transformation::Rotate180
+                | Transformation::Rotate270
+                | Transformation::FlipHorizontal
+                | Transformation::FlipVertical),
+            ) => coeff_domain_undo(transformed, t, |c| self.swap_tables(c, false)),
+            // Table substitution is geometry-agnostic, so block-aligned
+            // cropping also survives — our executable harness finds this
+            // even though the paper's Table I denies Chang cropping
+            // (recorded in EXPERIMENTS.md).
+            Some(Transformation::Crop(_)) => Some(self.swap_tables(transformed, false)),
+            // Recompression requantizes *using the fake table*, corrupting
+            // the data nonlinearly — but Table I grants Chang compression
+            // because real PSP recompression happens at the bitstream
+            // level without dequantization in their setting; we model that
+            // by treating untouched requantization as identity. The
+            // harness grades what actually happens in our PSP.
+            _ => None,
+        }
+    }
+}
+
+/// Wu & Kuo-style Huffman-table encryption, modeled at the capability
+/// level: the PSP holds an undecodable bitstream.
+#[derive(Debug, Clone, Copy)]
+pub struct MhtEncrypt;
+
+impl BaselineScheme for MhtEncrypt {
+    fn name(&self) -> &'static str {
+        "MHT (Huffman encrypt)"
+    }
+    fn supports_partial(&self) -> bool {
+        false
+    }
+    fn encrypt(&self, coeff: &CoeffImage) -> CoeffImage {
+        coeff.clone()
+    }
+    fn recover(
+        &self,
+        transformed: &CoeffImage,
+        t: Option<&Transformation>,
+    ) -> Option<CoeffImage> {
+        match t {
+            None => Some(transformed.clone()),
+            _ => None, // PSP cannot decode, so no transformation exists
+        }
+    }
+    fn psp_can_decode(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puppies_image::metrics::psnr_rgb;
+    use puppies_image::{Rgb, RgbImage};
+
+    fn coeff() -> CoeffImage {
+        let img = RgbImage::from_fn(64, 64, |x, y| {
+            Rgb::new(
+                (40 + (x * 5 + y) % 170) as u8,
+                (50 + (x + y * 3) % 150) as u8,
+                (60 + (x * 2 + y * 2) % 120) as u8,
+            )
+        });
+        CoeffImage::from_rgb(&img, 75)
+    }
+
+    #[test]
+    fn sign_flip_roundtrips() {
+        let c = coeff();
+        let s = SignFlip { seed: 7 };
+        let enc = s.encrypt(&c);
+        assert_ne!(enc, c);
+        assert_eq!(s.recover(&enc, None).unwrap(), c);
+    }
+
+    #[test]
+    fn sign_flip_hides_content() {
+        let c = coeff();
+        let s = SignFlip { seed: 7 };
+        let enc = s.encrypt(&c);
+        let psnr = psnr_rgb(&c.to_rgb(), &enc.to_rgb());
+        assert!(psnr < 22.0, "sign flip too weak: {psnr}");
+    }
+
+    #[test]
+    fn sign_flip_survives_rotation() {
+        let c = coeff();
+        let s = SignFlip { seed: 9 };
+        let enc = s.encrypt(&c);
+        let t = Transformation::Rotate90;
+        let transformed = t.apply_to_coeff(&enc).unwrap();
+        let rec = s.recover(&transformed, Some(&t)).unwrap();
+        let want = t.apply_to_coeff(&c).unwrap();
+        assert_eq!(rec, want);
+    }
+
+    #[test]
+    fn permute_roundtrips_and_survives_rotation() {
+        let c = coeff();
+        let s = PermuteBlock { seed: 3 };
+        let enc = s.encrypt(&c);
+        assert_ne!(enc, c);
+        assert_eq!(s.recover(&enc, None).unwrap(), c);
+        let t = Transformation::Rotate180;
+        let transformed = t.apply_to_coeff(&enc).unwrap();
+        let rec = s.recover(&transformed, Some(&t)).unwrap();
+        assert_eq!(rec, t.apply_to_coeff(&c).unwrap());
+    }
+
+    #[test]
+    fn dqt_scramble_hides_and_recovers() {
+        let c = coeff();
+        let s = DqtScramble { seed: 5, quality: 75 };
+        let enc = s.encrypt(&c);
+        let psnr = psnr_rgb(&c.to_rgb(), &enc.to_rgb());
+        assert!(psnr < 25.0, "DQT scramble too weak: {psnr}");
+        let rec = s.recover(&enc, None).unwrap();
+        assert_eq!(rec.to_rgb(), c.to_rgb());
+    }
+
+    #[test]
+    fn unsupported_transforms_return_none() {
+        let c = coeff();
+        let scale = Transformation::Scale {
+            width: 32,
+            height: 32,
+            filter: puppies_transform::ScaleFilter::Bilinear,
+        };
+        assert!(SignFlip { seed: 1 }.recover(&c, Some(&scale)).is_none());
+        assert!(PermuteBlock { seed: 1 }.recover(&c, Some(&scale)).is_none());
+        assert!(MhtEncrypt.recover(&c, Some(&scale)).is_none());
+        assert!(!MhtEncrypt.psp_can_decode());
+    }
+}

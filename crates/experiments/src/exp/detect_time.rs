@@ -1,0 +1,53 @@
+//! §V-C: ROI detection and recommendation timing — the paper reports
+//! 3.85 s average dominated (>99%) by generic object detection.
+
+use crate::util::{header, load, Stats};
+use crate::Ctx;
+use puppies_vision::detect::{recommend_rois, RecommendParams};
+use puppies_vision::face::{detect_faces, FaceDetectorParams};
+use puppies_vision::objectness::{propose_objects, ObjectnessParams};
+use puppies_vision::text::{detect_text_blocks, TextDetectorParams};
+use std::time::Instant;
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) {
+    header("§V-C: ROI detection timing (per image, ms)");
+    let images = load(
+        super::pascal(ctx).with_count(ctx.scale.count(3, 10, 40)),
+        ctx.seed,
+    );
+    let mut face_ms = Vec::new();
+    let mut text_ms = Vec::new();
+    let mut object_ms = Vec::new();
+    let mut total_ms = Vec::new();
+    for li in &images {
+        let gray = li.image.to_gray();
+        let t = Instant::now();
+        let _ = detect_faces(&gray, &FaceDetectorParams::default());
+        face_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        let _ = detect_text_blocks(&gray, &TextDetectorParams::default());
+        text_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        let _ = propose_objects(&gray, &ObjectnessParams::default());
+        object_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        let _ = recommend_rois(&li.image, &RecommendParams::default());
+        total_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    println!(
+        "{:<22} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "stage", "mean", "median", "std", "min", "max"
+    );
+    println!("{:<22} {}", "face detector", Stats::of(&face_ms).row(1));
+    println!("{:<22} {}", "text detector", Stats::of(&text_ms).row(1));
+    println!("{:<22} {}", "objectness", Stats::of(&object_ms).row(1));
+    println!("{:<22} {}", "full recommendation", Stats::of(&total_ms).row(1));
+    let obj_share = Stats::of(&object_ms).mean
+        / (Stats::of(&face_ms).mean + Stats::of(&text_ms).mean + Stats::of(&object_ms).mean);
+    println!(
+        "\nobjectness share of detection time: {:.0}% (paper: object \
+         detection takes >99% of 3.85 s average)",
+        obj_share * 100.0
+    );
+}

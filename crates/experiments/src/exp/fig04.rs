@@ -1,0 +1,88 @@
+//! Fig. 4: PSP-side downscaling — P3 loses fine detail on recovery while
+//! PuPPIeS recovers (near-)exactly.
+//!
+//! Measured as PSNR of each scheme's recovered scaled image against the
+//! ground truth (the original decoded image scaled the same way).
+
+use crate::util::{header, load, Stats};
+use crate::Ctx;
+use puppies_core::{protect, OwnerKey, PerturbProfile, ProtectOptions};
+use puppies_image::metrics::psnr_rgb;
+use puppies_image::Rect;
+use puppies_jpeg::CoeffImage;
+use puppies_transform::{ScaleFilter, Transformation};
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) {
+    header("Fig. 4: recovery quality after PSP downscaling (whole image)");
+    let images = load(super::inria(ctx), ctx.seed);
+    let key = OwnerKey::from_seed([44u8; 32]);
+    let mut rows: Vec<(&str, Vec<f64>)> = vec![
+        ("P3 (recombine pixel parts)", Vec::new()),
+        ("PuPPIeS transform-friendly", Vec::new()),
+        ("PuPPIeS paper profile (C/med)", Vec::new()),
+        ("no recovery (perturbed view)", Vec::new()),
+    ];
+    for li in &images {
+        let coeff = CoeffImage::from_rgb(&li.image, super::QUALITY);
+        let (w, h) = (coeff.width(), coeff.height());
+        let t = Transformation::Scale {
+            width: w / 2,
+            height: h / 2,
+            filter: ScaleFilter::Bilinear,
+        };
+        let reference = t.apply_to_rgb(&coeff.to_rgb()).expect("scale");
+
+        // P3: PSP scales the public part; receiver scales its private part
+        // and recombines in the pixel domain (the only mechanism P3 has).
+        let split = puppies_p3::P3Split::of(&coeff);
+        let spub = t.apply_to_rgb(&split.public.to_rgb()).expect("scale");
+        let spriv = t.apply_to_rgb(&split.private.to_rgb()).expect("scale");
+        let p3rec = puppies_p3::recombine_pixels(&spub, &spriv).expect("recombine");
+        rows[0].1.push(psnr_rgb(&p3rec, &reference));
+
+        // PuPPIeS with both profiles.
+        let whole = Rect::new(0, 0, w, h);
+        for (row, profile) in [
+            (1usize, PerturbProfile::transform_friendly()),
+            (
+                2usize,
+                PerturbProfile::paper(
+                    puppies_core::Scheme::Compression,
+                    puppies_core::PrivacyLevel::Medium,
+                ),
+            ),
+        ] {
+            let opts = ProtectOptions::from_profile(profile).with_quality(super::QUALITY).with_image_id(li.id);
+            let protected = protect(&li.image, &[whole], &key, &opts).expect("protect");
+            let perturbed = CoeffImage::decode(&protected.bytes).expect("decode").to_rgb();
+            let scaled = t.apply_to_rgb(&perturbed).expect("scale");
+            let mut params = protected.params.clone();
+            params.transformation = Some(t.clone());
+            let rec = puppies_core::shadow::recover_pixel_domain(
+                &scaled,
+                &t,
+                &params,
+                &key.grant_all(),
+            )
+            .expect("recover");
+            rows[row].1.push(psnr_rgb(&rec, &reference));
+            if row == 1 {
+                rows[3].1.push(psnr_rgb(&scaled, &reference));
+            }
+        }
+    }
+    println!("PSNR (dB) of recovered half-scale image vs ground truth, {} images", images.len());
+    println!(
+        "{:<32} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "path", "mean", "median", "std", "min", "max"
+    );
+    for (name, vals) in &rows {
+        println!("{:<32} {}", name, Stats::of(vals).row(1));
+    }
+    println!(
+        "\npaper: P3 'loses many fine details'; PuPPIeS 'exactly the same'. \
+         Our measured shape: PuPPIeS(tf) >> P3 >> no recovery; the paper \
+         profile is capped by pixel clamping (see EXPERIMENTS.md)."
+    );
+}

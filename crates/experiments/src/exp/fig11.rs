@@ -1,0 +1,46 @@
+//! Fig. 11: size of the private part vs number of private matrices.
+//!
+//! PuPPIeS' private part grows linearly (88 bytes per 11-bit 64-entry
+//! matrix); P3's private part is a whole coefficient image per photo and
+//! does not depend on the matrix count — flat lines at dataset-dependent
+//! heights.
+
+use crate::util::{header, load, par_map, Stats};
+use crate::Ctx;
+use puppies_jpeg::{CoeffImage, EncodeOptions};
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) {
+    header("Fig. 11: private-part size vs number of private matrices");
+    let p3_sizes: Vec<(&str, Stats)> = [super::pascal(ctx), super::inria(ctx)]
+        .into_iter()
+        .map(|profile| {
+            let images = load(profile, ctx.seed);
+            let sizes = par_map(&images, |li| {
+                let coeff = CoeffImage::from_rgb(&li.image, super::QUALITY);
+                puppies_p3::P3Split::of(&coeff)
+                    .private_bytes(&EncodeOptions::default())
+                    .expect("encode") as f64
+            });
+            (profile.name(), Stats::of(&sizes))
+        })
+        .collect();
+
+    println!(
+        "{:>10} {:>16} {:>16} {:>16}",
+        "#matrices", "PuPPIeS (bytes)", "P3-PASCAL", "P3-INRIA"
+    );
+    for n in (2..=32).step_by(4) {
+        // Each matrix is ceil(64*11/8) = 88 bytes (§VI-A's 11-bit entries).
+        let puppies = n * 88;
+        println!(
+            "{:>10} {:>16} {:>16.0} {:>16.0}",
+            n, puppies, p3_sizes[0].1.mean, p3_sizes[1].1.mean
+        );
+    }
+    println!(
+        "\nP3 means over {}/{} images; paper: PuPPIeS smaller than P3-PASCAL below ~26 \
+         matrices and >93% smaller than P3-INRIA throughout",
+        p3_sizes[0].1.n, p3_sizes[1].1.n
+    );
+}

@@ -1,0 +1,50 @@
+//! Fig. 19: what lives where — byte accounting of the public and private
+//! parts for one image under PuPPIeS vs P3.
+
+use crate::util::{header, load};
+use crate::Ctx;
+use puppies_core::{protect, OwnerKey, ProtectOptions};
+use puppies_jpeg::{CoeffImage, EncodeOptions};
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) {
+    header("Fig. 19: public/private split for one image");
+    let li = load(super::pascal(ctx).with_count(1), ctx.seed).remove(0);
+    let coeff = CoeffImage::from_rgb(&li.image, super::QUALITY);
+    let enc_opts = EncodeOptions::default();
+    let original = coeff.encode(&enc_opts).expect("encode").len();
+
+    // PuPPIeS on the ground-truth ROIs (fall back to a centered box).
+    let rois = if li.truth.all_regions().is_empty() {
+        vec![puppies_image::Rect::new(
+            li.image.width() / 4,
+            li.image.height() / 4,
+            li.image.width() / 2,
+            li.image.height() / 2,
+        )]
+    } else {
+        li.truth.all_regions()
+    };
+    let key = OwnerKey::from_seed([19u8; 32]);
+    let opts = ProtectOptions::default().with_quality(super::QUALITY).with_image_id(li.id);
+    let protected = protect(&li.image, &rois, &key, &opts).expect("protect");
+    let grant = key.grant_rois(li.id, &(0..protected.params.rois.len() as u16).collect::<Vec<_>>());
+
+    let split = puppies_p3::P3Split::of(&coeff);
+    let p3_pub = split.public_bytes(&enc_opts).expect("encode");
+    let p3_priv = split.private_bytes(&enc_opts).expect("encode");
+
+    println!("original JPEG: {original} bytes; {} ROI region(s)", protected.params.rois.len());
+    println!("{:<28} {:>14} {:>14}", "", "public bytes", "private bytes");
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "PuPPIeS-Z",
+        protected.public_len(),
+        grant.private_part_bytes()
+    );
+    println!("{:<28} {:>14} {:>14}", "P3", p3_pub, p3_priv);
+    println!(
+        "\npaper: PuPPIeS shifts nearly all bytes to the cloud (private part \
+         is just the matrices); P3's private part is a second image"
+    );
+}

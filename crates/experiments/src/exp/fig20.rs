@@ -1,0 +1,83 @@
+//! Fig. 20: the SIFT-feature attack — features extracted from protected
+//! images should match (almost) nothing in the originals.
+
+use crate::util::{header, load, par_map, Stats};
+use crate::Ctx;
+use puppies_attacks::sift_attack;
+use puppies_core::{protect, OwnerKey, PrivacyLevel, ProtectOptions, Scheme};
+use puppies_image::Rect;
+use puppies_jpeg::CoeffImage;
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) {
+    header("Fig. 20: SIFT feature attack (whole-image protection)");
+    let images = load(
+        super::pascal(ctx).with_count(ctx.scale.count(4, 16, 64)),
+        ctx.seed,
+    );
+    let key = OwnerKey::from_seed([20u8; 32]);
+
+    struct Row {
+        name: &'static str,
+        make: fn(&puppies_datasets::LabeledImage, &OwnerKey) -> puppies_image::RgbImage,
+    }
+    let rows = [
+        Row {
+            name: "PuPPIeS-C",
+            make: |li, key| {
+                let whole = Rect::new(0, 0, li.image.width(), li.image.height());
+                let opts = ProtectOptions::new(Scheme::Compression, PrivacyLevel::Medium).with_quality(super::QUALITY)
+                    .with_image_id(li.id);
+                let p = protect(&li.image, &[whole], key, &opts).expect("protect");
+                CoeffImage::decode(&p.bytes).expect("decode").to_rgb()
+            },
+        },
+        Row {
+            name: "PuPPIeS-Z",
+            make: |li, key| {
+                let whole = Rect::new(0, 0, li.image.width(), li.image.height());
+                let opts =
+                    ProtectOptions::new(Scheme::Zero, PrivacyLevel::Medium).with_quality(super::QUALITY).with_image_id(li.id);
+                let p = protect(&li.image, &[whole], key, &opts).expect("protect");
+                CoeffImage::decode(&p.bytes).expect("decode").to_rgb()
+            },
+        },
+        Row {
+            name: "P3 public part",
+            make: |li, _| {
+                let coeff = CoeffImage::from_rgb(&li.image, super::QUALITY);
+                puppies_p3::P3Split::of(&coeff).public.to_rgb()
+            },
+        },
+    ];
+
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>14}",
+        "probe", "orig feats", "probe feats", "matches", "% zero-match"
+    );
+    for row in rows {
+        let reports = par_map(&images, |li| {
+            let reference = CoeffImage::from_rgb(&li.image, super::QUALITY)
+                .to_rgb()
+                .to_gray();
+            let probe = (row.make)(li, &key).to_gray();
+            sift_attack(&reference, &probe)
+        });
+        let feats: Vec<f64> = reports.iter().map(|r| r.original_features as f64).collect();
+        let pfeats: Vec<f64> = reports.iter().map(|r| r.perturbed_features as f64).collect();
+        let matches: Vec<f64> = reports.iter().map(|r| r.matches as f64).collect();
+        let zero = reports.iter().filter(|r| r.zero_matches()).count();
+        println!(
+            "{:<16} {:>12.1} {:>12.1} {:>12.2} {:>13.0}%",
+            row.name,
+            Stats::of(&feats).mean,
+            Stats::of(&pfeats).mean,
+            Stats::of(&matches).mean,
+            100.0 * zero as f64 / reports.len() as f64
+        );
+    }
+    println!(
+        "\npaper: ~1,500 features per original, average matches << 1, \
+         >90% of images with zero matches, for both PuPPIeS and P3"
+    );
+}

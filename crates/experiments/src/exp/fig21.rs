@@ -1,0 +1,69 @@
+//! Fig. 21: the edge-detection attack — CDF of the fraction of original
+//! edge pixels surviving in the protected image's edge map.
+
+use crate::util::{header, load, par_map};
+use crate::Ctx;
+use puppies_attacks::edge_attack;
+use puppies_core::{protect, OwnerKey, PrivacyLevel, ProtectOptions, Scheme};
+use puppies_image::Rect;
+use puppies_jpeg::CoeffImage;
+
+fn cdf_row(values: &mut Vec<f64>) -> String {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q = |p: f64| -> f64 {
+        if values.is_empty() {
+            return 0.0;
+        }
+        let idx = ((values.len() - 1) as f64 * p).round() as usize;
+        values[idx]
+    };
+    format!(
+        "p10 {:.3}  p25 {:.3}  p50 {:.3}  p75 {:.3}  p90 {:.3}  max {:.3}",
+        q(0.10),
+        q(0.25),
+        q(0.50),
+        q(0.75),
+        q(0.90),
+        q(1.0)
+    )
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) {
+    header("Fig. 21: edge-match ratio distribution (original vs protected)");
+    let images = load(
+        super::pascal(ctx).with_count(ctx.scale.count(6, 24, 96)),
+        ctx.seed,
+    );
+    let key = OwnerKey::from_seed([21u8; 32]);
+
+    let z = par_map(&images, |li| {
+        let whole = Rect::new(0, 0, li.image.width(), li.image.height());
+        let opts = ProtectOptions::new(Scheme::Zero, PrivacyLevel::Medium).with_quality(super::QUALITY).with_image_id(li.id);
+        let p = protect(&li.image, &[whole], &key, &opts).expect("protect");
+        let perturbed = CoeffImage::decode(&p.bytes).expect("decode").to_rgb();
+        let reference = CoeffImage::from_rgb(&li.image, super::QUALITY).to_rgb();
+        edge_attack(&reference.to_gray(), &perturbed.to_gray())
+    });
+    let p3 = par_map(&images, |li| {
+        let coeff = CoeffImage::from_rgb(&li.image, super::QUALITY);
+        let public = puppies_p3::P3Split::of(&coeff).public.to_rgb();
+        edge_attack(&coeff.to_rgb().to_gray(), &public.to_gray())
+    });
+
+    println!("density of edge pixels in the protected image (paper's plotted quantity):");
+    let mut zd: Vec<f64> = z.iter().map(|r| r.perturbed_density).collect();
+    let mut pd: Vec<f64> = p3.iter().map(|r| r.perturbed_density).collect();
+    println!("  PuPPIeS-Z: {}", cdf_row(&mut zd));
+    println!("  P3 public: {}", cdf_row(&mut pd));
+    println!("density-corrected structure survival (0 = nothing recoverable):");
+    let mut zs: Vec<f64> = z.iter().map(|r| r.structure_score).collect();
+    let mut ps: Vec<f64> = p3.iter().map(|r| r.structure_score).collect();
+    println!("  PuPPIeS-Z: {}", cdf_row(&mut zs));
+    println!("  P3 public: {}", cdf_row(&mut ps));
+    println!(
+        "\npaper: <5% of pixels identified as edges for both schemes, with \
+         similar CDFs; the corrected score shows how much *original* \
+         structure an adversary can actually trace."
+    );
+}

@@ -1,0 +1,93 @@
+//! Fig. 22: the face-recognition attack — cumulative rank curve of the
+//! true identity when probing an eigenface gallery with protected faces.
+
+use crate::util::{header, load};
+use crate::Ctx;
+use puppies_attacks::recognition::{recognition_attack, RankCurve};
+use puppies_core::{protect, OwnerKey, PrivacyLevel, ProtectOptions, Scheme};
+use puppies_jpeg::CoeffImage;
+use puppies_vision::eigenfaces::EigenfaceGallery;
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) {
+    header("Fig. 22: cumulative face-recognition ratio vs rank");
+    let images = load(super::feret(ctx), ctx.seed);
+    // Split: first appearance of each identity goes to the gallery; later
+    // appearances become probes.
+    let mut seen = std::collections::HashSet::new();
+    let mut gallery_faces = Vec::new();
+    let mut probes = Vec::new();
+    for li in &images {
+        let face = li.truth.faces[0];
+        let chip = |img: &puppies_image::RgbImage| {
+            img.crop(face.intersect(img.bounds())).expect("crop").to_gray()
+        };
+        if seen.insert(li.identity) {
+            gallery_faces.push((li.identity, chip(&li.image)));
+        } else {
+            probes.push((li, face));
+        }
+    }
+    // Enroll a second jittered sample per identity when available.
+    let mut extra = std::collections::HashSet::new();
+    probes.retain(|(li, face)| {
+        if extra.insert(li.identity) {
+            gallery_faces.push((
+                li.identity,
+                li.image.crop(face.intersect(li.image.bounds())).expect("crop").to_gray(),
+            ));
+            false
+        } else {
+            true
+        }
+    });
+    println!(
+        "gallery {} chips / {} identities, probes {}",
+        gallery_faces.len(),
+        seen.len(),
+        probes.len()
+    );
+    let gallery = EigenfaceGallery::train(&gallery_faces, 24);
+
+    let key = OwnerKey::from_seed([23u8; 32]);
+    let max_rank = 50.min(seen.len());
+    let mut clean_curve = RankCurve::new(max_rank);
+    let mut z_curve = RankCurve::new(max_rank);
+    let mut p3_curve = RankCurve::new(max_rank);
+    for (li, face) in &probes {
+        let coeff = CoeffImage::from_rgb(&li.image, super::QUALITY);
+        let reference = coeff.to_rgb();
+        let chip = |img: &puppies_image::RgbImage| {
+            img.crop(face.intersect(img.bounds())).expect("crop").to_gray()
+        };
+        clean_curve.record(recognition_attack(&gallery, &chip(&reference), li.identity));
+
+        // PuPPIeS-Z on the face region.
+        let opts = ProtectOptions::new(Scheme::Zero, PrivacyLevel::Medium).with_quality(super::QUALITY).with_image_id(li.id);
+        let protected = protect(&li.image, &[*face], &key, &opts).expect("protect");
+        let perturbed = CoeffImage::decode(&protected.bytes).expect("decode").to_rgb();
+        z_curve.record(recognition_attack(&gallery, &chip(&perturbed), li.identity));
+
+        // P3 public part (whole image by design).
+        let public = puppies_p3::P3Split::of(&coeff).public.to_rgb();
+        p3_curve.record(recognition_attack(&gallery, &chip(&public), li.identity));
+    }
+
+    println!("{:>6} {:>10} {:>12} {:>12}", "rank", "clean", "PuPPIeS-Z", "P3 public");
+    for k in [1usize, 5, 10, 25, max_rank] {
+        if k > max_rank {
+            continue;
+        }
+        println!(
+            "{:>6} {:>10.3} {:>12.3} {:>12.3}",
+            k,
+            clean_curve.ratio_at(k),
+            z_curve.ratio_at(k),
+            p3_curve.ratio_at(k)
+        );
+    }
+    println!(
+        "\npaper: P3 public parts reach ~50% cumulative recognition by rank 50 \
+         (DC-free images still leak identity); PuPPIeS stays ≤ ~5%"
+    );
+}

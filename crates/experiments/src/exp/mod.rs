@@ -1,0 +1,59 @@
+//! One module per reproduced table/figure; see the crate docs and
+//! DESIGN.md's experiment index.
+
+pub mod ablation_huffman;
+pub mod ablation_nb;
+pub mod bruteforce;
+pub mod detect_time;
+pub mod fig02;
+pub mod fig04;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod fig21;
+pub mod fig22;
+pub mod fig23;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+
+use crate::{Ctx, Scale};
+use puppies_datasets::DatasetProfile;
+
+/// PASCAL profile at the context's scale.
+pub fn pascal(ctx: &Ctx) -> DatasetProfile {
+    DatasetProfile::pascal().with_count(ctx.scale.count(8, 48, 400))
+}
+
+/// INRIA profile at the context's scale.
+pub fn inria(ctx: &Ctx) -> DatasetProfile {
+    let p = DatasetProfile::inria().with_count(ctx.scale.count(2, 6, 40));
+    if ctx.scale == Scale::Quick {
+        p.with_resolution(612, 816)
+    } else {
+        p
+    }
+}
+
+/// Caltech-faces profile at the context's scale.
+pub fn caltech(ctx: &Ctx) -> DatasetProfile {
+    DatasetProfile::caltech().with_count(ctx.scale.count(8, 24, 200))
+}
+
+/// FERET profile at the context's scale.
+pub fn feret(ctx: &Ctx) -> DatasetProfile {
+    DatasetProfile::feret().with_count(ctx.scale.count(24, 96, 400))
+}
+
+/// The JPEG quality every experiment encodes at. Public datasets ship
+/// JPEGs saved near quality 90–96, and the paper's "normalized size"
+/// divides by those native files; 90 keeps our denominators comparable.
+pub const QUALITY: u8 = 95;

@@ -1,0 +1,232 @@
+//! Table I: the transformation-compatibility matrix, executed.
+//!
+//! For every implemented scheme and every transformation column the
+//! harness actually runs encrypt → PSP-transform → recover and grades the
+//! cell by PSNR against the ground-truth transformed image (✓ when ≥ 30
+//! dB). Cells the scheme's published design cannot handle are verified to
+//! fail. Schemes whose machinery is orthogonal to this reproduction
+//! (Cryptagram, steganography, K-SVD dictionary) are printed from the
+//! paper's claims, marked "modeled".
+
+use crate::baselines::{BaselineScheme, DqtScramble, MhtEncrypt, PermuteBlock, SignFlip};
+use crate::util::header;
+use crate::Ctx;
+use puppies_core::{protect, OwnerKey, PerturbProfile, ProtectOptions};
+use puppies_image::metrics::psnr_rgb;
+use puppies_image::{Rect, RgbImage};
+use puppies_jpeg::CoeffImage;
+use puppies_transform::{ScaleFilter, Transformation};
+
+fn test_image(ctx: &Ctx) -> RgbImage {
+    crate::util::load(super::pascal(ctx).with_count(1), ctx.seed)
+        .remove(0)
+        .image
+}
+
+fn columns(w: u32, h: u32) -> Vec<(&'static str, Transformation)> {
+    vec![
+        (
+            "Scaling",
+            Transformation::Scale {
+                width: w / 2,
+                height: h / 2,
+                filter: ScaleFilter::Bilinear,
+            },
+        ),
+        (
+            "Cropping",
+            Transformation::Crop(Rect::new(w / 4 / 8 * 8, h / 4 / 8 * 8, w / 2 / 8 * 8, h / 2 / 8 * 8)),
+        ),
+        ("Compression", Transformation::Recompress { quality: 50 }),
+        ("Rotation", Transformation::Rotate90),
+    ]
+}
+
+/// PSP-side application of a transformation to an encrypted coefficient
+/// image, like `PspServer::transform` (coefficient path when lossless).
+fn psp_apply(enc: &CoeffImage, t: &Transformation) -> Option<CoeffImage> {
+    if t.is_coeff_domain(enc.width(), enc.height()) {
+        t.apply_to_coeff(enc).ok()
+    } else {
+        let rgb = enc.to_rgb();
+        let out = t.apply_to_rgb(&rgb).ok()?;
+        Some(CoeffImage::from_rgb(&out, super::QUALITY))
+    }
+}
+
+fn grade(psnr: f64) -> &'static str {
+    if psnr >= 30.0 {
+        "yes"
+    } else {
+        "NO"
+    }
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) {
+    header("Table I: compatibility with image transformations (executed)");
+    let img = test_image(ctx);
+    let original = CoeffImage::from_rgb(&img, super::QUALITY);
+    let cols = columns(img.width(), img.height());
+
+    println!(
+        "{:<24} {:>8} {:>14} {:>14} {:>14} {:>14}",
+        "scheme", "partial", "Scaling", "Cropping", "Compression", "Rotation"
+    );
+
+    // --- PuPPIeS: graded through the real protect/recover pipeline. ---
+    {
+        let key = OwnerKey::from_seed([42u8; 32]);
+        let opts = ProtectOptions::from_profile(PerturbProfile::transform_friendly())
+            .with_quality(super::QUALITY);
+        let whole = Rect::new(0, 0, img.width(), img.height());
+        let protected = protect(&img, &[whole], &key, &opts).expect("protect");
+        let mut cells = Vec::new();
+        for (_, t) in &cols {
+            let enc = CoeffImage::decode(&protected.bytes).expect("decode");
+            let Some(transformed) = psp_apply(&enc, t) else {
+                cells.push("NO (psp)".to_string());
+                continue;
+            };
+            let bytes = transformed
+                .encode(&puppies_jpeg::EncodeOptions::default())
+                .expect("encode");
+            let mut params = protected.params.clone();
+            params.transformation = Some(t.clone());
+            let recovered = puppies_core::shadow::recover_transformed(
+                &bytes,
+                &params,
+                &key.grant_all(),
+            );
+            let reference = psp_apply(&original, t).expect("reference").to_rgb();
+            let cell = match recovered {
+                Ok(r) if (r.width(), r.height()) == (reference.width(), reference.height()) => {
+                    let p = psnr_rgb(&r, &reference);
+                    format!("{} ({:.0}dB)", grade(p), p.min(99.0))
+                }
+                _ => "NO".into(),
+            };
+            cells.push(cell);
+        }
+        println!(
+            "{:<24} {:>8} {:>14} {:>14} {:>14} {:>14}",
+            "PuPPIeS (ours)", "yes", cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+
+    // --- P3: pixel recombination (its only post-transform mechanism). ---
+    {
+        let split = puppies_p3::P3Split::of(&original);
+        let mut cells = Vec::new();
+        for (_, t) in &cols {
+            let Some(tp) = psp_apply(&split.public, t) else {
+                cells.push("NO".to_string());
+                continue;
+            };
+            // The receiver applies the same transformation to its private
+            // part (pixel domain, per P3's design) and recombines.
+            let tpriv = match t.apply_to_rgb(&split.private.to_rgb()) {
+                Ok(v) => v,
+                Err(_) => {
+                    cells.push("NO".into());
+                    continue;
+                }
+            };
+            let cell = match puppies_p3::recombine_pixels(&tp.to_rgb(), &tpriv) {
+                Ok(rec) => {
+                    let reference = psp_apply(&original, t).expect("reference").to_rgb();
+                    if (rec.width(), rec.height()) == (reference.width(), reference.height()) {
+                        let p = psnr_rgb(&rec, &reference);
+                        format!("{} ({:.0}dB)", grade(p), p.min(99.0))
+                    } else {
+                        "NO".into()
+                    }
+                }
+                Err(_) => "NO".into(),
+            };
+            cells.push(cell);
+        }
+        println!(
+            "{:<24} {:>8} {:>14} {:>14} {:>14} {:>14}",
+            "P3", "no", cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+
+    // --- Coefficient-domain baselines. ---
+    let schemes: Vec<Box<dyn BaselineScheme>> = vec![
+        Box::new(SignFlip { seed: 0xD0F0 }),
+        Box::new(PermuteBlock { seed: 0x0117 }),
+        Box::new(DqtScramble {
+            seed: 0xC4A6,
+            quality: super::QUALITY,
+        }),
+        Box::new(MhtEncrypt),
+    ];
+    for s in &schemes {
+        let enc = s.encrypt(&original);
+        let mut cells = Vec::new();
+        for (_, t) in &cols {
+            if !s.psp_can_decode() {
+                cells.push("NO (opaque)".to_string());
+                continue;
+            }
+            let Some(transformed) = psp_apply(&enc, t) else {
+                cells.push("NO".to_string());
+                continue;
+            };
+            let cell = match s.recover(&transformed, Some(t)) {
+                Some(rec) => {
+                    let reference = psp_apply(&original, t).expect("reference").to_rgb();
+                    let r = rec.to_rgb();
+                    if (r.width(), r.height()) == (reference.width(), reference.height()) {
+                        let p = psnr_rgb(&r, &reference);
+                        format!("{} ({:.0}dB)", grade(p), p.min(99.0))
+                    } else {
+                        "NO".into()
+                    }
+                }
+                None => {
+                    // Verify the claim: naive (transform-unaware) recovery
+                    // must indeed fail.
+                    let naive = s.recover(&transformed, None);
+                    let reference = psp_apply(&original, t).expect("reference").to_rgb();
+                    let failed = match naive {
+                        Some(rec) => {
+                            let r = rec.to_rgb();
+                            (r.width(), r.height()) != (reference.width(), reference.height())
+                                || psnr_rgb(&r, &reference) < 30.0
+                        }
+                        None => true,
+                    };
+                    if failed { "NO (verified)".into() } else { "yes?!".to_string() }
+                }
+            };
+            cells.push(cell);
+        }
+        println!(
+            "{:<24} {:>8} {:>14} {:>14} {:>14} {:>14}",
+            s.name(),
+            if s.supports_partial() { "yes" } else { "no" },
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3]
+        );
+    }
+
+    // --- Modeled rows (machinery orthogonal to this reproduction). ---
+    for (name, partial, row) in [
+        ("Cryptagram [modeled]", "yes", ["NO", "NO", "NO", "NO"]),
+        ("Steganography [modeled]", "yes", ["NO", "NO", "NO", "yes"]),
+        ("Aharon K-SVD [modeled]", "no", ["NO", "yes", "yes", "yes"]),
+    ] {
+        println!(
+            "{:<24} {:>8} {:>14} {:>14} {:>14} {:>14}",
+            name, partial, row[0], row[1], row[2], row[3]
+        );
+    }
+    println!(
+        "\n(yes = recovered at >= 30 dB against the ground-truth transformed image; \
+         NO (verified) = the design has no mechanism and naive recovery measurably fails)"
+    );
+}

@@ -1,0 +1,54 @@
+//! Table II: normalized size of perturbed images (PASCAL, whole-image
+//! worst case, medium privacy).
+//!
+//! Paper's numbers: PuPPIeS-B ≈ 10.45× mean (default Huffman tables),
+//! PuPPIeS-C ≈ 1.46×, PuPPIeS-Z ≈ 1.23×.
+
+use crate::util::{header, load, par_map, Stats};
+use crate::Ctx;
+use puppies_core::{protect_coeff, OwnerKey, PrivacyLevel, ProtectOptions, Scheme};
+use puppies_jpeg::{CoeffImage, EncodeOptions, HuffmanMode};
+
+/// Normalized perturbed-image sizes for one scheme/mode over a dataset.
+pub fn ratios(
+    images: &[puppies_datasets::LabeledImage],
+    scheme: Scheme,
+    huffman: HuffmanMode,
+    level: PrivacyLevel,
+) -> Vec<f64> {
+    let key = OwnerKey::from_seed([2u8; 32]);
+    par_map(images, |li| {
+        let coeff = CoeffImage::from_rgb(&li.image, super::QUALITY);
+        let mut enc_opts = EncodeOptions::default();
+        enc_opts.huffman = huffman;
+        let original = coeff.encode(&enc_opts).expect("encode").len();
+        let mut perturbed = coeff;
+        let whole = puppies_image::Rect::new(0, 0, li.image.width(), li.image.height());
+        let opts = ProtectOptions::new(scheme, level).with_quality(super::QUALITY).with_image_id(li.id);
+        protect_coeff(&mut perturbed, &[whole], &key, &opts).expect("perturb");
+        let size = perturbed.encode(&enc_opts).expect("encode").len();
+        size as f64 / original as f64
+    })
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) {
+    header("Table II: normalized perturbed size, PASCAL, whole image, medium privacy");
+    let images = load(super::pascal(ctx), ctx.seed);
+    println!("({} images)", images.len());
+    println!(
+        "{:<34} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "scheme", "mean", "median", "std", "min", "max"
+    );
+    let rows = [
+        ("PuPPIeS-B (default tables)", Scheme::Base, HuffmanMode::Standard),
+        ("PuPPIeS-B (optimized tables)", Scheme::Base, HuffmanMode::Optimized),
+        ("PuPPIeS-C (optimized tables)", Scheme::Compression, HuffmanMode::Optimized),
+        ("PuPPIeS-Z (optimized tables)", Scheme::Zero, HuffmanMode::Optimized),
+    ];
+    for (name, scheme, huffman) in rows {
+        let r = ratios(&images, scheme, huffman, PrivacyLevel::Medium);
+        println!("{:<34} {}", name, Stats::of(&r).row(2));
+    }
+    println!("\npaper: B 10.45/9.69, C 1.46/1.41, Z 1.23/1.22 (mean/median)");
+}

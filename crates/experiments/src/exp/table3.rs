@@ -1,0 +1,40 @@
+//! Table III: dataset inventory — profiles with measured JPEG sizes.
+
+use crate::util::{header, load, par_map, Stats};
+use crate::Ctx;
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) {
+    header("Table III: datasets (synthetic stand-ins; paper figures alongside)");
+    println!(
+        "{:<9} {:>7} {:>12} {:>12} | {:>9} {:>12} {:<}",
+        "dataset", "count", "resolution", "mean size", "paper n", "paper res", "experiment role"
+    );
+    let rows = [
+        (super::pascal(ctx), "storage, timing, attacks"),
+        (super::inria(ctx), "high-res storage & timing"),
+        (super::caltech(ctx), "face detection"),
+        (super::feret(ctx), "face recognition"),
+    ];
+    for (profile, role) in rows {
+        let images = load(profile, ctx.seed);
+        let sizes = par_map(&images, |li| {
+            puppies_jpeg::encode_rgb(&li.image, super::QUALITY)
+                .expect("encode")
+                .len() as f64
+                / 1024.0
+        });
+        let s = Stats::of(&sizes);
+        println!(
+            "{:<9} {:>7} {:>12} {:>9.1} KB | {:>9} {:>12} {:<}",
+            profile.name(),
+            profile.count,
+            format!("{}x{}", profile.width, profile.height),
+            s.mean,
+            profile.paper_count,
+            format!("{}x{}", profile.paper_resolution.0, profile.paper_resolution.1),
+            role,
+        );
+    }
+    println!("\npaper mean sizes: Caltech 152 KB, FERET 10.4 KB, INRIA 1842 KB, PASCAL 84 KB");
+}

@@ -1,0 +1,56 @@
+//! Table V: encryption/decryption wall time with PuPPIeS-Z, whole-image
+//! upper bound (paper: INRIA ≈ 198 ms mean, PASCAL ≈ 20.3 ms on a 2013
+//! laptop — absolute numbers differ across machines; the dataset scaling
+//! and order of magnitude are the reproduced shape).
+
+use crate::util::{header, load, Stats};
+use crate::Ctx;
+use puppies_core::perturb::{perturb_roi, recover_roi, RoiKeys};
+use puppies_core::{OwnerKey, PerturbProfile, PrivacyLevel, Scheme};
+use puppies_image::Rect;
+use puppies_jpeg::CoeffImage;
+use std::time::Instant;
+
+/// Per-image encryption+decryption times (ms) over a dataset, whole-image
+/// ROI, PuPPIeS-Z at medium privacy. Only the perturbation itself is
+/// timed (the paper's "the only operation is to add/subtract private
+/// matrices").
+pub fn times_ms(images: &[puppies_datasets::LabeledImage]) -> (Vec<f64>, Vec<f64>) {
+    let key = OwnerKey::from_seed([6u8; 32]);
+    let grant = key.grant_all();
+    let profile = PerturbProfile::paper(Scheme::Zero, PrivacyLevel::Medium);
+    let mut enc = Vec::with_capacity(images.len());
+    let mut dec = Vec::with_capacity(images.len());
+    for li in images {
+        let coeff = CoeffImage::from_rgb(&li.image, super::QUALITY);
+        let keys: Vec<RoiKeys> = (0..3)
+            .map(|c| RoiKeys::from_grant(&grant, li.id, 0, c).expect("keys"))
+            .collect();
+        let whole = Rect::new(0, 0, coeff.width(), coeff.height());
+        let mut work = coeff.clone();
+        let t0 = Instant::now();
+        let record = perturb_roi(&mut work, whole, &keys, &profile).expect("perturb");
+        enc.push(t0.elapsed().as_secs_f64() * 1e3);
+        let t1 = Instant::now();
+        recover_roi(&mut work, whole, &keys, &profile, &record.zind).expect("recover");
+        dec.push(t1.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(work, coeff, "timing run must stay correct");
+    }
+    (enc, dec)
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &Ctx) {
+    header("Table V: PuPPIeS-Z encryption/decryption time, whole image (ms)");
+    println!(
+        "{:<18} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "dataset/op", "mean", "median", "std", "min", "max"
+    );
+    for profile in [super::inria(ctx), super::pascal(ctx)] {
+        let images = load(profile, ctx.seed);
+        let (enc, dec) = times_ms(&images);
+        println!("{:<18} {}", format!("{} encrypt", profile.name()), Stats::of(&enc).row(2));
+        println!("{:<18} {}", format!("{} decrypt", profile.name()), Stats::of(&dec).row(2));
+    }
+    println!("\npaper (laptop, 2013): INRIA mean 198 ms, PASCAL mean 20.3 ms");
+}

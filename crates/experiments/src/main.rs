@@ -1,0 +1,57 @@
+//! `repro` — runs the reproduction experiments.
+//!
+//! ```text
+//! repro [--quick|--full] all          # everything, in index order
+//! repro [--quick|--full] table2 fig18 # specific experiments
+//! repro list                          # what exists
+//! ```
+
+use puppies_experiments::{registry, Ctx, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Default;
+    let mut selected: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--full" => scale = Scale::Full,
+            other => selected.push(other.to_string()),
+        }
+    }
+    let reg = registry();
+    if selected.is_empty() || selected.iter().any(|s| s == "list") {
+        println!("available experiments (run with `repro <name>...` or `repro all`):");
+        for (name, (desc, _)) in &reg {
+            println!("  {name:<18} {desc}");
+        }
+        return;
+    }
+    let ctx = Ctx::new(scale);
+    let run_all = selected.iter().any(|s| s == "all");
+    let t0 = std::time::Instant::now();
+    if run_all {
+        for (name, (desc, f)) in &reg {
+            eprintln!("[repro] {name}: {desc}");
+            f(&ctx);
+        }
+    } else {
+        for name in &selected {
+            match reg.get(name.as_str()) {
+                Some((desc, f)) => {
+                    eprintln!("[repro] {name}: {desc}");
+                    f(&ctx);
+                }
+                None => {
+                    eprintln!("unknown experiment {name:?}; try `repro list`");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    eprintln!(
+        "[repro] done in {:.1}s (outputs under {})",
+        t0.elapsed().as_secs_f64(),
+        ctx.out_dir.display()
+    );
+}

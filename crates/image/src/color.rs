@@ -1,0 +1,178 @@
+//! RGB ⇄ YCbCr color conversion as used by baseline JPEG (JFIF full range,
+//! ITU-R BT.601 coefficients).
+//!
+//! The JPEG pipeline in `puppies-jpeg` converts images to YCbCr before the
+//! per-plane DCT; PuPPIeS perturbs each plane independently (§II-A of the
+//! paper notes each layer is processed independently).
+
+use serde::{Deserialize, Serialize};
+
+/// An 8-bit RGB color triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Rgb {
+    /// Red channel, 0..=255.
+    pub r: u8,
+    /// Green channel, 0..=255.
+    pub g: u8,
+    /// Blue channel, 0..=255.
+    pub b: u8,
+}
+
+impl Rgb {
+    /// Creates a color from its components.
+    pub const fn new(r: u8, g: u8, b: u8) -> Self {
+        Rgb { r, g, b }
+    }
+
+    /// Pure black.
+    pub const BLACK: Rgb = Rgb::new(0, 0, 0);
+    /// Pure white.
+    pub const WHITE: Rgb = Rgb::new(255, 255, 255);
+
+    /// Rec. 601 luma of the color, rounded to the nearest integer.
+    pub fn luma(self) -> u8 {
+        let y = 0.299 * self.r as f32 + 0.587 * self.g as f32 + 0.114 * self.b as f32;
+        y.round().clamp(0.0, 255.0) as u8
+    }
+
+    /// Linear interpolation between `self` and `other` with `t` in `[0, 1]`.
+    pub fn lerp(self, other: Rgb, t: f32) -> Rgb {
+        let t = t.clamp(0.0, 1.0);
+        let mix = |a: u8, b: u8| (a as f32 + (b as f32 - a as f32) * t).round() as u8;
+        Rgb::new(mix(self.r, other.r), mix(self.g, other.g), mix(self.b, other.b))
+    }
+}
+
+impl From<[u8; 3]> for Rgb {
+    fn from(v: [u8; 3]) -> Self {
+        Rgb::new(v[0], v[1], v[2])
+    }
+}
+
+impl From<Rgb> for [u8; 3] {
+    fn from(c: Rgb) -> Self {
+        [c.r, c.g, c.b]
+    }
+}
+
+/// An 8-bit full-range YCbCr triple (JFIF convention: all channels 0..=255,
+/// chroma centered at 128).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct YCbCr {
+    /// Luma.
+    pub y: u8,
+    /// Blue-difference chroma.
+    pub cb: u8,
+    /// Red-difference chroma.
+    pub cr: u8,
+}
+
+impl YCbCr {
+    /// Creates a YCbCr triple from its components.
+    pub const fn new(y: u8, cb: u8, cr: u8) -> Self {
+        YCbCr { y, cb, cr }
+    }
+}
+
+/// Converts an RGB color to full-range YCbCr (BT.601 / JFIF).
+pub fn rgb_to_ycbcr(c: Rgb) -> YCbCr {
+    let (r, g, b) = (c.r as f32, c.g as f32, c.b as f32);
+    let y = 0.299 * r + 0.587 * g + 0.114 * b;
+    let cb = 128.0 - 0.168_735_9 * r - 0.331_264_1 * g + 0.5 * b;
+    let cr = 128.0 + 0.5 * r - 0.418_687_6 * g - 0.081_312_4 * b;
+    YCbCr::new(
+        y.round().clamp(0.0, 255.0) as u8,
+        cb.round().clamp(0.0, 255.0) as u8,
+        cr.round().clamp(0.0, 255.0) as u8,
+    )
+}
+
+/// Converts a full-range YCbCr color back to RGB (BT.601 / JFIF).
+pub fn ycbcr_to_rgb(c: YCbCr) -> Rgb {
+    let y = c.y as f32;
+    let cb = c.cb as f32 - 128.0;
+    let cr = c.cr as f32 - 128.0;
+    let r = y + 1.402 * cr;
+    let g = y - 0.344_136_3 * cb - 0.714_136_3 * cr;
+    let b = y + 1.772 * cb;
+    Rgb::new(
+        r.round().clamp(0.0, 255.0) as u8,
+        g.round().clamp(0.0, 255.0) as u8,
+        b.round().clamp(0.0, 255.0) as u8,
+    )
+}
+
+impl From<Rgb> for YCbCr {
+    fn from(c: Rgb) -> Self {
+        rgb_to_ycbcr(c)
+    }
+}
+
+impl From<YCbCr> for Rgb {
+    fn from(c: YCbCr) -> Self {
+        ycbcr_to_rgb(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn black_and_white_map_to_extremes() {
+        assert_eq!(rgb_to_ycbcr(Rgb::BLACK), YCbCr::new(0, 128, 128));
+        assert_eq!(rgb_to_ycbcr(Rgb::WHITE), YCbCr::new(255, 128, 128));
+    }
+
+    #[test]
+    fn primaries_have_expected_luma_order() {
+        let yr = rgb_to_ycbcr(Rgb::new(255, 0, 0)).y;
+        let yg = rgb_to_ycbcr(Rgb::new(0, 255, 0)).y;
+        let yb = rgb_to_ycbcr(Rgb::new(0, 0, 255)).y;
+        assert!(yg > yr && yr > yb, "luma order G > R > B violated: {yg} {yr} {yb}");
+    }
+
+    #[test]
+    fn round_trip_is_nearly_lossless() {
+        // 8-bit YCbCr quantization loses at most a couple of codes per channel.
+        for r in (0..=255).step_by(17) {
+            for g in (0..=255).step_by(17) {
+                for b in (0..=255).step_by(17) {
+                    let c = Rgb::new(r as u8, g as u8, b as u8);
+                    let back = ycbcr_to_rgb(rgb_to_ycbcr(c));
+                    assert!((back.r as i32 - c.r as i32).abs() <= 2, "{c:?} -> {back:?}");
+                    assert!((back.g as i32 - c.g as i32).abs() <= 2, "{c:?} -> {back:?}");
+                    assert!((back.b as i32 - c.b as i32).abs() <= 2, "{c:?} -> {back:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gray_has_neutral_chroma() {
+        for v in [0u8, 37, 128, 200, 255] {
+            let c = rgb_to_ycbcr(Rgb::new(v, v, v));
+            assert_eq!(c.cb, 128);
+            assert_eq!(c.cr, 128);
+            assert_eq!(c.y, v);
+        }
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Rgb::new(10, 20, 30);
+        let b = Rgb::new(200, 100, 0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        let mid = a.lerp(b, 0.5);
+        assert_eq!(mid, Rgb::new(105, 60, 15));
+    }
+
+    #[test]
+    fn luma_matches_ycbcr_y() {
+        for (r, g, b) in [(12u8, 200u8, 99u8), (255, 0, 128), (1, 2, 3)] {
+            let c = Rgb::new(r, g, b);
+            assert_eq!(c.luma(), rgb_to_ycbcr(c).y);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Convolution and standard kernels (Gaussian, Sobel, box).
+//!
+//! Used both by the PSP "filtering" transformation (§II-B) and by the vision
+//! substrate (Canny, pyramids, geometric blur).
+
+use crate::buffer::Plane;
+
+/// A dense 2-D convolution kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    width: u32,
+    height: u32,
+    weights: Vec<f32>,
+}
+
+impl Kernel {
+    /// Creates a kernel from row-major weights.
+    ///
+    /// # Panics
+    /// Panics if the dimensions are zero, even, or do not match the weight
+    /// count (odd sizes keep the anchor centered).
+    pub fn new(width: u32, height: u32, weights: Vec<f32>) -> Self {
+        assert!(width % 2 == 1 && height % 2 == 1, "kernel sides must be odd");
+        assert_eq!(weights.len(), (width * height) as usize, "weight count mismatch");
+        Kernel {
+            width,
+            height,
+            weights,
+        }
+    }
+
+    /// Kernel width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Kernel height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Row-major weights.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// The normalized box (mean) kernel of the given odd side.
+    pub fn boxcar(side: u32) -> Kernel {
+        let n = (side * side) as usize;
+        Kernel::new(side, side, vec![1.0 / n as f32; n])
+    }
+
+    /// Horizontal Sobel derivative kernel.
+    pub fn sobel_x() -> Kernel {
+        Kernel::new(3, 3, vec![-1.0, 0.0, 1.0, -2.0, 0.0, 2.0, -1.0, 0.0, 1.0])
+    }
+
+    /// Vertical Sobel derivative kernel.
+    pub fn sobel_y() -> Kernel {
+        Kernel::new(3, 3, vec![-1.0, -2.0, -1.0, 0.0, 0.0, 0.0, 1.0, 2.0, 1.0])
+    }
+
+    /// 3×3 sharpening kernel (unsharp-style).
+    pub fn sharpen() -> Kernel {
+        Kernel::new(3, 3, vec![0.0, -1.0, 0.0, -1.0, 5.0, -1.0, 0.0, -1.0, 0.0])
+    }
+}
+
+/// Convolves `src` with `kernel` using replicate border handling.
+pub fn convolve(src: &Plane, kernel: &Kernel) -> Plane {
+    let kx = (kernel.width / 2) as i64;
+    let ky = (kernel.height / 2) as i64;
+    Plane::from_fn(src.width(), src.height(), |x, y| {
+        let mut acc = 0.0f32;
+        let mut wi = 0usize;
+        for dy in -ky..=ky {
+            for dx in -kx..=kx {
+                acc += kernel.weights[wi] * src.get_clamped(x as i64 + dx, y as i64 + dy);
+                wi += 1;
+            }
+        }
+        acc
+    })
+}
+
+/// Returns a 1-D Gaussian tap vector with `sigma`, truncated at 3σ and
+/// normalized to sum 1.
+pub fn gaussian_taps(sigma: f32) -> Vec<f32> {
+    assert!(sigma > 0.0, "sigma must be positive");
+    let radius = (3.0 * sigma).ceil() as i32;
+    let mut taps: Vec<f32> = (-radius..=radius)
+        .map(|i| (-0.5 * (i as f32 / sigma).powi(2)).exp())
+        .collect();
+    let sum: f32 = taps.iter().sum();
+    for t in &mut taps {
+        *t /= sum;
+    }
+    taps
+}
+
+/// Separable Gaussian blur with replicate borders.
+///
+/// # Panics
+/// Panics if `sigma` is not positive.
+pub fn gaussian_blur(src: &Plane, sigma: f32) -> Plane {
+    let taps = gaussian_taps(sigma);
+    let radius = (taps.len() / 2) as i64;
+    // Horizontal pass.
+    let hp = Plane::from_fn(src.width(), src.height(), |x, y| {
+        let mut acc = 0.0f32;
+        for (i, t) in taps.iter().enumerate() {
+            acc += t * src.get_clamped(x as i64 + i as i64 - radius, y as i64);
+        }
+        acc
+    });
+    // Vertical pass.
+    Plane::from_fn(src.width(), src.height(), |x, y| {
+        let mut acc = 0.0f32;
+        for (i, t) in taps.iter().enumerate() {
+            acc += t * hp.get_clamped(x as i64, y as i64 + i as i64 - radius);
+        }
+        acc
+    })
+}
+
+/// Gradient magnitude and orientation via Sobel operators.
+///
+/// Returns `(magnitude, orientation)` planes; orientation is in radians in
+/// `(-π, π]`.
+pub fn sobel_gradients(src: &Plane) -> (Plane, Plane) {
+    let gx = convolve(src, &Kernel::sobel_x());
+    let gy = convolve(src, &Kernel::sobel_y());
+    let mag = Plane::from_fn(src.width(), src.height(), |x, y| {
+        let (a, b) = (gx.get(x, y), gy.get(x, y));
+        (a * a + b * b).sqrt()
+    });
+    let ori = Plane::from_fn(src.width(), src.height(), |x, y| {
+        gy.get(x, y).atan2(gx.get(x, y))
+    });
+    (mag, ori)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boxcar_preserves_constant() {
+        let p = Plane::from_fn(10, 10, |_, _| 42.0);
+        let out = convolve(&p, &Kernel::boxcar(3));
+        for &v in out.samples() {
+            assert!((v - 42.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gaussian_taps_normalized_and_symmetric() {
+        let taps = gaussian_taps(1.4);
+        let sum: f32 = taps.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        let n = taps.len();
+        assert_eq!(n % 2, 1);
+        for i in 0..n / 2 {
+            assert!((taps[i] - taps[n - 1 - i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gaussian_blur_preserves_mean() {
+        let p = Plane::from_fn(32, 32, |x, y| ((x * y) % 255) as f32);
+        let out = gaussian_blur(&p, 2.0);
+        // Replicate borders keep the mean approximately.
+        assert!((p.mean() - out.mean()).abs() < 4.0);
+    }
+
+    #[test]
+    fn gaussian_blur_reduces_variance() {
+        let p = Plane::from_fn(32, 32, |x, _| if x % 2 == 0 { 0.0 } else { 255.0 });
+        let out = gaussian_blur(&p, 1.5);
+        let var = |q: &Plane| {
+            let m = q.mean();
+            q.samples().iter().map(|&v| (v as f64 - m).powi(2)).sum::<f64>() / q.samples().len() as f64
+        };
+        assert!(var(&out) < var(&p) / 10.0);
+    }
+
+    #[test]
+    fn sobel_detects_vertical_edge() {
+        let p = Plane::from_fn(16, 16, |x, _| if x < 8 { 0.0 } else { 255.0 });
+        let (mag, ori) = sobel_gradients(&p);
+        // Strongest response at the edge column.
+        assert!(mag.get(8, 8) > 500.0);
+        assert!(mag.get(2, 8) < 1.0);
+        // Gradient points along +x (orientation ~ 0).
+        assert!(ori.get(8, 8).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_kernel_rejected() {
+        let _ = Kernel::new(2, 2, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn sharpen_increases_edge_contrast() {
+        let p = Plane::from_fn(16, 16, |x, _| if x < 8 { 100.0 } else { 150.0 });
+        let out = convolve(&p, &Kernel::sharpen());
+        let (lo, hi) = out.min_max();
+        assert!(lo < 100.0 && hi > 150.0, "overshoot expected: {lo} {hi}");
+    }
+}

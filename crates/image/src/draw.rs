@@ -1,0 +1,211 @@
+//! Drawing primitives used by the synthetic dataset generators.
+
+use crate::buffer::RgbImage;
+use crate::color::Rgb;
+use crate::geometry::{Point, Rect};
+
+/// Fills `rect` (clipped to the image) with `color`.
+pub fn fill_rect(img: &mut RgbImage, rect: Rect, color: Rgb) {
+    let r = rect.intersect(img.bounds());
+    for y in r.y..r.bottom() {
+        for x in r.x..r.right() {
+            img.set(x, y, color);
+        }
+    }
+}
+
+/// Draws a 1-pixel rectangle outline (clipped).
+pub fn stroke_rect(img: &mut RgbImage, rect: Rect, color: Rgb) {
+    if rect.is_empty() {
+        return;
+    }
+    let b = img.bounds();
+    for x in rect.x..rect.right() {
+        if b.contains(x, rect.y) {
+            img.set(x, rect.y, color);
+        }
+        if rect.h > 0 && b.contains(x, rect.bottom() - 1) {
+            img.set(x, rect.bottom() - 1, color);
+        }
+    }
+    for y in rect.y..rect.bottom() {
+        if b.contains(rect.x, y) {
+            img.set(rect.x, y, color);
+        }
+        if rect.w > 0 && b.contains(rect.right() - 1, y) {
+            img.set(rect.right() - 1, y, color);
+        }
+    }
+}
+
+/// Draws a line segment with Bresenham's algorithm (clipped).
+pub fn line(img: &mut RgbImage, a: Point, b: Point, color: Rgb) {
+    let (mut x0, mut y0) = (a.x, a.y);
+    let (x1, y1) = (b.x, b.y);
+    let dx = (x1 - x0).abs();
+    let dy = -(y1 - y0).abs();
+    let sx = if x0 < x1 { 1 } else { -1 };
+    let sy = if y0 < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    loop {
+        if x0 >= 0 && y0 >= 0 && (x0 as u32) < img.width() && (y0 as u32) < img.height() {
+            img.set(x0 as u32, y0 as u32, color);
+        }
+        if x0 == x1 && y0 == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x0 += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y0 += sy;
+        }
+    }
+}
+
+/// Fills an axis-aligned ellipse centered at `(cx, cy)` with radii
+/// `(rx, ry)` (clipped).
+pub fn fill_ellipse(img: &mut RgbImage, cx: i32, cy: i32, rx: i32, ry: i32, color: Rgb) {
+    if rx <= 0 || ry <= 0 {
+        return;
+    }
+    let (rx2, ry2) = ((rx as i64) * (rx as i64), (ry as i64) * (ry as i64));
+    for dy in -ry..=ry {
+        for dx in -rx..=rx {
+            if (dx as i64) * (dx as i64) * ry2 + (dy as i64) * (dy as i64) * rx2 <= rx2 * ry2 {
+                let (x, y) = (cx + dx, cy + dy);
+                if x >= 0 && y >= 0 && (x as u32) < img.width() && (y as u32) < img.height() {
+                    img.set(x as u32, y as u32, color);
+                }
+            }
+        }
+    }
+}
+
+/// Fills a convex polygon given its vertices in order (clipped). Uses a
+/// scanline fill with the even-odd rule, which is exact for convex shapes.
+pub fn fill_polygon(img: &mut RgbImage, pts: &[Point], color: Rgb) {
+    if pts.len() < 3 {
+        return;
+    }
+    let min_y = pts.iter().map(|p| p.y).min().unwrap().max(0);
+    let max_y = pts
+        .iter()
+        .map(|p| p.y)
+        .max()
+        .unwrap()
+        .min(img.height() as i32 - 1);
+    for y in min_y..=max_y {
+        let mut xs: Vec<f64> = Vec::new();
+        let fy = y as f64 + 0.5;
+        for i in 0..pts.len() {
+            let p = pts[i];
+            let q = pts[(i + 1) % pts.len()];
+            let (y0, y1) = (p.y as f64, q.y as f64);
+            if (y0 <= fy && fy < y1) || (y1 <= fy && fy < y0) {
+                let t = (fy - y0) / (y1 - y0);
+                xs.push(p.x as f64 + t * (q.x as f64 - p.x as f64));
+            }
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for pair in xs.chunks(2) {
+            if pair.len() == 2 {
+                let x0 = pair[0].ceil().max(0.0) as u32;
+                let x1 = (pair[1].floor() as i64).min(img.width() as i64 - 1);
+                for x in x0 as i64..=x1 {
+                    if x >= 0 {
+                        img.set(x as u32, y as u32, color);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Fills the whole image with a vertical gradient from `top` to `bottom`.
+pub fn vertical_gradient(img: &mut RgbImage, top: Rgb, bottom: Rgb) {
+    let h = img.height();
+    for y in 0..h {
+        let t = if h > 1 { y as f32 / (h - 1) as f32 } else { 0.0 };
+        let c = top.lerp(bottom, t);
+        for x in 0..img.width() {
+            img.set(x, y, c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_rect_paints_expected_area() {
+        let mut img = RgbImage::new(10, 10);
+        fill_rect(&mut img, Rect::new(2, 2, 3, 3), Rgb::WHITE);
+        let white = img.pixels().iter().filter(|&&c| c == Rgb::WHITE).count();
+        assert_eq!(white, 9);
+    }
+
+    #[test]
+    fn stroke_rect_is_hollow() {
+        let mut img = RgbImage::new(10, 10);
+        stroke_rect(&mut img, Rect::new(1, 1, 5, 5), Rgb::WHITE);
+        assert_eq!(img.get(1, 1), Rgb::WHITE);
+        assert_eq!(img.get(3, 3), Rgb::BLACK);
+        assert_eq!(img.get(5, 5), Rgb::WHITE);
+    }
+
+    #[test]
+    fn line_endpoints_are_painted() {
+        let mut img = RgbImage::new(16, 16);
+        line(&mut img, Point::new(0, 0), Point::new(15, 10), Rgb::WHITE);
+        assert_eq!(img.get(0, 0), Rgb::WHITE);
+        assert_eq!(img.get(15, 10), Rgb::WHITE);
+    }
+
+    #[test]
+    fn line_clips_outside() {
+        let mut img = RgbImage::new(8, 8);
+        line(&mut img, Point::new(-5, -5), Point::new(20, 20), Rgb::WHITE);
+        assert_eq!(img.get(3, 3), Rgb::WHITE);
+    }
+
+    #[test]
+    fn ellipse_center_painted_edges_not() {
+        let mut img = RgbImage::new(21, 21);
+        fill_ellipse(&mut img, 10, 10, 5, 3, Rgb::WHITE);
+        assert_eq!(img.get(10, 10), Rgb::WHITE);
+        assert_eq!(img.get(10 + 5, 10), Rgb::WHITE);
+        assert_eq!(img.get(0, 0), Rgb::BLACK);
+        assert_eq!(img.get(10 + 5, 10 + 3), Rgb::BLACK);
+    }
+
+    #[test]
+    fn polygon_triangle_fill() {
+        let mut img = RgbImage::new(20, 20);
+        fill_polygon(
+            &mut img,
+            &[Point::new(2, 2), Point::new(18, 2), Point::new(10, 16)],
+            Rgb::WHITE,
+        );
+        assert_eq!(img.get(10, 5), Rgb::WHITE);
+        assert_eq!(img.get(1, 18), Rgb::BLACK);
+    }
+
+    #[test]
+    fn gradient_monotone() {
+        let mut img = RgbImage::new(4, 16);
+        vertical_gradient(&mut img, Rgb::BLACK, Rgb::WHITE);
+        let mut prev = 0u8;
+        for y in 0..16 {
+            let v = img.get(0, y).r;
+            assert!(v >= prev);
+            prev = v;
+        }
+        assert_eq!(img.get(0, 0), Rgb::BLACK);
+        assert_eq!(img.get(0, 15), Rgb::WHITE);
+    }
+}

@@ -1,0 +1,191 @@
+//! A built-in 5×7 bitmap font.
+//!
+//! The synthetic datasets embed sensitive text (SSNs, license plates,
+//! "Hello World!") that the OCR-style detector must find and that the
+//! signal-correlation attacks of §VI-B try to recover, so text rendering has
+//! to be deterministic and dependency-free.
+
+use crate::buffer::RgbImage;
+use crate::color::Rgb;
+use crate::geometry::Rect;
+
+/// Glyph cell width in pixels (excluding inter-character spacing).
+pub const GLYPH_W: u32 = 5;
+/// Glyph cell height in pixels.
+pub const GLYPH_H: u32 = 7;
+
+/// Returns the 7 bitmap rows (low 5 bits used, MSB of the 5 = leftmost
+/// pixel) for a supported character, or `None` for unsupported ones.
+///
+/// Supported: ASCII digits, uppercase letters, space and `- ! . , : ' ?`.
+/// Lowercase letters are rendered with their uppercase glyph.
+pub fn glyph(c: char) -> Option<[u8; 7]> {
+    let c = c.to_ascii_uppercase();
+    let g: [u8; 7] = match c {
+        ' ' => [0, 0, 0, 0, 0, 0, 0],
+        '-' => [0, 0, 0, 0b11111, 0, 0, 0],
+        '!' => [0b00100; 7].map_idx(|i, v| if i == 5 { 0 } else { v }),
+        '.' => [0, 0, 0, 0, 0, 0b00100, 0b00100],
+        ',' => [0, 0, 0, 0, 0b00100, 0b00100, 0b01000],
+        ':' => [0, 0b00100, 0b00100, 0, 0b00100, 0b00100, 0],
+        '\'' => [0b00100, 0b00100, 0, 0, 0, 0, 0],
+        '?' => [0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0, 0b00100],
+        '0' => [0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110],
+        '1' => [0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110],
+        '2' => [0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111],
+        '3' => [0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110],
+        '4' => [0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010],
+        '5' => [0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110],
+        '6' => [0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110],
+        '7' => [0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000],
+        '8' => [0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110],
+        '9' => [0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100],
+        'A' => [0b01110, 0b10001, 0b10001, 0b11111, 0b10001, 0b10001, 0b10001],
+        'B' => [0b11110, 0b10001, 0b10001, 0b11110, 0b10001, 0b10001, 0b11110],
+        'C' => [0b01110, 0b10001, 0b10000, 0b10000, 0b10000, 0b10001, 0b01110],
+        'D' => [0b11100, 0b10010, 0b10001, 0b10001, 0b10001, 0b10010, 0b11100],
+        'E' => [0b11111, 0b10000, 0b10000, 0b11110, 0b10000, 0b10000, 0b11111],
+        'F' => [0b11111, 0b10000, 0b10000, 0b11110, 0b10000, 0b10000, 0b10000],
+        'G' => [0b01110, 0b10001, 0b10000, 0b10111, 0b10001, 0b10001, 0b01111],
+        'H' => [0b10001, 0b10001, 0b10001, 0b11111, 0b10001, 0b10001, 0b10001],
+        'I' => [0b01110, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110],
+        'J' => [0b00111, 0b00010, 0b00010, 0b00010, 0b00010, 0b10010, 0b01100],
+        'K' => [0b10001, 0b10010, 0b10100, 0b11000, 0b10100, 0b10010, 0b10001],
+        'L' => [0b10000, 0b10000, 0b10000, 0b10000, 0b10000, 0b10000, 0b11111],
+        'M' => [0b10001, 0b11011, 0b10101, 0b10101, 0b10001, 0b10001, 0b10001],
+        'N' => [0b10001, 0b11001, 0b10101, 0b10011, 0b10001, 0b10001, 0b10001],
+        'O' => [0b01110, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01110],
+        'P' => [0b11110, 0b10001, 0b10001, 0b11110, 0b10000, 0b10000, 0b10000],
+        'Q' => [0b01110, 0b10001, 0b10001, 0b10001, 0b10101, 0b10010, 0b01101],
+        'R' => [0b11110, 0b10001, 0b10001, 0b11110, 0b10100, 0b10010, 0b10001],
+        'S' => [0b01111, 0b10000, 0b10000, 0b01110, 0b00001, 0b00001, 0b11110],
+        'T' => [0b11111, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100],
+        'U' => [0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01110],
+        'V' => [0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01010, 0b00100],
+        'W' => [0b10001, 0b10001, 0b10001, 0b10101, 0b10101, 0b10101, 0b01010],
+        'X' => [0b10001, 0b10001, 0b01010, 0b00100, 0b01010, 0b10001, 0b10001],
+        'Y' => [0b10001, 0b10001, 0b01010, 0b00100, 0b00100, 0b00100, 0b00100],
+        'Z' => [0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b10000, 0b11111],
+        _ => return None,
+    };
+    Some(g)
+}
+
+trait MapIdx {
+    fn map_idx(self, f: impl Fn(usize, u8) -> u8) -> Self;
+}
+
+impl MapIdx for [u8; 7] {
+    fn map_idx(self, f: impl Fn(usize, u8) -> u8) -> Self {
+        let mut out = self;
+        for (i, v) in out.iter_mut().enumerate() {
+            *v = f(i, *v);
+        }
+        out
+    }
+}
+
+/// Draws `text` with its top-left corner at `(x, y)`, scaling each glyph
+/// pixel to a `scale`×`scale` block, and returns the bounding rectangle of
+/// what was drawn (before clipping). Unsupported characters render as
+/// spaces.
+pub fn draw_text(
+    img: &mut RgbImage,
+    text: &str,
+    x: u32,
+    y: u32,
+    scale: u32,
+    color: Rgb,
+) -> Rect {
+    let scale = scale.max(1);
+    let mut cx = x;
+    for ch in text.chars() {
+        if let Some(rows) = glyph(ch) {
+            for (ry, row) in rows.iter().enumerate() {
+                for rx in 0..GLYPH_W {
+                    if row & (1 << (GLYPH_W - 1 - rx)) != 0 {
+                        for sy in 0..scale {
+                            for sx in 0..scale {
+                                let px = cx + rx * scale + sx;
+                                let py = y + ry as u32 * scale + sy;
+                                if px < img.width() && py < img.height() {
+                                    img.set(px, py, color);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cx += (GLYPH_W + 1) * scale;
+    }
+    let w = cx.saturating_sub(x).saturating_sub(scale); // drop trailing gap
+    Rect::new(x, y, w, GLYPH_H * scale)
+}
+
+/// Pixel width of `text` when drawn at the given scale (excluding the
+/// trailing inter-character gap).
+pub fn text_width(text: &str, scale: u32) -> u32 {
+    let n = text.chars().count() as u32;
+    if n == 0 {
+        0
+    } else {
+        n * (GLYPH_W + 1) * scale.max(1) - scale.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_advertised_chars_have_glyphs() {
+        for c in ('0'..='9').chain('A'..='Z').chain(" -!.,:'?".chars()) {
+            assert!(glyph(c).is_some(), "missing glyph for {c:?}");
+        }
+        assert!(glyph('a').is_some(), "lowercase maps to uppercase");
+        assert!(glyph('€').is_none());
+    }
+
+    #[test]
+    fn glyphs_fit_in_five_columns() {
+        for c in ('0'..='9').chain('A'..='Z') {
+            for row in glyph(c).unwrap() {
+                assert_eq!(row & !0b11111, 0, "glyph {c} uses more than 5 bits");
+            }
+        }
+    }
+
+    #[test]
+    fn draw_text_paints_pixels_and_reports_bounds() {
+        let mut img = RgbImage::new(100, 20);
+        let r = draw_text(&mut img, "AB", 2, 3, 1, Rgb::WHITE);
+        assert_eq!(r, Rect::new(2, 3, 11, 7));
+        let painted = img.pixels().iter().filter(|&&c| c == Rgb::WHITE).count();
+        assert!(painted > 10, "expected some pixels painted, got {painted}");
+    }
+
+    #[test]
+    fn scale_multiplies_extent() {
+        let mut img = RgbImage::new(200, 50);
+        let r1 = draw_text(&mut img, "8", 0, 0, 1, Rgb::WHITE);
+        let r3 = draw_text(&mut img, "8", 0, 20, 3, Rgb::WHITE);
+        assert_eq!(r3.w, r1.w * 3);
+        assert_eq!(r3.h, r1.h * 3);
+    }
+
+    #[test]
+    fn text_width_matches_draw() {
+        let mut img = RgbImage::new(300, 20);
+        let r = draw_text(&mut img, "HELLO", 0, 0, 2, Rgb::WHITE);
+        assert_eq!(r.w, text_width("HELLO", 2));
+        assert_eq!(text_width("", 2), 0);
+    }
+
+    #[test]
+    fn drawing_clips_at_border() {
+        let mut img = RgbImage::new(8, 8);
+        // Must not panic even though the text exceeds the canvas.
+        draw_text(&mut img, "WWWW", 0, 0, 2, Rgb::WHITE);
+    }
+}

@@ -1,0 +1,308 @@
+//! Geometry primitives: points and axis-aligned rectangles.
+//!
+//! ROIs in PuPPIeS are rectangles; the detector stack merges overlapping
+//! detections and splits them back into disjoint rectangles (§IV-A), which
+//! [`decompose_disjoint`] implements.
+
+use serde::{Deserialize, Serialize};
+
+/// An integer pixel coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Column (0 at the left edge).
+    pub x: i32,
+    /// Row (0 at the top edge).
+    pub y: i32,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: i32, y: i32) -> Self {
+        Point { x, y }
+    }
+}
+
+/// An axis-aligned rectangle in pixel coordinates.
+///
+/// `x`/`y` is the top-left corner; `w`/`h` are the width and height in
+/// pixels. Empty rectangles (`w == 0 || h == 0`) are permitted and behave as
+/// the empty set for intersection queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Rect {
+    /// Left edge.
+    pub x: u32,
+    /// Top edge.
+    pub y: u32,
+    /// Width in pixels.
+    pub w: u32,
+    /// Height in pixels.
+    pub h: u32,
+}
+
+impl Rect {
+    /// Creates a rectangle from its top-left corner and size.
+    pub const fn new(x: u32, y: u32, w: u32, h: u32) -> Self {
+        Rect { x, y, w, h }
+    }
+
+    /// Whether the rectangle contains no pixels.
+    pub const fn is_empty(self) -> bool {
+        self.w == 0 || self.h == 0
+    }
+
+    /// Number of pixels covered.
+    pub const fn area(self) -> u64 {
+        self.w as u64 * self.h as u64
+    }
+
+    /// Exclusive right edge.
+    pub const fn right(self) -> u32 {
+        self.x + self.w
+    }
+
+    /// Exclusive bottom edge.
+    pub const fn bottom(self) -> u32 {
+        self.y + self.h
+    }
+
+    /// Whether the pixel `(x, y)` lies inside the rectangle.
+    pub const fn contains(self, x: u32, y: u32) -> bool {
+        x >= self.x && y >= self.y && x < self.right() && y < self.bottom()
+    }
+
+    /// Whether `other` is entirely inside `self`.
+    pub const fn contains_rect(self, other: Rect) -> bool {
+        other.x >= self.x
+            && other.y >= self.y
+            && other.right() <= self.right()
+            && other.bottom() <= self.bottom()
+    }
+
+    /// Intersection of two rectangles; empty if they do not overlap.
+    pub fn intersect(self, other: Rect) -> Rect {
+        let x1 = self.x.max(other.x);
+        let y1 = self.y.max(other.y);
+        let x2 = self.right().min(other.right());
+        let y2 = self.bottom().min(other.bottom());
+        if x2 > x1 && y2 > y1 {
+            Rect::new(x1, y1, x2 - x1, y2 - y1)
+        } else {
+            Rect::new(x1.min(self.right()).min(other.right()), y1, 0, 0)
+        }
+    }
+
+    /// Smallest rectangle containing both operands.
+    pub fn union(self, other: Rect) -> Rect {
+        if self.is_empty() {
+            return other;
+        }
+        if other.is_empty() {
+            return self;
+        }
+        let x1 = self.x.min(other.x);
+        let y1 = self.y.min(other.y);
+        let x2 = self.right().max(other.right());
+        let y2 = self.bottom().max(other.bottom());
+        Rect::new(x1, y1, x2 - x1, y2 - y1)
+    }
+
+    /// Whether the rectangles share at least one pixel.
+    pub fn overlaps(self, other: Rect) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.x < other.right()
+            && other.x < self.right()
+            && self.y < other.bottom()
+            && other.y < self.bottom()
+    }
+
+    /// Intersection-over-union, the standard detection-quality measure.
+    pub fn iou(self, other: Rect) -> f64 {
+        let inter = self.intersect(other).area();
+        let union = self.area() + other.area() - inter;
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    /// The rectangle grown by `margin` on every side, clamped to `bounds`.
+    pub fn inflate_clamped(self, margin: u32, bounds: Rect) -> Rect {
+        let x1 = self.x.saturating_sub(margin).max(bounds.x);
+        let y1 = self.y.saturating_sub(margin).max(bounds.y);
+        let x2 = (self.right() + margin).min(bounds.right());
+        let y2 = (self.bottom() + margin).min(bounds.bottom());
+        Rect::new(x1, y1, x2.saturating_sub(x1), y2.saturating_sub(y1))
+    }
+
+    /// The rectangle expanded outward so that all four edges land on
+    /// multiples of `align` (e.g. 8 for JPEG block alignment), clamped to an
+    /// image of the given size.
+    pub fn align_to(self, align: u32, img_w: u32, img_h: u32) -> Rect {
+        assert!(align > 0, "alignment must be positive");
+        let x1 = (self.x / align) * align;
+        let y1 = (self.y / align) * align;
+        let x2 = self.right().div_ceil(align) * align;
+        let y2 = self.bottom().div_ceil(align) * align;
+        let x2 = x2.min(img_w);
+        let y2 = y2.min(img_h);
+        Rect::new(x1, y1, x2.saturating_sub(x1), y2.saturating_sub(y1))
+    }
+}
+
+/// Splits a set of possibly-overlapping rectangles into disjoint rectangles
+/// covering exactly the same pixels.
+///
+/// This is the "split the overall detected regions into disjoint regions"
+/// step of §IV-A: the detector union is decomposed so each output rectangle
+/// can be encrypted with its own private matrix. The algorithm sweeps the
+/// distinct x-coordinates and emits maximal vertical slabs per column
+/// interval, then merges horizontally-adjacent slabs with identical vertical
+/// extent to keep the output small.
+pub fn decompose_disjoint(rects: &[Rect]) -> Vec<Rect> {
+    let rects: Vec<Rect> = rects.iter().copied().filter(|r| !r.is_empty()).collect();
+    if rects.is_empty() {
+        return Vec::new();
+    }
+    // Collect the x breakpoints.
+    let mut xs: Vec<u32> = rects.iter().flat_map(|r| [r.x, r.right()]).collect();
+    xs.sort_unstable();
+    xs.dedup();
+
+    // For each x strip, compute the union of y intervals of rectangles
+    // covering that strip.
+    let mut strips: Vec<(u32, u32, Vec<(u32, u32)>)> = Vec::new();
+    for win in xs.windows(2) {
+        let (x1, x2) = (win[0], win[1]);
+        if x1 == x2 {
+            continue;
+        }
+        let mut ivals: Vec<(u32, u32)> = rects
+            .iter()
+            .filter(|r| r.x <= x1 && r.right() >= x2)
+            .map(|r| (r.y, r.bottom()))
+            .collect();
+        if ivals.is_empty() {
+            continue;
+        }
+        ivals.sort_unstable();
+        // Merge overlapping/adjacent y intervals.
+        let mut merged: Vec<(u32, u32)> = Vec::new();
+        for (a, b) in ivals {
+            match merged.last_mut() {
+                Some((_, e)) if *e >= a => *e = (*e).max(b),
+                _ => merged.push((a, b)),
+            }
+        }
+        strips.push((x1, x2, merged));
+    }
+
+    // Merge horizontally adjacent strips with identical interval sets.
+    let mut out: Vec<Rect> = Vec::new();
+    let mut pending: Option<(u32, u32, Vec<(u32, u32)>)> = None;
+    for (x1, x2, ivals) in strips {
+        match pending.take() {
+            Some((px1, px2, pivals)) if px2 == x1 && pivals == ivals => {
+                pending = Some((px1, x2, pivals));
+            }
+            Some((px1, px2, pivals)) => {
+                for (a, b) in &pivals {
+                    out.push(Rect::new(px1, *a, px2 - px1, b - a));
+                }
+                pending = Some((x1, x2, ivals));
+            }
+            None => pending = Some((x1, x2, ivals)),
+        }
+    }
+    if let Some((px1, px2, pivals)) = pending {
+        for (a, b) in &pivals {
+            out.push(Rect::new(px1, *a, px2 - px1, b - a));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersect_and_union() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, 5, 10, 10);
+        assert_eq!(a.intersect(b), Rect::new(5, 5, 5, 5));
+        assert_eq!(a.union(b), Rect::new(0, 0, 15, 15));
+        assert!(a.overlaps(b));
+    }
+
+    #[test]
+    fn disjoint_rects_do_not_overlap() {
+        let a = Rect::new(0, 0, 5, 5);
+        let b = Rect::new(5, 0, 5, 5);
+        assert!(!a.overlaps(b));
+        assert!(a.intersect(b).is_empty());
+    }
+
+    #[test]
+    fn iou_of_identical_is_one() {
+        let a = Rect::new(3, 4, 7, 9);
+        assert!((a.iou(a) - 1.0).abs() < 1e-12);
+        assert_eq!(a.iou(Rect::new(100, 100, 5, 5)), 0.0);
+    }
+
+    #[test]
+    fn align_to_expands_outward() {
+        let r = Rect::new(3, 5, 10, 10).align_to(8, 100, 100);
+        assert_eq!(r, Rect::new(0, 0, 16, 16));
+        // Clamped at the image border.
+        let r = Rect::new(95, 95, 4, 4).align_to(8, 100, 100);
+        assert_eq!(r, Rect::new(88, 88, 12, 12));
+    }
+
+    #[test]
+    fn decompose_two_overlapping() {
+        let parts = decompose_disjoint(&[Rect::new(0, 0, 10, 10), Rect::new(5, 5, 10, 10)]);
+        // Same area as the union of the inputs.
+        let total: u64 = parts.iter().map(|r| r.area()).sum();
+        assert_eq!(total, 100 + 100 - 25);
+        // Pairwise disjoint.
+        for (i, a) in parts.iter().enumerate() {
+            for b in &parts[i + 1..] {
+                assert!(!a.overlaps(*b), "{a:?} overlaps {b:?}");
+            }
+        }
+        // Every original pixel is covered.
+        for y in 0..20 {
+            for x in 0..20 {
+                let inside_orig = Rect::new(0, 0, 10, 10).contains(x, y)
+                    || Rect::new(5, 5, 10, 10).contains(x, y);
+                let inside_parts = parts.iter().any(|r| r.contains(x, y));
+                assert_eq!(inside_orig, inside_parts, "pixel ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn decompose_handles_empty_and_duplicates() {
+        assert!(decompose_disjoint(&[]).is_empty());
+        let r = Rect::new(2, 2, 4, 4);
+        let parts = decompose_disjoint(&[r, r, Rect::new(0, 0, 0, 0)]);
+        assert_eq!(parts, vec![r]);
+    }
+
+    #[test]
+    fn decompose_merges_adjacent_strips() {
+        // A single rectangle should come back as one piece even though the
+        // sweep sees it as one strip.
+        let r = Rect::new(1, 1, 30, 5);
+        assert_eq!(decompose_disjoint(&[r]), vec![r]);
+    }
+
+    #[test]
+    fn inflate_clamps_at_bounds() {
+        let bounds = Rect::new(0, 0, 20, 20);
+        let r = Rect::new(1, 1, 3, 3).inflate_clamped(5, bounds);
+        assert_eq!(r, Rect::new(0, 0, 9, 9));
+    }
+}

@@ -1,0 +1,167 @@
+//! Integral images (summed-area tables).
+//!
+//! The Haar-cascade-style face detector in `puppies-vision` evaluates
+//! thousands of rectangle sums per window; integral images make each sum
+//! O(1), exactly as in the Viola–Jones detector the paper's ROI module and
+//! face-detection attack (§VI-B.3) rely on.
+
+use crate::buffer::GrayImage;
+use crate::geometry::Rect;
+
+/// A summed-area table over an 8-bit image.
+///
+/// `sum(r)` returns the sum of pixel values inside rectangle `r` in O(1).
+#[derive(Debug, Clone)]
+pub struct IntegralImage {
+    width: u32,
+    height: u32,
+    // (width+1) x (height+1), first row/col zero.
+    table: Vec<u64>,
+    // Squared-value table for variance queries.
+    sq_table: Vec<u64>,
+}
+
+impl IntegralImage {
+    /// Builds the integral image of `src`.
+    pub fn build(src: &GrayImage) -> Self {
+        let w = src.width() as usize;
+        let h = src.height() as usize;
+        let stride = w + 1;
+        let mut table = vec![0u64; stride * (h + 1)];
+        let mut sq_table = vec![0u64; stride * (h + 1)];
+        for y in 0..h {
+            let mut row = 0u64;
+            let mut sq_row = 0u64;
+            for x in 0..w {
+                let v = src.get(x as u32, y as u32) as u64;
+                row += v;
+                sq_row += v * v;
+                table[(y + 1) * stride + x + 1] = table[y * stride + x + 1] + row;
+                sq_table[(y + 1) * stride + x + 1] = sq_table[y * stride + x + 1] + sq_row;
+            }
+        }
+        IntegralImage {
+            width: src.width(),
+            height: src.height(),
+            table,
+            sq_table,
+        }
+    }
+
+    /// Source image width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Source image height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    #[inline]
+    fn at(&self, x: u32, y: u32) -> u64 {
+        self.table[(y as usize) * (self.width as usize + 1) + x as usize]
+    }
+
+    #[inline]
+    fn sq_at(&self, x: u32, y: u32) -> u64 {
+        self.sq_table[(y as usize) * (self.width as usize + 1) + x as usize]
+    }
+
+    /// Sum of pixels inside `r`, which is clipped to the image.
+    pub fn sum(&self, r: Rect) -> u64 {
+        let r = r.intersect(Rect::new(0, 0, self.width, self.height));
+        if r.is_empty() {
+            return 0;
+        }
+        self.at(r.right(), r.bottom()) + self.at(r.x, r.y)
+            - self.at(r.right(), r.y)
+            - self.at(r.x, r.bottom())
+    }
+
+    /// Mean pixel value inside `r` (0 for an empty clip).
+    pub fn mean(&self, r: Rect) -> f64 {
+        let r = r.intersect(Rect::new(0, 0, self.width, self.height));
+        if r.is_empty() {
+            return 0.0;
+        }
+        self.sum(r) as f64 / r.area() as f64
+    }
+
+    /// Variance of pixel values inside `r` (0 for an empty clip).
+    pub fn variance(&self, r: Rect) -> f64 {
+        let r = r.intersect(Rect::new(0, 0, self.width, self.height));
+        if r.is_empty() {
+            return 0.0;
+        }
+        let n = r.area() as f64;
+        let s = self.sum(r) as f64;
+        let sq = (self.sq_at(r.right(), r.bottom()) + self.sq_at(r.x, r.y)
+            - self.sq_at(r.right(), r.y)
+            - self.sq_at(r.x, r.bottom())) as f64;
+        (sq / n - (s / n).powi(2)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checker(w: u32, h: u32) -> GrayImage {
+        GrayImage::from_fn(w, h, |x, y| if (x + y) % 2 == 0 { 10 } else { 30 })
+    }
+
+    #[test]
+    fn full_sum_matches_naive() {
+        let img = checker(13, 9);
+        let ii = IntegralImage::build(&img);
+        let naive: u64 = img.pixels().iter().map(|&v| v as u64).sum();
+        assert_eq!(ii.sum(img.bounds()), naive);
+    }
+
+    #[test]
+    fn arbitrary_rect_matches_naive() {
+        let img = GrayImage::from_fn(17, 11, |x, y| ((x * 31 + y * 7) % 251) as u8);
+        let ii = IntegralImage::build(&img);
+        for r in [
+            Rect::new(0, 0, 1, 1),
+            Rect::new(3, 2, 5, 4),
+            Rect::new(10, 5, 7, 6),
+            Rect::new(16, 10, 1, 1),
+        ] {
+            let mut naive = 0u64;
+            for y in r.y..r.bottom().min(11) {
+                for x in r.x..r.right().min(17) {
+                    naive += img.get(x, y) as u64;
+                }
+            }
+            assert_eq!(ii.sum(r), naive, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_rect_is_clipped() {
+        let img = GrayImage::filled(5, 5, 1);
+        let ii = IntegralImage::build(&img);
+        assert_eq!(ii.sum(Rect::new(3, 3, 10, 10)), 4);
+        assert_eq!(ii.sum(Rect::new(100, 100, 5, 5)), 0);
+    }
+
+    #[test]
+    fn mean_and_variance_of_constant() {
+        let img = GrayImage::filled(8, 8, 77);
+        let ii = IntegralImage::build(&img);
+        let r = Rect::new(1, 1, 5, 5);
+        assert!((ii.mean(r) - 77.0).abs() < 1e-9);
+        assert!(ii.variance(r) < 1e-9);
+    }
+
+    #[test]
+    fn variance_of_checker() {
+        let img = checker(8, 8);
+        let ii = IntegralImage::build(&img);
+        // Values 10/30 half-half -> mean 20, variance 100.
+        assert!((ii.mean(img.bounds()) - 20.0).abs() < 1e-9);
+        assert!((ii.variance(img.bounds()) - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,222 @@
+//! Binary PPM (P6) and PGM (P5) reading and writing.
+//!
+//! The experiment binaries dump intermediate images (perturbed, attacked,
+//! recovered) so a human can eyeball them; PPM/PGM keeps that dependency
+//! free. JPEG IO lives in `puppies-jpeg`.
+
+use crate::buffer::{GrayImage, RgbImage};
+use crate::color::Rgb;
+use crate::{ImageError, Result};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Writes `img` as a binary PPM (P6) stream.
+///
+/// # Errors
+/// Propagates IO failures from the writer.
+pub fn write_ppm<W: Write>(img: &RgbImage, mut w: W) -> Result<()> {
+    write!(w, "P6\n{} {}\n255\n", img.width(), img.height())?;
+    let mut buf = Vec::with_capacity(img.pixels().len() * 3);
+    for p in img.pixels() {
+        buf.extend_from_slice(&[p.r, p.g, p.b]);
+    }
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Writes `img` as a binary PGM (P5) stream.
+///
+/// # Errors
+/// Propagates IO failures from the writer.
+pub fn write_pgm<W: Write>(img: &GrayImage, mut w: W) -> Result<()> {
+    write!(w, "P5\n{} {}\n255\n", img.width(), img.height())?;
+    w.write_all(img.pixels())?;
+    Ok(())
+}
+
+/// Saves `img` to `path` as binary PPM.
+///
+/// # Errors
+/// Propagates file-creation and write failures.
+pub fn save_ppm<P: AsRef<Path>>(img: &RgbImage, path: P) -> Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_ppm(img, std::io::BufWriter::new(f))
+}
+
+/// Saves `img` to `path` as binary PGM.
+///
+/// # Errors
+/// Propagates file-creation and write failures.
+pub fn save_pgm<P: AsRef<Path>>(img: &GrayImage, path: P) -> Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_pgm(img, std::io::BufWriter::new(f))
+}
+
+fn read_token<R: BufRead>(r: &mut R) -> Result<String> {
+    let mut tok = String::new();
+    let mut in_comment = false;
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read_exact(&mut byte) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof && !tok.is_empty() => break,
+            Err(e) => return Err(ImageError::Io(e)),
+        }
+        let c = byte[0] as char;
+        if in_comment {
+            if c == '\n' {
+                in_comment = false;
+            }
+            continue;
+        }
+        if c == '#' {
+            in_comment = true;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            if tok.is_empty() {
+                continue;
+            }
+            break;
+        }
+        tok.push(c);
+    }
+    Ok(tok)
+}
+
+fn parse_header<R: BufRead>(r: &mut R, magic: &str) -> Result<(u32, u32)> {
+    let m = read_token(r)?;
+    if m != magic {
+        return Err(ImageError::Format(format!(
+            "expected magic {magic}, found {m:?}"
+        )));
+    }
+    let w: u32 = read_token(r)?
+        .parse()
+        .map_err(|e| ImageError::Format(format!("bad width: {e}")))?;
+    let h: u32 = read_token(r)?
+        .parse()
+        .map_err(|e| ImageError::Format(format!("bad height: {e}")))?;
+    let maxval: u32 = read_token(r)?
+        .parse()
+        .map_err(|e| ImageError::Format(format!("bad maxval: {e}")))?;
+    if maxval != 255 {
+        return Err(ImageError::Format(format!(
+            "only maxval 255 supported, found {maxval}"
+        )));
+    }
+    if w == 0 || h == 0 {
+        return Err(ImageError::InvalidDimensions {
+            width: w,
+            height: h,
+        });
+    }
+    Ok((w, h))
+}
+
+/// Reads a binary PPM (P6) stream.
+///
+/// # Errors
+/// Returns [`ImageError::Format`] on malformed headers and IO errors on
+/// truncated payloads.
+pub fn read_ppm<R: Read>(r: R) -> Result<RgbImage> {
+    let mut r = BufReader::new(r);
+    let (w, h) = parse_header(&mut r, "P6")?;
+    let mut data = vec![0u8; (w as usize) * (h as usize) * 3];
+    r.read_exact(&mut data)?;
+    let mut img = RgbImage::new(w, h);
+    for (i, px) in img.pixels_mut().iter_mut().enumerate() {
+        *px = Rgb::new(data[i * 3], data[i * 3 + 1], data[i * 3 + 2]);
+    }
+    Ok(img)
+}
+
+/// Reads a binary PGM (P5) stream.
+///
+/// # Errors
+/// Returns [`ImageError::Format`] on malformed headers and IO errors on
+/// truncated payloads.
+pub fn read_pgm<R: Read>(r: R) -> Result<GrayImage> {
+    let mut r = BufReader::new(r);
+    let (w, h) = parse_header(&mut r, "P5")?;
+    let mut data = vec![0u8; (w as usize) * (h as usize)];
+    r.read_exact(&mut data)?;
+    let mut img = GrayImage::new(w, h);
+    img.pixels_mut().copy_from_slice(&data);
+    Ok(img)
+}
+
+/// Loads a binary PPM from `path`.
+///
+/// # Errors
+/// Propagates open/parse failures.
+pub fn load_ppm<P: AsRef<Path>>(path: P) -> Result<RgbImage> {
+    read_ppm(std::fs::File::open(path)?)
+}
+
+/// Loads a binary PGM from `path`.
+///
+/// # Errors
+/// Propagates open/parse failures.
+pub fn load_pgm<P: AsRef<Path>>(path: P) -> Result<GrayImage> {
+    read_pgm(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppm_roundtrip() {
+        let img = RgbImage::from_fn(7, 5, |x, y| Rgb::new(x as u8, y as u8, (x + y) as u8));
+        let mut buf = Vec::new();
+        write_ppm(&img, &mut buf).unwrap();
+        let back = read_ppm(&buf[..]).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn pgm_roundtrip() {
+        let img = GrayImage::from_fn(9, 4, |x, y| (x * 11 + y) as u8);
+        let mut buf = Vec::new();
+        write_pgm(&img, &mut buf).unwrap();
+        let back = read_pgm(&buf[..]).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn header_comments_are_skipped() {
+        let img = GrayImage::filled(2, 2, 5);
+        let mut buf = Vec::new();
+        write_pgm(&img, &mut buf).unwrap();
+        // Inject a comment line after the magic.
+        let s = String::from_utf8_lossy(&buf[..2]).to_string();
+        let mut patched = format!("{s}\n# a comment\n").into_bytes();
+        patched.extend_from_slice(&buf[3..]);
+        let back = read_pgm(&patched[..]).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let err = read_pgm(&b"P6\n2 2\n255\n0000"[..]).unwrap_err();
+        assert!(matches!(err, ImageError::Format(_)));
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let err = read_pgm(&b"P5\n4 4\n255\nxx"[..]).unwrap_err();
+        assert!(matches!(err, ImageError::Io(_)));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("puppies_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.ppm");
+        let img = RgbImage::filled(3, 3, Rgb::new(1, 2, 3));
+        save_ppm(&img, &path).unwrap();
+        assert_eq!(load_ppm(&path).unwrap(), img);
+        std::fs::remove_file(&path).ok();
+    }
+}

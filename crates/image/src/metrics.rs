@@ -1,0 +1,284 @@
+//! Image quality and similarity metrics.
+//!
+//! The reproduction quantifies claims the paper makes visually: "the
+//! recovered image is exactly the same" (Fig. 4, Fig. 16) becomes a PSNR
+//! assertion; "many fine details are lost" becomes a PSNR gap; the user
+//! study (§VI-B) becomes the [`recognizability`] structural score.
+
+use crate::buffer::{GrayImage, RgbImage};
+
+/// Mean squared error between two grayscale images.
+///
+/// # Panics
+/// Panics if the images differ in size.
+pub fn mse_gray(a: &GrayImage, b: &GrayImage) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "image sizes differ"
+    );
+    let sum: f64 = a
+        .pixels()
+        .iter()
+        .zip(b.pixels())
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum();
+    sum / a.pixels().len() as f64
+}
+
+/// Mean squared error between two RGB images (averaged over channels).
+///
+/// # Panics
+/// Panics if the images differ in size.
+pub fn mse_rgb(a: &RgbImage, b: &RgbImage) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "image sizes differ"
+    );
+    let sum: f64 = a
+        .pixels()
+        .iter()
+        .zip(b.pixels())
+        .map(|(x, y)| {
+            let dr = x.r as f64 - y.r as f64;
+            let dg = x.g as f64 - y.g as f64;
+            let db = x.b as f64 - y.b as f64;
+            dr * dr + dg * dg + db * db
+        })
+        .sum();
+    sum / (a.pixels().len() as f64 * 3.0)
+}
+
+/// Peak signal-to-noise ratio in dB for 8-bit images; `f64::INFINITY` for
+/// identical inputs.
+///
+/// # Panics
+/// Panics if the images differ in size.
+pub fn psnr_rgb(a: &RgbImage, b: &RgbImage) -> f64 {
+    mse_to_psnr(mse_rgb(a, b))
+}
+
+/// Grayscale PSNR in dB; `f64::INFINITY` for identical inputs.
+///
+/// # Panics
+/// Panics if the images differ in size.
+pub fn psnr_gray(a: &GrayImage, b: &GrayImage) -> f64 {
+    mse_to_psnr(mse_gray(a, b))
+}
+
+/// Converts an MSE value to PSNR for 8-bit data.
+pub fn mse_to_psnr(mse: f64) -> f64 {
+    if mse <= 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0f64 * 255.0 / mse).log10()
+    }
+}
+
+/// Maximum absolute channel difference between two RGB images.
+///
+/// # Panics
+/// Panics if the images differ in size.
+pub fn max_abs_diff_rgb(a: &RgbImage, b: &RgbImage) -> u8 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "image sizes differ"
+    );
+    a.pixels()
+        .iter()
+        .zip(b.pixels())
+        .map(|(x, y)| {
+            let dr = (x.r as i16 - y.r as i16).unsigned_abs();
+            let dg = (x.g as i16 - y.g as i16).unsigned_abs();
+            let db = (x.b as i16 - y.b as i16).unsigned_abs();
+            dr.max(dg).max(db) as u8
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// 256-bin histogram of a grayscale image.
+pub fn histogram(img: &GrayImage) -> [u32; 256] {
+    let mut h = [0u32; 256];
+    for &v in img.pixels() {
+        h[v as usize] += 1;
+    }
+    h
+}
+
+/// Histogram intersection similarity in `[0, 1]` (1 = identical
+/// distributions).
+///
+/// # Panics
+/// Panics if the images differ in pixel count.
+pub fn histogram_intersection(a: &GrayImage, b: &GrayImage) -> f64 {
+    assert_eq!(a.pixels().len(), b.pixels().len(), "pixel counts differ");
+    let (ha, hb) = (histogram(a), histogram(b));
+    let inter: u64 = ha
+        .iter()
+        .zip(hb.iter())
+        .map(|(&x, &y)| x.min(y) as u64)
+        .sum();
+    inter as f64 / a.pixels().len() as f64
+}
+
+/// A structural-similarity proxy for "would a human recognize this as the
+/// original?" in `[0, 1]`.
+///
+/// Per 8×8 tile it combines SSIM-style luminance, contrast and structure
+/// terms; tile scores are then averaged *weighted by the original tile's
+/// contrast*, so the verdict hinges on whether the content-bearing parts
+/// of the original (strokes, edges, features) are reproduced — a flat fill
+/// over text scores near zero even though most of the canvas matches.
+/// Used as the machine proxy for the paper's MTurk study (§VI-B).
+///
+/// # Panics
+/// Panics if the images differ in size.
+pub fn recognizability(original: &GrayImage, candidate: &GrayImage) -> f64 {
+    assert_eq!(
+        (original.width(), original.height()),
+        (candidate.width(), candidate.height()),
+        "image sizes differ"
+    );
+    let tile = 8u32;
+    let mut weighted = 0.0f64;
+    let mut weight_sum = 0.0f64;
+    for ty in (0..original.height()).step_by(tile as usize) {
+        for tx in (0..original.width()).step_by(tile as usize) {
+            let w = tile.min(original.width() - tx);
+            let h = tile.min(original.height() - ty);
+            if w < 2 || h < 2 {
+                continue;
+            }
+            let mut xs = Vec::with_capacity((w * h) as usize);
+            let mut ys = Vec::with_capacity((w * h) as usize);
+            for y in ty..ty + h {
+                for x in tx..tx + w {
+                    xs.push(original.get(x, y) as f64);
+                    ys.push(candidate.get(x, y) as f64);
+                }
+            }
+            let n = xs.len() as f64;
+            let mx = xs.iter().sum::<f64>() / n;
+            let my = ys.iter().sum::<f64>() / n;
+            let mut cov = 0.0;
+            let mut vx = 0.0;
+            let mut vy = 0.0;
+            for i in 0..xs.len() {
+                cov += (xs[i] - mx) * (ys[i] - my);
+                vx += (xs[i] - mx).powi(2);
+                vy += (ys[i] - my).powi(2);
+            }
+            cov /= n;
+            vx /= n;
+            vy /= n;
+            const C1: f64 = 6.5025; // (0.01 * 255)^2
+            const C2: f64 = 58.5225; // (0.03 * 255)^2
+            let lum = (2.0 * mx * my + C1) / (mx * mx + my * my + C1);
+            let contrast = (2.0 * (vx * vy).sqrt() + C2) / (vx + vy + C2);
+            let structure = (cov + C2 / 2.0) / ((vx * vy).sqrt() + C2 / 2.0);
+            let tile_score = (lum * contrast * structure).clamp(0.0, 1.0);
+            // Weight by the original tile's contrast so content-bearing
+            // tiles dominate; flat background barely counts.
+            let weight = vx.sqrt() + 1.0;
+            weighted += tile_score * weight;
+            weight_sum += weight;
+        }
+    }
+    if weight_sum == 0.0 {
+        return 0.0;
+    }
+    (weighted / weight_sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textured(w: u32, h: u32) -> GrayImage {
+        GrayImage::from_fn(w, h, |x, y| ((x * 13 + y * 29 + (x * y) % 17) % 256) as u8)
+    }
+
+    #[test]
+    fn identical_images_have_infinite_psnr() {
+        let img = textured(32, 32);
+        assert_eq!(psnr_gray(&img, &img), f64::INFINITY);
+        assert_eq!(mse_gray(&img, &img), 0.0);
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let img = textured(32, 32);
+        let mut off1 = img.clone();
+        let mut off8 = img.clone();
+        for p in off1.pixels_mut() {
+            *p = p.saturating_add(1);
+        }
+        for p in off8.pixels_mut() {
+            *p = p.saturating_add(8);
+        }
+        assert!(psnr_gray(&img, &off1) > psnr_gray(&img, &off8));
+        // +1 offset: MSE == 1 -> PSNR ~ 48.13 dB.
+        assert!((psnr_gray(&img, &off1) - 48.13).abs() < 0.2);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_single_pixel() {
+        let a = RgbImage::new(4, 4);
+        let mut b = a.clone();
+        b.set(2, 2, crate::Rgb::new(0, 9, 0));
+        assert_eq!(max_abs_diff_rgb(&a, &b), 9);
+        assert_eq!(max_abs_diff_rgb(&a, &a), 0);
+    }
+
+    #[test]
+    fn histogram_counts_pixels() {
+        let img = GrayImage::filled(4, 4, 9);
+        let h = histogram(&img);
+        assert_eq!(h[9], 16);
+        assert_eq!(h.iter().sum::<u32>(), 16);
+    }
+
+    #[test]
+    fn histogram_intersection_bounds() {
+        let a = textured(16, 16);
+        let inv = GrayImage::from_fn(16, 16, |x, y| 255 - a.get(x, y));
+        assert!((histogram_intersection(&a, &a) - 1.0).abs() < 1e-12);
+        assert!(histogram_intersection(&a, &inv) < 1.0);
+    }
+
+    #[test]
+    fn recognizability_is_high_for_identity_low_for_noise() {
+        let img = textured(64, 64);
+        let self_score = recognizability(&img, &img);
+        assert!(self_score > 0.95, "self score {self_score}");
+        // A decorrelated scramble should score much lower.
+        let scrambled = GrayImage::from_fn(64, 64, |x, y| {
+            ((x.wrapping_mul(2654435761) ^ y.wrapping_mul(40503)) % 256) as u8
+        });
+        let noise_score = recognizability(&img, &scrambled);
+        assert!(
+            noise_score < self_score / 2.0,
+            "noise {noise_score} vs self {self_score}"
+        );
+    }
+
+    #[test]
+    fn recognizability_flat_images_match() {
+        let a = GrayImage::filled(32, 32, 128);
+        assert!(recognizability(&a, &a) > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "sizes differ")]
+    fn size_mismatch_panics() {
+        let a = GrayImage::new(4, 4);
+        let b = GrayImage::new(5, 4);
+        let _ = mse_gray(&a, &b);
+    }
+}

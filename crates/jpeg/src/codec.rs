@@ -1,0 +1,636 @@
+//! JFIF marker framing: serializing a [`CoeffImage`] to a baseline JPEG
+//! byte stream and parsing it back.
+//!
+//! The encoder emits SOI, APP0/JFIF, DQT, SOF0 (baseline sequential, 8-bit,
+//! 4:4:4 or grayscale), DHT, SOS, entropy-coded data and EOI. The decoder
+//! accepts the same subset, skipping unknown APPn/COM segments. Restart
+//! markers, subsampling, progressive scans and arithmetic coding are out of
+//! scope — none are needed by the evaluation, and 4:4:4 is required anyway
+//! to keep ROI block grids aligned across components.
+
+use crate::coeff::{CoeffImage, Component};
+use crate::huffman::{
+    decode_block, encode_block, tally_block, BitReader, BitWriter, HuffDecoder, HuffEncoder,
+    HuffTable, SymbolFreqs,
+};
+use crate::quant::QuantTable;
+use crate::zigzag::{from_zigzag, to_zigzag};
+use crate::{JpegError, Result};
+
+/// Huffman table strategy for encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HuffmanMode {
+    /// The Annex K default tables. What a stock camera/encoder uses, and
+    /// the setting under which PuPPIeS-B's ~10× blow-up appears.
+    Standard,
+    /// Per-image tables rebuilt from the actual (possibly perturbed)
+    /// coefficient statistics — the PuPPIeS-C mechanism (§IV-B.3). This is
+    /// the default because every libjpeg-based PSP pipeline enables
+    /// `optimize_coding` for re-encodes.
+    #[default]
+    Optimized,
+}
+
+/// Options controlling [`encode`].
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct EncodeOptions {
+    /// Huffman table strategy.
+    pub huffman: HuffmanMode,
+}
+
+impl EncodeOptions {
+    /// Options selecting the Annex K default tables.
+    pub fn standard() -> Self {
+        EncodeOptions {
+            huffman: HuffmanMode::Standard,
+        }
+    }
+
+    /// Options selecting per-image optimized tables.
+    pub fn optimized() -> Self {
+        EncodeOptions {
+            huffman: HuffmanMode::Optimized,
+        }
+    }
+}
+
+// Marker bytes.
+const SOI: u8 = 0xD8;
+const EOI: u8 = 0xD9;
+const SOF0: u8 = 0xC0;
+const DHT: u8 = 0xC4;
+const DQT: u8 = 0xDB;
+const SOS: u8 = 0xDA;
+const APP0: u8 = 0xE0;
+const COM: u8 = 0xFE;
+
+fn push_marker(out: &mut Vec<u8>, marker: u8) {
+    out.push(0xFF);
+    out.push(marker);
+}
+
+fn push_segment(out: &mut Vec<u8>, marker: u8, payload: &[u8]) {
+    push_marker(out, marker);
+    let len = (payload.len() + 2) as u16;
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Encodes a coefficient image to a JFIF byte stream.
+///
+/// # Errors
+/// Returns [`JpegError::CoefficientRange`] if a coefficient falls outside
+/// `[-1024, 1023]`.
+pub fn encode(img: &CoeffImage, opts: &EncodeOptions) -> Result<Vec<u8>> {
+    let comps = img.components();
+    let ncomp = comps.len();
+
+    // Choose Huffman tables. Table class 0 = DC, 1 = AC; id 0 = luma,
+    // id 1 = chroma.
+    let (dc_tables, ac_tables) = match opts.huffman {
+        HuffmanMode::Standard => (
+            vec![HuffTable::std_dc_luma(), HuffTable::std_dc_chroma()],
+            vec![HuffTable::std_ac_luma(), HuffTable::std_ac_chroma()],
+        ),
+        HuffmanMode::Optimized => build_optimized_tables(img),
+    };
+
+    let mut out = Vec::new();
+    push_marker(&mut out, SOI);
+
+    // APP0 / JFIF 1.1.
+    let mut app0 = Vec::new();
+    app0.extend_from_slice(b"JFIF\0");
+    app0.extend_from_slice(&[1, 1, 0, 0, 1, 0, 1, 0, 0]);
+    push_segment(&mut out, APP0, &app0);
+
+    // DQT: one table per distinct component table (luma id 0, chroma id 1).
+    let mut dqt = Vec::new();
+    emit_quant_table(&mut dqt, 0, comps[0].quant());
+    if ncomp == 3 {
+        emit_quant_table(&mut dqt, 1, comps[1].quant());
+    }
+    push_segment(&mut out, DQT, &dqt);
+
+    // SOF0.
+    let mut sof = Vec::new();
+    sof.push(8); // precision
+    sof.extend_from_slice(&(img.height() as u16).to_be_bytes());
+    sof.extend_from_slice(&(img.width() as u16).to_be_bytes());
+    sof.push(ncomp as u8);
+    for (i, c) in comps.iter().enumerate() {
+        sof.push(c.id());
+        sof.push(0x11); // 1x1 sampling (4:4:4)
+        sof.push(if i == 0 { 0 } else { 1 }); // quant table id
+    }
+    push_segment(&mut out, SOF0, &sof);
+
+    // DHT.
+    let mut dht = Vec::new();
+    for (id, t) in dc_tables.iter().enumerate().take(ncomp.min(2)) {
+        emit_huff_table(&mut dht, 0, id as u8, t);
+    }
+    for (id, t) in ac_tables.iter().enumerate().take(ncomp.min(2)) {
+        emit_huff_table(&mut dht, 1, id as u8, t);
+    }
+    push_segment(&mut out, DHT, &dht);
+
+    // SOS.
+    let mut sos = Vec::new();
+    sos.push(ncomp as u8);
+    for (i, c) in comps.iter().enumerate() {
+        sos.push(c.id());
+        let tid = if i == 0 { 0 } else { 1 };
+        sos.push((tid << 4) | tid);
+    }
+    sos.extend_from_slice(&[0, 63, 0]); // Ss, Se, AhAl
+    push_segment(&mut out, SOS, &sos);
+
+    // Entropy-coded data, interleaved MCUs (one block per component at
+    // 4:4:4).
+    let enc_dc: Vec<HuffEncoder> = dc_tables.iter().map(HuffEncoder::new).collect();
+    let enc_ac: Vec<HuffEncoder> = ac_tables.iter().map(HuffEncoder::new).collect();
+    let mut w = BitWriter::new();
+    let bw = comps[0].blocks_w();
+    let bh = comps[0].blocks_h();
+    let mut pred = vec![0i32; ncomp];
+    for by in 0..bh {
+        for bx in 0..bw {
+            for (ci, c) in comps.iter().enumerate() {
+                let tid = if ci == 0 { 0 } else { 1 };
+                let zz = to_zigzag(c.block(bx, by));
+                pred[ci] = encode_block(&mut w, &zz, pred[ci], &enc_dc[tid], &enc_ac[tid])?;
+            }
+        }
+    }
+    out.extend_from_slice(&w.finish());
+    push_marker(&mut out, EOI);
+    Ok(out)
+}
+
+fn build_optimized_tables(img: &CoeffImage) -> (Vec<HuffTable>, Vec<HuffTable>) {
+    let comps = img.components();
+    let ncomp = comps.len();
+    let ntab = ncomp.min(2);
+    let mut freqs: Vec<SymbolFreqs> = (0..ntab).map(|_| SymbolFreqs::new()).collect();
+    let bw = comps[0].blocks_w();
+    let bh = comps[0].blocks_h();
+    let mut pred = vec![0i32; ncomp];
+    for by in 0..bh {
+        for bx in 0..bw {
+            for (ci, c) in comps.iter().enumerate() {
+                let tid = if ci == 0 { 0 } else { 1 };
+                let zz = to_zigzag(c.block(bx, by));
+                pred[ci] = tally_block(&mut freqs[tid], &zz, pred[ci]);
+            }
+        }
+    }
+    let dc = freqs
+        .iter()
+        .map(|f| HuffTable::build_optimized(&f.dc))
+        .collect();
+    let ac = freqs
+        .iter()
+        .map(|f| HuffTable::build_optimized(&f.ac))
+        .collect();
+    (dc, ac)
+}
+
+fn emit_quant_table(out: &mut Vec<u8>, id: u8, table: &QuantTable) {
+    out.push(id); // Pq=0 (8-bit), Tq=id
+    for i in 0..64 {
+        let s = table.steps()[crate::zigzag::ZIGZAG[i]];
+        out.push(s.min(255) as u8);
+    }
+}
+
+fn emit_huff_table(out: &mut Vec<u8>, class: u8, id: u8, table: &HuffTable) {
+    out.push((class << 4) | id);
+    out.extend_from_slice(table.counts());
+    out.extend_from_slice(table.values());
+}
+
+// ---------------------------------------------------------------------------
+// Decoding.
+// ---------------------------------------------------------------------------
+
+struct SofComponent {
+    id: u8,
+    quant_id: u8,
+}
+
+/// Decodes a baseline JFIF byte stream into a [`CoeffImage`].
+///
+/// # Errors
+/// Returns [`JpegError::Malformed`] for framing errors and
+/// [`JpegError::Unsupported`] for features outside the baseline 4:4:4 /
+/// grayscale subset.
+pub fn decode(bytes: &[u8]) -> Result<CoeffImage> {
+    let mut pos = 0usize;
+    let need = |pos: usize, n: usize| -> Result<()> {
+        if pos + n > bytes.len() {
+            Err(JpegError::Malformed("unexpected end of stream".into()))
+        } else {
+            Ok(())
+        }
+    };
+    need(pos, 2)?;
+    if bytes[0] != 0xFF || bytes[1] != SOI {
+        return Err(JpegError::Malformed("missing SOI".into()));
+    }
+    pos += 2;
+
+    let mut quant_tables: Vec<Option<QuantTable>> = vec![None; 4];
+    let mut dc_tables: Vec<Option<HuffDecoder>> = vec![None, None, None, None];
+    let mut ac_tables: Vec<Option<HuffDecoder>> = vec![None, None, None, None];
+    let mut sof: Option<(u16, u16, Vec<SofComponent>)> = None;
+
+    loop {
+        need(pos, 2)?;
+        if bytes[pos] != 0xFF {
+            return Err(JpegError::Malformed(format!(
+                "expected marker at {pos}, found {:#04x}",
+                bytes[pos]
+            )));
+        }
+        let marker = bytes[pos + 1];
+        pos += 2;
+        match marker {
+            EOI => return Err(JpegError::Malformed("EOI before SOS".into())),
+            0xC2 => return Err(JpegError::Unsupported("progressive JPEG".into())),
+            0xC1 | 0xC3 | 0xC5..=0xC7 | 0xC9..=0xCB | 0xCD..=0xCF => {
+                return Err(JpegError::Unsupported(format!(
+                    "SOF marker {marker:#04x}"
+                )))
+            }
+            SOF0 => {
+                let (seg, next) = read_segment(bytes, pos)?;
+                pos = next;
+                sof = Some(parse_sof(seg)?);
+            }
+            DQT => {
+                let (seg, next) = read_segment(bytes, pos)?;
+                pos = next;
+                parse_dqt(seg, &mut quant_tables)?;
+            }
+            DHT => {
+                let (seg, next) = read_segment(bytes, pos)?;
+                pos = next;
+                parse_dht(seg, &mut dc_tables, &mut ac_tables)?;
+            }
+            SOS => {
+                let (seg, next) = read_segment(bytes, pos)?;
+                pos = next;
+                let (w, h, sof_comps) =
+                    sof.ok_or_else(|| JpegError::Malformed("SOS before SOF".into()))?;
+                return decode_scan(
+                    bytes,
+                    pos,
+                    seg,
+                    w,
+                    h,
+                    &sof_comps,
+                    &quant_tables,
+                    &dc_tables,
+                    &ac_tables,
+                );
+            }
+            0xDD => return Err(JpegError::Unsupported("restart intervals (DRI)".into())),
+            // Skippable segments: APPn, COM.
+            m if (0xE0..=0xEF).contains(&m) || m == COM => {
+                let (_, next) = read_segment(bytes, pos)?;
+                pos = next;
+            }
+            0xD0..=0xD7 | 0x01 => {} // standalone markers: skip
+            other => {
+                return Err(JpegError::Malformed(format!(
+                    "unexpected marker {other:#04x}"
+                )))
+            }
+        }
+    }
+}
+
+fn read_segment(bytes: &[u8], pos: usize) -> Result<(&[u8], usize)> {
+    if pos + 2 > bytes.len() {
+        return Err(JpegError::Malformed("truncated segment length".into()));
+    }
+    let len = u16::from_be_bytes([bytes[pos], bytes[pos + 1]]) as usize;
+    if len < 2 || pos + len > bytes.len() {
+        return Err(JpegError::Malformed("bad segment length".into()));
+    }
+    Ok((&bytes[pos + 2..pos + len], pos + len))
+}
+
+fn parse_sof(seg: &[u8]) -> Result<(u16, u16, Vec<SofComponent>)> {
+    if seg.len() < 6 {
+        return Err(JpegError::Malformed("short SOF".into()));
+    }
+    if seg[0] != 8 {
+        return Err(JpegError::Unsupported(format!("{}-bit precision", seg[0])));
+    }
+    let h = u16::from_be_bytes([seg[1], seg[2]]);
+    let w = u16::from_be_bytes([seg[3], seg[4]]);
+    if w == 0 || h == 0 {
+        return Err(JpegError::Malformed("zero dimensions".into()));
+    }
+    let n = seg[5] as usize;
+    if n != 1 && n != 3 {
+        return Err(JpegError::Unsupported(format!("{n} components")));
+    }
+    if seg.len() != 6 + 3 * n {
+        return Err(JpegError::Malformed("SOF length mismatch".into()));
+    }
+    let mut comps = Vec::with_capacity(n);
+    for i in 0..n {
+        let id = seg[6 + 3 * i];
+        let sampling = seg[7 + 3 * i];
+        if sampling != 0x11 {
+            return Err(JpegError::Unsupported(format!(
+                "chroma subsampling {sampling:#04x} (only 4:4:4)"
+            )));
+        }
+        comps.push(SofComponent {
+            id,
+            quant_id: seg[8 + 3 * i],
+        });
+    }
+    Ok((w, h, comps))
+}
+
+fn parse_dqt(mut seg: &[u8], tables: &mut [Option<QuantTable>]) -> Result<()> {
+    while !seg.is_empty() {
+        let pq_tq = seg[0];
+        let (pq, tq) = (pq_tq >> 4, (pq_tq & 0x0F) as usize);
+        if pq != 0 {
+            return Err(JpegError::Unsupported("16-bit quant table".into()));
+        }
+        if tq >= 4 || seg.len() < 65 {
+            return Err(JpegError::Malformed("bad DQT".into()));
+        }
+        let mut steps = [1u16; 64];
+        for i in 0..64 {
+            let v = seg[1 + i] as u16;
+            if v == 0 {
+                return Err(JpegError::Malformed("zero quant step".into()));
+            }
+            steps[crate::zigzag::ZIGZAG[i]] = v;
+        }
+        tables[tq] = Some(QuantTable::new(steps));
+        seg = &seg[65..];
+    }
+    Ok(())
+}
+
+fn parse_dht(
+    mut seg: &[u8],
+    dc: &mut [Option<HuffDecoder>],
+    ac: &mut [Option<HuffDecoder>],
+) -> Result<()> {
+    while !seg.is_empty() {
+        if seg.len() < 17 {
+            return Err(JpegError::Malformed("short DHT".into()));
+        }
+        let tc_th = seg[0];
+        let (class, id) = (tc_th >> 4, (tc_th & 0x0F) as usize);
+        if class > 1 || id >= 4 {
+            return Err(JpegError::Malformed("bad DHT header".into()));
+        }
+        let mut counts = [0u8; 16];
+        counts.copy_from_slice(&seg[1..17]);
+        let total: usize = counts.iter().map(|&c| c as usize).sum();
+        if seg.len() < 17 + total {
+            return Err(JpegError::Malformed("DHT values truncated".into()));
+        }
+        let values = seg[17..17 + total].to_vec();
+        let table = HuffTable::new(counts, values)?;
+        let dec = HuffDecoder::new(&table);
+        if class == 0 {
+            dc[id] = Some(dec);
+        } else {
+            ac[id] = Some(dec);
+        }
+        seg = &seg[17 + total..];
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn decode_scan(
+    bytes: &[u8],
+    pos: usize,
+    sos: &[u8],
+    width: u16,
+    height: u16,
+    sof_comps: &[SofComponent],
+    quant_tables: &[Option<QuantTable>],
+    dc_tables: &[Option<HuffDecoder>],
+    ac_tables: &[Option<HuffDecoder>],
+) -> Result<CoeffImage> {
+    let n = sof_comps.len();
+    if sos.len() != 1 + 2 * n + 3 || sos[0] as usize != n {
+        return Err(JpegError::Malformed("SOS header mismatch".into()));
+    }
+    // Table selectors per component.
+    let mut sel = Vec::with_capacity(n);
+    for i in 0..n {
+        let cid = sos[1 + 2 * i];
+        if cid != sof_comps[i].id {
+            return Err(JpegError::Malformed("SOS component order mismatch".into()));
+        }
+        let t = sos[2 + 2 * i];
+        sel.push(((t >> 4) as usize, (t & 0x0F) as usize));
+    }
+
+    // Locate the end of entropy data (the next non-stuffed, non-RST marker).
+    let mut end = pos;
+    while end + 1 < bytes.len() {
+        if bytes[end] == 0xFF {
+            let m = bytes[end + 1];
+            if m != 0x00 && !(0xD0..=0xD7).contains(&m) {
+                break;
+            }
+            end += 2;
+        } else {
+            end += 1;
+        }
+    }
+    let entropy = &bytes[pos..end];
+
+    let bw = (width as u32).div_ceil(8);
+    let bh = (height as u32).div_ceil(8);
+    let nblocks = (bw as usize) * (bh as usize);
+    // Guard against lying SOF dimensions before allocating: every block
+    // costs at least 2 entropy bits (shortest DC code + EOB), so the
+    // declared geometry cannot exceed 4 blocks per entropy byte.
+    if nblocks * n > entropy.len().saturating_mul(4).max(4) {
+        return Err(JpegError::Malformed(format!(
+            "{nblocks} declared blocks cannot fit in {} entropy bytes",
+            entropy.len()
+        )));
+    }
+    let mut blocks: Vec<Vec<[i32; 64]>> = vec![Vec::with_capacity(nblocks); n];
+    let mut pred = vec![0i32; n];
+    let mut r = BitReader::new(entropy);
+    for _ in 0..nblocks {
+        for ci in 0..n {
+            let (dci, aci) = sel[ci];
+            let dct = dc_tables
+                .get(dci)
+                .and_then(|t| t.as_ref())
+                .ok_or_else(|| JpegError::Malformed("missing DC table".into()))?;
+            let act = ac_tables
+                .get(aci)
+                .and_then(|t| t.as_ref())
+                .ok_or_else(|| JpegError::Malformed("missing AC table".into()))?;
+            let (zz, p) = decode_block(&mut r, pred[ci], dct, act)?;
+            pred[ci] = p;
+            blocks[ci].push(from_zigzag(&zz));
+        }
+    }
+
+    let mut components = Vec::with_capacity(n);
+    for (ci, sc) in sof_comps.iter().enumerate() {
+        let qt = quant_tables
+            .get(sc.quant_id as usize)
+            .and_then(|t| t.clone())
+            .ok_or_else(|| JpegError::Malformed("missing quant table".into()))?;
+        components.push(Component::from_raw(
+            sc.id,
+            width as u32,
+            height as u32,
+            qt,
+            std::mem::take(&mut blocks[ci]),
+        )?);
+    }
+    CoeffImage::from_components(width as u32, height as u32, components)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puppies_image::{Rgb, RgbImage};
+
+    fn test_image(w: u32, h: u32) -> RgbImage {
+        RgbImage::from_fn(w, h, |x, y| {
+            Rgb::new(
+                ((x * 7 + y * 3) % 256) as u8,
+                ((x + y * 11) % 256) as u8,
+                ((x * 2 + y * y / 3) % 256) as u8,
+            )
+        })
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_exact_coefficients() {
+        let img = test_image(48, 33);
+        let c = CoeffImage::from_rgb(&img, 80);
+        for opts in [EncodeOptions::standard(), EncodeOptions::optimized()] {
+            let bytes = c.encode(&opts).unwrap();
+            let back = CoeffImage::decode(&bytes).unwrap();
+            assert_eq!(back.width(), 48);
+            assert_eq!(back.height(), 33);
+            for (a, b) in c.components().iter().zip(back.components()) {
+                assert_eq!(a.blocks(), b.blocks(), "coefficients must survive framing");
+                assert_eq!(a.quant(), b.quant());
+            }
+        }
+    }
+
+    #[test]
+    fn gray_roundtrip() {
+        let img = test_image(24, 24).to_gray();
+        let c = CoeffImage::from_gray(&img, 70);
+        let bytes = c.encode(&EncodeOptions::default()).unwrap();
+        let back = CoeffImage::decode(&bytes).unwrap();
+        assert!(back.is_gray());
+        assert_eq!(c.components()[0].blocks(), back.components()[0].blocks());
+    }
+
+    #[test]
+    fn stream_starts_with_soi_ends_with_eoi() {
+        let img = test_image(16, 16);
+        let bytes = crate::encode_rgb(&img, 75).unwrap();
+        assert_eq!(&bytes[..2], &[0xFF, 0xD8]);
+        assert_eq!(&bytes[bytes.len() - 2..], &[0xFF, 0xD9]);
+        // JFIF APP0 present.
+        assert_eq!(&bytes[2..4], &[0xFF, 0xE0]);
+        assert_eq!(&bytes[6..11], b"JFIF\0");
+    }
+
+    #[test]
+    fn optimized_tables_never_larger_much() {
+        // Optimized Huffman coding should not be significantly worse than
+        // the default tables for a natural-ish image.
+        let img = test_image(96, 96);
+        let c = CoeffImage::from_rgb(&img, 75);
+        let std = c.encode(&EncodeOptions::standard()).unwrap().len();
+        let opt = c.encode(&EncodeOptions::optimized()).unwrap().len();
+        assert!(
+            (opt as f64) < std as f64 * 1.05,
+            "optimized {opt} vs standard {std}"
+        );
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(CoeffImage::decode(&[0, 1, 2, 3]).is_err());
+        assert!(CoeffImage::decode(&[0xFF, 0xD8, 0xFF, 0xD9]).is_err());
+        assert!(CoeffImage::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_progressive_sof() {
+        let img = test_image(16, 16);
+        let mut bytes = crate::encode_rgb(&img, 75).unwrap();
+        // Find the SOF0 marker and rewrite it to SOF2 (progressive).
+        for i in 0..bytes.len() - 1 {
+            if bytes[i] == 0xFF && bytes[i + 1] == 0xC0 {
+                bytes[i + 1] = 0xC2;
+                break;
+            }
+        }
+        assert!(matches!(
+            CoeffImage::decode(&bytes),
+            Err(JpegError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn decode_skips_comment_segments() {
+        let img = test_image(16, 16);
+        let bytes = crate::encode_rgb(&img, 75).unwrap();
+        // Splice a COM segment right after SOI.
+        let mut patched = bytes[..2].to_vec();
+        patched.extend_from_slice(&[0xFF, 0xFE, 0x00, 0x07, b'h', b'e', b'l', b'l', b'o']);
+        patched.extend_from_slice(&bytes[2..]);
+        let back = CoeffImage::decode(&patched).unwrap();
+        assert_eq!(back.width(), 16);
+    }
+
+    #[test]
+    fn truncated_stream_is_detected() {
+        let img = test_image(32, 32);
+        let bytes = crate::encode_rgb(&img, 75).unwrap();
+        let cut = &bytes[..bytes.len() / 2];
+        assert!(CoeffImage::decode(cut).is_err());
+    }
+
+    #[test]
+    fn pixel_roundtrip_through_bytes() {
+        let img = test_image(40, 28);
+        let bytes = crate::encode_rgb(&img, 90).unwrap();
+        let back = crate::decode_rgb(&bytes).unwrap();
+        let psnr = puppies_image::metrics::psnr_rgb(&img, &back);
+        assert!(psnr > 30.0, "PSNR {psnr}");
+    }
+
+    #[test]
+    fn higher_quality_produces_larger_files() {
+        let img = test_image(64, 64);
+        let small = crate::encode_rgb(&img, 30).unwrap().len();
+        let large = crate::encode_rgb(&img, 95).unwrap().len();
+        assert!(large > small, "{large} <= {small}");
+    }
+}

@@ -1,0 +1,508 @@
+//! [`CoeffImage`]: the quantized-DCT-coefficient representation of a JPEG
+//! image.
+//!
+//! This is the level PuPPIeS operates at: perturbation adds private-matrix
+//! entries to quantized coefficients block by block (§IV-B), the PSP can
+//! requantize or crop without leaving the coefficient domain, and entropy
+//! coding (`codec`) turns the same structure into bytes.
+
+use crate::quant::QuantTable;
+use crate::{dct, JpegError, Result, AC_MAX, AC_MIN, COEFF_MAX, COEFF_MIN};
+use puppies_image::{GrayImage, Plane, Rect, RgbImage};
+
+/// Clamps a block into the entropy-codable ranges: DC to `[-1024, 1023]`,
+/// AC to `[-1023, 1023]`.
+pub fn clamp_block(b: &mut Block) {
+    b[0] = b[0].clamp(COEFF_MIN, COEFF_MAX);
+    for v in &mut b[1..] {
+        *v = (*v).clamp(AC_MIN, AC_MAX);
+    }
+}
+
+/// Side length of a JPEG block in samples.
+pub const BLOCK_SIZE: u32 = 8;
+/// Number of coefficients per block.
+pub const BLOCK_LEN: usize = 64;
+
+/// One 8×8 block of quantized DCT coefficients in row-major (natural)
+/// order; index 0 is the DC term.
+pub type Block = [i32; BLOCK_LEN];
+
+/// A single color component (plane) in the coefficient domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// JPEG component id (1 = Y, 2 = Cb, 3 = Cr).
+    id: u8,
+    /// Sample width (pre-padding).
+    width: u32,
+    /// Sample height (pre-padding).
+    height: u32,
+    blocks_w: u32,
+    blocks_h: u32,
+    quant: QuantTable,
+    blocks: Vec<Block>,
+}
+
+impl Component {
+    /// Builds a component by forward-transforming a sample plane
+    /// (values nominally in `[0, 255]`), padding edges by replication.
+    pub fn from_plane(id: u8, plane: &Plane, quant: QuantTable) -> Component {
+        let width = plane.width();
+        let height = plane.height();
+        let blocks_w = width.div_ceil(BLOCK_SIZE);
+        let blocks_h = height.div_ceil(BLOCK_SIZE);
+        let mut blocks = Vec::with_capacity((blocks_w * blocks_h) as usize);
+        for by in 0..blocks_h {
+            for bx in 0..blocks_w {
+                let mut spatial = [0.0f32; BLOCK_LEN];
+                for y in 0..BLOCK_SIZE {
+                    for x in 0..BLOCK_SIZE {
+                        let sx = (bx * BLOCK_SIZE + x) as i64;
+                        let sy = (by * BLOCK_SIZE + y) as i64;
+                        spatial[(y * BLOCK_SIZE + x) as usize] =
+                            plane.get_clamped(sx, sy) - 128.0;
+                    }
+                }
+                let freq = dct::forward(&spatial);
+                let mut q = quant.quantize(&freq);
+                clamp_block(&mut q);
+                blocks.push(q);
+            }
+        }
+        Component {
+            id,
+            width,
+            height,
+            blocks_w,
+            blocks_h,
+            quant,
+            blocks,
+        }
+    }
+
+    /// Reconstructs the sample plane (inverse DCT + level shift), cropped
+    /// back to the component's true size. Samples are *not* clamped so the
+    /// caller can do shadow-ROI arithmetic before rounding.
+    pub fn to_plane(&self) -> Plane {
+        let mut full = Plane::new(self.blocks_w * BLOCK_SIZE, self.blocks_h * BLOCK_SIZE);
+        for by in 0..self.blocks_h {
+            for bx in 0..self.blocks_w {
+                let q = &self.blocks[(by * self.blocks_w + bx) as usize];
+                let raw = self.quant.dequantize(q);
+                let spatial = dct::inverse(&raw);
+                for y in 0..BLOCK_SIZE {
+                    for x in 0..BLOCK_SIZE {
+                        full.set(
+                            bx * BLOCK_SIZE + x,
+                            by * BLOCK_SIZE + y,
+                            spatial[(y * BLOCK_SIZE + x) as usize] + 128.0,
+                        );
+                    }
+                }
+            }
+        }
+        if full.width() == self.width && full.height() == self.height {
+            full
+        } else {
+            Plane::from_fn(self.width, self.height, |x, y| full.get(x, y))
+        }
+    }
+
+    /// Component id (1 = Y, 2 = Cb, 3 = Cr).
+    pub fn id(&self) -> u8 {
+        self.id
+    }
+
+    /// Sample width (pre-padding).
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Sample height (pre-padding).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of block columns.
+    pub fn blocks_w(&self) -> u32 {
+        self.blocks_w
+    }
+
+    /// Number of block rows.
+    pub fn blocks_h(&self) -> u32 {
+        self.blocks_h
+    }
+
+    /// The quantization table.
+    pub fn quant(&self) -> &QuantTable {
+        &self.quant
+    }
+
+    /// All blocks, row-major over the block grid.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Mutable access to all blocks.
+    pub fn blocks_mut(&mut self) -> &mut [Block] {
+        &mut self.blocks
+    }
+
+    /// The block at block-grid position `(bx, by)`.
+    ///
+    /// # Panics
+    /// Panics if the position is outside the block grid.
+    pub fn block(&self, bx: u32, by: u32) -> &Block {
+        assert!(bx < self.blocks_w && by < self.blocks_h, "block out of range");
+        &self.blocks[(by * self.blocks_w + bx) as usize]
+    }
+
+    /// Mutable block access.
+    ///
+    /// # Panics
+    /// Panics if the position is outside the block grid.
+    pub fn block_mut(&mut self, bx: u32, by: u32) -> &mut Block {
+        assert!(bx < self.blocks_w && by < self.blocks_h, "block out of range");
+        &mut self.blocks[(by * self.blocks_w + bx) as usize]
+    }
+
+    /// Block-grid coordinates `(bx, by)` of every block whose 8×8 pixel
+    /// footprint intersects `region` (pixel coordinates), in row-major
+    /// order. This is how a pixel ROI maps onto coefficient blocks.
+    pub fn blocks_in_region(&self, region: Rect) -> Vec<(u32, u32)> {
+        let clipped = region.intersect(Rect::new(0, 0, self.width, self.height));
+        if clipped.is_empty() {
+            return Vec::new();
+        }
+        let bx0 = clipped.x / BLOCK_SIZE;
+        let by0 = clipped.y / BLOCK_SIZE;
+        let bx1 = (clipped.right() - 1) / BLOCK_SIZE;
+        let by1 = (clipped.bottom() - 1) / BLOCK_SIZE;
+        let mut out = Vec::new();
+        for by in by0..=by1 {
+            for bx in bx0..=bx1 {
+                out.push((bx, by));
+            }
+        }
+        out
+    }
+
+    /// Replaces the quantization table by requantizing every block, the
+    /// coefficient-domain "compression" transformation.
+    pub fn requantize(&mut self, coarser: QuantTable) {
+        for b in &mut self.blocks {
+            let mut nb = self.quant.requantize_to(b, &coarser);
+            clamp_block(&mut nb);
+            *b = nb;
+        }
+        self.quant = coarser;
+    }
+
+    /// Builds a component from an explicit block grid (used by
+    /// coefficient-domain transformations and tests). Blocks are row-major
+    /// over the `ceil(width/8) × ceil(height/8)` grid and are clamped into
+    /// the entropy-codable ranges.
+    ///
+    /// # Errors
+    /// Returns [`JpegError::Malformed`] if the block count does not match
+    /// the grid implied by `width` × `height`.
+    pub fn from_blocks(
+        id: u8,
+        width: u32,
+        height: u32,
+        quant: QuantTable,
+        mut blocks: Vec<Block>,
+    ) -> Result<Component> {
+        for b in &mut blocks {
+            clamp_block(b);
+        }
+        Component::from_raw(id, width, height, quant, blocks)
+    }
+
+    pub(crate) fn from_raw(
+        id: u8,
+        width: u32,
+        height: u32,
+        quant: QuantTable,
+        blocks: Vec<Block>,
+    ) -> Result<Component> {
+        let blocks_w = width.div_ceil(BLOCK_SIZE);
+        let blocks_h = height.div_ceil(BLOCK_SIZE);
+        if blocks.len() != (blocks_w as usize) * (blocks_h as usize) {
+            return Err(JpegError::Malformed(format!(
+                "component {id}: {} blocks for {}x{} grid",
+                blocks.len(),
+                blocks_w,
+                blocks_h
+            )));
+        }
+        Ok(Component {
+            id,
+            width,
+            height,
+            blocks_w,
+            blocks_h,
+            quant,
+            blocks,
+        })
+    }
+}
+
+/// A JPEG image in the quantized-coefficient domain: one component for
+/// grayscale, three (Y, Cb, Cr at 4:4:4) for color.
+///
+/// 4:4:4 keeps every component's block grid aligned with the pixel ROI
+/// grid, which PuPPIeS requires to perturb the *same* regions in all
+/// layers ("each layer is processed independently", §II-A footnote).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoeffImage {
+    width: u32,
+    height: u32,
+    components: Vec<Component>,
+}
+
+impl CoeffImage {
+    /// Forward-transforms an RGB image at the given JPEG quality (1..=100).
+    pub fn from_rgb(img: &RgbImage, quality: u8) -> CoeffImage {
+        let planes = img.to_ycbcr_planes();
+        let lq = QuantTable::luma(quality);
+        let cq = QuantTable::chroma(quality);
+        CoeffImage {
+            width: img.width(),
+            height: img.height(),
+            components: vec![
+                Component::from_plane(1, &planes[0], lq),
+                Component::from_plane(2, &planes[1], cq.clone()),
+                Component::from_plane(3, &planes[2], cq),
+            ],
+        }
+    }
+
+    /// Forward-transforms a grayscale image at the given quality.
+    pub fn from_gray(img: &GrayImage, quality: u8) -> CoeffImage {
+        let plane = img.to_plane();
+        CoeffImage {
+            width: img.width(),
+            height: img.height(),
+            components: vec![Component::from_plane(1, &plane, QuantTable::luma(quality))],
+        }
+    }
+
+    /// Assembles a coefficient image from pre-built components.
+    ///
+    /// # Errors
+    /// Returns [`JpegError::Malformed`] if there is not exactly 1 or 3
+    /// components or their sizes disagree with `(width, height)`.
+    pub fn from_components(width: u32, height: u32, components: Vec<Component>) -> Result<Self> {
+        if components.len() != 1 && components.len() != 3 {
+            return Err(JpegError::Malformed(format!(
+                "{} components unsupported",
+                components.len()
+            )));
+        }
+        for c in &components {
+            if c.width != width || c.height != height {
+                return Err(JpegError::Malformed("component size mismatch".into()));
+            }
+        }
+        Ok(CoeffImage {
+            width,
+            height,
+            components,
+        })
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Whether the image is single-component.
+    pub fn is_gray(&self) -> bool {
+        self.components.len() == 1
+    }
+
+    /// The components (1 or 3).
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Mutable component access.
+    pub fn components_mut(&mut self) -> &mut [Component] {
+        &mut self.components
+    }
+
+    /// Inverse-transforms back to RGB (grayscale replicates the single
+    /// component).
+    pub fn to_rgb(&self) -> RgbImage {
+        if self.is_gray() {
+            return self.to_gray_image().to_rgb();
+        }
+        let planes = [
+            self.components[0].to_plane(),
+            self.components[1].to_plane(),
+            self.components[2].to_plane(),
+        ];
+        RgbImage::from_ycbcr_planes(&planes)
+    }
+
+    /// Inverse-transforms the luma component to a grayscale image.
+    pub fn to_gray_image(&self) -> GrayImage {
+        self.components[0].to_plane().to_gray()
+    }
+
+    /// Encodes to a JFIF byte stream; see [`crate::codec`].
+    ///
+    /// # Errors
+    /// Fails if a coefficient cannot be entropy coded.
+    pub fn encode(&self, opts: &crate::codec::EncodeOptions) -> Result<Vec<u8>> {
+        crate::codec::encode(self, opts)
+    }
+
+    /// Decodes a JFIF byte stream produced by [`CoeffImage::encode`] (or
+    /// any baseline 4:4:4 / grayscale encoder).
+    ///
+    /// # Errors
+    /// Fails on malformed or unsupported streams.
+    pub fn decode(bytes: &[u8]) -> Result<CoeffImage> {
+        crate::codec::decode(bytes)
+    }
+
+    /// Requantizes every component for recompression at a lower quality.
+    pub fn requantize(&mut self, quality: u8) {
+        let lq = QuantTable::luma(quality);
+        let cq = QuantTable::chroma(quality);
+        for (i, c) in self.components.iter_mut().enumerate() {
+            c.requantize(if i == 0 { lq.clone() } else { cq.clone() });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puppies_image::metrics::psnr_rgb;
+    use puppies_image::Rgb;
+
+    fn test_image(w: u32, h: u32) -> RgbImage {
+        RgbImage::from_fn(w, h, |x, y| {
+            Rgb::new(
+                ((x * 3 + y) % 256) as u8,
+                ((x + y * 5) % 256) as u8,
+                ((x * x / 4 + y) % 256) as u8,
+            )
+        })
+    }
+
+    #[test]
+    fn forward_inverse_high_quality_is_faithful() {
+        let img = test_image(40, 24);
+        let c = CoeffImage::from_rgb(&img, 95);
+        let back = c.to_rgb();
+        let psnr = psnr_rgb(&img, &back);
+        assert!(psnr > 35.0, "PSNR {psnr}");
+    }
+
+    #[test]
+    fn quality_orders_reconstruction_error() {
+        let img = test_image(64, 64);
+        let p90 = psnr_rgb(&img, &CoeffImage::from_rgb(&img, 90).to_rgb());
+        let p30 = psnr_rgb(&img, &CoeffImage::from_rgb(&img, 30).to_rgb());
+        assert!(p90 > p30, "q90 {p90} <= q30 {p30}");
+    }
+
+    #[test]
+    fn non_multiple_of_eight_sizes_roundtrip() {
+        for (w, h) in [(9, 9), (17, 31), (8, 13)] {
+            let img = test_image(w, h);
+            let c = CoeffImage::from_rgb(&img, 90);
+            let back = c.to_rgb();
+            assert_eq!(back.width(), w);
+            assert_eq!(back.height(), h);
+            assert!(psnr_rgb(&img, &back) > 28.0);
+        }
+    }
+
+    #[test]
+    fn gray_roundtrip() {
+        let img = test_image(32, 32).to_gray();
+        let c = CoeffImage::from_gray(&img, 90);
+        assert!(c.is_gray());
+        let back = c.to_gray_image();
+        let psnr = puppies_image::metrics::psnr_gray(&img, &back);
+        assert!(psnr > 30.0, "PSNR {psnr}");
+    }
+
+    #[test]
+    fn coefficients_within_ring_bounds() {
+        let img = test_image(64, 64);
+        let c = CoeffImage::from_rgb(&img, 100);
+        for comp in c.components() {
+            for b in comp.blocks() {
+                assert!((COEFF_MIN..=COEFF_MAX).contains(&b[0]));
+                for &v in &b[1..] {
+                    assert!((AC_MIN..=AC_MAX).contains(&v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_in_region_maps_pixels_to_blocks() {
+        let img = test_image(64, 48);
+        let c = CoeffImage::from_rgb(&img, 75);
+        let comp = &c.components()[0];
+        // A rect inside one block.
+        assert_eq!(comp.blocks_in_region(Rect::new(1, 1, 3, 3)), vec![(0, 0)]);
+        // A rect straddling four blocks.
+        let four = comp.blocks_in_region(Rect::new(6, 6, 4, 4));
+        assert_eq!(four, vec![(0, 0), (1, 0), (0, 1), (1, 1)]);
+        // Out of bounds clips to empty.
+        assert!(comp.blocks_in_region(Rect::new(100, 100, 5, 5)).is_empty());
+        // Full image covers the whole grid.
+        assert_eq!(
+            comp.blocks_in_region(Rect::new(0, 0, 64, 48)).len(),
+            (comp.blocks_w() * comp.blocks_h()) as usize
+        );
+    }
+
+    #[test]
+    fn constant_block_dc_value() {
+        // A flat mid-gray image: Y plane = 128 everywhere, so level-shifted
+        // samples are 0 and every coefficient quantizes to 0.
+        let img = RgbImage::filled(16, 16, Rgb::new(128, 128, 128));
+        let c = CoeffImage::from_rgb(&img, 75);
+        for b in c.components()[0].blocks() {
+            assert_eq!(b[0], 0);
+            assert!(b[1..].iter().all(|&v| v == 0));
+        }
+    }
+
+    #[test]
+    fn requantize_matches_fresh_encode_quality() {
+        let img = test_image(32, 32);
+        let mut c = CoeffImage::from_rgb(&img, 90);
+        c.requantize(40);
+        // The requantized image should be close to a direct q40 encode.
+        let direct = CoeffImage::from_rgb(&img, 40);
+        let a = c.to_rgb();
+        let b = direct.to_rgb();
+        let psnr = psnr_rgb(&a, &b);
+        assert!(psnr > 30.0, "requantized diverges from direct: {psnr}");
+    }
+
+    #[test]
+    fn from_components_validates() {
+        let img = test_image(16, 16);
+        let c = CoeffImage::from_rgb(&img, 75);
+        let comps = c.components().to_vec();
+        assert!(CoeffImage::from_components(16, 16, comps.clone()).is_ok());
+        assert!(CoeffImage::from_components(16, 16, comps[..2].to_vec()).is_err());
+        assert!(CoeffImage::from_components(32, 16, comps).is_err());
+    }
+}

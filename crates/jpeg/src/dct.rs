@@ -1,0 +1,203 @@
+//! The 8×8 type-II discrete cosine transform and its inverse.
+//!
+//! Implemented as two passes of the 1-D orthonormal DCT (rows, then
+//! columns). Exactness matters more than raw speed here: the shadow-ROI
+//! reconstruction (§IV-C) depends on the transform being linear and
+//! invertible to float precision.
+
+/// Number of samples per block side.
+pub const N: usize = 8;
+
+// cos((2x + 1) u π / 16) lookup, indexed [u][x].
+fn cos_table() -> &'static [[f32; N]; N] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[[f32; N]; N]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [[0.0f32; N]; N];
+        for (u, row) in t.iter_mut().enumerate() {
+            for (x, v) in row.iter_mut().enumerate() {
+                *v = ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos()
+                    as f32;
+            }
+        }
+        t
+    })
+}
+
+#[inline]
+fn alpha(u: usize) -> f32 {
+    if u == 0 {
+        std::f32::consts::FRAC_1_SQRT_2
+    } else {
+        1.0
+    }
+}
+
+fn dct_1d(input: &[f32; N]) -> [f32; N] {
+    let t = cos_table();
+    let mut out = [0.0f32; N];
+    for (u, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0f32;
+        for x in 0..N {
+            acc += input[x] * t[u][x];
+        }
+        *o = 0.5 * alpha(u) * acc;
+    }
+    out
+}
+
+fn idct_1d(input: &[f32; N]) -> [f32; N] {
+    let t = cos_table();
+    let mut out = [0.0f32; N];
+    for (x, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0f32;
+        for u in 0..N {
+            acc += alpha(u) * input[u] * t[u][x];
+        }
+        *o = 0.5 * acc;
+    }
+    out
+}
+
+/// Forward 8×8 DCT-II of a row-major spatial block (typically level-shifted
+/// samples in `[-128, 127]`). Output is row-major frequency coefficients
+/// with the DC term at index 0.
+pub fn forward(block: &[f32; 64]) -> [f32; 64] {
+    let mut tmp = [0.0f32; 64];
+    // Rows.
+    for r in 0..N {
+        let mut row = [0.0f32; N];
+        row.copy_from_slice(&block[r * N..(r + 1) * N]);
+        let out = dct_1d(&row);
+        tmp[r * N..(r + 1) * N].copy_from_slice(&out);
+    }
+    // Columns.
+    let mut out = [0.0f32; 64];
+    for c in 0..N {
+        let mut col = [0.0f32; N];
+        for r in 0..N {
+            col[r] = tmp[r * N + c];
+        }
+        let t = dct_1d(&col);
+        for r in 0..N {
+            out[r * N + c] = t[r];
+        }
+    }
+    out
+}
+
+/// Inverse 8×8 DCT (type III), undoing [`forward`] to float precision.
+pub fn inverse(block: &[f32; 64]) -> [f32; 64] {
+    let mut tmp = [0.0f32; 64];
+    // Columns.
+    for c in 0..N {
+        let mut col = [0.0f32; N];
+        for r in 0..N {
+            col[r] = block[r * N + c];
+        }
+        let t = idct_1d(&col);
+        for r in 0..N {
+            tmp[r * N + c] = t[r];
+        }
+    }
+    // Rows.
+    let mut out = [0.0f32; 64];
+    for r in 0..N {
+        let mut row = [0.0f32; N];
+        row.copy_from_slice(&tmp[r * N..(r + 1) * N]);
+        let t = idct_1d(&row);
+        out[r * N..(r + 1) * N].copy_from_slice(&t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block(seed: u32) -> [f32; 64] {
+        let mut b = [0.0f32; 64];
+        let mut s = seed;
+        for v in &mut b {
+            // xorshift for determinism without a dependency.
+            s ^= s << 13;
+            s ^= s >> 17;
+            s ^= s << 5;
+            *v = (s % 256) as f32 - 128.0;
+        }
+        b
+    }
+
+    #[test]
+    fn constant_block_has_only_dc() {
+        let block = [10.0f32; 64];
+        let f = forward(&block);
+        // DC of constant c is 8c for the orthonormal 2-D DCT.
+        assert!((f[0] - 80.0).abs() < 1e-3, "dc = {}", f[0]);
+        for &v in &f[1..] {
+            assert!(v.abs() < 1e-3, "ac leak: {v}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact_to_float_precision() {
+        for seed in [1u32, 77, 90210] {
+            let block = sample_block(seed);
+            let back = inverse(&forward(&block));
+            for (a, b) in block.iter().zip(back.iter()) {
+                assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn transform_is_linear() {
+        let a = sample_block(3);
+        let b = sample_block(1234);
+        let mut sum = [0.0f32; 64];
+        for i in 0..64 {
+            sum[i] = a[i] + b[i];
+        }
+        let fa = forward(&a);
+        let fb = forward(&b);
+        let fsum = forward(&sum);
+        for i in 0..64 {
+            assert!((fa[i] + fb[i] - fsum[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let block = sample_block(42);
+        let f = forward(&block);
+        let e_spatial: f64 = block.iter().map(|&v| (v as f64).powi(2)).sum();
+        let e_freq: f64 = f.iter().map(|&v| (v as f64).powi(2)).sum();
+        assert!(
+            (e_spatial - e_freq).abs() / e_spatial < 1e-4,
+            "{e_spatial} vs {e_freq}"
+        );
+    }
+
+    #[test]
+    fn dc_range_fits_jpeg_bounds() {
+        // Extreme blocks (all -128 or all +127) must produce DC within
+        // [-1024, 1023] before quantization.
+        let lo = [-128.0f32; 64];
+        let hi = [127.0f32; 64];
+        assert!(forward(&lo)[0] >= -1024.0);
+        assert!(forward(&hi)[0] <= 1023.0);
+    }
+
+    #[test]
+    fn single_basis_function_roundtrip() {
+        // An impulse in frequency space maps to a cosine pattern and back.
+        let mut f = [0.0f32; 64];
+        f[9] = 100.0; // (u,v) = (1,1)
+        let spatial = inverse(&f);
+        let back = forward(&spatial);
+        for (i, &v) in back.iter().enumerate() {
+            let want = if i == 9 { 100.0 } else { 0.0 };
+            assert!((v - want).abs() < 1e-2, "idx {i}: {v}");
+        }
+    }
+}

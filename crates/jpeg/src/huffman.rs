@@ -1,0 +1,886 @@
+//! Canonical Huffman coding for baseline JPEG entropy coding.
+//!
+//! Provides the Annex K.3 default tables, *per-image optimized* table
+//! construction (the JPEG Annex K.2 two-list algorithm with the 16-bit
+//! length limit), and the DC-differential / AC-run-length block coder.
+//!
+//! Per-image optimization is load-bearing for the paper: PuPPIeS-B bloats
+//! files ~10× precisely because perturbed coefficients no longer match the
+//! default code assignment, and PuPPIeS-C recovers most of that by
+//! rebuilding the tables from the *perturbed* statistics (§IV-B.3).
+//!
+//! # Coefficient rings
+//!
+//! The paper's Lemma III.1 wraps all coefficients in `[-1024, 1023]`
+//! (mod 2048). Baseline JPEG, however, only admits magnitude category 11
+//! for *DC differences*; an AC value of exactly `-1024` is unencodable with
+//! the standard tables (their code space is full — there is no room to
+//! extend them within the 16-bit length limit). This codec therefore
+//! enforces the strictly-standard ranges: DC in `[-1024, 1023]` and AC in
+//! `[-1023, 1023]`. `puppies-core` correspondingly perturbs DC mod 2048 and
+//! AC mod 2047 — exact recovery à la Lemma III.1 holds for any modulus that
+//! covers the value range, and every perturbed stream stays decodable by a
+//! stock baseline decoder. The deviation is recorded in DESIGN.md.
+
+use crate::{JpegError, Result};
+
+/// Number of distinct (run, size) AC symbols including the category-11
+/// extension, plus DC categories. Symbols are `u8`-valued.
+const MAX_SYMBOLS: usize = 256;
+
+// ---------------------------------------------------------------------------
+// Bit IO with JPEG byte stuffing.
+// ---------------------------------------------------------------------------
+
+/// MSB-first bit writer with JPEG `0xFF 0x00` byte stuffing.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    acc: u32,
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `len` bits of `bits`, MSB first.
+    ///
+    /// # Panics
+    /// Panics if `len > 24`.
+    pub fn put(&mut self, bits: u32, len: u32) {
+        assert!(len <= 24, "at most 24 bits per put");
+        if len == 0 {
+            return;
+        }
+        self.acc = (self.acc << len) | (bits & ((1u32 << len) - 1));
+        self.nbits += len;
+        while self.nbits >= 8 {
+            let byte = ((self.acc >> (self.nbits - 8)) & 0xFF) as u8;
+            self.out.push(byte);
+            if byte == 0xFF {
+                self.out.push(0x00);
+            }
+            self.nbits -= 8;
+        }
+        self.acc &= (1u32 << self.nbits) - 1;
+    }
+
+    /// Pads the final partial byte with 1-bits (as the JPEG spec requires)
+    /// and returns the stuffed byte stream.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            let pad = 8 - self.nbits;
+            self.put((1u32 << pad) - 1, pad);
+        }
+        self.out
+    }
+
+    /// Number of whole bytes emitted so far (excluding buffered bits).
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Whether nothing has been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty() && self.nbits == 0
+    }
+}
+
+/// MSB-first bit reader that un-stuffs `0xFF 0x00` sequences.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    acc: u32,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over entropy-coded data.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader {
+            data,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    fn fill(&mut self) -> Result<()> {
+        while self.nbits <= 24 {
+            if self.pos >= self.data.len() {
+                return Ok(()); // exhausted; bit() reports the error if needed
+            }
+            let byte = self.data[self.pos];
+            self.pos += 1;
+            if byte == 0xFF {
+                match self.data.get(self.pos) {
+                    Some(0x00) => self.pos += 1, // stuffed
+                    _ => {
+                        return Err(JpegError::Malformed(
+                            "marker inside entropy-coded segment".into(),
+                        ))
+                    }
+                }
+            }
+            self.acc = (self.acc << 8) | byte as u32;
+            self.nbits += 8;
+        }
+        Ok(())
+    }
+
+    /// Reads a single bit.
+    ///
+    /// # Errors
+    /// Fails if the stream is exhausted.
+    pub fn bit(&mut self) -> Result<u32> {
+        if self.nbits == 0 {
+            self.fill()?;
+            if self.nbits == 0 {
+                return Err(JpegError::Malformed("entropy data exhausted".into()));
+            }
+        }
+        self.nbits -= 1;
+        let b = (self.acc >> self.nbits) & 1;
+        self.acc &= (1u32 << self.nbits).wrapping_sub(1);
+        Ok(b)
+    }
+
+    /// Reads `len` bits MSB-first (0 bits yields 0).
+    ///
+    /// # Errors
+    /// Fails if the stream is exhausted.
+    pub fn bits(&mut self, len: u32) -> Result<u32> {
+        let mut v = 0u32;
+        for _ in 0..len {
+            v = (v << 1) | self.bit()?;
+        }
+        Ok(v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tables.
+// ---------------------------------------------------------------------------
+
+/// A Huffman table in the JPEG wire form: `counts[l]` symbols of code
+/// length `l + 1`, with `values` listed in canonical order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HuffTable {
+    counts: [u8; 16],
+    values: Vec<u8>,
+}
+
+impl HuffTable {
+    /// Creates a table from length counts and ordered symbol values.
+    ///
+    /// # Errors
+    /// Returns [`JpegError::Malformed`] if the counts and values disagree or
+    /// the code space overflows 16 bits.
+    pub fn new(counts: [u8; 16], values: Vec<u8>) -> Result<Self> {
+        let total: usize = counts.iter().map(|&c| c as usize).sum();
+        if total != values.len() {
+            return Err(JpegError::Malformed(format!(
+                "huffman counts sum {} != value count {}",
+                total,
+                values.len()
+            )));
+        }
+        if total == 0 || total > MAX_SYMBOLS {
+            return Err(JpegError::Malformed(format!("bad symbol count {total}")));
+        }
+        // Validate the canonical code space.
+        let mut code: u32 = 0;
+        for (l, &c) in counts.iter().enumerate() {
+            code += c as u32;
+            if code > (1u32 << (l + 1)) {
+                return Err(JpegError::Malformed("huffman code space overflow".into()));
+            }
+            code <<= 1;
+        }
+        Ok(HuffTable { counts, values })
+    }
+
+    /// Code-length histogram (`counts[l]` codes of length `l + 1`).
+    pub fn counts(&self) -> &[u8; 16] {
+        &self.counts
+    }
+
+    /// Symbols in canonical order.
+    pub fn values(&self) -> &[u8] {
+        &self.values
+    }
+
+    /// The Annex K.3.1 DC luminance table.
+    pub fn std_dc_luma() -> HuffTable {
+        HuffTable::new(
+            [0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0],
+            (0..=11).collect(),
+        )
+        .expect("standard table is valid")
+    }
+
+    /// The Annex K.3.2 DC chrominance table.
+    pub fn std_dc_chroma() -> HuffTable {
+        HuffTable::new(
+            [0, 3, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0],
+            (0..=11).collect(),
+        )
+        .expect("standard table is valid")
+    }
+
+    /// The Annex K.3.3 AC luminance table.
+    pub fn std_ac_luma() -> HuffTable {
+        let counts = [0u8, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 0x7D];
+        HuffTable::new(counts, STD_AC_LUMA_VALUES.to_vec()).expect("standard table is valid")
+    }
+
+    /// The Annex K.3.4 AC chrominance table.
+    pub fn std_ac_chroma() -> HuffTable {
+        let counts = [0u8, 2, 1, 2, 4, 4, 3, 4, 7, 5, 4, 4, 0, 1, 2, 0x77];
+        HuffTable::new(counts, STD_AC_CHROMA_VALUES.to_vec()).expect("standard table is valid")
+    }
+
+    /// Builds a length-limited optimal table from symbol frequencies using
+    /// the JPEG Annex K.2 procedure (two-list merge, `Adjust_BITS` to cap
+    /// lengths at 16, reserved all-ones code via a dummy symbol).
+    ///
+    /// Symbols with zero frequency get no code. At least one symbol must
+    /// have nonzero frequency.
+    ///
+    /// # Panics
+    /// Panics if every frequency is zero.
+    pub fn build_optimized(freqs: &[u64; 256]) -> HuffTable {
+        assert!(
+            freqs.iter().any(|&f| f > 0),
+            "cannot build a Huffman table from all-zero frequencies"
+        );
+        // Working arrays sized 257: index 256 is the reserved dummy symbol.
+        let mut freq = [0i64; 257];
+        for (i, &f) in freqs.iter().enumerate() {
+            freq[i] = f as i64;
+        }
+        freq[256] = 1;
+        let mut codesize = [0u32; 257];
+        let mut others = [-1i32; 257];
+
+        loop {
+            // v1: least nonzero freq, ties -> larger symbol value.
+            let mut v1: i32 = -1;
+            let mut least = i64::MAX;
+            for (i, &f) in freq.iter().enumerate() {
+                if f > 0 && (f < least || (f == least && (i as i32) > v1)) {
+                    least = f;
+                    v1 = i as i32;
+                }
+            }
+            // v2: next least, excluding v1.
+            let mut v2: i32 = -1;
+            let mut least2 = i64::MAX;
+            for (i, &f) in freq.iter().enumerate() {
+                if f > 0 && i as i32 != v1 && (f < least2 || (f == least2 && (i as i32) > v2)) {
+                    least2 = f;
+                    v2 = i as i32;
+                }
+            }
+            if v2 < 0 {
+                break;
+            }
+            let (v1u, v2u) = (v1 as usize, v2 as usize);
+            freq[v1u] += freq[v2u];
+            freq[v2u] = 0;
+            codesize[v1u] += 1;
+            let mut t = v1u;
+            while others[t] >= 0 {
+                t = others[t] as usize;
+                codesize[t] += 1;
+            }
+            others[t] = v2;
+            codesize[v2u] += 1;
+            let mut t = v2u;
+            while others[t] >= 0 {
+                t = others[t] as usize;
+                codesize[t] += 1;
+            }
+        }
+
+        // Count codes per length (lengths can exceed 16 before adjustment;
+        // JPEG caps the working histogram at 32).
+        let mut bits = [0i32; 33];
+        for (i, &cs) in codesize.iter().enumerate() {
+            if cs > 0 {
+                assert!(cs <= 32, "code length {cs} for symbol {i} exceeds 32");
+                bits[cs as usize] += 1;
+            }
+        }
+
+        // Adjust_BITS: fold lengths > 16 down.
+        let mut i = 32;
+        while i > 16 {
+            while bits[i] > 0 {
+                // Find the longest length < i with at least one code.
+                let mut j = i - 2;
+                while bits[j] == 0 {
+                    j -= 1;
+                }
+                bits[i] -= 2;
+                bits[i - 1] += 1;
+                bits[j + 1] += 2;
+                bits[j] -= 1;
+            }
+            i -= 1;
+        }
+        // Remove the reserved dummy code from the longest used length.
+        let mut i = 16;
+        while bits[i] == 0 {
+            i -= 1;
+        }
+        bits[i] -= 1;
+
+        // Sort symbols by (codesize, symbol value), excluding the dummy.
+        let mut order: Vec<usize> = (0..256).filter(|&s| codesize[s] > 0).collect();
+        order.sort_by_key(|&s| (codesize[s], s));
+
+        let mut counts = [0u8; 16];
+        for (l, c) in counts.iter_mut().enumerate() {
+            *c = bits[l + 1] as u8;
+        }
+        let values: Vec<u8> = order.iter().map(|&s| s as u8).collect();
+        HuffTable::new(counts, values).expect("optimized table must be canonical")
+    }
+}
+
+const STD_AC_LUMA_VALUES: [u8; 162] = [
+    0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12, 0x21, 0x31, 0x41, 0x06, 0x13, 0x51, 0x61,
+    0x07, 0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xA1, 0x08, 0x23, 0x42, 0xB1, 0xC1, 0x15, 0x52,
+    0xD1, 0xF0, 0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0A, 0x16, 0x17, 0x18, 0x19, 0x1A, 0x25,
+    0x26, 0x27, 0x28, 0x29, 0x2A, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39, 0x3A, 0x43, 0x44, 0x45,
+    0x46, 0x47, 0x48, 0x49, 0x4A, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5A, 0x63, 0x64,
+    0x65, 0x66, 0x67, 0x68, 0x69, 0x6A, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79, 0x7A, 0x83,
+    0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8A, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98, 0x99,
+    0x9A, 0xA2, 0xA3, 0xA4, 0xA5, 0xA6, 0xA7, 0xA8, 0xA9, 0xAA, 0xB2, 0xB3, 0xB4, 0xB5, 0xB6,
+    0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3, 0xC4, 0xC5, 0xC6, 0xC7, 0xC8, 0xC9, 0xCA, 0xD2, 0xD3,
+    0xD4, 0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA, 0xE1, 0xE2, 0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8,
+    0xE9, 0xEA, 0xF1, 0xF2, 0xF3, 0xF4, 0xF5, 0xF6, 0xF7, 0xF8, 0xF9, 0xFA,
+];
+
+const STD_AC_CHROMA_VALUES: [u8; 162] = [
+    0x00, 0x01, 0x02, 0x03, 0x11, 0x04, 0x05, 0x21, 0x31, 0x06, 0x12, 0x41, 0x51, 0x07, 0x61,
+    0x71, 0x13, 0x22, 0x32, 0x81, 0x08, 0x14, 0x42, 0x91, 0xA1, 0xB1, 0xC1, 0x09, 0x23, 0x33,
+    0x52, 0xF0, 0x15, 0x62, 0x72, 0xD1, 0x0A, 0x16, 0x24, 0x34, 0xE1, 0x25, 0xF1, 0x17, 0x18,
+    0x19, 0x1A, 0x26, 0x27, 0x28, 0x29, 0x2A, 0x35, 0x36, 0x37, 0x38, 0x39, 0x3A, 0x43, 0x44,
+    0x45, 0x46, 0x47, 0x48, 0x49, 0x4A, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5A, 0x63,
+    0x64, 0x65, 0x66, 0x67, 0x68, 0x69, 0x6A, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79, 0x7A,
+    0x82, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8A, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97,
+    0x98, 0x99, 0x9A, 0xA2, 0xA3, 0xA4, 0xA5, 0xA6, 0xA7, 0xA8, 0xA9, 0xAA, 0xB2, 0xB3, 0xB4,
+    0xB5, 0xB6, 0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3, 0xC4, 0xC5, 0xC6, 0xC7, 0xC8, 0xC9, 0xCA,
+    0xD2, 0xD3, 0xD4, 0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA, 0xE2, 0xE3, 0xE4, 0xE5, 0xE6, 0xE7,
+    0xE8, 0xE9, 0xEA, 0xF2, 0xF3, 0xF4, 0xF5, 0xF6, 0xF7, 0xF8, 0xF9, 0xFA,
+];
+
+// ---------------------------------------------------------------------------
+// Encoder / decoder state derived from a table.
+// ---------------------------------------------------------------------------
+
+/// Symbol → (code, length) lookup for encoding.
+#[derive(Debug, Clone)]
+pub struct HuffEncoder {
+    code: [u32; 256],
+    size: [u8; 256],
+}
+
+impl HuffEncoder {
+    /// Derives the canonical code assignment from `table`.
+    pub fn new(table: &HuffTable) -> Self {
+        let mut code = [0u32; 256];
+        let mut size = [0u8; 256];
+        let mut next_code: u32 = 0;
+        let mut vi = 0usize;
+        for (l, &c) in table.counts.iter().enumerate() {
+            for _ in 0..c {
+                let sym = table.values[vi] as usize;
+                code[sym] = next_code;
+                size[sym] = (l + 1) as u8;
+                next_code += 1;
+                vi += 1;
+            }
+            next_code <<= 1;
+        }
+        HuffEncoder { code, size }
+    }
+
+    /// Emits the code for `symbol`.
+    ///
+    /// # Errors
+    /// Returns [`JpegError::Malformed`] if the symbol has no code in this
+    /// table.
+    pub fn emit(&self, w: &mut BitWriter, symbol: u8) -> Result<()> {
+        let s = symbol as usize;
+        if self.size[s] == 0 {
+            return Err(JpegError::Malformed(format!(
+                "symbol {symbol:#04x} has no Huffman code"
+            )));
+        }
+        w.put(self.code[s], self.size[s] as u32);
+        Ok(())
+    }
+
+    /// Code length in bits for `symbol` (0 if absent) — used for size
+    /// accounting without materializing a stream.
+    pub fn code_len(&self, symbol: u8) -> u32 {
+        self.size[symbol as usize] as u32
+    }
+}
+
+/// Canonical Huffman decoder (mincode/maxcode/valptr form).
+#[derive(Debug, Clone)]
+pub struct HuffDecoder {
+    mincode: [i32; 17],
+    maxcode: [i32; 17],
+    valptr: [i32; 17],
+    values: Vec<u8>,
+}
+
+impl HuffDecoder {
+    /// Derives decoding state from `table`.
+    pub fn new(table: &HuffTable) -> Self {
+        let mut mincode = [0i32; 17];
+        let mut maxcode = [-1i32; 17];
+        let mut valptr = [0i32; 17];
+        let mut code: i32 = 0;
+        let mut vi: i32 = 0;
+        for l in 1..=16usize {
+            let c = table.counts[l - 1] as i32;
+            if c > 0 {
+                valptr[l] = vi;
+                mincode[l] = code;
+                code += c;
+                vi += c;
+                maxcode[l] = code - 1;
+            } else {
+                maxcode[l] = -1;
+            }
+            code <<= 1;
+        }
+        HuffDecoder {
+            mincode,
+            maxcode,
+            valptr,
+            values: table.values.clone(),
+        }
+    }
+
+    /// Decodes the next symbol from the reader.
+    ///
+    /// # Errors
+    /// Fails on exhausted input or a code not present in the table.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u8> {
+        let mut code: i32 = 0;
+        for l in 1..=16usize {
+            code = (code << 1) | r.bit()? as i32;
+            if self.maxcode[l] >= 0 && code <= self.maxcode[l] && code >= self.mincode[l] {
+                let idx = (self.valptr[l] + (code - self.mincode[l])) as usize;
+                return Ok(self.values[idx]);
+            }
+        }
+        Err(JpegError::Malformed("invalid Huffman code".into()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Magnitude categories and block-level coding.
+// ---------------------------------------------------------------------------
+
+/// JPEG magnitude category: the number of bits needed to represent `v`
+/// (0 for 0, `n` for `|v|` in `[2^(n-1), 2^n - 1]`).
+pub fn category(v: i32) -> u32 {
+    let mut a = v.unsigned_abs();
+    let mut n = 0;
+    while a > 0 {
+        a >>= 1;
+        n += 1;
+    }
+    n
+}
+
+/// The `len`-bit magnitude encoding of `v` (one's complement for negative
+/// values, per the JPEG spec).
+pub fn magnitude_bits(v: i32, len: u32) -> u32 {
+    if v >= 0 {
+        v as u32
+    } else {
+        (v - 1) as u32 & ((1u32 << len) - 1)
+    }
+}
+
+/// Inverts [`magnitude_bits`]: reconstructs `v` from its category and raw
+/// bits.
+pub fn extend_magnitude(bits: u32, len: u32) -> i32 {
+    if len == 0 {
+        return 0;
+    }
+    let v = bits as i32;
+    if v < (1 << (len - 1)) {
+        v - (1 << len) + 1
+    } else {
+        v
+    }
+}
+
+/// Frequency accumulator for optimized-table construction.
+#[derive(Debug, Clone)]
+pub struct SymbolFreqs {
+    /// DC category frequencies.
+    pub dc: [u64; 256],
+    /// AC (run, size) symbol frequencies.
+    pub ac: [u64; 256],
+}
+
+impl Default for SymbolFreqs {
+    fn default() -> Self {
+        SymbolFreqs {
+            dc: [0; 256],
+            ac: [0; 256],
+        }
+    }
+}
+
+impl SymbolFreqs {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Encodes one zigzag-ordered quantized block.
+///
+/// `prev_dc` is the previous block's DC value for this component; returns
+/// the new DC predictor.
+///
+/// # Errors
+/// Fails if the DC coefficient is outside `[-1024, 1023]`, an AC
+/// coefficient is outside `[-1023, 1023]`, or a needed symbol is missing
+/// from the tables.
+pub fn encode_block(
+    w: &mut BitWriter,
+    zz: &[i32; 64],
+    prev_dc: i32,
+    dc: &HuffEncoder,
+    ac: &HuffEncoder,
+) -> Result<i32> {
+    if !(crate::COEFF_MIN..=crate::COEFF_MAX).contains(&zz[0]) {
+        return Err(JpegError::CoefficientRange { value: zz[0] });
+    }
+    for &v in &zz[1..] {
+        if !(crate::AC_MIN..=crate::AC_MAX).contains(&v) {
+            return Err(JpegError::CoefficientRange { value: v });
+        }
+    }
+    let diff = zz[0] - prev_dc;
+    let cat = category(diff);
+    dc.emit(w, cat as u8)?;
+    w.put(magnitude_bits(diff, cat), cat);
+
+    let mut run = 0u32;
+    for &v in &zz[1..] {
+        if v == 0 {
+            run += 1;
+            continue;
+        }
+        while run >= 16 {
+            ac.emit(w, 0xF0)?; // ZRL
+            run -= 16;
+        }
+        let size = category(v);
+        ac.emit(w, ((run as u8) << 4) | size as u8)?;
+        w.put(magnitude_bits(v, size), size);
+        run = 0;
+    }
+    if run > 0 {
+        ac.emit(w, 0x00)?; // EOB
+    }
+    Ok(zz[0])
+}
+
+/// Tallies the symbols [`encode_block`] would emit, for optimized-table
+/// construction. Returns the new DC predictor.
+pub fn tally_block(freqs: &mut SymbolFreqs, zz: &[i32; 64], prev_dc: i32) -> i32 {
+    let diff = zz[0] - prev_dc;
+    freqs.dc[category(diff) as usize] += 1;
+    let mut run = 0u32;
+    for &v in &zz[1..] {
+        if v == 0 {
+            run += 1;
+            continue;
+        }
+        while run >= 16 {
+            freqs.ac[0xF0] += 1;
+            run -= 16;
+        }
+        freqs.ac[(((run as u8) << 4) | category(v) as u8) as usize] += 1;
+        run = 0;
+    }
+    if run > 0 {
+        freqs.ac[0x00] += 1;
+    }
+    zz[0]
+}
+
+/// Decodes one zigzag-ordered block; inverse of [`encode_block`].
+///
+/// # Errors
+/// Fails on malformed entropy data.
+pub fn decode_block(
+    r: &mut BitReader<'_>,
+    prev_dc: i32,
+    dc: &HuffDecoder,
+    ac: &HuffDecoder,
+) -> Result<([i32; 64], i32)> {
+    let mut zz = [0i32; 64];
+    let cat = dc.decode(r)? as u32;
+    if cat > 12 {
+        return Err(JpegError::Malformed(format!("DC category {cat} too large")));
+    }
+    let bits = r.bits(cat)?;
+    zz[0] = prev_dc + extend_magnitude(bits, cat);
+
+    let mut k = 1usize;
+    while k < 64 {
+        let sym = ac.decode(r)?;
+        if sym == 0x00 {
+            break; // EOB
+        }
+        let run = (sym >> 4) as usize;
+        let size = (sym & 0x0F) as u32;
+        if size == 0 {
+            if sym == 0xF0 {
+                k += 16;
+                continue;
+            }
+            return Err(JpegError::Malformed(format!("bad AC symbol {sym:#04x}")));
+        }
+        k += run;
+        if k >= 64 {
+            return Err(JpegError::Malformed("AC run overflows block".into()));
+        }
+        let bits = r.bits(size)?;
+        zz[k] = extend_magnitude(bits, size);
+        k += 1;
+    }
+    Ok((zz, zz[0]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitwriter_stuffs_ff() {
+        let mut w = BitWriter::new();
+        w.put(0xFF, 8);
+        w.put(0xAB, 8);
+        assert_eq!(w.finish(), vec![0xFF, 0x00, 0xAB]);
+    }
+
+    #[test]
+    fn bitwriter_pads_with_ones() {
+        let mut w = BitWriter::new();
+        w.put(0b101, 3);
+        assert_eq!(w.finish(), vec![0b1011_1111]);
+    }
+
+    #[test]
+    fn bitreader_unstuffs() {
+        let data = [0xFF, 0x00, 0x80];
+        let mut r = BitReader::new(&data);
+        assert_eq!(r.bits(8).unwrap(), 0xFF);
+        assert_eq!(r.bit().unwrap(), 1);
+    }
+
+    #[test]
+    fn bit_roundtrip_random_lengths() {
+        let seqs: [(u32, u32); 7] = [(1, 1), (0, 3), (0b1010, 4), (0x7F, 7), (0x155, 9), (0, 0), (0xFFF, 12)];
+        let mut w = BitWriter::new();
+        for &(v, l) in &seqs {
+            w.put(v, l);
+        }
+        let data = w.finish();
+        let mut r = BitReader::new(&data);
+        for &(v, l) in &seqs {
+            assert_eq!(r.bits(l).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn category_values() {
+        assert_eq!(category(0), 0);
+        assert_eq!(category(1), 1);
+        assert_eq!(category(-1), 1);
+        assert_eq!(category(2), 2);
+        assert_eq!(category(-3), 2);
+        assert_eq!(category(1023), 10);
+        assert_eq!(category(-1024), 11);
+        assert_eq!(category(2047), 11);
+    }
+
+    #[test]
+    fn magnitude_roundtrip() {
+        for v in [-2047, -1024, -513, -1, 0, 1, 2, 777, 1023, 2047] {
+            let len = category(v);
+            let bits = magnitude_bits(v, len);
+            assert_eq!(extend_magnitude(bits, len), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn standard_tables_are_canonical() {
+        for t in [
+            HuffTable::std_dc_luma(),
+            HuffTable::std_dc_chroma(),
+            HuffTable::std_ac_luma(),
+            HuffTable::std_ac_chroma(),
+        ] {
+            let total: usize = t.counts().iter().map(|&c| c as usize).sum();
+            assert_eq!(total, t.values().len());
+        }
+        // The AC tables carry the standard 162 symbols.
+        assert_eq!(HuffTable::std_ac_luma().values().len(), 162);
+        assert_eq!(HuffTable::std_ac_chroma().values().len(), 162);
+    }
+
+    #[test]
+    fn encoder_decoder_roundtrip_symbols() {
+        let table = HuffTable::std_ac_luma();
+        let enc = HuffEncoder::new(&table);
+        let dec = HuffDecoder::new(&table);
+        let symbols: Vec<u8> = table.values().to_vec();
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            enc.emit(&mut w, s).unwrap();
+        }
+        let data = w.finish();
+        let mut r = BitReader::new(&data);
+        for &s in &symbols {
+            assert_eq!(dec.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn block_roundtrip_standard_tables() {
+        let dc_t = HuffTable::std_dc_luma();
+        let ac_t = HuffTable::std_ac_luma();
+        let enc_dc = HuffEncoder::new(&dc_t);
+        let enc_ac = HuffEncoder::new(&ac_t);
+        let dec_dc = HuffDecoder::new(&dc_t);
+        let dec_ac = HuffDecoder::new(&ac_t);
+
+        let mut zz = [0i32; 64];
+        zz[0] = -300;
+        zz[1] = 5;
+        zz[5] = -1;
+        zz[30] = 100;
+        zz[63] = -1023; // extreme legal AC magnitude
+
+        let mut w = BitWriter::new();
+        let dc1 = encode_block(&mut w, &zz, 0, &enc_dc, &enc_ac).unwrap();
+        let mut zz2 = [0i32; 64];
+        zz2[0] = 12;
+        encode_block(&mut w, &zz2, dc1, &enc_dc, &enc_ac).unwrap();
+        let data = w.finish();
+
+        let mut r = BitReader::new(&data);
+        let (got1, pred) = decode_block(&mut r, 0, &dec_dc, &dec_ac).unwrap();
+        let (got2, _) = decode_block(&mut r, pred, &dec_dc, &dec_ac).unwrap();
+        assert_eq!(got1, zz);
+        assert_eq!(got2, zz2);
+    }
+
+    #[test]
+    fn out_of_range_coefficient_rejected() {
+        let dc_t = HuffTable::std_dc_luma();
+        let ac_t = HuffTable::std_ac_luma();
+        let enc_dc = HuffEncoder::new(&dc_t);
+        let enc_ac = HuffEncoder::new(&ac_t);
+        let mut zz = [0i32; 64];
+        zz[3] = 5000;
+        let mut w = BitWriter::new();
+        let err = encode_block(&mut w, &zz, 0, &enc_dc, &enc_ac).unwrap_err();
+        assert!(matches!(err, JpegError::CoefficientRange { value: 5000 }));
+    }
+
+    #[test]
+    fn optimized_table_roundtrip_and_shorter_codes() {
+        // Skewed distribution: symbol 0x01 dominates.
+        let mut freqs = [0u64; 256];
+        freqs[0x01] = 10_000;
+        freqs[0x02] = 100;
+        freqs[0x11] = 50;
+        freqs[0xF0] = 3;
+        freqs[0x00] = 500;
+        let table = HuffTable::build_optimized(&freqs);
+        let enc = HuffEncoder::new(&table);
+        let dec = HuffDecoder::new(&table);
+        // Most frequent symbol gets the shortest code.
+        assert!(enc.code_len(0x01) <= enc.code_len(0x02));
+        assert!(enc.code_len(0x01) <= enc.code_len(0xF0));
+        // Roundtrip.
+        let mut w = BitWriter::new();
+        for s in [0x01u8, 0x00, 0x02, 0x11, 0xF0, 0x01] {
+            enc.emit(&mut w, s).unwrap();
+        }
+        let data = w.finish();
+        let mut r = BitReader::new(&data);
+        for s in [0x01u8, 0x00, 0x02, 0x11, 0xF0, 0x01] {
+            assert_eq!(dec.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn optimized_table_handles_uniform_256_symbols() {
+        let freqs = [7u64; 256];
+        let table = HuffTable::build_optimized(&freqs);
+        let total: usize = table.counts().iter().map(|&c| c as usize).sum();
+        assert_eq!(total, 256);
+        // All lengths within 16.
+        let enc = HuffEncoder::new(&table);
+        for s in 0..=255u8 {
+            assert!(enc.code_len(s) >= 1 && enc.code_len(s) <= 16);
+        }
+    }
+
+    #[test]
+    fn optimized_table_single_symbol() {
+        let mut freqs = [0u64; 256];
+        freqs[0x42] = 1;
+        let table = HuffTable::build_optimized(&freqs);
+        let enc = HuffEncoder::new(&table);
+        assert_eq!(enc.code_len(0x42), 1);
+    }
+
+    #[test]
+    fn tally_matches_encode_symbols() {
+        let mut zz = [0i32; 64];
+        zz[0] = 50;
+        zz[2] = -7;
+        zz[40] = 3;
+        let mut freqs = SymbolFreqs::new();
+        tally_block(&mut freqs, &zz, 0);
+        // DC category of 50 is 6.
+        assert_eq!(freqs.dc[6], 1);
+        // AC: run 1 size 3 (-7), then run to 40 => two ZRL + run 5 size 2, EOB.
+        assert_eq!(freqs.ac[(1 << 4) | 3], 1);
+        assert_eq!(freqs.ac[0xF0], 2);
+        assert_eq!(freqs.ac[(5 << 4) | 2], 1);
+        assert_eq!(freqs.ac[0x00], 1);
+    }
+
+    #[test]
+    fn marker_in_entropy_data_is_error() {
+        let data = [0xFF, 0xD9];
+        let mut r = BitReader::new(&data);
+        assert!(r.bits(8).is_err());
+    }
+}

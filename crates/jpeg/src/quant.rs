@@ -1,0 +1,222 @@
+//! Quantization tables (JPEG Annex K) and IJG-style quality scaling.
+//!
+//! §II-A step 3 of the paper: larger step sizes for higher frequencies,
+//! which is why visual information concentrates in the low-frequency
+//! coefficients PuPPIeS protects most strongly (Algorithm 3).
+
+use serde::{Deserialize, Serialize};
+
+/// The Annex K.1 luminance quantization table (row-major).
+pub const ANNEX_K_LUMA: [u16; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// The Annex K.2 chrominance quantization table (row-major).
+pub const ANNEX_K_CHROMA: [u16; 64] = [
+    17, 18, 24, 47, 99, 99, 99, 99, //
+    18, 21, 26, 66, 99, 99, 99, 99, //
+    24, 26, 56, 99, 99, 99, 99, 99, //
+    47, 66, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99,
+];
+
+/// An 8×8 quantization table (row-major step sizes, each in `1..=255` for
+/// baseline 8-bit streams).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantTable {
+    steps: [u16; 64],
+}
+
+impl Serialize for QuantTable {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> std::result::Result<S::Ok, S::Error> {
+        self.steps.as_slice().serialize(s)
+    }
+}
+
+impl<'de> Deserialize<'de> for QuantTable {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> std::result::Result<Self, D::Error> {
+        let v: Vec<u16> = Vec::deserialize(d)?;
+        let steps: [u16; 64] = v
+            .try_into()
+            .map_err(|_| serde::de::Error::custom("quant table must have 64 steps"))?;
+        if steps.iter().any(|&s| s == 0) {
+            return Err(serde::de::Error::custom("quant steps must be positive"));
+        }
+        Ok(QuantTable { steps })
+    }
+}
+
+impl QuantTable {
+    /// Creates a table from explicit step sizes.
+    ///
+    /// # Panics
+    /// Panics if any step is zero.
+    pub fn new(steps: [u16; 64]) -> Self {
+        assert!(steps.iter().all(|&s| s > 0), "quantization steps must be positive");
+        QuantTable { steps }
+    }
+
+    /// The standard luminance table scaled to `quality` (1..=100) with the
+    /// IJG formula used by libjpeg.
+    pub fn luma(quality: u8) -> Self {
+        Self::scaled(&ANNEX_K_LUMA, quality)
+    }
+
+    /// The standard chrominance table scaled to `quality` (1..=100).
+    pub fn chroma(quality: u8) -> Self {
+        Self::scaled(&ANNEX_K_CHROMA, quality)
+    }
+
+    /// Scales an arbitrary base table with the IJG quality mapping:
+    /// `q < 50` scales by `5000/q` percent, `q >= 50` by `200 - 2q` percent.
+    pub fn scaled(base: &[u16; 64], quality: u8) -> Self {
+        let q = quality.clamp(1, 100) as i32;
+        let scale = if q < 50 { 5000 / q } else { 200 - 2 * q };
+        let mut steps = [0u16; 64];
+        for (s, &b) in steps.iter_mut().zip(base.iter()) {
+            let v = (b as i32 * scale + 50) / 100;
+            *s = v.clamp(1, 255) as u16;
+        }
+        QuantTable { steps }
+    }
+
+    /// The step sizes (row-major).
+    pub fn steps(&self) -> &[u16; 64] {
+        &self.steps
+    }
+
+    /// Quantizes one raw DCT block (row-major floats) to integer
+    /// coefficients by rounding to the nearest step multiple.
+    pub fn quantize(&self, raw: &[f32; 64]) -> [i32; 64] {
+        let mut out = [0i32; 64];
+        for i in 0..64 {
+            out[i] = (raw[i] / self.steps[i] as f32).round() as i32;
+        }
+        out
+    }
+
+    /// Dequantizes integer coefficients back to raw DCT values.
+    pub fn dequantize(&self, q: &[i32; 64]) -> [f32; 64] {
+        let mut out = [0.0f32; 64];
+        for i in 0..64 {
+            out[i] = (q[i] * self.steps[i] as i32) as f32;
+        }
+        out
+    }
+
+    /// Requantizes coefficients from this table to a `coarser` one, the
+    /// coefficient-domain equivalent of JPEG recompression (the paper's
+    /// "compression" transformation, §IV-C.2).
+    pub fn requantize_to(&self, q: &[i32; 64], coarser: &QuantTable) -> [i32; 64] {
+        let mut out = [0i32; 64];
+        for i in 0..64 {
+            let raw = q[i] as i64 * self.steps[i] as i64;
+            let step = coarser.steps[i] as i64;
+            // Round half away from zero, matching quantize() on exact values.
+            let v = if raw >= 0 {
+                (raw + step / 2) / step
+            } else {
+                (raw - step / 2) / step
+            };
+            out[i] = v as i32;
+        }
+        out
+    }
+}
+
+impl Default for QuantTable {
+    /// The quality-75 luminance table.
+    fn default() -> Self {
+        QuantTable::luma(75)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_50_reproduces_base_tables() {
+        assert_eq!(QuantTable::luma(50).steps(), &ANNEX_K_LUMA);
+        assert_eq!(QuantTable::chroma(50).steps(), &ANNEX_K_CHROMA);
+    }
+
+    #[test]
+    fn quality_100_is_all_ones() {
+        assert!(QuantTable::luma(100).steps().iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn lower_quality_means_larger_steps() {
+        let q20 = QuantTable::luma(20);
+        let q80 = QuantTable::luma(80);
+        for i in 0..64 {
+            assert!(q20.steps()[i] >= q80.steps()[i], "index {i}");
+        }
+    }
+
+    #[test]
+    fn steps_clamped_to_255() {
+        let q1 = QuantTable::luma(1);
+        assert!(q1.steps().iter().all(|&s| s <= 255));
+        assert!(q1.steps().iter().all(|&s| s >= 1));
+    }
+
+    #[test]
+    fn quantize_dequantize_bounds_error_by_half_step() {
+        let t = QuantTable::luma(75);
+        let mut raw = [0.0f32; 64];
+        for (i, v) in raw.iter_mut().enumerate() {
+            *v = (i as f32 * 7.3) - 200.0;
+        }
+        let deq = t.dequantize(&t.quantize(&raw));
+        for i in 0..64 {
+            assert!(
+                (deq[i] - raw[i]).abs() <= t.steps()[i] as f32 / 2.0 + 1e-3,
+                "index {i}: {} vs {}",
+                deq[i],
+                raw[i]
+            );
+        }
+    }
+
+    #[test]
+    fn requantize_matches_direct_quantization() {
+        let fine = QuantTable::luma(90);
+        let coarse = QuantTable::luma(40);
+        let mut q = [0i32; 64];
+        for (i, v) in q.iter_mut().enumerate() {
+            *v = (i as i32 % 17) - 8;
+        }
+        let re = fine.requantize_to(&q, &coarse);
+        let direct = coarse.quantize(&fine.dequantize(&q));
+        assert_eq!(re, direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_step_rejected() {
+        let mut s = ANNEX_K_LUMA;
+        s[5] = 0;
+        let _ = QuantTable::new(s);
+    }
+
+    #[test]
+    fn luma_low_frequencies_have_smaller_steps() {
+        // The premise behind Algorithm 3's wide-range protection of low
+        // frequencies: the standard table quantizes them more finely.
+        let t = QuantTable::luma(50);
+        assert!(t.steps()[0] < t.steps()[63]);
+        assert!(t.steps()[1] < t.steps()[62]);
+    }
+}

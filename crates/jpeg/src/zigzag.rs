@@ -1,0 +1,90 @@
+//! The JPEG zigzag scan order.
+//!
+//! Quantized blocks are serialized in zigzag order so runs of trailing
+//! zeros compress well — the property PuPPIeS-Z exploits by skipping
+//! already-zero coefficients (§IV-B.4).
+
+/// `ZIGZAG[i]` is the row-major index of the `i`-th coefficient in zigzag
+/// order (index 0 is the DC term).
+pub const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// `UNZIGZAG[r]` is the zigzag position of row-major index `r`
+/// (the inverse permutation of [`ZIGZAG`]).
+pub const UNZIGZAG: [usize; 64] = {
+    let mut inv = [0usize; 64];
+    let mut i = 0;
+    while i < 64 {
+        inv[ZIGZAG[i]] = i;
+        i += 1;
+    }
+    inv
+};
+
+/// Reorders a row-major block into zigzag order.
+pub fn to_zigzag(block: &[i32; 64]) -> [i32; 64] {
+    let mut out = [0i32; 64];
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = block[ZIGZAG[i]];
+    }
+    out
+}
+
+/// Restores a zigzag-ordered block to row-major order.
+pub fn from_zigzag(zz: &[i32; 64]) -> [i32; 64] {
+    let mut out = [0i32; 64];
+    for (i, &v) in zz.iter().enumerate() {
+        out[ZIGZAG[i]] = v;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &i in &ZIGZAG {
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn inverse_permutation_correct() {
+        for i in 0..64 {
+            assert_eq!(UNZIGZAG[ZIGZAG[i]], i);
+            assert_eq!(ZIGZAG[UNZIGZAG[i]], i);
+        }
+    }
+
+    #[test]
+    fn known_prefix_matches_spec() {
+        // First nine entries of the standard order.
+        assert_eq!(&ZIGZAG[..9], &[0, 1, 8, 16, 9, 2, 3, 10, 17]);
+        // Last entry is the bottom-right corner.
+        assert_eq!(ZIGZAG[63], 63);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut block = [0i32; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = i as i32 * 3 - 50;
+        }
+        assert_eq!(from_zigzag(&to_zigzag(&block)), block);
+    }
+
+    #[test]
+    fn dc_stays_first() {
+        let mut block = [0i32; 64];
+        block[0] = 999;
+        assert_eq!(to_zigzag(&block)[0], 999);
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based invariants of the JPEG substrate.
+
+use proptest::prelude::*;
+use puppies_jpeg::huffman::{
+    category, decode_block, encode_block, extend_magnitude, magnitude_bits, BitReader,
+    BitWriter, HuffDecoder, HuffEncoder, HuffTable,
+};
+use puppies_jpeg::zigzag::{from_zigzag, to_zigzag};
+use puppies_jpeg::QuantTable;
+
+fn arb_block() -> impl Strategy<Value = [i32; 64]> {
+    // DC in [-1024, 1023], AC in [-1023, 1023], biased toward sparsity
+    // like real blocks.
+    (
+        -1024i32..=1023,
+        proptest::collection::vec((0usize..63, -1023i32..=1023), 0..24),
+    )
+        .prop_map(|(dc, acs)| {
+            let mut b = [0i32; 64];
+            b[0] = dc;
+            for (i, v) in acs {
+                b[1 + i] = v;
+            }
+            b
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn zigzag_roundtrips(block in arb_block()) {
+        prop_assert_eq!(from_zigzag(&to_zigzag(&block)), block);
+    }
+
+    #[test]
+    fn magnitude_coding_roundtrips(v in -2047i32..=2047) {
+        let len = category(v);
+        prop_assert_eq!(extend_magnitude(magnitude_bits(v, len), len), v);
+    }
+
+    #[test]
+    fn category_is_bit_length(v in -2047i32..=2047) {
+        let c = category(v);
+        prop_assert!(v.unsigned_abs() < (1u32 << c));
+        if v != 0 {
+            prop_assert!(v.unsigned_abs() >= (1u32 << (c - 1)));
+        }
+    }
+
+    #[test]
+    fn bit_io_roundtrips(chunks in proptest::collection::vec((any::<u32>(), 0u32..=24), 0..64)) {
+        let mut w = BitWriter::new();
+        for &(v, l) in &chunks {
+            w.put(v, l);
+        }
+        let data = w.finish();
+        let mut r = BitReader::new(&data);
+        for &(v, l) in &chunks {
+            let masked = if l == 0 { 0 } else { v & ((1u32 << l) - 1) };
+            prop_assert_eq!(r.bits(l).unwrap(), masked);
+        }
+    }
+
+    #[test]
+    fn block_entropy_roundtrips_standard_tables(
+        blocks in proptest::collection::vec(arb_block(), 1..8),
+    ) {
+        let dc_t = HuffTable::std_dc_luma();
+        let ac_t = HuffTable::std_ac_luma();
+        let enc_dc = HuffEncoder::new(&dc_t);
+        let enc_ac = HuffEncoder::new(&ac_t);
+        let dec_dc = HuffDecoder::new(&dc_t);
+        let dec_ac = HuffDecoder::new(&ac_t);
+        let mut w = BitWriter::new();
+        let mut pred = 0;
+        for b in &blocks {
+            let zz = to_zigzag(b);
+            pred = encode_block(&mut w, &zz, pred, &enc_dc, &enc_ac).unwrap();
+        }
+        let data = w.finish();
+        let mut r = BitReader::new(&data);
+        let mut pred = 0;
+        for b in &blocks {
+            let (zz, p) = decode_block(&mut r, pred, &dec_dc, &dec_ac).unwrap();
+            pred = p;
+            prop_assert_eq!(from_zigzag(&zz), *b);
+        }
+    }
+
+    #[test]
+    fn optimized_tables_encode_their_source_blocks(
+        blocks in proptest::collection::vec(arb_block(), 1..8),
+    ) {
+        use puppies_jpeg::huffman::{tally_block, SymbolFreqs};
+        let mut freqs = SymbolFreqs::new();
+        let mut pred = 0;
+        for b in &blocks {
+            pred = tally_block(&mut freqs, &to_zigzag(b), pred);
+        }
+        let dc_t = HuffTable::build_optimized(&freqs.dc);
+        let ac_t = if freqs.ac.iter().any(|&f| f > 0) {
+            HuffTable::build_optimized(&freqs.ac)
+        } else {
+            HuffTable::std_ac_luma()
+        };
+        let enc_dc = HuffEncoder::new(&dc_t);
+        let enc_ac = HuffEncoder::new(&ac_t);
+        let dec_dc = HuffDecoder::new(&dc_t);
+        let dec_ac = HuffDecoder::new(&ac_t);
+        let mut w = BitWriter::new();
+        let mut pred = 0;
+        for b in &blocks {
+            pred = encode_block(&mut w, &to_zigzag(b), pred, &enc_dc, &enc_ac).unwrap();
+        }
+        let data = w.finish();
+        let mut r = BitReader::new(&data);
+        let mut pred = 0;
+        for b in &blocks {
+            let (zz, p) = decode_block(&mut r, pred, &dec_dc, &dec_ac).unwrap();
+            pred = p;
+            prop_assert_eq!(from_zigzag(&zz), *b);
+        }
+    }
+
+    #[test]
+    fn optimized_tables_are_canonical_for_any_freqs(
+        entries in proptest::collection::vec((0u8..=255, 1u64..1_000_000), 1..64),
+    ) {
+        let mut freqs = [0u64; 256];
+        for (s, f) in entries {
+            freqs[s as usize] = f;
+        }
+        // Must not panic and must validate as canonical.
+        let t = HuffTable::build_optimized(&freqs);
+        let total: usize = t.counts().iter().map(|&c| c as usize).sum();
+        prop_assert_eq!(total, t.values().len());
+        // Every nonzero-frequency symbol must have a code.
+        let enc = HuffEncoder::new(&t);
+        for (s, &f) in freqs.iter().enumerate() {
+            if f > 0 {
+                prop_assert!(enc.code_len(s as u8) >= 1);
+                prop_assert!(enc.code_len(s as u8) <= 16);
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_error_bounded_by_half_step(
+        raw in proptest::collection::vec(-1000f32..1000f32, 64),
+        quality in 1u8..=100,
+    ) {
+        let t = QuantTable::luma(quality);
+        let mut block = [0f32; 64];
+        block.copy_from_slice(&raw);
+        let deq = t.dequantize(&t.quantize(&block));
+        for i in 0..64 {
+            let err = (deq[i] - block[i]).abs();
+            prop_assert!(err <= t.steps()[i] as f32 / 2.0 + 1e-2, "i={} err={}", i, err);
+        }
+    }
+
+    #[test]
+    fn requantize_matches_direct(
+        block in arb_block(),
+        qa in 1u8..=100,
+        qb in 1u8..=100,
+    ) {
+        let fine = QuantTable::luma(qa);
+        let coarse = QuantTable::luma(qb);
+        let re = fine.requantize_to(&block, &coarse);
+        let direct = coarse.quantize(&fine.dequantize(&block));
+        prop_assert_eq!(re, direct);
+    }
+}

@@ -1,0 +1,370 @@
+//! The P3 baseline: *P3: Toward Privacy-Preserving Photo Sharing* (Ra,
+//! Govindan, Ortega — NSDI 2013), reimplemented as the comparison scheme
+//! the PuPPIeS paper evaluates against (§II-C.4, §V-D, Figs. 4, 11, 18–22).
+//!
+//! P3 splits a JPEG into two coefficient images around a threshold `T`
+//! (the authors recommend 20):
+//!
+//! - the **public part** keeps every AC coefficient clipped into
+//!   `[-T, T]` and zeroes all DC coefficients; it is stored on the PSP;
+//! - the **private part** keeps the DC coefficients and, for clipped
+//!   coefficients, the *magnitude* of the remainder `|v| − T`. The sign is
+//!   carried by the public part's clipped value `±T`, so reconstruction is
+//!   `v = pub + sign(pub) · priv` where `|pub| = T`.
+//!
+//! P3 operates on whole images only (no ROIs), and the sign-in-public
+//! encoding is what breaks under PSP-side transformations: once the public
+//! image has been resampled in the pixel domain, the per-coefficient
+//! `±T` markers are gone, the receiver can no longer tell which
+//! compensations were negative, and naive pixel recombination adds every
+//! remainder positively — the PuPPIeS paper's "sign information of DCT
+//! coefficients is lost after scaling" and the visible detail loss of
+//! Fig. 4(b). Both behaviours are reproduced here faithfully.
+
+use puppies_image::{Plane, RgbImage};
+use puppies_jpeg::{CoeffImage, Component, EncodeOptions, JpegError};
+use std::fmt;
+
+/// The threshold the P3 authors recommend and the PuPPIeS paper uses.
+pub const DEFAULT_THRESHOLD: i32 = 20;
+
+/// Errors produced by P3 operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum P3Error {
+    /// Parts disagree in geometry and cannot be recombined.
+    Mismatch(String),
+    /// Underlying JPEG failure.
+    Jpeg(JpegError),
+}
+
+impl fmt::Display for P3Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            P3Error::Mismatch(m) => write!(f, "p3 part mismatch: {m}"),
+            P3Error::Jpeg(e) => write!(f, "p3 jpeg error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for P3Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            P3Error::Jpeg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<JpegError> for P3Error {
+    fn from(e: JpegError) -> Self {
+        P3Error::Jpeg(e)
+    }
+}
+
+/// Convenient result alias for P3 operations.
+pub type Result<T> = std::result::Result<T, P3Error>;
+
+/// A P3 split of one image.
+#[derive(Debug, Clone)]
+pub struct P3Split {
+    /// Threshold used.
+    pub threshold: i32,
+    /// Public part (stored on the PSP).
+    pub public: CoeffImage,
+    /// Private part (stored with a trusted party).
+    pub private: CoeffImage,
+}
+
+/// Splits a coefficient image at `threshold` (whole image — P3 has no
+/// ROI support).
+///
+/// # Panics
+/// Panics if `threshold` is not positive.
+pub fn split(coeff: &CoeffImage, threshold: i32) -> P3Split {
+    assert!(threshold > 0, "threshold must be positive");
+    let mut pub_comps = Vec::with_capacity(coeff.components().len());
+    let mut priv_comps = Vec::with_capacity(coeff.components().len());
+    for c in coeff.components() {
+        let mut pub_blocks = Vec::with_capacity(c.blocks().len());
+        let mut priv_blocks = Vec::with_capacity(c.blocks().len());
+        for b in c.blocks() {
+            let mut pb = [0i32; 64];
+            let mut vb = [0i32; 64];
+            // DC: removed from the public part entirely.
+            vb[0] = b[0];
+            for i in 1..64 {
+                let v = b[i];
+                if v.abs() <= threshold {
+                    pb[i] = v;
+                } else {
+                    // Sign travels with the public ±T; the private side
+                    // stores only the magnitude of the excess.
+                    pb[i] = threshold * v.signum();
+                    vb[i] = v.abs() - threshold;
+                }
+            }
+            pub_blocks.push(pb);
+            priv_blocks.push(vb);
+        }
+        pub_comps.push(
+            Component::from_blocks(c.id(), c.width(), c.height(), c.quant().clone(), pub_blocks)
+                .expect("geometry preserved"),
+        );
+        priv_comps.push(
+            Component::from_blocks(c.id(), c.width(), c.height(), c.quant().clone(), priv_blocks)
+                .expect("geometry preserved"),
+        );
+    }
+    P3Split {
+        threshold,
+        public: CoeffImage::from_components(coeff.width(), coeff.height(), pub_comps)
+            .expect("geometry preserved"),
+        private: CoeffImage::from_components(coeff.width(), coeff.height(), priv_comps)
+            .expect("geometry preserved"),
+    }
+}
+
+impl P3Split {
+    /// Splits with the recommended threshold of 20.
+    pub fn of(coeff: &CoeffImage) -> P3Split {
+        split(coeff, DEFAULT_THRESHOLD)
+    }
+
+    /// Entropy-coded size of the public part in bytes.
+    ///
+    /// # Errors
+    /// Propagates encoding failures.
+    pub fn public_bytes(&self, opts: &EncodeOptions) -> Result<usize> {
+        Ok(self.public.encode(opts)?.len())
+    }
+
+    /// Entropy-coded size of the private part in bytes — the quantity
+    /// Fig. 11 compares against PuPPIeS' 88-byte matrices.
+    ///
+    /// # Errors
+    /// Propagates encoding failures.
+    pub fn private_bytes(&self, opts: &EncodeOptions) -> Result<usize> {
+        Ok(self.private.encode(opts)?.len())
+    }
+}
+
+/// Exact coefficient-domain reconstruction (no PSP transformation).
+///
+/// # Errors
+/// Fails if the parts disagree in geometry.
+pub fn reconstruct(public: &CoeffImage, private: &CoeffImage) -> Result<CoeffImage> {
+    if public.width() != private.width()
+        || public.height() != private.height()
+        || public.components().len() != private.components().len()
+    {
+        return Err(P3Error::Mismatch(format!(
+            "{}x{} vs {}x{}",
+            public.width(),
+            public.height(),
+            private.width(),
+            private.height()
+        )));
+    }
+    let mut comps = Vec::with_capacity(public.components().len());
+    for (pc, vc) in public.components().iter().zip(private.components()) {
+        if pc.blocks().len() != vc.blocks().len() {
+            return Err(P3Error::Mismatch("block counts differ".into()));
+        }
+        let blocks: Vec<[i32; 64]> = pc
+            .blocks()
+            .iter()
+            .zip(vc.blocks())
+            .map(|(pb, vb)| {
+                let mut out = [0i32; 64];
+                out[0] = pb[0] + vb[0];
+                for i in 1..64 {
+                    // The compensation magnitude reattaches the sign of the
+                    // clipped public value.
+                    out[i] = pb[i] + pb[i].signum() * vb[i];
+                }
+                out
+            })
+            .collect();
+        comps.push(
+            Component::from_blocks(pc.id(), pc.width(), pc.height(), pc.quant().clone(), blocks)
+                .map_err(P3Error::from)?,
+        );
+    }
+    CoeffImage::from_components(public.width(), public.height(), comps).map_err(P3Error::from)
+}
+
+/// The pixel-domain recombination P3 is stuck with after the PSP
+/// transforms the *public* image with a standard library: the receiver
+/// applies the same transformation to the decoded private image and adds
+/// the two pixel rasters (undoing the duplicated +128 level shift). The
+/// per-part clamping and rounding that happen before the transformation
+/// are unrecoverable — this is the Fig. 4 detail loss.
+pub fn recombine_pixels(public: &RgbImage, private: &RgbImage) -> Result<RgbImage> {
+    if public.width() != private.width() || public.height() != private.height() {
+        return Err(P3Error::Mismatch(format!(
+            "{}x{} vs {}x{}",
+            public.width(),
+            public.height(),
+            private.width(),
+            private.height()
+        )));
+    }
+    let pp = public.to_ycbcr_planes();
+    let vp = private.to_ycbcr_planes();
+    let planes: [Plane; 3] = [
+        add_planes(&pp[0], &vp[0]),
+        add_planes(&pp[1], &vp[1]),
+        add_planes(&pp[2], &vp[2]),
+    ];
+    Ok(RgbImage::from_ycbcr_planes(&planes))
+}
+
+fn add_planes(a: &Plane, b: &Plane) -> Plane {
+    Plane::from_fn(a.width(), a.height(), |x, y| {
+        a.get(x, y) + b.get(x, y) - 128.0
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puppies_image::metrics::psnr_rgb;
+    use puppies_image::{Rgb, RgbImage};
+
+    fn test_image() -> RgbImage {
+        RgbImage::from_fn(96, 64, |x, y| {
+            Rgb::new(
+                (60 + (x * 5 + y * 2) % 130) as u8,
+                (50 + (x * 2 + y * 4) % 140) as u8,
+                (70 + (x + y * 3) % 120) as u8,
+            )
+        })
+    }
+
+    #[test]
+    fn split_reconstruct_is_exact() {
+        let coeff = CoeffImage::from_rgb(&test_image(), 80);
+        let s = P3Split::of(&coeff);
+        let back = reconstruct(&s.public, &s.private).unwrap();
+        assert_eq!(back, coeff);
+    }
+
+    #[test]
+    fn public_part_obeys_threshold() {
+        let coeff = CoeffImage::from_rgb(&test_image(), 80);
+        let s = split(&coeff, 20);
+        for c in s.public.components() {
+            for b in c.blocks() {
+                assert_eq!(b[0], 0, "public DC must be removed");
+                for &v in &b[1..] {
+                    assert!(v.abs() <= 20, "public AC {v} above threshold");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn private_part_is_sparse_for_small_threshold_violations() {
+        let coeff = CoeffImage::from_rgb(&test_image(), 80);
+        let s = split(&coeff, 20);
+        // Only coefficients with |v| > 20 (plus DC) are non-zero privately.
+        for (pc, vc) in s.public.components().iter().zip(s.private.components()) {
+            for (pb, vb) in pc.blocks().iter().zip(vc.blocks()) {
+                for i in 1..64 {
+                    if vb[i] != 0 {
+                        assert_eq!(pb[i].abs(), 20, "compensation without clipping");
+                        assert!(vb[i] > 0, "private compensations are magnitudes");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn public_part_hides_content() {
+        let img = test_image();
+        let coeff = CoeffImage::from_rgb(&img, 80);
+        let s = P3Split::of(&coeff);
+        let psnr = psnr_rgb(&coeff.to_rgb(), &s.public.to_rgb());
+        assert!(psnr < 20.0, "public part too similar: {psnr} dB");
+    }
+
+    #[test]
+    fn larger_threshold_moves_bytes_to_public() {
+        let coeff = CoeffImage::from_rgb(&test_image(), 80);
+        let opts = EncodeOptions::default();
+        let t5 = split(&coeff, 5);
+        let t40 = split(&coeff, 40);
+        assert!(
+            t40.public_bytes(&opts).unwrap() >= t5.public_bytes(&opts).unwrap(),
+            "public part should grow with threshold"
+        );
+        assert!(
+            t40.private_bytes(&opts).unwrap() <= t5.private_bytes(&opts).unwrap(),
+            "private part should shrink with threshold"
+        );
+    }
+
+    #[test]
+    fn pixel_recombination_without_transform_is_close_but_lossy() {
+        // Even without a PSP transformation, going through per-part pixel
+        // rendering costs some fidelity (clamping of the private render).
+        let img = test_image();
+        let coeff = CoeffImage::from_rgb(&img, 80);
+        let s = P3Split::of(&coeff);
+        let rec = recombine_pixels(&s.public.to_rgb(), &s.private.to_rgb()).unwrap();
+        let reference = coeff.to_rgb();
+        let psnr = psnr_rgb(&rec, &reference);
+        assert!(psnr > 24.0, "recombination unusable: {psnr} dB");
+        assert!(psnr < f64::INFINITY, "pixel path cannot be exact");
+    }
+
+    #[test]
+    fn scaling_parts_separately_loses_detail() {
+        // The Fig. 4 phenomenon: scale public and private parts as pixel
+        // images, recombine, compare against scaling the original. Needs
+        // fine detail (strong AC coefficients) for the per-part clamping to
+        // bite — the paper's example is the texture on book spines.
+        use puppies_image::resample::{scale_rgb, Filter};
+        // Coarse high-contrast structure: stripe edges cross 8x8 blocks,
+        // producing low-frequency AC coefficients far above the threshold,
+        // so the private part carries large sign-bearing compensations.
+        let img = RgbImage::from_fn(96, 64, |x, y| {
+            let stripe = ((x + 3) / 12 + (y + 5) / 12) % 2 == 0;
+            let diag = (x as i32 - y as i32).rem_euclid(31) < 9;
+            if stripe ^ diag {
+                Rgb::new(250, 248, 240)
+            } else {
+                Rgb::new(12, 16, 28)
+            }
+        });
+        let coeff = CoeffImage::from_rgb(&img, 80);
+        let s = P3Split::of(&coeff);
+        let spub = scale_rgb(&s.public.to_rgb(), 48, 32, Filter::Bilinear);
+        let spriv = scale_rgb(&s.private.to_rgb(), 48, 32, Filter::Bilinear);
+        let rec = recombine_pixels(&spub, &spriv).unwrap();
+        let reference = scale_rgb(&coeff.to_rgb(), 48, 32, Filter::Bilinear);
+        let psnr = psnr_rgb(&rec, &reference);
+        // Dramatically degraded: the sign-less compensations corrupt every
+        // strong negative coefficient (Fig. 4(b)'s artifacts).
+        assert!(psnr < 25.0, "P3 scaling should lose detail, got {psnr} dB");
+    }
+
+    #[test]
+    fn mismatched_parts_rejected() {
+        let a = CoeffImage::from_rgb(&test_image(), 80);
+        let small = CoeffImage::from_rgb(
+            &RgbImage::filled(32, 32, Rgb::new(1, 2, 3)),
+            80,
+        );
+        assert!(reconstruct(&a, &small).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threshold_rejected() {
+        let coeff = CoeffImage::from_rgb(&test_image(), 80);
+        let _ = split(&coeff, 0);
+    }
+}

@@ -1,0 +1,251 @@
+//! The photo-sharing platform: stores perturbed images and public
+//! parameters, serves them to any user, and applies standard image
+//! transformations on request — all via "general file store and retrieval
+//! APIs" (§III-C.3), with zero PuPPIeS-specific logic.
+
+use crate::{PspError, Result};
+use parking_lot::RwLock;
+use puppies_core::PublicParams;
+use puppies_jpeg::{CoeffImage, EncodeOptions};
+use puppies_transform::Transformation;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifies a stored photo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PhotoId(pub u64);
+
+#[derive(Debug, Clone)]
+struct StoredPhoto {
+    bytes: Vec<u8>,
+    /// Opaque public-parameter blob (the PSP never parses it — it lives in
+    /// the image "description").
+    params: Vec<u8>,
+}
+
+/// The PSP server. Thread-safe: uploads, downloads and transformations can
+/// run concurrently (the experiment sweeps exploit this).
+#[derive(Debug, Default)]
+pub struct PspServer {
+    photos: RwLock<HashMap<PhotoId, StoredPhoto>>,
+    next_id: AtomicU64,
+}
+
+impl PspServer {
+    /// Creates an empty server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Uploads a photo with its public-parameter blob; returns its id.
+    pub fn upload(&self, bytes: Vec<u8>, params: Vec<u8>) -> PhotoId {
+        let id = PhotoId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.photos
+            .write()
+            .insert(id, StoredPhoto { bytes, params });
+        id
+    }
+
+    /// Downloads the image bytes (any user may call this — the threat
+    /// model's "unauthorized access at PSP side" is exactly this door).
+    ///
+    /// # Errors
+    /// Fails for unknown photos.
+    pub fn download(&self, id: PhotoId) -> Result<Vec<u8>> {
+        self.photos
+            .read()
+            .get(&id)
+            .map(|p| p.bytes.clone())
+            .ok_or(PspError::UnknownPhoto(id))
+    }
+
+    /// Downloads the public-parameter blob.
+    ///
+    /// # Errors
+    /// Fails for unknown photos.
+    pub fn download_params(&self, id: PhotoId) -> Result<Vec<u8>> {
+        self.photos
+            .read()
+            .get(&id)
+            .map(|p| p.params.clone())
+            .ok_or(PspError::UnknownPhoto(id))
+    }
+
+    /// Applies a transformation to a stored photo *in place*, recording it
+    /// in the public parameters so receivers can mirror it (§III-C
+    /// scenario 2). Uses the lossless coefficient path when possible and
+    /// the ordinary decode–transform–re-encode pipeline otherwise, exactly
+    /// like a jpegtran-aware production service.
+    ///
+    /// # Errors
+    /// Fails for unknown photos, undecodable streams, or invalid
+    /// transformations.
+    pub fn transform(&self, id: PhotoId, t: &Transformation) -> Result<()> {
+        let stored = self
+            .photos
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(PspError::UnknownPhoto(id))?;
+        let coeff = CoeffImage::decode(&stored.bytes).map_err(puppies_core::PuppiesError::from)?;
+        let new_bytes = if t.is_coeff_domain(coeff.width(), coeff.height()) {
+            t.apply_to_coeff(&coeff)?
+                .encode(&EncodeOptions::default())
+                .map_err(puppies_core::PuppiesError::from)?
+        } else {
+            let rgb = coeff.to_rgb();
+            let transformed = t.apply_to_rgb(&rgb)?;
+            puppies_jpeg::encode_rgb(&transformed, 75).map_err(puppies_core::PuppiesError::from)?
+        };
+        // Record the transformation in the public parameters. The PSP
+        // treats the blob as opaque except for this append-only note; in
+        // our wire format that means re-encoding via PublicParams.
+        let mut params = PublicParams::from_bytes(&stored.params)?;
+        if params.transformation.is_some() {
+            return Err(PspError::Transform(
+                puppies_transform::TransformError::InvalidParameter(
+                    "photo already transformed once; chain not supported".into(),
+                ),
+            ));
+        }
+        params.transformation = Some(t.clone());
+        self.photos.write().insert(
+            id,
+            StoredPhoto {
+                bytes: new_bytes,
+                params: params.to_bytes(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Number of stored photos.
+    pub fn len(&self) -> usize {
+        self.photos.read().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.photos.read().is_empty()
+    }
+
+    /// Total bytes stored for a photo (image + parameter blob) — the
+    /// cloud-storage usage the paper's overhead experiments track.
+    ///
+    /// # Errors
+    /// Fails for unknown photos.
+    pub fn storage_footprint(&self, id: PhotoId) -> Result<usize> {
+        self.photos
+            .read()
+            .get(&id)
+            .map(|p| p.bytes.len() + p.params.len())
+            .ok_or(PspError::UnknownPhoto(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puppies_core::{protect, OwnerKey, ProtectOptions};
+    use puppies_image::{Rect, Rgb, RgbImage};
+
+    fn upload_test_photo(server: &PspServer) -> (PhotoId, OwnerKey) {
+        let img = RgbImage::from_fn(64, 64, |x, y| Rgb::new(x as u8 * 2, y as u8 * 2, 77));
+        let key = OwnerKey::from_seed([4u8; 32]);
+        let protected = protect(
+            &img,
+            &[Rect::new(16, 16, 24, 24)],
+            &key,
+            &ProtectOptions::default(),
+        )
+        .unwrap();
+        let id = server.upload(protected.bytes, protected.params.to_bytes());
+        (id, key)
+    }
+
+    #[test]
+    fn upload_download_roundtrip() {
+        let server = PspServer::new();
+        let (id, _) = upload_test_photo(&server);
+        let bytes = server.download(id).unwrap();
+        assert!(CoeffImage::decode(&bytes).is_ok());
+        assert!(server.download_params(id).is_ok());
+        assert_eq!(server.len(), 1);
+    }
+
+    #[test]
+    fn unknown_photo_errors() {
+        let server = PspServer::new();
+        assert!(matches!(
+            server.download(PhotoId(99)),
+            Err(PspError::UnknownPhoto(PhotoId(99)))
+        ));
+    }
+
+    #[test]
+    fn transform_updates_bytes_and_params() {
+        let server = PspServer::new();
+        let (id, _) = upload_test_photo(&server);
+        let before = server.download(id).unwrap();
+        server
+            .transform(id, &Transformation::Rotate180)
+            .unwrap();
+        let after = server.download(id).unwrap();
+        assert_ne!(before, after);
+        let params = PublicParams::from_bytes(&server.download_params(id).unwrap()).unwrap();
+        assert_eq!(params.transformation, Some(Transformation::Rotate180));
+    }
+
+    #[test]
+    fn double_transform_rejected() {
+        let server = PspServer::new();
+        let (id, _) = upload_test_photo(&server);
+        server.transform(id, &Transformation::Rotate90).unwrap();
+        assert!(server.transform(id, &Transformation::Rotate90).is_err());
+    }
+
+    #[test]
+    fn pixel_domain_transform_supported() {
+        let server = PspServer::new();
+        let (id, _) = upload_test_photo(&server);
+        server
+            .transform(
+                id,
+                &Transformation::Scale {
+                    width: 32,
+                    height: 32,
+                    filter: puppies_transform::ScaleFilter::Bilinear,
+                },
+            )
+            .unwrap();
+        let bytes = server.download(id).unwrap();
+        let coeff = CoeffImage::decode(&bytes).unwrap();
+        assert_eq!((coeff.width(), coeff.height()), (32, 32));
+    }
+
+    #[test]
+    fn concurrent_uploads_get_distinct_ids() {
+        let server = std::sync::Arc::new(PspServer::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = server.clone();
+            handles.push(std::thread::spawn(move || {
+                s.upload(vec![1, 2, 3], vec![])
+            }));
+        }
+        let ids: std::collections::HashSet<_> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(ids.len(), 8);
+        assert_eq!(server.len(), 8);
+    }
+
+    #[test]
+    fn storage_footprint_counts_both_parts() {
+        let server = PspServer::new();
+        let (id, _) = upload_test_photo(&server);
+        let fp = server.storage_footprint(id).unwrap();
+        let img = server.download(id).unwrap().len();
+        let params = server.download_params(id).unwrap().len();
+        assert_eq!(fp, img + params);
+    }
+}

@@ -1,0 +1,157 @@
+//! The ROI detection-and-recommendation pipeline of §IV-A: run the face,
+//! text (OCR stand-in) and objectness detectors, merge their overlapping
+//! outputs, and split the union into disjoint rectangles an owner can
+//! encrypt with independent private matrices (Fig. 12).
+
+use crate::face::{detect_faces, FaceDetectorParams};
+use crate::objectness::{propose_objects, ObjectnessParams};
+use crate::text::{detect_text_blocks, TextDetectorParams};
+use puppies_image::geometry::decompose_disjoint;
+use puppies_image::{Rect, RgbImage};
+
+/// Which detector produced a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DetectorKind {
+    /// Haar-relation face detector.
+    Face,
+    /// Stroke-density text detector (OCR stand-in).
+    Text,
+    /// Generic objectness proposer.
+    Object,
+}
+
+/// One raw detection before merging.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Source detector.
+    pub kind: DetectorKind,
+    /// Bounding box.
+    pub rect: Rect,
+}
+
+/// The recommendation handed to the image owner: the raw detections plus
+/// the disjoint split of their union.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoiRecommendation {
+    /// Every raw detection.
+    pub detections: Vec<Detection>,
+    /// Disjoint rectangles covering the union of all detections — what
+    /// §IV-A recommends as independently-encryptable regions.
+    pub regions: Vec<Rect>,
+}
+
+/// Tuning for the combined recommender.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RecommendParams {
+    /// Face detector parameters.
+    pub face: FaceDetectorParams,
+    /// Text detector parameters.
+    pub text: TextDetectorParams,
+    /// Objectness parameters.
+    pub object: ObjectnessParams,
+    /// Skip the (slow) objectness stage; face + text only.
+    pub skip_objectness: bool,
+}
+
+/// Runs all detectors and builds the recommendation.
+pub fn recommend_rois(img: &RgbImage, params: &RecommendParams) -> RoiRecommendation {
+    let gray = img.to_gray();
+    let mut detections = Vec::new();
+    for d in detect_faces(&gray, &params.face) {
+        detections.push(Detection {
+            kind: DetectorKind::Face,
+            rect: d.rect,
+        });
+    }
+    for rect in detect_text_blocks(&gray, &params.text) {
+        detections.push(Detection {
+            kind: DetectorKind::Text,
+            rect,
+        });
+    }
+    if !params.skip_objectness {
+        for p in propose_objects(&gray, &params.object) {
+            detections.push(Detection {
+                kind: DetectorKind::Object,
+                rect: p.rect,
+            });
+        }
+    }
+    let rects: Vec<Rect> = detections.iter().map(|d| d.rect).collect();
+    let regions = decompose_disjoint(&rects);
+    RoiRecommendation {
+        detections,
+        regions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::face::{render_face, FaceGeometry};
+    use puppies_image::font::draw_text;
+    use puppies_image::{draw, Rgb};
+
+    fn busy_scene() -> RgbImage {
+        let mut img = RgbImage::filled(240, 160, Rgb::new(120, 150, 190));
+        render_face(
+            &mut img,
+            Rect::new(20, 30, 48, 60),
+            Rgb::new(228, 190, 152),
+            &FaceGeometry::default(),
+        );
+        draw_text(&mut img, "123-45-6789", 110, 30, 2, Rgb::new(10, 10, 10));
+        draw::fill_rect(&mut img, Rect::new(140, 90, 50, 40), Rgb::new(180, 40, 40));
+        img
+    }
+
+    #[test]
+    fn finds_face_and_text() {
+        let rec = recommend_rois(
+            &busy_scene(),
+            &RecommendParams {
+                skip_objectness: true,
+                ..RecommendParams::default()
+            },
+        );
+        assert!(
+            rec.detections.iter().any(|d| d.kind == DetectorKind::Face),
+            "no face found"
+        );
+        assert!(
+            rec.detections.iter().any(|d| d.kind == DetectorKind::Text),
+            "no text found"
+        );
+        assert!(!rec.regions.is_empty());
+    }
+
+    #[test]
+    fn regions_are_disjoint_and_cover_detections() {
+        let rec = recommend_rois(&busy_scene(), &RecommendParams::default());
+        for (i, a) in rec.regions.iter().enumerate() {
+            for b in &rec.regions[i + 1..] {
+                assert!(!a.overlaps(*b), "{a:?} overlaps {b:?}");
+            }
+        }
+        // Areas agree: union of detections equals union of regions.
+        let det_area: u64 = {
+            let rects: Vec<Rect> = rec.detections.iter().map(|d| d.rect).collect();
+            decompose_disjoint(&rects).iter().map(|r| r.area()).sum()
+        };
+        let region_area: u64 = rec.regions.iter().map(|r| r.area()).sum();
+        assert_eq!(det_area, region_area);
+    }
+
+    #[test]
+    fn empty_scene_has_no_regions() {
+        let img = RgbImage::filled(160, 120, Rgb::new(140, 140, 140));
+        let rec = recommend_rois(
+            &img,
+            &RecommendParams {
+                skip_objectness: true,
+                ..RecommendParams::default()
+            },
+        );
+        assert!(rec.regions.is_empty(), "{:?}", rec.regions);
+    }
+}

@@ -1,0 +1,275 @@
+//! Canny edge detection (§VI-B.2's edge-detection attack) and the
+//! edge-match metric of Fig. 21.
+
+use puppies_image::convolve::{gaussian_blur, sobel_gradients};
+use puppies_image::{GrayImage, Plane};
+
+/// Parameters for [`canny`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CannyParams {
+    /// Gaussian pre-smoothing sigma.
+    pub sigma: f32,
+    /// Low hysteresis threshold on gradient magnitude.
+    pub low: f32,
+    /// High hysteresis threshold on gradient magnitude.
+    pub high: f32,
+}
+
+impl Default for CannyParams {
+    fn default() -> Self {
+        CannyParams {
+            sigma: 1.4,
+            low: 40.0,
+            high: 100.0,
+        }
+    }
+}
+
+/// Canny edge detector: Gaussian blur → Sobel gradients → non-maximum
+/// suppression → double-threshold hysteresis. Returns a binary image
+/// (255 = edge).
+///
+/// # Panics
+/// Panics if thresholds are not `0 < low <= high` or sigma is not positive.
+pub fn canny(img: &GrayImage, params: &CannyParams) -> GrayImage {
+    assert!(params.sigma > 0.0, "sigma must be positive");
+    assert!(
+        params.low > 0.0 && params.low <= params.high,
+        "need 0 < low <= high"
+    );
+    let plane = img.to_plane();
+    let smooth = gaussian_blur(&plane, params.sigma);
+    let (mag, ori) = sobel_gradients(&smooth);
+    let nms = non_max_suppress(&mag, &ori);
+    hysteresis(&nms, params.low, params.high)
+}
+
+fn non_max_suppress(mag: &Plane, ori: &Plane) -> Plane {
+    let (w, h) = (mag.width(), mag.height());
+    Plane::from_fn(w, h, |x, y| {
+        let m = mag.get(x, y);
+        if m == 0.0 {
+            return 0.0;
+        }
+        // Quantize orientation into 4 directions.
+        let angle = ori.get(x, y).to_degrees();
+        let a = ((angle + 180.0) % 180.0 + 180.0) % 180.0;
+        let (dx, dy): (i64, i64) = if !(22.5..157.5).contains(&a) {
+            (1, 0) // horizontal gradient -> compare left/right
+        } else if a < 67.5 {
+            (1, 1)
+        } else if a < 112.5 {
+            (0, 1)
+        } else {
+            (-1, 1)
+        };
+        let m1 = mag.get_clamped(x as i64 + dx, y as i64 + dy);
+        let m2 = mag.get_clamped(x as i64 - dx, y as i64 - dy);
+        if m >= m1 && m >= m2 {
+            m
+        } else {
+            0.0
+        }
+    })
+}
+
+fn hysteresis(nms: &Plane, low: f32, high: f32) -> GrayImage {
+    let (w, h) = (nms.width(), nms.height());
+    let mut out = GrayImage::new(w, h);
+    let mut stack = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            if nms.get(x, y) >= high && out.get(x, y) == 0 {
+                out.set(x, y, 255);
+                stack.push((x, y));
+                // Grow weak-edge chains connected to this strong seed.
+                while let Some((cx, cy)) = stack.pop() {
+                    for dy in -1i64..=1 {
+                        for dx in -1i64..=1 {
+                            let nx = cx as i64 + dx;
+                            let ny = cy as i64 + dy;
+                            if nx < 0 || ny < 0 || nx >= w as i64 || ny >= h as i64 {
+                                continue;
+                            }
+                            let (nx, ny) = (nx as u32, ny as u32);
+                            if out.get(nx, ny) == 0 && nms.get(nx, ny) >= low {
+                                out.set(nx, ny, 255);
+                                stack.push((nx, ny));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Fraction of edge pixels of `reference` that are also edges (within a
+/// 1-pixel tolerance) in `candidate` — the "ratio of detected pixels"
+/// measure behind Fig. 21. Returns 0 when the reference has no edges.
+///
+/// # Panics
+/// Panics if the images differ in size.
+pub fn edge_match_ratio(reference: &GrayImage, candidate: &GrayImage) -> f64 {
+    assert_eq!(
+        (reference.width(), reference.height()),
+        (candidate.width(), candidate.height()),
+        "image sizes differ"
+    );
+    let mut matched = 0u64;
+    let mut total = 0u64;
+    for y in 0..reference.height() {
+        for x in 0..reference.width() {
+            if reference.get(x, y) == 0 {
+                continue;
+            }
+            total += 1;
+            'search: for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    if candidate.get_clamped(x as i64 + dx, y as i64 + dy) > 0 {
+                        matched += 1;
+                        break 'search;
+                    }
+                }
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        matched as f64 / total as f64
+    }
+}
+
+/// Fraction of all pixels marked as edges.
+pub fn edge_density(edges: &GrayImage) -> f64 {
+    let n = edges.pixels().iter().filter(|&&v| v > 0).count();
+    n as f64 / edges.pixels().len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puppies_image::Rect;
+
+    fn step_image() -> GrayImage {
+        GrayImage::from_fn(64, 64, |x, _| if x < 32 { 30 } else { 220 })
+    }
+
+    #[test]
+    fn detects_step_edge() {
+        let edges = canny(&step_image(), &CannyParams::default());
+        // An edge column near x = 32 on most rows.
+        let mut rows_with_edge = 0;
+        for y in 4..60 {
+            if (28..36).any(|x| edges.get(x, y) > 0) {
+                rows_with_edge += 1;
+            }
+        }
+        assert!(rows_with_edge > 50, "only {rows_with_edge} rows have edges");
+        // Flat areas are edge-free.
+        for y in 0..64 {
+            for x in 0..20 {
+                assert_eq!(edges.get(x, y), 0, "false edge at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_image_has_no_edges() {
+        let img = GrayImage::filled(32, 32, 128);
+        let edges = canny(&img, &CannyParams::default());
+        assert_eq!(edge_density(&edges), 0.0);
+    }
+
+    #[test]
+    fn rectangle_outline_detected() {
+        let mut img = GrayImage::filled(64, 64, 40);
+        img.fill_rect(Rect::new(16, 16, 32, 32), 200);
+        let edges = canny(&img, &CannyParams::default());
+        assert!(edge_density(&edges) > 0.01);
+        // Edges concentrate near the rectangle border.
+        let mut near = 0;
+        let mut far = 0;
+        for y in 0..64u32 {
+            for x in 0..64u32 {
+                if edges.get(x, y) > 0 {
+                    let on_border = (14..=18).contains(&x)
+                        || (46..=50).contains(&x)
+                        || (14..=18).contains(&y)
+                        || (46..=50).contains(&y);
+                    if on_border {
+                        near += 1;
+                    } else {
+                        far += 1;
+                    }
+                }
+            }
+        }
+        assert!(near > far * 3, "near {near} far {far}");
+    }
+
+    #[test]
+    fn edge_match_ratio_self_is_one() {
+        let edges = canny(&step_image(), &CannyParams::default());
+        assert!((edge_match_ratio(&edges, &edges) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_match_ratio_disjoint_is_zero() {
+        let a = GrayImage::from_fn(16, 16, |x, y| if x == 2 && y < 8 { 255 } else { 0 });
+        let b = GrayImage::from_fn(16, 16, |x, y| if x == 12 && y < 8 { 255 } else { 0 });
+        assert_eq!(edge_match_ratio(&a, &b), 0.0);
+        // Empty reference yields zero, not NaN.
+        let empty = GrayImage::new(16, 16);
+        assert_eq!(edge_match_ratio(&empty, &a), 0.0);
+    }
+
+    #[test]
+    fn hysteresis_links_weak_edges() {
+        // A gradient ridge whose middle section is weak but connected to
+        // strong ends should be fully traced.
+        let mut img = GrayImage::filled(64, 32, 0);
+        for x in 0..64 {
+            let v = if (20..44).contains(&x) { 40 } else { 220 };
+            for y in 14..18 {
+                img.set(x, y, v);
+            }
+        }
+        let strong_only = canny(
+            &img,
+            &CannyParams {
+                sigma: 1.0,
+                low: 450.0,
+                high: 450.0,
+            },
+        );
+        let linked = canny(
+            &img,
+            &CannyParams {
+                sigma: 1.0,
+                low: 80.0,
+                high: 450.0,
+            },
+        );
+        assert!(
+            edge_density(&linked) > edge_density(&strong_only),
+            "hysteresis should add weak connected pixels"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "low <= high")]
+    fn bad_thresholds_rejected() {
+        let _ = canny(
+            &step_image(),
+            &CannyParams {
+                sigma: 1.0,
+                low: 10.0,
+                high: 5.0,
+            },
+        );
+    }
+}
+

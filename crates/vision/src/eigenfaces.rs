@@ -1,0 +1,199 @@
+//! Eigenface recognition (Turk & Pentland, 1991) — the face-recognition
+//! attack of §VI-B.4 (Fig. 22).
+//!
+//! A gallery of labelled face crops is projected into a PCA subspace; a
+//! probe face is recognized by nearest-neighbour rank in that subspace.
+//! The attack measures the rank at which the true identity appears when
+//! the probe is a PuPPIeS-perturbed (or P3-public) face.
+
+use crate::pca::Pca;
+use puppies_image::resample::{scale_gray, Filter};
+use puppies_image::GrayImage;
+
+/// Canonical face-chip side used internally.
+const CHIP: u32 = 32;
+
+/// A trained eigenface gallery.
+#[derive(Debug, Clone)]
+pub struct EigenfaceGallery {
+    pca: Pca,
+    /// Projected gallery vectors with their labels.
+    gallery: Vec<(u32, Vec<f64>)>,
+}
+
+fn to_vector(face: &GrayImage) -> Vec<f64> {
+    let chip = scale_gray(face, CHIP, CHIP, Filter::Box);
+    // Zero-mean, unit-variance normalization for illumination robustness.
+    let mean = chip.mean();
+    let var: f64 = chip
+        .pixels()
+        .iter()
+        .map(|&v| (v as f64 - mean).powi(2))
+        .sum::<f64>()
+        / chip.pixels().len() as f64;
+    let sd = var.sqrt().max(1e-6);
+    chip.pixels().iter().map(|&v| (v as f64 - mean) / sd).collect()
+}
+
+impl EigenfaceGallery {
+    /// Trains the subspace from `(label, face)` pairs and enrolls all of
+    /// them.
+    ///
+    /// # Panics
+    /// Panics if fewer than two faces are provided.
+    pub fn train(faces: &[(u32, GrayImage)], components: usize) -> EigenfaceGallery {
+        assert!(faces.len() >= 2, "need at least two gallery faces");
+        let vectors: Vec<Vec<f64>> = faces.iter().map(|(_, f)| to_vector(f)).collect();
+        let pca = Pca::fit(&vectors, components);
+        let gallery = faces
+            .iter()
+            .zip(vectors.iter())
+            .map(|((label, _), v)| (*label, pca.project(v)))
+            .collect();
+        EigenfaceGallery { pca, gallery }
+    }
+
+    /// Number of retained eigenfaces.
+    pub fn components(&self) -> usize {
+        self.pca.len()
+    }
+
+    /// Number of enrolled gallery entries.
+    pub fn gallery_len(&self) -> usize {
+        self.gallery.len()
+    }
+
+    /// Returns gallery labels ranked by ascending subspace distance to the
+    /// probe (best match first). Duplicate labels are collapsed to their
+    /// best rank.
+    pub fn rank(&self, probe: &GrayImage) -> Vec<u32> {
+        let p = self.pca.project(&to_vector(probe));
+        let mut scored: Vec<(f64, u32)> = self
+            .gallery
+            .iter()
+            .map(|(label, g)| {
+                let d: f64 = g.iter().zip(p.iter()).map(|(a, b)| (a - b).powi(2)).sum();
+                (d, *label)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut seen = std::collections::HashSet::new();
+        scored
+            .into_iter()
+            .filter_map(|(_, l)| seen.insert(l).then_some(l))
+            .collect()
+    }
+
+    /// The rank (1-based) at which `label` appears for this probe, or
+    /// `None` if the label is not enrolled.
+    pub fn rank_of(&self, probe: &GrayImage, label: u32) -> Option<usize> {
+        self.rank(probe).iter().position(|&l| l == label).map(|p| p + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::face::{render_face, FaceGeometry};
+    use puppies_image::{Rect, Rgb, RgbImage};
+
+    fn face_image(geom: &FaceGeometry, skin: Rgb, jitter: u32) -> GrayImage {
+        let mut img = RgbImage::filled(64, 64, Rgb::new(70, 80, 100));
+        render_face(
+            &mut img,
+            Rect::new(6 + jitter, 4 + jitter, 48, 56),
+            skin,
+            geom,
+        );
+        img.to_gray()
+    }
+
+    fn identities() -> Vec<FaceGeometry> {
+        vec![
+            FaceGeometry {
+                eye_spread: 0.16,
+                eye_size: 0.055,
+                mouth_width: 0.13,
+                brow_tilt: -2,
+            },
+            FaceGeometry {
+                eye_spread: 0.20,
+                eye_size: 0.07,
+                mouth_width: 0.18,
+                brow_tilt: 0,
+            },
+            FaceGeometry {
+                eye_spread: 0.25,
+                eye_size: 0.085,
+                mouth_width: 0.23,
+                brow_tilt: 2,
+            },
+            FaceGeometry {
+                eye_spread: 0.22,
+                eye_size: 0.06,
+                mouth_width: 0.20,
+                brow_tilt: 3,
+            },
+        ]
+    }
+
+    fn build_gallery() -> EigenfaceGallery {
+        let mut faces = Vec::new();
+        for (label, geom) in identities().iter().enumerate() {
+            for jitter in 0..3u32 {
+                faces.push((label as u32, face_image(geom, Rgb::new(220, 184, 148), jitter)));
+            }
+        }
+        EigenfaceGallery::train(&faces, 8)
+    }
+
+    #[test]
+    fn recognizes_enrolled_identities() {
+        let g = build_gallery();
+        assert!(g.components() >= 2);
+        for (label, geom) in identities().iter().enumerate() {
+            // A new jitter of the same identity.
+            let probe = face_image(geom, Rgb::new(220, 184, 148), 3);
+            let rank = g.rank_of(&probe, label as u32).unwrap();
+            assert!(rank <= 2, "identity {label} ranked {rank}");
+        }
+    }
+
+    #[test]
+    fn rank_list_contains_each_label_once() {
+        let g = build_gallery();
+        let probe = face_image(&identities()[0], Rgb::new(220, 184, 148), 1);
+        let ranks = g.rank(&probe);
+        assert_eq!(ranks.len(), identities().len());
+        let unique: std::collections::HashSet<_> = ranks.iter().collect();
+        assert_eq!(unique.len(), ranks.len());
+    }
+
+    #[test]
+    fn unknown_label_gives_none() {
+        let g = build_gallery();
+        let probe = face_image(&identities()[0], Rgb::new(220, 184, 148), 0);
+        assert!(g.rank_of(&probe, 999).is_none());
+    }
+
+    #[test]
+    fn noise_probe_ranks_randomly() {
+        // Random noise should not reliably rank identity 0 first.
+        let g = build_gallery();
+        let noise = GrayImage::from_fn(64, 64, |x, y| {
+            ((x.wrapping_mul(2654435761) ^ y.wrapping_mul(40503)) % 256) as u8
+        });
+        let ranks = g.rank(&noise);
+        assert_eq!(ranks.len(), identities().len());
+    }
+
+    #[test]
+    fn different_sizes_are_normalized() {
+        let g = build_gallery();
+        let geom = identities()[1];
+        let mut img = RgbImage::filled(128, 128, Rgb::new(70, 80, 100));
+        render_face(&mut img, Rect::new(10, 10, 100, 110), Rgb::new(220, 184, 148), &geom);
+        let rank = g.rank_of(&img.to_gray(), 1).unwrap();
+        assert!(rank <= 2, "scaled probe ranked {rank}");
+    }
+}

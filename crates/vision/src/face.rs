@@ -1,0 +1,339 @@
+//! A Viola–Jones-style sliding-window face detector built on Haar-like
+//! rectangle relations over integral images.
+//!
+//! The cascade is hand-crafted rather than boosted from data: each stage
+//! tests a luminance relation that holds for frontal faces (eye band
+//! darker than forehead and cheeks, mouth darker than chin, face region
+//! brighter than its surroundings, sufficient variance). This detects the
+//! parametric faces of `puppies-datasets` reliably and — like any Haar
+//! detector — fails on PuPPIeS-perturbed regions, which is exactly what
+//! the face-detection attack experiment (§VI-B.3) measures.
+
+use puppies_image::integral::IntegralImage;
+use puppies_image::{GrayImage, Rect};
+
+/// Detector tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaceDetectorParams {
+    /// Smallest window side tested, in pixels.
+    pub min_size: u32,
+    /// Largest window side tested (0 = image size).
+    pub max_size: u32,
+    /// Geometric scale step between window sizes.
+    pub scale_step: f32,
+    /// Window stride as a fraction of window size.
+    pub stride_frac: f32,
+    /// Minimum mean contrast (in gray levels) between the eye band and the
+    /// bands above/below it.
+    pub eye_contrast: f64,
+    /// Minimum window variance (rejects flat regions).
+    pub min_variance: f64,
+    /// Non-maximum-suppression IoU threshold.
+    pub nms_iou: f64,
+}
+
+impl Default for FaceDetectorParams {
+    fn default() -> Self {
+        FaceDetectorParams {
+            min_size: 24,
+            max_size: 0,
+            scale_step: 1.25,
+            stride_frac: 0.1,
+            eye_contrast: 12.0,
+            min_variance: 80.0,
+            nms_iou: 0.3,
+        }
+    }
+}
+
+/// A face detection with its score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaceDetection {
+    /// Bounding box.
+    pub rect: Rect,
+    /// Detection score (larger = more face-like).
+    pub score: f64,
+}
+
+/// Runs the detector over all scales and positions, returning
+/// non-maximum-suppressed detections sorted by descending score.
+pub fn detect_faces(img: &GrayImage, params: &FaceDetectorParams) -> Vec<FaceDetection> {
+    let ii = IntegralImage::build(img);
+    let max_size = if params.max_size == 0 {
+        img.width().min(img.height())
+    } else {
+        params.max_size
+    };
+    let mut detections = Vec::new();
+    let mut size = params.min_size.max(16);
+    while size <= max_size {
+        // Faces are taller than wide; windows use a 4:5 aspect ratio.
+        let win_h = size * 5 / 4;
+        let stride = ((size as f32 * params.stride_frac) as u32).max(1);
+        let mut y = 0;
+        while y + win_h <= img.height() {
+            let mut x = 0;
+            while x + size <= img.width() {
+                if let Some(score) = score_window(&ii, Rect::new(x, y, size, win_h), params) {
+                    detections.push(FaceDetection {
+                        rect: Rect::new(x, y, size, win_h),
+                        score,
+                    });
+                }
+                x += stride;
+            }
+            y += stride;
+        }
+        let next = (size as f32 * params.scale_step) as u32;
+        size = next.max(size + 1);
+    }
+    non_max_suppress(detections, params.nms_iou)
+}
+
+/// Band helper: a horizontal slice of the window given fractional top and
+/// bottom, limited to the central `left..right` width fraction so the
+/// face oval covers the band at every height.
+fn band_x(w: Rect, top: f32, bottom: f32, left: f32, right: f32) -> Rect {
+    let y0 = w.y + (w.h as f32 * top) as u32;
+    let y1 = w.y + (w.h as f32 * bottom) as u32;
+    let x0 = w.x + (w.w as f32 * left) as u32;
+    let x1 = w.x + (w.w as f32 * right) as u32;
+    Rect::new(
+        x0,
+        y0,
+        x1.saturating_sub(x0).max(1),
+        y1.saturating_sub(y0).max(1),
+    )
+}
+
+fn band(w: Rect, top: f32, bottom: f32) -> Rect {
+    band_x(w, top, bottom, 0.25, 0.75)
+}
+
+fn score_window(ii: &IntegralImage, w: Rect, params: &FaceDetectorParams) -> Option<f64> {
+    // Stage 0: enough texture.
+    let var = ii.variance(w);
+    if var < params.min_variance {
+        return None;
+    }
+    // Face interior (oval-ish) bands, tuned to the canonical geometry
+    // (eyes at 0.35 of height, mouth at 0.72).
+    let forehead = band(w, 0.10, 0.24);
+    let eyes = band(w, 0.28, 0.42);
+    let cheeks = band(w, 0.46, 0.60);
+    let mouth = band_x(w, 0.64, 0.80, 0.35, 0.65);
+    let chin = band_x(w, 0.84, 0.94, 0.40, 0.60);
+
+    let m_forehead = ii.mean(forehead);
+    let m_eyes = ii.mean(eyes);
+    let m_cheeks = ii.mean(cheeks);
+    let m_mouth = ii.mean(mouth);
+    let m_chin = ii.mean(chin);
+
+    // Stage 1: eye band darker than forehead and cheeks.
+    let eye_drop = (m_forehead - m_eyes).min(m_cheeks - m_eyes);
+    if eye_drop < params.eye_contrast {
+        return None;
+    }
+    // Stage 2: mouth darker than chin (weaker relation).
+    let mouth_drop = m_chin - m_mouth;
+    if mouth_drop < params.eye_contrast * 0.3 {
+        return None;
+    }
+    // Stage 3: two dark eyes separated by a brighter nose bridge.
+    let third = w.w / 3;
+    let eye_l = Rect::new(eyes.x, eyes.y, third, eyes.h);
+    let eye_m = Rect::new(eyes.x + third, eyes.y, third, eyes.h);
+    let eye_r = Rect::new(eyes.x + 2 * third, eyes.y, w.w - 2 * third, eyes.h);
+    let bridge = ii.mean(eye_m) - 0.5 * (ii.mean(eye_l) + ii.mean(eye_r));
+    if bridge < params.eye_contrast * 0.3 {
+        return None;
+    }
+    // Stage 4: the face oval is brighter than the window corners (rejects
+    // windows sitting entirely inside skin, which would otherwise out-score
+    // the full face).
+    let q = (w.w / 4).max(1);
+    let corners = [
+        Rect::new(w.x, w.y, q, q),
+        Rect::new(w.right() - q, w.y, q, q),
+        Rect::new(w.x, w.bottom() - q, q, q),
+        Rect::new(w.right() - q, w.bottom() - q, q, q),
+    ];
+    let m_corners = corners.iter().map(|&c| ii.mean(c)).sum::<f64>() / 4.0;
+    let center = Rect::new(w.x + w.w / 4, w.y + w.h / 4, w.w / 2, w.h / 2);
+    let ovalness = ii.mean(center) - m_corners;
+    if ovalness < params.eye_contrast * 0.5 {
+        return None;
+    }
+    // Larger complete faces outrank partial interior windows.
+    let size_bonus = (w.w as f64).sqrt();
+    Some(eye_drop + mouth_drop + bridge + ovalness * 0.5 + size_bonus)
+}
+
+fn non_max_suppress(mut dets: Vec<FaceDetection>, iou: f64) -> Vec<FaceDetection> {
+    dets.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+    let mut kept: Vec<FaceDetection> = Vec::new();
+    for d in dets {
+        if kept.iter().all(|k| k.rect.iou(d.rect) < iou) {
+            kept.push(d);
+        }
+    }
+    kept
+}
+
+/// Draws a canonical synthetic frontal face into `img` at the given
+/// bounding box. This is the shared contract between the detector and the
+/// dataset generators (which re-export it); keeping it here lets the
+/// detector tests and the generators agree on geometry.
+pub fn render_face(
+    img: &mut puppies_image::RgbImage,
+    bbox: Rect,
+    skin: puppies_image::Rgb,
+    identity: &FaceGeometry,
+) {
+    use puppies_image::draw;
+    let cx = (bbox.x + bbox.w / 2) as i32;
+    let cy = (bbox.y + bbox.h / 2) as i32;
+    let rx = (bbox.w as f32 * 0.46) as i32;
+    let ry = (bbox.h as f32 * 0.48) as i32;
+    draw::fill_ellipse(img, cx, cy, rx, ry, skin);
+
+    let dark = puppies_image::Rgb::new(
+        (skin.r as f32 * 0.25) as u8,
+        (skin.g as f32 * 0.25) as u8,
+        (skin.b as f32 * 0.25) as u8,
+    );
+    // Eyes around 35% height.
+    let eye_y = bbox.y as i32 + (bbox.h as f32 * 0.35) as i32;
+    let eye_dx = (bbox.w as f32 * identity.eye_spread) as i32;
+    let eye_r = ((bbox.w as f32 * identity.eye_size) as i32).max(1);
+    draw::fill_ellipse(img, cx - eye_dx, eye_y, eye_r, (eye_r as f32 * 0.7) as i32 + 1, dark);
+    draw::fill_ellipse(img, cx + eye_dx, eye_y, eye_r, (eye_r as f32 * 0.7) as i32 + 1, dark);
+    // Brows.
+    let brow_y = eye_y - eye_r * 2;
+    for side in [-1, 1] {
+        draw::line(
+            img,
+            puppies_image::Point::new(cx + side * (eye_dx - eye_r), brow_y),
+            puppies_image::Point::new(cx + side * (eye_dx + eye_r), brow_y - identity.brow_tilt),
+            dark,
+        );
+    }
+    // Nose.
+    let nose_y = bbox.y as i32 + (bbox.h as f32 * 0.55) as i32;
+    draw::line(
+        img,
+        puppies_image::Point::new(cx, eye_y + eye_r),
+        puppies_image::Point::new(cx - (bbox.w as i32) / 20, nose_y),
+        dark,
+    );
+    // Mouth around 72% height.
+    let mouth_y = bbox.y as i32 + (bbox.h as f32 * 0.72) as i32;
+    let mouth_w = (bbox.w as f32 * identity.mouth_width) as i32;
+    let mouth_h = ((bbox.h as f32 * 0.04) as i32).max(1);
+    draw::fill_ellipse(img, cx, mouth_y, mouth_w, mouth_h, dark);
+}
+
+/// Per-identity face geometry (the signal eigenface recognition keys on).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaceGeometry {
+    /// Horizontal eye offset as a fraction of face width (~0.16..0.26).
+    pub eye_spread: f32,
+    /// Eye radius as a fraction of face width (~0.05..0.09).
+    pub eye_size: f32,
+    /// Mouth half-width as a fraction of face width (~0.12..0.24).
+    pub mouth_width: f32,
+    /// Brow tilt in pixels (-3..=3).
+    pub brow_tilt: i32,
+}
+
+impl Default for FaceGeometry {
+    fn default() -> Self {
+        FaceGeometry {
+            eye_spread: 0.20,
+            eye_size: 0.07,
+            mouth_width: 0.18,
+            brow_tilt: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puppies_image::{Rgb, RgbImage};
+
+    fn scene_with_face(bbox: Rect) -> GrayImage {
+        let mut img = RgbImage::filled(160, 120, Rgb::new(60, 80, 110));
+        render_face(&mut img, bbox, Rgb::new(224, 186, 150), &FaceGeometry::default());
+        img.to_gray()
+    }
+
+    #[test]
+    fn detects_synthetic_face() {
+        let bbox = Rect::new(50, 30, 48, 60);
+        let img = scene_with_face(bbox);
+        let dets = detect_faces(&img, &FaceDetectorParams::default());
+        assert!(!dets.is_empty(), "no detections");
+        let best = dets[0];
+        assert!(
+            best.rect.iou(bbox) > 0.25,
+            "best detection {:?} misses face {:?}",
+            best.rect,
+            bbox
+        );
+    }
+
+    #[test]
+    fn no_detection_on_flat_background() {
+        let img = GrayImage::filled(128, 128, 100);
+        let dets = detect_faces(&img, &FaceDetectorParams::default());
+        assert!(dets.is_empty());
+    }
+
+    #[test]
+    fn no_detection_on_noise() {
+        let img = GrayImage::from_fn(128, 128, |x, y| {
+            ((x.wrapping_mul(2654435761) ^ y.wrapping_mul(40503)) % 256) as u8
+        });
+        let dets = detect_faces(&img, &FaceDetectorParams::default());
+        // Noise may fire the variance stage but should rarely pass the
+        // structural stages.
+        assert!(dets.len() <= 2, "{} noise detections", dets.len());
+    }
+
+    #[test]
+    fn detects_two_faces() {
+        let mut img = RgbImage::filled(200, 120, Rgb::new(70, 90, 120));
+        let a = Rect::new(20, 30, 48, 60);
+        let b = Rect::new(120, 25, 52, 64);
+        render_face(&mut img, a, Rgb::new(230, 190, 155), &FaceGeometry::default());
+        render_face(
+            &mut img,
+            b,
+            Rgb::new(200, 160, 130),
+            &FaceGeometry {
+                eye_spread: 0.24,
+                ..FaceGeometry::default()
+            },
+        );
+        let dets = detect_faces(&img.to_gray(), &FaceDetectorParams::default());
+        assert!(dets.len() >= 2, "found {} faces", dets.len());
+        let hit_a = dets.iter().any(|d| d.rect.iou(a) > 0.2);
+        let hit_b = dets.iter().any(|d| d.rect.iou(b) > 0.2);
+        assert!(hit_a && hit_b, "a: {hit_a}, b: {hit_b}");
+    }
+
+    #[test]
+    fn nms_removes_overlaps() {
+        let bbox = Rect::new(40, 20, 48, 60);
+        let img = scene_with_face(bbox);
+        let dets = detect_faces(&img, &FaceDetectorParams::default());
+        for (i, a) in dets.iter().enumerate() {
+            for b in &dets[i + 1..] {
+                assert!(a.rect.iou(b.rect) < 0.3, "overlapping detections survived");
+            }
+        }
+    }
+}
+

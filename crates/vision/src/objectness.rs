@@ -1,0 +1,178 @@
+//! A generic "objectness" proposer in the spirit of Alexe et al.'s *What
+//! is an object?* (CVPR 2010), the paper's third ROI source (§IV-A).
+//!
+//! Windows are scored by two cheap cues: (a) *center–surround contrast* —
+//! objects differ from their immediate surroundings, and (b) *edge-density
+//! interiority* — object windows contain their own edges rather than
+//! straddling them. Scores are pooled over a scale/position grid and the
+//! top-N non-overlapping windows are proposed.
+
+use crate::edges::{canny, CannyParams};
+use puppies_image::integral::IntegralImage;
+use puppies_image::{GrayImage, Rect};
+
+/// Parameters for [`propose_objects`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectnessParams {
+    /// Number of proposals returned.
+    pub top_n: usize,
+    /// Smallest window side as a fraction of the short image side.
+    pub min_frac: f32,
+    /// Largest window side as a fraction of the short image side.
+    pub max_frac: f32,
+    /// Minimum center–surround contrast (gray levels).
+    pub min_contrast: f64,
+    /// NMS IoU threshold between proposals.
+    pub nms_iou: f64,
+}
+
+impl Default for ObjectnessParams {
+    fn default() -> Self {
+        ObjectnessParams {
+            top_n: 3,
+            min_frac: 0.15,
+            max_frac: 0.6,
+            min_contrast: 10.0,
+            nms_iou: 0.4,
+        }
+    }
+}
+
+/// A scored object proposal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectProposal {
+    /// Bounding box.
+    pub rect: Rect,
+    /// Objectness score (larger = more object-like).
+    pub score: f64,
+}
+
+/// Proposes up to `top_n` object windows.
+pub fn propose_objects(img: &GrayImage, params: &ObjectnessParams) -> Vec<ObjectProposal> {
+    let ii = IntegralImage::build(img);
+    let edges = canny(img, &CannyParams::default());
+    let edge_ii = IntegralImage::build(&edges);
+    let short = img.width().min(img.height());
+    let min_size = ((short as f32 * params.min_frac) as u32).max(16);
+    let max_size = ((short as f32 * params.max_frac) as u32).max(min_size);
+
+    let mut proposals = Vec::new();
+    let mut size = min_size;
+    while size <= max_size {
+        let stride = (size / 4).max(4);
+        let mut y = 0;
+        while y + size <= img.height() {
+            let mut x = 0;
+            while x + size <= img.width() {
+                let w = Rect::new(x, y, size, size);
+                if let Some(score) = score_window(&ii, &edge_ii, w, img.bounds(), params) {
+                    proposals.push(ObjectProposal { rect: w, score });
+                }
+                x += stride;
+            }
+            y += stride;
+        }
+        size = ((size as f32 * 1.4) as u32).max(size + 1);
+    }
+    proposals.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+    let mut kept: Vec<ObjectProposal> = Vec::new();
+    for p in proposals {
+        if kept.len() >= params.top_n {
+            break;
+        }
+        if kept.iter().all(|k| k.rect.iou(p.rect) < params.nms_iou) {
+            kept.push(p);
+        }
+    }
+    kept
+}
+
+fn score_window(
+    ii: &IntegralImage,
+    edge_ii: &IntegralImage,
+    w: Rect,
+    bounds: Rect,
+    params: &ObjectnessParams,
+) -> Option<f64> {
+    // Center–surround contrast: window mean vs a ring around it.
+    let ring = w.inflate_clamped(w.w / 2, bounds);
+    let win_sum = ii.sum(w) as f64;
+    let ring_sum = ii.sum(ring) as f64 - win_sum;
+    let ring_area = (ring.area() - w.area()) as f64;
+    if ring_area <= 0.0 {
+        return None;
+    }
+    let contrast = (win_sum / w.area() as f64 - ring_sum / ring_area).abs();
+    if contrast < params.min_contrast {
+        return None;
+    }
+    // Edge interiority: edges inside vs edges crossing the boundary ring.
+    let inner = Rect::new(w.x + w.w / 8, w.y + w.h / 8, w.w * 3 / 4, w.h * 3 / 4);
+    let edges_inside = edge_ii.sum(inner) as f64 / 255.0;
+    let edges_window = edge_ii.sum(w) as f64 / 255.0;
+    let boundary_edges = edges_window - edges_inside;
+    let interiority = (edges_inside + 1.0) / (boundary_edges + 1.0);
+    // Variance: objects have texture.
+    let var = ii.variance(w).sqrt();
+    Some(contrast + 5.0 * interiority.min(10.0) + 0.2 * var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puppies_image::draw;
+    use puppies_image::{Rgb, RgbImage};
+
+    #[test]
+    fn proposes_salient_object() {
+        let mut img = RgbImage::filled(160, 120, Rgb::new(200, 200, 200));
+        let obj = Rect::new(50, 35, 44, 44);
+        draw::fill_rect(&mut img, obj, Rgb::new(40, 40, 120));
+        draw::fill_ellipse(&mut img, 72, 57, 12, 12, Rgb::new(220, 220, 60));
+        let props = propose_objects(&img.to_gray(), &ObjectnessParams::default());
+        assert!(!props.is_empty());
+        let best_iou = props
+            .iter()
+            .map(|p| p.rect.iou(obj))
+            .fold(0.0f64, f64::max);
+        assert!(best_iou > 0.25, "best IoU {best_iou}");
+    }
+
+    #[test]
+    fn flat_image_yields_nothing() {
+        let img = GrayImage::filled(128, 96, 128);
+        let props = propose_objects(&img, &ObjectnessParams::default());
+        assert!(props.is_empty(), "{props:?}");
+    }
+
+    #[test]
+    fn top_n_respected_and_disjoint() {
+        let mut img = RgbImage::filled(200, 150, Rgb::new(190, 190, 190));
+        for (i, &(x, y)) in [(20u32, 20u32), (120, 30), (60, 90)].iter().enumerate() {
+            let c = [Rgb::new(30, 30, 30), Rgb::new(200, 40, 40), Rgb::new(40, 160, 40)][i];
+            draw::fill_rect(&mut img, Rect::new(x, y, 36, 36), c);
+        }
+        let params = ObjectnessParams {
+            top_n: 3,
+            ..ObjectnessParams::default()
+        };
+        let props = propose_objects(&img.to_gray(), &params);
+        assert!(props.len() <= 3);
+        for (i, a) in props.iter().enumerate() {
+            for b in &props[i + 1..] {
+                assert!(a.rect.iou(b.rect) < 0.4);
+            }
+        }
+    }
+
+    #[test]
+    fn scores_sorted_descending() {
+        let mut img = RgbImage::filled(160, 120, Rgb::new(180, 180, 180));
+        draw::fill_rect(&mut img, Rect::new(30, 30, 40, 40), Rgb::new(20, 20, 20));
+        draw::fill_rect(&mut img, Rect::new(100, 60, 30, 30), Rgb::new(150, 150, 150));
+        let props = propose_objects(&img.to_gray(), &ObjectnessParams::default());
+        for w in props.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Principal component analysis on small symmetric systems.
+//!
+//! Used by the eigenface recognizer (Fig. 22) and the PCA
+//! signal-correlation attack (Fig. 23). The eigensolver is a cyclic Jacobi
+//! iteration — exact enough for the ≤ few-hundred-dimensional systems the
+//! experiments build (the Turk–Pentland trick keeps eigenface systems at
+//! gallery size, not pixel count).
+
+/// A dense column-major symmetric matrix eigendecomposition.
+///
+/// Returns `(eigenvalues, eigenvectors)` sorted by descending eigenvalue;
+/// `eigenvectors[k]` is the unit eigenvector for `eigenvalues[k]`.
+///
+/// # Panics
+/// Panics if `a` is not `n × n`.
+pub fn symmetric_eigen(a: &[Vec<f64>]) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = a.len();
+    assert!(a.iter().all(|row| row.len() == n), "matrix must be square");
+    let mut m: Vec<Vec<f64>> = a.to_vec();
+    // v starts as identity; accumulates rotations.
+    let mut v: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| if i == j { 1.0 } else { 0.0 }).collect())
+        .collect();
+
+    let off = |m: &[Vec<f64>]| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    s += m[i][j] * m[i][j];
+                }
+            }
+        }
+        s
+    };
+
+    let mut sweeps = 0;
+    while off(&m) > 1e-18 && sweeps < 100 {
+        sweeps += 1;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if m[p][q].abs() < 1e-300 {
+                    continue;
+                }
+                let theta = (m[q][q] - m[p][p]) / (2.0 * m[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/cols p and q of m.
+                for k in 0..n {
+                    let mkp = m[k][p];
+                    let mkq = m[k][q];
+                    m[k][p] = c * mkp - s * mkq;
+                    m[k][q] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[p][k];
+                    let mqk = m[q][k];
+                    m[p][k] = c * mpk - s * mqk;
+                    m[q][k] = s * mpk + c * mqk;
+                }
+                // Accumulate in v.
+                for k in 0..n {
+                    let vkp = v[k][p];
+                    let vkq = v[k][q];
+                    v[k][p] = c * vkp - s * vkq;
+                    v[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    let mut pairs: Vec<(f64, Vec<f64>)> = (0..n)
+        .map(|k| (m[k][k], (0..n).map(|i| v[i][k]).collect()))
+        .collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    let vals = pairs.iter().map(|p| p.0).collect();
+    let vecs = pairs.into_iter().map(|p| p.1).collect();
+    (vals, vecs)
+}
+
+/// A PCA basis learned from row-major samples.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// Row `k` is the `k`-th principal axis (unit length, dimension D).
+    components: Vec<Vec<f64>>,
+    eigenvalues: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits a PCA basis with up to `k` components from `samples`
+    /// (each a D-dimensional vector).
+    ///
+    /// Uses the Gram-matrix (Turk–Pentland) formulation, so cost scales
+    /// with the sample count rather than dimension.
+    ///
+    /// # Panics
+    /// Panics if there are fewer than 2 samples or dimensions disagree.
+    pub fn fit(samples: &[Vec<f64>], k: usize) -> Pca {
+        let n = samples.len();
+        assert!(n >= 2, "need at least two samples");
+        let d = samples[0].len();
+        assert!(samples.iter().all(|s| s.len() == d), "dimension mismatch");
+        let mut mean = vec![0.0; d];
+        for s in samples {
+            for (m, &v) in mean.iter_mut().zip(s.iter()) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        // Centered data.
+        let centered: Vec<Vec<f64>> = samples
+            .iter()
+            .map(|s| s.iter().zip(mean.iter()).map(|(&v, &m)| v - m).collect())
+            .collect();
+        // Gram matrix G = X Xᵀ / n  (n × n).
+        let mut gram = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in i..n {
+                let dot: f64 = centered[i]
+                    .iter()
+                    .zip(centered[j].iter())
+                    .map(|(a, b)| a * b)
+                    .sum();
+                gram[i][j] = dot / n as f64;
+                gram[j][i] = gram[i][j];
+            }
+        }
+        let (vals, vecs) = symmetric_eigen(&gram);
+        let k = k.min(n);
+        let mut components = Vec::with_capacity(k);
+        let mut eigenvalues = Vec::with_capacity(k);
+        for idx in 0..k {
+            if vals[idx] <= 1e-12 {
+                break;
+            }
+            // Map gram eigenvector to data space: u = Xᵀ a, normalized.
+            let mut u = vec![0.0; d];
+            for (i, c) in centered.iter().enumerate() {
+                let a = vecs[idx][i];
+                for (uj, &cj) in u.iter_mut().zip(c.iter()) {
+                    *uj += a * cj;
+                }
+            }
+            let norm: f64 = u.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if norm <= 1e-12 {
+                break;
+            }
+            for uj in &mut u {
+                *uj /= norm;
+            }
+            components.push(u);
+            eigenvalues.push(vals[idx]);
+        }
+        Pca {
+            mean,
+            components,
+            eigenvalues,
+        }
+    }
+
+    /// Number of retained components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether no components were retained.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// The sample mean.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Eigenvalues (descending) of the retained components.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Projects a sample onto the retained components.
+    ///
+    /// # Panics
+    /// Panics if the dimension disagrees with the training data.
+    pub fn project(&self, sample: &[f64]) -> Vec<f64> {
+        assert_eq!(sample.len(), self.mean.len(), "dimension mismatch");
+        self.components
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .zip(sample.iter().zip(self.mean.iter()))
+                    .map(|(&ci, (&v, &m))| ci * (v - m))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Reconstructs a sample from its projection (the PCA recovery attack
+    /// of Fig. 23 uses this).
+    pub fn reconstruct(&self, coords: &[f64]) -> Vec<f64> {
+        let mut out = self.mean.clone();
+        for (c, &w) in self.components.iter().zip(coords.iter()) {
+            for (o, &ci) in out.iter_mut().zip(c.iter()) {
+                *o += w * ci;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eigen_of_diagonal() {
+        let a = vec![
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+        ];
+        let (vals, vecs) = symmetric_eigen(&a);
+        assert!((vals[0] - 3.0).abs() < 1e-9);
+        assert!((vals[1] - 2.0).abs() < 1e-9);
+        assert!((vals[2] - 1.0).abs() < 1e-9);
+        // First eigenvector is ±e0.
+        assert!((vecs[0][0].abs() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eigen_of_known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = vec![vec![2.0, 1.0], vec![1.0, 2.0]];
+        let (vals, vecs) = symmetric_eigen(&a);
+        assert!((vals[0] - 3.0).abs() < 1e-9);
+        assert!((vals[1] - 1.0).abs() < 1e-9);
+        // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+        let v = &vecs[0];
+        assert!((v[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-6);
+        assert!((v[0] - v[1]).abs() < 1e-6 || (v[0] + v[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = vec![
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 2.0],
+        ];
+        let (_, vecs) = symmetric_eigen(&a);
+        for i in 0..3 {
+            for j in 0..3 {
+                let dot: f64 = vecs[i].iter().zip(vecs[j].iter()).map(|(a, b)| a * b).sum();
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - want).abs() < 1e-6, "({i},{j}) dot {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn pca_finds_dominant_direction() {
+        // Points along (2, 1) with small noise.
+        let samples: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let t = i as f64 - 25.0;
+                vec![2.0 * t + (i % 3) as f64 * 0.01, t - (i % 5) as f64 * 0.01]
+            })
+            .collect();
+        let pca = Pca::fit(&samples, 2);
+        assert!(!pca.is_empty());
+        let c = &pca.project(&vec![4.0, 2.0]);
+        assert!(!c.is_empty());
+        // Dominant axis is parallel to (2,1)/sqrt(5).
+        let axis: Vec<f64> = pca.components[0].clone();
+        let expected = [2.0 / 5f64.sqrt(), 1.0 / 5f64.sqrt()];
+        let dot = (axis[0] * expected[0] + axis[1] * expected[1]).abs();
+        assert!(dot > 0.999, "axis {axis:?}");
+    }
+
+    #[test]
+    fn projection_reconstruction_roundtrip_in_subspace() {
+        let samples: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                let t = i as f64;
+                vec![t, 2.0 * t, -t]
+            })
+            .collect();
+        let pca = Pca::fit(&samples, 3);
+        // Samples lie on a 1-D subspace; reconstruction of a training point
+        // must be near-exact.
+        let s = &samples[7];
+        let rec = pca.reconstruct(&pca.project(s));
+        for (a, b) in s.iter().zip(rec.iter()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn reconstruction_error_decreases_with_components() {
+        // Anisotropic cloud in 4-D.
+        let samples: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let t = i as f64 / 4.0;
+                let u = (i % 7) as f64;
+                vec![3.0 * t + u, t - u, u * 0.5, t]
+            })
+            .collect();
+        let err = |k: usize| {
+            let pca = Pca::fit(&samples, k);
+            samples
+                .iter()
+                .map(|s| {
+                    let rec = pca.reconstruct(&pca.project(s));
+                    s.iter()
+                        .zip(rec.iter())
+                        .map(|(a, b)| (a - b).powi(2))
+                        .sum::<f64>()
+                })
+                .sum::<f64>()
+        };
+        assert!(err(2) <= err(1) + 1e-9);
+        assert!(err(3) <= err(2) + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_sample_rejected() {
+        let _ = Pca::fit(&[vec![1.0, 2.0]], 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Personalized ROI recommendation (§IV-A's sketched extension: "this
+//! module can log different image owners' choices and preferences, and
+//! therefore is possible to train an automated detection and
+//! recommendation classifier").
+//!
+//! The model is a Laplace-smoothed accept-rate per detector kind plus a
+//! size prior: every time the owner accepts or rejects a recommended
+//! region the counts update, and future recommendations are filtered and
+//! ranked by the learned posterior. Deliberately simple — the signal the
+//! paper describes is exactly "which kinds of regions does this user
+//! protect".
+
+use crate::detect::{Detection, DetectorKind, RoiRecommendation};
+use puppies_image::geometry::decompose_disjoint;
+use puppies_image::Rect;
+use std::collections::HashMap;
+
+/// Accept/reject statistics for one owner.
+#[derive(Debug, Clone, Default)]
+pub struct PreferenceModel {
+    counts: HashMap<DetectorKind, (u32, u32)>, // (accepted, shown)
+    /// Area of accepted regions, for the size prior.
+    accepted_area: u64,
+    accepted_n: u32,
+}
+
+impl PreferenceModel {
+    /// A fresh model with uniform priors.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the owner's decision on one recommended detection.
+    pub fn record(&mut self, kind: DetectorKind, rect: Rect, accepted: bool) {
+        let e = self.counts.entry(kind).or_insert((0, 0));
+        e.1 += 1;
+        if accepted {
+            e.0 += 1;
+            self.accepted_area += rect.area();
+            self.accepted_n += 1;
+        }
+    }
+
+    /// Laplace-smoothed probability that this owner protects regions from
+    /// `kind` (0.5 with no evidence).
+    pub fn accept_rate(&self, kind: DetectorKind) -> f64 {
+        let (a, s) = self.counts.get(&kind).copied().unwrap_or((0, 0));
+        (a as f64 + 1.0) / (s as f64 + 2.0)
+    }
+
+    /// Number of decisions recorded.
+    pub fn decisions(&self) -> u32 {
+        self.counts.values().map(|(_, s)| s).sum()
+    }
+
+    /// Mean area of regions this owner accepted, if any — callers can use
+    /// it to pre-rank size-appropriate proposals.
+    pub fn mean_accepted_area(&self) -> Option<f64> {
+        (self.accepted_n > 0).then(|| self.accepted_area as f64 / self.accepted_n as f64)
+    }
+
+    /// Filters a recommendation to the detections this owner is predicted
+    /// to accept (rate ≥ `threshold`), re-splitting the survivors into
+    /// disjoint regions.
+    pub fn personalize(&self, rec: &RoiRecommendation, threshold: f64) -> RoiRecommendation {
+        let detections: Vec<Detection> = rec
+            .detections
+            .iter()
+            .filter(|d| self.accept_rate(d.kind) >= threshold)
+            .copied()
+            .collect();
+        let rects: Vec<Rect> = detections.iter().map(|d| d.rect).collect();
+        RoiRecommendation {
+            detections,
+            regions: decompose_disjoint(&rects),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec() -> RoiRecommendation {
+        let detections = vec![
+            Detection {
+                kind: DetectorKind::Face,
+                rect: Rect::new(0, 0, 16, 16),
+            },
+            Detection {
+                kind: DetectorKind::Text,
+                rect: Rect::new(32, 0, 16, 16),
+            },
+            Detection {
+                kind: DetectorKind::Object,
+                rect: Rect::new(64, 0, 16, 16),
+            },
+        ];
+        let rects: Vec<Rect> = detections.iter().map(|d| d.rect).collect();
+        RoiRecommendation {
+            detections,
+            regions: decompose_disjoint(&rects),
+        }
+    }
+
+    #[test]
+    fn fresh_model_is_uniform() {
+        let m = PreferenceModel::new();
+        for k in [DetectorKind::Face, DetectorKind::Text, DetectorKind::Object] {
+            assert_eq!(m.accept_rate(k), 0.5);
+        }
+        // At the default 0.5 threshold everything passes.
+        assert_eq!(m.personalize(&rec(), 0.5).detections.len(), 3);
+    }
+
+    #[test]
+    fn feedback_shifts_recommendations() {
+        let mut m = PreferenceModel::new();
+        // Owner always protects faces, never objects.
+        for _ in 0..5 {
+            m.record(DetectorKind::Face, Rect::new(0, 0, 16, 16), true);
+            m.record(DetectorKind::Object, Rect::new(64, 0, 16, 16), false);
+        }
+        assert!(m.accept_rate(DetectorKind::Face) > 0.8);
+        assert!(m.accept_rate(DetectorKind::Object) < 0.2);
+        assert_eq!(m.accept_rate(DetectorKind::Text), 0.5);
+        let personalized = m.personalize(&rec(), 0.5);
+        let kinds: Vec<_> = personalized.detections.iter().map(|d| d.kind).collect();
+        assert!(kinds.contains(&DetectorKind::Face));
+        assert!(kinds.contains(&DetectorKind::Text));
+        assert!(!kinds.contains(&DetectorKind::Object));
+        assert_eq!(personalized.regions.len(), 2);
+    }
+
+    #[test]
+    fn decisions_counted() {
+        let mut m = PreferenceModel::new();
+        m.record(DetectorKind::Text, Rect::new(0, 0, 8, 8), true);
+        m.record(DetectorKind::Text, Rect::new(0, 0, 8, 8), false);
+        assert_eq!(m.decisions(), 2);
+        assert_eq!(m.accept_rate(DetectorKind::Text), 0.5);
+        assert_eq!(m.mean_accepted_area(), Some(64.0));
+        assert_eq!(PreferenceModel::new().mean_accepted_area(), None);
+    }
+
+    #[test]
+    fn strict_threshold_empties_unknown_kinds() {
+        let m = PreferenceModel::new();
+        let personalized = m.personalize(&rec(), 0.9);
+        assert!(personalized.detections.is_empty());
+        assert!(personalized.regions.is_empty());
+    }
+}

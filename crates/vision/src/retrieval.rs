@@ -1,0 +1,206 @@
+//! Content-based image retrieval standing in for the Google Image Search
+//! demonstration (Fig. 2).
+//!
+//! Each image is summarized by a global descriptor (luma histogram +
+//! coarse color layout + edge-orientation histogram); queries return the
+//! top-k most similar corpus entries by cosine similarity. The Fig. 2
+//! experiment indexes a corpus, queries once with an original image and
+//! once with its PuPPIeS-perturbed version, and measures the overlap of
+//! the two top-10 result lists.
+
+use puppies_image::convolve::sobel_gradients;
+use puppies_image::resample::{scale_rgb, Filter};
+use puppies_image::RgbImage;
+
+const LUMA_BINS: usize = 32;
+const LAYOUT: usize = 4; // 4x4 grid, 3 channels
+const ORI_BINS: usize = 8;
+
+/// Dimension of [`global_descriptor`].
+pub const DESCRIPTOR_LEN: usize = LUMA_BINS + LAYOUT * LAYOUT * 3 + ORI_BINS;
+
+/// Computes the global retrieval descriptor of an image.
+pub fn global_descriptor(img: &RgbImage) -> Vec<f32> {
+    // Normalize scale so descriptors compare across resolutions.
+    let norm = scale_rgb(img, 64, 64, Filter::Box);
+    let gray = norm.to_gray();
+    let mut desc = Vec::with_capacity(DESCRIPTOR_LEN);
+
+    // Luma histogram.
+    let mut hist = [0f32; LUMA_BINS];
+    for &v in gray.pixels() {
+        hist[(v as usize * LUMA_BINS) / 256] += 1.0;
+    }
+    let n = gray.pixels().len() as f32;
+    desc.extend(hist.iter().map(|h| h / n));
+
+    // 4×4 mean-color layout.
+    for cy in 0..LAYOUT as u32 {
+        for cx in 0..LAYOUT as u32 {
+            let (mut r, mut g, mut b) = (0f32, 0f32, 0f32);
+            let cell = 64 / LAYOUT as u32;
+            for y in 0..cell {
+                for x in 0..cell {
+                    let p = norm.get(cx * cell + x, cy * cell + y);
+                    r += p.r as f32;
+                    g += p.g as f32;
+                    b += p.b as f32;
+                }
+            }
+            let area = (cell * cell) as f32 * 255.0;
+            desc.push(r / area);
+            desc.push(g / area);
+            desc.push(b / area);
+        }
+    }
+
+    // Edge-orientation histogram.
+    let (mag, ori) = sobel_gradients(&gray.to_plane());
+    let mut ohist = [0f32; ORI_BINS];
+    let mut total = 0f32;
+    for y in 0..64 {
+        for x in 0..64 {
+            let m = mag.get(x, y);
+            if m > 40.0 {
+                let a = ori.get(x, y).rem_euclid(std::f32::consts::PI);
+                let bin = ((a / std::f32::consts::PI) * ORI_BINS as f32) as usize;
+                ohist[bin.min(ORI_BINS - 1)] += 1.0;
+                total += 1.0;
+            }
+        }
+    }
+    if total > 0.0 {
+        for o in &mut ohist {
+            *o /= total;
+        }
+    }
+    desc.extend_from_slice(&ohist);
+    desc
+}
+
+/// Cosine similarity of two descriptors in `[-1, 1]`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "descriptor lengths differ");
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|v| v * v).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|v| v * v).sum::<f32>().sqrt();
+    if na <= 1e-9 || nb <= 1e-9 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// A searchable corpus of image descriptors.
+#[derive(Debug, Clone, Default)]
+pub struct RetrievalIndex {
+    entries: Vec<(u64, Vec<f32>)>,
+}
+
+impl RetrievalIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an image under `id`.
+    pub fn insert(&mut self, id: u64, img: &RgbImage) {
+        self.entries.push((id, global_descriptor(img)));
+    }
+
+    /// Number of indexed images.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns the ids of the `k` most similar images, best first.
+    pub fn query(&self, img: &RgbImage, k: usize) -> Vec<u64> {
+        let q = global_descriptor(img);
+        let mut scored: Vec<(f32, u64)> = self
+            .entries
+            .iter()
+            .map(|(id, d)| (cosine_similarity(&q, d), *id))
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        scored.into_iter().take(k).map(|(_, id)| id).collect()
+    }
+}
+
+/// Overlap of two result lists as `|A ∩ B| / max(|A|, |B|)` — the Fig. 2
+/// comparison measure.
+pub fn result_overlap(a: &[u64], b: &[u64]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let sa: std::collections::HashSet<_> = a.iter().collect();
+    let inter = b.iter().filter(|id| sa.contains(id)).count();
+    inter as f64 / a.len().max(b.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puppies_image::draw;
+    use puppies_image::{Rect, Rgb};
+
+    fn scene(hue: u8, seed: u32) -> RgbImage {
+        let mut img = RgbImage::filled(96, 96, Rgb::new(hue, 140, 220u8.saturating_sub(hue)));
+        draw::fill_rect(
+            &mut img,
+            Rect::new(10 + seed % 20, 20, 30, 30),
+            Rgb::new(200, hue, 60),
+        );
+        draw::fill_ellipse(&mut img, 60, 70, 18, 14, Rgb::new(hue / 2, 200, 90));
+        img
+    }
+
+    #[test]
+    fn descriptor_has_fixed_length() {
+        let d = global_descriptor(&scene(100, 0));
+        assert_eq!(d.len(), DESCRIPTOR_LEN);
+    }
+
+    #[test]
+    fn identical_images_are_most_similar() {
+        let mut idx = RetrievalIndex::new();
+        for i in 0..10u64 {
+            idx.insert(i, &scene((i * 25) as u8, i as u32));
+        }
+        let results = idx.query(&scene(75, 3), 3);
+        assert_eq!(results[0], 3, "self-query must rank first: {results:?}");
+    }
+
+    #[test]
+    fn similar_scenes_rank_above_dissimilar() {
+        let mut idx = RetrievalIndex::new();
+        idx.insert(0, &scene(10, 0)); // similar hue family
+        idx.insert(1, &scene(15, 0));
+        idx.insert(2, &scene(240, 9)); // far hue
+        let results = idx.query(&scene(12, 0), 3);
+        assert!(results[2] == 2, "dissimilar image should rank last: {results:?}");
+    }
+
+    #[test]
+    fn scale_invariance_of_descriptor() {
+        let img = scene(90, 2);
+        let big = puppies_image::resample::scale_rgb(&img, 192, 192, Filter::Bilinear);
+        let sim = cosine_similarity(&global_descriptor(&img), &global_descriptor(&big));
+        assert!(sim > 0.98, "similarity {sim}");
+    }
+
+    #[test]
+    fn overlap_metric() {
+        assert_eq!(result_overlap(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(result_overlap(&[1, 2, 3, 4], &[5, 6, 7, 8]), 0.0);
+        assert!((result_overlap(&[1, 2, 3, 4], &[1, 2, 9, 10]) - 0.5).abs() < 1e-12);
+        assert_eq!(result_overlap(&[], &[]), 1.0);
+    }
+}

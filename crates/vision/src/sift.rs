@@ -1,0 +1,391 @@
+//! A scale-invariant feature transform in the spirit of Lowe's SIFT:
+//! Gaussian scale space, DoG extrema, orientation assignment and 128-d
+//! gradient-histogram descriptors with ratio-test matching.
+//!
+//! This powers the SIFT-feature attack of §VI-B.1 (Fig. 20): an adversary
+//! extracts features from a perturbed image and tries to match them to
+//! features of the original. The implementation favours clarity over the
+//! last bit of repeatability — the attack metric only needs honest feature
+//! extraction on both sides.
+
+use puppies_image::convolve::gaussian_blur;
+use puppies_image::resample::{scale_plane, Filter};
+use puppies_image::{GrayImage, Plane};
+
+/// A detected keypoint with its descriptor.
+#[derive(Debug, Clone)]
+pub struct SiftKeypoint {
+    /// X coordinate in original-image pixels.
+    pub x: f32,
+    /// Y coordinate in original-image pixels.
+    pub y: f32,
+    /// Scale (sigma) in original-image pixels.
+    pub scale: f32,
+    /// Dominant gradient orientation in radians.
+    pub orientation: f32,
+    /// 128-dimensional normalized descriptor.
+    pub descriptor: Vec<f32>,
+}
+
+/// Detector/descriptor parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiftParams {
+    /// Scales per octave (DoG layers searched = this value).
+    pub scales_per_octave: u32,
+    /// Base sigma of the scale space.
+    pub base_sigma: f32,
+    /// DoG contrast threshold (on values in 0..255 scale).
+    pub contrast_threshold: f32,
+    /// Hessian edge-response ratio threshold (Lowe uses 10).
+    pub edge_threshold: f32,
+    /// Maximum keypoints returned (strongest first); guards attack runtime.
+    pub max_keypoints: usize,
+}
+
+impl Default for SiftParams {
+    fn default() -> Self {
+        SiftParams {
+            scales_per_octave: 3,
+            base_sigma: 1.6,
+            contrast_threshold: 4.0,
+            edge_threshold: 10.0,
+            max_keypoints: 512,
+        }
+    }
+}
+
+struct Octave {
+    /// Gaussian-blurred images, scales_per_octave + 3 of them.
+    gaussians: Vec<Plane>,
+    /// Difference-of-Gaussian layers.
+    dogs: Vec<Plane>,
+    /// Scale factor from octave coords to original coords.
+    factor: f32,
+}
+
+/// Extracts SIFT-like keypoints and descriptors from a grayscale image.
+pub fn extract_sift(img: &GrayImage, params: &SiftParams) -> Vec<SiftKeypoint> {
+    let mut plane = img.to_plane();
+    let mut factor = 1.0f32;
+    let mut octaves = Vec::new();
+    let s = params.scales_per_octave.max(1);
+    let k = 2f32.powf(1.0 / s as f32);
+    while plane.width() >= 16 && plane.height() >= 16 && octaves.len() < 5 {
+        let mut gaussians = Vec::with_capacity((s + 3) as usize);
+        for i in 0..(s + 3) {
+            let sigma = params.base_sigma * k.powi(i as i32);
+            gaussians.push(gaussian_blur(&plane, sigma));
+        }
+        let dogs: Vec<Plane> = gaussians
+            .windows(2)
+            .map(|w| {
+                Plane::from_fn(plane.width(), plane.height(), |x, y| {
+                    w[1].get(x, y) - w[0].get(x, y)
+                })
+            })
+            .collect();
+        octaves.push(Octave {
+            gaussians,
+            dogs,
+            factor,
+        });
+        let (nw, nh) = (plane.width() / 2, plane.height() / 2);
+        if nw < 16 || nh < 16 {
+            break;
+        }
+        plane = scale_plane(&plane, nw, nh, Filter::Bilinear);
+        factor *= 2.0;
+    }
+
+    let mut keypoints: Vec<(f32, SiftKeypoint)> = Vec::new();
+    for oct in &octaves {
+        for li in 1..oct.dogs.len() - 1 {
+            let (below, cur, above) = (&oct.dogs[li - 1], &oct.dogs[li], &oct.dogs[li + 1]);
+            let (w, h) = (cur.width(), cur.height());
+            for y in 1..h - 1 {
+                for x in 1..w - 1 {
+                    let v = cur.get(x, y);
+                    if v.abs() < params.contrast_threshold {
+                        continue;
+                    }
+                    if !is_extremum(below, cur, above, x, y, v) {
+                        continue;
+                    }
+                    if edge_like(cur, x, y, params.edge_threshold) {
+                        continue;
+                    }
+                    let sigma = params.base_sigma * k.powi(li as i32);
+                    let gauss = &oct.gaussians[li];
+                    let ori = dominant_orientation(gauss, x, y, sigma);
+                    let descriptor = describe(gauss, x, y, sigma, ori);
+                    keypoints.push((
+                        v.abs(),
+                        SiftKeypoint {
+                            x: (x as f32 + 0.5) * oct.factor,
+                            y: (y as f32 + 0.5) * oct.factor,
+                            scale: sigma * oct.factor,
+                            orientation: ori,
+                            descriptor,
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    keypoints.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    keypoints.truncate(params.max_keypoints);
+    keypoints.into_iter().map(|(_, kp)| kp).collect()
+}
+
+fn is_extremum(below: &Plane, cur: &Plane, above: &Plane, x: u32, y: u32, v: f32) -> bool {
+    let mut is_max = true;
+    let mut is_min = true;
+    for dy in -1i64..=1 {
+        for dx in -1i64..=1 {
+            for (pi, p) in [below, cur, above].iter().enumerate() {
+                if pi == 1 && dx == 0 && dy == 0 {
+                    continue;
+                }
+                let n = p.get_clamped(x as i64 + dx, y as i64 + dy);
+                if n >= v {
+                    is_max = false;
+                }
+                if n <= v {
+                    is_min = false;
+                }
+                if !is_max && !is_min {
+                    return false;
+                }
+            }
+        }
+    }
+    is_max || is_min
+}
+
+fn edge_like(dog: &Plane, x: u32, y: u32, r: f32) -> bool {
+    let (x, y) = (x as i64, y as i64);
+    let dxx = dog.get_clamped(x + 1, y) + dog.get_clamped(x - 1, y) - 2.0 * dog.get_clamped(x, y);
+    let dyy = dog.get_clamped(x, y + 1) + dog.get_clamped(x, y - 1) - 2.0 * dog.get_clamped(x, y);
+    let dxy = 0.25
+        * (dog.get_clamped(x + 1, y + 1) - dog.get_clamped(x + 1, y - 1)
+            - dog.get_clamped(x - 1, y + 1)
+            + dog.get_clamped(x - 1, y - 1));
+    let tr = dxx + dyy;
+    let det = dxx * dyy - dxy * dxy;
+    if det <= 0.0 {
+        return true;
+    }
+    tr * tr / det >= (r + 1.0) * (r + 1.0) / r
+}
+
+fn gradient(p: &Plane, x: i64, y: i64) -> (f32, f32) {
+    let gx = p.get_clamped(x + 1, y) - p.get_clamped(x - 1, y);
+    let gy = p.get_clamped(x, y + 1) - p.get_clamped(x, y - 1);
+    ((gx * gx + gy * gy).sqrt(), gy.atan2(gx))
+}
+
+fn dominant_orientation(p: &Plane, x: u32, y: u32, sigma: f32) -> f32 {
+    let radius = (3.0 * sigma).ceil() as i64;
+    let mut hist = [0f32; 36];
+    for dy in -radius..=radius {
+        for dx in -radius..=radius {
+            let (mag, ori) = gradient(p, x as i64 + dx, y as i64 + dy);
+            let weight = (-((dx * dx + dy * dy) as f32) / (2.0 * sigma * sigma * 2.25)).exp();
+            let bin = (((ori + std::f32::consts::PI) / (2.0 * std::f32::consts::PI) * 36.0)
+                as usize)
+                .min(35);
+            hist[bin] += mag * weight;
+        }
+    }
+    let best = hist
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    (best as f32 + 0.5) / 36.0 * 2.0 * std::f32::consts::PI - std::f32::consts::PI
+}
+
+fn describe(p: &Plane, x: u32, y: u32, sigma: f32, orientation: f32) -> Vec<f32> {
+    // 4×4 spatial cells of (cell) pixels each, 8 orientation bins,
+    // gradients rotated into the keypoint frame.
+    let mut desc = vec![0f32; 128];
+    let cell = (sigma * 1.5).max(1.0);
+    let half = (cell * 2.0).ceil() as i64 * 2;
+    let (sin, cos) = orientation.sin_cos();
+    for dy in -half..half {
+        for dx in -half..half {
+            // Rotate the offset into the keypoint frame.
+            let rx = cos * dx as f32 + sin * dy as f32;
+            let ry = -sin * dx as f32 + cos * dy as f32;
+            let cx = rx / cell + 2.0;
+            let cy = ry / cell + 2.0;
+            if !(0.0..4.0).contains(&cx) || !(0.0..4.0).contains(&cy) {
+                continue;
+            }
+            let (mag, ori) = gradient(p, x as i64 + dx, y as i64 + dy);
+            let rel = ori - orientation;
+            let bin = ((rel.rem_euclid(2.0 * std::f32::consts::PI))
+                / (2.0 * std::f32::consts::PI)
+                * 8.0) as usize;
+            let idx = (cy as usize).min(3) * 32 + (cx as usize).min(3) * 8 + bin.min(7);
+            desc[idx] += mag;
+        }
+    }
+    normalize_descriptor(&mut desc);
+    desc
+}
+
+fn normalize_descriptor(desc: &mut [f32]) {
+    let norm = |d: &[f32]| d.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-6);
+    let n = norm(desc);
+    for v in desc.iter_mut() {
+        *v = (*v / n).min(0.2); // clamp strong gradients (illumination robustness)
+    }
+    let n = norm(desc);
+    for v in desc.iter_mut() {
+        *v /= n;
+    }
+}
+
+/// Matches descriptors with Lowe's ratio test; returns index pairs
+/// `(i_a, i_b)`.
+pub fn match_descriptors(a: &[SiftKeypoint], b: &[SiftKeypoint], ratio: f32) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (i, ka) in a.iter().enumerate() {
+        let mut best = f32::INFINITY;
+        let mut second = f32::INFINITY;
+        let mut best_j = usize::MAX;
+        for (j, kb) in b.iter().enumerate() {
+            let d: f32 = ka
+                .descriptor
+                .iter()
+                .zip(kb.descriptor.iter())
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum();
+            if d < best {
+                second = best;
+                best = d;
+                best_j = j;
+            } else if d < second {
+                second = d;
+            }
+        }
+        if best_j != usize::MAX && best < ratio * ratio * second {
+            out.push((i, best_j));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puppies_image::draw;
+    use puppies_image::{Rect, Rgb, RgbImage};
+
+    fn textured_scene() -> GrayImage {
+        let mut img = RgbImage::filled(128, 128, Rgb::new(90, 90, 90));
+        draw::fill_rect(&mut img, Rect::new(20, 20, 30, 24), Rgb::new(200, 200, 200));
+        draw::fill_ellipse(&mut img, 90, 40, 18, 12, Rgb::new(30, 30, 30));
+        draw::fill_rect(&mut img, Rect::new(60, 80, 40, 30), Rgb::new(160, 40, 40));
+        draw::line(
+            &mut img,
+            puppies_image::Point::new(5, 120),
+            puppies_image::Point::new(120, 70),
+            Rgb::new(240, 240, 240),
+        );
+        draw::fill_ellipse(&mut img, 30, 95, 9, 9, Rgb::new(250, 220, 40));
+        draw::fill_rect(&mut img, Rect::new(100, 100, 18, 18), Rgb::new(20, 80, 200));
+        draw::fill_ellipse(&mut img, 64, 20, 6, 10, Rgb::new(10, 150, 150));
+        img.to_gray()
+    }
+
+    #[test]
+    fn finds_features_on_textured_scene() {
+        let kps = extract_sift(&textured_scene(), &SiftParams::default());
+        assert!(kps.len() >= 8, "only {} keypoints", kps.len());
+        for kp in &kps {
+            assert_eq!(kp.descriptor.len(), 128);
+            let norm: f32 = kp.descriptor.iter().map(|v| v * v).sum();
+            assert!((norm - 1.0).abs() < 1e-3, "descriptor norm {norm}");
+        }
+    }
+
+    #[test]
+    fn flat_image_has_no_features() {
+        let img = GrayImage::filled(64, 64, 128);
+        let kps = extract_sift(&img, &SiftParams::default());
+        assert!(kps.is_empty(), "{} keypoints on flat image", kps.len());
+    }
+
+    #[test]
+    fn self_match_is_strong() {
+        let kps = extract_sift(&textured_scene(), &SiftParams::default());
+        let matches = match_descriptors(&kps, &kps, 0.8);
+        // Matching an image against itself: nearly every keypoint matches
+        // itself (identical descriptors have distance 0).
+        assert!(
+            matches.len() * 10 >= kps.len() * 5,
+            "{} matches for {} keypoints",
+            matches.len(),
+            kps.len()
+        );
+        let identity = matches.iter().filter(|(i, j)| i == j).count();
+        assert!(identity * 10 >= matches.len() * 8);
+    }
+
+    #[test]
+    fn noise_does_not_match_scene() {
+        let kps_scene = extract_sift(&textured_scene(), &SiftParams::default());
+        let noise = GrayImage::from_fn(128, 128, |x, y| {
+            ((x.wrapping_mul(2654435761) ^ y.wrapping_mul(40503)) % 256) as u8
+        });
+        let kps_noise = extract_sift(&noise, &SiftParams::default());
+        let matches = match_descriptors(&kps_scene, &kps_noise, 0.7);
+        assert!(
+            matches.len() <= kps_scene.len() / 8,
+            "{} spurious matches",
+            matches.len()
+        );
+    }
+
+    #[test]
+    fn keypoints_inside_image_bounds() {
+        let kps = extract_sift(&textured_scene(), &SiftParams::default());
+        for kp in &kps {
+            assert!(kp.x >= 0.0 && kp.x <= 128.0);
+            assert!(kp.y >= 0.0 && kp.y <= 128.0);
+            assert!(kp.scale > 0.0);
+        }
+    }
+
+    #[test]
+    fn max_keypoints_is_respected() {
+        let params = SiftParams {
+            max_keypoints: 5,
+            ..SiftParams::default()
+        };
+        let kps = extract_sift(&textured_scene(), &params);
+        assert!(kps.len() <= 5);
+    }
+
+    #[test]
+    fn shifted_copy_still_matches() {
+        // Repeatability sanity: the same content shifted by 4 pixels should
+        // keep a good share of matches.
+        let base = textured_scene();
+        let shifted = GrayImage::from_fn(128, 128, |x, y| {
+            base.get_clamped(x as i64 - 4, y as i64 - 4)
+        });
+        let ka = extract_sift(&base, &SiftParams::default());
+        let kb = extract_sift(&shifted, &SiftParams::default());
+        let matches = match_descriptors(&ka, &kb, 0.8);
+        assert!(
+            matches.len() >= ka.len() / 4,
+            "{} matches for {} keypoints",
+            matches.len(),
+            ka.len()
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! A text-block detector standing in for the OCR stage of §IV-A.
+//!
+//! Rendered text (SSNs, license plates) has a distinctive signature: dense
+//! short strokes with strong horizontal gradient variation, organized in a
+//! horizontal band. The detector binarizes a gradient map, finds connected
+//! components of stroke pixels, and merges horizontally-adjacent
+//! components into text-line boxes.
+
+use puppies_image::convolve::sobel_gradients;
+use puppies_image::{GrayImage, Rect};
+
+/// Parameters for [`detect_text_blocks`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TextDetectorParams {
+    /// Gradient-magnitude threshold for stroke pixels.
+    pub gradient_threshold: f32,
+    /// Cell side used to pool stroke density.
+    pub cell: u32,
+    /// Minimum fraction of stroke pixels for a cell to count as "texty".
+    pub min_density: f32,
+    /// Minimum box width/height in cells.
+    pub min_cells: u32,
+}
+
+impl Default for TextDetectorParams {
+    fn default() -> Self {
+        TextDetectorParams {
+            gradient_threshold: 90.0,
+            cell: 8,
+            min_density: 0.12,
+            min_cells: 2,
+        }
+    }
+}
+
+/// Detects text-like blocks; returns bounding boxes in pixel coordinates.
+pub fn detect_text_blocks(img: &GrayImage, params: &TextDetectorParams) -> Vec<Rect> {
+    let (mag, _) = sobel_gradients(&img.to_plane());
+    let cell = params.cell.max(2);
+    let cw = img.width() / cell;
+    let ch = img.height() / cell;
+    if cw == 0 || ch == 0 {
+        return Vec::new();
+    }
+    // Stroke density per cell; text cells need *both* many stroke pixels
+    // and alternation (strokes separated by gaps).
+    let mut texty = vec![false; (cw * ch) as usize];
+    for cy in 0..ch {
+        for cx in 0..cw {
+            let mut strokes = 0u32;
+            let mut transitions = 0u32;
+            for y in 0..cell {
+                let mut prev = false;
+                for x in 0..cell {
+                    let m = mag.get(cx * cell + x, cy * cell + y);
+                    let on = m > params.gradient_threshold;
+                    if on {
+                        strokes += 1;
+                    }
+                    if on != prev {
+                        transitions += 1;
+                    }
+                    prev = on;
+                }
+            }
+            let density = strokes as f32 / (cell * cell) as f32;
+            texty[(cy * cw + cx) as usize] =
+                density > params.min_density && transitions >= cell;
+        }
+    }
+    // Connected components over texty cells (4-connectivity).
+    let mut visited = vec![false; texty.len()];
+    let mut boxes = Vec::new();
+    for start in 0..texty.len() {
+        if !texty[start] || visited[start] {
+            continue;
+        }
+        let mut stack = vec![start];
+        visited[start] = true;
+        let (mut x0, mut y0, mut x1, mut y1) = (u32::MAX, u32::MAX, 0u32, 0u32);
+        let mut count = 0u32;
+        while let Some(idx) = stack.pop() {
+            count += 1;
+            let cx = idx as u32 % cw;
+            let cy = idx as u32 / cw;
+            x0 = x0.min(cx);
+            y0 = y0.min(cy);
+            x1 = x1.max(cx);
+            y1 = y1.max(cy);
+            let neighbors = [
+                (cx.wrapping_sub(1), cy),
+                (cx + 1, cy),
+                (cx, cy.wrapping_sub(1)),
+                (cx, cy + 1),
+            ];
+            for (nx, ny) in neighbors {
+                if nx < cw && ny < ch {
+                    let nidx = (ny * cw + nx) as usize;
+                    if texty[nidx] && !visited[nidx] {
+                        visited[nidx] = true;
+                        stack.push(nidx);
+                    }
+                }
+            }
+        }
+        let w_cells = x1 - x0 + 1;
+        let h_cells = y1 - y0 + 1;
+        if w_cells >= params.min_cells && count >= params.min_cells {
+            boxes.push(Rect::new(
+                x0 * cell,
+                y0 * cell,
+                w_cells * cell,
+                h_cells * cell,
+            ));
+        }
+    }
+    boxes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puppies_image::font::draw_text;
+    use puppies_image::{Rgb, RgbImage};
+
+    #[test]
+    fn detects_rendered_text() {
+        let mut img = RgbImage::filled(160, 80, Rgb::new(235, 235, 235));
+        let text_rect = draw_text(&mut img, "123-45-6789", 24, 32, 2, Rgb::new(20, 20, 20));
+        let boxes = detect_text_blocks(&img.to_gray(), &TextDetectorParams::default());
+        assert!(!boxes.is_empty(), "text not detected");
+        let best = boxes
+            .iter()
+            .max_by(|a, b| a.iou(text_rect).partial_cmp(&b.iou(text_rect)).unwrap())
+            .unwrap();
+        assert!(
+            best.iou(text_rect) > 0.2,
+            "best box {best:?} misses text {text_rect:?}"
+        );
+    }
+
+    #[test]
+    fn no_text_on_flat_image() {
+        let img = GrayImage::filled(128, 64, 180);
+        assert!(detect_text_blocks(&img, &TextDetectorParams::default()).is_empty());
+    }
+
+    #[test]
+    fn smooth_gradient_not_text() {
+        let img = GrayImage::from_fn(128, 64, |x, _| (x * 2) as u8);
+        let boxes = detect_text_blocks(&img, &TextDetectorParams::default());
+        assert!(boxes.is_empty(), "gradient misdetected as text: {boxes:?}");
+    }
+
+    #[test]
+    fn two_lines_give_two_boxes() {
+        let mut img = RgbImage::filled(200, 100, Rgb::new(240, 240, 240));
+        draw_text(&mut img, "HELLO WORLD", 20, 16, 2, Rgb::new(10, 10, 10));
+        draw_text(&mut img, "GOODBYE", 20, 64, 2, Rgb::new(10, 10, 10));
+        let boxes = detect_text_blocks(&img.to_gray(), &TextDetectorParams::default());
+        assert!(boxes.len() >= 2, "found {} boxes", boxes.len());
+    }
+}

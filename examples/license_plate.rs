@@ -1,0 +1,68 @@
+//! Protecting sensitive text (the Fig. 15 license plate) and stress
+//! testing it with the §VI-B.5 signal-correlation attacks.
+//!
+//! ```sh
+//! cargo run --release --example license_plate
+//! ```
+
+use puppies::attacks::{
+    inpainting_attack, matrix_inference_attack, pca_attack, recognizability_verdict,
+};
+use puppies::core::{protect, OwnerKey, ProtectOptions};
+use puppies::datasets::scene::street_with_plate;
+use puppies::image::Rect;
+use puppies::jpeg::CoeffImage;
+use puppies::vision::text::{detect_text_blocks, TextDetectorParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let (photo, truth) = street_with_plate(&mut rng, 320, 240);
+    let plate = truth.texts[0];
+
+    // The OCR stand-in finds the plate on its own.
+    let detected = detect_text_blocks(&photo.to_gray(), &TextDetectorParams::default());
+    let auto_hit = detected.iter().any(|b| b.overlaps(plate));
+    println!(
+        "text detector found the plate automatically: {}",
+        if auto_hit { "yes" } else { "no (using ground truth)" }
+    );
+
+    let key = OwnerKey::from_seed([9u8; 32]);
+    let protected = protect(&photo, &[plate], &key, &ProtectOptions::default())?;
+    let perturbed_coeff = CoeffImage::decode(&protected.bytes)?;
+    let perturbed = perturbed_coeff.to_rgb();
+    let reference = CoeffImage::from_rgb(&photo, 75).to_rgb();
+    let region = protected.params.rois[0].rect;
+
+    // A semi-honest PSP throws the §VI-B.5 toolbox at the hidden plate.
+    let rois: Vec<Rect> = protected.params.rois.iter().map(|r| r.rect).collect();
+    let candidates = [
+        (
+            "matrix inference",
+            matrix_inference_attack(&perturbed_coeff, &protected.params).to_gray(),
+        ),
+        ("inpainting", inpainting_attack(&perturbed, &rois, 4).to_gray()),
+        ("PCA", pca_attack(&perturbed.to_gray(), &rois, 8)),
+    ];
+    let original_gray = reference.to_gray();
+    for (name, out) in &candidates {
+        let verdict = recognizability_verdict(
+            &original_gray.crop(region)?,
+            &out.crop(region)?,
+        );
+        println!(
+            "{name:<18} recognizability {:.3} -> {}",
+            verdict.score,
+            if verdict.recognized {
+                "PLATE LEAKED"
+            } else {
+                "unreadable"
+            }
+        );
+        assert!(!verdict.recognized, "{name} attack must fail");
+    }
+    println!("all three correlation attacks failed to read the plate");
+    Ok(())
+}

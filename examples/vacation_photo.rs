@@ -1,0 +1,72 @@
+//! The Fig. 1 scenario: a vacation photo where the people are sensitive
+//! but the landmark background should stay usable. ROIs are recommended
+//! automatically, the faces are perturbed, and a retrieval index (the
+//! Google-Image-Search stand-in) still finds the photo by its background.
+//!
+//! ```sh
+//! cargo run --release --example vacation_photo
+//! ```
+
+use puppies::core::{OwnerKey, ProtectOptions};
+use puppies::datasets::scene::landscape_with_people;
+use puppies::psp::{PspServer, Receiver, Sender};
+use puppies::vision::retrieval::{result_overlap, RetrievalIndex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(2016);
+    let (photo, truth) = landscape_with_people(&mut rng, 320, 240);
+    println!("generated a vacation photo with {} people", truth.faces.len());
+
+    // Build a small photo corpus for the search engine.
+    let mut index = RetrievalIndex::new();
+    for i in 0..20u64 {
+        let mut r = StdRng::seed_from_u64(100 + i);
+        let (img, _) = landscape_with_people(&mut r, 320, 240);
+        index.insert(i, &img);
+    }
+    index.insert(999, &photo);
+
+    // The owner runs the §IV-A recommender; faces come back as regions.
+    let psp = PspServer::new();
+    let mut owner = Sender::new(OwnerKey::from_seed([3u8; 32]));
+    let mut rois = owner.recommend_rois(&photo);
+    if rois.is_empty() {
+        // Fall back to ground truth (tiny faces can evade the detector).
+        rois = truth.faces.clone();
+    }
+    println!("protecting {} recommended region(s)", rois.len());
+    let (photo_id, _) = owner.share(&psp, &photo, &rois, &ProtectOptions::default())?;
+
+    // The perturbed public view still retrieves like the original.
+    let public = Receiver::new().fetch_public_view(&psp, photo_id)?;
+    let top_orig = index.query(&photo, 10);
+    let top_pert = index.query(&public, 10);
+    let overlap = result_overlap(&top_orig, &top_pert);
+    println!("top-10 search overlap, original vs perturbed query: {:.0}%", overlap * 100.0);
+    println!(
+        "perturbed query self-retrieves: {}",
+        if top_pert.contains(&999) { "yes" } else { "no" }
+    );
+
+    // And the faces are gone from the public view.
+    let dets = puppies::vision::detect_faces(
+        &public.to_gray(),
+        &puppies::vision::FaceDetectorParams::default(),
+    );
+    let localized = truth
+        .faces
+        .iter()
+        .filter(|f| dets.iter().any(|d| d.rect.iou(**f) >= 0.5))
+        .count();
+    println!(
+        "faces still localizable in the public view: {}/{}",
+        localized,
+        truth.faces.len()
+    );
+    puppies::image::io::save_ppm(&photo, "results/vacation_original.ppm").ok();
+    puppies::image::io::save_ppm(&public, "results/vacation_public.ppm").ok();
+    println!("images saved under results/");
+    Ok(())
+}

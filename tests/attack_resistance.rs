@@ -1,0 +1,107 @@
+//! Cross-crate attack-resistance integration: protected dataset images
+//! must defeat the §VI attack stack while clean images do not.
+
+use puppies::attacks::{edge_attack, sift_attack};
+use puppies::core::{protect, OwnerKey, PrivacyLevel, ProtectOptions, Scheme};
+use puppies::datasets::{generate, DatasetProfile};
+use puppies::image::Rect;
+use puppies::jpeg::CoeffImage;
+
+fn protected_view(
+    img: &puppies::image::RgbImage,
+    id: u64,
+    scheme: Scheme,
+) -> puppies::image::RgbImage {
+    let key = OwnerKey::from_seed([55u8; 32]);
+    let whole = Rect::new(0, 0, img.width(), img.height());
+    let opts = ProtectOptions::new(scheme, PrivacyLevel::Medium).with_image_id(id);
+    let protected = protect(img, &[whole], &key, &opts).expect("protect");
+    CoeffImage::decode(&protected.bytes).expect("decode").to_rgb()
+}
+
+#[test]
+fn sift_attack_defeated_on_dataset_sample() {
+    let profile = DatasetProfile::pascal().with_count(4).with_resolution(248, 164);
+    let mut total_matches = 0usize;
+    let mut total_features = 0usize;
+    for li in generate(profile, 777) {
+        let reference = CoeffImage::from_rgb(&li.image, 75).to_rgb().to_gray();
+        let perturbed = protected_view(&li.image, li.id, Scheme::Zero).to_gray();
+        let report = sift_attack(&reference, &perturbed);
+        total_matches += report.matches;
+        total_features += report.original_features;
+    }
+    assert!(total_features > 20, "scenes too feature-poor: {total_features}");
+    assert!(
+        total_matches * 10 <= total_features,
+        "{total_matches} matches over {total_features} features"
+    );
+}
+
+#[test]
+fn edge_attack_defeated_on_dataset_sample() {
+    let profile = DatasetProfile::pascal().with_count(4).with_resolution(248, 164);
+    for li in generate(profile, 778) {
+        let reference = CoeffImage::from_rgb(&li.image, 75).to_rgb().to_gray();
+        let perturbed = protected_view(&li.image, li.id, Scheme::Compression).to_gray();
+        let r = edge_attack(&reference, &perturbed);
+        assert!(
+            r.structure_score < 0.4,
+            "edge structure survives on image {}: {r:?}",
+            li.id
+        );
+    }
+}
+
+#[test]
+fn face_recognition_attack_degrades_to_chance() {
+    use puppies::attacks::recognition::recognition_attack;
+    use puppies::vision::eigenfaces::EigenfaceGallery;
+    let profile = DatasetProfile::feret().with_count(36).with_resolution(128, 192);
+    let images: Vec<_> = generate(profile, 779).collect();
+    // Gallery: first sighting of each identity; probes: the rest.
+    let mut seen = std::collections::HashSet::new();
+    let mut gallery = Vec::new();
+    let mut probes = Vec::new();
+    for li in &images {
+        let face = li.truth.faces[0];
+        let chip = li
+            .image
+            .crop(face.intersect(li.image.bounds()))
+            .expect("crop")
+            .to_gray();
+        if seen.insert(li.identity) {
+            gallery.push((li.identity, chip));
+        } else {
+            probes.push((li, face));
+        }
+    }
+    let gallery = EigenfaceGallery::train(&gallery, 16);
+    let mut clean_top1 = 0;
+    let mut perturbed_top1 = 0;
+    for (li, face) in &probes {
+        let chip = |img: &puppies::image::RgbImage| {
+            img.crop(face.intersect(img.bounds())).expect("crop").to_gray()
+        };
+        let reference = CoeffImage::from_rgb(&li.image, 75).to_rgb();
+        if recognition_attack(&gallery, &chip(&reference), li.identity) == Some(1) {
+            clean_top1 += 1;
+        }
+        let perturbed = protected_view(&li.image, li.id, Scheme::Zero);
+        if recognition_attack(&gallery, &chip(&perturbed), li.identity) == Some(1) {
+            perturbed_top1 += 1;
+        }
+    }
+    assert!(!probes.is_empty());
+    assert!(
+        clean_top1 * 2 >= probes.len(),
+        "recognizer too weak on clean probes: {clean_top1}/{}",
+        probes.len()
+    );
+    assert!(
+        perturbed_top1 * 2 < clean_top1.max(1) * 2
+            && perturbed_top1 <= probes.len() / 3,
+        "perturbed probes still recognized: {perturbed_top1}/{} (clean {clean_top1})",
+        probes.len()
+    );
+}

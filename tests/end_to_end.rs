@@ -1,0 +1,151 @@
+//! End-to-end integration: the full Fig. 5 deployment across crates —
+//! sender, DH key channel, PSP store, transformations, receivers.
+
+use puppies::core::{OwnerKey, PerturbProfile, ProtectOptions};
+use puppies::image::metrics::psnr_rgb;
+use puppies::image::{Rect, Rgb, RgbImage};
+use puppies::jpeg::CoeffImage;
+use puppies::psp::{transport_grant, KeyAgreement, PspServer, Receiver, Sender};
+use puppies::transform::{ScaleFilter, Transformation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn photo() -> RgbImage {
+    RgbImage::from_fn(160, 120, |x, y| {
+        Rgb::new(
+            (50 + (x * 3 + y) % 150) as u8,
+            (60 + (x + y * 3) % 140) as u8,
+            (70 + (x * 2 + y * 2) % 120) as u8,
+        )
+    })
+}
+
+#[test]
+fn full_workflow_with_key_channel() {
+    let psp = PspServer::new();
+    let mut alice = Sender::new(OwnerKey::from_seed([10u8; 32]));
+    let img = photo();
+    let roi = Rect::new(40, 24, 48, 48);
+    let (photo_id, image_id) = alice
+        .share(&psp, &img, &[roi], &ProtectOptions::default())
+        .expect("share");
+
+    // DH agreement + encrypted grant transport.
+    let mut rng = StdRng::seed_from_u64(99);
+    let a = KeyAgreement::new(&mut rng);
+    let b = KeyAgreement::new(&mut rng);
+    let grant = transport_grant(
+        &a.agree(b.public_value()),
+        &b.agree(a.public_value()),
+        &alice.grant(image_id, &[0]),
+    )
+    .expect("transport");
+
+    let bob = Receiver::with_grant(grant);
+    let reference = CoeffImage::from_rgb(&img, 75).to_rgb();
+    assert_eq!(bob.fetch(&psp, photo_id).expect("fetch"), reference);
+}
+
+#[test]
+fn lossless_psp_transform_chain_is_exact() {
+    for t in [
+        Transformation::Rotate90,
+        Transformation::Rotate180,
+        Transformation::Rotate270,
+        Transformation::FlipHorizontal,
+        Transformation::FlipVertical,
+        Transformation::Crop(Rect::new(16, 16, 96, 80)),
+    ] {
+        let psp = PspServer::new();
+        let mut alice = Sender::new(OwnerKey::from_seed([11u8; 32]));
+        let img = photo();
+        let (photo_id, image_id) = alice
+            .share(
+                &psp,
+                &img,
+                &[Rect::new(40, 24, 48, 48)],
+                &ProtectOptions::default(),
+            )
+            .expect("share");
+        psp.transform(photo_id, &t).expect("transform");
+        let bob = Receiver::with_grant(alice.grant(image_id, &[0]));
+        let got = bob.fetch(&psp, photo_id).expect("fetch");
+        let want = t
+            .apply_to_coeff(&CoeffImage::from_rgb(&img, 75))
+            .expect("reference")
+            .to_rgb();
+        assert_eq!(got, want, "{t:?}");
+    }
+}
+
+#[test]
+fn scaling_chain_recovers_with_transform_friendly_profile() {
+    let psp = PspServer::new();
+    let mut alice = Sender::new(OwnerKey::from_seed([12u8; 32]));
+    let img = photo();
+    let opts = ProtectOptions::from_profile(PerturbProfile::transform_friendly());
+    let (photo_id, image_id) = alice
+        .share(&psp, &img, &[Rect::new(40, 24, 48, 48)], &opts)
+        .expect("share");
+    let t = Transformation::Scale {
+        width: 80,
+        height: 60,
+        filter: ScaleFilter::Bilinear,
+    };
+    psp.transform(photo_id, &t).expect("transform");
+    let bob = Receiver::with_grant(alice.grant(image_id, &[0]));
+    let carol = Receiver::new();
+    let reference = t
+        .apply_to_rgb(&CoeffImage::from_rgb(&img, 75).to_rgb())
+        .expect("reference");
+    // The protected region lands at half coordinates after the 1/2 scale;
+    // the recovery difference concentrates there (outside it, both views
+    // carry only the PSP's q75 re-encode noise).
+    let scaled_roi = Rect::new(20, 12, 24, 24);
+    let crop = |img: &RgbImage| img.crop(scaled_roi).expect("crop");
+    let bob_psnr = psnr_rgb(&crop(&bob.fetch(&psp, photo_id).expect("fetch")), &crop(&reference));
+    let carol_psnr =
+        psnr_rgb(&crop(&carol.fetch(&psp, photo_id).expect("fetch")), &crop(&reference));
+    assert!(
+        bob_psnr > carol_psnr + 6.0,
+        "bob {bob_psnr} dB vs carol {carol_psnr} dB inside the protected region"
+    );
+}
+
+#[test]
+fn eavesdropper_on_channel_learns_nothing_useful() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = KeyAgreement::new(&mut rng);
+    let b = KeyAgreement::new(&mut rng);
+    let eve = KeyAgreement::new(&mut rng);
+    let key = OwnerKey::from_seed([13u8; 32]);
+    let grant = key.grant_rois(1, &[0]);
+    let result = transport_grant(
+        &a.agree(b.public_value()),
+        &eve.agree(a.public_value()), // Eve never saw b's secret
+        &grant,
+    );
+    assert!(result.is_err(), "Eve must not decrypt the grant");
+}
+
+#[test]
+fn psp_cannot_recover_without_keys_even_with_parameters() {
+    // The PSP holds the image AND the public parameters; that must not be
+    // enough.
+    let psp = PspServer::new();
+    let mut alice = Sender::new(OwnerKey::from_seed([14u8; 32]));
+    let img = photo();
+    let roi = Rect::new(40, 24, 48, 48);
+    let (photo_id, _) = alice
+        .share(&psp, &img, &[roi], &ProtectOptions::default())
+        .expect("share");
+    let snoop = Receiver::new();
+    let view = snoop.fetch(&psp, photo_id).expect("fetch");
+    let reference = CoeffImage::from_rgb(&img, 75).to_rgb();
+    let aligned = roi.align_to(8, img.width(), img.height());
+    let psnr = psnr_rgb(
+        &view.crop(aligned).expect("crop"),
+        &reference.crop(aligned).expect("crop"),
+    );
+    assert!(psnr < 18.0, "snoop sees too much: {psnr} dB");
+}

@@ -1,0 +1,151 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use proptest::prelude::*;
+use puppies::core::matrix::{wrap_ac, wrap_dc};
+use puppies::core::perturb::{perturb_roi, recover_roi, RoiKeys};
+use puppies::core::{OwnerKey, PerturbProfile, PrivacyLevel, PublicParams, RangeSpec, Scheme};
+use puppies::image::{Rect, Rgb, RgbImage};
+use puppies::jpeg::{CoeffImage, EncodeOptions, HuffmanMode};
+
+fn arb_image() -> impl Strategy<Value = RgbImage> {
+    // Dimensions 16..=72, procedural content parameterized by a seed.
+    (16u32..=72, 16u32..=72, any::<u32>()).prop_map(|(w, h, seed)| {
+        RgbImage::from_fn(w, h, |x, y| {
+            let v = x
+                .wrapping_mul(seed | 1)
+                .wrapping_add(y.wrapping_mul(seed.rotate_left(13) | 1));
+            Rgb::new(
+                (v % 256) as u8,
+                ((v >> 8) % 256) as u8,
+                ((v >> 16) % 256) as u8,
+            )
+        })
+    })
+}
+
+fn arb_scheme() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::Naive),
+        Just(Scheme::Base),
+        Just(Scheme::Compression),
+        Just(Scheme::Zero),
+    ]
+}
+
+fn arb_profile() -> impl Strategy<Value = PerturbProfile> {
+    (arb_scheme(), 0u8..=2, 1u16..=2048, 0u8..=64, 2u16..=2048).prop_map(
+        |(scheme, kind, m_r, k, dc_range)| {
+            let range = match kind {
+                0 => RangeSpec::from(PrivacyLevel::Medium),
+                1 => RangeSpec::Algorithm3 { m_r, k },
+                _ => RangeSpec::Flat { range: m_r, k },
+            };
+            PerturbProfile {
+                scheme,
+                range,
+                dc_range,
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ring_recovery_is_exact(b in -1024i32..=1023, p in 0i32..=2047) {
+        prop_assert_eq!(wrap_dc(wrap_dc(b + p) - p), b);
+        if b >= -1023 && p <= 2046 {
+            prop_assert_eq!(wrap_ac(wrap_ac(b + p) - p), b);
+        }
+    }
+
+    #[test]
+    fn protect_recover_roundtrips_bit_exact(
+        img in arb_image(),
+        profile in arb_profile(),
+        seed in any::<[u8; 32]>(),
+    ) {
+        let original = CoeffImage::from_rgb(&img, 75);
+        let mut perturbed = original.clone();
+        let key = OwnerKey::from_seed(seed);
+        let grant = key.grant_all();
+        let keys: Vec<RoiKeys> = (0..3)
+            .map(|c| RoiKeys::from_grant(&grant, 1, 0, c).unwrap())
+            .collect();
+        let rect = Rect::new(0, 0, img.width(), img.height());
+        let record = perturb_roi(&mut perturbed, rect, &keys, &profile).unwrap();
+        recover_roi(&mut perturbed, rect, &keys, &profile, &record.zind).unwrap();
+        prop_assert_eq!(perturbed, original);
+    }
+
+    #[test]
+    fn perturbed_streams_stay_decodable(
+        img in arb_image(),
+        profile in arb_profile(),
+    ) {
+        let mut coeff = CoeffImage::from_rgb(&img, 75);
+        let key = OwnerKey::from_seed([77u8; 32]);
+        let grant = key.grant_all();
+        let keys: Vec<RoiKeys> = (0..3)
+            .map(|c| RoiKeys::from_grant(&grant, 1, 0, c).unwrap())
+            .collect();
+        let rect = Rect::new(0, 0, img.width(), img.height());
+        perturb_roi(&mut coeff, rect, &keys, &profile).unwrap();
+        for huffman in [HuffmanMode::Standard, HuffmanMode::Optimized] {
+            let mut opts = EncodeOptions::default();
+            opts.huffman = huffman;
+            let bytes = coeff.encode(&opts).unwrap();
+            let back = CoeffImage::decode(&bytes).unwrap();
+            prop_assert_eq!(&back, &coeff);
+        }
+    }
+
+    #[test]
+    fn jpeg_codec_roundtrips_arbitrary_images(img in arb_image(), q in 1u8..=100) {
+        let coeff = CoeffImage::from_rgb(&img, q);
+        let bytes = coeff.encode(&EncodeOptions::default()).unwrap();
+        let back = CoeffImage::decode(&bytes).unwrap();
+        prop_assert_eq!(back, coeff);
+    }
+
+    #[test]
+    fn public_params_wire_roundtrips(
+        img in arb_image(),
+        profile in arb_profile(),
+    ) {
+        let key = OwnerKey::from_seed([78u8; 32]);
+        let opts = puppies::core::ProtectOptions::from_profile(profile);
+        let w = img.width();
+        let h = img.height();
+        let roi = Rect::new(0, 0, (w / 2).max(8) / 8 * 8, (h / 2).max(8) / 8 * 8);
+        let protected = puppies::core::protect(&img, &[roi], &key, &opts).unwrap();
+        let wire = protected.params.to_bytes();
+        let back = PublicParams::from_bytes(&wire).unwrap();
+        prop_assert_eq!(back, protected.params);
+    }
+
+    #[test]
+    fn unauthorized_recovery_never_restores_roi(
+        img in arb_image(),
+        seed_a in any::<[u8; 32]>(),
+        seed_b in any::<[u8; 32]>(),
+    ) {
+        prop_assume!(seed_a != seed_b);
+        let original = CoeffImage::from_rgb(&img, 75);
+        let mut perturbed = original.clone();
+        let profile = PerturbProfile::paper(Scheme::Compression, PrivacyLevel::Medium);
+        let key_a = OwnerKey::from_seed(seed_a);
+        let key_b = OwnerKey::from_seed(seed_b);
+        let keys_a: Vec<RoiKeys> = (0..3)
+            .map(|c| RoiKeys::from_grant(&key_a.grant_all(), 1, 0, c).unwrap())
+            .collect();
+        let keys_b: Vec<RoiKeys> = (0..3)
+            .map(|c| RoiKeys::from_grant(&key_b.grant_all(), 1, 0, c).unwrap())
+            .collect();
+        let rect = Rect::new(0, 0, img.width(), img.height());
+        let record = perturb_roi(&mut perturbed, rect, &keys_a, &profile).unwrap();
+        recover_roi(&mut perturbed, rect, &keys_b, &profile, &record.zind).unwrap();
+        prop_assert_ne!(perturbed, original);
+    }
+}

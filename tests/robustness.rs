@@ -1,0 +1,123 @@
+//! Robustness: parsers fed hostile bytes must fail cleanly, never panic —
+//! the PSP and receivers handle attacker-supplied files.
+
+use proptest::prelude::*;
+use puppies::core::PublicParams;
+use puppies::image::io::{read_pgm, read_ppm};
+use puppies::jpeg::CoeffImage;
+use puppies::psp::channel::decode_grant;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn jpeg_decoder_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = CoeffImage::decode(&data);
+    }
+
+    #[test]
+    fn jpeg_decoder_never_panics_on_mutated_streams(
+        seed in any::<u8>(),
+        flips in proptest::collection::vec((0usize..8192, any::<u8>()), 1..24),
+        cut in any::<u16>(),
+    ) {
+        // Start from a valid stream, then corrupt it.
+        let img = puppies::image::RgbImage::from_fn(48, 40, |x, y| {
+            puppies::image::Rgb::new(
+                x as u8 ^ seed,
+                y as u8,
+                seed,
+            )
+        });
+        let mut bytes = puppies::jpeg::encode_rgb(&img, 75).unwrap();
+        for (pos, val) in flips {
+            let idx = pos % bytes.len();
+            bytes[idx] ^= val;
+        }
+        let cut = (cut as usize) % (bytes.len() + 1);
+        let _ = CoeffImage::decode(&bytes[..cut]);
+        let _ = CoeffImage::decode(&bytes);
+    }
+
+    #[test]
+    fn params_parser_never_panics(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = PublicParams::from_bytes(&data);
+    }
+
+    #[test]
+    fn params_parser_never_panics_on_mutations(
+        flips in proptest::collection::vec((0usize..4096, any::<u8>()), 1..16),
+    ) {
+        let img = puppies::image::RgbImage::from_fn(32, 32, |x, _| {
+            puppies::image::Rgb::new(x as u8, 0, 0)
+        });
+        let key = puppies::core::OwnerKey::from_seed([1u8; 32]);
+        let protected = puppies::core::protect(
+            &img,
+            &[puppies::image::Rect::new(8, 8, 16, 16)],
+            &key,
+            &puppies::core::ProtectOptions::default(),
+        )
+        .unwrap();
+        let mut bytes = protected.params.to_bytes();
+        for (pos, val) in flips {
+            let idx = pos % bytes.len();
+            bytes[idx] ^= val;
+        }
+        if let Ok(params) = PublicParams::from_bytes(&bytes) {
+            // Even a "successfully" parsed corrupted blob must not break
+            // recovery's error handling.
+            let mut coeff = CoeffImage::decode(&protected.bytes).unwrap();
+            let _ = puppies::core::recover_coeff(&mut coeff, &params, &key.grant_all());
+        }
+    }
+
+    #[test]
+    fn grant_decoder_never_panics(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = decode_grant(&data);
+    }
+
+    #[test]
+    fn ppm_readers_never_panic(data in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        let _ = read_ppm(&data[..]);
+        let _ = read_pgm(&data[..]);
+    }
+
+    #[test]
+    fn channel_decrypt_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        use puppies::psp::KeyAgreement;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let a = KeyAgreement::new(&mut rng);
+        let b = KeyAgreement::new(&mut rng);
+        let ch = a.agree(b.public_value());
+        let _ = ch.decrypt(&data);
+    }
+}
+
+#[test]
+fn decoder_rejects_giant_declared_dimensions_without_allocating() {
+    // A tiny stream claiming a huge SOF must fail fast, not OOM: the block
+    // count is validated against the actual entropy data.
+    let img = puppies::image::RgbImage::from_fn(16, 16, |x, y| {
+        puppies::image::Rgb::new(x as u8, y as u8, 0)
+    });
+    let mut bytes = puppies::jpeg::encode_rgb(&img, 75).unwrap();
+    // Find SOF0 and rewrite the dimensions to 65504x65504.
+    for i in 0..bytes.len() - 9 {
+        if bytes[i] == 0xFF && bytes[i + 1] == 0xC0 {
+            bytes[i + 5] = 0xFF;
+            bytes[i + 6] = 0xE0;
+            bytes[i + 7] = 0xFF;
+            bytes[i + 8] = 0xE0;
+            break;
+        }
+    }
+    let start = std::time::Instant::now();
+    let result = CoeffImage::decode(&bytes);
+    assert!(result.is_err(), "lying SOF must not decode");
+    assert!(
+        start.elapsed().as_secs() < 10,
+        "dimension lie must fail fast"
+    );
+}
