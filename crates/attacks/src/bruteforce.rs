@@ -33,7 +33,13 @@ pub fn keyspace_report() -> Vec<analysis::SecureBits> {
 /// The adversary scores each candidate by how close the implied DC is to
 /// the neighbouring blocks' mean DC — the same prior the correlation
 /// attacks use at scale.
-pub fn tiny_keyspace_demo(coeff: &CoeffImage, bx: u32, by: u32, bits: u32, secret: i32) -> (i32, i32) {
+pub fn tiny_keyspace_demo(
+    coeff: &CoeffImage,
+    bx: u32,
+    by: u32,
+    bits: u32,
+    secret: i32,
+) -> (i32, i32) {
     assert!(bits <= 11, "demo keyspace capped at 11 bits");
     let range = 1i32 << bits;
     let secret = secret.rem_euclid(range);
@@ -51,7 +57,11 @@ pub fn tiny_keyspace_demo(coeff: &CoeffImage, bx: u32, by: u32, bits: u32, secre
             n += 1;
         }
     }
-    let target = if n > 0 { neighbour_sum as f64 / n as f64 } else { 0.0 };
+    let target = if n > 0 {
+        neighbour_sum as f64 / n as f64
+    } else {
+        0.0
+    };
     let mut best = (f64::INFINITY, 0i32);
     for cand in 0..range {
         let implied = wrap_dc(perturbed_dc - cand);
@@ -84,10 +94,7 @@ pub fn naive_dc_attack(coeff: &CoeffImage, roi: Rect) -> i32 {
             for (dx, dy) in [(-1i64, 0i64), (1, 0), (0, -1), (0, 1)] {
                 let nx = bx as i64 + dx;
                 let ny = by as i64 + dy;
-                if nx < 0
-                    || ny < 0
-                    || nx as u32 >= comp.blocks_w()
-                    || ny as u32 >= comp.blocks_h()
+                if nx < 0 || ny < 0 || nx as u32 >= comp.blocks_w() || ny as u32 >= comp.blocks_h()
                 {
                     continue;
                 }
@@ -166,7 +173,10 @@ mod tests {
         // constant offset (a global brightness shift) — which exposes the
         // hidden content just the same.
         let err = puppies_core::matrix::wrap_dc(guess - truth).abs();
-        assert!(err <= 8, "sweep missed by {err} (guess {guess}, truth {truth})");
+        assert!(
+            err <= 8,
+            "sweep missed by {err} (guess {guess}, truth {truth})"
+        );
     }
 
     #[test]
@@ -201,4 +211,3 @@ mod tests {
         assert_eq!(matrix_entries(), 64);
     }
 }
-

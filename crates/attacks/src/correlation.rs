@@ -59,10 +59,10 @@ pub fn matrix_inference_attack(perturbed: &CoeffImage, params: &PublicParams) ->
                 for bx in 0..comp.blocks_w() {
                     let px = bx * BLOCK_SIZE;
                     let py = by * BLOCK_SIZE;
-                    let inside = params
-                        .rois
-                        .iter()
-                        .any(|r| r.rect.contains(px.min(comp.width() - 1), py.min(comp.height() - 1)));
+                    let inside = params.rois.iter().any(|r| {
+                        r.rect
+                            .contains(px.min(comp.width() - 1), py.min(comp.height() - 1))
+                    });
                     if !inside {
                         for (a, &v) in avg.iter_mut().zip(comp.block(bx, by).iter()) {
                             *a += v as i64;
@@ -147,16 +147,12 @@ pub fn inpainting_attack(perturbed: &RgbImage, rois: &[Rect], neighbours: usize)
                     }
                 }
             }
-            if n > 0 {
-                out.set(
-                    x,
-                    y,
-                    puppies_image::Rgb::new(
-                        (acc[0] / n) as u8,
-                        (acc[1] / n) as u8,
-                        (acc[2] / n) as u8,
-                    ),
-                );
+            if let (Some(r), Some(g), Some(b)) = (
+                acc[0].checked_div(n),
+                acc[1].checked_div(n),
+                acc[2].checked_div(n),
+            ) {
+                out.set(x, y, puppies_image::Rgb::new(r as u8, g as u8, b as u8));
             }
         }
         for &(x, y) in &frontier {
@@ -195,9 +191,7 @@ pub fn pca_attack(perturbed: &GrayImage, rois: &[Rect], components: usize) -> Gr
         for bx in 0..bw {
             let rect = Rect::new(bx * BLOCK_SIZE, by * BLOCK_SIZE, BLOCK_SIZE, BLOCK_SIZE);
             let patch: Vec<f64> = (0..64)
-                .map(|i| {
-                    perturbed.get(rect.x + (i as u32 % 8), rect.y + (i as u32 / 8)) as f64
-                })
+                .map(|i| perturbed.get(rect.x + (i as u32 % 8), rect.y + (i as u32 / 8)) as f64)
                 .collect();
             if rois.iter().any(|r| r.overlaps(rect)) {
                 roi_patches.push((rect, patch));
@@ -252,8 +246,12 @@ mod tests {
     fn text_unreadable(original: &GrayImage, recovered: &GrayImage, roi: Rect) -> bool {
         // Inside the ROI the recovered text must not correlate with the
         // original strokes.
-        let o = original.crop(roi.align_to(8, original.width(), original.height())).unwrap();
-        let r = recovered.crop(roi.align_to(8, original.width(), original.height())).unwrap();
+        let o = original
+            .crop(roi.align_to(8, original.width(), original.height()))
+            .unwrap();
+        let r = recovered
+            .crop(roi.align_to(8, original.width(), original.height()))
+            .unwrap();
         puppies_image::metrics::recognizability(&o, &r) < 0.5
     }
 
@@ -269,7 +267,11 @@ mod tests {
         };
         let recovered = matrix_inference_attack(&perturbed_coeff, &params);
         assert!(
-            text_unreadable(&reference.to_gray(), &recovered.to_gray(), params.rois[0].rect),
+            text_unreadable(
+                &reference.to_gray(),
+                &recovered.to_gray(),
+                params.rois[0].rect
+            ),
             "matrix inference should not recover the text"
         );
     }
@@ -281,7 +283,11 @@ mod tests {
         let recovered = inpainting_attack(&perturbed, &rois, 4);
         // Inpainting produces a smooth fill: pleasant, but the text is gone.
         assert!(
-            text_unreadable(&reference.to_gray(), &recovered.to_gray(), params.rois[0].rect),
+            text_unreadable(
+                &reference.to_gray(),
+                &recovered.to_gray(),
+                params.rois[0].rect
+            ),
             "inpainting should not recover the text"
         );
         // And it should at least have removed the wild perturbation noise
@@ -290,7 +296,11 @@ mod tests {
         let var = |img: &GrayImage| {
             let c = img.crop(roi).unwrap();
             let m = c.mean();
-            c.pixels().iter().map(|&v| (v as f64 - m).powi(2)).sum::<f64>() / c.pixels().len() as f64
+            c.pixels()
+                .iter()
+                .map(|&v| (v as f64 - m).powi(2))
+                .sum::<f64>()
+                / c.pixels().len() as f64
         };
         assert!(var(&recovered.to_gray()) < var(&perturbed.to_gray()));
     }

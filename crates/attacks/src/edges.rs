@@ -87,9 +87,6 @@ mod tests {
         let r = edge_attack(&reference.to_gray(), &perturbed.to_gray());
         // The rectangle/ellipse outlines must not be traceable beyond what
         // noise density explains.
-        assert!(
-            r.structure_score < 0.4,
-            "edge structure survives: {r:?}"
-        );
+        assert!(r.structure_score < 0.4, "edge structure survives: {r:?}");
     }
 }

@@ -74,10 +74,7 @@ mod tests {
         let gray = scene().to_gray();
         let report = sift_attack(&gray, &gray);
         assert!(report.original_features > 5);
-        assert!(
-            report.matches * 2 >= report.original_features,
-            "{report:?}"
-        );
+        assert!(report.matches * 2 >= report.original_features, "{report:?}");
     }
 
     #[test]

@@ -50,7 +50,9 @@ impl RankCurve {
 
     /// The full curve as `(rank, ratio)` pairs.
     pub fn points(&self) -> Vec<(usize, f64)> {
-        (1..=self.counts.len()).map(|k| (k, self.ratio_at(k))).collect()
+        (1..=self.counts.len())
+            .map(|k| (k, self.ratio_at(k)))
+            .collect()
     }
 
     /// Number of probes recorded.
@@ -94,7 +96,7 @@ mod tests {
                 eye_spread: 0.16 + i as f32 * 0.02,
                 eye_size: 0.055 + i as f32 * 0.007,
                 mouth_width: 0.13 + i as f32 * 0.022,
-                brow_tilt: i as i32 - 2,
+                brow_tilt: i - 2,
             })
             .collect()
     }
@@ -126,15 +128,17 @@ mod tests {
         let mut top1_hits = 0;
         for (label, geom) in geometries().iter().enumerate() {
             let img = face_img(geom, 1);
-            let protected =
-                protect(&img, &[Rect::new(0, 0, 64, 80)], &key, &opts).unwrap();
+            let protected = protect(&img, &[Rect::new(0, 0, 64, 80)], &key, &opts).unwrap();
             let perturbed = CoeffImage::decode(&protected.bytes).unwrap().to_rgb();
             if recognition_attack(&g, &perturbed.to_gray(), label as u32) == Some(1) {
                 top1_hits += 1;
             }
         }
         // 5 identities: chance is 1/5; allow at most 2 lucky hits.
-        assert!(top1_hits <= 2, "{top1_hits}/5 perturbed probes still rank 1");
+        assert!(
+            top1_hits <= 2,
+            "{top1_hits}/5 perturbed probes still rank 1"
+        );
     }
 
     #[test]

@@ -55,7 +55,9 @@ fn bench_p3_split(c: &mut Criterion) {
     let coeff = CoeffImage::from_rgb(&img, 75);
     let mut group = c.benchmark_group("p3");
     group.sample_size(10);
-    group.bench_function("split_pascal", |b| b.iter(|| puppies_p3::P3Split::of(&coeff)));
+    group.bench_function("split_pascal", |b| {
+        b.iter(|| puppies_p3::P3Split::of(&coeff))
+    });
     let split = puppies_p3::P3Split::of(&coeff);
     group.bench_function("reconstruct_pascal", |b| {
         b.iter(|| puppies_p3::reconstruct(&split.public, &split.private).expect("reconstruct"))
@@ -63,5 +65,11 @@ fn bench_p3_split(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dct, bench_quant, bench_full_codec, bench_p3_split);
+criterion_group!(
+    benches,
+    bench_dct,
+    bench_quant,
+    bench_full_codec,
+    bench_p3_split
+);
 criterion_main!(benches);

@@ -35,7 +35,9 @@ fn bench_attack_kernels(c: &mut Criterion) {
     let gray = img.to_gray();
     let mut group = c.benchmark_group("attack_kernels");
     group.sample_size(10);
-    group.bench_function("canny", |b| b.iter(|| canny(&gray, &CannyParams::default())));
+    group.bench_function("canny", |b| {
+        b.iter(|| canny(&gray, &CannyParams::default()))
+    });
     group.bench_function("sift_extract", |b| {
         b.iter(|| extract_sift(&gray, &SiftParams::default()))
     });

@@ -1,0 +1,81 @@
+//! Worker-pool scaling: the full protect pipeline (forward DCT, ROI
+//! perturbation, entropy encode) and its pieces, serial vs pooled at 1, 2,
+//! 4 and 8 workers. The acceptance target is ≥2× protect throughput at 4
+//! workers on a 4-core machine; on fewer cores the extra worker counts
+//! just document the plateau.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use puppies_bench::pascal_image;
+use puppies_core::parallel::{with_pool, WorkerPool};
+use puppies_core::{protect, OwnerKey, ProtectOptions};
+use puppies_image::Rect;
+use puppies_jpeg::CoeffImage;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn rois(img_w: u32, img_h: u32) -> Vec<Rect> {
+    // Two disjoint block-aligned regions, like a two-face photo.
+    let _ = img_h;
+    vec![Rect::new(16, 16, 96, 96), Rect::new(img_w / 2, 32, 96, 96)]
+}
+
+fn bench_protect_scaling(c: &mut Criterion) {
+    let img = pascal_image();
+    let key = OwnerKey::from_seed([1u8; 32]);
+    let opts = ProtectOptions::default();
+    let rois = rois(img.width(), img.height());
+
+    let mut group = c.benchmark_group("protect_scaling");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        let pool = WorkerPool::new(1);
+        with_pool(&pool, || {
+            b.iter(|| protect(&img, &rois, &key, &opts).expect("protect"))
+        })
+    });
+    for workers in WORKER_COUNTS {
+        let pool = WorkerPool::new(workers);
+        group.bench_with_input(BenchmarkId::new("pooled", workers), &workers, |b, _| {
+            with_pool(&pool, || {
+                b.iter(|| protect(&img, &rois, &key, &opts).expect("protect"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dct_scaling(c: &mut Criterion) {
+    let img = pascal_image();
+    let mut group = c.benchmark_group("fdct_scaling");
+    group.sample_size(10);
+    for workers in WORKER_COUNTS {
+        let pool = WorkerPool::new(workers);
+        group.bench_with_input(BenchmarkId::new("from_rgb", workers), &workers, |b, _| {
+            with_pool(&pool, || b.iter(|| CoeffImage::from_rgb(&img, 75)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_encode_scaling(c: &mut Criterion) {
+    let img = pascal_image();
+    let coeff = CoeffImage::from_rgb(&img, 75);
+    let opts = puppies_jpeg::EncodeOptions::optimized();
+    let mut group = c.benchmark_group("encode_scaling");
+    group.sample_size(10);
+    for workers in WORKER_COUNTS {
+        let pool = WorkerPool::new(workers);
+        group.bench_with_input(BenchmarkId::new("encode", workers), &workers, |b, _| {
+            with_pool(&pool, || b.iter(|| coeff.encode(&opts).expect("encode")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_protect_scaling,
+    bench_dct_scaling,
+    bench_encode_scaling
+);
+criterion_main!(benches);

@@ -25,16 +25,12 @@ fn bench_perturb(c: &mut Criterion) {
         let keys = keys();
         for scheme in [Scheme::Base, Scheme::Compression, Scheme::Zero] {
             let profile = PerturbProfile::paper(scheme, PrivacyLevel::Medium);
-            group.bench_with_input(
-                BenchmarkId::new(scheme.name(), name),
-                &coeff,
-                |b, coeff| {
-                    b.iter(|| {
-                        let mut work = coeff.clone();
-                        perturb_roi(&mut work, whole, &keys, &profile).expect("perturb")
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(scheme.name(), name), &coeff, |b, coeff| {
+                b.iter(|| {
+                    let mut work = coeff.clone();
+                    perturb_roi(&mut work, whole, &keys, &profile).expect("perturb")
+                })
+            });
         }
     }
     group.finish();

@@ -12,7 +12,9 @@ pub fn pascal_image() -> RgbImage {
 /// wall time sane; Table V reports the full-resolution numbers).
 pub fn inria_image() -> RgbImage {
     generate_one(
-        DatasetProfile::inria().with_count(1).with_resolution(612, 816),
+        DatasetProfile::inria()
+            .with_count(1)
+            .with_resolution(612, 816),
         0xBE7C,
         0,
     )

@@ -6,6 +6,9 @@
 //! puppies protect <in.ppm> <out.jpg> --key <key-file> --params <out.pup>
 //!         [--roi x,y,w,h]... [--auto] [--scheme n|b|c|z] [--level low|medium|high]
 //!         [--quality 1..100] [--image-id N] [--transform-friendly]
+//! puppies protect-batch <in.ppm>... --key <key-file> --out-dir <dir>
+//!         [--threads N] [protect flags; --image-id is the id of the first
+//!         image, subsequent images increment it]
 //! puppies grant --key <key-file> --image-id N --out <grant-file> [--roi i]...
 //! puppies recover <in.jpg> <out.ppm> --params <in.pup> (--key <key-file> | --grant <grant-file>)
 //! puppies inspect --params <in.pup>
@@ -15,8 +18,7 @@
 //! baseline JPEG any viewer can open (showing the perturbed regions).
 
 use puppies_core::{
-    protect, KeyGrant, OwnerKey, PerturbProfile, PrivacyLevel, ProtectOptions, PublicParams,
-    Scheme,
+    protect, KeyGrant, OwnerKey, PerturbProfile, PrivacyLevel, ProtectOptions, PublicParams, Scheme,
 };
 use puppies_image::{io as img_io, Rect};
 use puppies_psp::channel::{decode_grant, encode_grant};
@@ -28,6 +30,7 @@ fn main() {
         Some("keygen") => cmd_keygen(&args[1..]),
         Some("detect") => cmd_detect(&args[1..]),
         Some("protect") => cmd_protect(&args[1..]),
+        Some("protect-batch") => cmd_protect_batch(&args[1..]),
         Some("grant") => cmd_grant(&args[1..]),
         Some("recover") => cmd_recover(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
@@ -46,7 +49,7 @@ fn main() {
 fn usage() {
     eprintln!(
         "puppies — privacy-preserving partial image sharing\n\
-         commands: keygen, detect, protect, grant, recover, inspect\n\
+         commands: keygen, detect, protect, protect-batch, grant, recover, inspect\n\
          (see the crate docs or README for full flag reference)"
     );
 }
@@ -70,9 +73,9 @@ fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
-fn positional(args: &[String], idx: usize) -> Result<&str, String> {
+fn positionals(args: &[String]) -> Vec<&str> {
     // Positional = arguments not consumed as flags or flag values.
-    let mut positionals = Vec::new();
+    let mut out = Vec::new();
     let mut skip = false;
     for (i, a) in args.iter().enumerate() {
         if skip {
@@ -87,9 +90,13 @@ fn positional(args: &[String], idx: usize) -> Result<&str, String> {
             }
             continue;
         }
-        positionals.push(a.as_str());
+        out.push(a.as_str());
     }
-    positionals
+    out
+}
+
+fn positional(args: &[String], idx: usize) -> Result<&str, String> {
+    positionals(args)
         .get(idx)
         .copied()
         .ok_or_else(|| format!("missing positional argument #{}", idx + 1))
@@ -144,28 +151,9 @@ fn parse_roi(spec: &str) -> Result<Rect, String> {
     Ok(Rect::new(parts[0], parts[1], parts[2], parts[3]))
 }
 
-fn cmd_protect(args: &[String]) -> CliResult {
-    let input = positional(args, 0)?;
-    let output = positional(args, 1)?;
-    let key = load_key(flag_value(args, "--key").ok_or("missing --key")?)?;
-    let params_path = flag_value(args, "--params").ok_or("missing --params")?;
-
-    let img = img_io::load_ppm(input).map_err(|e| format!("loading {input}: {e}"))?;
-    let mut rois: Vec<Rect> = flag_values(args, "--roi")
-        .into_iter()
-        .map(parse_roi)
-        .collect::<Result<_, _>>()?;
-    if has_flag(args, "--auto") {
-        let rec = puppies_vision::detect::recommend_rois(
-            &img,
-            &puppies_vision::detect::RecommendParams::default(),
-        );
-        rois.extend(rec.regions);
-    }
-    if rois.is_empty() {
-        return Err("no regions: pass --roi x,y,w,h and/or --auto".into());
-    }
-
+/// Parses the protection flags shared by `protect` and `protect-batch`:
+/// `--scheme`, `--level`, `--transform-friendly`, `--quality`, `--image-id`.
+fn parse_protect_opts(args: &[String]) -> Result<ProtectOptions, String> {
     let scheme = match flag_value(args, "--scheme").unwrap_or("z") {
         "n" => Scheme::Naive,
         "b" => Scheme::Base,
@@ -190,6 +178,37 @@ fn cmd_protect(args: &[String]) -> CliResult {
     if let Some(id) = flag_value(args, "--image-id") {
         opts = opts.with_image_id(id.parse().map_err(|e| format!("bad --image-id: {e}"))?);
     }
+    Ok(opts)
+}
+
+/// Regions for one image: explicit `--roi` rects plus `--auto` detections.
+fn gather_rois(args: &[String], img: &puppies_image::RgbImage) -> Result<Vec<Rect>, String> {
+    let mut rois: Vec<Rect> = flag_values(args, "--roi")
+        .into_iter()
+        .map(parse_roi)
+        .collect::<Result<_, _>>()?;
+    if has_flag(args, "--auto") {
+        let rec = puppies_vision::detect::recommend_rois(
+            img,
+            &puppies_vision::detect::RecommendParams::default(),
+        );
+        rois.extend(rec.regions);
+    }
+    if rois.is_empty() {
+        return Err("no regions: pass --roi x,y,w,h and/or --auto".into());
+    }
+    Ok(rois)
+}
+
+fn cmd_protect(args: &[String]) -> CliResult {
+    let input = positional(args, 0)?;
+    let output = positional(args, 1)?;
+    let key = load_key(flag_value(args, "--key").ok_or("missing --key")?)?;
+    let params_path = flag_value(args, "--params").ok_or("missing --params")?;
+
+    let img = img_io::load_ppm(input).map_err(|e| format!("loading {input}: {e}"))?;
+    let rois = gather_rois(args, &img)?;
+    let opts = parse_protect_opts(args)?;
 
     let protected = protect(&img, &rois, &key, &opts).map_err(|e| e.to_string())?;
     std::fs::write(output, &protected.bytes).map_err(|e| format!("writing {output}: {e}"))?;
@@ -200,6 +219,71 @@ fn cmd_protect(args: &[String]) -> CliResult {
         protected.params.rois.len(),
         protected.bytes.len(),
         protected.params.encoded_len()
+    );
+    Ok(())
+}
+
+/// Protects many images with one key on a shared worker pool. Each image
+/// gets a distinct id (`--image-id` plus its position) so its ROIs can be
+/// granted independently; outputs land in `--out-dir` as `<stem>.jpg` +
+/// `<stem>.pup`.
+fn cmd_protect_batch(args: &[String]) -> CliResult {
+    let inputs = positionals(args);
+    if inputs.is_empty() {
+        return Err("no input images: pass one or more <in.ppm>".into());
+    }
+    let key = load_key(flag_value(args, "--key").ok_or("missing --key")?)?;
+    let out_dir = flag_value(args, "--out-dir").ok_or("missing --out-dir")?;
+    let opts = parse_protect_opts(args)?;
+    let pool = match flag_value(args, "--threads") {
+        Some(n) => puppies_core::parallel::WorkerPool::new(
+            n.parse().map_err(|e| format!("bad --threads: {e}"))?,
+        ),
+        None => puppies_core::parallel::current(),
+    };
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {out_dir}: {e}"))?;
+
+    let results = puppies_core::parallel::with_pool(&pool, || {
+        pool.map_indexed(inputs.len(), |i| -> Result<String, String> {
+            let input = inputs[i];
+            let stem = std::path::Path::new(input)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .ok_or_else(|| format!("cannot derive a file stem from {input:?}"))?;
+            let img = img_io::load_ppm(input).map_err(|e| format!("loading {input}: {e}"))?;
+            let rois = gather_rois(args, &img)?;
+            let opts = opts.clone().with_image_id(opts.image_id + i as u64);
+            let protected = protect(&img, &rois, &key, &opts).map_err(|e| e.to_string())?;
+            let jpg = format!("{out_dir}/{stem}.jpg");
+            let pup = format!("{out_dir}/{stem}.pup");
+            std::fs::write(&jpg, &protected.bytes).map_err(|e| format!("writing {jpg}: {e}"))?;
+            std::fs::write(&pup, protected.params.to_bytes())
+                .map_err(|e| format!("writing {pup}: {e}"))?;
+            Ok(format!(
+                "{input} -> {jpg} ({} bytes, {} region(s), id {})",
+                protected.bytes.len(),
+                protected.params.rois.len(),
+                opts.image_id
+            ))
+        })
+    });
+    let mut failed = 0usize;
+    for r in results {
+        match r {
+            Ok(line) => println!("{line}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                failed += 1;
+            }
+        }
+    }
+    if failed > 0 {
+        return Err(format!("{failed} of {} image(s) failed", inputs.len()));
+    }
+    println!(
+        "protected {} image(s) on {} worker thread(s)",
+        inputs.len(),
+        pool.threads()
     );
     Ok(())
 }
@@ -218,7 +302,10 @@ fn cmd_grant(args: &[String]) -> CliResult {
         } else {
             specified
                 .into_iter()
-                .map(|s| s.parse::<u16>().map_err(|e| format!("bad --roi index: {e}")))
+                .map(|s| {
+                    s.parse::<u16>()
+                        .map_err(|e| format!("bad --roi index: {e}"))
+                })
                 .collect::<Result<_, _>>()?
         }
     };

@@ -15,7 +15,11 @@ fn tmp_dir(tag: &str) -> PathBuf {
 
 fn write_test_ppm(path: &PathBuf) {
     let img = puppies_image::RgbImage::from_fn(96, 64, |x, y| {
-        puppies_image::Rgb::new((40 + x * 2) as u8, (60 + y * 3) as u8, ((x + y) % 256) as u8)
+        puppies_image::Rgb::new(
+            (40 + x * 2) as u8,
+            (60 + y * 3) as u8,
+            ((x + y) % 256) as u8,
+        )
     });
     puppies_image::io::save_ppm(&img, path).expect("write ppm");
 }
@@ -40,7 +44,13 @@ fn full_cli_workflow() {
         out
     };
 
-    ok(bin().args(["keygen", key.to_str().unwrap()]).output().unwrap(), "keygen");
+    ok(
+        bin()
+            .args(["keygen", key.to_str().unwrap()])
+            .output()
+            .unwrap(),
+        "keygen",
+    );
     assert_eq!(std::fs::read(&key).unwrap().len(), 32);
 
     ok(
@@ -128,7 +138,10 @@ fn protect_without_rois_fails_cleanly() {
     let input = dir.join("in.ppm");
     write_test_ppm(&input);
     let key = dir.join("k.key");
-    bin().args(["keygen", key.to_str().unwrap()]).output().unwrap();
+    bin()
+        .args(["keygen", key.to_str().unwrap()])
+        .output()
+        .unwrap();
     let out = bin()
         .args([
             "protect",

@@ -15,13 +15,11 @@
 
 use crate::matrix::RangeMatrix;
 use crate::privacy::PrivacyLevel;
-use serde::{Deserialize, Serialize};
-
 /// Bits of DC-matrix entropy: 64 entries × 11 bits.
 pub const DC_SECURE_BITS: u32 = 64 * 11;
 
 /// Secure-bit breakdown for one privacy level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SecureBits {
     /// The privacy level analyzed.
     pub level: (u16, u8),

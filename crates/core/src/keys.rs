@@ -11,12 +11,11 @@
 use crate::matrix::PrivateMatrix;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha20Rng;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Identifies one private matrix: which image, which ROI, and which of the
 /// DC/AC pair (§IV-D uses separate `P_DC`/`P_AC` in practice — so do we).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MatrixId {
     /// Image identifier chosen by the sender (e.g. a hash or counter).
     pub image: u64,
@@ -29,7 +28,7 @@ pub struct MatrixId {
 }
 
 /// Whether a matrix perturbs DC or AC coefficients.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MatrixKind {
     /// Perturbs DC coefficients (rotating through the 64 entries).
     Dc,
@@ -47,7 +46,9 @@ pub struct OwnerKey {
 impl std::fmt::Debug for OwnerKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never print key material.
-        f.debug_struct("OwnerKey").field("seed", &"<redacted>").finish()
+        f.debug_struct("OwnerKey")
+            .field("seed", &"<redacted>")
+            .finish()
     }
 }
 
@@ -200,7 +201,14 @@ impl KeyGrant {
             .iter()
             .map(|(id, m)| (*id, m.clone()))
             .collect();
-        v.sort_by_key(|(id, _)| (id.image, id.roi, id.component, matches!(id.kind, MatrixKind::Ac)));
+        v.sort_by_key(|(id, _)| {
+            (
+                id.image,
+                id.roi,
+                id.component,
+                matches!(id.kind, MatrixKind::Ac),
+            )
+        });
         v
     }
 

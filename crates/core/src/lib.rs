@@ -50,6 +50,7 @@
 pub mod analysis;
 pub mod keys;
 pub mod matrix;
+pub mod parallel;
 pub mod params;
 pub mod perturb;
 pub mod privacy;
@@ -62,7 +63,10 @@ pub use matrix::{PrivateMatrix, RangeMatrix};
 pub use params::{PublicParams, RoiParams};
 pub use perturb::{PerturbProfile, PerturbRecord, RangeSpec, Scheme, ZeroIndex};
 pub use privacy::PrivacyLevel;
-pub use protect::{protect, protect_coeff, protect_gray, recover, recover_coeff, recover_strict, ProtectOptions, ProtectedImage};
+pub use protect::{
+    protect, protect_coeff, protect_gray, recover, recover_coeff, recover_strict, ProtectOptions,
+    ProtectedImage,
+};
 pub use roi::RoiPlan;
 
 use std::fmt;

@@ -20,8 +20,6 @@
 
 use puppies_jpeg::{AC_MODULUS, COEFF_MODULUS};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
-
 /// Number of entries in a vectorized 8×8 matrix.
 pub const MATRIX_LEN: usize = 64;
 
@@ -42,7 +40,7 @@ pub fn wrap_ac(v: i32) -> i32 {
 ///
 /// Entries are indexed in the block's row-major (natural) coefficient
 /// order; index 0 lines up with the DC coefficient.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PrivateMatrix {
     entries: Vec<i32>, // length 64, each in [0, 2047]
 }
@@ -102,7 +100,7 @@ impl PrivateMatrix {
 ///
 /// `Q'[i]` is the (exclusive) range of the random perturbation applied to
 /// coefficient `i`; `Q'[i] == 1` means the coefficient is left untouched.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RangeMatrix {
     ranges: Vec<u16>, // length 64
 }

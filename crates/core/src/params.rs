@@ -15,10 +15,8 @@ use crate::perturb::{PerturbProfile, RangeSpec, Scheme, ZeroEntry, ZeroIndex};
 use crate::{PuppiesError, Result};
 use puppies_image::Rect;
 use puppies_transform::Transformation;
-use serde::{Deserialize, Serialize};
-
 /// Per-ROI public parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoiParams {
     /// Index of the region in the image's ROI plan (keys reference it).
     pub index: u16,
@@ -40,7 +38,7 @@ impl RoiParams {
 }
 
 /// Public parameters for one protected image.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PublicParams {
     /// Sender-chosen image identifier (scopes matrix ids).
     pub image_id: u64,
@@ -59,13 +57,7 @@ pub struct PublicParams {
 
 impl PublicParams {
     /// Creates parameters with no transformation applied.
-    pub fn new(
-        image_id: u64,
-        width: u32,
-        height: u32,
-        quality: u8,
-        rois: Vec<RoiParams>,
-    ) -> Self {
+    pub fn new(image_id: u64, width: u32, height: u32, quality: u8, rois: Vec<RoiParams>) -> Self {
         PublicParams {
             image_id,
             width,
@@ -148,9 +140,7 @@ impl PublicParams {
                 1 => Scheme::Base,
                 2 => Scheme::Compression,
                 3 => Scheme::Zero,
-                other => {
-                    return Err(PuppiesError::BadParams(format!("bad scheme tag {other}")))
-                }
+                other => return Err(PuppiesError::BadParams(format!("bad scheme tag {other}"))),
             };
             let range = match r.u8()? {
                 0 => RangeSpec::Algorithm3 {
@@ -161,9 +151,7 @@ impl PublicParams {
                     range: r.u16()?,
                     k: r.u8()?,
                 },
-                other => {
-                    return Err(PuppiesError::BadParams(format!("bad range tag {other}")))
-                }
+                other => return Err(PuppiesError::BadParams(format!("bad range tag {other}"))),
             };
             let dc_range = r.u16()?;
             let zind = read_index(&mut r)?;
@@ -373,9 +361,7 @@ fn decode_transformation(body: &[u8]) -> Result<Transformation> {
                 0 => puppies_transform::ScaleFilter::Nearest,
                 1 => puppies_transform::ScaleFilter::Bilinear,
                 2 => puppies_transform::ScaleFilter::Box,
-                other => {
-                    return Err(PuppiesError::BadParams(format!("bad filter tag {other}")))
-                }
+                other => return Err(PuppiesError::BadParams(format!("bad filter tag {other}"))),
             },
         },
         1 => Transformation::Crop(Rect::new(r.u32()?, r.u32()?, r.u32()?, r.u32()?)),

@@ -34,10 +34,8 @@ use crate::privacy::PrivacyLevel;
 use crate::{PuppiesError, Result};
 use puppies_image::Rect;
 use puppies_jpeg::{CoeffImage, AC_MAX, AC_MODULUS, COEFF_MAX, COEFF_MODULUS};
-use serde::{Deserialize, Serialize};
-
 /// Which PuPPIeS perturbation variant to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Scheme {
     /// PuPPIeS-N: every block's DC secured by the same single value. Kept
     /// for the ablation — §IV-B.1 shows it falls to brute force on DC.
@@ -68,7 +66,7 @@ impl Scheme {
 }
 
 /// How the AC perturbation ranges are generated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RangeSpec {
     /// The paper's Algorithm 3 with parameters `(mR, K)`.
     Algorithm3 {
@@ -114,7 +112,7 @@ impl From<PrivacyLevel> for RangeSpec {
 /// Everything that determines how a region is perturbed (besides the
 /// secret matrices): scheme, AC ranges and DC range. All fields are
 /// public parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PerturbProfile {
     /// Perturbation variant.
     pub scheme: Scheme,
@@ -164,7 +162,7 @@ impl Default for PerturbProfile {
 /// One entry of the new-zero index `ZInd` or the wrap index `WInd`
 /// (§IV-B.4: 2 bits layer + 16 bits block index + 6 bits entry index = 28
 /// bits as stored in public parameters).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ZeroEntry {
     /// Color component (0 = Y, 1 = Cb, 2 = Cr).
     pub component: u8,
@@ -177,7 +175,7 @@ pub struct ZeroEntry {
 
 /// A sparse per-coefficient index: `ZInd` (new zeros) or `WInd` (ring
 /// wraps).
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ZeroIndex {
     entries: Vec<ZeroEntry>,
 }
@@ -201,6 +199,11 @@ impl ZeroIndex {
     /// Appends an entry.
     pub fn push(&mut self, e: ZeroEntry) {
         self.entries.push(e);
+    }
+
+    /// Appends every entry of `other`, preserving order.
+    pub fn extend_from(&mut self, other: &ZeroIndex) {
+        self.entries.extend_from_slice(&other.entries);
     }
 
     /// Whether `(component, block, coeff)` is recorded.
@@ -237,7 +240,7 @@ impl ZeroIndex {
 
 /// Everything the sender learns while perturbing one ROI: the new-zero
 /// index and the wrap index. Both are public parameters.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct PerturbRecord {
     /// New zeros (PuPPIeS-Z bookkeeping).
     pub zind: ZeroIndex,
@@ -329,15 +332,15 @@ pub fn perturb_component(
             });
         }
         block[0] = wrap_dc(raw);
-        for i in 1..64 {
+        for (i, coeff) in block.iter_mut().enumerate().skip(1) {
             let p = ac_perturbation(profile, keys, q, i);
             if p == 0 {
                 continue;
             }
-            if profile.scheme == Scheme::Zero && block[i] == 0 {
+            if profile.scheme == Scheme::Zero && *coeff == 0 {
                 continue; // skip original zeros
             }
-            let raw = block[i] + p;
+            let raw = *coeff + p;
             if raw > AC_MAX {
                 record.wind.push(ZeroEntry {
                     component: component_index,
@@ -345,8 +348,8 @@ pub fn perturb_component(
                     coeff: i as u8,
                 });
             }
-            block[i] = wrap_ac(raw);
-            if profile.scheme == Scheme::Zero && block[i] == 0 {
+            *coeff = wrap_ac(raw);
+            if profile.scheme == Scheme::Zero && *coeff == 0 {
                 record.zind.push(ZeroEntry {
                     component: component_index,
                     block: k32,
@@ -373,19 +376,19 @@ pub fn recover_component(
         let k32 = k as u32;
         let block = comp.block_mut(bx, by);
         block[0] = wrap_dc(block[0] - dc_perturbation(profile, keys, k32));
-        for i in 1..64 {
+        for (i, coeff) in block.iter_mut().enumerate().skip(1) {
             let p = ac_perturbation(profile, keys, q, i);
             if p == 0 {
                 continue;
             }
             match profile.scheme {
                 Scheme::Zero => {
-                    if block[i] != 0 || zset.contains(&(component_index, k32, i as u8)) {
-                        block[i] = wrap_ac(block[i] - p);
+                    if *coeff != 0 || zset.contains(&(component_index, k32, i as u8)) {
+                        *coeff = wrap_ac(*coeff - p);
                     }
                     // An untouched zero was an original zero: leave it.
                 }
-                _ => block[i] = wrap_ac(block[i] - p),
+                _ => *coeff = wrap_ac(*coeff - p),
             }
         }
     }
@@ -405,13 +408,73 @@ pub fn perturb_roi(
     keys: &[RoiKeys],
     profile: &PerturbProfile,
 ) -> Result<PerturbRecord> {
-    validate_roi(coeff, rect, keys.len())?;
-    let q = profile.range_matrix();
-    let mut record = PerturbRecord::default();
-    for (ci, comp) in coeff.components_mut().iter_mut().enumerate() {
-        perturb_component(comp, ci as u8, rect, &keys[ci], profile, &q, &mut record);
+    let mut records = perturb_rois(coeff, &[rect], &[keys.to_vec()], profile)?;
+    Ok(records.pop().expect("one record per roi"))
+}
+
+/// Perturbs several disjoint ROIs across every component of `coeff`,
+/// fanning one job per component onto the current worker pool (components
+/// are the unit of independent mutable state). Every ROI is validated
+/// before any coefficient is touched, so a bad rect leaves `coeff`
+/// unchanged — unlike a roi-by-roi loop, which would abort midway.
+///
+/// `keys[r]` holds one [`RoiKeys`] per component for ROI `r`. The returned
+/// records are per-ROI, with entries in exactly the order the serial
+/// roi-major/component-minor loop produces (each component job walks the
+/// ROIs in order, so its entries are the serial loop's per-component
+/// subsequence; merging per-component records in component order restores
+/// the serial interleaving).
+///
+/// # Errors
+/// Returns [`PuppiesError::BadParams`] if a key count does not match the
+/// component count, or [`PuppiesError::BadRoi`] for an unaligned/out-of-
+/// image rect.
+pub fn perturb_rois(
+    coeff: &mut CoeffImage,
+    rects: &[Rect],
+    keys: &[Vec<RoiKeys>],
+    profile: &PerturbProfile,
+) -> Result<Vec<PerturbRecord>> {
+    if keys.len() != rects.len() {
+        return Err(PuppiesError::BadParams(format!(
+            "{} key sets for {} rois",
+            keys.len(),
+            rects.len()
+        )));
     }
-    Ok(record)
+    for (&rect, ks) in rects.iter().zip(keys) {
+        validate_roi(coeff, rect, ks.len())?;
+    }
+    let ncomp = coeff.components().len();
+    let q = profile.range_matrix();
+    let mut per_comp: Vec<Vec<PerturbRecord>> = (0..ncomp)
+        .map(|_| vec![PerturbRecord::default(); rects.len()])
+        .collect();
+    {
+        let q = &q;
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = coeff
+            .components_mut()
+            .iter_mut()
+            .zip(per_comp.iter_mut())
+            .enumerate()
+            .map(|(ci, (comp, recs))| {
+                Box::new(move || {
+                    for ((&rect, ks), rec) in rects.iter().zip(keys).zip(recs.iter_mut()) {
+                        perturb_component(comp, ci as u8, rect, &ks[ci], profile, q, rec);
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        puppies_parallel::current().run(jobs);
+    }
+    let mut out = vec![PerturbRecord::default(); rects.len()];
+    for recs in per_comp {
+        for (dst, src) in out.iter_mut().zip(&recs) {
+            dst.zind.extend_from(&src.zind);
+            dst.wind.extend_from(&src.wind);
+        }
+    }
+    Ok(out)
 }
 
 /// Exactly inverts [`perturb_roi`].
@@ -425,10 +488,46 @@ pub fn recover_roi(
     profile: &PerturbProfile,
     zind: &ZeroIndex,
 ) -> Result<()> {
-    validate_roi(coeff, rect, keys.len())?;
-    let q = profile.range_matrix();
-    for (ci, comp) in coeff.components_mut().iter_mut().enumerate() {
-        recover_component(comp, ci as u8, rect, &keys[ci], profile, &q, zind);
+    recover_rois(coeff, &[(rect, profile, zind)], &[keys.to_vec()])
+}
+
+/// Exactly inverts [`perturb_rois`] over several ROIs, each with its own
+/// profile and `ZInd` (as recorded in its public [`crate::params::RoiParams`]),
+/// fanning one job per component like the forward direction.
+///
+/// # Errors
+/// Same validation as [`perturb_rois`].
+pub fn recover_rois(
+    coeff: &mut CoeffImage,
+    rois: &[(Rect, &PerturbProfile, &ZeroIndex)],
+    keys: &[Vec<RoiKeys>],
+) -> Result<()> {
+    if keys.len() != rois.len() {
+        return Err(PuppiesError::BadParams(format!(
+            "{} key sets for {} rois",
+            keys.len(),
+            rois.len()
+        )));
+    }
+    for (&(rect, _, _), ks) in rois.iter().zip(keys) {
+        validate_roi(coeff, rect, ks.len())?;
+    }
+    let qs: Vec<RangeMatrix> = rois.iter().map(|(_, p, _)| p.range_matrix()).collect();
+    {
+        let qs = &qs;
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = coeff
+            .components_mut()
+            .iter_mut()
+            .enumerate()
+            .map(|(ci, comp)| {
+                Box::new(move || {
+                    for ((&(rect, profile, zind), ks), q) in rois.iter().zip(keys).zip(qs) {
+                        recover_component(comp, ci as u8, rect, &ks[ci], profile, q, zind);
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        puppies_parallel::current().run(jobs);
     }
     Ok(())
 }
@@ -523,6 +622,57 @@ mod tests {
     }
 
     #[test]
+    fn zero_index_empty_has_no_entries_anywhere() {
+        let z = ZeroIndex::new();
+        assert!(z.is_empty());
+        assert_eq!(z.len(), 0);
+        assert_eq!(z.encoded_bits(), 0);
+        assert!(!z.contains(0, 0, 0));
+        assert!(z.to_set().is_empty());
+        assert_eq!(z, ZeroIndex::from_entries(Vec::new()));
+    }
+
+    #[test]
+    fn zero_index_duplicate_entries_are_kept_but_set_deduplicates() {
+        let e = ZeroEntry {
+            component: 1,
+            block: 7,
+            coeff: 33,
+        };
+        let z = ZeroIndex::from_entries(vec![e, e, e]);
+        // The wire format stores entries verbatim (28 bits each, §IV-B.4),
+        // so duplicates cost bits …
+        assert_eq!(z.len(), 3);
+        assert_eq!(z.encoded_bits(), 3 * 28);
+        assert!(z.contains(1, 7, 33));
+        assert!(!z.contains(1, 7, 34));
+        assert!(!z.contains(0, 7, 33));
+        // … while the recovery lookup collapses them harmlessly.
+        assert_eq!(z.to_set().len(), 1);
+        assert!(z.to_set().contains(&(1, 7, 33)));
+    }
+
+    #[test]
+    fn zero_index_extend_from_preserves_order_and_duplicates() {
+        let a = ZeroEntry {
+            component: 0,
+            block: 1,
+            coeff: 2,
+        };
+        let b = ZeroEntry {
+            component: 2,
+            block: 3,
+            coeff: 4,
+        };
+        let mut left = ZeroIndex::from_entries(vec![a]);
+        let right = ZeroIndex::from_entries(vec![b, a]);
+        left.extend_from(&right);
+        assert_eq!(left.entries(), &[a, b, a]);
+        left.extend_from(&ZeroIndex::new());
+        assert_eq!(left.len(), 3);
+    }
+
+    #[test]
     fn all_profiles_roundtrip_exactly() {
         let img = test_image();
         let rect = Rect::new(8, 8, 32, 24);
@@ -549,7 +699,7 @@ mod tests {
         for (co, cp) in original.components().iter().zip(perturbed.components()) {
             for by in 0..co.blocks_h() {
                 for bx in 0..co.blocks_w() {
-                    let inside = (bx >= 2 && bx < 4) && (by >= 2 && by < 4);
+                    let inside = (2..4).contains(&bx) && (2..4).contains(&by);
                     if !inside {
                         assert_eq!(co.block(bx, by), cp.block(bx, by), "block ({bx},{by})");
                     }
@@ -613,8 +763,7 @@ mod tests {
         let mut perturbed = original.clone();
         let profile = PerturbProfile::paper(Scheme::Zero, PrivacyLevel::High);
         let keys = keys_for(2, 0);
-        let record =
-            perturb_roi(&mut perturbed, Rect::new(0, 0, 32, 32), &keys, &profile).unwrap();
+        let record = perturb_roi(&mut perturbed, Rect::new(0, 0, 32, 32), &keys, &profile).unwrap();
         assert!(record.zind.is_empty(), "no nonzero AC to turn into zero");
         for (co, cp) in original.components().iter().zip(perturbed.components()) {
             for (bo, bp) in co.blocks().iter().zip(cp.blocks()) {
@@ -637,7 +786,10 @@ mod tests {
         let original = coeff.clone();
         let rect = Rect::new(0, 0, 64, 64);
         let record = perturb_roi(&mut coeff, rect, &keys, &profile).unwrap();
-        assert!(record.zind.contains(0, 0, 1), "created zero must be recorded");
+        assert!(
+            record.zind.contains(0, 0, 1),
+            "created zero must be recorded"
+        );
         recover_roi(&mut coeff, rect, &keys, &profile, &record.zind).unwrap();
         assert_eq!(coeff, original);
     }
@@ -656,7 +808,7 @@ mod tests {
         let record = perturb_roi(&mut perturbed, rect, &keys, &profile).unwrap();
         assert!(!record.wind.is_empty(), "full-range DC must wrap somewhere");
         let wset = record.wind.to_set();
-        for ci in 0..3 {
+        for (ci, key) in keys.iter().enumerate() {
             let co = &original.components()[ci];
             let cp = &perturbed.components()[ci];
             let positions = co.blocks_in_region(rect);
@@ -664,9 +816,7 @@ mod tests {
                 let bo = co.block(bx, by);
                 let bp = cp.block(bx, by);
                 for i in 0..64 {
-                    let d = effective_delta(
-                        &profile, &keys[ci], &q, &wset, ci as u8, k as u32, i,
-                    );
+                    let d = effective_delta(&profile, key, &q, &wset, ci as u8, k as u32, i);
                     assert_eq!(bo[i] + d, bp[i], "comp {ci} block {k} coeff {i}");
                 }
             }
@@ -679,8 +829,7 @@ mod tests {
         let mut perturbed = CoeffImage::from_rgb(&img, 75);
         let profile = PerturbProfile::transform_friendly();
         let keys = keys_for(5, 0);
-        let record =
-            perturb_roi(&mut perturbed, Rect::new(0, 0, 64, 64), &keys, &profile).unwrap();
+        let record = perturb_roi(&mut perturbed, Rect::new(0, 0, 64, 64), &keys, &profile).unwrap();
         assert!(
             record.wind.is_empty(),
             "bounded ranges should not wrap: {} wraps",
@@ -731,8 +880,13 @@ mod tests {
         let profile = PerturbProfile::paper(Scheme::Base, PrivacyLevel::High);
         let keys = keys_for(1, 0);
         perturb_roi(&mut coeff, Rect::new(0, 0, 64, 64), &keys, &profile).unwrap();
-        let bytes = coeff.encode(&puppies_jpeg::EncodeOptions::default()).unwrap();
+        let bytes = coeff
+            .encode(&puppies_jpeg::EncodeOptions::default())
+            .unwrap();
         let back = CoeffImage::decode(&bytes).unwrap();
-        assert_eq!(back.components()[0].blocks(), coeff.components()[0].blocks());
+        assert_eq!(
+            back.components()[0].blocks(),
+            coeff.components()[0].blocks()
+        );
     }
 }

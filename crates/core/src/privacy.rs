@@ -1,12 +1,10 @@
 //! Privacy levels and the Table IV parameter mapping.
 
 use crate::matrix::RangeMatrix;
-use serde::{Deserialize, Serialize};
-
 /// A user-selectable privacy level (Table IV of the paper), or a custom
 /// `(mR, K)` pair for finer control (the paper leaves finer granularity to
 /// future work; [`PrivacyLevel::Custom`] implements it).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PrivacyLevel {
     /// `mR = 1, K = 1`: only the DC coefficient is randomized.
     Low,
@@ -72,7 +70,10 @@ mod tests {
 
     #[test]
     fn custom_clamps_k() {
-        assert_eq!(PrivacyLevel::Custom { m_r: 16, k: 200 }.parameters(), (16, 64));
+        assert_eq!(
+            PrivacyLevel::Custom { m_r: 16, k: 200 }.parameters(),
+            (16, 64)
+        );
     }
 
     #[test]

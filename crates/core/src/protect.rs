@@ -3,7 +3,7 @@
 
 use crate::keys::{KeyGrant, OwnerKey};
 use crate::params::{PublicParams, RoiParams};
-use crate::perturb::{perturb_roi, recover_roi, PerturbProfile, RoiKeys, Scheme};
+use crate::perturb::{perturb_rois, recover_rois, PerturbProfile, RoiKeys, Scheme};
 use crate::privacy::PrivacyLevel;
 use crate::roi::RoiPlan;
 use crate::{PuppiesError, Result};
@@ -148,20 +148,28 @@ pub fn protect_coeff(
 ) -> Result<PublicParams> {
     let plan = RoiPlan::from_rects(coeff.width(), coeff.height(), rois)?;
     let ncomp = coeff.components().len();
-    let mut roi_params = Vec::with_capacity(plan.regions().len());
-    for (idx, &rect) in plan.regions().iter().enumerate() {
-        let keys: Vec<RoiKeys> = (0..ncomp)
-            .map(|c| RoiKeys::from_grant(&key.grant_all(), opts.image_id, idx as u16, c as u8))
-            .collect::<Result<_>>()?;
-        let record = perturb_roi(coeff, rect, &keys, &opts.profile)?;
-        roi_params.push(RoiParams {
+    let grant = key.grant_all();
+    let keys: Vec<Vec<RoiKeys>> = (0..plan.regions().len())
+        .map(|idx| {
+            (0..ncomp)
+                .map(|c| RoiKeys::from_grant(&grant, opts.image_id, idx as u16, c as u8))
+                .collect::<Result<_>>()
+        })
+        .collect::<Result<_>>()?;
+    let records = perturb_rois(coeff, plan.regions(), &keys, &opts.profile)?;
+    let roi_params = plan
+        .regions()
+        .iter()
+        .zip(records)
+        .enumerate()
+        .map(|(idx, (&rect, record))| RoiParams {
             index: idx as u16,
             rect,
             profile: opts.profile,
             zind: record.zind,
             wind: record.wind,
-        });
-    }
+        })
+        .collect();
     Ok(PublicParams::new(
         opts.image_id,
         coeff.width(),
@@ -223,16 +231,24 @@ pub fn recover_coeff(
     grant: &KeyGrant,
 ) -> Result<()> {
     let ncomp = coeff.components().len();
-    for roi in &params.rois {
-        if !grant.covers(params.image_id, roi.index) {
-            continue;
-        }
-        let keys: Vec<RoiKeys> = (0..ncomp)
-            .map(|c| RoiKeys::from_grant(grant, params.image_id, roi.index, c as u8))
-            .collect::<Result<_>>()?;
-        recover_roi(coeff, roi.rect, &keys, &roi.profile, &roi.zind)?;
-    }
-    Ok(())
+    let covered: Vec<_> = params
+        .rois
+        .iter()
+        .filter(|roi| grant.covers(params.image_id, roi.index))
+        .collect();
+    let keys: Vec<Vec<RoiKeys>> = covered
+        .iter()
+        .map(|roi| {
+            (0..ncomp)
+                .map(|c| RoiKeys::from_grant(grant, params.image_id, roi.index, c as u8))
+                .collect::<Result<_>>()
+        })
+        .collect::<Result<_>>()?;
+    let rois: Vec<_> = covered
+        .iter()
+        .map(|roi| (roi.rect, &roi.profile, &roi.zind))
+        .collect();
+    recover_rois(coeff, &rois, &keys)
 }
 
 #[cfg(test)]
@@ -420,9 +436,27 @@ mod tests {
             &ProtectOptions::default(),
         )
         .unwrap();
+        // `encoded_len` must agree with the actual wire encoding, so
+        // `public_len` is a real storage figure (Figs. 17–18), not an
+        // estimate.
+        assert_eq!(
+            protected.params.encoded_len(),
+            protected.params.to_bytes().len()
+        );
         assert_eq!(
             protected.public_len(),
-            protected.bytes.len() + protected.params.encoded_len()
+            protected.bytes.len() + protected.params.to_bytes().len()
         );
+        // The parameter share is nonzero, and a second ROI makes the
+        // parameter blob strictly larger.
+        assert!(protected.public_len() > protected.bytes.len());
+        let two = protect(
+            &img,
+            &[Rect::new(8, 8, 16, 16), Rect::new(56, 40, 16, 16)],
+            &key,
+            &ProtectOptions::default(),
+        )
+        .unwrap();
+        assert!(two.params.encoded_len() > protected.params.encoded_len());
     }
 }

@@ -12,10 +12,8 @@ use crate::{PuppiesError, Result};
 use puppies_image::geometry::decompose_disjoint;
 use puppies_image::Rect;
 use puppies_jpeg::BLOCK_SIZE;
-use serde::{Deserialize, Serialize};
-
 /// A set of disjoint, 8-aligned ROI rectangles for one image.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoiPlan {
     width: u32,
     height: u32,
@@ -90,12 +88,8 @@ mod tests {
 
     #[test]
     fn plan_aligns_and_decomposes() {
-        let plan = RoiPlan::from_rects(
-            64,
-            64,
-            &[Rect::new(3, 3, 10, 10), Rect::new(30, 30, 9, 9)],
-        )
-        .unwrap();
+        let plan = RoiPlan::from_rects(64, 64, &[Rect::new(3, 3, 10, 10), Rect::new(30, 30, 9, 9)])
+            .unwrap();
         for r in plan.regions() {
             assert_eq!(r.x % 8, 0);
             assert_eq!(r.y % 8, 0);

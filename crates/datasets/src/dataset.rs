@@ -144,8 +144,7 @@ pub fn generate_one(profile: DatasetProfile, seed: u64, index: usize) -> Labeled
     assert!(index < profile.count, "index {index} out of range");
     let identities = FaceIdentitySet::new(seed ^ 0xFACE, 24);
     let i = index;
-    let mut rng =
-        ChaCha8Rng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let (image, truth, identity) = match profile.kind {
         DatasetKind::Pascal => {
             let (img, t) = scene::pascal_scene(&mut rng, profile.width, profile.height);
@@ -228,7 +227,9 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let p = DatasetProfile::pascal().with_count(3).with_resolution(128, 96);
+        let p = DatasetProfile::pascal()
+            .with_count(3)
+            .with_resolution(128, 96);
         let a: Vec<_> = generate(p, 7).collect();
         let b: Vec<_> = generate(p, 7).collect();
         assert_eq!(a.len(), 3);
@@ -251,7 +252,9 @@ mod tests {
 
     #[test]
     fn feret_identities_repeat() {
-        let p = DatasetProfile::feret().with_count(48).with_resolution(64, 96);
+        let p = DatasetProfile::feret()
+            .with_count(48)
+            .with_resolution(64, 96);
         let imgs: Vec<_> = generate(p, 3).collect();
         let mut counts = std::collections::HashMap::new();
         for img in &imgs {
@@ -263,7 +266,9 @@ mod tests {
 
     #[test]
     fn caltech_images_carry_face_truth() {
-        let p = DatasetProfile::caltech().with_count(4).with_resolution(160, 120);
+        let p = DatasetProfile::caltech()
+            .with_count(4)
+            .with_resolution(160, 120);
         for img in generate(p, 5) {
             assert_eq!(img.truth.faces.len(), 1);
         }
@@ -271,7 +276,9 @@ mod tests {
 
     #[test]
     fn resolution_override_respected() {
-        let p = DatasetProfile::inria().with_count(1).with_resolution(200, 150);
+        let p = DatasetProfile::inria()
+            .with_count(1)
+            .with_resolution(200, 150);
         let img = generate(p, 1).next().unwrap();
         assert_eq!((img.image.width(), img.image.height()), (200, 150));
     }

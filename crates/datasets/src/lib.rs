@@ -21,5 +21,7 @@ pub mod dataset;
 pub mod noise;
 pub mod scene;
 
-pub use dataset::{generate, generate_one, DatasetKind, DatasetProfile, FaceIdentitySet, LabeledImage};
+pub use dataset::{
+    generate, generate_one, DatasetKind, DatasetProfile, FaceIdentitySet, LabeledImage,
+};
 pub use scene::GroundTruth;

@@ -61,7 +61,9 @@ impl ValueNoise {
         let mut total = 0.0;
         for o in 0..octaves.max(1) {
             let n = ValueNoise {
-                seed: self.seed.wrapping_add((o as u64).wrapping_mul(0x5851_F42D_4C95_7F2D)),
+                seed: self
+                    .seed
+                    .wrapping_add((o as u64).wrapping_mul(0x5851_F42D_4C95_7F2D)),
                 cell: (self.cell / (1 << o) as f32).max(1.0),
             };
             sum += amp * n.at(x, y);

@@ -391,7 +391,11 @@ pub fn portrait<R: Rng + ?Sized>(
 
 /// A PASCAL-flavoured mixed scene: randomly one of the object-bearing
 /// generators.
-pub fn pascal_scene<R: Rng + ?Sized>(rng: &mut R, width: u32, height: u32) -> (RgbImage, GroundTruth) {
+pub fn pascal_scene<R: Rng + ?Sized>(
+    rng: &mut R,
+    width: u32,
+    height: u32,
+) -> (RgbImage, GroundTruth) {
     match rng.gen_range(0..4u32) {
         0 => landscape_with_people(rng, width, height),
         1 => street_with_plate(rng, width, height),
@@ -409,8 +413,7 @@ mod tests {
     #[test]
     fn generators_are_deterministic() {
         for gen in [
-            landscape_with_people
-                as fn(&mut StdRng, u32, u32) -> (RgbImage, GroundTruth),
+            landscape_with_people as fn(&mut StdRng, u32, u32) -> (RgbImage, GroundTruth),
             street_with_plate,
             document_scene,
             pascal_scene,
@@ -498,11 +501,7 @@ mod tests {
             .unwrap()
             .to_gray()
             .mean();
-        let corner_mean = img
-            .crop(Rect::new(0, 0, 16, 16))
-            .unwrap()
-            .to_gray()
-            .mean();
+        let corner_mean = img.crop(Rect::new(0, 0, 16, 16)).unwrap().to_gray().mean();
         assert!(face_mean > corner_mean + 20.0);
     }
 }

@@ -40,8 +40,7 @@ pub trait BaselineScheme {
     /// transformation. Returns `None` when the published design has no
     /// mechanism for this transformation (the harness then grades ✗ after
     /// double-checking that naive recovery indeed fails).
-    fn recover(&self, transformed: &CoeffImage, t: Option<&Transformation>)
-        -> Option<CoeffImage>;
+    fn recover(&self, transformed: &CoeffImage, t: Option<&Transformation>) -> Option<CoeffImage>;
     /// Whether the PSP can decode the encrypted file at all (false for
     /// bitstream/table encryption like MHT).
     fn psp_can_decode(&self) -> bool {
@@ -64,8 +63,7 @@ fn map_blocks(coeff: &CoeffImage, f: impl Fn(usize, &Block) -> Block) -> CoeffIm
                 .expect("geometry preserved")
         })
         .collect();
-    CoeffImage::from_components(coeff.width(), coeff.height(), comps)
-        .expect("geometry preserved")
+    CoeffImage::from_components(coeff.width(), coeff.height(), comps).expect("geometry preserved")
 }
 
 fn coeff_domain_undo(
@@ -120,11 +118,7 @@ impl BaselineScheme for SignFlip {
     fn encrypt(&self, coeff: &CoeffImage) -> CoeffImage {
         self.apply(coeff)
     }
-    fn recover(
-        &self,
-        transformed: &CoeffImage,
-        t: Option<&Transformation>,
-    ) -> Option<CoeffImage> {
+    fn recover(&self, transformed: &CoeffImage, t: Option<&Transformation>) -> Option<CoeffImage> {
         match t {
             None => Some(self.apply(transformed)), // involution
             Some(Transformation::Recompress { .. }) => {
@@ -197,11 +191,7 @@ impl BaselineScheme for PermuteBlock {
     fn encrypt(&self, coeff: &CoeffImage) -> CoeffImage {
         self.forward(coeff)
     }
-    fn recover(
-        &self,
-        transformed: &CoeffImage,
-        t: Option<&Transformation>,
-    ) -> Option<CoeffImage> {
+    fn recover(&self, transformed: &CoeffImage, t: Option<&Transformation>) -> Option<CoeffImage> {
         match t {
             None => Some(self.backward(transformed)),
             Some(Transformation::Recompress { .. }) => Some(self.backward(transformed)),
@@ -250,14 +240,8 @@ impl DqtScramble {
                 } else {
                     QuantTable::chroma(self.quality)
                 };
-                Component::from_blocks(
-                    c.id(),
-                    c.width(),
-                    c.height(),
-                    table,
-                    c.blocks().to_vec(),
-                )
-                .expect("geometry preserved")
+                Component::from_blocks(c.id(), c.width(), c.height(), table, c.blocks().to_vec())
+                    .expect("geometry preserved")
             })
             .collect();
         CoeffImage::from_components(coeff.width(), coeff.height(), comps)
@@ -275,11 +259,7 @@ impl BaselineScheme for DqtScramble {
     fn encrypt(&self, coeff: &CoeffImage) -> CoeffImage {
         self.swap_tables(coeff, true)
     }
-    fn recover(
-        &self,
-        transformed: &CoeffImage,
-        t: Option<&Transformation>,
-    ) -> Option<CoeffImage> {
+    fn recover(&self, transformed: &CoeffImage, t: Option<&Transformation>) -> Option<CoeffImage> {
         match t {
             // Restoring the true table recovers the image as long as the
             // PSP never dequantized: untouched storage and lossless
@@ -324,11 +304,7 @@ impl BaselineScheme for MhtEncrypt {
     fn encrypt(&self, coeff: &CoeffImage) -> CoeffImage {
         coeff.clone()
     }
-    fn recover(
-        &self,
-        transformed: &CoeffImage,
-        t: Option<&Transformation>,
-    ) -> Option<CoeffImage> {
+    fn recover(&self, transformed: &CoeffImage, t: Option<&Transformation>) -> Option<CoeffImage> {
         match t {
             None => Some(transformed.clone()),
             _ => None, // PSP cannot decode, so no transformation exists
@@ -402,7 +378,10 @@ mod tests {
     #[test]
     fn dqt_scramble_hides_and_recovers() {
         let c = coeff();
-        let s = DqtScramble { seed: 5, quality: 75 };
+        let s = DqtScramble {
+            seed: 5,
+            quality: 75,
+        };
         let enc = s.encrypt(&c);
         let psnr = psnr_rgb(&c.to_rgb(), &enc.to_rgb());
         assert!(psnr < 25.0, "DQT scramble too weak: {psnr}");

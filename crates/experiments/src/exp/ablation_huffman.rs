@@ -17,8 +17,18 @@ pub fn run(ctx: &Ctx) {
         "scheme", "default tables", "optimized tables", "saving"
     );
     for scheme in [Scheme::Base, Scheme::Compression, Scheme::Zero] {
-        let std = Stats::of(&ratios(&images, scheme, HuffmanMode::Standard, PrivacyLevel::Medium));
-        let opt = Stats::of(&ratios(&images, scheme, HuffmanMode::Optimized, PrivacyLevel::Medium));
+        let std = Stats::of(&ratios(
+            &images,
+            scheme,
+            HuffmanMode::Standard,
+            PrivacyLevel::Medium,
+        ));
+        let opt = Stats::of(&ratios(
+            &images,
+            scheme,
+            HuffmanMode::Optimized,
+            PrivacyLevel::Medium,
+        ));
         println!(
             "{:<14} {:>18.2} {:>18.2} {:>9.0}%",
             scheme.name(),

@@ -34,7 +34,12 @@ pub fn run(ctx: &Ctx) {
                 .collect();
             let w = coeff.width();
             let h = coeff.height();
-            let roi = Rect::new(w / 4 / 8 * 8, h / 4 / 8 * 8, (w / 2) / 8 * 8, (h / 2) / 8 * 8);
+            let roi = Rect::new(
+                w / 4 / 8 * 8,
+                h / 4 / 8 * 8,
+                (w / 2) / 8 * 8,
+                (h / 2) / 8 * 8,
+            );
             perturb_roi(&mut coeff, roi, &keys, &profile).expect("perturb");
             let guess = naive_dc_attack(&coeff, roi);
             let truth = dc_perturbation(&profile, &keys[0], 0);

@@ -36,7 +36,8 @@ pub fn run(ctx: &Ctx) {
     let mut hits = 0;
     let trials = 20;
     for t in 0..trials {
-        let (secret, guess) = tiny_keyspace_demo(&coeff, 2 + (t % 5), 2 + (t % 7), 4, t as i32 * 3 + 1);
+        let (secret, guess) =
+            tiny_keyspace_demo(&coeff, 2 + (t % 5), 2 + (t % 7), 4, t as i32 * 3 + 1);
         if secret == guess {
             hits += 1;
         }

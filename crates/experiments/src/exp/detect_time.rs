@@ -42,7 +42,11 @@ pub fn run(ctx: &Ctx) {
     println!("{:<22} {}", "face detector", Stats::of(&face_ms).row(1));
     println!("{:<22} {}", "text detector", Stats::of(&text_ms).row(1));
     println!("{:<22} {}", "objectness", Stats::of(&object_ms).row(1));
-    println!("{:<22} {}", "full recommendation", Stats::of(&total_ms).row(1));
+    println!(
+        "{:<22} {}",
+        "full recommendation",
+        Stats::of(&total_ms).row(1)
+    );
     let obj_share = Stats::of(&object_ms).mean
         / (Stats::of(&face_ms).mean + Stats::of(&text_ms).mean + Stats::of(&object_ms).mean);
     println!(

@@ -29,9 +29,13 @@ pub fn run(ctx: &Ctx) {
         .collect();
     let results = par_map(&queries, |li| {
         let rois = li.truth.all_regions();
-        let opts = ProtectOptions::default().with_quality(super::QUALITY).with_image_id(li.id);
+        let opts = ProtectOptions::default()
+            .with_quality(super::QUALITY)
+            .with_image_id(li.id);
         let protected = protect(&li.image, &rois, &key, &opts).expect("protect");
-        let perturbed = CoeffImage::decode(&protected.bytes).expect("decode").to_rgb();
+        let perturbed = CoeffImage::decode(&protected.bytes)
+            .expect("decode")
+            .to_rgb();
         let top_orig = index.query(&li.image, 10);
         let top_pert = index.query(&perturbed, 10);
         let overlap = result_overlap(&top_orig, &top_pert);

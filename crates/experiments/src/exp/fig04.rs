@@ -53,26 +53,29 @@ pub fn run(ctx: &Ctx) {
                 ),
             ),
         ] {
-            let opts = ProtectOptions::from_profile(profile).with_quality(super::QUALITY).with_image_id(li.id);
+            let opts = ProtectOptions::from_profile(profile)
+                .with_quality(super::QUALITY)
+                .with_image_id(li.id);
             let protected = protect(&li.image, &[whole], &key, &opts).expect("protect");
-            let perturbed = CoeffImage::decode(&protected.bytes).expect("decode").to_rgb();
+            let perturbed = CoeffImage::decode(&protected.bytes)
+                .expect("decode")
+                .to_rgb();
             let scaled = t.apply_to_rgb(&perturbed).expect("scale");
             let mut params = protected.params.clone();
             params.transformation = Some(t.clone());
-            let rec = puppies_core::shadow::recover_pixel_domain(
-                &scaled,
-                &t,
-                &params,
-                &key.grant_all(),
-            )
-            .expect("recover");
+            let rec =
+                puppies_core::shadow::recover_pixel_domain(&scaled, &t, &params, &key.grant_all())
+                    .expect("recover");
             rows[row].1.push(psnr_rgb(&rec, &reference));
             if row == 1 {
                 rows[3].1.push(psnr_rgb(&scaled, &reference));
             }
         }
     }
-    println!("PSNR (dB) of recovered half-scale image vs ground truth, {} images", images.len());
+    println!(
+        "PSNR (dB) of recovered half-scale image vs ground truth, {} images",
+        images.len()
+    );
     println!(
         "{:<32} {:>8} {:>8} {:>8} {:>8} {:>8}",
         "path", "mean", "median", "std", "min", "max"

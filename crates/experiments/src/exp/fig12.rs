@@ -12,7 +12,10 @@ use puppies_vision::detect::{recommend_rois, DetectorKind, RecommendParams};
 /// Runs the experiment.
 pub fn run(ctx: &Ctx) {
     header("Fig. 12: detected ROIs and disjoint split");
-    let images = load(super::pascal(ctx).with_count(ctx.scale.count(4, 8, 24)), ctx.seed);
+    let images = load(
+        super::pascal(ctx).with_count(ctx.scale.count(4, 8, 24)),
+        ctx.seed,
+    );
     let mut covered = 0usize;
     let mut total = 0usize;
     for (i, li) in images.iter().enumerate() {
@@ -36,11 +39,7 @@ pub fn run(ctx: &Ctx) {
         // least half its area lies under recommended regions.
         for truth in li.truth.all_regions() {
             total += 1;
-            let inter: u64 = rec
-                .regions
-                .iter()
-                .map(|r| r.intersect(truth).area())
-                .sum();
+            let inter: u64 = rec.regions.iter().map(|r| r.intersect(truth).area()).sum();
             if inter * 2 >= truth.area() {
                 covered += 1;
             }
@@ -72,7 +71,5 @@ pub fn run(ctx: &Ctx) {
             println!("  annotated scene saved to {}", path.display());
         }
     }
-    println!(
-        "\nground-truth regions >=50% covered by recommendations: {covered}/{total}"
-    );
+    println!("\nground-truth regions >=50% covered by recommendations: {covered}/{total}");
 }

@@ -35,7 +35,10 @@ fn keep(coeff: &CoeffImage, dc: bool) -> CoeffImage {
 /// Runs the experiment.
 pub fn run(ctx: &Ctx) {
     header("Figs. 13-14: DC-only vs AC-only reconstructions");
-    let images = load(super::pascal(ctx).with_count(ctx.scale.count(2, 6, 20)), ctx.seed);
+    let images = load(
+        super::pascal(ctx).with_count(ctx.scale.count(2, 6, 20)),
+        ctx.seed,
+    );
     println!(
         "{:>5} {:>12} {:>12} {:>12} {:>12}",
         "image", "DC energy %", "AC energy %", "DC-only dB", "AC-only dB"

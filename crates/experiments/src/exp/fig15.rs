@@ -34,9 +34,13 @@ pub fn run(ctx: &Ctx) {
         (Scheme::Compression, HuffmanMode::Optimized),
         (Scheme::Zero, HuffmanMode::Optimized),
     ] {
-        let opts = ProtectOptions::new(scheme, PrivacyLevel::Medium).with_quality(super::QUALITY).with_huffman(huffman);
+        let opts = ProtectOptions::new(scheme, PrivacyLevel::Medium)
+            .with_quality(super::QUALITY)
+            .with_huffman(huffman);
         let protected = protect(&img, &[plate], &key, &opts).expect("protect");
-        let perturbed = CoeffImage::decode(&protected.bytes).expect("decode").to_rgb();
+        let perturbed = CoeffImage::decode(&protected.bytes)
+            .expect("decode")
+            .to_rgb();
         let aligned = plate.align_to(8, img.width(), img.height());
         let roi_orig = reference.to_rgb().crop(aligned).expect("crop").to_gray();
         let roi_pert = perturbed.crop(aligned).expect("crop").to_gray();

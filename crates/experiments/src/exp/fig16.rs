@@ -12,7 +12,10 @@ use puppies_transform::{ScaleFilter, Transformation};
 /// Runs the experiment.
 pub fn run(ctx: &Ctx) {
     header("Fig. 16: perturb -> PSP downscale -> shadow reconstruction");
-    let images = load(super::pascal(ctx).with_count(ctx.scale.count(4, 12, 48)), ctx.seed);
+    let images = load(
+        super::pascal(ctx).with_count(ctx.scale.count(4, 12, 48)),
+        ctx.seed,
+    );
     let key = OwnerKey::from_seed([16u8; 32]);
     let mut tf = Vec::new();
     let mut paper = Vec::new();
@@ -38,19 +41,19 @@ pub fn run(ctx: &Ctx) {
             ),
         ];
         for (pi, profile) in profiles.into_iter().enumerate() {
-            let opts = ProtectOptions::from_profile(profile).with_quality(super::QUALITY).with_image_id(li.id);
+            let opts = ProtectOptions::from_profile(profile)
+                .with_quality(super::QUALITY)
+                .with_image_id(li.id);
             let protected = protect(&li.image, &rois, &key, &opts).expect("protect");
-            let perturbed = CoeffImage::decode(&protected.bytes).expect("decode").to_rgb();
+            let perturbed = CoeffImage::decode(&protected.bytes)
+                .expect("decode")
+                .to_rgb();
             let scaled = t.apply_to_rgb(&perturbed).expect("scale");
             let mut params = protected.params.clone();
             params.transformation = Some(t.clone());
-            let rec = puppies_core::shadow::recover_pixel_domain(
-                &scaled,
-                &t,
-                &params,
-                &key.grant_all(),
-            )
-            .expect("recover");
+            let rec =
+                puppies_core::shadow::recover_pixel_domain(&scaled, &t, &params, &key.grant_all())
+                    .expect("recover");
             let psnr = psnr_rgb(&rec, &reference);
             if pi == 0 {
                 tf.push(psnr);
@@ -74,7 +77,11 @@ pub fn run(ctx: &Ctx) {
     );
     println!("{:<34} {}", "transform-friendly", Stats::of(&tf).row(1));
     println!("{:<34} {}", "paper C/medium", Stats::of(&paper).row(1));
-    println!("{:<34} {}", "no recovery (perturbed baseline)", Stats::of(&baseline).row(1));
+    println!(
+        "{:<34} {}",
+        "no recovery (perturbed baseline)",
+        Stats::of(&baseline).row(1)
+    );
     println!(
         "\npaper: 'the reconstructed scaled image is exactly the same'. Our \
          measurement: near-exact with the transform-friendly profile; the \

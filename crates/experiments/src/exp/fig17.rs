@@ -18,8 +18,18 @@ pub fn run(ctx: &Ctx) {
             "level", "PuPPIeS-C (mean±std)", "PuPPIeS-Z (mean±std)"
         );
         for level in PrivacyLevel::TABLE_IV {
-            let c = Stats::of(&ratios(&images, Scheme::Compression, HuffmanMode::Optimized, level));
-            let z = Stats::of(&ratios(&images, Scheme::Zero, HuffmanMode::Optimized, level));
+            let c = Stats::of(&ratios(
+                &images,
+                Scheme::Compression,
+                HuffmanMode::Optimized,
+                level,
+            ));
+            let z = Stats::of(&ratios(
+                &images,
+                Scheme::Zero,
+                HuffmanMode::Optimized,
+                level,
+            ));
             println!(
                 "{:<8} {:>14.2} ± {:<5.2} {:>14.2} ± {:<5.2}",
                 level.name(),

@@ -13,7 +13,12 @@ fn centered_roi(w: u32, h: u32, fraction: f64) -> Rect {
     let scale = fraction.sqrt().clamp(0.05, 1.0);
     let rw = ((w as f64 * scale) as u32).clamp(8, w) / 8 * 8;
     let rh = ((h as f64 * scale) as u32).clamp(8, h) / 8 * 8;
-    Rect::new((w - rw) / 2 / 8 * 8, (h - rh) / 2 / 8 * 8, rw.max(8), rh.max(8))
+    Rect::new(
+        (w - rw) / 2 / 8 * 8,
+        (h - rh) / 2 / 8 * 8,
+        rw.max(8),
+        rh.max(8),
+    )
 }
 
 /// Runs the experiment.
@@ -44,15 +49,14 @@ pub fn run(ctx: &Ctx) {
                 let original = coeff.encode(&enc_opts).expect("encode").len() as f64;
                 let roi = centered_roi(coeff.width(), coeff.height(), fraction);
                 let mut perturbed = coeff;
-                let opts =
-                    ProtectOptions::new(scheme, PrivacyLevel::Medium).with_quality(super::QUALITY).with_image_id(li.id);
-                let params =
-                    protect_coeff(&mut perturbed, &[roi], &key, &opts).expect("perturb");
+                let opts = ProtectOptions::new(scheme, PrivacyLevel::Medium)
+                    .with_quality(super::QUALITY)
+                    .with_image_id(li.id);
+                let params = protect_coeff(&mut perturbed, &[roi], &key, &opts).expect("perturb");
                 let img_len = perturbed.encode(&enc_opts).expect("encode").len() as f64;
                 let full = (img_len + params.encoded_len() as f64) / original;
                 // ZInd wire cost: 5 bytes per entry (see core::params).
-                let zind_bytes: usize =
-                    params.rois.iter().map(|r| r.zind.len() * 5).sum();
+                let zind_bytes: usize = params.rois.iter().map(|r| r.zind.len() * 5).sum();
                 let without = (img_len + (params.encoded_len() - zind_bytes) as f64) / original;
                 (full, without)
             });

@@ -26,15 +26,23 @@ pub fn run(ctx: &Ctx) {
         li.truth.all_regions()
     };
     let key = OwnerKey::from_seed([19u8; 32]);
-    let opts = ProtectOptions::default().with_quality(super::QUALITY).with_image_id(li.id);
+    let opts = ProtectOptions::default()
+        .with_quality(super::QUALITY)
+        .with_image_id(li.id);
     let protected = protect(&li.image, &rois, &key, &opts).expect("protect");
-    let grant = key.grant_rois(li.id, &(0..protected.params.rois.len() as u16).collect::<Vec<_>>());
+    let grant = key.grant_rois(
+        li.id,
+        &(0..protected.params.rois.len() as u16).collect::<Vec<_>>(),
+    );
 
     let split = puppies_p3::P3Split::of(&coeff);
     let p3_pub = split.public_bytes(&enc_opts).expect("encode");
     let p3_priv = split.private_bytes(&enc_opts).expect("encode");
 
-    println!("original JPEG: {original} bytes; {} ROI region(s)", protected.params.rois.len());
+    println!(
+        "original JPEG: {original} bytes; {} ROI region(s)",
+        protected.params.rois.len()
+    );
     println!("{:<28} {:>14} {:>14}", "", "public bytes", "private bytes");
     println!(
         "{:<28} {:>14} {:>14}",

@@ -26,7 +26,8 @@ pub fn run(ctx: &Ctx) {
             name: "PuPPIeS-C",
             make: |li, key| {
                 let whole = Rect::new(0, 0, li.image.width(), li.image.height());
-                let opts = ProtectOptions::new(Scheme::Compression, PrivacyLevel::Medium).with_quality(super::QUALITY)
+                let opts = ProtectOptions::new(Scheme::Compression, PrivacyLevel::Medium)
+                    .with_quality(super::QUALITY)
                     .with_image_id(li.id);
                 let p = protect(&li.image, &[whole], key, &opts).expect("protect");
                 CoeffImage::decode(&p.bytes).expect("decode").to_rgb()
@@ -36,8 +37,9 @@ pub fn run(ctx: &Ctx) {
             name: "PuPPIeS-Z",
             make: |li, key| {
                 let whole = Rect::new(0, 0, li.image.width(), li.image.height());
-                let opts =
-                    ProtectOptions::new(Scheme::Zero, PrivacyLevel::Medium).with_quality(super::QUALITY).with_image_id(li.id);
+                let opts = ProtectOptions::new(Scheme::Zero, PrivacyLevel::Medium)
+                    .with_quality(super::QUALITY)
+                    .with_image_id(li.id);
                 let p = protect(&li.image, &[whole], key, &opts).expect("protect");
                 CoeffImage::decode(&p.bytes).expect("decode").to_rgb()
             },
@@ -64,7 +66,10 @@ pub fn run(ctx: &Ctx) {
             sift_attack(&reference, &probe)
         });
         let feats: Vec<f64> = reports.iter().map(|r| r.original_features as f64).collect();
-        let pfeats: Vec<f64> = reports.iter().map(|r| r.perturbed_features as f64).collect();
+        let pfeats: Vec<f64> = reports
+            .iter()
+            .map(|r| r.perturbed_features as f64)
+            .collect();
         let matches: Vec<f64> = reports.iter().map(|r| r.matches as f64).collect();
         let zero = reports.iter().filter(|r| r.zero_matches()).count();
         println!(

@@ -8,7 +8,7 @@ use puppies_core::{protect, OwnerKey, PrivacyLevel, ProtectOptions, Scheme};
 use puppies_image::Rect;
 use puppies_jpeg::CoeffImage;
 
-fn cdf_row(values: &mut Vec<f64>) -> String {
+fn cdf_row(values: &mut [f64]) -> String {
     values.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let q = |p: f64| -> f64 {
         if values.is_empty() {
@@ -39,7 +39,9 @@ pub fn run(ctx: &Ctx) {
 
     let z = par_map(&images, |li| {
         let whole = Rect::new(0, 0, li.image.width(), li.image.height());
-        let opts = ProtectOptions::new(Scheme::Zero, PrivacyLevel::Medium).with_quality(super::QUALITY).with_image_id(li.id);
+        let opts = ProtectOptions::new(Scheme::Zero, PrivacyLevel::Medium)
+            .with_quality(super::QUALITY)
+            .with_image_id(li.id);
         let p = protect(&li.image, &[whole], &key, &opts).expect("protect");
         let perturbed = CoeffImage::decode(&p.bytes).expect("decode").to_rgb();
         let reference = CoeffImage::from_rgb(&li.image, super::QUALITY).to_rgb();

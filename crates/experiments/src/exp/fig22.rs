@@ -20,7 +20,9 @@ pub fn run(ctx: &Ctx) {
     for li in &images {
         let face = li.truth.faces[0];
         let chip = |img: &puppies_image::RgbImage| {
-            img.crop(face.intersect(img.bounds())).expect("crop").to_gray()
+            img.crop(face.intersect(img.bounds()))
+                .expect("crop")
+                .to_gray()
         };
         if seen.insert(li.identity) {
             gallery_faces.push((li.identity, chip(&li.image)));
@@ -34,7 +36,10 @@ pub fn run(ctx: &Ctx) {
         if extra.insert(li.identity) {
             gallery_faces.push((
                 li.identity,
-                li.image.crop(face.intersect(li.image.bounds())).expect("crop").to_gray(),
+                li.image
+                    .crop(face.intersect(li.image.bounds()))
+                    .expect("crop")
+                    .to_gray(),
             ));
             false
         } else {
@@ -58,14 +63,20 @@ pub fn run(ctx: &Ctx) {
         let coeff = CoeffImage::from_rgb(&li.image, super::QUALITY);
         let reference = coeff.to_rgb();
         let chip = |img: &puppies_image::RgbImage| {
-            img.crop(face.intersect(img.bounds())).expect("crop").to_gray()
+            img.crop(face.intersect(img.bounds()))
+                .expect("crop")
+                .to_gray()
         };
         clean_curve.record(recognition_attack(&gallery, &chip(&reference), li.identity));
 
         // PuPPIeS-Z on the face region.
-        let opts = ProtectOptions::new(Scheme::Zero, PrivacyLevel::Medium).with_quality(super::QUALITY).with_image_id(li.id);
+        let opts = ProtectOptions::new(Scheme::Zero, PrivacyLevel::Medium)
+            .with_quality(super::QUALITY)
+            .with_image_id(li.id);
         let protected = protect(&li.image, &[*face], &key, &opts).expect("protect");
-        let perturbed = CoeffImage::decode(&protected.bytes).expect("decode").to_rgb();
+        let perturbed = CoeffImage::decode(&protected.bytes)
+            .expect("decode")
+            .to_rgb();
         z_curve.record(recognition_attack(&gallery, &chip(&perturbed), li.identity));
 
         // P3 public part (whole image by design).
@@ -73,7 +84,10 @@ pub fn run(ctx: &Ctx) {
         p3_curve.record(recognition_attack(&gallery, &chip(&public), li.identity));
     }
 
-    println!("{:>6} {:>10} {:>12} {:>12}", "rank", "clean", "PuPPIeS-Z", "P3 public");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12}",
+        "rank", "clean", "PuPPIeS-Z", "P3 public"
+    );
     for k in [1usize, 5, 10, 25, max_rank] {
         if k > max_rank {
             continue;

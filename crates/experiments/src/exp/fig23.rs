@@ -20,7 +20,8 @@ pub fn run(ctx: &Ctx) {
     let text_rect = draw_text(&mut img, "HELLO WORLD!", 24, 36, 2, Rgb::new(12, 12, 16));
     let roi = text_rect.inflate_clamped(6, img.bounds());
     let key = OwnerKey::from_seed([23u8; 32]);
-    let opts = ProtectOptions::new(Scheme::Compression, PrivacyLevel::Medium).with_quality(super::QUALITY);
+    let opts =
+        ProtectOptions::new(Scheme::Compression, PrivacyLevel::Medium).with_quality(super::QUALITY);
     let protected = protect(&img, &[roi], &key, &opts).expect("protect");
     let perturbed_coeff = CoeffImage::decode(&protected.bytes).expect("decode");
     let perturbed = perturbed_coeff.to_rgb();

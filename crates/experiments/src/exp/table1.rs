@@ -35,7 +35,12 @@ fn columns(w: u32, h: u32) -> Vec<(&'static str, Transformation)> {
         ),
         (
             "Cropping",
-            Transformation::Crop(Rect::new(w / 4 / 8 * 8, h / 4 / 8 * 8, w / 2 / 8 * 8, h / 2 / 8 * 8)),
+            Transformation::Crop(Rect::new(
+                w / 4 / 8 * 8,
+                h / 4 / 8 * 8,
+                w / 2 / 8 * 8,
+                h / 2 / 8 * 8,
+            )),
         ),
         ("Compression", Transformation::Recompress { quality: 50 }),
         ("Rotation", Transformation::Rotate90),
@@ -93,11 +98,8 @@ pub fn run(ctx: &Ctx) {
                 .expect("encode");
             let mut params = protected.params.clone();
             params.transformation = Some(t.clone());
-            let recovered = puppies_core::shadow::recover_transformed(
-                &bytes,
-                &params,
-                &key.grant_all(),
-            );
+            let recovered =
+                puppies_core::shadow::recover_transformed(&bytes, &params, &key.grant_all());
             let reference = psp_apply(&original, t).expect("reference").to_rgb();
             let cell = match recovered {
                 Ok(r) if (r.width(), r.height()) == (reference.width(), reference.height()) => {
@@ -198,7 +200,11 @@ pub fn run(ctx: &Ctx) {
                         }
                         None => true,
                     };
-                    if failed { "NO (verified)".into() } else { "yes?!".to_string() }
+                    if failed {
+                        "NO (verified)".into()
+                    } else {
+                        "yes?!".to_string()
+                    }
                 }
             };
             cells.push(cell);

@@ -24,7 +24,9 @@ pub fn ratios(
         let original = coeff.encode(&enc_opts).expect("encode").len();
         let mut perturbed = coeff;
         let whole = puppies_image::Rect::new(0, 0, li.image.width(), li.image.height());
-        let opts = ProtectOptions::new(scheme, level).with_quality(super::QUALITY).with_image_id(li.id);
+        let opts = ProtectOptions::new(scheme, level)
+            .with_quality(super::QUALITY)
+            .with_image_id(li.id);
         protect_coeff(&mut perturbed, &[whole], &key, &opts).expect("perturb");
         let size = perturbed.encode(&enc_opts).expect("encode").len();
         size as f64 / original as f64
@@ -41,10 +43,26 @@ pub fn run(ctx: &Ctx) {
         "scheme", "mean", "median", "std", "min", "max"
     );
     let rows = [
-        ("PuPPIeS-B (default tables)", Scheme::Base, HuffmanMode::Standard),
-        ("PuPPIeS-B (optimized tables)", Scheme::Base, HuffmanMode::Optimized),
-        ("PuPPIeS-C (optimized tables)", Scheme::Compression, HuffmanMode::Optimized),
-        ("PuPPIeS-Z (optimized tables)", Scheme::Zero, HuffmanMode::Optimized),
+        (
+            "PuPPIeS-B (default tables)",
+            Scheme::Base,
+            HuffmanMode::Standard,
+        ),
+        (
+            "PuPPIeS-B (optimized tables)",
+            Scheme::Base,
+            HuffmanMode::Optimized,
+        ),
+        (
+            "PuPPIeS-C (optimized tables)",
+            Scheme::Compression,
+            HuffmanMode::Optimized,
+        ),
+        (
+            "PuPPIeS-Z (optimized tables)",
+            Scheme::Zero,
+            HuffmanMode::Optimized,
+        ),
     ];
     for (name, scheme, huffman) in rows {
         let r = ratios(&images, scheme, huffman, PrivacyLevel::Medium);

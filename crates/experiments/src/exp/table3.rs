@@ -32,7 +32,10 @@ pub fn run(ctx: &Ctx) {
             format!("{}x{}", profile.width, profile.height),
             s.mean,
             profile.paper_count,
-            format!("{}x{}", profile.paper_resolution.0, profile.paper_resolution.1),
+            format!(
+                "{}x{}",
+                profile.paper_resolution.0, profile.paper_resolution.1
+            ),
             role,
         );
     }

@@ -49,8 +49,16 @@ pub fn run(ctx: &Ctx) {
     for profile in [super::inria(ctx), super::pascal(ctx)] {
         let images = load(profile, ctx.seed);
         let (enc, dec) = times_ms(&images);
-        println!("{:<18} {}", format!("{} encrypt", profile.name()), Stats::of(&enc).row(2));
-        println!("{:<18} {}", format!("{} decrypt", profile.name()), Stats::of(&dec).row(2));
+        println!(
+            "{:<18} {}",
+            format!("{} encrypt", profile.name()),
+            Stats::of(&enc).row(2)
+        );
+        println!(
+            "{:<18} {}",
+            format!("{} decrypt", profile.name()),
+            Stats::of(&dec).row(2)
+        );
     }
     println!("\npaper (laptop, 2013): INRIA mean 198 ms, PASCAL mean 20.3 ms");
 }

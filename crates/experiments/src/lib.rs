@@ -63,34 +63,121 @@ type ExpFn = fn(&Ctx);
 /// Registry of all experiments, keyed by their CLI name.
 pub fn registry() -> BTreeMap<&'static str, (&'static str, ExpFn)> {
     let mut m: BTreeMap<&'static str, (&'static str, ExpFn)> = BTreeMap::new();
-    m.insert("table1", ("Table I: transformation-compatibility matrix", exp::table1::run));
-    m.insert("table2", ("Table II: normalized perturbed size (PASCAL, whole image)", exp::table2::run));
+    m.insert(
+        "table1",
+        (
+            "Table I: transformation-compatibility matrix",
+            exp::table1::run,
+        ),
+    );
+    m.insert(
+        "table2",
+        (
+            "Table II: normalized perturbed size (PASCAL, whole image)",
+            exp::table2::run,
+        ),
+    );
     m.insert("table3", ("Table III: dataset inventory", exp::table3::run));
-    m.insert("table4", ("Table IV: privacy levels and secure bits", exp::table4::run));
-    m.insert("table5", ("Table V: encryption/decryption wall time", exp::table5::run));
-    m.insert("fig2", ("Fig. 2: retrieval overlap original vs perturbed query", exp::fig02::run));
-    m.insert("fig4", ("Fig. 4: PSP scaling — P3 detail loss vs PuPPIeS recovery", exp::fig04::run));
-    m.insert("fig11", ("Fig. 11: private-part size vs number of matrices", exp::fig11::run));
-    m.insert("fig12", ("Fig. 12: ROI detection and disjoint split", exp::fig12::run));
-    m.insert("fig13", ("Figs. 13-14: DC-only vs AC-only reconstructions", exp::fig13::run));
-    m.insert("fig15", ("Fig. 15: perturbing a license plate with B/C/Z", exp::fig15::run));
-    m.insert("fig16", ("Fig. 16: scale-then-recover flow", exp::fig16::run));
-    m.insert("fig17", ("Fig. 17: perturbed size vs privacy level", exp::fig17::run));
-    m.insert("fig18", ("Fig. 18: public-part size vs ROI area", exp::fig18::run));
-    m.insert("fig19", ("Fig. 19: public/private split accounting", exp::fig19::run));
+    m.insert(
+        "table4",
+        ("Table IV: privacy levels and secure bits", exp::table4::run),
+    );
+    m.insert(
+        "table5",
+        ("Table V: encryption/decryption wall time", exp::table5::run),
+    );
+    m.insert(
+        "fig2",
+        (
+            "Fig. 2: retrieval overlap original vs perturbed query",
+            exp::fig02::run,
+        ),
+    );
+    m.insert(
+        "fig4",
+        (
+            "Fig. 4: PSP scaling — P3 detail loss vs PuPPIeS recovery",
+            exp::fig04::run,
+        ),
+    );
+    m.insert(
+        "fig11",
+        (
+            "Fig. 11: private-part size vs number of matrices",
+            exp::fig11::run,
+        ),
+    );
+    m.insert(
+        "fig12",
+        ("Fig. 12: ROI detection and disjoint split", exp::fig12::run),
+    );
+    m.insert(
+        "fig13",
+        (
+            "Figs. 13-14: DC-only vs AC-only reconstructions",
+            exp::fig13::run,
+        ),
+    );
+    m.insert(
+        "fig15",
+        (
+            "Fig. 15: perturbing a license plate with B/C/Z",
+            exp::fig15::run,
+        ),
+    );
+    m.insert(
+        "fig16",
+        ("Fig. 16: scale-then-recover flow", exp::fig16::run),
+    );
+    m.insert(
+        "fig17",
+        ("Fig. 17: perturbed size vs privacy level", exp::fig17::run),
+    );
+    m.insert(
+        "fig18",
+        ("Fig. 18: public-part size vs ROI area", exp::fig18::run),
+    );
+    m.insert(
+        "fig19",
+        ("Fig. 19: public/private split accounting", exp::fig19::run),
+    );
     m.insert("fig20", ("Fig. 20: SIFT feature attack", exp::fig20::run));
-    m.insert("fig21", ("Fig. 21: edge-detection attack CDF", exp::fig21::run));
-    m.insert("fig22", ("Fig. 22: face-recognition rank curve", exp::fig22::run));
-    m.insert("fig23", ("Fig. 23: signal-correlation attacks", exp::fig23::run));
-    m.insert("bruteforce", ("§VI-A: brute-force accounting + demos", exp::bruteforce::run));
-    m.insert("detect_time", ("§V-C: ROI detection timing", exp::detect_time::run));
+    m.insert(
+        "fig21",
+        ("Fig. 21: edge-detection attack CDF", exp::fig21::run),
+    );
+    m.insert(
+        "fig22",
+        ("Fig. 22: face-recognition rank curve", exp::fig22::run),
+    );
+    m.insert(
+        "fig23",
+        ("Fig. 23: signal-correlation attacks", exp::fig23::run),
+    );
+    m.insert(
+        "bruteforce",
+        (
+            "§VI-A: brute-force accounting + demos",
+            exp::bruteforce::run,
+        ),
+    );
+    m.insert(
+        "detect_time",
+        ("§V-C: ROI detection timing", exp::detect_time::run),
+    );
     m.insert(
         "ablation_nb",
-        ("Ablation: PuPPIeS-N vs -B under the DC sweep", exp::ablation_nb::run),
+        (
+            "Ablation: PuPPIeS-N vs -B under the DC sweep",
+            exp::ablation_nb::run,
+        ),
     );
     m.insert(
         "ablation_huffman",
-        ("Ablation: Huffman re-optimization (the C-vs-B mechanism)", exp::ablation_huffman::run),
+        (
+            "Ablation: Huffman re-optimization (the C-vs-B mechanism)",
+            exp::ablation_huffman::run,
+        ),
     );
     m
 }

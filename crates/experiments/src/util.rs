@@ -72,54 +72,19 @@ pub fn header(title: &str) {
     println!("== {title} ==");
 }
 
-/// Materializes a dataset profile (parallel generation across worker
-/// threads — generation is deterministic per index, so ordering is
-/// preserved).
+/// Materializes a dataset profile on the shared worker pool (generation is
+/// deterministic per index and results are reassembled in index order, so
+/// the output matches sequential generation exactly).
 pub fn load(profile: DatasetProfile, seed: u64) -> Vec<LabeledImage> {
-    let count = profile.count;
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(count.max(1));
-    let mut out: Vec<Option<LabeledImage>> = Vec::new();
-    out.resize_with(count, || None);
-    let chunk = count.div_ceil(workers.max(1));
-    crossbeam::thread::scope(|s| {
-        for (w, slot) in out.chunks_mut(chunk).enumerate() {
-            s.spawn(move |_| {
-                let start = w * chunk;
-                for (offset, dst) in slot.iter_mut().enumerate() {
-                    let idx = start + offset;
-                    *dst = Some(puppies_datasets::generate_one(profile, seed, idx));
-                }
-            });
-        }
+    puppies_core::parallel::current().map_indexed(profile.count, |idx| {
+        puppies_datasets::generate_one(profile, seed, idx)
     })
-    .expect("dataset generation threads");
-    out.into_iter().flatten().collect()
 }
 
-/// Runs `f` over items in parallel, collecting results in order.
+/// Runs `f` over items on the shared worker pool, collecting results in
+/// order.
 pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    let mut out: Vec<Option<R>> = Vec::new();
-    out.resize_with(items.len(), || None);
-    let chunk = items.len().div_ceil(workers.max(1));
-    crossbeam::thread::scope(|s| {
-        for (slot, src) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
-            let f = &f;
-            s.spawn(move |_| {
-                for (dst, item) in slot.iter_mut().zip(src.iter()) {
-                    *dst = Some(f(item));
-                }
-            });
-        }
-    })
-    .expect("parallel map threads");
-    out.into_iter().flatten().collect()
+    puppies_core::parallel::current().map_slice(items, f)
 }
 
 #[cfg(test)]

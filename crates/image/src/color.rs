@@ -5,10 +5,8 @@
 //! per-plane DCT; PuPPIeS perturbs each plane independently (§II-A of the
 //! paper notes each layer is processed independently).
 
-use serde::{Deserialize, Serialize};
-
 /// An 8-bit RGB color triple.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Rgb {
     /// Red channel, 0..=255.
     pub r: u8,
@@ -39,7 +37,11 @@ impl Rgb {
     pub fn lerp(self, other: Rgb, t: f32) -> Rgb {
         let t = t.clamp(0.0, 1.0);
         let mix = |a: u8, b: u8| (a as f32 + (b as f32 - a as f32) * t).round() as u8;
-        Rgb::new(mix(self.r, other.r), mix(self.g, other.g), mix(self.b, other.b))
+        Rgb::new(
+            mix(self.r, other.r),
+            mix(self.g, other.g),
+            mix(self.b, other.b),
+        )
     }
 }
 
@@ -57,7 +59,7 @@ impl From<Rgb> for [u8; 3] {
 
 /// An 8-bit full-range YCbCr triple (JFIF convention: all channels 0..=255,
 /// chroma centered at 128).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct YCbCr {
     /// Luma.
     pub y: u8,
@@ -129,7 +131,10 @@ mod tests {
         let yr = rgb_to_ycbcr(Rgb::new(255, 0, 0)).y;
         let yg = rgb_to_ycbcr(Rgb::new(0, 255, 0)).y;
         let yb = rgb_to_ycbcr(Rgb::new(0, 0, 255)).y;
-        assert!(yg > yr && yr > yb, "luma order G > R > B violated: {yg} {yr} {yb}");
+        assert!(
+            yg > yr && yr > yb,
+            "luma order G > R > B violated: {yg} {yr} {yb}"
+        );
     }
 
     #[test]

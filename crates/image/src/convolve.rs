@@ -20,8 +20,15 @@ impl Kernel {
     /// Panics if the dimensions are zero, even, or do not match the weight
     /// count (odd sizes keep the anchor centered).
     pub fn new(width: u32, height: u32, weights: Vec<f32>) -> Self {
-        assert!(width % 2 == 1 && height % 2 == 1, "kernel sides must be odd");
-        assert_eq!(weights.len(), (width * height) as usize, "weight count mismatch");
+        assert!(
+            width % 2 == 1 && height % 2 == 1,
+            "kernel sides must be odd"
+        );
+        assert_eq!(
+            weights.len(),
+            (width * height) as usize,
+            "weight count mismatch"
+        );
         Kernel {
             width,
             height,
@@ -179,7 +186,11 @@ mod tests {
         let out = gaussian_blur(&p, 1.5);
         let var = |q: &Plane| {
             let m = q.mean();
-            q.samples().iter().map(|&v| (v as f64 - m).powi(2)).sum::<f64>() / q.samples().len() as f64
+            q.samples()
+                .iter()
+                .map(|&v| (v as f64 - m).powi(2))
+                .sum::<f64>()
+                / q.samples().len() as f64
         };
         assert!(var(&out) < var(&p) / 10.0);
     }

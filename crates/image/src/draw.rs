@@ -129,7 +129,11 @@ pub fn fill_polygon(img: &mut RgbImage, pts: &[Point], color: Rgb) {
 pub fn vertical_gradient(img: &mut RgbImage, top: Rgb, bottom: Rgb) {
     let h = img.height();
     for y in 0..h {
-        let t = if h > 1 { y as f32 / (h - 1) as f32 } else { 0.0 };
+        let t = if h > 1 {
+            y as f32 / (h - 1) as f32
+        } else {
+            0.0
+        };
         let c = top.lerp(bottom, t);
         for x in 0..img.width() {
             img.set(x, y, c);

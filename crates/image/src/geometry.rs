@@ -4,10 +4,8 @@
 //! detections and splits them back into disjoint rectangles (§IV-A), which
 //! [`decompose_disjoint`] implements.
 
-use serde::{Deserialize, Serialize};
-
 /// An integer pixel coordinate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Point {
     /// Column (0 at the left edge).
     pub x: i32,
@@ -27,7 +25,7 @@ impl Point {
 /// `x`/`y` is the top-left corner; `w`/`h` are the width and height in
 /// pixels. Empty rectangles (`w == 0 || h == 0`) are permitted and behave as
 /// the empty set for intersection queries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Rect {
     /// Left edge.
     pub x: u32,
@@ -160,6 +158,10 @@ impl Rect {
 /// distinct x-coordinates and emits maximal vertical slabs per column
 /// interval, then merges horizontally-adjacent slabs with identical vertical
 /// extent to keep the output small.
+/// An x-strip of the sweep in [`decompose_disjoint`]: `(x1, x2)` plus the
+/// merged y-intervals covering it.
+type Strip = (u32, u32, Vec<(u32, u32)>);
+
 pub fn decompose_disjoint(rects: &[Rect]) -> Vec<Rect> {
     let rects: Vec<Rect> = rects.iter().copied().filter(|r| !r.is_empty()).collect();
     if rects.is_empty() {
@@ -172,7 +174,7 @@ pub fn decompose_disjoint(rects: &[Rect]) -> Vec<Rect> {
 
     // For each x strip, compute the union of y intervals of rectangles
     // covering that strip.
-    let mut strips: Vec<(u32, u32, Vec<(u32, u32)>)> = Vec::new();
+    let mut strips: Vec<Strip> = Vec::new();
     for win in xs.windows(2) {
         let (x1, x2) = (win[0], win[1]);
         if x1 == x2 {
@@ -200,7 +202,7 @@ pub fn decompose_disjoint(rects: &[Rect]) -> Vec<Rect> {
 
     // Merge horizontally adjacent strips with identical interval sets.
     let mut out: Vec<Rect> = Vec::new();
-    let mut pending: Option<(u32, u32, Vec<(u32, u32)>)> = None;
+    let mut pending: Option<Strip> = None;
     for (x1, x2, ivals) in strips {
         match pending.take() {
             Some((px1, px2, pivals)) if px2 == x1 && pivals == ivals => {

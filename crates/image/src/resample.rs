@@ -176,7 +176,7 @@ pub fn rotate_arbitrary(src: &RgbImage, angle: f64, fill: Rgb) -> RgbImage {
         let ty = (sy - y0 as f64) as f32;
         let lerp = |a: u8, b: u8, t: f32| a as f32 + (b as f32 - a as f32) * t;
         let sample = |ch: fn(Rgb) -> u8| {
-            let p00 = ch(src.get_clamped(x0, y0)) ;
+            let p00 = ch(src.get_clamped(x0, y0));
             let p10 = ch(src.get_clamped(x0 + 1, y0));
             let p01 = ch(src.get_clamped(x0, y0 + 1));
             let p11 = ch(src.get_clamped(x0 + 1, y0 + 1));
@@ -231,7 +231,9 @@ mod tests {
     use super::*;
 
     fn gradient(w: u32, h: u32) -> RgbImage {
-        RgbImage::from_fn(w, h, |x, y| Rgb::new((x * 7 % 256) as u8, (y * 5 % 256) as u8, 99))
+        RgbImage::from_fn(w, h, |x, y| {
+            Rgb::new((x * 7 % 256) as u8, (y * 5 % 256) as u8, 99)
+        })
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use puppies_image::geometry::decompose_disjoint;
 use puppies_image::resample::{self, Filter};
-use puppies_image::{GrayImage, Rect, Rgb, RgbImage};
+use puppies_image::{Rect, Rgb, RgbImage};
 
 fn arb_rect() -> impl Strategy<Value = Rect> {
     (0u32..64, 0u32..64, 1u32..48, 1u32..48).prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
@@ -15,7 +15,11 @@ fn arb_image() -> impl Strategy<Value = RgbImage> {
             let v = x
                 .wrapping_mul(seed | 1)
                 .wrapping_add(y.wrapping_mul(seed.rotate_left(7) | 1));
-            Rgb::new((v % 256) as u8, ((v >> 8) % 256) as u8, ((v >> 16) % 256) as u8)
+            Rgb::new(
+                (v % 256) as u8,
+                ((v >> 8) % 256) as u8,
+                ((v >> 16) % 256) as u8,
+            )
         })
     })
 }

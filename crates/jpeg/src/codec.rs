@@ -148,42 +148,96 @@ pub fn encode(img: &CoeffImage, opts: &EncodeOptions) -> Result<Vec<u8>> {
     push_segment(&mut out, SOS, &sos);
 
     // Entropy-coded data, interleaved MCUs (one block per component at
-    // 4:4:4).
+    // 4:4:4). Block-row bands are encoded in parallel into separate bit
+    // writers and spliced in order, which reproduces the serial bit
+    // stream exactly (see `encode_band` for why the DC prediction chain
+    // survives the split).
     let enc_dc: Vec<HuffEncoder> = dc_tables.iter().map(HuffEncoder::new).collect();
     let enc_ac: Vec<HuffEncoder> = ac_tables.iter().map(HuffEncoder::new).collect();
+    let bands = crate::coeff::band_rows(comps[0].blocks_h());
+    let pool = puppies_parallel::current();
+    let writers = pool.map_slice(&bands, |band| {
+        let mut w = BitWriter::new();
+        encode_band(img, band.clone(), &enc_dc, &enc_ac, &mut w).map(|()| w)
+    });
     let mut w = BitWriter::new();
-    let bw = comps[0].blocks_w();
-    let bh = comps[0].blocks_h();
-    let mut pred = vec![0i32; ncomp];
-    for by in 0..bh {
-        for bx in 0..bw {
-            for (ci, c) in comps.iter().enumerate() {
-                let tid = if ci == 0 { 0 } else { 1 };
-                let zz = to_zigzag(c.block(bx, by));
-                pred[ci] = encode_block(&mut w, &zz, pred[ci], &enc_dc[tid], &enc_ac[tid])?;
-            }
-        }
+    for band_writer in writers {
+        w.append(band_writer?);
     }
     out.extend_from_slice(&w.finish());
     push_marker(&mut out, EOI);
     Ok(out)
 }
 
-fn build_optimized_tables(img: &CoeffImage) -> (Vec<HuffTable>, Vec<HuffTable>) {
+/// The DC predictor each component carries *into* block row `row`: the
+/// DC value of that component's last block of the previous row (scan
+/// order is row-major and interleaved per MCU, so within one component
+/// the predecessor of block (0, row) is block (bw-1, row-1)). This is
+/// what makes bands independently encodable: a band's starting
+/// predictors are plain coefficient reads, not a function of the
+/// preceding band's encoder state.
+fn band_entry_predictors(img: &CoeffImage, row: u32) -> Vec<i32> {
+    img.components()
+        .iter()
+        .map(|c| {
+            if row == 0 {
+                0
+            } else {
+                c.block(c.blocks_w() - 1, row - 1)[0]
+            }
+        })
+        .collect()
+}
+
+fn encode_band(
+    img: &CoeffImage,
+    rows: std::ops::Range<u32>,
+    enc_dc: &[HuffEncoder],
+    enc_ac: &[HuffEncoder],
+    w: &mut BitWriter,
+) -> Result<()> {
     let comps = img.components();
-    let ncomp = comps.len();
-    let ntab = ncomp.min(2);
-    let mut freqs: Vec<SymbolFreqs> = (0..ntab).map(|_| SymbolFreqs::new()).collect();
     let bw = comps[0].blocks_w();
-    let bh = comps[0].blocks_h();
-    let mut pred = vec![0i32; ncomp];
-    for by in 0..bh {
+    let mut pred = band_entry_predictors(img, rows.start);
+    for by in rows {
         for bx in 0..bw {
             for (ci, c) in comps.iter().enumerate() {
                 let tid = if ci == 0 { 0 } else { 1 };
                 let zz = to_zigzag(c.block(bx, by));
-                pred[ci] = tally_block(&mut freqs[tid], &zz, pred[ci]);
+                pred[ci] = encode_block(w, &zz, pred[ci], &enc_dc[tid], &enc_ac[tid])?;
             }
+        }
+    }
+    Ok(())
+}
+
+fn build_optimized_tables(img: &CoeffImage) -> (Vec<HuffTable>, Vec<HuffTable>) {
+    let comps = img.components();
+    let ncomp = comps.len();
+    let ntab = ncomp.min(2);
+    let bw = comps[0].blocks_w();
+    // Tally block-row bands in parallel and sum the counters; symbol
+    // frequencies are additive so the merged tally is exact.
+    let bands = crate::coeff::band_rows(comps[0].blocks_h());
+    let pool = puppies_parallel::current();
+    let band_freqs = pool.map_slice(&bands, |band| {
+        let mut freqs: Vec<SymbolFreqs> = (0..ntab).map(|_| SymbolFreqs::new()).collect();
+        let mut pred = band_entry_predictors(img, band.start);
+        for by in band.clone() {
+            for bx in 0..bw {
+                for (ci, c) in comps.iter().enumerate() {
+                    let tid = if ci == 0 { 0 } else { 1 };
+                    let zz = to_zigzag(c.block(bx, by));
+                    pred[ci] = tally_block(&mut freqs[tid], &zz, pred[ci]);
+                }
+            }
+        }
+        freqs
+    });
+    let mut freqs: Vec<SymbolFreqs> = (0..ntab).map(|_| SymbolFreqs::new()).collect();
+    for band in &band_freqs {
+        for (total, part) in freqs.iter_mut().zip(band.iter()) {
+            total.merge(part);
         }
     }
     let dc = freqs
@@ -260,9 +314,7 @@ pub fn decode(bytes: &[u8]) -> Result<CoeffImage> {
             EOI => return Err(JpegError::Malformed("EOI before SOS".into())),
             0xC2 => return Err(JpegError::Unsupported("progressive JPEG".into())),
             0xC1 | 0xC3 | 0xC5..=0xC7 | 0xC9..=0xCB | 0xCD..=0xCF => {
-                return Err(JpegError::Unsupported(format!(
-                    "SOF marker {marker:#04x}"
-                )))
+                return Err(JpegError::Unsupported(format!("SOF marker {marker:#04x}")))
             }
             SOF0 => {
                 let (seg, next) = read_segment(bytes, pos)?;

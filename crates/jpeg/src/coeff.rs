@@ -19,6 +19,27 @@ pub fn clamp_block(b: &mut Block) {
     }
 }
 
+/// Splits `rows` block rows into contiguous bands, at most one per
+/// worker of the current pool. The partition only affects scheduling:
+/// every caller reassembles band outputs in order, so any partition
+/// yields identical results.
+pub(crate) fn band_rows(rows: u32) -> Vec<std::ops::Range<u32>> {
+    let workers = puppies_parallel::current().threads() as u32;
+    let nbands = workers.clamp(1, rows.max(1));
+    let base = rows / nbands;
+    let extra = rows % nbands;
+    let mut bands = Vec::with_capacity(nbands as usize);
+    let mut start = 0;
+    for i in 0..nbands {
+        let len = base + u32::from(i < extra);
+        if len > 0 {
+            bands.push(start..start + len);
+            start += len;
+        }
+    }
+    bands
+}
+
 /// Side length of a JPEG block in samples.
 pub const BLOCK_SIZE: u32 = 8;
 /// Number of coefficients per block.
@@ -51,23 +72,36 @@ impl Component {
         let height = plane.height();
         let blocks_w = width.div_ceil(BLOCK_SIZE);
         let blocks_h = height.div_ceil(BLOCK_SIZE);
-        let mut blocks = Vec::with_capacity((blocks_w * blocks_h) as usize);
-        for by in 0..blocks_h {
-            for bx in 0..blocks_w {
-                let mut spatial = [0.0f32; BLOCK_LEN];
-                for y in 0..BLOCK_SIZE {
-                    for x in 0..BLOCK_SIZE {
-                        let sx = (bx * BLOCK_SIZE + x) as i64;
-                        let sy = (by * BLOCK_SIZE + y) as i64;
-                        spatial[(y * BLOCK_SIZE + x) as usize] =
-                            plane.get_clamped(sx, sy) - 128.0;
+        // Forward-transform block-row bands in parallel. Each band's
+        // blocks depend only on the source plane, and bands are
+        // concatenated in row order, so the block vector is identical to
+        // the serial loop's for any worker count.
+        let bands = band_rows(blocks_h);
+        let pool = puppies_parallel::current();
+        let band_blocks = pool.map_slice(&bands, |band| {
+            let mut blocks = Vec::with_capacity((band.len() as u32 * blocks_w) as usize);
+            for by in band.clone() {
+                for bx in 0..blocks_w {
+                    let mut spatial = [0.0f32; BLOCK_LEN];
+                    for y in 0..BLOCK_SIZE {
+                        for x in 0..BLOCK_SIZE {
+                            let sx = (bx * BLOCK_SIZE + x) as i64;
+                            let sy = (by * BLOCK_SIZE + y) as i64;
+                            spatial[(y * BLOCK_SIZE + x) as usize] =
+                                plane.get_clamped(sx, sy) - 128.0;
+                        }
                     }
+                    let freq = dct::forward(&spatial);
+                    let mut q = quant.quantize(&freq);
+                    clamp_block(&mut q);
+                    blocks.push(q);
                 }
-                let freq = dct::forward(&spatial);
-                let mut q = quant.quantize(&freq);
-                clamp_block(&mut q);
-                blocks.push(q);
             }
+            blocks
+        });
+        let mut blocks = Vec::with_capacity((blocks_w * blocks_h) as usize);
+        for band in band_blocks {
+            blocks.extend(band);
         }
         Component {
             id,
@@ -84,22 +118,38 @@ impl Component {
     /// back to the component's true size. Samples are *not* clamped so the
     /// caller can do shadow-ROI arithmetic before rounding.
     pub fn to_plane(&self) -> Plane {
-        let mut full = Plane::new(self.blocks_w * BLOCK_SIZE, self.blocks_h * BLOCK_SIZE);
-        for by in 0..self.blocks_h {
-            for bx in 0..self.blocks_w {
-                let q = &self.blocks[(by * self.blocks_w + bx) as usize];
-                let raw = self.quant.dequantize(q);
-                let spatial = dct::inverse(&raw);
-                for y in 0..BLOCK_SIZE {
-                    for x in 0..BLOCK_SIZE {
-                        full.set(
-                            bx * BLOCK_SIZE + x,
-                            by * BLOCK_SIZE + y,
-                            spatial[(y * BLOCK_SIZE + x) as usize] + 128.0,
-                        );
+        let full_w = self.blocks_w * BLOCK_SIZE;
+        let mut full = Plane::new(full_w, self.blocks_h * BLOCK_SIZE);
+        // Inverse-transform block-row bands in parallel. A band owns the
+        // 8 sample rows of each of its block rows — disjoint, contiguous
+        // spans of the padded plane — so bands are computed independently
+        // and copied into place in order.
+        let bands = band_rows(self.blocks_h);
+        let pool = puppies_parallel::current();
+        let band_samples = pool.map_slice(&bands, |band| {
+            let mut samples = vec![0.0f32; (band.len() as u32 * BLOCK_SIZE * full_w) as usize];
+            for (row_in_band, by) in band.clone().enumerate() {
+                for bx in 0..self.blocks_w {
+                    let q = &self.blocks[(by * self.blocks_w + bx) as usize];
+                    let raw = self.quant.dequantize(q);
+                    let spatial = dct::inverse(&raw);
+                    for y in 0..BLOCK_SIZE {
+                        let row_base =
+                            (row_in_band as u32 * BLOCK_SIZE + y) * full_w + bx * BLOCK_SIZE;
+                        for x in 0..BLOCK_SIZE {
+                            samples[(row_base + x) as usize] =
+                                spatial[(y * BLOCK_SIZE + x) as usize] + 128.0;
+                        }
                     }
                 }
             }
+            samples
+        });
+        let out = full.samples_mut();
+        let mut offset = 0;
+        for band in band_samples {
+            out[offset..offset + band.len()].copy_from_slice(&band);
+            offset += band.len();
         }
         if full.width() == self.width && full.height() == self.height {
             full
@@ -153,7 +203,10 @@ impl Component {
     /// # Panics
     /// Panics if the position is outside the block grid.
     pub fn block(&self, bx: u32, by: u32) -> &Block {
-        assert!(bx < self.blocks_w && by < self.blocks_h, "block out of range");
+        assert!(
+            bx < self.blocks_w && by < self.blocks_h,
+            "block out of range"
+        );
         &self.blocks[(by * self.blocks_w + bx) as usize]
     }
 
@@ -162,7 +215,10 @@ impl Component {
     /// # Panics
     /// Panics if the position is outside the block grid.
     pub fn block_mut(&mut self, bx: u32, by: u32) -> &mut Block {
-        assert!(bx < self.blocks_w && by < self.blocks_h, "block out of range");
+        assert!(
+            bx < self.blocks_w && by < self.blocks_h,
+            "block out of range"
+        );
         &mut self.blocks[(by * self.blocks_w + bx) as usize]
     }
 
@@ -267,14 +323,14 @@ impl CoeffImage {
         let planes = img.to_ycbcr_planes();
         let lq = QuantTable::luma(quality);
         let cq = QuantTable::chroma(quality);
+        let quants = [lq, cq.clone(), cq];
+        let components = puppies_parallel::current().map_indexed(3, |i| {
+            Component::from_plane(i as u8 + 1, &planes[i], quants[i].clone())
+        });
         CoeffImage {
             width: img.width(),
             height: img.height(),
-            components: vec![
-                Component::from_plane(1, &planes[0], lq),
-                Component::from_plane(2, &planes[1], cq.clone()),
-                Component::from_plane(3, &planes[2], cq),
-            ],
+            components,
         }
     }
 
@@ -343,11 +399,8 @@ impl CoeffImage {
         if self.is_gray() {
             return self.to_gray_image().to_rgb();
         }
-        let planes = [
-            self.components[0].to_plane(),
-            self.components[1].to_plane(),
-            self.components[2].to_plane(),
-        ];
+        let planes = puppies_parallel::current().map_slice(&self.components, Component::to_plane);
+        let planes: [_; 3] = planes.try_into().expect("color image has 3 components");
         RgbImage::from_ycbcr_planes(&planes)
     }
 

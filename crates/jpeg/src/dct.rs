@@ -16,8 +16,7 @@ fn cos_table() -> &'static [[f32; N]; N] {
         let mut t = [[0.0f32; N]; N];
         for (u, row) in t.iter_mut().enumerate() {
             for (x, v) in row.iter_mut().enumerate() {
-                *v = ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos()
-                    as f32;
+                *v = ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos() as f32;
             }
         }
         t

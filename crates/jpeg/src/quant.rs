@@ -4,8 +4,6 @@
 //! which is why visual information concentrates in the low-frequency
 //! coefficients PuPPIeS protects most strongly (Algorithm 3).
 
-use serde::{Deserialize, Serialize};
-
 /// The Annex K.1 luminance quantization table (row-major).
 pub const ANNEX_K_LUMA: [u16; 64] = [
     16, 11, 10, 16, 24, 40, 51, 61, //
@@ -37,32 +35,16 @@ pub struct QuantTable {
     steps: [u16; 64],
 }
 
-impl Serialize for QuantTable {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> std::result::Result<S::Ok, S::Error> {
-        self.steps.as_slice().serialize(s)
-    }
-}
-
-impl<'de> Deserialize<'de> for QuantTable {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> std::result::Result<Self, D::Error> {
-        let v: Vec<u16> = Vec::deserialize(d)?;
-        let steps: [u16; 64] = v
-            .try_into()
-            .map_err(|_| serde::de::Error::custom("quant table must have 64 steps"))?;
-        if steps.iter().any(|&s| s == 0) {
-            return Err(serde::de::Error::custom("quant steps must be positive"));
-        }
-        Ok(QuantTable { steps })
-    }
-}
-
 impl QuantTable {
     /// Creates a table from explicit step sizes.
     ///
     /// # Panics
     /// Panics if any step is zero.
     pub fn new(steps: [u16; 64]) -> Self {
-        assert!(steps.iter().all(|&s| s > 0), "quantization steps must be positive");
+        assert!(
+            steps.iter().all(|&s| s > 0),
+            "quantization steps must be positive"
+        );
         QuantTable { steps }
     }
 

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use puppies_jpeg::huffman::{
-    category, decode_block, encode_block, extend_magnitude, magnitude_bits, BitReader,
-    BitWriter, HuffDecoder, HuffEncoder, HuffTable,
+    category, decode_block, encode_block, extend_magnitude, magnitude_bits, BitReader, BitWriter,
+    HuffDecoder, HuffEncoder, HuffTable,
 };
 use puppies_jpeg::zigzag::{from_zigzag, to_zigzag};
 use puppies_jpeg::QuantTable;

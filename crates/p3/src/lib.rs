@@ -112,8 +112,14 @@ pub fn split(coeff: &CoeffImage, threshold: i32) -> P3Split {
                 .expect("geometry preserved"),
         );
         priv_comps.push(
-            Component::from_blocks(c.id(), c.width(), c.height(), c.quant().clone(), priv_blocks)
-                .expect("geometry preserved"),
+            Component::from_blocks(
+                c.id(),
+                c.width(),
+                c.height(),
+                c.quant().clone(),
+                priv_blocks,
+            )
+            .expect("geometry preserved"),
         );
     }
     P3Split {
@@ -354,10 +360,7 @@ mod tests {
     #[test]
     fn mismatched_parts_rejected() {
         let a = CoeffImage::from_rgb(&test_image(), 80);
-        let small = CoeffImage::from_rgb(
-            &RgbImage::filled(32, 32, Rgb::new(1, 2, 3)),
-            80,
-        );
+        let small = CoeffImage::from_rgb(&RgbImage::filled(32, 32, Rgb::new(1, 2, 3)), 80);
         assert!(reconstruct(&a, &small).is_err());
     }
 

@@ -192,7 +192,9 @@ mod tests {
                 &ProtectOptions::default(),
             )
             .unwrap();
-        server.transform(photo_id, &Transformation::Rotate90).unwrap();
+        server
+            .transform(photo_id, &Transformation::Rotate90)
+            .unwrap();
 
         let bob = Receiver::with_grant(alice.grant(image_id, &[0]));
         let view = bob.fetch(&server, photo_id).unwrap();
@@ -296,7 +298,9 @@ mod tests {
         // detection localizes the true face (IoU ≥ 0.5, the usual PASCAL
         // criterion). Random perturbation noise may still fire spurious
         // windows — the paper's own Caltech numbers (53/596) show the same.
-        let public = Receiver::new().fetch_public_view(&server, photo_id).unwrap();
+        let public = Receiver::new()
+            .fetch_public_view(&server, photo_id)
+            .unwrap();
         let dets = puppies_vision::detect_faces(
             &public.to_gray(),
             &puppies_vision::FaceDetectorParams::default(),
@@ -317,4 +321,3 @@ mod tests {
         );
     }
 }
-

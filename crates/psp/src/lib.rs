@@ -22,8 +22,8 @@ pub mod store;
 
 pub use channel::{KeyAgreement, SecureChannel};
 pub use client::{Receiver, Sender};
-pub use store::{PhotoId, PspServer};
 use puppies_core::KeyGrant;
+pub use store::{PhotoId, PspServer};
 
 use std::fmt;
 

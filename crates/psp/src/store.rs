@@ -187,9 +187,7 @@ mod tests {
         let server = PspServer::new();
         let (id, _) = upload_test_photo(&server);
         let before = server.download(id).unwrap();
-        server
-            .transform(id, &Transformation::Rotate180)
-            .unwrap();
+        server.transform(id, &Transformation::Rotate180).unwrap();
         let after = server.download(id).unwrap();
         assert_ne!(before, after);
         let params = PublicParams::from_bytes(&server.download_params(id).unwrap()).unwrap();
@@ -225,16 +223,12 @@ mod tests {
 
     #[test]
     fn concurrent_uploads_get_distinct_ids() {
-        let server = std::sync::Arc::new(PspServer::new());
-        let mut handles = Vec::new();
-        for _ in 0..8 {
-            let s = server.clone();
-            handles.push(std::thread::spawn(move || {
-                s.upload(vec![1, 2, 3], vec![])
-            }));
-        }
-        let ids: std::collections::HashSet<_> =
-            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let server = PspServer::new();
+        let pool = puppies_core::parallel::WorkerPool::new(4);
+        let ids: std::collections::HashSet<_> = pool
+            .map_indexed(8, |_| server.upload(vec![1, 2, 3], vec![]))
+            .into_iter()
+            .collect();
         assert_eq!(ids.len(), 8);
         assert_eq!(server.len(), 8);
     }

@@ -33,7 +33,6 @@ use puppies_image::convolve::{convolve, gaussian_blur, Kernel};
 use puppies_image::resample::{self, Filter};
 use puppies_image::{Plane, Rect, Rgb, RgbImage};
 use puppies_jpeg::{Block, CoeffImage, Component, BLOCK_SIZE};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Errors produced by transformation application.
@@ -79,7 +78,7 @@ pub type Result<T> = std::result::Result<T, TransformError>;
 
 /// A linear filtering operation (frequency/pixel-domain transformation in
 /// the paper's taxonomy).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub enum FilterOp {
     /// Separable Gaussian blur with the given sigma.
@@ -97,7 +96,7 @@ pub enum FilterOp {
 }
 
 /// Serializable resampling filter (mirrors [`Filter`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ScaleFilter {
     /// Nearest-neighbour sampling.
     Nearest,
@@ -124,7 +123,7 @@ impl From<ScaleFilter> for Filter {
 /// public metadata so receivers can mirror it on the shadow ROI (§III-C
 /// scenario 2; the paper assumes transformations are known to PuPPIeS,
 /// footnote 10).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum Transformation {
     /// Resample to exactly `width` × `height`.
@@ -320,9 +319,7 @@ impl Transformation {
                 }
                 Ok(Plane::from_fn(r.w, r.h, |x, y| plane.get(r.x + x, r.y + y)))
             }
-            Transformation::Rotate90 => {
-                Ok(Plane::from_fn(ph, pw, |x, y| plane.get(y, ph - 1 - x)))
-            }
+            Transformation::Rotate90 => Ok(Plane::from_fn(ph, pw, |x, y| plane.get(y, ph - 1 - x))),
             Transformation::Rotate180 => Ok(Plane::from_fn(pw, ph, |x, y| {
                 plane.get(pw - 1 - x, ph - 1 - y)
             })),
@@ -350,9 +347,7 @@ impl Transformation {
     pub fn is_coeff_domain(&self, width: u32, height: u32) -> bool {
         let aligned = |v: u32| v % BLOCK_SIZE == 0;
         match *self {
-            Transformation::Crop(r) => {
-                aligned(r.x) && aligned(r.y) && aligned(r.w) && aligned(r.h)
-            }
+            Transformation::Crop(r) => aligned(r.x) && aligned(r.y) && aligned(r.w) && aligned(r.h),
             Transformation::Rotate90
             | Transformation::Rotate180
             | Transformation::Rotate270
@@ -665,7 +660,8 @@ mod tests {
     fn coeff_domain_rotations_match_pixel_rotations() {
         let img = textured(64, 48);
         let coeff = CoeffImage::from_rgb(&img, 85);
-        let cases: [(Transformation, fn(&RgbImage) -> RgbImage); 5] = [
+        type Case = (Transformation, fn(&RgbImage) -> RgbImage);
+        let cases: [Case; 5] = [
             (Transformation::Rotate90, resample::rotate90),
             (Transformation::Rotate180, resample::rotate180),
             (Transformation::Rotate270, resample::rotate270),
@@ -695,7 +691,9 @@ mod tests {
         let r180 = Transformation::Rotate180.apply_to_coeff(&coeff).unwrap();
         let back = Transformation::Rotate180.apply_to_coeff(&r180).unwrap();
         assert_eq!(back, coeff);
-        let fh = Transformation::FlipHorizontal.apply_to_coeff(&coeff).unwrap();
+        let fh = Transformation::FlipHorizontal
+            .apply_to_coeff(&coeff)
+            .unwrap();
         let back = Transformation::FlipHorizontal.apply_to_coeff(&fh).unwrap();
         assert_eq!(back, coeff);
     }
@@ -830,4 +828,3 @@ mod tests {
         assert_eq!(rotate_block_270(&rotate_block_90(&b)), b);
     }
 }
-

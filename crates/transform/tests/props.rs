@@ -17,7 +17,11 @@ fn arb_aligned_image() -> impl Strategy<Value = RgbImage> {
             let v = x
                 .wrapping_mul(seed | 1)
                 .wrapping_add(y.wrapping_mul(seed.rotate_left(11) | 3));
-            Rgb::new((v % 256) as u8, ((v >> 6) % 256) as u8, ((v >> 12) % 256) as u8)
+            Rgb::new(
+                (v % 256) as u8,
+                ((v >> 6) % 256) as u8,
+                ((v >> 12) % 256) as u8,
+            )
         })
     })
 }
@@ -29,7 +33,8 @@ proptest! {
     fn coeff_rotations_match_pixel_rotations(img in arb_aligned_image(), q in 30u8..=95) {
         let coeff = CoeffImage::from_rgb(&img, q);
         let decoded = coeff.to_rgb();
-        let cases: [(Transformation, fn(&RgbImage) -> RgbImage); 5] = [
+        type Case = (Transformation, fn(&RgbImage) -> RgbImage);
+        let cases: [Case; 5] = [
             (Transformation::Rotate90, resample::rotate90),
             (Transformation::Rotate180, resample::rotate180),
             (Transformation::Rotate270, resample::rotate270),

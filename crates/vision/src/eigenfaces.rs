@@ -32,7 +32,10 @@ fn to_vector(face: &GrayImage) -> Vec<f64> {
         .sum::<f64>()
         / chip.pixels().len() as f64;
     let sd = var.sqrt().max(1e-6);
-    chip.pixels().iter().map(|&v| (v as f64 - mean) / sd).collect()
+    chip.pixels()
+        .iter()
+        .map(|&v| (v as f64 - mean) / sd)
+        .collect()
 }
 
 impl EigenfaceGallery {
@@ -87,7 +90,10 @@ impl EigenfaceGallery {
     /// The rank (1-based) at which `label` appears for this probe, or
     /// `None` if the label is not enrolled.
     pub fn rank_of(&self, probe: &GrayImage, label: u32) -> Option<usize> {
-        self.rank(probe).iter().position(|&l| l == label).map(|p| p + 1)
+        self.rank(probe)
+            .iter()
+            .position(|&l| l == label)
+            .map(|p| p + 1)
     }
 }
 
@@ -141,7 +147,10 @@ mod tests {
         let mut faces = Vec::new();
         for (label, geom) in identities().iter().enumerate() {
             for jitter in 0..3u32 {
-                faces.push((label as u32, face_image(geom, Rgb::new(220, 184, 148), jitter)));
+                faces.push((
+                    label as u32,
+                    face_image(geom, Rgb::new(220, 184, 148), jitter),
+                ));
             }
         }
         EigenfaceGallery::train(&faces, 8)
@@ -192,7 +201,12 @@ mod tests {
         let g = build_gallery();
         let geom = identities()[1];
         let mut img = RgbImage::filled(128, 128, Rgb::new(70, 80, 100));
-        render_face(&mut img, Rect::new(10, 10, 100, 110), Rgb::new(220, 184, 148), &geom);
+        render_face(
+            &mut img,
+            Rect::new(10, 10, 100, 110),
+            Rgb::new(220, 184, 148),
+            &geom,
+        );
         let rank = g.rank_of(&img.to_gray(), 1).unwrap();
         assert!(rank <= 2, "scaled probe ranked {rank}");
     }

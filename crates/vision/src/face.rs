@@ -207,8 +207,22 @@ pub fn render_face(
     let eye_y = bbox.y as i32 + (bbox.h as f32 * 0.35) as i32;
     let eye_dx = (bbox.w as f32 * identity.eye_spread) as i32;
     let eye_r = ((bbox.w as f32 * identity.eye_size) as i32).max(1);
-    draw::fill_ellipse(img, cx - eye_dx, eye_y, eye_r, (eye_r as f32 * 0.7) as i32 + 1, dark);
-    draw::fill_ellipse(img, cx + eye_dx, eye_y, eye_r, (eye_r as f32 * 0.7) as i32 + 1, dark);
+    draw::fill_ellipse(
+        img,
+        cx - eye_dx,
+        eye_y,
+        eye_r,
+        (eye_r as f32 * 0.7) as i32 + 1,
+        dark,
+    );
+    draw::fill_ellipse(
+        img,
+        cx + eye_dx,
+        eye_y,
+        eye_r,
+        (eye_r as f32 * 0.7) as i32 + 1,
+        dark,
+    );
     // Brows.
     let brow_y = eye_y - eye_r * 2;
     for side in [-1, 1] {
@@ -265,7 +279,12 @@ mod tests {
 
     fn scene_with_face(bbox: Rect) -> GrayImage {
         let mut img = RgbImage::filled(160, 120, Rgb::new(60, 80, 110));
-        render_face(&mut img, bbox, Rgb::new(224, 186, 150), &FaceGeometry::default());
+        render_face(
+            &mut img,
+            bbox,
+            Rgb::new(224, 186, 150),
+            &FaceGeometry::default(),
+        );
         img.to_gray()
     }
 
@@ -307,7 +326,12 @@ mod tests {
         let mut img = RgbImage::filled(200, 120, Rgb::new(70, 90, 120));
         let a = Rect::new(20, 30, 48, 60);
         let b = Rect::new(120, 25, 52, 64);
-        render_face(&mut img, a, Rgb::new(230, 190, 155), &FaceGeometry::default());
+        render_face(
+            &mut img,
+            a,
+            Rgb::new(230, 190, 155),
+            &FaceGeometry::default(),
+        );
         render_face(
             &mut img,
             b,
@@ -336,4 +360,3 @@ mod tests {
         }
     }
 }
-

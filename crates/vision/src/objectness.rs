@@ -131,10 +131,7 @@ mod tests {
         draw::fill_ellipse(&mut img, 72, 57, 12, 12, Rgb::new(220, 220, 60));
         let props = propose_objects(&img.to_gray(), &ObjectnessParams::default());
         assert!(!props.is_empty());
-        let best_iou = props
-            .iter()
-            .map(|p| p.rect.iou(obj))
-            .fold(0.0f64, f64::max);
+        let best_iou = props.iter().map(|p| p.rect.iou(obj)).fold(0.0f64, f64::max);
         assert!(best_iou > 0.25, "best IoU {best_iou}");
     }
 
@@ -149,7 +146,11 @@ mod tests {
     fn top_n_respected_and_disjoint() {
         let mut img = RgbImage::filled(200, 150, Rgb::new(190, 190, 190));
         for (i, &(x, y)) in [(20u32, 20u32), (120, 30), (60, 90)].iter().enumerate() {
-            let c = [Rgb::new(30, 30, 30), Rgb::new(200, 40, 40), Rgb::new(40, 160, 40)][i];
+            let c = [
+                Rgb::new(30, 30, 30),
+                Rgb::new(200, 40, 40),
+                Rgb::new(40, 160, 40),
+            ][i];
             draw::fill_rect(&mut img, Rect::new(x, y, 36, 36), c);
         }
         let params = ObjectnessParams {
@@ -169,7 +170,11 @@ mod tests {
     fn scores_sorted_descending() {
         let mut img = RgbImage::filled(160, 120, Rgb::new(180, 180, 180));
         draw::fill_rect(&mut img, Rect::new(30, 30, 40, 40), Rgb::new(20, 20, 20));
-        draw::fill_rect(&mut img, Rect::new(100, 60, 30, 30), Rgb::new(150, 150, 150));
+        draw::fill_rect(
+            &mut img,
+            Rect::new(100, 60, 30, 30),
+            Rgb::new(150, 150, 150),
+        );
         let props = propose_objects(&img.to_gray(), &ObjectnessParams::default());
         for w in props.windows(2) {
             assert!(w[0].score >= w[1].score);

@@ -24,10 +24,10 @@ pub fn symmetric_eigen(a: &[Vec<f64>]) -> (Vec<f64>, Vec<Vec<f64>>) {
 
     let off = |m: &[Vec<f64>]| -> f64 {
         let mut s = 0.0;
-        for i in 0..n {
-            for j in 0..n {
+        for (i, row) in m.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
                 if i != j {
-                    s += m[i][j] * m[i][j];
+                    s += v * v;
                 }
             }
         }
@@ -47,24 +47,29 @@ pub fn symmetric_eigen(a: &[Vec<f64>]) -> (Vec<f64>, Vec<Vec<f64>>) {
                 let c = 1.0 / (t * t + 1.0).sqrt();
                 let s = t * c;
                 // Rotate rows/cols p and q of m.
-                for k in 0..n {
-                    let mkp = m[k][p];
-                    let mkq = m[k][q];
-                    m[k][p] = c * mkp - s * mkq;
-                    m[k][q] = s * mkp + c * mkq;
+                for row in m.iter_mut() {
+                    let mkp = row[p];
+                    let mkq = row[q];
+                    row[p] = c * mkp - s * mkq;
+                    row[q] = s * mkp + c * mkq;
                 }
-                for k in 0..n {
-                    let mpk = m[p][k];
-                    let mqk = m[q][k];
-                    m[p][k] = c * mpk - s * mqk;
-                    m[q][k] = s * mpk + c * mqk;
+                {
+                    // Rows p and q (p < q) need simultaneous mutation.
+                    let (head, tail) = m.split_at_mut(q);
+                    let (rp, rq) = (&mut head[p], &mut tail[0]);
+                    for (a, b) in rp.iter_mut().zip(rq.iter_mut()) {
+                        let mpk = *a;
+                        let mqk = *b;
+                        *a = c * mpk - s * mqk;
+                        *b = s * mpk + c * mqk;
+                    }
                 }
                 // Accumulate in v.
-                for k in 0..n {
-                    let vkp = v[k][p];
-                    let vkq = v[k][q];
-                    v[k][p] = c * vkp - s * vkq;
-                    v[k][q] = s * vkp + c * vkq;
+                for row in v.iter_mut() {
+                    let vkp = row[p];
+                    let vkq = row[q];
+                    row[p] = c * vkp - s * vkq;
+                    row[q] = s * vkp + c * vkq;
                 }
             }
         }
@@ -272,7 +277,7 @@ mod tests {
             .collect();
         let pca = Pca::fit(&samples, 2);
         assert!(!pca.is_empty());
-        let c = &pca.project(&vec![4.0, 2.0]);
+        let c = &pca.project(&[4.0, 2.0]);
         assert!(!c.is_empty());
         // Dominant axis is parallel to (2,1)/sqrt(5).
         let axis: Vec<f64> = pca.components[0].clone();

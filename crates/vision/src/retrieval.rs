@@ -185,7 +185,10 @@ mod tests {
         idx.insert(1, &scene(15, 0));
         idx.insert(2, &scene(240, 9)); // far hue
         let results = idx.query(&scene(12, 0), 3);
-        assert!(results[2] == 2, "dissimilar image should rank last: {results:?}");
+        assert!(
+            results[2] == 2,
+            "dissimilar image should rank last: {results:?}"
+        );
     }
 
     #[test]

@@ -167,7 +167,8 @@ fn edge_like(dog: &Plane, x: u32, y: u32, r: f32) -> bool {
     let dxx = dog.get_clamped(x + 1, y) + dog.get_clamped(x - 1, y) - 2.0 * dog.get_clamped(x, y);
     let dyy = dog.get_clamped(x, y + 1) + dog.get_clamped(x, y - 1) - 2.0 * dog.get_clamped(x, y);
     let dxy = 0.25
-        * (dog.get_clamped(x + 1, y + 1) - dog.get_clamped(x + 1, y - 1)
+        * (dog.get_clamped(x + 1, y + 1)
+            - dog.get_clamped(x + 1, y - 1)
             - dog.get_clamped(x - 1, y + 1)
             + dog.get_clamped(x - 1, y - 1));
     let tr = dxx + dyy;
@@ -225,8 +226,7 @@ fn describe(p: &Plane, x: u32, y: u32, sigma: f32, orientation: f32) -> Vec<f32>
             }
             let (mag, ori) = gradient(p, x as i64 + dx, y as i64 + dy);
             let rel = ori - orientation;
-            let bin = ((rel.rem_euclid(2.0 * std::f32::consts::PI))
-                / (2.0 * std::f32::consts::PI)
+            let bin = ((rel.rem_euclid(2.0 * std::f32::consts::PI)) / (2.0 * std::f32::consts::PI)
                 * 8.0) as usize;
             let idx = (cy as usize).min(3) * 32 + (cx as usize).min(3) * 8 + bin.min(7);
             desc[idx] += mag;
@@ -250,7 +250,11 @@ fn normalize_descriptor(desc: &mut [f32]) {
 
 /// Matches descriptors with Lowe's ratio test; returns index pairs
 /// `(i_a, i_b)`.
-pub fn match_descriptors(a: &[SiftKeypoint], b: &[SiftKeypoint], ratio: f32) -> Vec<(usize, usize)> {
+pub fn match_descriptors(
+    a: &[SiftKeypoint],
+    b: &[SiftKeypoint],
+    ratio: f32,
+) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     for (i, ka) in a.iter().enumerate() {
         let mut best = f32::INFINITY;

@@ -64,8 +64,7 @@ pub fn detect_text_blocks(img: &GrayImage, params: &TextDetectorParams) -> Vec<R
                 }
             }
             let density = strokes as f32 / (cell * cell) as f32;
-            texty[(cy * cw + cx) as usize] =
-                density > params.min_density && transitions >= cell;
+            texty[(cy * cw + cx) as usize] = density > params.min_density && transitions >= cell;
         }
     }
     // Connected components over texty cells (4-connectivity).

@@ -20,7 +20,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut photo = RgbImage::filled(240, 160, Rgb::new(96, 128, 168));
     let alice_face = Rect::new(36, 40, 48, 60);
     let bob_face = Rect::new(150, 36, 48, 60);
-    render_face(&mut photo, alice_face, Rgb::new(228, 188, 150), &FaceGeometry::default());
+    render_face(
+        &mut photo,
+        alice_face,
+        Rgb::new(228, 188, 150),
+        &FaceGeometry::default(),
+    );
     render_face(
         &mut photo,
         bob_face,

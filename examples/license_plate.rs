@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let auto_hit = detected.iter().any(|b| b.overlaps(plate));
     println!(
         "text detector found the plate automatically: {}",
-        if auto_hit { "yes" } else { "no (using ground truth)" }
+        if auto_hit {
+            "yes"
+        } else {
+            "no (using ground truth)"
+        }
     );
 
     let key = OwnerKey::from_seed([9u8; 32]);
@@ -43,15 +47,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "matrix inference",
             matrix_inference_attack(&perturbed_coeff, &protected.params).to_gray(),
         ),
-        ("inpainting", inpainting_attack(&perturbed, &rois, 4).to_gray()),
+        (
+            "inpainting",
+            inpainting_attack(&perturbed, &rois, 4).to_gray(),
+        ),
         ("PCA", pca_attack(&perturbed.to_gray(), &rois, 8)),
     ];
     let original_gray = reference.to_gray();
     for (name, out) in &candidates {
-        let verdict = recognizability_verdict(
-            &original_gray.crop(region)?,
-            &out.crop(region)?,
-        );
+        let verdict = recognizability_verdict(&original_gray.crop(region)?, &out.crop(region)?);
         println!(
             "{name:<18} recognizability {:.3} -> {}",
             verdict.score,

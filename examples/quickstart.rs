@@ -37,10 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let roi = protected.params.rois[0].rect;
     println!(
         "public view PSNR inside the region: {:.1} dB (garbage)",
-        psnr_rgb(
-            &public_view.crop(roi)?,
-            &reference.crop(roi)?
-        )
+        psnr_rgb(&public_view.crop(roi)?, &reference.crop(roi)?)
     );
 
     // Without the key nothing changes...

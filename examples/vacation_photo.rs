@@ -17,7 +17,10 @@ use rand::SeedableRng;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(2016);
     let (photo, truth) = landscape_with_people(&mut rng, 320, 240);
-    println!("generated a vacation photo with {} people", truth.faces.len());
+    println!(
+        "generated a vacation photo with {} people",
+        truth.faces.len()
+    );
 
     // Build a small photo corpus for the search engine.
     let mut index = RetrievalIndex::new();
@@ -44,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let top_orig = index.query(&photo, 10);
     let top_pert = index.query(&public, 10);
     let overlap = result_overlap(&top_orig, &top_pert);
-    println!("top-10 search overlap, original vs perturbed query: {:.0}%", overlap * 100.0);
+    println!(
+        "top-10 search overlap, original vs perturbed query: {:.0}%",
+        overlap * 100.0
+    );
     println!(
         "perturbed query self-retrieves: {}",
         if top_pert.contains(&999) { "yes" } else { "no" }

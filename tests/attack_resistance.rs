@@ -16,12 +16,16 @@ fn protected_view(
     let whole = Rect::new(0, 0, img.width(), img.height());
     let opts = ProtectOptions::new(scheme, PrivacyLevel::Medium).with_image_id(id);
     let protected = protect(img, &[whole], &key, &opts).expect("protect");
-    CoeffImage::decode(&protected.bytes).expect("decode").to_rgb()
+    CoeffImage::decode(&protected.bytes)
+        .expect("decode")
+        .to_rgb()
 }
 
 #[test]
 fn sift_attack_defeated_on_dataset_sample() {
-    let profile = DatasetProfile::pascal().with_count(4).with_resolution(248, 164);
+    let profile = DatasetProfile::pascal()
+        .with_count(4)
+        .with_resolution(248, 164);
     let mut total_matches = 0usize;
     let mut total_features = 0usize;
     for li in generate(profile, 777) {
@@ -31,7 +35,10 @@ fn sift_attack_defeated_on_dataset_sample() {
         total_matches += report.matches;
         total_features += report.original_features;
     }
-    assert!(total_features > 20, "scenes too feature-poor: {total_features}");
+    assert!(
+        total_features > 20,
+        "scenes too feature-poor: {total_features}"
+    );
     assert!(
         total_matches * 10 <= total_features,
         "{total_matches} matches over {total_features} features"
@@ -40,7 +47,9 @@ fn sift_attack_defeated_on_dataset_sample() {
 
 #[test]
 fn edge_attack_defeated_on_dataset_sample() {
-    let profile = DatasetProfile::pascal().with_count(4).with_resolution(248, 164);
+    let profile = DatasetProfile::pascal()
+        .with_count(4)
+        .with_resolution(248, 164);
     for li in generate(profile, 778) {
         let reference = CoeffImage::from_rgb(&li.image, 75).to_rgb().to_gray();
         let perturbed = protected_view(&li.image, li.id, Scheme::Compression).to_gray();
@@ -57,7 +66,9 @@ fn edge_attack_defeated_on_dataset_sample() {
 fn face_recognition_attack_degrades_to_chance() {
     use puppies::attacks::recognition::recognition_attack;
     use puppies::vision::eigenfaces::EigenfaceGallery;
-    let profile = DatasetProfile::feret().with_count(36).with_resolution(128, 192);
+    let profile = DatasetProfile::feret()
+        .with_count(36)
+        .with_resolution(128, 192);
     let images: Vec<_> = generate(profile, 779).collect();
     // Gallery: first sighting of each identity; probes: the rest.
     let mut seen = std::collections::HashSet::new();
@@ -81,7 +92,9 @@ fn face_recognition_attack_degrades_to_chance() {
     let mut perturbed_top1 = 0;
     for (li, face) in &probes {
         let chip = |img: &puppies::image::RgbImage| {
-            img.crop(face.intersect(img.bounds())).expect("crop").to_gray()
+            img.crop(face.intersect(img.bounds()))
+                .expect("crop")
+                .to_gray()
         };
         let reference = CoeffImage::from_rgb(&li.image, 75).to_rgb();
         if recognition_attack(&gallery, &chip(&reference), li.identity) == Some(1) {
@@ -99,8 +112,7 @@ fn face_recognition_attack_degrades_to_chance() {
         probes.len()
     );
     assert!(
-        perturbed_top1 * 2 < clean_top1.max(1) * 2
-            && perturbed_top1 <= probes.len() / 3,
+        perturbed_top1 * 2 < clean_top1.max(1) * 2 && perturbed_top1 <= probes.len() / 3,
         "perturbed probes still recognized: {perturbed_top1}/{} (clean {clean_top1})",
         probes.len()
     );

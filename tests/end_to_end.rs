@@ -103,9 +103,14 @@ fn scaling_chain_recovers_with_transform_friendly_profile() {
     // carry only the PSP's q75 re-encode noise).
     let scaled_roi = Rect::new(20, 12, 24, 24);
     let crop = |img: &RgbImage| img.crop(scaled_roi).expect("crop");
-    let bob_psnr = psnr_rgb(&crop(&bob.fetch(&psp, photo_id).expect("fetch")), &crop(&reference));
-    let carol_psnr =
-        psnr_rgb(&crop(&carol.fetch(&psp, photo_id).expect("fetch")), &crop(&reference));
+    let bob_psnr = psnr_rgb(
+        &crop(&bob.fetch(&psp, photo_id).expect("fetch")),
+        &crop(&reference),
+    );
+    let carol_psnr = psnr_rgb(
+        &crop(&carol.fetch(&psp, photo_id).expect("fetch")),
+        &crop(&reference),
+    );
     assert!(
         bob_psnr > carol_psnr + 6.0,
         "bob {bob_psnr} dB vs carol {carol_psnr} dB inside the protected region"

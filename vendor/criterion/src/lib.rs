@@ -1,0 +1,296 @@
+//! Minimal offline stand-in for `criterion`: the API subset the bench
+//! crate uses, measuring wall-clock time with `std::time::Instant`.
+//!
+//! Differences from the real crate, by design:
+//! - No statistical analysis, plots, or saved baselines — each benchmark
+//!   prints `name  time: [min mean max]` over `sample_size` samples.
+//! - `cargo bench -- --test` runs every benchmark body exactly once
+//!   (smoke mode), which is what CI's bench-smoke job relies on.
+//! - Any other positional CLI argument is a substring filter on the
+//!   full `group/function` benchmark name.
+
+use std::time::{Duration, Instant};
+
+/// Re-export point for preventing dead-code elimination in bench bodies.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier for a parameterised benchmark: rendered as `function/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    /// Mean nanoseconds per iteration for each collected sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `payload`, storing per-iteration samples. In `--test` mode
+    /// the payload runs exactly once and nothing is measured.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut payload: F) {
+        if self.test_mode {
+            black_box(payload());
+            return;
+        }
+        // Calibrate: grow the batch until one batch takes >= 5ms so
+        // Instant overhead is amortised away.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(payload());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || batch >= 1 << 24 {
+                self.samples.push(elapsed.as_nanos() as f64 / batch as f64);
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+        for _ in 1..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(payload());
+            }
+            self.samples
+                .push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark driver; one per bench binary, built by
+/// [`criterion_main!`] from CLI arguments.
+pub struct Criterion {
+    test_mode: bool,
+    filters: Vec<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            filters: Vec::new(),
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from `cargo bench` CLI arguments: `--test`
+    /// enables smoke mode, other non-flag arguments become filters.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                // Flags cargo/harness conventions may pass; ignored.
+                "--bench" | "--nocapture" | "--quiet" | "--verbose" => {}
+                other if other.starts_with("--") => {}
+                filter => c.filters.push(filter.to_string()),
+            }
+        }
+        c
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f))
+    }
+
+    fn run_one(&self, name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.selected(name) {
+            return;
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {name} ... ok");
+            return;
+        }
+        let samples = &bencher.samples;
+        if samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{name:<40} time: [{} {} {}]",
+            format_ns(min),
+            format_ns(mean),
+            format_ns(max)
+        );
+    }
+
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        self.run_one(name, sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named family of benchmarks sharing a sample-size override.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        self.sample_size
+            .unwrap_or(self.criterion.default_sample_size)
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.effective_samples();
+        self.criterion.run_one(&full, samples, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.effective_samples();
+        self.criterion.run_one(&full, samples, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (No analysis to flush in this stand-in.)
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_payload_once() {
+        let mut calls = 0u32;
+        let mut b = Bencher {
+            test_mode: true,
+            sample_size: 10,
+            samples: Vec::new(),
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.samples.is_empty());
+    }
+
+    #[test]
+    fn measurement_collects_sample_size_samples() {
+        let mut b = Bencher {
+            test_mode: false,
+            sample_size: 3,
+            samples: Vec::new(),
+        };
+        b.iter(|| black_box(2u64.wrapping_mul(3)));
+        assert_eq!(b.samples.len(), 3);
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn filters_select_by_substring() {
+        let mut c = Criterion {
+            test_mode: true,
+            filters: vec!["dct".into()],
+            default_sample_size: 10,
+        };
+        let mut ran = Vec::new();
+        c.bench_function("dct_forward", |b| b.iter(|| ran.push("dct")));
+        assert_eq!(ran, vec!["dct"]);
+        let mut ran2 = false;
+        c.bench_function("huffman_encode", |b| b.iter(|| ran2 = true));
+        assert!(!ran2);
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_function_slash_param() {
+        let id = BenchmarkId::new("encode", 4);
+        assert_eq!(id.to_string(), "encode/4");
+    }
+}

@@ -1,0 +1,576 @@
+//! Minimal offline stand-in for `proptest`: the API subset this
+//! workspace uses, backed by plain random sampling.
+//!
+//! Differences from the real crate, by design:
+//! - **No shrinking.** A failing case reports the sampled inputs and the
+//!   RNG seed; rerun with `PROPTEST_SEED=<seed>` to reproduce exactly.
+//! - Strategies are samplers (`fn sample(&self, rng)`), not lazy value
+//!   trees, so only the composition operators the tests use exist:
+//!   ranges, tuples, `prop_map`, `Just`, `any`, and `collection::{vec,
+//!   hash_set}`.
+//! - `PROPTEST_CASES=<n>` overrides the per-test case count.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform};
+
+/// Per-test configuration, set via `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single sampled case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the test fails.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; sample a fresh case.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    type Value: fmt::Debug;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Derives a strategy producing `f(value)`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`prop_oneof!`](crate::prop_oneof): picks one of several
+/// strategies uniformly, then samples it.
+pub struct Union<T: fmt::Debug> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T: fmt::Debug> Union<T> {
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one strategy"
+        );
+        Union { options }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].sample(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: SampleUniform + fmt::Debug,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    T: SampleUniform + fmt::Debug,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+ $(,)?)),* $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);
+
+/// Types usable with [`any`], mirroring proptest's `Arbitrary`.
+pub trait Arbitrary: fmt::Debug + Sized {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_standard {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+arbitrary_standard!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, f32, f64);
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen()
+    }
+}
+
+/// Strategy over the full domain of `T`.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()`: a strategy covering all of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    //! Strategies for containers of strategy-generated elements.
+
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// Element-count specification: an exact length or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            if self.lo + 1 >= self.hi {
+                self.lo
+            } else {
+                rng.gen_range(self.lo..self.hi)
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>` targeting a size in `size`.
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut out = HashSet::with_capacity(target);
+            // Duplicates are resampled; cap attempts so tiny domains
+            // cannot loop forever (the set may come out under target).
+            let mut attempts = 0;
+            while out.len() < target && attempts < 100 + target * 100 {
+                out.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The sampling loop behind the [`proptest!`](crate::proptest) macro.
+
+    use super::{ProptestConfig, Strategy, TestCaseError};
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    fn starting_seed() -> u64 {
+        match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s
+                .parse()
+                .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {s:?}")),
+            Err(_) => rand::thread_rng().next_u64(),
+        }
+    }
+
+    fn case_count(config: &ProptestConfig) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(s) => s
+                .parse()
+                .unwrap_or_else(|_| panic!("PROPTEST_CASES must be a u32, got {s:?}")),
+            Err(_) => config.cases,
+        }
+    }
+
+    /// Samples `strategy` and runs `case` until `config.cases` cases
+    /// pass. Panics (failing the `#[test]`) on the first `Fail`.
+    pub fn run<S, F>(config: ProptestConfig, strategy: S, case: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let seed = starting_seed();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cases = case_count(&config);
+        let mut passed = 0u32;
+        let mut rejected = 0u64;
+        let max_rejects = u64::from(cases) * 20 + 1000;
+        while passed < cases {
+            let value = strategy.sample(&mut rng);
+            let described = format!("{value:?}");
+            match case(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        panic!(
+                            "proptest: too many rejected cases ({rejected}) \
+                             after {passed} passes (seed {seed})"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest case failed after {passed} passes \
+                         (rerun with PROPTEST_SEED={seed}):\n  \
+                         input: {described}\n  {msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+    pub use crate::{Arbitrary, TestCaseError, Union};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let strategy = ($($strategy,)+);
+            $crate::test_runner::run(config, strategy, |($($arg,)+)| {
+                $body
+                #[allow(unreachable_code)]
+                ::core::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(Box::new($strategy) as Box<dyn $crate::Strategy<Value = _>>),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        use crate::test_runner::run;
+        run(
+            ProptestConfig::with_cases(64),
+            (1u8..=10, 0i32..5),
+            |(a, b)| {
+                assert!((1..=10).contains(&a));
+                assert!((0..5).contains(&b));
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_range() {
+        use crate::test_runner::run;
+        let strat = (crate::collection::vec(0u8..4, 2..6),);
+        run(ProptestConfig::with_cases(64), strat, |(v,)| {
+            assert!((2..6).contains(&v.len()));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn hash_set_strategy_yields_unique_elements() {
+        use crate::test_runner::run;
+        let strat = (crate::collection::hash_set(0u32..1000, 3..8),);
+        run(ProptestConfig::with_cases(32), strat, |(s,)| {
+            assert!(s.len() < 8);
+            Ok(())
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_binds_multiple_args(a in 0u32..10, b in any::<bool>()) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, b);
+            prop_assert_ne!(a, a + 1);
+        }
+
+        #[test]
+        fn macro_supports_prop_map_and_assume(
+            pair in (0u8..8, 0u8..8).prop_map(|(x, y)| (x, y)),
+        ) {
+            prop_assume!(pair.0 != pair.1);
+            prop_assert_ne!(pair.0, pair.1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failing_property_panics_with_seed() {
+        use crate::test_runner::run;
+        run(ProptestConfig::with_cases(16), (0u8..4,), |(v,)| {
+            crate::prop_assert!(v < 2, "v was {}", v);
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,161 @@
+//! Minimal offline stand-in for `rand_chacha`: real ChaCha keystream
+//! generators (8 and 20 rounds) implementing the vendored `rand` traits.
+//!
+//! The block function is the genuine ChaCha quarter-round construction
+//! (RFC 8439 layout with a 64-bit counter), so streams have full
+//! cryptographic-PRG structure; only the word-to-output ordering is
+//! guaranteed to match *this* crate, not upstream `rand_chacha`. Every
+//! consumer in the workspace relies solely on same-seed determinism.
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// A ChaCha keystream generator with `ROUNDS` rounds.
+#[derive(Debug, Clone)]
+pub struct ChaChaRng<const ROUNDS: usize> {
+    /// Key words 4..12, counter words 12..14, nonce words 14..16.
+    state: [u32; 16],
+    buffer: [u32; 16],
+    /// Next unread word of `buffer`; 16 means exhausted.
+    cursor: usize,
+}
+
+impl<const ROUNDS: usize> ChaChaRng<ROUNDS> {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..ROUNDS / 2 {
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self
+            .buffer
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(s);
+        }
+        // 64-bit block counter in words 12/13.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.cursor = 0;
+    }
+}
+
+impl<const ROUNDS: usize> SeedableRng for ChaChaRng<ROUNDS> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+        }
+        ChaChaRng {
+            state,
+            buffer: [0u32; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl<const ROUNDS: usize> RngCore for ChaChaRng<ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.cursor];
+        self.cursor += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+/// ChaCha with 8 rounds (fast; used for synthetic datasets).
+pub type ChaCha8Rng = ChaChaRng<8>;
+/// ChaCha with 12 rounds.
+pub type ChaCha12Rng = ChaChaRng<12>;
+/// ChaCha with 20 rounds (the key-derivation grade generator).
+pub type ChaCha20Rng = ChaChaRng<20>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha20Rng::from_seed([7u8; 32]);
+        let mut b = ChaCha20Rng::from_seed([7u8; 32]);
+        for _ in 0..200 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn seeds_separate_streams() {
+        let mut a = ChaCha20Rng::from_seed([1u8; 32]);
+        let mut b = ChaCha20Rng::from_seed([2u8; 32]);
+        let matches = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(matches < 4, "{matches} matching words");
+    }
+
+    #[test]
+    fn counter_advances_across_blocks() {
+        // More than one 16-word block must not repeat.
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let first: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn known_quarter_round_vector() {
+        // RFC 8439 §2.1.1 test vector.
+        let mut st = [0u32; 16];
+        st[0] = 0x1111_1111;
+        st[1] = 0x0102_0304;
+        st[2] = 0x9b8d_6f43;
+        st[3] = 0x0123_4567;
+        quarter_round(&mut st, 0, 1, 2, 3);
+        assert_eq!(st[0], 0xea2a_92f4);
+        assert_eq!(st[1], 0xcb1c_f8ce);
+        assert_eq!(st[2], 0x4581_472e);
+        assert_eq!(st[3], 0x5881_c4bb);
+    }
+
+    #[test]
+    fn gen_range_works_through_rand_traits() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v: u8 = rng.gen_range(b'A'..=b'Z');
+            assert!(v.is_ascii_uppercase());
+        }
+    }
+}
