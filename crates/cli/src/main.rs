@@ -34,6 +34,7 @@ fn main() {
         Some("grant") => cmd_grant(&args[1..]),
         Some("recover") => cmd_recover(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
+        Some("conformance") => cmd_conformance(&args[1..]),
         Some("help") | None => {
             usage();
             Ok(())
@@ -49,7 +50,7 @@ fn main() {
 fn usage() {
     eprintln!(
         "puppies — privacy-preserving partial image sharing\n\
-         commands: keygen, detect, protect, protect-batch, grant, recover, inspect\n\
+         commands: keygen, detect, protect, protect-batch, grant, recover, inspect, conformance\n\
          (see the crate docs or README for full flag reference)"
     );
 }
@@ -84,7 +85,7 @@ fn positionals(args: &[String]) -> Vec<&str> {
         }
         if a.starts_with("--") {
             // Boolean flags take no value.
-            let boolean = matches!(a.as_str(), "--auto" | "--transform-friendly");
+            let boolean = matches!(a.as_str(), "--auto" | "--transform-friendly" | "--bless");
             if !boolean && i + 1 < args.len() {
                 skip = true;
             }
@@ -364,4 +365,48 @@ fn cmd_inspect(args: &[String]) -> CliResult {
         );
     }
     Ok(())
+}
+
+fn cmd_conformance(args: &[String]) -> CliResult {
+    use puppies_conformance::{HarnessConfig, Report};
+    let mut cfg = HarnessConfig {
+        bless: has_flag(args, "--bless"),
+        ..HarnessConfig::default()
+    };
+    if let Some(dir) = flag_value(args, "--golden-dir") {
+        cfg.golden_dir = dir.into();
+    }
+    if let Some(dir) = flag_value(args, "--corpus-dir") {
+        cfg.corpus_dir = Some(dir.into());
+    }
+    if let Some(seed) = flag_value(args, "--seed") {
+        cfg.fuzz_seed = seed
+            .parse()
+            .map_err(|e| format!("bad --seed {seed:?}: {e}"))?;
+    }
+    if let Some(scale) = flag_value(args, "--fuzz-scale") {
+        cfg.fuzz_scale = scale
+            .parse()
+            .map_err(|e| format!("bad --fuzz-scale {scale:?}: {e}"))?;
+    }
+    for suite in flag_values(args, "--skip") {
+        cfg.skip.push(suite.to_string());
+    }
+    let report: Report = puppies_conformance::run_all(&cfg).map_err(|e| e.to_string())?;
+    let text = report.render();
+    print!("{text}");
+    if let Some(dir) = flag_value(args, "--report-dir") {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+        let path = std::path::Path::new(dir).join("conformance-report.txt");
+        std::fs::write(&path, &text).map_err(|e| format!("writing report: {e}"))?;
+        println!("report written to {}", path.display());
+    }
+    if report.is_ok() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} conformance case(s) failed",
+            report.failures().len()
+        ))
+    }
 }

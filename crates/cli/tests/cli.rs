@@ -158,3 +158,145 @@ fn protect_without_rois_fails_cleanly() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("no regions"));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Satellite of the conformance PR: `protect-batch` must be
+/// thread-count-invariant — the same inputs at `--threads 1` and
+/// `--threads 8` produce byte-identical JPEGs and params files.
+#[test]
+fn protect_batch_is_deterministic_across_thread_counts() {
+    let dir = tmp_dir("batch_det");
+    let key = dir.join("owner.key");
+    std::fs::write(&key, [7u8; 32]).unwrap();
+    let mut inputs = Vec::new();
+    for i in 0..3 {
+        let p = dir.join(format!("in{i}.ppm"));
+        write_test_ppm(&p);
+        inputs.push(p);
+    }
+
+    let run = |threads: &str, out_tag: &str| -> Vec<(String, Vec<u8>)> {
+        let out_dir = dir.join(out_tag);
+        std::fs::create_dir_all(&out_dir).unwrap();
+        let mut cmd = bin();
+        cmd.arg("protect-batch");
+        for p in &inputs {
+            cmd.arg(p.to_str().unwrap());
+        }
+        let out = cmd
+            .args([
+                "--key",
+                key.to_str().unwrap(),
+                "--out-dir",
+                out_dir.to_str().unwrap(),
+                "--threads",
+                threads,
+                "--roi",
+                "8,8,32,32",
+                "--image-id",
+                "40",
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "protect-batch --threads {threads} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(&out_dir)
+            .unwrap()
+            .map(|e| {
+                let e = e.unwrap();
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    std::fs::read(e.path()).unwrap(),
+                )
+            })
+            .collect();
+        files.sort();
+        files
+    };
+
+    let serial = run("1", "serial");
+    let parallel = run("8", "parallel");
+    assert_eq!(serial.len(), parallel.len());
+    assert!(
+        serial.iter().any(|(name, _)| name.ends_with(".jpg"))
+            && serial.iter().any(|(name, _)| name.ends_with(".pup")),
+        "batch output must contain images and params files"
+    );
+    for ((name_a, bytes_a), (name_b, bytes_b)) in serial.iter().zip(&parallel) {
+        assert_eq!(name_a, name_b);
+        assert_eq!(
+            bytes_a, bytes_b,
+            "{name_a} differs between --threads 1 and --threads 8"
+        );
+    }
+}
+
+/// The conformance subcommand runs the harness end-to-end (quick fuzz
+/// scale) against the committed golden vectors, and fails loudly when a
+/// golden vector is tampered with.
+#[test]
+fn conformance_subcommand_end_to_end() {
+    let golden = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../conformance/golden");
+    let dir = tmp_dir("conf");
+    let out = bin()
+        .args([
+            "conformance",
+            "--golden-dir",
+            golden.to_str().unwrap(),
+            "--corpus-dir",
+            dir.join("corpus").to_str().unwrap(),
+            "--report-dir",
+            dir.join("report").to_str().unwrap(),
+            "--skip",
+            "oracle",
+            "--skip",
+            "differential",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "conformance failed: {}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = std::fs::read_to_string(dir.join("report/conformance-report.txt")).unwrap();
+    assert!(report.contains("golden/fixture.ppm"));
+    assert!(report.contains("0 failed"));
+
+    // Tampered golden directory: copy, flip one byte, expect a readable
+    // diff report and a nonzero exit.
+    let tampered = dir.join("golden_tampered");
+    std::fs::create_dir_all(&tampered).unwrap();
+    for entry in std::fs::read_dir(&golden).unwrap() {
+        let e = entry.unwrap();
+        std::fs::copy(e.path(), tampered.join(e.file_name())).unwrap();
+    }
+    let victim = tampered.join("encode_q90.jpg");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&victim, bytes).unwrap();
+    let out = bin()
+        .args([
+            "conformance",
+            "--golden-dir",
+            tampered.to_str().unwrap(),
+            "--skip",
+            "oracle",
+            "--skip",
+            "differential",
+            "--skip",
+            "fuzz",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "tampered golden dir must fail");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("golden/encode_q90.jpg") && text.contains("first mismatch at byte"),
+        "diff report not readable:\n{text}"
+    );
+}

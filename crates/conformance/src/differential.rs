@@ -1,0 +1,211 @@
+//! Differential tests: the codec checked against itself.
+//!
+//! Three families, in the spirit of P3's bit-level codec fidelity audits
+//! and the JPEG fixed-point literature (Si & Lyu):
+//!
+//! 1. **Coefficient vs pixel domain**: every lossless coefficient-domain
+//!    transformation is cross-checked against the pixel-domain reference
+//!    path on decoded output — `apply_to_coeff(c).to_rgb()` must match the
+//!    same geometric operation applied to `c.to_rgb()`. Crop is a pure
+//!    block copy and must be byte-exact; rotations and flips permute and
+//!    sign-flip coefficients before the IDCT, so the two float evaluation
+//!    orders may differ by one quantization step — the documented bound is
+//!    `max_abs_diff ≤ 1` (matching the transform crate's own contract).
+//! 2. **Codec round-trip**: `decode(encode(x)) == x` at the coefficient
+//!    level for both Huffman modes and several qualities — entropy coding
+//!    must be lossless, only quantization may lose information.
+//! 3. **Recompression fixed point**: repeatedly decoding and re-encoding
+//!    at the same quality must converge — successive iterates stop
+//!    changing (the idempotence window) rather than drifting.
+
+use puppies_image::metrics::{max_abs_diff_rgb, mse_rgb, psnr_rgb};
+use puppies_image::{Rect, RgbImage};
+use puppies_jpeg::{CoeffImage, EncodeOptions};
+use puppies_transform::Transformation;
+
+use crate::golden::fixture_image;
+use crate::report::Report;
+
+/// Pixel-domain reference for a lossless coefficient-domain op: apply the
+/// same geometry directly to the decoded pixels.
+fn pixel_reference(t: &Transformation, rgb: &RgbImage) -> Option<RgbImage> {
+    match *t {
+        Transformation::Rotate90 => Some(RgbImage::from_fn(rgb.height(), rgb.width(), |x, y| {
+            rgb.get(y, rgb.height() - 1 - x)
+        })),
+        Transformation::Rotate180 => Some(RgbImage::from_fn(rgb.width(), rgb.height(), |x, y| {
+            rgb.get(rgb.width() - 1 - x, rgb.height() - 1 - y)
+        })),
+        Transformation::Rotate270 => Some(RgbImage::from_fn(rgb.height(), rgb.width(), |x, y| {
+            rgb.get(rgb.width() - 1 - y, x)
+        })),
+        Transformation::FlipHorizontal => {
+            Some(RgbImage::from_fn(rgb.width(), rgb.height(), |x, y| {
+                rgb.get(rgb.width() - 1 - x, y)
+            }))
+        }
+        Transformation::FlipVertical => {
+            Some(RgbImage::from_fn(rgb.width(), rgb.height(), |x, y| {
+                rgb.get(x, rgb.height() - 1 - y)
+            }))
+        }
+        Transformation::Crop(r) => Some(RgbImage::from_fn(r.w, r.h, |x, y| {
+            rgb.get(r.x + x, r.y + y)
+        })),
+        _ => None,
+    }
+}
+
+/// Family 1: coefficient-domain ops vs the pixel-domain reference.
+pub fn coeff_vs_pixel(report: &mut Report) {
+    let img = fixture_image();
+    let coeff = CoeffImage::from_rgb(&img, 75);
+    let decoded = coeff.to_rgb();
+    let ops: [(&str, Transformation); 6] = [
+        ("rot90", Transformation::Rotate90),
+        ("rot180", Transformation::Rotate180),
+        ("rot270", Transformation::Rotate270),
+        ("fliph", Transformation::FlipHorizontal),
+        ("flipv", Transformation::FlipVertical),
+        ("crop", Transformation::Crop(Rect::new(8, 16, 48, 24))),
+    ];
+    for (name, t) in ops {
+        let case = format!("differential/coeff-vs-pixel/{name}");
+        let via_coeff = match t.apply_to_coeff(&coeff) {
+            Ok(c) => c.to_rgb(),
+            Err(e) => {
+                report.fail(case, format!("coeff path failed: {e}"));
+                continue;
+            }
+        };
+        let via_pixels = pixel_reference(&t, &decoded).expect("lossless op");
+        // Crop copies blocks untouched, so the IDCT evaluates identically;
+        // rotations/flips permute coefficients first and are allowed one
+        // rounding step of float divergence.
+        let tolerance = if matches!(t, Transformation::Crop(_)) {
+            0
+        } else {
+            1
+        };
+        let diff = max_abs_diff_rgb(&via_coeff, &via_pixels);
+        if diff <= tolerance {
+            let detail = if diff == 0 { "exact" } else { "max |Δ| = 1" };
+            report.pass(case, Some(detail.into()));
+        } else {
+            let psnr = psnr_rgb(&via_coeff, &via_pixels);
+            report.fail(
+                case,
+                format!(
+                    "coefficient path diverges from pixel reference: max |Δ| = {diff}, psnr {psnr:.1} dB"
+                ),
+            );
+        }
+    }
+}
+
+/// Family 2: entropy coding round-trips losslessly at the coefficient
+/// level for both Huffman modes.
+pub fn codec_roundtrip(report: &mut Report) {
+    let img = fixture_image();
+    for quality in [35u8, 75, 95] {
+        for (mode, opts) in [
+            ("optimized", EncodeOptions::default()),
+            ("standard", EncodeOptions::standard()),
+        ] {
+            let case = format!("differential/codec-roundtrip/q{quality}_{mode}");
+            let coeff = CoeffImage::from_rgb(&img, quality);
+            let result = coeff
+                .encode(&opts)
+                .and_then(|bytes| CoeffImage::decode(&bytes));
+            match result {
+                Ok(back) => {
+                    let same = back.width() == coeff.width()
+                        && back.height() == coeff.height()
+                        && back
+                            .components()
+                            .iter()
+                            .zip(coeff.components())
+                            .all(|(a, b)| a.blocks() == b.blocks() && a.quant() == b.quant());
+                    if same {
+                        report.pass(case, Some("coefficient-exact".into()));
+                    } else {
+                        report.fail(case, "decode(encode(x)) != x at the coefficient level");
+                    }
+                }
+                Err(e) => report.fail(case, format!("round-trip failed: {e}")),
+            }
+        }
+    }
+}
+
+/// Family 3: repeated recompression at a fixed quality converges to a
+/// fixed point (or a tiny limit cycle) instead of drifting.
+pub fn recompression_fixed_point(report: &mut Report) {
+    let img = fixture_image();
+    for quality in [50u8, 75] {
+        let case = format!("differential/fixed-point/q{quality}");
+        let mut current = img.clone();
+        let mut diffs: Vec<f64> = Vec::new();
+        let mut converged_at = None;
+        for i in 0..12 {
+            let bytes = match puppies_jpeg::encode_rgb(&current, quality) {
+                Ok(b) => b,
+                Err(e) => {
+                    report.fail(case.clone(), format!("encode #{i} failed: {e}"));
+                    return;
+                }
+            };
+            let next = match puppies_jpeg::decode_rgb(&bytes) {
+                Ok(n) => n,
+                Err(e) => {
+                    report.fail(case.clone(), format!("decode #{i} failed: {e}"));
+                    return;
+                }
+            };
+            let d = mse_rgb(&current, &next);
+            diffs.push(d);
+            if d == 0.0 {
+                converged_at = Some(i);
+                break;
+            }
+            current = next;
+        }
+        let last = *diffs.last().unwrap();
+        let detail = format!(
+            "iteration MSEs {:?}, fixed point after {} re-encodes",
+            diffs
+                .iter()
+                .map(|d| (d * 100.0).round() / 100.0)
+                .collect::<Vec<_>>(),
+            converged_at.map_or("not reached".to_string(), |i| i.to_string()),
+        );
+        // The contraction claim: the tail step must be far smaller than the
+        // first step, and an exact fixed point must be reached within the
+        // budget (this codec has no rounding dither, so iterates settle).
+        if converged_at.is_some() && diffs[0] > last {
+            report.pass(case, Some(detail));
+        } else {
+            report.fail(case, format!("recompression does not converge: {detail}"));
+        }
+    }
+}
+
+/// Runs all differential families.
+pub fn run_differential() -> Report {
+    let mut report = Report::new();
+    coeff_vs_pixel(&mut report);
+    codec_roundtrip(&mut report);
+    recompression_fixed_point(&mut report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn differential_suite_is_green() {
+        let report = run_differential();
+        assert!(report.is_ok(), "{}", report.render());
+    }
+}

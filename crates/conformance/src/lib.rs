@@ -1,0 +1,105 @@
+//! Conformance & differential-testing harness for the PuPPIeS workspace.
+//!
+//! The paper's headline guarantee — an authorized receiver reconstructs
+//! the original DCT coefficients even after the PSP transforms the
+//! perturbed JPEG — is only worth reproducing if it is machine-checked.
+//! This crate turns it into four executable suites:
+//!
+//! * [`golden`] — byte-exact committed vectors for the codec, protect, and
+//!   every PSP transformation, with a bless mode and hex diff reports;
+//! * [`oracle`] — the recovery matrix: every transformation × ROI shape ×
+//!   key/params setting, coefficient-exact where the paper claims
+//!   exactness and PSNR-bounded where it claims approximation;
+//! * [`differential`] — the codec against itself: coefficient-domain vs
+//!   pixel-domain transformation paths, lossless entropy round-trips, and
+//!   recompression fixed-point convergence;
+//! * [`fuzz`] — seeded campaigns over malformed bitstreams, degenerate
+//!   ROIs, mutated params, and worker-pool widths, with minimized failing
+//!   inputs written to a corpus directory.
+//!
+//! Entry points: [`run_all`] for the whole harness (what
+//! `puppies-cli conformance` and CI run), or the per-suite `run_*`/
+//! `check`/`bless` functions. Everything reports through
+//! [`report::Report`] so failures render identically everywhere.
+
+pub mod differential;
+pub mod fuzz;
+pub mod golden;
+pub mod oracle;
+pub mod report;
+
+use std::path::PathBuf;
+
+pub use report::{CaseResult, CaseStatus, Report};
+
+/// Which suites to run, and where their inputs/outputs live.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Directory holding the committed golden vectors.
+    pub golden_dir: PathBuf,
+    /// Regenerate golden vectors instead of checking them.
+    pub bless: bool,
+    /// Corpus directory for minimized fuzz failures (`None` disables).
+    pub corpus_dir: Option<PathBuf>,
+    /// Master fuzz seed.
+    pub fuzz_seed: u64,
+    /// Scale factor for fuzz case counts (1 = the default campaign).
+    pub fuzz_scale: usize,
+    /// Suites to skip, by name (`golden`, `oracle`, `differential`,
+    /// `fuzz`).
+    pub skip: Vec<String>,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            golden_dir: PathBuf::from("crates/conformance/golden"),
+            bless: false,
+            corpus_dir: Some(PathBuf::from("tests/corpus")),
+            fuzz_seed: 0xC0FFEE,
+            fuzz_scale: 1,
+            skip: Vec::new(),
+        }
+    }
+}
+
+impl HarnessConfig {
+    fn skipped(&self, suite: &str) -> bool {
+        self.skip.iter().any(|s| s == suite)
+    }
+}
+
+/// Runs every enabled suite and returns the merged report.
+///
+/// # Errors
+/// Only filesystem errors from `--bless` are fatal; oracle failures are
+/// reported, not returned.
+pub fn run_all(cfg: &HarnessConfig) -> std::io::Result<Report> {
+    let mut report = Report::new();
+    if !cfg.skipped("golden") {
+        if cfg.bless {
+            report.merge(golden::bless(&cfg.golden_dir)?);
+        } else {
+            report.merge(golden::check(&cfg.golden_dir));
+        }
+    }
+    if !cfg.skipped("oracle") {
+        report.merge(oracle::run_matrix(&oracle::Matrix::default()));
+    }
+    if !cfg.skipped("differential") {
+        report.merge(differential::run_differential());
+    }
+    if !cfg.skipped("fuzz") {
+        let base = fuzz::FuzzConfig::default();
+        let fcfg = fuzz::FuzzConfig {
+            seed: cfg.fuzz_seed,
+            bitstream_cases: base.bitstream_cases * cfg.fuzz_scale,
+            roi_cases: base.roi_cases * cfg.fuzz_scale,
+            params_cases: base.params_cases * cfg.fuzz_scale,
+            worker_cases: base.worker_cases * cfg.fuzz_scale,
+            corpus_dir: cfg.corpus_dir.clone(),
+        };
+        report.merge(fuzz::run_fuzz(&fcfg));
+    }
+    Ok(report)
+}

@@ -1,0 +1,70 @@
+//! The full conformance harness as an integration test: golden vectors,
+//! the complete oracle matrix, the differential suite, and a fuzz
+//! campaign. `cargo test -p puppies-conformance` is therefore equivalent
+//! to `cargo run -p puppies-cli -- conformance` (minus corpus output,
+//! which tests keep in a temp dir to avoid dirtying the tree on failure).
+
+use std::path::PathBuf;
+
+use puppies_conformance::{differential, fuzz, golden, oracle, report::CaseStatus};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden")
+}
+
+#[test]
+fn golden_vectors_match_committed_outputs() {
+    let report = golden::check(&golden_dir());
+    assert!(report.is_ok(), "{}", report.render());
+    // The committed set is non-trivial: fixture + manifest + codec,
+    // protect, and transform families.
+    assert!(report.passed() >= 20, "{}", report.render());
+}
+
+#[test]
+fn oracle_matrix_full() {
+    let m = oracle::Matrix::default();
+    let report = oracle::run_matrix(&m);
+    assert!(report.is_ok(), "{}", report.render());
+    // Shape check: the matrix must actually be the advertised cartesian
+    // product (one case per cell, pass or documented skip).
+    let cells = m.transformations.len() * m.roi_sets.len() * m.settings.len();
+    assert_eq!(report.cases.len(), cells, "{}", report.render());
+    // Exact recovery must dominate: every coeff-domain lossless cell.
+    let exact = report
+        .cases
+        .iter()
+        .filter(|c| c.detail.as_deref() == Some("coefficient-exact"))
+        .count();
+    assert!(
+        exact >= 100,
+        "too few exact cells ({exact}):\n{}",
+        report.render()
+    );
+    // Pixel-domain bounds are only asserted under the transform-friendly
+    // profile; everything else must be a documented skip, not silence.
+    let skips = report
+        .cases
+        .iter()
+        .filter(|c| matches!(c.status, CaseStatus::Skipped(_)))
+        .count();
+    assert!(skips > 0, "expected documented skips:\n{}", report.render());
+}
+
+#[test]
+fn differential_suite() {
+    let report = differential::run_differential();
+    assert!(report.is_ok(), "{}", report.render());
+}
+
+#[test]
+fn fuzz_campaign_seeded() {
+    let corpus = std::env::temp_dir().join(format!("puppies-corpus-{}", std::process::id()));
+    let cfg = fuzz::FuzzConfig {
+        corpus_dir: Some(corpus.clone()),
+        ..fuzz::FuzzConfig::default()
+    };
+    let report = fuzz::run_fuzz(&cfg);
+    assert!(report.is_ok(), "{}", report.render());
+    let _ = std::fs::remove_dir_all(&corpus);
+}

@@ -1,0 +1,119 @@
+//! Integration tests for the P3 baseline (Ra et al.): split/reconstruct
+//! exactness, encode round-trips of both parts, the privacy property of
+//! the public part, and the documented Fig. 4 loss of pixel-domain
+//! recombination after a PSP transformation.
+
+use puppies_image::metrics::psnr_rgb;
+use puppies_image::{Rgb, RgbImage};
+use puppies_jpeg::{CoeffImage, EncodeOptions};
+use puppies_p3::{recombine_pixels, reconstruct, split, P3Split};
+use puppies_transform::Transformation;
+
+/// Textured content: a gradient with a strong 2-px checker on top, so the
+/// AC spectrum actually exceeds P3 thresholds (a smooth ramp would make
+/// every split trivially near-lossless and the tests vacuous).
+fn photo() -> RgbImage {
+    RgbImage::from_fn(64, 48, |x, y| {
+        let checker = if (x / 2 + y / 2) % 2 == 0 { 70 } else { 0 };
+        Rgb::new(
+            (40 + checker + (x * 5 + y * 3) % 110) as u8,
+            (40 + checker + (x * 3 + y * 5) % 110) as u8,
+            (40 + checker + (x * 2 + y * 2) % 110) as u8,
+        )
+    })
+}
+
+#[test]
+fn split_reconstruct_is_coefficient_exact() {
+    let coeff = CoeffImage::from_rgb(&photo(), 75);
+    for threshold in [1, 5, 20, 100] {
+        let s = split(&coeff, threshold);
+        let back = reconstruct(&s.public, &s.private).unwrap();
+        assert_eq!(back, coeff, "threshold {threshold} must round-trip exactly");
+    }
+}
+
+#[test]
+fn both_parts_survive_the_codec() {
+    // The PSP stores the public part as a JPEG and the trusted party
+    // stores the private part: both must entropy-code and decode back to
+    // the same coefficients, and reconstruction from the decoded parts
+    // must still be exact.
+    let coeff = CoeffImage::from_rgb(&photo(), 75);
+    let s = P3Split::of(&coeff);
+    let opts = EncodeOptions::default();
+    let pub_back = CoeffImage::decode(&s.public.encode(&opts).unwrap()).unwrap();
+    let priv_back = CoeffImage::decode(&s.private.encode(&opts).unwrap()).unwrap();
+    let back = reconstruct(&pub_back, &priv_back).unwrap();
+    assert_eq!(back, coeff, "codec round-trip must preserve the split");
+}
+
+#[test]
+fn public_part_hides_the_image() {
+    // The public part carries no DC and clipped AC: removing every
+    // block's mean and the strong frequencies must push it far from the
+    // original (that is P3's privacy claim).
+    let coeff = CoeffImage::from_rgb(&photo(), 75);
+    let s = split(&coeff, 1);
+    let public_view = s.public.to_rgb();
+    let original = coeff.to_rgb();
+    let psnr = psnr_rgb(&public_view, &original);
+    assert!(
+        psnr < 18.0,
+        "public part too close to the original: {psnr:.1} dB (threshold 1)"
+    );
+}
+
+#[test]
+fn smaller_threshold_moves_more_information_private() {
+    let coeff = CoeffImage::from_rgb(&photo(), 75);
+    let opts = EncodeOptions::default();
+    let tight = split(&coeff, 2);
+    let loose = split(&coeff, 50);
+    assert!(
+        tight.private_bytes(&opts).unwrap() > loose.private_bytes(&opts).unwrap(),
+        "lower threshold must grow the private part"
+    );
+}
+
+#[test]
+fn pixel_recombination_after_transform_loses_detail() {
+    // The PuPPIeS motivation (Fig. 4): if the PSP scales only the public
+    // part, P3 can only recombine in the pixel domain, which is lossy —
+    // while coefficient-domain reconstruction (no transform) is exact.
+    let img = photo();
+    let coeff = CoeffImage::from_rgb(&img, 75);
+    // Threshold 2 pushes most AC energy into the private part, the regime
+    // where the sign loss under interpolation is visible.
+    let s = split(&coeff, 2);
+    let t = Transformation::Scale {
+        width: 32,
+        height: 24,
+        filter: puppies_transform::ScaleFilter::Bilinear,
+    };
+    let pub_scaled = t.apply_to_rgb(&s.public.to_rgb()).unwrap();
+    let priv_scaled = t.apply_to_rgb(&s.private.to_rgb()).unwrap();
+    let recombined = recombine_pixels(&pub_scaled, &priv_scaled).unwrap();
+    let reference = t.apply_to_rgb(&coeff.to_rgb()).unwrap();
+    let psnr = psnr_rgb(&recombined, &reference);
+    // Lossy but not garbage: the Fig. 4 regime. Meanwhile the untransformed
+    // coefficient path (tested above) is exact — that asymmetry is the
+    // PuPPIeS motivation.
+    assert!(
+        (8.0..35.0).contains(&psnr),
+        "pixel recombination psnr {psnr:.1} dB outside the documented lossy regime"
+    );
+    // Mismatched dimensions are rejected cleanly.
+    assert!(recombine_pixels(&pub_scaled, &s.private.to_rgb()).is_err());
+}
+
+#[test]
+fn reconstruct_rejects_mismatched_parts() {
+    let a = CoeffImage::from_rgb(&photo(), 75);
+    let small = CoeffImage::from_rgb(
+        &RgbImage::from_fn(32, 32, |x, y| Rgb::new(x as u8, y as u8, 0)),
+        75,
+    );
+    let s = split(&a, 20);
+    assert!(reconstruct(&s.public, &small).is_err());
+}

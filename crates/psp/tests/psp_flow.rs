@@ -1,0 +1,196 @@
+//! Integration tests for the PSP layer: the full
+//! sender → server → transform → receiver flows that the inline module
+//! tests only cover piecewise.
+
+use puppies_core::{OwnerKey, PerturbProfile, PrivacyLevel, ProtectOptions, PublicParams, Scheme};
+use puppies_image::metrics::psnr_rgb;
+use puppies_image::{Rect, Rgb, RgbImage};
+use puppies_jpeg::CoeffImage;
+use puppies_psp::{transport_grant, KeyAgreement, PhotoId, PspServer, Receiver, Sender};
+use puppies_transform::Transformation;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+fn photo() -> RgbImage {
+    RgbImage::from_fn(64, 48, |x, y| {
+        Rgb::new(
+            (64 + (x * 5 + y * 2) % 128) as u8,
+            (64 + (x * 2 + y * 4) % 128) as u8,
+            (64 + (x + y * 3) % 128) as u8,
+        )
+    })
+}
+
+const ROI: Rect = Rect::new(16, 8, 32, 24);
+
+#[test]
+fn share_grant_fetch_round_trip_is_exact() {
+    let server = PspServer::new();
+    let mut sender = Sender::new(OwnerKey::from_seed([5u8; 32]));
+    let img = photo();
+    let opts = ProtectOptions::new(Scheme::Zero, PrivacyLevel::Medium);
+    let (photo_id, image_id) = sender.share(&server, &img, &[ROI], &opts).unwrap();
+
+    // An authorized receiver sees the original image (scenario 1: the
+    // stored JPEG is decoded and un-perturbed coefficient-exact).
+    let receiver = Receiver::with_grant(sender.grant(image_id, &[0]));
+    let fetched = receiver.fetch(&server, photo_id).unwrap();
+    let reference = CoeffImage::from_rgb(&img, opts.quality).to_rgb();
+    assert_eq!(fetched, reference, "authorized fetch must be exact");
+
+    // The public view differs inside the ROI (that's the whole point) and
+    // matches outside it.
+    let public = receiver.fetch_public_view(&server, photo_id).unwrap();
+    assert_ne!(public, reference);
+    let mut outside_equal = true;
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            let inside = (ROI.x..ROI.x + ROI.w).contains(&x) && (ROI.y..ROI.y + ROI.h).contains(&y);
+            if !inside && public.get(x, y) != reference.get(x, y) {
+                outside_equal = false;
+            }
+        }
+    }
+    assert!(outside_equal, "perturbation must not leak outside the ROI");
+}
+
+#[test]
+fn unauthorized_receiver_cannot_recover() {
+    let server = PspServer::new();
+    let mut sender = Sender::new(OwnerKey::from_seed([5u8; 32]));
+    let img = photo();
+    let opts = ProtectOptions::new(Scheme::Zero, PrivacyLevel::Medium);
+    let (photo_id, _) = sender.share(&server, &img, &[ROI], &opts).unwrap();
+
+    let stranger = Receiver::new();
+    let reference = CoeffImage::from_rgb(&img, opts.quality).to_rgb();
+    // Without keys the fetch either fails or returns the perturbed view —
+    // it must never equal the original.
+    if let Ok(view) = stranger.fetch(&server, photo_id) {
+        assert_ne!(view, reference);
+    }
+}
+
+#[test]
+fn server_transform_then_fetch_recovers_exactly() {
+    // The PSP rotates the stored photo; an authorized receiver still
+    // recovers the rotation of the *original* exactly (§IV-C).
+    let server = PspServer::new();
+    let mut sender = Sender::new(OwnerKey::from_seed([7u8; 32]));
+    let img = photo();
+    let opts = ProtectOptions::new(Scheme::Zero, PrivacyLevel::Medium);
+    let (photo_id, image_id) = sender.share(&server, &img, &[ROI], &opts).unwrap();
+    server
+        .transform(photo_id, &Transformation::Rotate90)
+        .unwrap();
+
+    let receiver = Receiver::with_grant(sender.grant(image_id, &[0]));
+    let fetched = receiver.fetch(&server, photo_id).unwrap();
+    let expected = Transformation::Rotate90
+        .apply_to_coeff(&CoeffImage::from_rgb(&img, opts.quality))
+        .unwrap()
+        .to_rgb();
+    assert_eq!(fetched, expected, "post-transform recovery must be exact");
+}
+
+#[test]
+fn server_rejects_second_transform() {
+    let server = PspServer::new();
+    let mut sender = Sender::new(OwnerKey::from_seed([7u8; 32]));
+    let opts = ProtectOptions::new(Scheme::Zero, PrivacyLevel::Medium);
+    let (photo_id, _) = sender.share(&server, &photo(), &[ROI], &opts).unwrap();
+    server
+        .transform(photo_id, &Transformation::FlipHorizontal)
+        .unwrap();
+    assert!(
+        server
+            .transform(photo_id, &Transformation::Rotate90)
+            .is_err(),
+        "params track exactly one transformation; a second must be refused"
+    );
+}
+
+#[test]
+fn server_pixel_transform_shadow_recovery() {
+    // Downscale on the PSP, shadow recovery at the receiver: needs the
+    // transform-friendly profile, and is approximate (PSNR-bounded).
+    let server = PspServer::new();
+    let mut sender = Sender::new(OwnerKey::from_seed([3u8; 32]));
+    let img = photo();
+    let opts = ProtectOptions::from_profile(PerturbProfile::transform_friendly());
+    let (photo_id, image_id) = sender.share(&server, &img, &[ROI], &opts).unwrap();
+    let t = Transformation::Scale {
+        width: 32,
+        height: 24,
+        filter: puppies_transform::ScaleFilter::Bilinear,
+    };
+    server.transform(photo_id, &t).unwrap();
+
+    let expected = t
+        .apply_to_rgb(&CoeffImage::from_rgb(&img, opts.quality).to_rgb())
+        .unwrap();
+    let authorized = Receiver::with_grant(sender.grant(image_id, &[0]));
+    let recovered = authorized.fetch(&server, photo_id).unwrap();
+    let baseline = authorized.fetch_public_view(&server, photo_id).unwrap();
+    let psnr = psnr_rgb(&recovered, &expected);
+    let psnr_baseline = psnr_rgb(&baseline, &expected);
+    assert!(
+        psnr > psnr_baseline + 3.0 && psnr > 22.0,
+        "shadow recovery {psnr:.1} dB vs baseline {psnr_baseline:.1} dB"
+    );
+}
+
+#[test]
+fn grant_transport_over_secure_channel_preserves_keys() {
+    // DH agree → encrypt grant → decrypt → the transported grant recovers
+    // as well as the original one.
+    let mut rng = ChaCha20Rng::seed_from_u64(99);
+    let alice = KeyAgreement::new(&mut rng);
+    let bob = KeyAgreement::new(&mut rng);
+    let alice_chan = alice.agree(bob.public_value());
+    let bob_chan = bob.agree(alice.public_value());
+
+    let server = PspServer::new();
+    let mut sender = Sender::new(OwnerKey::from_seed([21u8; 32]));
+    let img = photo();
+    let opts = ProtectOptions::new(Scheme::Base, PrivacyLevel::High);
+    let (photo_id, image_id) = sender.share(&server, &img, &[ROI], &opts).unwrap();
+
+    let grant = sender.grant(image_id, &[0]);
+    let transported = transport_grant(&alice_chan, &bob_chan, &grant).unwrap();
+    let receiver = Receiver::with_grant(transported);
+    let fetched = receiver.fetch(&server, photo_id).unwrap();
+    assert_eq!(fetched, CoeffImage::from_rgb(&img, opts.quality).to_rgb());
+}
+
+#[test]
+fn tampered_ciphertext_is_rejected() {
+    let mut rng = ChaCha20Rng::seed_from_u64(7);
+    let a = KeyAgreement::new(&mut rng);
+    let b = KeyAgreement::new(&mut rng);
+    let chan_a = a.agree(b.public_value());
+    let chan_b = b.agree(a.public_value());
+    let mut cipher = chan_a.encrypt(b"some grant bytes");
+    let mid = cipher.len() / 2;
+    cipher[mid] ^= 0x01;
+    assert!(
+        chan_b.decrypt(&cipher).is_err(),
+        "checksum must catch tampering"
+    );
+}
+
+#[test]
+fn storage_footprint_counts_image_and_params() {
+    let server = PspServer::new();
+    let mut sender = Sender::new(OwnerKey::from_seed([2u8; 32]));
+    let opts = ProtectOptions::new(Scheme::Zero, PrivacyLevel::Medium);
+    let (photo_id, _) = sender.share(&server, &photo(), &[ROI], &opts).unwrap();
+    let bytes = server.download(photo_id).unwrap();
+    let params = server.download_params(photo_id).unwrap();
+    assert!(PublicParams::from_bytes(&params).is_ok());
+    assert_eq!(
+        server.storage_footprint(photo_id).unwrap(),
+        bytes.len() + params.len()
+    );
+    assert!(server.download(PhotoId(u64::MAX)).is_err());
+}

@@ -121,3 +121,43 @@ fn decoder_rejects_giant_declared_dimensions_without_allocating() {
         "dimension lie must fail fast"
     );
 }
+
+/// Rebuilds the corrupted stream from
+/// `jpeg_decoder_never_panics_on_mutated_streams` for a shrunk
+/// counterexample, so historical failures survive proptest corpus
+/// cleanup as plain named tests.
+fn mutated_stream(seed: u8, flips: &[(usize, u8)], cut: u16) -> (Vec<u8>, usize) {
+    let img = puppies::image::RgbImage::from_fn(48, 40, |x, y| {
+        puppies::image::Rgb::new(x as u8 ^ seed, y as u8, seed)
+    });
+    let mut bytes = puppies::jpeg::encode_rgb(&img, 75).unwrap();
+    for &(pos, val) in flips {
+        let idx = pos % bytes.len();
+        bytes[idx] ^= val;
+    }
+    let cut = (cut as usize) % (bytes.len() + 1);
+    (bytes, cut)
+}
+
+/// Regression (tests/robustness.proptest-regressions, cc 6a226d39…):
+/// a single-bit flip in the entropy-coded segment once drove the decoder
+/// into a panicking state. The shrunk case is `seed = 144,
+/// flips = [(7603, 4)], cut = 0` — the zero-length prefix plus the full
+/// corrupted stream must both fail cleanly.
+#[test]
+fn regression_entropy_segment_bitflip_seed144() {
+    let (bytes, cut) = mutated_stream(144, &[(7603, 4)], 0);
+    let _ = CoeffImage::decode(&bytes[..cut]);
+    let _ = CoeffImage::decode(&bytes);
+}
+
+/// Regression (tests/robustness.proptest-regressions, cc a5ca8330…):
+/// flipping bit 6 of a byte mid-stream (`seed = 160,
+/// flips = [(4367, 64)], cut = 0`) once tripped a decoder panic. Kept as
+/// a named test for the same reason as above.
+#[test]
+fn regression_entropy_segment_bitflip_seed160() {
+    let (bytes, cut) = mutated_stream(160, &[(4367, 64)], 0);
+    let _ = CoeffImage::decode(&bytes[..cut]);
+    let _ = CoeffImage::decode(&bytes);
+}
