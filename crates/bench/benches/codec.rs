@@ -13,6 +13,14 @@ fn bench_dct(c: &mut Criterion) {
     c.bench_function("dct_forward_8x8", |b| b.iter(|| dct::forward(&block)));
     let freq = dct::forward(&block);
     c.bench_function("dct_inverse_8x8", |b| b.iter(|| dct::inverse(&freq)));
+    // The AAN scaled pair the production codec actually runs.
+    c.bench_function("dct_forward_scaled_8x8", |b| {
+        b.iter(|| dct::forward_scaled(&block))
+    });
+    let scaled = dct::forward_scaled(&block);
+    c.bench_function("dct_inverse_scaled_8x8", |b| {
+        b.iter(|| dct::inverse_scaled(&scaled))
+    });
 }
 
 fn bench_quant(c: &mut Criterion) {
@@ -24,6 +32,18 @@ fn bench_quant(c: &mut Criterion) {
     c.bench_function("quantize_block", |b| b.iter(|| table.quantize(&raw)));
     let q = table.quantize(&raw);
     c.bench_function("dequantize_block", |b| b.iter(|| table.dequantize(&q)));
+    // Folded (AAN-descaled) variants on the same coefficients.
+    let folded = table.folded();
+    let mut block = [0.0f32; 64];
+    block.copy_from_slice(&raw);
+    let scaled = dct::forward_scaled(&block);
+    c.bench_function("quantize_scaled_block", |b| {
+        b.iter(|| folded.quantize_scaled(&scaled))
+    });
+    let qs = folded.quantize_scaled(&scaled);
+    c.bench_function("dequantize_scaled_block", |b| {
+        b.iter(|| folded.dequantize_scaled(&qs))
+    });
 }
 
 fn bench_full_codec(c: &mut Criterion) {

@@ -24,6 +24,8 @@ use puppies_image::{io as img_io, Rect};
 use puppies_psp::channel::{decode_grant, encode_grant};
 use std::process::exit;
 
+mod bench;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
@@ -35,6 +37,7 @@ fn main() {
         Some("recover") => cmd_recover(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("conformance") => cmd_conformance(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("help") | None => {
             usage();
             Ok(())
@@ -50,7 +53,7 @@ fn main() {
 fn usage() {
     eprintln!(
         "puppies — privacy-preserving partial image sharing\n\
-         commands: keygen, detect, protect, protect-batch, grant, recover, inspect, conformance\n\
+         commands: keygen, detect, protect, protect-batch, grant, recover, inspect, conformance, bench\n\
          (see the crate docs or README for full flag reference)"
     );
 }
@@ -363,6 +366,69 @@ fn cmd_inspect(args: &[String]) -> CliResult {
             roi.zind.len(),
             roi.wind.len()
         );
+    }
+    Ok(())
+}
+
+/// `puppies bench [--out f.json] [--check committed.json] [--pre old.json]
+/// [--threshold 0.4] [--iters N] [--threads N] [--quality Q]`
+///
+/// Measures codec + protect/recover throughput on the deterministic
+/// fixture. `--check` is CI's perf gate against the committed
+/// `results/BENCH_codec.json`; `--pre` embeds an earlier run's `current`
+/// section as the pre-PR baseline with computed speedups.
+fn cmd_bench(args: &[String]) -> CliResult {
+    let parse_num = |name: &str, default: f64| -> Result<f64, String> {
+        match flag_value(args, name) {
+            Some(v) => v.parse().map_err(|e| format!("bad {name} {v:?}: {e}")),
+            None => Ok(default),
+        }
+    };
+    let iters = parse_num("--iters", 5.0)? as usize;
+    let threads = parse_num("--threads", 1.0)? as usize;
+    let quality = parse_num("--quality", 75.0)? as u8;
+    let threshold = parse_num("--threshold", 0.4)?;
+
+    let res = bench::run(iters.max(1), threads.max(1), quality)?;
+    for &(name, r) in &res.ops {
+        println!(
+            "{name:>8}: {:8.2} ms  {:>10.0} blocks/s  {:8.2} MB/s",
+            r.ms, r.blocks_per_s, r.mb_per_s
+        );
+    }
+
+    let pre = match flag_value(args, "--pre") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            Some(bench::parse_section(&text, "current")?)
+        }
+        None => None,
+    };
+    let json = bench::to_json(&res, pre.as_deref());
+    if let Some(out) = flag_value(args, "--out") {
+        if let Some(dir) = std::path::Path::new(out).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("creating {}: {e}", dir.display()))?;
+            }
+        }
+        std::fs::write(out, &json).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("results written to {out}");
+    }
+    if let Some(path) = flag_value(args, "--check") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let committed = bench::parse_section(&text, "current")?;
+        let (lines, ok) = bench::check(&res, &committed, threshold);
+        for l in &lines {
+            println!("{l}");
+        }
+        if !ok {
+            return Err(format!(
+                "throughput regressed more than {:.0}% below {path}",
+                threshold * 100.0
+            ));
+        }
+        println!("within {:.0}% of {path}", threshold * 100.0);
     }
     Ok(())
 }

@@ -13,7 +13,12 @@
 //! * **params** — mutated `PublicParams` wire bytes must parse or fail
 //!   cleanly;
 //! * **workers** — protect/recover under a 1-thread and a multi-thread
-//!   worker pool must be byte-identical (the PR 1 determinism contract).
+//!   worker pool must be byte-identical (the PR 1 determinism contract);
+//! * **entropy** — differential decode: the 8-bit lookahead LUT path
+//!   (`HuffDecoder::decode`) and the canonical bitwise walk
+//!   (`HuffDecoder::decode_bitwise`) must agree symbol-for-symbol — same
+//!   symbols, same bit positions, same accept/reject — on valid entropy
+//!   streams and on streams corrupted by byte flips and truncation.
 //!
 //! Panicking inputs are minimized (drop mutations greedily, then shrink
 //! the truncation) and written to the corpus directory (`tests/corpus/` at
@@ -48,6 +53,8 @@ pub struct FuzzConfig {
     pub params_cases: usize,
     /// Worker-invariance cases.
     pub worker_cases: usize,
+    /// Differential entropy-decode cases (LUT vs bitwise).
+    pub entropy_cases: usize,
     /// Where minimized failing inputs are written. `None` disables corpus
     /// output (used by unit tests).
     pub corpus_dir: Option<PathBuf>,
@@ -61,6 +68,7 @@ impl Default for FuzzConfig {
             roi_cases: 32,
             params_cases: 48,
             worker_cases: 4,
+            entropy_cases: 48,
             corpus_dir: None,
         }
     }
@@ -396,6 +404,112 @@ pub fn worker_campaign(cfg: &FuzzConfig, rng: &mut ChaCha20Rng, report: &mut Rep
     }
 }
 
+/// Campaign 5: differential entropy decode — the 8-bit lookahead LUT in
+/// `HuffDecoder::decode` must agree with the canonical bitwise
+/// `decode_bitwise` walk on every stream. Each case builds a valid scan
+/// fragment (random table symbols, each followed by its magnitude-bit
+/// payload, exactly like a real scan), usually corrupts it with byte flips
+/// and/or truncation, then lock-steps the two decoders over separate
+/// `BitReader`s: every symbol, every payload word, and the accept/reject
+/// boundary must match. Payload reads double as position checks — a decoder
+/// that consumed the wrong number of code bits desynchronizes immediately.
+pub fn entropy_campaign(cfg: &FuzzConfig, rng: &mut ChaCha20Rng, report: &mut Report) {
+    use puppies_jpeg::huffman::{BitReader, BitWriter, HuffDecoder, HuffEncoder, HuffTable};
+    let tables = [
+        ("dc_luma", HuffTable::std_dc_luma()),
+        ("dc_chroma", HuffTable::std_dc_chroma()),
+        ("ac_luma", HuffTable::std_ac_luma()),
+        ("ac_chroma", HuffTable::std_ac_chroma()),
+    ];
+    let mut mismatches = 0usize;
+    let mut mutated = 0usize;
+    for case_no in 0..cfg.entropy_cases {
+        let (tname, table) = &tables[rng.gen_range(0..tables.len())];
+        let enc = HuffEncoder::new(table);
+        let dec = HuffDecoder::new(table);
+        // A valid stream over the table's real alphabet. The payload size
+        // field is the low nibble for AC tables and the symbol itself for
+        // DC tables; both are <= 11, so the low nibble & cap works for all.
+        let symbols: Vec<u8> = (0..rng.gen_range(16..=96usize))
+            .map(|_| {
+                let vals = table.values();
+                vals[rng.gen_range(0..vals.len())]
+            })
+            .collect();
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            enc.emit(&mut w, s)
+                .expect("standard table covers its values");
+            let size = (s & 0x0F).min(11) as u32;
+            if size > 0 {
+                w.put(rng.gen_range(0..(1u64 << size)) as u32, size);
+            }
+        }
+        let mut bytes = w.finish();
+        // Usually corrupt; keep some pristine streams as a control.
+        if rng.gen_range(0..8u32) != 0 {
+            mutated += 1;
+            for _ in 0..rng.gen_range(1..=4usize) {
+                let len = bytes.len();
+                bytes[rng.gen_range(0..len)] ^= rng.gen_range(1..=255u64) as u8;
+            }
+            if rng.gen_range(0..4u32) == 0 {
+                bytes.truncate(rng.gen_range(0..=bytes.len()));
+            }
+        }
+        let mut r_lut = BitReader::new(&bytes);
+        let mut r_bit = BitReader::new(&bytes);
+        let mut divergence = None;
+        for step in 0..symbols.len() + 8 {
+            match (dec.decode(&mut r_lut), dec.decode_bitwise(&mut r_bit)) {
+                (Ok(a), Ok(b)) if a == b => {
+                    let size = (a & 0x0F).min(11) as u32;
+                    if size > 0 {
+                        let pa = r_lut.bits(size);
+                        let pb = r_bit.bits(size);
+                        match (pa, pb) {
+                            (Ok(x), Ok(y)) if x == y => {}
+                            (Err(_), Err(_)) => break,
+                            (x, y) => {
+                                divergence =
+                                    Some(format!("payload at step {step}: {x:?} vs {y:?}"));
+                                break;
+                            }
+                        }
+                    }
+                }
+                (Ok(a), Ok(b)) => {
+                    divergence = Some(format!("symbol at step {step}: {a:#04x} vs {b:#04x}"));
+                    break;
+                }
+                (Err(_), Err(_)) => break, // same rejection point: agreement
+                (a, b) => {
+                    divergence = Some(format!("outcome at step {step}: {a:?} vs {b:?}"));
+                    break;
+                }
+            }
+        }
+        if let Some(why) = divergence {
+            mismatches += 1;
+            let description = format!(
+                "LUT vs bitwise Huffman decode diverged: {why}\ntable {tname}, seed {:#x} case {case_no}\nreproduce: lock-step HuffDecoder::decode and decode_bitwise over the .bin bytes\n",
+                cfg.seed
+            );
+            write_corpus_case(cfg, report, "entropy", case_no, &bytes, &description);
+            report.fail(format!("fuzz/entropy/case{case_no}"), description);
+        }
+    }
+    if mismatches == 0 {
+        report.pass(
+            "fuzz/entropy",
+            Some(format!(
+                "{} streams ({} corrupted): LUT and bitwise decodes agreed throughout",
+                cfg.entropy_cases, mutated
+            )),
+        );
+    }
+}
+
 /// Runs every campaign with the given config.
 pub fn run_fuzz(cfg: &FuzzConfig) -> Report {
     let mut report = Report::new();
@@ -404,6 +518,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> Report {
     roi_campaign(cfg, &mut rng, &mut report);
     params_campaign(cfg, &mut rng, &mut report);
     worker_campaign(cfg, &mut rng, &mut report);
+    entropy_campaign(cfg, &mut rng, &mut report);
     report
 }
 
@@ -419,6 +534,7 @@ mod tests {
             roi_cases: 4,
             params_cases: 8,
             worker_cases: 1,
+            entropy_cases: 12,
             corpus_dir: None,
         };
         let a = run_fuzz(&cfg);

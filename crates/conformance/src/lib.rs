@@ -97,6 +97,7 @@ pub fn run_all(cfg: &HarnessConfig) -> std::io::Result<Report> {
             roi_cases: base.roi_cases * cfg.fuzz_scale,
             params_cases: base.params_cases * cfg.fuzz_scale,
             worker_cases: base.worker_cases * cfg.fuzz_scale,
+            entropy_cases: base.entropy_cases * cfg.fuzz_scale,
             corpus_dir: cfg.corpus_dir.clone(),
         };
         report.merge(fuzz::run_fuzz(&fcfg));

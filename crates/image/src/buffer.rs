@@ -1,6 +1,6 @@
 //! Pixel buffers: [`RgbImage`], [`GrayImage`] and the float [`Plane`].
 
-use crate::color::{rgb_to_ycbcr, ycbcr_to_rgb, Rgb, YCbCr};
+use crate::color::Rgb;
 use crate::geometry::Rect;
 use crate::{ImageError, Result};
 
@@ -150,20 +150,16 @@ impl RgbImage {
 
     /// Splits into full-range Y, Cb, Cr planes.
     pub fn to_ycbcr_planes(&self) -> [Plane; 3] {
-        let mut planes = [
-            Plane::new(self.width, self.height),
-            Plane::new(self.width, self.height),
-            Plane::new(self.width, self.height),
-        ];
-        for y in 0..self.height {
-            for x in 0..self.width {
-                let c: YCbCr = rgb_to_ycbcr(self.get(x, y));
-                planes[0].set(x, y, c.y as f32);
-                planes[1].set(x, y, c.cb as f32);
-                planes[2].set(x, y, c.cr as f32);
-            }
-        }
-        planes
+        let mut yp = Plane::new(self.width, self.height);
+        let mut cbp = Plane::new(self.width, self.height);
+        let mut crp = Plane::new(self.width, self.height);
+        crate::color::rgb_to_ycbcr_slice(
+            &self.data,
+            yp.samples_mut(),
+            cbp.samples_mut(),
+            crp.samples_mut(),
+        );
+        [yp, cbp, crp]
     }
 
     /// Reassembles an RGB image from Y, Cb, Cr planes, rounding and clamping
@@ -177,14 +173,14 @@ impl RgbImage {
             planes.iter().all(|p| p.width() == w && p.height() == h),
             "plane sizes differ"
         );
-        RgbImage::from_fn(w, h, |x, y| {
-            let c = YCbCr::new(
-                planes[0].get(x, y).round().clamp(0.0, 255.0) as u8,
-                planes[1].get(x, y).round().clamp(0.0, 255.0) as u8,
-                planes[2].get(x, y).round().clamp(0.0, 255.0) as u8,
-            );
-            ycbcr_to_rgb(c)
-        })
+        let mut img = RgbImage::new(w, h);
+        crate::color::ycbcr_to_rgb_slice(
+            planes[0].samples(),
+            planes[1].samples(),
+            planes[2].samples(),
+            &mut img.data,
+        );
+        img
     }
 }
 
@@ -367,6 +363,25 @@ impl Plane {
         }
     }
 
+    /// Wraps an existing row-major sample vector as a plane, avoiding the
+    /// zero-fill and copy of going through [`Plane::new`].
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero or `data` has the wrong length.
+    pub fn from_raw(width: u32, height: u32, data: Vec<f32>) -> Self {
+        assert!(width > 0 && height > 0, "plane dimensions must be nonzero");
+        assert_eq!(
+            data.len(),
+            (width as usize) * (height as usize),
+            "sample vector length must be width*height"
+        );
+        Plane {
+            width,
+            height,
+            data,
+        }
+    }
+
     /// Builds a plane from a closure invoked per pixel.
     pub fn from_fn(width: u32, height: u32, mut f: impl FnMut(u32, u32) -> f32) -> Self {
         let mut p = Plane::new(width, height);
@@ -433,9 +448,11 @@ impl Plane {
 
     /// Rounds and clamps each sample to 8 bits.
     pub fn to_gray(&self) -> GrayImage {
-        GrayImage::from_fn(self.width, self.height, |x, y| {
-            self.get(x, y).round().clamp(0.0, 255.0) as u8
-        })
+        let mut g = GrayImage::new(self.width, self.height);
+        for (out, &v) in g.data.iter_mut().zip(self.data.iter()) {
+            *out = crate::color::round_clamp_u8(v);
+        }
+        g
     }
 
     /// Mean sample value.

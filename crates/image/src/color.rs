@@ -76,17 +76,28 @@ impl YCbCr {
     }
 }
 
+/// Rounds half away from zero and clamps to `0..=255`, producing exactly
+/// `v.round().clamp(0.0, 255.0) as u8` without `f32::round`'s libm call
+/// (which blocks vectorization on the SSE2 baseline).
+///
+/// Clamping before rounding is equivalent here because every input that
+/// rounds outside `[0, 255]` clamps to the same endpoint either way. After
+/// the clamp, `c - trunc(c)` is exact (Sterbenz), so the `>= 0.5` test is
+/// the true round-half-up — which equals round-half-away on nonnegatives.
+#[inline]
+pub fn round_clamp_u8(v: f32) -> u8 {
+    let c = v.clamp(0.0, 255.0);
+    let t = c as i32;
+    (t + ((c - t as f32) >= 0.5) as i32) as u8
+}
+
 /// Converts an RGB color to full-range YCbCr (BT.601 / JFIF).
 pub fn rgb_to_ycbcr(c: Rgb) -> YCbCr {
     let (r, g, b) = (c.r as f32, c.g as f32, c.b as f32);
     let y = 0.299 * r + 0.587 * g + 0.114 * b;
     let cb = 128.0 - 0.168_735_9 * r - 0.331_264_1 * g + 0.5 * b;
     let cr = 128.0 + 0.5 * r - 0.418_687_6 * g - 0.081_312_4 * b;
-    YCbCr::new(
-        y.round().clamp(0.0, 255.0) as u8,
-        cb.round().clamp(0.0, 255.0) as u8,
-        cr.round().clamp(0.0, 255.0) as u8,
-    )
+    YCbCr::new(round_clamp_u8(y), round_clamp_u8(cb), round_clamp_u8(cr))
 }
 
 /// Converts a full-range YCbCr color back to RGB (BT.601 / JFIF).
@@ -97,16 +108,133 @@ pub fn ycbcr_to_rgb(c: YCbCr) -> Rgb {
     let r = y + 1.402 * cr;
     let g = y - 0.344_136_3 * cb - 0.714_136_3 * cr;
     let b = y + 1.772 * cb;
-    Rgb::new(
-        r.round().clamp(0.0, 255.0) as u8,
-        g.round().clamp(0.0, 255.0) as u8,
-        b.round().clamp(0.0, 255.0) as u8,
-    )
+    Rgb::new(round_clamp_u8(r), round_clamp_u8(g), round_clamp_u8(b))
 }
 
 impl From<Rgb> for YCbCr {
     fn from(c: Rgb) -> Self {
         rgb_to_ycbcr(c)
+    }
+}
+
+/// [`round_clamp_u8`] staying in `f32` (every value in `0..=255` is exactly
+/// representable), for conversion lanes whose next consumer wants floats.
+#[inline]
+fn quant255(v: f32) -> f32 {
+    let c = v.clamp(0.0, 255.0);
+    // Branchless floor without an int round-trip, so the surrounding loops
+    // vectorize on the SSE2 baseline (a scalar `as i32` cast forces
+    // `cvttss2si` per element). Adding/subtracting 2^23 rounds c to the
+    // nearest integer (ties to even) exactly for c in [0, 2^23); one
+    // compare-and-subtract corrects round-up back to floor(c). The
+    // fractional part c - floor(c) is then exact, so the >= 0.5 tie rule
+    // is applied to the true fraction, matching `round_clamp_u8`.
+    let r = (c + 8_388_608.0) - 8_388_608.0;
+    let t = r - ((r > c) as i32 as f32);
+    t + ((c - t >= 0.5) as i32 as f32)
+}
+
+/// Lane width for the slice converters: big enough to amortize the scalar
+/// pack/unpack against the vectorized channel math, small enough to stay
+/// in L1.
+const LANES: usize = 128;
+
+/// Slice form of [`rgb_to_ycbcr`]: converts `px` into u8-quantized Y, Cb,
+/// Cr values stored as `f32`, one output slice per channel.
+///
+/// Exactly `rgb_to_ycbcr(px[i])` per element — same expressions, same
+/// rounding — but restructured channel-planar so each arithmetic loop
+/// vectorizes instead of round-tripping one `Rgb` struct at a time.
+///
+/// # Panics
+/// Panics if the slice lengths disagree.
+pub fn rgb_to_ycbcr_slice(px: &[Rgb], y: &mut [f32], cb: &mut [f32], cr: &mut [f32]) {
+    assert!(
+        px.len() == y.len() && px.len() == cb.len() && px.len() == cr.len(),
+        "channel slice lengths differ"
+    );
+    let mut rf = [0.0f32; LANES];
+    let mut gf = [0.0f32; LANES];
+    let mut bf = [0.0f32; LANES];
+    let mut base = 0;
+    while base < px.len() {
+        let m = LANES.min(px.len() - base);
+        let chunk = &px[base..base + m];
+        for i in 0..m {
+            rf[i] = chunk[i].r as f32;
+            gf[i] = chunk[i].g as f32;
+            bf[i] = chunk[i].b as f32;
+        }
+        let yo = &mut y[base..base + m];
+        for i in 0..m {
+            yo[i] = quant255(0.299 * rf[i] + 0.587 * gf[i] + 0.114 * bf[i]);
+        }
+        let cbo = &mut cb[base..base + m];
+        for i in 0..m {
+            cbo[i] = quant255(128.0 - 0.168_735_9 * rf[i] - 0.331_264_1 * gf[i] + 0.5 * bf[i]);
+        }
+        let cro = &mut cr[base..base + m];
+        for i in 0..m {
+            cro[i] = quant255(128.0 + 0.5 * rf[i] - 0.418_687_6 * gf[i] - 0.081_312_4 * bf[i]);
+        }
+        base += m;
+    }
+}
+
+/// Slice form of the decode-side conversion: quantizes raw `f32` Y, Cb, Cr
+/// samples to 8 bits and converts to RGB.
+///
+/// Exactly `ycbcr_to_rgb(YCbCr::new(round_clamp_u8(y[i]), ..))` per
+/// element, restructured channel-planar like [`rgb_to_ycbcr_slice`].
+///
+/// # Panics
+/// Panics if the slice lengths disagree.
+pub fn ycbcr_to_rgb_slice(y: &[f32], cb: &[f32], cr: &[f32], out: &mut [Rgb]) {
+    assert!(
+        y.len() == out.len() && cb.len() == out.len() && cr.len() == out.len(),
+        "channel slice lengths differ"
+    );
+    let mut yq = [0.0f32; LANES];
+    let mut cbq = [0.0f32; LANES];
+    let mut crq = [0.0f32; LANES];
+    let mut rf = [0.0f32; LANES];
+    let mut gf = [0.0f32; LANES];
+    let mut bf = [0.0f32; LANES];
+    let mut base = 0;
+    while base < out.len() {
+        let m = LANES.min(out.len() - base);
+        let (ys, cbs, crs) = (&y[base..base + m], &cb[base..base + m], &cr[base..base + m]);
+        for i in 0..m {
+            yq[i] = quant255(ys[i]);
+        }
+        for i in 0..m {
+            cbq[i] = quant255(cbs[i]) - 128.0;
+        }
+        for i in 0..m {
+            crq[i] = quant255(crs[i]) - 128.0;
+        }
+        for i in 0..m {
+            rf[i] = quant255(yq[i] + 1.402 * crq[i]);
+        }
+        for i in 0..m {
+            gf[i] = quant255(yq[i] - 0.344_136_3 * cbq[i] - 0.714_136_3 * crq[i]);
+        }
+        for i in 0..m {
+            bf[i] = quant255(yq[i] + 1.772 * cbq[i]);
+        }
+        let chunk = &mut out[base..base + m];
+        for i in 0..m {
+            // quant255 output is an exact integer in [0, 255], so adding
+            // 2^23 leaves it in the low mantissa byte: the byte extraction
+            // is a pure add + bit-truncate, where an `as u8` cast would be
+            // a scalar saturating float→int per channel.
+            chunk[i] = Rgb::new(
+                (rf[i] + 8_388_608.0).to_bits() as u8,
+                (gf[i] + 8_388_608.0).to_bits() as u8,
+                (bf[i] + 8_388_608.0).to_bits() as u8,
+            );
+        }
+        base += m;
     }
 }
 
@@ -171,6 +299,85 @@ mod tests {
         assert_eq!(a.lerp(b, 1.0), b);
         let mid = a.lerp(b, 0.5);
         assert_eq!(mid, Rgb::new(105, 60, 15));
+    }
+
+    #[test]
+    fn slice_converters_match_scalar_exactly() {
+        // 300 pixels exercises the chunk boundary (LANES = 128) and the
+        // partial tail.
+        let px: Vec<Rgb> = (0..300u32)
+            .map(|i| {
+                Rgb::new(
+                    (i.wrapping_mul(97) % 256) as u8,
+                    (i.wrapping_mul(41) % 256) as u8,
+                    (i.wrapping_mul(13) % 256) as u8,
+                )
+            })
+            .collect();
+        let n = px.len();
+        let (mut y, mut cb, mut cr) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        rgb_to_ycbcr_slice(&px, &mut y, &mut cb, &mut cr);
+        for i in 0..n {
+            let c = rgb_to_ycbcr(px[i]);
+            assert_eq!(y[i], c.y as f32, "y at {i}");
+            assert_eq!(cb[i], c.cb as f32, "cb at {i}");
+            assert_eq!(cr[i], c.cr as f32, "cr at {i}");
+        }
+
+        // Back-conversion on raw (unquantized, out-of-range, tie-valued)
+        // samples must also match the scalar path exactly.
+        let raw: Vec<f32> = (0..n)
+            .map(|i| (i as f32 * 1.7 - 40.0) + if i % 5 == 0 { 0.5 } else { 0.25 })
+            .collect();
+        let raw2: Vec<f32> = raw.iter().map(|v| 300.0 - v).collect();
+        let mut out = vec![Rgb::BLACK; n];
+        ycbcr_to_rgb_slice(&raw, &raw2, &raw, &mut out);
+        for i in 0..n {
+            let c = YCbCr::new(
+                round_clamp_u8(raw[i]),
+                round_clamp_u8(raw2[i]),
+                round_clamp_u8(raw[i]),
+            );
+            assert_eq!(out[i], ycbcr_to_rgb(c), "pixel {i}");
+        }
+    }
+
+    #[test]
+    fn round_clamp_u8_matches_round_then_clamp() {
+        for v in [
+            -1000.0,
+            -0.51,
+            -0.5,
+            -0.49,
+            0.0,
+            0.49,
+            0.5,
+            0.999,
+            1.5,
+            127.5,
+            254.49,
+            254.5,
+            255.0,
+            255.49,
+            255.5,
+            1000.0,
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+        ] {
+            let want = v.round().clamp(0.0, 255.0) as u8;
+            assert_eq!(round_clamp_u8(v), want, "v = {v}");
+        }
+        // Sweep a dense grid for the tie-handling region.
+        let mut v = -2.0f32;
+        while v < 258.0 {
+            assert_eq!(
+                round_clamp_u8(v),
+                v.round().clamp(0.0, 255.0) as u8,
+                "v = {v}"
+            );
+            v += 0.0625;
+        }
     }
 
     #[test]

@@ -53,14 +53,17 @@ impl Rect {
         self.w as u64 * self.h as u64
     }
 
-    /// Exclusive right edge.
+    /// Exclusive right edge. Saturates at `u32::MAX`: rectangles built
+    /// from untrusted wire bytes (mutated `PublicParams`) can place
+    /// `x + w` past the integer range, and such a rect must compare as
+    /// out-of-bounds rather than panic in debug builds.
     pub const fn right(self) -> u32 {
-        self.x + self.w
+        self.x.saturating_add(self.w)
     }
 
-    /// Exclusive bottom edge.
+    /// Exclusive bottom edge. Saturates at `u32::MAX` (see [`Self::right`]).
     pub const fn bottom(self) -> u32 {
-        self.y + self.h
+        self.y.saturating_add(self.h)
     }
 
     /// Whether the pixel `(x, y)` lies inside the rectangle.

@@ -10,11 +10,10 @@
 
 use crate::coeff::{CoeffImage, Component};
 use crate::huffman::{
-    decode_block, encode_block, tally_block, BitReader, BitWriter, HuffDecoder, HuffEncoder,
-    HuffTable, SymbolFreqs,
+    decode_block_natural_into, encode_block_natural, tally_block_natural, BitReader, BitWriter,
+    HuffDecoder, HuffEncoder, HuffTable, SymbolFreqs,
 };
 use crate::quant::QuantTable;
-use crate::zigzag::{from_zigzag, to_zigzag};
 use crate::{JpegError, Result};
 
 /// Huffman table strategy for encoding.
@@ -156,11 +155,14 @@ pub fn encode(img: &CoeffImage, opts: &EncodeOptions) -> Result<Vec<u8>> {
     let enc_ac: Vec<HuffEncoder> = ac_tables.iter().map(HuffEncoder::new).collect();
     let bands = crate::coeff::band_rows(comps[0].blocks_h());
     let pool = puppies_parallel::current();
+    let bw_blocks = comps[0].blocks_w() as usize;
     let writers = pool.map_slice(&bands, |band| {
-        let mut w = BitWriter::new();
+        // ~8 entropy bytes per block is a comfortable overestimate for
+        // photographic content; growing past it is still amortized.
+        let mut w = BitWriter::with_capacity(band.len() * bw_blocks * ncomp * 8);
         encode_band(img, band.clone(), &enc_dc, &enc_ac, &mut w).map(|()| w)
     });
-    let mut w = BitWriter::new();
+    let mut w = BitWriter::with_capacity(bw_blocks * comps[0].blocks_h() as usize * ncomp * 8);
     for band_writer in writers {
         w.append(band_writer?);
     }
@@ -203,8 +205,8 @@ fn encode_band(
         for bx in 0..bw {
             for (ci, c) in comps.iter().enumerate() {
                 let tid = if ci == 0 { 0 } else { 1 };
-                let zz = to_zigzag(c.block(bx, by));
-                pred[ci] = encode_block(w, &zz, pred[ci], &enc_dc[tid], &enc_ac[tid])?;
+                pred[ci] =
+                    encode_block_natural(w, c.block(bx, by), pred[ci], &enc_dc[tid], &enc_ac[tid])?;
             }
         }
     }
@@ -227,8 +229,7 @@ fn build_optimized_tables(img: &CoeffImage) -> (Vec<HuffTable>, Vec<HuffTable>) 
             for bx in 0..bw {
                 for (ci, c) in comps.iter().enumerate() {
                     let tid = if ci == 0 { 0 } else { 1 };
-                    let zz = to_zigzag(c.block(bx, by));
-                    pred[ci] = tally_block(&mut freqs[tid], &zz, pred[ci]);
+                    pred[ci] = tally_block_natural(&mut freqs[tid], c.block(bx, by), pred[ci]);
                 }
             }
         }
@@ -522,23 +523,28 @@ fn decode_scan(
             entropy.len()
         )));
     }
+    // Resolve each component's tables once, not once per block.
+    let mut tables: Vec<(&HuffDecoder, &HuffDecoder)> = Vec::with_capacity(n);
+    for &(dci, aci) in &sel {
+        let dct = dc_tables
+            .get(dci)
+            .and_then(|t| t.as_ref())
+            .ok_or_else(|| JpegError::Malformed("missing DC table".into()))?;
+        let act = ac_tables
+            .get(aci)
+            .and_then(|t| t.as_ref())
+            .ok_or_else(|| JpegError::Malformed("missing AC table".into()))?;
+        tables.push((dct, act));
+    }
     let mut blocks: Vec<Vec<[i32; 64]>> = vec![Vec::with_capacity(nblocks); n];
     let mut pred = vec![0i32; n];
     let mut r = BitReader::new(entropy);
+    let mut blk = [0i32; 64]; // scratch reused across every block
     for _ in 0..nblocks {
         for ci in 0..n {
-            let (dci, aci) = sel[ci];
-            let dct = dc_tables
-                .get(dci)
-                .and_then(|t| t.as_ref())
-                .ok_or_else(|| JpegError::Malformed("missing DC table".into()))?;
-            let act = ac_tables
-                .get(aci)
-                .and_then(|t| t.as_ref())
-                .ok_or_else(|| JpegError::Malformed("missing AC table".into()))?;
-            let (zz, p) = decode_block(&mut r, pred[ci], dct, act)?;
-            pred[ci] = p;
-            blocks[ci].push(from_zigzag(&zz));
+            let (dct, act) = tables[ci];
+            pred[ci] = decode_block_natural_into(&mut blk, &mut r, pred[ci], dct, act)?;
+            blocks[ci].push(blk);
         }
     }
 

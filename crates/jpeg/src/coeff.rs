@@ -78,31 +78,60 @@ impl Component {
         // the serial loop's for any worker count.
         let bands = band_rows(blocks_h);
         let pool = puppies_parallel::current();
+        let folded = quant.folded();
+        let samples = plane.samples();
         let band_blocks = pool.map_slice(&bands, |band| {
-            let mut blocks = Vec::with_capacity((band.len() as u32 * blocks_w) as usize);
+            let mut blocks = vec![[0i32; BLOCK_LEN]; (band.len() as u32 * blocks_w) as usize];
+            let mut spatial = [0.0f32; BLOCK_LEN];
+            let mut freq = [0.0f64; BLOCK_LEN];
+            let mut idx = 0;
             for by in band.clone() {
                 for bx in 0..blocks_w {
-                    let mut spatial = [0.0f32; BLOCK_LEN];
-                    for y in 0..BLOCK_SIZE {
-                        for x in 0..BLOCK_SIZE {
-                            let sx = (bx * BLOCK_SIZE + x) as i64;
-                            let sy = (by * BLOCK_SIZE + y) as i64;
-                            spatial[(y * BLOCK_SIZE + x) as usize] =
-                                plane.get_clamped(sx, sy) - 128.0;
+                    if bx * BLOCK_SIZE + BLOCK_SIZE <= width
+                        && by * BLOCK_SIZE + BLOCK_SIZE <= height
+                    {
+                        // Interior block: gather straight from the sample
+                        // rows, skipping the per-sample clamp arithmetic.
+                        let base = (by * BLOCK_SIZE) as usize * width as usize
+                            + (bx * BLOCK_SIZE) as usize;
+                        for y in 0..BLOCK_SIZE as usize {
+                            let row = &samples[base + y * width as usize..][..BLOCK_SIZE as usize];
+                            for x in 0..BLOCK_SIZE as usize {
+                                spatial[y * BLOCK_SIZE as usize + x] = row[x] - 128.0;
+                            }
+                        }
+                    } else {
+                        // Edge block: replicate-pad via the clamped accessor.
+                        for y in 0..BLOCK_SIZE {
+                            for x in 0..BLOCK_SIZE {
+                                let sx = (bx * BLOCK_SIZE + x) as i64;
+                                let sy = (by * BLOCK_SIZE + y) as i64;
+                                spatial[(y * BLOCK_SIZE + x) as usize] =
+                                    plane.get_clamped(sx, sy) - 128.0;
+                            }
                         }
                     }
-                    let freq = dct::forward(&spatial);
-                    let mut q = quant.quantize(&freq);
-                    clamp_block(&mut q);
-                    blocks.push(q);
+                    dct::forward_scaled_into(&spatial, &mut freq);
+                    let q = &mut blocks[idx];
+                    folded.quantize_scaled_into(&freq, q);
+                    clamp_block(q);
+                    idx += 1;
                 }
             }
             blocks
         });
-        let mut blocks = Vec::with_capacity((blocks_w * blocks_h) as usize);
-        for band in band_blocks {
-            blocks.extend(band);
-        }
+        // With a single band (serial pools) its vector is the whole
+        // component — move it instead of re-copying every block.
+        let mut band_blocks = band_blocks;
+        let blocks = if band_blocks.len() == 1 {
+            band_blocks.pop().expect("one band")
+        } else {
+            let mut blocks = Vec::with_capacity((blocks_w * blocks_h) as usize);
+            for band in band_blocks {
+                blocks.extend(band);
+            }
+            blocks
+        };
         Component {
             id,
             width,
@@ -119,42 +148,64 @@ impl Component {
     /// caller can do shadow-ROI arithmetic before rounding.
     pub fn to_plane(&self) -> Plane {
         let full_w = self.blocks_w * BLOCK_SIZE;
-        let mut full = Plane::new(full_w, self.blocks_h * BLOCK_SIZE);
         // Inverse-transform block-row bands in parallel. A band owns the
         // 8 sample rows of each of its block rows — disjoint, contiguous
         // spans of the padded plane — so bands are computed independently
         // and copied into place in order.
         let bands = band_rows(self.blocks_h);
         let pool = puppies_parallel::current();
+        let folded = self.quant.folded();
         let band_samples = pool.map_slice(&bands, |band| {
             let mut samples = vec![0.0f32; (band.len() as u32 * BLOCK_SIZE * full_w) as usize];
+            let mut raw = [0.0f64; BLOCK_LEN];
+            let mut spatial = [0.0f32; BLOCK_LEN];
             for (row_in_band, by) in band.clone().enumerate() {
                 for bx in 0..self.blocks_w {
                     let q = &self.blocks[(by * self.blocks_w + bx) as usize];
-                    let raw = self.quant.dequantize(q);
-                    let spatial = dct::inverse(&raw);
-                    for y in 0..BLOCK_SIZE {
-                        let row_base =
-                            (row_in_band as u32 * BLOCK_SIZE + y) * full_w + bx * BLOCK_SIZE;
-                        for x in 0..BLOCK_SIZE {
-                            samples[(row_base + x) as usize] =
-                                spatial[(y * BLOCK_SIZE + x) as usize] + 128.0;
+                    folded.dequantize_scaled_into(q, &mut raw);
+                    dct::inverse_scaled_into(&raw, &mut spatial);
+                    for y in 0..BLOCK_SIZE as usize {
+                        let row_base = (row_in_band * BLOCK_SIZE as usize + y) * full_w as usize
+                            + (bx * BLOCK_SIZE) as usize;
+                        let dst = &mut samples[row_base..][..BLOCK_SIZE as usize];
+                        let src = &spatial[y * BLOCK_SIZE as usize..][..BLOCK_SIZE as usize];
+                        for x in 0..BLOCK_SIZE as usize {
+                            dst[x] = src[x] + 128.0;
                         }
                     }
                 }
             }
             samples
         });
-        let out = full.samples_mut();
-        let mut offset = 0;
-        for band in band_samples {
-            out[offset..offset + band.len()].copy_from_slice(&band);
-            offset += band.len();
-        }
+        // With a single band (serial pools) its samples are the whole
+        // padded plane — wrap the vector instead of copying it.
+        let mut band_samples = band_samples;
+        let full = if band_samples.len() == 1 {
+            Plane::from_raw(
+                full_w,
+                self.blocks_h * BLOCK_SIZE,
+                band_samples.pop().expect("one band"),
+            )
+        } else {
+            let mut full = Plane::new(full_w, self.blocks_h * BLOCK_SIZE);
+            let out = full.samples_mut();
+            let mut offset = 0;
+            for band in band_samples {
+                out[offset..offset + band.len()].copy_from_slice(&band);
+                offset += band.len();
+            }
+            full
+        };
         if full.width() == self.width && full.height() == self.height {
             full
         } else {
-            Plane::from_fn(self.width, self.height, |x, y| full.get(x, y))
+            let mut cropped = Plane::new(self.width, self.height);
+            let (w, fw) = (self.width as usize, full_w as usize);
+            let src = full.samples();
+            for (y, row) in cropped.samples_mut().chunks_exact_mut(w).enumerate() {
+                row.copy_from_slice(&src[y * fw..y * fw + w]);
+            }
+            cropped
         }
     }
 

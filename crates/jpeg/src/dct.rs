@@ -1,22 +1,31 @@
 //! The 8×8 type-II discrete cosine transform and its inverse.
 //!
-//! Implemented as two passes of the 1-D orthonormal DCT (rows, then
-//! columns). Exactness matters more than raw speed here: the shadow-ROI
-//! reconstruction (§IV-C) depends on the transform being linear and
-//! invertible to float precision.
+//! Two implementations live here:
+//!
+//! * [`forward`] / [`inverse`] — the textbook O(N²) orthonormal transform,
+//!   computed with f64 cosine tables and f64 accumulation. Exactness matters
+//!   more than raw speed for this pair: the shadow-ROI reconstruction
+//!   (§IV-C) depends on the transform being linear and invertible to float
+//!   precision, and it doubles as the differential-test reference for the
+//!   fast path.
+//! * [`forward_scaled`] / [`inverse_scaled`] — the AAN (Arai–Agui–Nakajima)
+//!   factorization: 5 multiplies + 29 adds per 1-D pass instead of a
+//!   64-multiply matrix pass. Outputs carry a per-coefficient scale factor
+//!   of `8·aan(u)·aan(v)` that callers fold into the quantization step
+//!   (see `quant::FoldedQuant`), so descaling costs nothing extra.
 
 /// Number of samples per block side.
 pub const N: usize = 8;
 
 // cos((2x + 1) u π / 16) lookup, indexed [u][x].
-fn cos_table() -> &'static [[f32; N]; N] {
+fn cos_table() -> &'static [[f64; N]; N] {
     use std::sync::OnceLock;
-    static TABLE: OnceLock<[[f32; N]; N]> = OnceLock::new();
+    static TABLE: OnceLock<[[f64; N]; N]> = OnceLock::new();
     TABLE.get_or_init(|| {
-        let mut t = [[0.0f32; N]; N];
+        let mut t = [[0.0f64; N]; N];
         for (u, row) in t.iter_mut().enumerate() {
             for (x, v) in row.iter_mut().enumerate() {
-                *v = ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos() as f32;
+                *v = ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos();
             }
         }
         t
@@ -24,19 +33,18 @@ fn cos_table() -> &'static [[f32; N]; N] {
 }
 
 #[inline]
-fn alpha(u: usize) -> f32 {
+fn alpha(u: usize) -> f64 {
     if u == 0 {
-        std::f32::consts::FRAC_1_SQRT_2
+        std::f64::consts::FRAC_1_SQRT_2
     } else {
         1.0
     }
 }
 
-fn dct_1d(input: &[f32; N]) -> [f32; N] {
-    let t = cos_table();
-    let mut out = [0.0f32; N];
+fn dct_1d(input: &[f64; N], t: &[[f64; N]; N]) -> [f64; N] {
+    let mut out = [0.0f64; N];
     for (u, o) in out.iter_mut().enumerate() {
-        let mut acc = 0.0f32;
+        let mut acc = 0.0f64;
         for x in 0..N {
             acc += input[x] * t[u][x];
         }
@@ -45,11 +53,10 @@ fn dct_1d(input: &[f32; N]) -> [f32; N] {
     out
 }
 
-fn idct_1d(input: &[f32; N]) -> [f32; N] {
-    let t = cos_table();
-    let mut out = [0.0f32; N];
+fn idct_1d(input: &[f64; N], t: &[[f64; N]; N]) -> [f64; N] {
+    let mut out = [0.0f64; N];
     for (x, o) in out.iter_mut().enumerate() {
-        let mut acc = 0.0f32;
+        let mut acc = 0.0f64;
         for u in 0..N {
             acc += alpha(u) * input[u] * t[u][x];
         }
@@ -62,24 +69,27 @@ fn idct_1d(input: &[f32; N]) -> [f32; N] {
 /// samples in `[-128, 127]`). Output is row-major frequency coefficients
 /// with the DC term at index 0.
 pub fn forward(block: &[f32; 64]) -> [f32; 64] {
-    let mut tmp = [0.0f32; 64];
+    let t = cos_table(); // once per block, shared by all 16 1-D passes
+    let mut tmp = [0.0f64; 64];
     // Rows.
     for r in 0..N {
-        let mut row = [0.0f32; N];
-        row.copy_from_slice(&block[r * N..(r + 1) * N]);
-        let out = dct_1d(&row);
+        let mut row = [0.0f64; N];
+        for (x, v) in row.iter_mut().enumerate() {
+            *v = block[r * N + x] as f64;
+        }
+        let out = dct_1d(&row, t);
         tmp[r * N..(r + 1) * N].copy_from_slice(&out);
     }
     // Columns.
     let mut out = [0.0f32; 64];
     for c in 0..N {
-        let mut col = [0.0f32; N];
+        let mut col = [0.0f64; N];
         for r in 0..N {
             col[r] = tmp[r * N + c];
         }
-        let t = dct_1d(&col);
+        let tcol = dct_1d(&col, t);
         for r in 0..N {
-            out[r * N + c] = t[r];
+            out[r * N + c] = tcol[r] as f32;
         }
     }
     out
@@ -87,27 +97,322 @@ pub fn forward(block: &[f32; 64]) -> [f32; 64] {
 
 /// Inverse 8×8 DCT (type III), undoing [`forward`] to float precision.
 pub fn inverse(block: &[f32; 64]) -> [f32; 64] {
-    let mut tmp = [0.0f32; 64];
+    let t = cos_table(); // once per block, shared by all 16 1-D passes
+    let mut tmp = [0.0f64; 64];
     // Columns.
     for c in 0..N {
-        let mut col = [0.0f32; N];
+        let mut col = [0.0f64; N];
         for r in 0..N {
-            col[r] = block[r * N + c];
+            col[r] = block[r * N + c] as f64;
         }
-        let t = idct_1d(&col);
+        let tcol = idct_1d(&col, t);
         for r in 0..N {
-            tmp[r * N + c] = t[r];
+            tmp[r * N + c] = tcol[r];
         }
     }
     // Rows.
     let mut out = [0.0f32; 64];
     for r in 0..N {
-        let mut row = [0.0f32; N];
+        let mut row = [0.0f64; N];
         row.copy_from_slice(&tmp[r * N..(r + 1) * N]);
-        let t = idct_1d(&row);
-        out[r * N..(r + 1) * N].copy_from_slice(&t);
+        let trow = idct_1d(&row, t);
+        for (x, &v) in trow.iter().enumerate() {
+            out[r * N + x] = v as f32;
+        }
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// AAN scaled fast path.
+// ---------------------------------------------------------------------------
+
+// Rotation constants for the AAN flowgraph, with ck = cos(kπ/16).
+const C4: f64 = std::f64::consts::FRAC_1_SQRT_2; // c4
+const C6: f64 = 0.382_683_432_365_089_8; // c6
+const C2_SUB_C6: f64 = 0.541_196_100_146_197; // c2 − c6
+const C2_ADD_C6: f64 = 1.306_562_964_876_376_6; // c2 + c6
+const SQRT2: f64 = std::f64::consts::SQRT_2; // 2·c4
+const TWO_C2: f64 = 1.847_759_065_022_573_5; // 2·c2
+const TWO_C2_SUB_C6: f64 = 1.082_392_200_292_394; // 2·(c2 − c6)
+const TWO_C2_ADD_C6: f64 = 2.613_125_929_752_753; // 2·(c2 + c6)
+
+/// The AAN per-axis scale factor: `aan(0) = 1`, `aan(k) = √2·cos(kπ/16)`.
+///
+/// [`forward_scaled`] output at frequency `(u, v)` equals the orthonormal
+/// coefficient from [`forward`] times `8·aan(u)·aan(v)`; [`inverse_scaled`]
+/// expects its input pre-multiplied by `aan(u)·aan(v)/8`.
+pub fn aan_scale(k: usize) -> f64 {
+    if k == 0 {
+        1.0
+    } else {
+        (std::f64::consts::PI * k as f64 / 16.0).cos() * SQRT2
+    }
+}
+
+/// One 1-D AAN forward pass (jfdctflt flowgraph): 5 multiplies, 29 adds.
+/// Output `u` is the 1-D orthonormal DCT times `2√2·aan(u)`.
+#[inline]
+fn fdct8(d: &mut [f64; N]) {
+    let tmp0 = d[0] + d[7];
+    let tmp7 = d[0] - d[7];
+    let tmp1 = d[1] + d[6];
+    let tmp6 = d[1] - d[6];
+    let tmp2 = d[2] + d[5];
+    let tmp5 = d[2] - d[5];
+    let tmp3 = d[3] + d[4];
+    let tmp4 = d[3] - d[4];
+
+    // Even part.
+    let tmp10 = tmp0 + tmp3;
+    let tmp13 = tmp0 - tmp3;
+    let tmp11 = tmp1 + tmp2;
+    let tmp12 = tmp1 - tmp2;
+
+    d[0] = tmp10 + tmp11;
+    d[4] = tmp10 - tmp11;
+
+    let z1 = (tmp12 + tmp13) * C4;
+    d[2] = tmp13 + z1;
+    d[6] = tmp13 - z1;
+
+    // Odd part.
+    let tmp10 = tmp4 + tmp5;
+    let tmp11 = tmp5 + tmp6;
+    let tmp12 = tmp6 + tmp7;
+
+    let z5 = (tmp10 - tmp12) * C6;
+    let z2 = C2_SUB_C6 * tmp10 + z5;
+    let z4 = C2_ADD_C6 * tmp12 + z5;
+    let z3 = tmp11 * C4;
+
+    let z11 = tmp7 + z3;
+    let z13 = tmp7 - z3;
+
+    d[5] = z13 + z2;
+    d[3] = z13 - z2;
+    d[1] = z11 + z4;
+    d[7] = z11 - z4;
+}
+
+/// One 1-D AAN inverse pass (jidctflt flowgraph). Input `u` must be the
+/// 1-D orthonormal coefficient times `aan(u)/(2√2)`.
+#[inline]
+fn idct8(d: &mut [f64; N]) {
+    // Even part.
+    let tmp10 = d[0] + d[4];
+    let tmp11 = d[0] - d[4];
+    let tmp13 = d[2] + d[6];
+    let tmp12 = (d[2] - d[6]) * SQRT2 - tmp13;
+
+    let tmp0 = tmp10 + tmp13;
+    let tmp3 = tmp10 - tmp13;
+    let tmp1 = tmp11 + tmp12;
+    let tmp2 = tmp11 - tmp12;
+
+    // Odd part.
+    let z13 = d[5] + d[3];
+    let z10 = d[5] - d[3];
+    let z11 = d[1] + d[7];
+    let z12 = d[1] - d[7];
+
+    let tmp7 = z11 + z13;
+    let tmp11o = (z11 - z13) * SQRT2;
+
+    let z5 = (z10 + z12) * TWO_C2;
+    let tmp10o = TWO_C2_SUB_C6 * z12 - z5;
+    let tmp12o = z5 - TWO_C2_ADD_C6 * z10;
+
+    let tmp6 = tmp12o - tmp7;
+    let tmp5 = tmp11o - tmp6;
+    let tmp4 = tmp10o + tmp5;
+
+    d[0] = tmp0 + tmp7;
+    d[7] = tmp0 - tmp7;
+    d[1] = tmp1 + tmp6;
+    d[6] = tmp1 - tmp6;
+    d[2] = tmp2 + tmp5;
+    d[5] = tmp2 - tmp5;
+    d[4] = tmp3 + tmp4;
+    d[3] = tmp3 - tmp4;
+}
+
+// Whole-row helpers for the column passes: each operation applies the
+// same f64 arithmetic to all 8 columns at once (lane k is column k), so
+// the column pass is bit-identical to running the 1-D kernel per column
+// while giving the vectorizer contiguous 8-wide loops instead of strided
+// gathers.
+
+#[inline]
+fn radd(a: &[f64; N], b: &[f64; N]) -> [f64; N] {
+    let mut o = [0.0; N];
+    for i in 0..N {
+        o[i] = a[i] + b[i];
+    }
+    o
+}
+
+#[inline]
+fn rsub(a: &[f64; N], b: &[f64; N]) -> [f64; N] {
+    let mut o = [0.0; N];
+    for i in 0..N {
+        o[i] = a[i] - b[i];
+    }
+    o
+}
+
+#[inline]
+fn rscale(a: &[f64; N], s: f64) -> [f64; N] {
+    let mut o = [0.0; N];
+    for i in 0..N {
+        o[i] = a[i] * s;
+    }
+    o
+}
+
+#[inline]
+fn row(ws: &[f64; 64], r: usize) -> [f64; N] {
+    ws[r * N..(r + 1) * N].try_into().unwrap()
+}
+
+#[inline]
+fn set_row(ws: &mut [f64; 64], r: usize, v: &[f64; N]) {
+    ws[r * N..(r + 1) * N].copy_from_slice(v);
+}
+
+/// [`fdct8`] applied to all 8 columns of `ws` at once.
+fn fdct8_cols(ws: &mut [f64; 64]) {
+    let (d0, d1, d2, d3) = (row(ws, 0), row(ws, 1), row(ws, 2), row(ws, 3));
+    let (d4, d5, d6, d7) = (row(ws, 4), row(ws, 5), row(ws, 6), row(ws, 7));
+    let tmp0 = radd(&d0, &d7);
+    let tmp7 = rsub(&d0, &d7);
+    let tmp1 = radd(&d1, &d6);
+    let tmp6 = rsub(&d1, &d6);
+    let tmp2 = radd(&d2, &d5);
+    let tmp5 = rsub(&d2, &d5);
+    let tmp3 = radd(&d3, &d4);
+    let tmp4 = rsub(&d3, &d4);
+
+    // Even part.
+    let tmp10 = radd(&tmp0, &tmp3);
+    let tmp13 = rsub(&tmp0, &tmp3);
+    let tmp11 = radd(&tmp1, &tmp2);
+    let tmp12 = rsub(&tmp1, &tmp2);
+
+    set_row(ws, 0, &radd(&tmp10, &tmp11));
+    set_row(ws, 4, &rsub(&tmp10, &tmp11));
+
+    let z1 = rscale(&radd(&tmp12, &tmp13), C4);
+    set_row(ws, 2, &radd(&tmp13, &z1));
+    set_row(ws, 6, &rsub(&tmp13, &z1));
+
+    // Odd part.
+    let tmp10 = radd(&tmp4, &tmp5);
+    let tmp11 = radd(&tmp5, &tmp6);
+    let tmp12 = radd(&tmp6, &tmp7);
+
+    let z5 = rscale(&rsub(&tmp10, &tmp12), C6);
+    let z2 = radd(&rscale(&tmp10, C2_SUB_C6), &z5);
+    let z4 = radd(&rscale(&tmp12, C2_ADD_C6), &z5);
+    let z3 = rscale(&tmp11, C4);
+
+    let z11 = radd(&tmp7, &z3);
+    let z13 = rsub(&tmp7, &z3);
+
+    set_row(ws, 5, &radd(&z13, &z2));
+    set_row(ws, 3, &rsub(&z13, &z2));
+    set_row(ws, 1, &radd(&z11, &z4));
+    set_row(ws, 7, &rsub(&z11, &z4));
+}
+
+/// [`idct8`] applied to all 8 columns of `ws` at once.
+fn idct8_cols(ws: &mut [f64; 64]) {
+    let (d0, d1, d2, d3) = (row(ws, 0), row(ws, 1), row(ws, 2), row(ws, 3));
+    let (d4, d5, d6, d7) = (row(ws, 4), row(ws, 5), row(ws, 6), row(ws, 7));
+    // Even part.
+    let tmp10 = radd(&d0, &d4);
+    let tmp11 = rsub(&d0, &d4);
+    let tmp13 = radd(&d2, &d6);
+    let tmp12 = rsub(&rscale(&rsub(&d2, &d6), SQRT2), &tmp13);
+
+    let tmp0 = radd(&tmp10, &tmp13);
+    let tmp3 = rsub(&tmp10, &tmp13);
+    let tmp1 = radd(&tmp11, &tmp12);
+    let tmp2 = rsub(&tmp11, &tmp12);
+
+    // Odd part.
+    let z13 = radd(&d5, &d3);
+    let z10 = rsub(&d5, &d3);
+    let z11 = radd(&d1, &d7);
+    let z12 = rsub(&d1, &d7);
+
+    let tmp7 = radd(&z11, &z13);
+    let tmp11o = rscale(&rsub(&z11, &z13), SQRT2);
+
+    let z5 = rscale(&radd(&z10, &z12), TWO_C2);
+    let tmp10o = rsub(&rscale(&z12, TWO_C2_SUB_C6), &z5);
+    let tmp12o = rsub(&z5, &rscale(&z10, TWO_C2_ADD_C6));
+
+    let tmp6 = rsub(&tmp12o, &tmp7);
+    let tmp5 = rsub(&tmp11o, &tmp6);
+    let tmp4 = radd(&tmp10o, &tmp5);
+
+    set_row(ws, 0, &radd(&tmp0, &tmp7));
+    set_row(ws, 7, &rsub(&tmp0, &tmp7));
+    set_row(ws, 1, &radd(&tmp1, &tmp6));
+    set_row(ws, 6, &rsub(&tmp1, &tmp6));
+    set_row(ws, 2, &radd(&tmp2, &tmp5));
+    set_row(ws, 5, &rsub(&tmp2, &tmp5));
+    set_row(ws, 4, &radd(&tmp3, &tmp4));
+    set_row(ws, 3, &rsub(&tmp3, &tmp4));
+}
+
+/// Fast forward 8×8 DCT (AAN). The output at row-major position
+/// `(u, v)` is the [`forward`] coefficient times `8·aan(u)·aan(v)`;
+/// quantize it with `quant::FoldedQuant`, which folds the descale in.
+pub fn forward_scaled(block: &[f32; 64]) -> [f64; 64] {
+    let mut ws = [0.0f64; 64];
+    forward_scaled_into(block, &mut ws);
+    ws
+}
+
+/// [`forward_scaled`] writing into a caller-provided buffer, so per-block
+/// loops can reuse one scratch array instead of copying 512-byte returns.
+pub fn forward_scaled_into(block: &[f32; 64], ws: &mut [f64; 64]) {
+    for (w, &b) in ws.iter_mut().zip(block.iter()) {
+        *w = b as f64;
+    }
+    // Rows, in place.
+    for r in 0..N {
+        let d: &mut [f64; N] = (&mut ws[r * N..(r + 1) * N]).try_into().unwrap();
+        fdct8(d);
+    }
+    // Columns, 8 lanes at a time.
+    fdct8_cols(ws);
+}
+
+/// Fast inverse 8×8 DCT (AAN), the inverse of [`forward_scaled`]: input at
+/// `(u, v)` must be the orthonormal coefficient times `aan(u)·aan(v)/8`
+/// (produced by `quant::FoldedQuant::dequantize_scaled`).
+pub fn inverse_scaled(block: &[f64; 64]) -> [f32; 64] {
+    let mut out = [0.0f32; 64];
+    inverse_scaled_into(block, &mut out);
+    out
+}
+
+/// [`inverse_scaled`] writing into a caller-provided buffer.
+pub fn inverse_scaled_into(block: &[f64; 64], out: &mut [f32; 64]) {
+    let mut ws = *block;
+    // Columns, 8 lanes at a time.
+    idct8_cols(&mut ws);
+    // Rows, in place, narrowing to f32 on the way out.
+    for r in 0..N {
+        let d: &mut [f64; N] = (&mut ws[r * N..(r + 1) * N]).try_into().unwrap();
+        idct8(d);
+        for (x, &s) in d.iter().enumerate() {
+            out[r * N + x] = s as f32;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -197,6 +502,73 @@ mod tests {
         for (i, &v) in back.iter().enumerate() {
             let want = if i == 9 { 100.0 } else { 0.0 };
             assert!((v - want).abs() < 1e-2, "idx {i}: {v}");
+        }
+    }
+
+    #[test]
+    fn forward_scaled_matches_reference_after_descale() {
+        for seed in [1u32, 77, 90210, 0xDEAD] {
+            let block = sample_block(seed);
+            let reference = forward(&block);
+            let scaled = forward_scaled(&block);
+            for u in 0..N {
+                for v in 0..N {
+                    let i = u * N + v;
+                    let descaled = scaled[i] / (8.0 * aan_scale(u) * aan_scale(v));
+                    // Tolerance bounded by the reference's f32 output rounding.
+                    assert!(
+                        (descaled - reference[i] as f64).abs() < 1e-3,
+                        "seed {seed} idx {i}: {descaled} vs {}",
+                        reference[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_scaled_matches_reference() {
+        for seed in [2u32, 555, 31415] {
+            let block = sample_block(seed);
+            // Treat the sample as frequency coefficients.
+            let reference = inverse(&block);
+            let mut scaled = [0.0f64; 64];
+            for u in 0..N {
+                for v in 0..N {
+                    let i = u * N + v;
+                    scaled[i] = block[i] as f64 * aan_scale(u) * aan_scale(v) / 8.0;
+                }
+            }
+            let fast = inverse_scaled(&scaled);
+            for i in 0..64 {
+                assert!(
+                    (fast[i] - reference[i]).abs() < 1e-4,
+                    "seed {seed} idx {i}: {} vs {}",
+                    fast[i],
+                    reference[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_roundtrip_recovers_spatial_block() {
+        for seed in [9u32, 4242] {
+            let block = sample_block(seed);
+            let scaled = forward_scaled(&block);
+            // Undo the combined forward/inverse scale: ÷(8·aan·aan) for the
+            // forward factor, ×(aan·aan/8) for the inverse convention.
+            let mut freq = [0.0f64; 64];
+            for u in 0..N {
+                for v in 0..N {
+                    let i = u * N + v;
+                    freq[i] = scaled[i] / 64.0;
+                }
+            }
+            let back = inverse_scaled(&freq);
+            for (a, b) in block.iter().zip(back.iter()) {
+                assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+            }
         }
     }
 }

@@ -33,10 +33,13 @@ const MAX_SYMBOLS: usize = 256;
 // ---------------------------------------------------------------------------
 
 /// MSB-first bit writer with JPEG `0xFF 0x00` byte stuffing.
+///
+/// Uses a 64-bit accumulator so a Huffman code plus its magnitude bits
+/// (up to 16 + 11 bits) lands in a single [`BitWriter::put`].
 #[derive(Debug, Default)]
 pub struct BitWriter {
     out: Vec<u8>,
-    acc: u32,
+    acc: u64,
     nbits: u32,
 }
 
@@ -46,34 +49,72 @@ impl BitWriter {
         Self::default()
     }
 
+    /// Creates an empty writer with `bytes` of output capacity reserved.
+    pub fn with_capacity(bytes: usize) -> Self {
+        BitWriter {
+            out: Vec::with_capacity(bytes),
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
     /// Appends the low `len` bits of `bits`, MSB first.
     ///
     /// # Panics
-    /// Panics if `len > 24`.
+    /// Panics if `len > 32`.
     pub fn put(&mut self, bits: u32, len: u32) {
-        assert!(len <= 24, "at most 24 bits per put");
+        assert!(len <= 32, "at most 32 bits per put");
         if len == 0 {
             return;
         }
-        self.acc = (self.acc << len) | (bits & ((1u32 << len) - 1));
+        self.acc = (self.acc << len) | (bits as u64 & ((1u64 << len) - 1));
         self.nbits += len;
-        while self.nbits >= 8 {
-            let byte = ((self.acc >> (self.nbits - 8)) & 0xFF) as u8;
-            self.out.push(byte);
-            if byte == 0xFF {
-                self.out.push(0x00);
-            }
-            self.nbits -= 8;
+        // Defer draining until the accumulator could overflow on the next
+        // put (32 pending + 32 incoming = 64). Most puts are then a pure
+        // shift-and-or; the drain itself moves up to four bytes at once.
+        if self.nbits > 32 {
+            self.drain();
         }
-        self.acc &= (1u32 << self.nbits) - 1;
+    }
+
+    /// Flushes all whole bytes in the accumulator to the output, applying
+    /// JPEG 0xFF byte stuffing.
+    fn drain(&mut self) {
+        let nbytes = (self.nbits / 8) as usize;
+        if nbytes == 0 {
+            return;
+        }
+        let rem = self.nbits & 7;
+        let chunk = self.acc >> rem;
+        // SWAR check for any 0xFF byte among the low `nbytes` bytes: a
+        // byte of `chunk` is 0xFF iff the matching byte of `!chunk` is 0,
+        // and the high zero-padding bytes of `chunk` can't false-trigger.
+        let inv = !chunk;
+        let any_ff = inv.wrapping_sub(0x0101_0101_0101_0101) & !inv & 0x8080_8080_8080_8080 != 0;
+        let be = chunk.to_be_bytes();
+        let bytes = &be[8 - nbytes..];
+        if !any_ff {
+            self.out.extend_from_slice(bytes);
+        } else {
+            for &byte in bytes {
+                self.out.push(byte);
+                if byte == 0xFF {
+                    self.out.push(0x00);
+                }
+            }
+        }
+        self.nbits = rem;
+        self.acc &= (1u64 << rem) - 1;
     }
 
     /// Pads the final partial byte with 1-bits (as the JPEG spec requires)
     /// and returns the stuffed byte stream.
     pub fn finish(mut self) -> Vec<u8> {
+        self.drain();
         if self.nbits > 0 {
             let pad = 8 - self.nbits;
             self.put((1u32 << pad) - 1, pad);
+            self.drain();
         }
         self.out
     }
@@ -82,7 +123,9 @@ impl BitWriter {
     /// the exact bit sequence: the result is byte-identical to having
     /// `put` every bit into `self` directly. This is what lets the
     /// encoder entropy-code block bands in parallel and splice them.
-    pub fn append(&mut self, other: BitWriter) {
+    pub fn append(&mut self, mut other: BitWriter) {
+        self.drain();
+        other.drain();
         if self.nbits == 0 {
             // Byte-aligned: other's stuffed bytes are already exactly what
             // this writer would have produced.
@@ -100,7 +143,8 @@ impl BitWriter {
                 }
             }
         }
-        self.put(other.acc, other.nbits);
+        // After a put, at most 7 bits stay buffered, so this fits in u32.
+        self.put(other.acc as u32, other.nbits);
     }
 
     /// Number of whole bytes emitted so far (excluding buffered bits).
@@ -115,11 +159,20 @@ impl BitWriter {
 }
 
 /// MSB-first bit reader that un-stuffs `0xFF 0x00` sequences.
+///
+/// The accumulator is 64 bits wide and refills eight bytes at a time when
+/// the window contains no `0xFF` (so no stuffing or marker can occur in
+/// it). A naked marker — `0xFF` followed by anything but `0x00` — ends the
+/// readable stream: further reads fail with "entropy data exhausted".
+/// `codec::decode_scan` slices the entropy segment just before its
+/// trailing marker, so an in-stream marker only arises in malformed input.
 #[derive(Debug)]
 pub struct BitReader<'a> {
     data: &'a [u8],
     pos: usize,
-    acc: u32,
+    /// Bits `nbits-1..0` are valid; anything above is stale and masked out
+    /// on extraction.
+    acc: u64,
     nbits: u32,
 }
 
@@ -134,27 +187,48 @@ impl<'a> BitReader<'a> {
         }
     }
 
-    fn fill(&mut self) -> Result<()> {
-        while self.nbits <= 24 {
-            if self.pos >= self.data.len() {
-                return Ok(()); // exhausted; bit() reports the error if needed
-            }
-            let byte = self.data[self.pos];
-            self.pos += 1;
-            if byte == 0xFF {
-                match self.data.get(self.pos) {
-                    Some(0x00) => self.pos += 1, // stuffed
-                    _ => {
-                        return Err(JpegError::Malformed(
-                            "marker inside entropy-coded segment".into(),
-                        ))
+    /// Tops the accumulator up to at least 57 bits, or to stream end.
+    fn refill(&mut self) {
+        while self.nbits <= 56 {
+            if self.pos + 8 <= self.data.len() {
+                let w = u64::from_be_bytes(self.data[self.pos..self.pos + 8].try_into().unwrap());
+                // SWAR: !w has a zero byte exactly where w has an 0xFF.
+                let inv = !w;
+                if inv.wrapping_sub(0x0101_0101_0101_0101) & !inv & 0x8080_8080_8080_8080 == 0 {
+                    let take = ((64 - self.nbits) / 8) as usize;
+                    if take == 8 {
+                        self.acc = w;
+                        self.nbits = 64;
+                    } else {
+                        self.acc = (self.acc << (8 * take)) | (w >> (64 - 8 * take));
+                        self.nbits += 8 * take as u32;
                     }
+                    self.pos += take;
+                    continue;
                 }
             }
-            self.acc = (self.acc << 8) | byte as u32;
-            self.nbits += 8;
+            // Byte path: stuffing, markers, and the last 7 bytes.
+            match self.data.get(self.pos) {
+                None => break,
+                Some(&0xFF) => match self.data.get(self.pos + 1) {
+                    Some(&0x00) => {
+                        self.pos += 2;
+                        self.acc = (self.acc << 8) | 0xFF;
+                        self.nbits += 8;
+                    }
+                    _ => {
+                        // Naked marker (or trailing 0xFF): end of stream.
+                        self.pos = self.data.len();
+                        break;
+                    }
+                },
+                Some(&b) => {
+                    self.pos += 1;
+                    self.acc = (self.acc << 8) | b as u64;
+                    self.nbits += 8;
+                }
+            }
         }
-        Ok(())
     }
 
     /// Reads a single bit.
@@ -163,27 +237,53 @@ impl<'a> BitReader<'a> {
     /// Fails if the stream is exhausted.
     pub fn bit(&mut self) -> Result<u32> {
         if self.nbits == 0 {
-            self.fill()?;
+            self.refill();
             if self.nbits == 0 {
                 return Err(JpegError::Malformed("entropy data exhausted".into()));
             }
         }
         self.nbits -= 1;
-        let b = (self.acc >> self.nbits) & 1;
-        self.acc &= (1u32 << self.nbits).wrapping_sub(1);
-        Ok(b)
+        Ok(((self.acc >> self.nbits) & 1) as u32)
     }
 
-    /// Reads `len` bits MSB-first (0 bits yields 0).
+    /// Reads `len` bits MSB-first in one accumulator extraction (0 bits
+    /// yields 0). `len` must be at most 32.
     ///
     /// # Errors
     /// Fails if the stream is exhausted.
     pub fn bits(&mut self, len: u32) -> Result<u32> {
-        let mut v = 0u32;
-        for _ in 0..len {
-            v = (v << 1) | self.bit()?;
+        debug_assert!(len <= 32, "at most 32 bits per read");
+        if len == 0 {
+            return Ok(0);
         }
-        Ok(v)
+        if self.nbits < len {
+            self.refill();
+            if self.nbits < len {
+                return Err(JpegError::Malformed("entropy data exhausted".into()));
+            }
+        }
+        self.nbits -= len;
+        Ok((self.acc >> self.nbits) as u32 & (((1u64 << len) - 1) as u32))
+    }
+
+    /// Peeks the next 8 bits without consuming them, or `None` when fewer
+    /// than 8 bits remain (the bitwise decode path handles the tail).
+    #[inline]
+    pub(crate) fn peek8(&mut self) -> Option<u32> {
+        if self.nbits < 8 {
+            self.refill();
+            if self.nbits < 8 {
+                return None;
+            }
+        }
+        Some(((self.acc >> (self.nbits - 8)) & 0xFF) as u32)
+    }
+
+    /// Discards `len` bits previously seen via [`BitReader::peek8`].
+    #[inline]
+    pub(crate) fn consume(&mut self, len: u32) {
+        debug_assert!(len <= self.nbits);
+        self.nbits -= len;
     }
 }
 
@@ -193,10 +293,13 @@ impl<'a> BitReader<'a> {
 
 /// A Huffman table in the JPEG wire form: `counts[l]` symbols of code
 /// length `l + 1`, with `values` listed in canonical order.
+///
+/// The values live behind an `Arc` so deriving per-table decoder state
+/// shares them instead of cloning a `Vec<u8>` per decoder.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HuffTable {
     counts: [u8; 16],
-    values: Vec<u8>,
+    values: std::sync::Arc<[u8]>,
 }
 
 impl HuffTable {
@@ -226,7 +329,10 @@ impl HuffTable {
             }
             code <<= 1;
         }
-        Ok(HuffTable { counts, values })
+        Ok(HuffTable {
+            counts,
+            values: values.into(),
+        })
     }
 
     /// Code-length histogram (`counts[l]` codes of length `l + 1`).
@@ -453,6 +559,35 @@ impl HuffEncoder {
         Ok(())
     }
 
+    /// Emits the code for `symbol` immediately followed by `extra_len`
+    /// magnitude bits, as a single accumulator push (at most 16 + 11 bits).
+    ///
+    /// # Errors
+    /// Returns [`JpegError::Malformed`] if the symbol has no code in this
+    /// table.
+    #[inline]
+    pub fn emit_with(
+        &self,
+        w: &mut BitWriter,
+        symbol: u8,
+        extra: u32,
+        extra_len: u32,
+    ) -> Result<()> {
+        let s = symbol as usize;
+        let size = self.size[s] as u32;
+        if size == 0 {
+            return Err(JpegError::Malformed(format!(
+                "symbol {symbol:#04x} has no Huffman code"
+            )));
+        }
+        let mask = ((1u64 << extra_len) - 1) as u32;
+        w.put(
+            (self.code[s] << extra_len) | (extra & mask),
+            size + extra_len,
+        );
+        Ok(())
+    }
+
     /// Code length in bits for `symbol` (0 if absent) — used for size
     /// accounting without materializing a stream.
     pub fn code_len(&self, symbol: u8) -> u32 {
@@ -460,13 +595,18 @@ impl HuffEncoder {
     }
 }
 
-/// Canonical Huffman decoder (mincode/maxcode/valptr form).
+/// Canonical Huffman decoder: an 8-bit lookahead LUT for short codes with
+/// a mincode/maxcode/valptr walk as the long-code and near-end fallback.
 #[derive(Debug, Clone)]
 pub struct HuffDecoder {
+    /// Peeked byte → `(code length << 8) | symbol` for codes of ≤ 8 bits;
+    /// 0 means "no such code" (unambiguous: real entries have a nonzero
+    /// length in the high byte).
+    lut: [u16; 256],
     mincode: [i32; 17],
     maxcode: [i32; 17],
     valptr: [i32; 17],
-    values: Vec<u8>,
+    values: std::sync::Arc<[u8]>,
 }
 
 impl HuffDecoder {
@@ -490,7 +630,25 @@ impl HuffDecoder {
             }
             code <<= 1;
         }
+        // Fill the lookahead LUT: a code of length l ≤ 8 owns every byte
+        // value whose top l bits equal the code.
+        let mut lut = [0u16; 256];
+        let mut code: u32 = 0;
+        let mut vi = 0usize;
+        for l in 1..=8usize {
+            for _ in 0..table.counts[l - 1] {
+                let entry = ((l as u16) << 8) | table.values[vi] as u16;
+                let first = (code << (8 - l)) as usize;
+                for e in &mut lut[first..first + (1 << (8 - l))] {
+                    *e = entry;
+                }
+                code += 1;
+                vi += 1;
+            }
+            code <<= 1;
+        }
         HuffDecoder {
+            lut,
             mincode,
             maxcode,
             valptr,
@@ -502,7 +660,27 @@ impl HuffDecoder {
     ///
     /// # Errors
     /// Fails on exhausted input or a code not present in the table.
+    #[inline]
     pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u8> {
+        if let Some(peek) = r.peek8() {
+            let e = self.lut[peek as usize];
+            if e != 0 {
+                r.consume((e >> 8) as u32);
+                return Ok((e & 0xFF) as u8);
+            }
+        }
+        // Code longer than 8 bits, or fewer than 8 bits left in the
+        // stream. The peek consumed nothing, so restart bit by bit.
+        self.decode_bitwise(r)
+    }
+
+    /// The bit-at-a-time canonical walk. [`HuffDecoder::decode`] is
+    /// bit-identical to this; it is public as the reference path for the
+    /// differential fuzz campaign.
+    ///
+    /// # Errors
+    /// Fails on exhausted input or a code not present in the table.
+    pub fn decode_bitwise(&self, r: &mut BitReader<'_>) -> Result<u8> {
         let mut code: i32 = 0;
         for l in 1..=16usize {
             code = (code << 1) | r.bit()? as i32;
@@ -522,13 +700,7 @@ impl HuffDecoder {
 /// JPEG magnitude category: the number of bits needed to represent `v`
 /// (0 for 0, `n` for `|v|` in `[2^(n-1), 2^n - 1]`).
 pub fn category(v: i32) -> u32 {
-    let mut a = v.unsigned_abs();
-    let mut n = 0;
-    while a > 0 {
-        a >>= 1;
-        n += 1;
-    }
-    n
+    u32::BITS - v.unsigned_abs().leading_zeros()
 }
 
 /// The `len`-bit magnitude encoding of `v` (one's complement for negative
@@ -607,21 +779,164 @@ pub fn encode_block(
     dc: &HuffEncoder,
     ac: &HuffEncoder,
 ) -> Result<i32> {
-    if !(crate::COEFF_MIN..=crate::COEFF_MAX).contains(&zz[0]) {
-        return Err(JpegError::CoefficientRange { value: zz[0] });
+    encode_block_perm(w, zz, prev_dc, dc, ac, &IDENTITY)
+}
+
+/// [`encode_block`] taking the block in row-major (natural) order: the
+/// zigzag permutation happens during the coefficient scan, so the encode
+/// loop needs no per-block zigzag copy. Bit-identical to
+/// `encode_block(w, &to_zigzag(block), ..)`.
+///
+/// # Errors
+/// Same conditions as [`encode_block`].
+pub fn encode_block_natural(
+    w: &mut BitWriter,
+    block: &[i32; 64],
+    prev_dc: i32,
+    dc: &HuffEncoder,
+    ac: &HuffEncoder,
+) -> Result<i32> {
+    if !(crate::COEFF_MIN..=crate::COEFF_MAX).contains(&block[0]) {
+        return Err(JpegError::CoefficientRange { value: block[0] });
     }
-    for &v in &zz[1..] {
-        if !(crate::AC_MIN..=crate::AC_MAX).contains(&v) {
-            return Err(JpegError::CoefficientRange { value: v });
-        }
+    let mut bad = false;
+    for &v in &block[1..] {
+        bad |= !(crate::AC_MIN..=crate::AC_MAX).contains(&v);
     }
-    let diff = zz[0] - prev_dc;
+    if bad {
+        let value = *block[1..]
+            .iter()
+            .find(|v| !(crate::AC_MIN..=crate::AC_MAX).contains(v))
+            .expect("sweep found an out-of-range value");
+        return Err(JpegError::CoefficientRange { value });
+    }
+    let diff = block[0] - prev_dc;
     let cat = category(diff);
-    dc.emit(w, cat as u8)?;
-    w.put(magnitude_bits(diff, cat), cat);
+    dc.emit_with(w, cat as u8, magnitude_bits(diff, cat), cat)?;
+
+    // Walk only the nonzero coefficients: bit k of the mask is set iff
+    // the coefficient at zigzag position k is nonzero, so the run length
+    // before each symbol is the gap between consecutive set bits. A
+    // typical photographic block has ~10-20 nonzero ACs, so this skips
+    // the ~3/4 of the scan a coefficient-at-a-time loop burns on zeros.
+    let mut mask = zigzag_nonzero_mask(block) & !1;
+    let mut prev_k = 0u32;
+    while mask != 0 {
+        let k = mask.trailing_zeros();
+        mask &= mask - 1;
+        let mut run = k - prev_k - 1;
+        while run >= 16 {
+            ac.emit(w, 0xF0)?; // ZRL
+            run -= 16;
+        }
+        let v = block[crate::zigzag::ZIGZAG[k as usize & 63] & 63];
+        let size = category(v);
+        ac.emit_with(
+            w,
+            ((run as u8) << 4) | size as u8,
+            magnitude_bits(v, size),
+            size,
+        )?;
+        prev_k = k;
+    }
+    if prev_k != 63 {
+        ac.emit(w, 0x00)?; // EOB
+    }
+    Ok(block[0])
+}
+
+/// Per-byte scatter tables mapping a natural-order nonzero byte to its
+/// zigzag-position bits: `ZZ_SCATTER[c][byte]` spreads the bits of `byte`
+/// (natural indices `8c..8c+8`) to their [`crate::zigzag::UNZIGZAG`]
+/// positions.
+static ZZ_SCATTER: [[u64; 256]; 8] = {
+    let mut t = [[0u64; 256]; 8];
+    let mut c = 0;
+    while c < 8 {
+        let mut byte = 0usize;
+        while byte < 256 {
+            let mut m = 0u64;
+            let mut j = 0;
+            while j < 8 {
+                if byte >> j & 1 == 1 {
+                    m |= 1u64 << crate::zigzag::UNZIGZAG[c * 8 + j];
+                }
+                j += 1;
+            }
+            t[c][byte] = m;
+            byte += 1;
+        }
+        c += 1;
+    }
+    t
+};
+
+/// Bit `k` of the result is set iff the coefficient at *zigzag* position
+/// `k` of the natural-order `block` is nonzero.
+#[inline]
+fn zigzag_nonzero_mask(block: &[i32; 64]) -> u64 {
+    // 0/1 bytes via a vectorizable compare loop, then a SWAR bit-gather
+    // per 8-byte group (the 0x0102_0408_1020_4080 multiply collects each
+    // byte's low bit into the top byte, carry-free), scattered to zigzag
+    // positions through the per-byte tables.
+    let mut nz = [0u8; 64];
+    for i in 0..64 {
+        nz[i] = (block[i] != 0) as u8;
+    }
+    let mut m = 0u64;
+    let mut c = 0;
+    while c < 8 {
+        let w = u64::from_le_bytes(nz[c * 8..c * 8 + 8].try_into().unwrap());
+        let bits = (w.wrapping_mul(0x0102_0408_1020_4080) >> 56) as usize;
+        m |= ZZ_SCATTER[c][bits];
+        c += 1;
+    }
+    m
+}
+
+/// The identity permutation: [`encode_block`]'s input is already in scan
+/// order.
+const IDENTITY: [usize; 64] = {
+    let mut p = [0usize; 64];
+    let mut i = 0;
+    while i < 64 {
+        p[i] = i;
+        i += 1;
+    }
+    p
+};
+
+fn encode_block_perm(
+    w: &mut BitWriter,
+    b: &[i32; 64],
+    prev_dc: i32,
+    dc: &HuffEncoder,
+    ac: &HuffEncoder,
+    perm: &[usize; 64],
+) -> Result<i32> {
+    if !(crate::COEFF_MIN..=crate::COEFF_MAX).contains(&b[0]) {
+        return Err(JpegError::CoefficientRange { value: b[0] });
+    }
+    // Branchless sweep first (it vectorizes, an early-exit loop does
+    // not); only locate the offending value on the error path.
+    let mut bad = false;
+    for &v in &b[1..] {
+        bad |= !(crate::AC_MIN..=crate::AC_MAX).contains(&v);
+    }
+    if bad {
+        let value = *b[1..]
+            .iter()
+            .find(|v| !(crate::AC_MIN..=crate::AC_MAX).contains(v))
+            .expect("sweep found an out-of-range value");
+        return Err(JpegError::CoefficientRange { value });
+    }
+    let diff = b[0] - prev_dc;
+    let cat = category(diff);
+    dc.emit_with(w, cat as u8, magnitude_bits(diff, cat), cat)?;
 
     let mut run = 0u32;
-    for &v in &zz[1..] {
+    for &pi in &perm[1..] {
+        let v = b[pi & 63];
         if v == 0 {
             run += 1;
             continue;
@@ -631,23 +946,63 @@ pub fn encode_block(
             run -= 16;
         }
         let size = category(v);
-        ac.emit(w, ((run as u8) << 4) | size as u8)?;
-        w.put(magnitude_bits(v, size), size);
+        ac.emit_with(
+            w,
+            ((run as u8) << 4) | size as u8,
+            magnitude_bits(v, size),
+            size,
+        )?;
         run = 0;
     }
     if run > 0 {
         ac.emit(w, 0x00)?; // EOB
     }
-    Ok(zz[0])
+    Ok(b[0])
 }
 
 /// Tallies the symbols [`encode_block`] would emit, for optimized-table
 /// construction. Returns the new DC predictor.
 pub fn tally_block(freqs: &mut SymbolFreqs, zz: &[i32; 64], prev_dc: i32) -> i32 {
-    let diff = zz[0] - prev_dc;
+    tally_block_perm(freqs, zz, prev_dc, &IDENTITY)
+}
+
+/// [`tally_block`] for a row-major (natural) order block; the counterpart
+/// of [`encode_block_natural`].
+pub fn tally_block_natural(freqs: &mut SymbolFreqs, block: &[i32; 64], prev_dc: i32) -> i32 {
+    let diff = block[0] - prev_dc;
+    freqs.dc[category(diff) as usize] += 1;
+    // Same nonzero-bitmask walk as `encode_block_natural`.
+    let mut mask = zigzag_nonzero_mask(block) & !1;
+    let mut prev_k = 0u32;
+    while mask != 0 {
+        let k = mask.trailing_zeros();
+        mask &= mask - 1;
+        let mut run = k - prev_k - 1;
+        while run >= 16 {
+            freqs.ac[0xF0] += 1;
+            run -= 16;
+        }
+        let v = block[crate::zigzag::ZIGZAG[k as usize & 63] & 63];
+        freqs.ac[(((run as u8) << 4) | category(v) as u8) as usize] += 1;
+        prev_k = k;
+    }
+    if prev_k != 63 {
+        freqs.ac[0x00] += 1;
+    }
+    block[0]
+}
+
+fn tally_block_perm(
+    freqs: &mut SymbolFreqs,
+    b: &[i32; 64],
+    prev_dc: i32,
+    perm: &[usize; 64],
+) -> i32 {
+    let diff = b[0] - prev_dc;
     freqs.dc[category(diff) as usize] += 1;
     let mut run = 0u32;
-    for &v in &zz[1..] {
+    for &pi in &perm[1..] {
+        let v = b[pi & 63];
         if v == 0 {
             run += 1;
             continue;
@@ -662,7 +1017,7 @@ pub fn tally_block(freqs: &mut SymbolFreqs, zz: &[i32; 64], prev_dc: i32) -> i32
     if run > 0 {
         freqs.ac[0x00] += 1;
     }
-    zz[0]
+    b[0]
 }
 
 /// Decodes one zigzag-ordered block; inverse of [`encode_block`].
@@ -676,6 +1031,51 @@ pub fn decode_block(
     ac: &HuffDecoder,
 ) -> Result<([i32; 64], i32)> {
     let mut zz = [0i32; 64];
+    let p = decode_block_into(&mut zz, r, prev_dc, dc, ac)?;
+    Ok((zz, p))
+}
+
+/// [`decode_block`] into a caller-owned scratch block, so a decode loop
+/// performs no per-block allocation or copy-out. Returns the new DC
+/// predictor.
+///
+/// # Errors
+/// Fails on malformed entropy data.
+pub fn decode_block_into(
+    zz: &mut [i32; 64],
+    r: &mut BitReader<'_>,
+    prev_dc: i32,
+    dc: &HuffDecoder,
+    ac: &HuffDecoder,
+) -> Result<i32> {
+    decode_block_perm(zz, r, prev_dc, dc, ac, &IDENTITY)
+}
+
+/// [`decode_block_into`] writing each coefficient at its row-major
+/// position — `from_zigzag` fused into the decode, so the scan loop needs
+/// no per-block permutation copy. Returns the new DC predictor.
+///
+/// # Errors
+/// Fails on malformed entropy data.
+pub fn decode_block_natural_into(
+    out: &mut [i32; 64],
+    r: &mut BitReader<'_>,
+    prev_dc: i32,
+    dc: &HuffDecoder,
+    ac: &HuffDecoder,
+) -> Result<i32> {
+    decode_block_perm(out, r, prev_dc, dc, ac, &crate::zigzag::ZIGZAG)
+}
+
+fn decode_block_perm(
+    zz: &mut [i32; 64],
+    r: &mut BitReader<'_>,
+    prev_dc: i32,
+    dc: &HuffDecoder,
+    ac: &HuffDecoder,
+    perm: &[usize; 64],
+) -> Result<i32> {
+    zz.fill(0);
     let cat = dc.decode(r)? as u32;
     if cat > 12 {
         return Err(JpegError::Malformed(format!("DC category {cat} too large")));
@@ -703,10 +1103,10 @@ pub fn decode_block(
             return Err(JpegError::Malformed("AC run overflows block".into()));
         }
         let bits = r.bits(size)?;
-        zz[k] = extend_magnitude(bits, size);
+        zz[perm[k] & 63] = extend_magnitude(bits, size);
         k += 1;
     }
-    Ok((zz, zz[0]))
+    Ok(zz[0])
 }
 
 #[cfg(test)]

@@ -96,6 +96,12 @@ impl QuantTable {
         out
     }
 
+    /// The table with AAN descale factors folded in, for the fast
+    /// scaled-DCT paths. Build once per component, not per block.
+    pub fn folded(&self) -> FoldedQuant {
+        FoldedQuant::new(self)
+    }
+
     /// Requantizes coefficients from this table to a `coarser` one, the
     /// coefficient-domain equivalent of JPEG recompression (the paper's
     /// "compression" transformation, §IV-C.2).
@@ -113,6 +119,121 @@ impl QuantTable {
             out[i] = v as i32;
         }
         out
+    }
+}
+
+/// A quantization table with the AAN scale factors folded in, pairing with
+/// [`crate::dct::forward_scaled`] / [`crate::dct::inverse_scaled`].
+///
+/// Bit-identity with the reference path is preserved by *staging*: the
+/// forward side first descales the AAN output to the orthonormal
+/// coefficient and rounds it through f32 — reproducing exactly the f32
+/// value [`crate::dct::forward`] emits — then performs the same f32
+/// divide-and-round that [`QuantTable::quantize`] performs. Folding the
+/// descale and the step into one multiplier would be one multiply cheaper
+/// but rounds differently on half-step ties (e.g. a coefficient of exactly
+/// 4.5 against step 3), which would break fast == reference.
+#[derive(Debug, Clone)]
+pub struct FoldedQuant {
+    /// `1/(8·aan(u)·aan(v))`: descales `forward_scaled` output to the
+    /// orthonormal coefficient the reference `forward` produces.
+    descale: [f64; 64],
+    /// Step sizes as f32, so the divide matches `quantize` bit for bit.
+    steps_f32: [f32; 64],
+    /// `step·aan(u)·aan(v)/8`: dequantizes integer coefficients straight
+    /// into `inverse_scaled` input, one multiply per coefficient.
+    idct_mult: [f64; 64],
+}
+
+impl FoldedQuant {
+    fn new(table: &QuantTable) -> Self {
+        let mut descale = [0.0f64; 64];
+        let mut steps_f32 = [0.0f32; 64];
+        let mut idct_mult = [0.0f64; 64];
+        for u in 0..8 {
+            for v in 0..8 {
+                let i = u * 8 + v;
+                let aan = crate::dct::aan_scale(u) * crate::dct::aan_scale(v);
+                descale[i] = 1.0 / (8.0 * aan);
+                steps_f32[i] = table.steps[i] as f32;
+                idct_mult[i] = table.steps[i] as f64 * aan / 8.0;
+            }
+        }
+        FoldedQuant {
+            descale,
+            steps_f32,
+            idct_mult,
+        }
+    }
+
+    /// Quantizes the output of [`crate::dct::forward_scaled`]. Produces the
+    /// same integers as `QuantTable::quantize(dct::forward(..))`.
+    pub fn quantize_scaled(&self, scaled: &[f64; 64]) -> [i32; 64] {
+        let mut out = [0i32; 64];
+        self.quantize_scaled_into(scaled, &mut out);
+        out
+    }
+
+    /// [`Self::quantize_scaled`] writing into a caller-provided block, so
+    /// per-block loops can fill their destination in place.
+    pub fn quantize_scaled_into(&self, scaled: &[f64; 64], out: &mut [i32; 64]) {
+        // Stage through f32 so both paths round the identical value. Kept
+        // as its own (2-wide f64) loop so the f32 divide loop below stays
+        // uniform for the vectorizer.
+        let mut un = [0.0f32; 64];
+        for i in 0..64 {
+            un[i] = (scaled[i] * self.descale[i]) as f32;
+        }
+        // Exact round-half-away-from-zero, equal to `q.round() as i32`,
+        // without the libm `roundf` call that keeps the SSE2 baseline from
+        // vectorizing this loop. Adding/subtracting 1.5·2^23 rounds q to
+        // the nearest integer (ties to even) exactly for |q| < 2^22; the
+        // residual d = q - r is then exact (Sterbenz) and |d| <= 0.5, so a
+        // tie (|d| = 0.5, where round-to-even may disagree with
+        // round-half-away) is fixed up by one sign-aware compare per side.
+        // NaN, ±inf, and finite |q| >= 2^22 all trip the (negated, so NaN
+        // is caught) range check and take the scalar `.round()` fallback,
+        // keeping every input bit-identical to the reference.
+        let mut fallback = false;
+        for i in 0..64 {
+            let q = un[i] / self.steps_f32[i];
+            // The negated compare is load-bearing: unlike `>=`, it is true
+            // for NaN, which must take the fallback path.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            {
+                fallback |= !(q.abs() < 4_194_304.0);
+            }
+            let y = q + 12_582_912.0;
+            // For y in [2^23, 2^24) the mantissa bits *are* y - 2^23, so
+            // round_even(q) = bits(y) - bits(1.5·2^23) as a plain integer
+            // subtraction — no float→int cast (whose saturating semantics
+            // keep it scalar) anywhere in the loop.
+            let base = (y.to_bits() as i32).wrapping_sub(0x4B40_0000);
+            let d = q - (y - 12_582_912.0);
+            let up = (d >= 0.5 && q > 0.0) as i32;
+            let down = (d <= -0.5 && q < 0.0) as i32;
+            out[i] = base + up - down;
+        }
+        if fallback {
+            for i in 0..64 {
+                out[i] = (un[i] / self.steps_f32[i]).round() as i32;
+            }
+        }
+    }
+
+    /// Dequantizes integer coefficients into [`crate::dct::inverse_scaled`]
+    /// input. Equivalent to `dct`-scaling `QuantTable::dequantize` output.
+    pub fn dequantize_scaled(&self, q: &[i32; 64]) -> [f64; 64] {
+        let mut out = [0.0f64; 64];
+        self.dequantize_scaled_into(q, &mut out);
+        out
+    }
+
+    /// [`Self::dequantize_scaled`] writing into a caller-provided buffer.
+    pub fn dequantize_scaled_into(&self, q: &[i32; 64], out: &mut [f64; 64]) {
+        for i in 0..64 {
+            out[i] = q[i] as f64 * self.idct_mult[i];
+        }
     }
 }
 
@@ -183,6 +304,57 @@ mod tests {
         let re = fine.requantize_to(&q, &coarse);
         let direct = coarse.quantize(&fine.dequantize(&q));
         assert_eq!(re, direct);
+    }
+
+    fn sample_block(seed: u32) -> [f32; 64] {
+        let mut b = [0.0f32; 64];
+        let mut s = seed;
+        for v in &mut b {
+            s ^= s << 13;
+            s ^= s >> 17;
+            s ^= s << 5;
+            *v = (s % 256) as f32 - 128.0;
+        }
+        b
+    }
+
+    #[test]
+    fn folded_quantize_matches_reference_pipeline() {
+        for quality in [25u8, 50, 75, 92] {
+            for table in [QuantTable::luma(quality), QuantTable::chroma(quality)] {
+                let folded = table.folded();
+                for seed in [1u32, 77, 90210, 0xC0FFEE, 7_654_321] {
+                    let block = sample_block(seed ^ quality as u32);
+                    let reference = table.quantize(&crate::dct::forward(&block));
+                    let fast = folded.quantize_scaled(&crate::dct::forward_scaled(&block));
+                    assert_eq!(reference, fast, "q{quality} seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn folded_dequantize_feeds_inverse_scaled_matching_reference() {
+        let table = QuantTable::luma(75);
+        let folded = table.folded();
+        let mut q = [0i32; 64];
+        let mut s = 0xABCDu32;
+        for v in &mut q {
+            s ^= s << 13;
+            s ^= s >> 17;
+            s ^= s << 5;
+            *v = (s % 41) as i32 - 20;
+        }
+        let reference = crate::dct::inverse(&table.dequantize(&q));
+        let fast = crate::dct::inverse_scaled(&folded.dequantize_scaled(&q));
+        for i in 0..64 {
+            assert!(
+                (reference[i] - fast[i]).abs() < 1e-4,
+                "idx {i}: {} vs {}",
+                reference[i],
+                fast[i]
+            );
+        }
     }
 
     #[test]

@@ -1,12 +1,31 @@
 //! Property-based invariants of the JPEG substrate.
 
 use proptest::prelude::*;
+use puppies_jpeg::dct;
 use puppies_jpeg::huffman::{
     category, decode_block, encode_block, extend_magnitude, magnitude_bits, BitReader, BitWriter,
     HuffDecoder, HuffEncoder, HuffTable,
 };
 use puppies_jpeg::zigzag::{from_zigzag, to_zigzag};
 use puppies_jpeg::QuantTable;
+
+/// Centered spatial samples, the domain the FDCT actually sees.
+fn arb_spatial_block() -> impl Strategy<Value = [f32; 64]> {
+    proptest::collection::vec(-128f32..=127f32, 64).prop_map(|v| {
+        let mut b = [0f32; 64];
+        b.copy_from_slice(&v);
+        b
+    })
+}
+
+/// Dense float coefficient blocks within JPEG's representable range.
+fn arb_coeff_block() -> impl Strategy<Value = [f32; 64]> {
+    proptest::collection::vec(-1024f32..=1023f32, 64).prop_map(|v| {
+        let mut b = [0f32; 64];
+        b.copy_from_slice(&v);
+        b
+    })
+}
 
 fn arb_block() -> impl Strategy<Value = [i32; 64]> {
     // DC in [-1024, 1023], AC in [-1023, 1023], biased toward sparsity
@@ -171,5 +190,77 @@ proptest! {
         let re = fine.requantize_to(&block, &coarse);
         let direct = coarse.quantize(&fine.dequantize(&block));
         prop_assert_eq!(re, direct);
+    }
+
+    #[test]
+    fn fast_fdct_matches_reference_within_1e3(block in arb_spatial_block()) {
+        let reference = dct::forward(&block);
+        let scaled = dct::forward_scaled(&block);
+        for u in 0..8 {
+            for v in 0..8 {
+                let i = u * 8 + v;
+                let descaled = scaled[i] / (8.0 * dct::aan_scale(u) * dct::aan_scale(v));
+                prop_assert!(
+                    (descaled - reference[i] as f64).abs() < 1e-3,
+                    "({u},{v}): fast {} vs reference {}", descaled, reference[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_idct_matches_reference_within_1e3(coeffs in arb_coeff_block()) {
+        let reference = dct::inverse(&coeffs);
+        let mut scaled = [0.0f64; 64];
+        for u in 0..8 {
+            for v in 0..8 {
+                let i = u * 8 + v;
+                scaled[i] = coeffs[i] as f64 * dct::aan_scale(u) * dct::aan_scale(v) / 8.0;
+            }
+        }
+        let fast = dct::inverse_scaled(&scaled);
+        for i in 0..64 {
+            prop_assert!(
+                (fast[i] - reference[i]).abs() < 1e-3,
+                "idx {i}: fast {} vs reference {}", fast[i], reference[i]
+            );
+        }
+    }
+
+    #[test]
+    fn fast_path_quantizes_identically_across_annex_k_presets(
+        block in arb_spatial_block(),
+    ) {
+        // The production encode path (forward_scaled + FoldedQuant) must
+        // produce the exact integers of the reference path (forward +
+        // QuantTable::quantize) at every Annex-K preset the goldens and
+        // protection levels exercise, for both component tables.
+        let reference_freq = dct::forward(&block);
+        let fast_freq = dct::forward_scaled(&block);
+        for quality in [25u8, 50, 75, 90] {
+            for table in [QuantTable::luma(quality), QuantTable::chroma(quality)] {
+                let reference = table.quantize(&reference_freq);
+                let fast = table.folded().quantize_scaled(&fast_freq);
+                prop_assert_eq!(fast, reference, "quality {}", quality);
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_dequantizes_identically(
+        block in arb_block(),
+        quality in 1u8..=100,
+    ) {
+        // Decode side: dequantize + inverse_scaled must reproduce the
+        // reference dequantize + inverse samples to fast-path tolerance.
+        let table = QuantTable::luma(quality);
+        let reference = dct::inverse(&table.dequantize(&block));
+        let fast = dct::inverse_scaled(&table.folded().dequantize_scaled(&block));
+        for i in 0..64 {
+            prop_assert!(
+                (fast[i] - reference[i]).abs() < 1e-3,
+                "idx {i}: fast {} vs reference {}", fast[i], reference[i]
+            );
+        }
     }
 }
