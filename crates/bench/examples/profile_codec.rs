@@ -1,91 +1,101 @@
-//! Stage-by-stage codec timing on the pascal fixture (single thread).
+//! Stage-by-stage codec timing on the pascal fixture (single thread),
+//! driven entirely by the `puppies-obs` span layer: the codec's built-in
+//! spans feed histograms, and the best (minimum) observation per stage
+//! replaces the bespoke best-of-N stopwatch this example used to carry.
+//!
+//! Pass a file path to also dump the Chrome `trace_event` timeline:
+//!
+//! ```text
+//! cargo run --release -p puppies-bench --example profile_codec -- trace.json
+//! ```
 
 use puppies_bench::pascal_image;
 use puppies_jpeg::{dct, CoeffImage, EncodeOptions, QuantTable};
-use std::time::Instant;
 
-fn best<T>(n: usize, mut f: impl FnMut() -> T) -> f64 {
-    let mut best = f64::MAX;
-    for _ in 0..n {
-        let t = Instant::now();
-        std::hint::black_box(f());
-        best = best.min(t.elapsed().as_secs_f64() * 1e3);
-    }
-    best
-}
+const ITERS: usize = 5;
+const KERNEL_ITERS: usize = 100_000;
 
 fn main() {
     let pool = puppies_core::parallel::WorkerPool::new(1);
+    let session = puppies_obs::Obs::install();
     puppies_core::parallel::with_pool(&pool, || {
         let img = pascal_image();
-        let t_ycbcr = best(5, || img.to_ycbcr_planes());
-        println!("to_ycbcr_planes:    {t_ycbcr:8.3} ms");
-
-        let planes = img.to_ycbcr_planes();
         let lq = QuantTable::luma(75);
-        let t_fplane = best(5, || {
-            puppies_jpeg::coeff::Component::from_plane(1, &planes[0], lq.clone())
-        });
-        println!("from_plane (luma):  {t_fplane:8.3} ms");
-
-        let t_fwd = best(5, || CoeffImage::from_rgb(&img, 75));
-        println!("from_rgb total:     {t_fwd:8.3} ms");
-
         let coeff = CoeffImage::from_rgb(&img, 75);
-        let t_enc = best(5, || coeff.encode(&EncodeOptions::default()).unwrap());
-        println!("entropy encode:     {t_enc:8.3} ms");
-
         let bytes = coeff.encode(&EncodeOptions::default()).unwrap();
-        let t_dec = best(5, || CoeffImage::decode(&bytes).unwrap());
-        println!("entropy decode:     {t_dec:8.3} ms");
 
-        let t_enc_full = best(5, || {
-            CoeffImage::from_rgb(&img, 75)
-                .encode(&EncodeOptions::default())
-                .unwrap()
-        });
-        println!("composite encode:   {t_enc_full:8.3} ms");
-        let t_dec_full = best(5, || CoeffImage::decode(&bytes).unwrap().to_rgb());
-        println!("composite decode:   {t_dec_full:8.3} ms");
-
+        // Composite passes: the library's own spans (jpeg.fwd_transform,
+        // jpeg.fdct_quant, jpeg.encode, jpeg.entropy_encode, jpeg.decode,
+        // jpeg.entropy_decode, jpeg.idct, ...) record every stage.
+        for _ in 0..ITERS {
+            let c = CoeffImage::from_rgb(&img, 75);
+            std::hint::black_box(c.encode(&EncodeOptions::default()).unwrap());
+            std::hint::black_box(CoeffImage::decode(&bytes).unwrap().to_rgb());
+        }
+        // Single-plane stages, timed the same way.
+        let planes = img.to_ycbcr_planes();
+        for _ in 0..ITERS {
+            let _s = puppies_obs::span!("profile.from_plane_luma");
+            std::hint::black_box(puppies_jpeg::coeff::Component::from_plane(
+                1,
+                &planes[0],
+                lq.clone(),
+            ));
+        }
         let comp = &coeff.components()[0];
-        let t_tplane = best(5, || comp.to_plane());
-        println!("to_plane (luma):    {t_tplane:8.3} ms");
+        for _ in 0..ITERS {
+            let _s = puppies_obs::span!("profile.to_plane_luma");
+            std::hint::black_box(comp.to_plane());
+        }
 
-        let t_rgb = best(5, || coeff.to_rgb());
-        println!("to_rgb total:       {t_rgb:8.3} ms");
-
-        // Raw kernel rates.
+        // Raw kernel rates: one span wraps a whole batch; ns/block is the
+        // batch minimum divided by the iteration count.
         let mut block = [0.0f32; 64];
         for (i, v) in block.iter_mut().enumerate() {
             *v = ((i * 37) % 255) as f32 - 128.0;
         }
-        let n = 100_000;
-        let t = Instant::now();
-        for _ in 0..n {
-            std::hint::black_box(dct::forward(std::hint::black_box(&block)));
+        {
+            let _s = puppies_obs::span!("kernel.forward");
+            for _ in 0..KERNEL_ITERS {
+                std::hint::black_box(dct::forward(std::hint::black_box(&block)));
+            }
         }
-        println!(
-            "reference forward:  {:8.1} ns/block",
-            t.elapsed().as_secs_f64() * 1e9 / n as f64
-        );
-        let t = Instant::now();
-        for _ in 0..n {
-            std::hint::black_box(dct::forward_scaled(std::hint::black_box(&block)));
+        {
+            let _s = puppies_obs::span!("kernel.forward_scaled");
+            for _ in 0..KERNEL_ITERS {
+                std::hint::black_box(dct::forward_scaled(std::hint::black_box(&block)));
+            }
         }
-        println!(
-            "AAN forward_scaled: {:8.1} ns/block",
-            t.elapsed().as_secs_f64() * 1e9 / n as f64
-        );
         let folded = lq.folded();
         let scaled = dct::forward_scaled(&block);
-        let t = Instant::now();
-        for _ in 0..n {
-            std::hint::black_box(folded.quantize_scaled(std::hint::black_box(&scaled)));
+        {
+            let _s = puppies_obs::span!("kernel.folded_quantize");
+            for _ in 0..KERNEL_ITERS {
+                std::hint::black_box(folded.quantize_scaled(std::hint::black_box(&scaled)));
+            }
         }
-        println!(
-            "folded quantize:    {:8.1} ns/block",
-            t.elapsed().as_secs_f64() * 1e9 / n as f64
-        );
     });
+
+    let obs = session.finish().expect("bench session still installed");
+    let snap = obs.metrics().snapshot();
+    for (name, h) in &snap.histograms {
+        if let Some(stage) = name.strip_prefix("kernel.") {
+            println!(
+                "{stage:<20} {:8.1} ns/block",
+                h.min as f64 / KERNEL_ITERS as f64
+            );
+        } else {
+            // Best-of over the recorded samples, like the old stopwatch.
+            println!(
+                "{name:<22} {:8.3} ms best  {:8.3} ms p50  ({} samples)",
+                h.min as f64 / 1e6,
+                h.p50 / 1e6,
+                h.count
+            );
+        }
+    }
+    if let Some(path) = std::env::args().nth(1) {
+        std::fs::write(&path, obs.chrome_trace()).expect("writing trace file");
+        eprintln!("trace written to {path}");
+    }
 }

@@ -142,6 +142,31 @@ fn fixture_image() -> RgbImage {
     generate_one(DatasetProfile::pascal().with_count(1), 0xBE7C, 0).image
 }
 
+/// Runs the same measurement suite with an observability subscriber
+/// installed: every span the pipeline emits feeds a histogram, giving the
+/// per-stage breakdown (`jpeg.fdct_quant`, `jpeg.entropy_encode`, ...) and
+/// a second set of op timings whose gap to the plain run *is* the
+/// instrumentation overhead.
+pub fn run_instrumented(
+    iters: usize,
+    threads: usize,
+    quality: u8,
+) -> Result<(BenchResults, std::sync::Arc<puppies_obs::Obs>), String> {
+    let session = puppies_obs::Obs::install();
+    let res = run(iters, threads, quality);
+    let obs = session
+        .finish()
+        .ok_or("another observability session replaced the bench subscriber")?;
+    Ok((res?, obs))
+}
+
+/// Instrumentation overhead in percent: how much slower the summed
+/// best-of op times are with a subscriber installed.
+pub fn overhead_pct(plain: &BenchResults, instrumented: &BenchResults) -> f64 {
+    let sum = |r: &BenchResults| r.ops.iter().map(|&(_, op)| op.ms).sum::<f64>();
+    (sum(instrumented) / sum(plain) - 1.0) * 100.0
+}
+
 fn write_op(json: &mut String, indent: &str, name: &str, r: OpResult) {
     let _ = write!(
         json,
@@ -150,9 +175,19 @@ fn write_op(json: &mut String, indent: &str, name: &str, r: OpResult) {
     );
 }
 
-/// Renders results (optionally with a pre-PR baseline section and the
-/// speedups against it) as the committed JSON document.
-pub fn to_json(res: &BenchResults, pre: Option<&[(String, OpResult)]>) -> String {
+/// Renders results (optionally with a pre-PR baseline section, the
+/// speedups against it, an instrumented stage-level breakdown, and the
+/// measured instrumentation overhead) as the committed JSON document.
+///
+/// Section order matters: `current` and `baseline_pre_pr` are emitted
+/// before `stages`, because [`parse_section`] scans forward from the
+/// section key for the op names and must not land in the stage names.
+pub fn to_json(
+    res: &BenchResults,
+    pre: Option<&[(String, OpResult)]>,
+    stages: Option<&puppies_obs::MetricsSnapshot>,
+    overhead_pct: Option<f64>,
+) -> String {
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(
@@ -197,6 +232,32 @@ pub fn to_json(res: &BenchResults, pre: Option<&[(String, OpResult)]>) -> String
             );
         }
         json.push('}');
+    }
+    if let Some(snap) = stages {
+        json.push_str(",\n  \"stages\": {\n");
+        let ms = |ns: f64| ns / 1e6;
+        for (i, (name, h)) in snap.histograms.iter().enumerate() {
+            let _ = write!(
+                json,
+                "    \"{}\": {{\"count\": {}, \"total_ms\": {:.3}, \"min_ms\": {:.3}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+                puppies_obs::escape_json(name),
+                h.count,
+                ms(h.sum as f64),
+                ms(h.min as f64),
+                ms(h.p50),
+                ms(h.p95),
+                ms(h.p99),
+            );
+            json.push_str(if i + 1 < snap.histograms.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        json.push_str("  }");
+    }
+    if let Some(pct) = overhead_pct {
+        let _ = write!(json, ",\n  \"obs_overhead_pct\": {pct:.2}");
     }
     json.push_str("\n}\n");
     json
@@ -298,7 +359,7 @@ mod tests {
     #[test]
     fn json_roundtrips_through_parser() {
         let res = fake_results();
-        let json = to_json(&res, None);
+        let json = to_json(&res, None, None, None);
         let parsed = parse_section(&json, "current").unwrap();
         assert_eq!(parsed.len(), 4);
         for ((name, got), (want_name, want)) in parsed.iter().zip(res.ops.iter()) {
@@ -325,11 +386,46 @@ mod tests {
                 )
             })
             .collect();
-        let json = to_json(&res, Some(&pre));
+        let json = to_json(&res, Some(&pre), None, None);
         assert!(json.contains("\"baseline_pre_pr\""));
         assert!(json.contains("\"encode_plus_decode\": 4.00"));
         let parsed = parse_section(&json, "baseline_pre_pr").unwrap();
         assert!((parsed[0].1.ms - res.ops[0].1.ms * 4.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn stage_breakdown_emitted_after_op_sections() {
+        let res = fake_results();
+        let pre: Vec<(String, OpResult)> =
+            res.ops.iter().map(|&(n, r)| (n.to_string(), r)).collect();
+        let snap = puppies_obs::MetricsSnapshot {
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![(
+                "jpeg.encode".into(),
+                puppies_obs::HistStats {
+                    count: 5,
+                    sum: 10_000_000,
+                    min: 1_500_000,
+                    max: 2_500_000,
+                    p50: 2_000_000.0,
+                    p95: 2_400_000.0,
+                    p99: 2_500_000.0,
+                },
+            )],
+        };
+        let json = to_json(&res, Some(&pre), Some(&snap), Some(1.25));
+        assert!(json.contains("\"stages\""));
+        assert!(json.contains("\"obs_overhead_pct\": 1.25"));
+        // The stage entry's name collides with the op name; the scanner
+        // must still pull op timings out of the op sections, which come
+        // first in the document.
+        let cur = parse_section(&json, "current").unwrap();
+        assert!((cur[0].1.ms - res.ops[0].1.ms).abs() < 1e-3);
+        let base = parse_section(&json, "baseline_pre_pr").unwrap();
+        assert!((base[0].1.ms - res.ops[0].1.ms).abs() < 1e-3);
+        assert!(json.contains("\"total_ms\": 10.000"));
+        assert!(json.contains("\"p50_ms\": 2.000"));
     }
 
     #[test]

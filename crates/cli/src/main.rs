@@ -12,10 +12,16 @@
 //! puppies grant --key <key-file> --image-id N --out <grant-file> [--roi i]...
 //! puppies recover <in.jpg> <out.ppm> --params <in.pup> (--key <key-file> | --grant <grant-file>)
 //! puppies inspect --params <in.pup>
+//! puppies stats <stats.json>
 //! ```
 //!
 //! Images are read/written as binary PPM (P6); the protected image is a
 //! baseline JPEG any viewer can open (showing the perturbed regions).
+//!
+//! `protect`, `protect-batch`, `recover`, `conformance`, and `bench` all
+//! accept `--trace <file>` (write a Chrome `trace_event` file loadable in
+//! Perfetto / `about:tracing`) and `--stats <file>` (write a JSON metrics
+//! snapshot that `puppies stats` pretty-prints).
 
 use puppies_core::{
     protect, KeyGrant, OwnerKey, PerturbProfile, PrivacyLevel, ProtectOptions, PublicParams, Scheme,
@@ -36,6 +42,7 @@ fn main() {
         Some("grant") => cmd_grant(&args[1..]),
         Some("recover") => cmd_recover(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         Some("conformance") => cmd_conformance(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("help") | None => {
@@ -53,7 +60,7 @@ fn main() {
 fn usage() {
     eprintln!(
         "puppies — privacy-preserving partial image sharing\n\
-         commands: keygen, detect, protect, protect-batch, grant, recover, inspect, conformance, bench\n\
+         commands: keygen, detect, protect, protect-batch, grant, recover, inspect, stats, conformance, bench\n\
          (see the crate docs or README for full flag reference)"
     );
 }
@@ -104,6 +111,44 @@ fn positional(args: &[String], idx: usize) -> Result<&str, String> {
         .get(idx)
         .copied()
         .ok_or_else(|| format!("missing positional argument #{}", idx + 1))
+}
+
+/// An observability session requested on the command line: `--trace <file>`
+/// collects a Chrome `trace_event` timeline, `--stats <file>` a JSON
+/// metrics snapshot. Absent both flags this is `None` and the pipeline's
+/// instrumentation stays a no-op.
+struct ObsOutput {
+    session: puppies_obs::ObsSession,
+    trace: Option<String>,
+    stats: Option<String>,
+}
+
+fn obs_from_args(args: &[String]) -> Option<ObsOutput> {
+    let trace = flag_value(args, "--trace").map(str::to_string);
+    let stats = flag_value(args, "--stats").map(str::to_string);
+    (trace.is_some() || stats.is_some()).then(|| ObsOutput {
+        session: puppies_obs::Obs::install(),
+        trace,
+        stats,
+    })
+}
+
+impl ObsOutput {
+    /// Uninstalls the subscriber and writes the requested files.
+    fn finish(self) -> CliResult {
+        let Some(obs) = self.session.finish() else {
+            return Ok(());
+        };
+        if let Some(path) = &self.trace {
+            std::fs::write(path, obs.chrome_trace()).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("trace ({} span(s)) written to {path}", obs.span_count());
+        }
+        if let Some(path) = &self.stats {
+            std::fs::write(path, obs.stats_json()).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("stats written to {path} — view with `puppies stats {path}`");
+        }
+        Ok(())
+    }
 }
 
 fn load_key(path: &str) -> Result<OwnerKey, String> {
@@ -214,7 +259,11 @@ fn cmd_protect(args: &[String]) -> CliResult {
     let rois = gather_rois(args, &img)?;
     let opts = parse_protect_opts(args)?;
 
+    let obs = obs_from_args(args);
     let protected = protect(&img, &rois, &key, &opts).map_err(|e| e.to_string())?;
+    if let Some(o) = obs {
+        o.finish()?;
+    }
     std::fs::write(output, &protected.bytes).map_err(|e| format!("writing {output}: {e}"))?;
     std::fs::write(params_path, protected.params.to_bytes())
         .map_err(|e| format!("writing {params_path}: {e}"))?;
@@ -247,6 +296,7 @@ fn cmd_protect_batch(args: &[String]) -> CliResult {
     };
     std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {out_dir}: {e}"))?;
 
+    let obs = obs_from_args(args);
     let results = puppies_core::parallel::with_pool(&pool, || {
         pool.map_indexed(inputs.len(), |i| -> Result<String, String> {
             let input = inputs[i];
@@ -271,6 +321,9 @@ fn cmd_protect_batch(args: &[String]) -> CliResult {
             ))
         })
     });
+    if let Some(o) = obs {
+        o.finish()?;
+    }
     let mut failed = 0usize;
     for r in results {
         match r {
@@ -338,10 +391,24 @@ fn cmd_recover(args: &[String]) -> CliResult {
     let params_bytes =
         std::fs::read(params_path).map_err(|e| format!("reading {params_path}: {e}"))?;
     let params = PublicParams::from_bytes(&params_bytes).map_err(|e| e.to_string())?;
+    let obs = obs_from_args(args);
     let recovered = puppies_core::shadow::recover_transformed(&bytes, &params, &grant)
         .map_err(|e| e.to_string())?;
+    if let Some(o) = obs {
+        o.finish()?;
+    }
     img_io::save_ppm(&recovered, output).map_err(|e| format!("writing {output}: {e}"))?;
     println!("recovered image written to {output}");
+    Ok(())
+}
+
+/// `puppies stats <stats.json>` — pretty-prints a metrics snapshot written
+/// by `--stats`, with per-stage p50/p95/p99 latencies in ms.
+fn cmd_stats(args: &[String]) -> CliResult {
+    let path = positional(args, 0)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let snap = puppies_obs::parse_stats_json(&text)?;
+    print!("{}", puppies_obs::render_stats(&snap));
     Ok(())
 }
 
@@ -371,12 +438,18 @@ fn cmd_inspect(args: &[String]) -> CliResult {
 }
 
 /// `puppies bench [--out f.json] [--check committed.json] [--pre old.json]
-/// [--threshold 0.4] [--iters N] [--threads N] [--quality Q]`
+/// [--pre-section current] [--threshold 0.4] [--iters N] [--threads N]
+/// [--quality Q] [--obs-overhead-gate PCT] [--trace f.json] [--stats f.json]`
 ///
 /// Measures codec + protect/recover throughput on the deterministic
-/// fixture. `--check` is CI's perf gate against the committed
-/// `results/BENCH_codec.json`; `--pre` embeds an earlier run's `current`
-/// section as the pre-PR baseline with computed speedups.
+/// fixture, then repeats the run with an observability subscriber
+/// installed to collect the per-stage breakdown (written to the JSON
+/// `stages` section) and the instrumentation overhead.
+/// `--check` is CI's perf gate against the committed
+/// `results/BENCH_codec.json`; `--pre` embeds an earlier run's
+/// `--pre-section` (default `current`) as the pre-PR baseline with
+/// computed speedups; `--obs-overhead-gate` fails the run if the summed
+/// instrumented op time exceeds the plain run by more than PCT percent.
 fn cmd_bench(args: &[String]) -> CliResult {
     let parse_num = |name: &str, default: f64| -> Result<f64, String> {
         match flag_value(args, name) {
@@ -397,14 +470,33 @@ fn cmd_bench(args: &[String]) -> CliResult {
         );
     }
 
+    // Second, instrumented pass: stage-level span histograms plus a
+    // like-for-like set of op timings for the overhead measurement.
+    let (instr_res, obs) = bench::run_instrumented(iters.max(1), threads.max(1), quality)?;
+    let snap = obs.metrics().snapshot();
+    let overhead = bench::overhead_pct(&res, &instr_res);
+    println!(
+        "instrumented rerun: {} span(s), overhead {overhead:+.2}%",
+        obs.span_count()
+    );
+    if let Some(path) = flag_value(args, "--trace") {
+        std::fs::write(path, obs.chrome_trace()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("trace written to {path}");
+    }
+    if let Some(path) = flag_value(args, "--stats") {
+        std::fs::write(path, obs.stats_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("stats written to {path} — view with `puppies stats {path}`");
+    }
+
     let pre = match flag_value(args, "--pre") {
         Some(path) => {
+            let section = flag_value(args, "--pre-section").unwrap_or("current");
             let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-            Some(bench::parse_section(&text, "current")?)
+            Some(bench::parse_section(&text, section)?)
         }
         None => None,
     };
-    let json = bench::to_json(&res, pre.as_deref());
+    let json = bench::to_json(&res, pre.as_deref(), Some(&snap), Some(overhead));
     if let Some(out) = flag_value(args, "--out") {
         if let Some(dir) = std::path::Path::new(out).parent() {
             if !dir.as_os_str().is_empty() {
@@ -429,6 +521,17 @@ fn cmd_bench(args: &[String]) -> CliResult {
             ));
         }
         println!("within {:.0}% of {path}", threshold * 100.0);
+    }
+    if let Some(gate) = flag_value(args, "--obs-overhead-gate") {
+        let gate: f64 = gate
+            .parse()
+            .map_err(|e| format!("bad --obs-overhead-gate {gate:?}: {e}"))?;
+        if overhead > gate {
+            return Err(format!(
+                "instrumentation overhead {overhead:.2}% exceeds the {gate:.2}% gate"
+            ));
+        }
+        println!("instrumentation overhead {overhead:.2}% within the {gate:.2}% gate");
     }
     Ok(())
 }
@@ -458,7 +561,11 @@ fn cmd_conformance(args: &[String]) -> CliResult {
     for suite in flag_values(args, "--skip") {
         cfg.skip.push(suite.to_string());
     }
+    let obs = obs_from_args(args);
     let report: Report = puppies_conformance::run_all(&cfg).map_err(|e| e.to_string())?;
+    if let Some(o) = obs {
+        o.finish()?;
+    }
     let text = report.render();
     print!("{text}");
     if let Some(dir) = flag_value(args, "--report-dir") {

@@ -233,6 +233,104 @@ fn protect_batch_is_deterministic_across_thread_counts() {
     }
 }
 
+/// `--trace` and `--stats` produce loadable artifacts without changing a
+/// byte of the protected output, and `puppies stats` renders the snapshot.
+#[test]
+fn trace_and_stats_flags_are_observable_and_inert() {
+    let dir = tmp_dir("obs");
+    let input = dir.join("in.ppm");
+    write_test_ppm(&input);
+    let key = dir.join("owner.key");
+    std::fs::write(&key, [3u8; 32]).unwrap();
+    let trace = dir.join("trace.json");
+    let stats = dir.join("stats.json");
+
+    let protect = |jpg: &PathBuf, extra: &[&str]| {
+        let mut cmd = bin();
+        cmd.args([
+            "protect",
+            input.to_str().unwrap(),
+            jpg.to_str().unwrap(),
+            "--key",
+            key.to_str().unwrap(),
+            "--params",
+            dir.join("out.pup").to_str().unwrap(),
+            "--roi",
+            "16,16,32,32",
+        ])
+        .args(extra)
+        // A multi-thread pool regardless of the host's core count, so the
+        // trace exercises cross-thread spans.
+        .env("PUPPIES_THREADS", "4");
+        let out = cmd.output().unwrap();
+        assert!(
+            out.status.success(),
+            "protect failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+
+    let plain_jpg = dir.join("plain.jpg");
+    protect(&plain_jpg, &[]);
+    let obs_jpg = dir.join("observed.jpg");
+    protect(
+        &obs_jpg,
+        &[
+            "--trace",
+            trace.to_str().unwrap(),
+            "--stats",
+            stats.to_str().unwrap(),
+        ],
+    );
+
+    // Determinism: the instrumented run emits the same JPEG bytes.
+    assert_eq!(
+        std::fs::read(&plain_jpg).unwrap(),
+        std::fs::read(&obs_jpg).unwrap(),
+        "--trace/--stats changed the protected bytes"
+    );
+
+    // The trace is a Chrome trace_event document with nested pipeline
+    // spans and thread metadata.
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    assert!(trace_text.starts_with("{\"traceEvents\":["));
+    for needle in [
+        "\"ph\":\"X\"",
+        "\"ph\":\"M\"",
+        "core.protect",
+        "jpeg.encode",
+        "pool.job",
+    ] {
+        assert!(trace_text.contains(needle), "trace missing {needle}");
+    }
+
+    // The stats snapshot renders to a quantile table via `puppies stats`.
+    let out = bin()
+        .args(["stats", stats.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stats failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let table = String::from_utf8_lossy(&out.stdout).to_string();
+    for needle in [
+        "p50",
+        "p95",
+        "p99",
+        "core.protect",
+        "jpeg.encode",
+        "pool.job",
+    ] {
+        assert!(
+            table.contains(needle),
+            "stats table missing {needle}:\n{table}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The conformance subcommand runs the harness end-to-end (quick fuzz
 /// scale) against the committed golden vectors, and fails loudly when a
 /// golden vector is tampered with.

@@ -75,8 +75,10 @@ impl HarnessConfig {
 /// Only filesystem errors from `--bless` are fatal; oracle failures are
 /// reported, not returned.
 pub fn run_all(cfg: &HarnessConfig) -> std::io::Result<Report> {
+    let _span = puppies_obs::span("conformance.run_all", "conformance");
     let mut report = Report::new();
     if !cfg.skipped("golden") {
+        let _suite = puppies_obs::span("conformance.golden", "conformance");
         if cfg.bless {
             report.merge(golden::bless(&cfg.golden_dir)?);
         } else {
@@ -84,12 +86,15 @@ pub fn run_all(cfg: &HarnessConfig) -> std::io::Result<Report> {
         }
     }
     if !cfg.skipped("oracle") {
+        let _suite = puppies_obs::span("conformance.oracle", "conformance");
         report.merge(oracle::run_matrix(&oracle::Matrix::default()));
     }
     if !cfg.skipped("differential") {
+        let _suite = puppies_obs::span("conformance.differential", "conformance");
         report.merge(differential::run_differential());
     }
     if !cfg.skipped("fuzz") {
+        let _suite = puppies_obs::span("conformance.fuzz", "conformance");
         let base = fuzz::FuzzConfig::default();
         let fcfg = fuzz::FuzzConfig {
             seed: cfg.fuzz_seed,

@@ -445,6 +445,7 @@ pub fn perturb_rois(
     for (&rect, ks) in rects.iter().zip(keys) {
         validate_roi(coeff, rect, ks.len())?;
     }
+    let _span = puppies_obs::span("core.perturb_rois", "core");
     let ncomp = coeff.components().len();
     let q = profile.range_matrix();
     let mut per_comp: Vec<Vec<PerturbRecord>> = (0..ncomp)
@@ -460,6 +461,7 @@ pub fn perturb_rois(
             .map(|(ci, (comp, recs))| {
                 Box::new(move || {
                     for ((&rect, ks), rec) in rects.iter().zip(keys).zip(recs.iter_mut()) {
+                        let _roi = puppies_obs::span("core.perturb_roi", "core");
                         perturb_component(comp, ci as u8, rect, &ks[ci], profile, q, rec);
                     }
                 }) as Box<dyn FnOnce() + Send + '_>
@@ -512,6 +514,7 @@ pub fn recover_rois(
     for (&(rect, _, _), ks) in rois.iter().zip(keys) {
         validate_roi(coeff, rect, ks.len())?;
     }
+    let _span = puppies_obs::span("core.recover_rois", "core");
     let qs: Vec<RangeMatrix> = rois.iter().map(|(_, p, _)| p.range_matrix()).collect();
     {
         let qs = &qs;
@@ -522,6 +525,7 @@ pub fn recover_rois(
             .map(|(ci, comp)| {
                 Box::new(move || {
                     for ((&(rect, profile, zind), ks), q) in rois.iter().zip(keys).zip(qs) {
+                        let _roi = puppies_obs::span("core.recover_roi", "core");
                         recover_component(comp, ci as u8, rect, &ks[ci], profile, q, zind);
                     }
                 }) as Box<dyn FnOnce() + Send + '_>

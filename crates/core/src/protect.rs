@@ -106,6 +106,7 @@ pub fn protect(
     key: &OwnerKey,
     opts: &ProtectOptions,
 ) -> Result<ProtectedImage> {
+    let _span = puppies_obs::span("core.protect", "core");
     let mut coeff = CoeffImage::from_rgb(img, opts.quality);
     let params = protect_coeff(&mut coeff, rois, key, opts)?;
     let mut enc_opts = EncodeOptions::default();
@@ -126,6 +127,7 @@ pub fn protect_gray(
     key: &OwnerKey,
     opts: &ProtectOptions,
 ) -> Result<ProtectedImage> {
+    let _span = puppies_obs::span("core.protect", "core");
     let mut coeff = CoeffImage::from_gray(img, opts.quality);
     let params = protect_coeff(&mut coeff, rois, key, opts)?;
     let mut enc_opts = EncodeOptions::default();
@@ -190,6 +192,7 @@ pub fn protect_coeff(
 /// coverage. If the parameters record a PSP transformation, use
 /// [`crate::shadow::recover_transformed`] instead.
 pub fn recover(protected: &ProtectedImage, grant: &KeyGrant) -> Result<CoeffImage> {
+    let _span = puppies_obs::span("core.recover", "core");
     if protected.params.transformation.is_some() {
         return Err(PuppiesError::BadParams(
             "image was transformed at the PSP; use shadow::recover_transformed".into(),

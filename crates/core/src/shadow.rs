@@ -63,6 +63,7 @@ pub fn recover_transformed(
     params: &PublicParams,
     grant: &KeyGrant,
 ) -> Result<RgbImage> {
+    let _span = puppies_obs::span("core.shadow_recover", "core");
     let coeff = CoeffImage::decode(transformed_bytes)?;
     let t = match &params.transformation {
         None => {

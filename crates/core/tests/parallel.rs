@@ -19,6 +19,53 @@ fn test_image(w: u32, h: u32, tone: u8) -> RgbImage {
     })
 }
 
+/// Observability must be invisible in the output: protecting with a live
+/// subscriber — at any worker count — yields the same bytes as the plain
+/// uninstrumented run, and recovery agrees too. This is the determinism
+/// guard for the span/metric layer threaded through the pipeline.
+#[test]
+fn instrumentation_does_not_change_output_bytes() {
+    let img = test_image(96, 80, 0x3C);
+    let key = OwnerKey::from_seed([9u8; 32]);
+    let opts = ProtectOptions::new(Scheme::Zero, PrivacyLevel::Medium);
+    let rois = [Rect::new(8, 8, 16, 16), Rect::new(72, 56, 16, 16)];
+
+    // Plain run, no subscriber anywhere.
+    let plain = {
+        let pool = WorkerPool::new(1);
+        with_pool(&pool, || protect(&img, &rois, &key, &opts)).unwrap()
+    };
+    let rec_plain = recover(&plain, &key.grant_all()).unwrap();
+
+    // Instrumented runs: subscriber installed, spans and metrics live.
+    let session = puppies_obs::Obs::install();
+    for workers in [1usize, 2, 4] {
+        let pool = WorkerPool::new(workers);
+        let instrumented = with_pool(&pool, || protect(&img, &rois, &key, &opts)).unwrap();
+        assert_eq!(
+            plain.bytes, instrumented.bytes,
+            "JPEG bytes diverged at {workers} workers with a subscriber installed"
+        );
+        assert_eq!(
+            plain.params.to_bytes(),
+            instrumented.params.to_bytes(),
+            "public parameters diverged at {workers} workers with a subscriber installed"
+        );
+        let rec = with_pool(&pool, || recover(&instrumented, &key.grant_all())).unwrap();
+        assert_eq!(rec_plain, rec);
+    }
+    if let Some(obs) = session.finish() {
+        // The subscriber really observed the pipeline while producing
+        // byte-identical output.
+        assert!(obs.span_count() > 0, "no spans recorded during protect");
+        let snap = obs.metrics().snapshot();
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|(name, h)| name == "core.protect" && h.count >= 3));
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 

@@ -82,6 +82,7 @@ fn push_segment(out: &mut Vec<u8>, marker: u8, payload: &[u8]) {
 /// Returns [`JpegError::CoefficientRange`] if a coefficient falls outside
 /// `[-1024, 1023]`.
 pub fn encode(img: &CoeffImage, opts: &EncodeOptions) -> Result<Vec<u8>> {
+    let _span = puppies_obs::span("jpeg.encode", "jpeg");
     let comps = img.components();
     let ncomp = comps.len();
 
@@ -92,7 +93,10 @@ pub fn encode(img: &CoeffImage, opts: &EncodeOptions) -> Result<Vec<u8>> {
             vec![HuffTable::std_dc_luma(), HuffTable::std_dc_chroma()],
             vec![HuffTable::std_ac_luma(), HuffTable::std_ac_chroma()],
         ),
-        HuffmanMode::Optimized => build_optimized_tables(img),
+        HuffmanMode::Optimized => {
+            let _span = puppies_obs::span("jpeg.huffman_build", "jpeg");
+            build_optimized_tables(img)
+        }
     };
 
     let mut out = Vec::new();
@@ -151,6 +155,7 @@ pub fn encode(img: &CoeffImage, opts: &EncodeOptions) -> Result<Vec<u8>> {
     // writers and spliced in order, which reproduces the serial bit
     // stream exactly (see `encode_band` for why the DC prediction chain
     // survives the split).
+    let _entropy_span = puppies_obs::span("jpeg.entropy_encode", "jpeg");
     let enc_dc: Vec<HuffEncoder> = dc_tables.iter().map(HuffEncoder::new).collect();
     let enc_ac: Vec<HuffEncoder> = ac_tables.iter().map(HuffEncoder::new).collect();
     let bands = crate::coeff::band_rows(comps[0].blocks_h());
@@ -282,6 +287,7 @@ struct SofComponent {
 /// [`JpegError::Unsupported`] for features outside the baseline 4:4:4 /
 /// grayscale subset.
 pub fn decode(bytes: &[u8]) -> Result<CoeffImage> {
+    let _span = puppies_obs::span("jpeg.decode", "jpeg");
     let mut pos = 0usize;
     let need = |pos: usize, n: usize| -> Result<()> {
         if pos + n > bytes.len() {
@@ -536,6 +542,7 @@ fn decode_scan(
             .ok_or_else(|| JpegError::Malformed("missing AC table".into()))?;
         tables.push((dct, act));
     }
+    let _entropy_span = puppies_obs::span("jpeg.entropy_decode", "jpeg");
     let mut blocks: Vec<Vec<[i32; 64]>> = vec![Vec::with_capacity(nblocks); n];
     let mut pred = vec![0i32; n];
     let mut r = BitReader::new(entropy);

@@ -68,6 +68,7 @@ impl Component {
     /// Builds a component by forward-transforming a sample plane
     /// (values nominally in `[0, 255]`), padding edges by replication.
     pub fn from_plane(id: u8, plane: &Plane, quant: QuantTable) -> Component {
+        let _span = puppies_obs::span("jpeg.fdct_quant", "jpeg");
         let width = plane.width();
         let height = plane.height();
         let blocks_w = width.div_ceil(BLOCK_SIZE);
@@ -147,6 +148,7 @@ impl Component {
     /// back to the component's true size. Samples are *not* clamped so the
     /// caller can do shadow-ROI arithmetic before rounding.
     pub fn to_plane(&self) -> Plane {
+        let _span = puppies_obs::span("jpeg.idct", "jpeg");
         let full_w = self.blocks_w * BLOCK_SIZE;
         // Inverse-transform block-row bands in parallel. A band owns the
         // 8 sample rows of each of its block rows — disjoint, contiguous
@@ -371,7 +373,11 @@ pub struct CoeffImage {
 impl CoeffImage {
     /// Forward-transforms an RGB image at the given JPEG quality (1..=100).
     pub fn from_rgb(img: &RgbImage, quality: u8) -> CoeffImage {
-        let planes = img.to_ycbcr_planes();
+        let _span = puppies_obs::span("jpeg.fwd_transform", "jpeg");
+        let planes = {
+            let _cc = puppies_obs::span("jpeg.color_to_ycbcr", "jpeg");
+            img.to_ycbcr_planes()
+        };
         let lq = QuantTable::luma(quality);
         let cq = QuantTable::chroma(quality);
         let quants = [lq, cq.clone(), cq];
@@ -447,11 +453,13 @@ impl CoeffImage {
     /// Inverse-transforms back to RGB (grayscale replicates the single
     /// component).
     pub fn to_rgb(&self) -> RgbImage {
+        let _span = puppies_obs::span("jpeg.inv_transform", "jpeg");
         if self.is_gray() {
             return self.to_gray_image().to_rgb();
         }
         let planes = puppies_parallel::current().map_slice(&self.components, Component::to_plane);
         let planes: [_; 3] = planes.try_into().expect("color image has 3 components");
+        let _cc = puppies_obs::span("jpeg.color_from_ycbcr", "jpeg");
         RgbImage::from_ycbcr_planes(&planes)
     }
 

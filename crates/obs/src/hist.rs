@@ -1,0 +1,266 @@
+//! Log-linear histograms with atomic buckets.
+//!
+//! The bucket layout is the classic HdrHistogram-style log-linear grid:
+//! values `0..16` get one bucket each (exact), and every power-of-two
+//! range `[2^e, 2^(e+1))` above that is split into 16 linear sub-buckets,
+//! up to `2^MAX_EXP` where the histogram saturates into one final
+//! overflow bucket. Relative quantile error is therefore bounded by
+//! 1/16 ≈ 6% everywhere below the saturation point, which is plenty for
+//! p50/p95/p99 latency reporting, while the whole structure stays a flat
+//! array of atomics — recording is one index computation plus four
+//! relaxed atomic ops, with no locks and no allocation.
+//!
+//! Values are unitless `u64`s; the pipeline records nanoseconds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per power-of-two range (and the size of the exact range).
+const LINEAR: u64 = 16;
+/// log2(LINEAR): exponents below this are covered by the exact buckets.
+const LINEAR_BITS: u32 = 4;
+/// First exponent whose range saturates into the overflow bucket.
+/// `2^40` ns ≈ 18 minutes, far beyond any span this pipeline produces.
+const MAX_EXP: u32 = 40;
+/// Total bucket count: 16 exact + 16 per decade + 1 overflow.
+pub(crate) const BUCKETS: usize =
+    LINEAR as usize + (MAX_EXP - LINEAR_BITS) as usize * LINEAR as usize + 1;
+
+/// Maps a value to its bucket index.
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR {
+        return v as usize;
+    }
+    let e = 63 - v.leading_zeros();
+    if e >= MAX_EXP {
+        return BUCKETS - 1;
+    }
+    let sub = (v >> (e - LINEAR_BITS)) & (LINEAR - 1);
+    LINEAR as usize + (e - LINEAR_BITS) as usize * LINEAR as usize + sub as usize
+}
+
+/// Inclusive lower bound of bucket `i` (the smallest value that lands in it).
+fn bucket_lo(i: usize) -> u64 {
+    if i < LINEAR as usize {
+        return i as u64;
+    }
+    if i == BUCKETS - 1 {
+        return 1u64 << MAX_EXP;
+    }
+    let off = i - LINEAR as usize;
+    let e = LINEAR_BITS + (off / LINEAR as usize) as u32;
+    let sub = (off % LINEAR as usize) as u64;
+    (1u64 << e) + sub * (1u64 << (e - LINEAR_BITS))
+}
+
+/// Exclusive upper bound of bucket `i`.
+fn bucket_hi(i: usize) -> u64 {
+    if i < LINEAR as usize {
+        return i as u64 + 1;
+    }
+    if i == BUCKETS - 1 {
+        return u64::MAX;
+    }
+    let off = i - LINEAR as usize;
+    let e = LINEAR_BITS + (off / LINEAR as usize) as u32;
+    bucket_lo(i) + (1u64 << (e - LINEAR_BITS))
+}
+
+/// A concurrent log-linear histogram. All operations are lock-free;
+/// `record` is safe from any number of threads.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest observation, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Folds another histogram (e.g. a per-thread shard) into this one.
+    /// Quantiles of the merged histogram are exactly those of a histogram
+    /// that recorded both value streams, since buckets are additive.
+    pub fn merge(&self, other: &Histogram) {
+        for (dst, src) in self.buckets.iter().zip(&other.buckets) {
+            dst.fetch_add(src.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// inside the target bucket, clamped to the observed min/max so exact
+    /// extremes are never overstated. Returns 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * count as f64).max(1.0);
+        let mut cum = 0u64;
+        for i in 0..BUCKETS {
+            let c = self.buckets[i].load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            if (cum + c) as f64 >= rank {
+                let lo = bucket_lo(i) as f64;
+                let hi = bucket_hi(i).min(self.max().max(1)) as f64;
+                let frac = (rank - cum as f64) / c as f64;
+                let est = lo + (hi.max(lo) - lo) * frac;
+                return est.clamp(self.min() as f64, self.max() as f64);
+            }
+            cum += c;
+        }
+        self.max() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_buckets_below_sixteen() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize, "value {v}");
+            assert_eq!(bucket_lo(v as usize), v);
+            assert_eq!(bucket_hi(v as usize), v + 1);
+        }
+    }
+
+    #[test]
+    fn boundary_values_land_in_their_own_range() {
+        // Every power of two starts a fresh sub-bucket row, and the value
+        // just below it belongs to the previous row's last sub-bucket.
+        for e in LINEAR_BITS..MAX_EXP {
+            let p = 1u64 << e;
+            let at = bucket_index(p);
+            let below = bucket_index(p - 1);
+            assert_eq!(below + 1, at, "2^{e} must open a new bucket");
+            assert_eq!(bucket_lo(at), p, "2^{e} is its bucket's lower bound");
+            assert!(bucket_hi(below) == p, "previous bucket ends at 2^{e}");
+        }
+        // Within a row, sub-bucket width is 2^(e-4).
+        let i = bucket_index(1024);
+        assert_eq!(bucket_hi(i) - bucket_lo(i), 64);
+    }
+
+    #[test]
+    fn saturation_at_max_bucket() {
+        let h = Histogram::new();
+        for v in [1u64 << MAX_EXP, (1u64 << MAX_EXP) + 12345, u64::MAX] {
+            assert_eq!(bucket_index(v), BUCKETS - 1, "value {v}");
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
+        // The quantile of a fully saturated histogram reports the overflow
+        // bucket's lower bound (clamped into min..max), not garbage.
+        assert!(h.quantile(0.5) >= (1u64 << MAX_EXP) as f64);
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_error() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, want) in [(0.5, 5000.0), (0.95, 9500.0), (0.99, 9900.0)] {
+            let got = h.quantile(q);
+            let err = (got - want).abs() / want;
+            assert!(err < 0.08, "q{q}: got {got}, want ~{want} (err {err:.3})");
+        }
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10_000);
+        assert_eq!(h.count(), 10_000);
+    }
+
+    #[test]
+    fn merge_of_two_shards_matches_combined_stream() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let combined = Histogram::new();
+        for v in 0..5_000u64 {
+            a.record(v * 3 + 1);
+            combined.record(v * 3 + 1);
+        }
+        for v in 0..5_000u64 {
+            b.record(v * 7 + 2);
+            combined.record(v * 7 + 2);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), combined.count());
+        assert_eq!(a.sum(), combined.sum());
+        assert_eq!(a.min(), combined.min());
+        assert_eq!(a.max(), combined.max());
+        for q in [0.5, 0.9, 0.95, 0.99] {
+            assert_eq!(a.quantile(q), combined.quantile(q), "q{q}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.99), 0.0);
+    }
+}

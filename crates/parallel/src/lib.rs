@@ -35,6 +35,7 @@
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 use crossbeam::channel::{self, Receiver, Sender};
 
@@ -95,9 +96,19 @@ impl WorkerPool {
                 let rx = receiver.clone();
                 std::thread::Builder::new()
                     .name(format!("puppies-worker-{i}"))
-                    .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            job();
+                    .spawn(move || loop {
+                        // Per-worker busy/idle accounting. Behind the
+                        // `enabled` branch the loop is exactly the old
+                        // `while let Ok(job) = rx.recv() { job() }`.
+                        let idle_from = puppies_obs::enabled().then(Instant::now);
+                        let Ok(job) = rx.recv() else { break };
+                        if let Some(t) = idle_from {
+                            puppies_obs::counter_add("pool.idle_ns", t.elapsed().as_nanos() as u64);
+                        }
+                        let busy_from = puppies_obs::enabled().then(Instant::now);
+                        job();
+                        if let Some(t) = busy_from {
+                            puppies_obs::counter_add("pool.busy_ns", t.elapsed().as_nanos() as u64);
                         }
                     })
                     .expect("spawn worker thread")
@@ -146,7 +157,27 @@ impl WorkerPool {
             let pending = &pending;
             for index in 0..count {
                 let tx = result_tx.clone();
+                // Submission-side observability: capture the enqueue time
+                // and the submitting span so the job keeps its lineage on
+                // whichever thread runs it. `submitted` is `None` with no
+                // subscriber, and everything below short-circuits.
+                let submitted = puppies_obs::enabled().then(Instant::now);
+                let parent = if submitted.is_some() {
+                    puppies_obs::gauge_add("pool.queue_depth", 1);
+                    puppies_obs::counter_add("pool.jobs", 1);
+                    puppies_obs::current_span_id()
+                } else {
+                    0
+                };
                 let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let _span = match submitted {
+                        Some(t) => {
+                            puppies_obs::gauge_add("pool.queue_depth", -1);
+                            puppies_obs::record("pool.job_wait", t.elapsed().as_nanos() as u64);
+                            Some(puppies_obs::span_with_parent("pool.job", "pool", parent))
+                        }
+                        None => None,
+                    };
                     let outcome = catch_unwind(AssertUnwindSafe(|| f(index))).map_err(Panic);
                     pending.fetch_sub(1, Ordering::Release);
                     // The receiver lives until `map_indexed` returns, and
@@ -356,6 +387,35 @@ mod tests {
         let inner = with_pool(&serial, || current().threads());
         assert_eq!(inner, 1);
         assert_eq!(current().threads(), outer);
+    }
+
+    #[test]
+    fn pool_metrics_recorded_when_subscribed() {
+        let session = puppies_obs::Obs::install();
+        let pool = WorkerPool::new(2);
+        let out = pool.map_indexed(16, |i| i * 2);
+        assert_eq!(out, (0..16).map(|i| i * 2).collect::<Vec<_>>());
+        let obs = session.finish().unwrap();
+        let snap = obs.metrics().snapshot();
+        let jobs = snap
+            .counters
+            .iter()
+            .find(|(n, _)| n == "pool.jobs")
+            .map_or(0, |&(_, v)| v);
+        assert!(jobs >= 16, "submitted jobs counted: {jobs}");
+        let (_, lat) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "pool.job")
+            .expect("job latency histogram");
+        assert!(lat.count >= 16);
+        // Queue drained: depth gauge returned to zero.
+        let depth = snap
+            .gauges
+            .iter()
+            .find(|(n, _)| n == "pool.queue_depth")
+            .map_or(0, |&(_, v)| v);
+        assert_eq!(depth, 0);
     }
 
     #[test]

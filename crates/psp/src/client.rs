@@ -57,7 +57,7 @@ impl Sender {
         self.next_image_id += 1;
         let opts = opts.clone().with_image_id(image_id);
         let protected = protect(img, rois, &self.key, &opts)?;
-        let photo = server.upload(protected.bytes, protected.params.to_bytes());
+        let photo = server.upload(protected.bytes, protected.params.to_bytes())?;
         Ok((photo, image_id))
     }
 

@@ -39,6 +39,9 @@ pub enum PspError {
     Core(puppies_core::PuppiesError),
     /// Channel decryption failed (wrong key or corrupted payload).
     Channel(String),
+    /// The server's photo-id space is exhausted (u64 wrapped); no further
+    /// uploads can be accepted without risking silent id reuse.
+    IdsExhausted,
 }
 
 impl fmt::Display for PspError {
@@ -48,6 +51,7 @@ impl fmt::Display for PspError {
             PspError::Transform(e) => write!(f, "transform error: {e}"),
             PspError::Core(e) => write!(f, "core error: {e}"),
             PspError::Channel(m) => write!(f, "channel error: {m}"),
+            PspError::IdsExhausted => write!(f, "photo id space exhausted"),
         }
     }
 }

@@ -8,8 +8,9 @@ use parking_lot::RwLock;
 use puppies_core::PublicParams;
 use puppies_jpeg::{CoeffImage, EncodeOptions};
 use puppies_transform::Transformation;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Identifies a stored photo.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -23,12 +24,38 @@ struct StoredPhoto {
     params: Vec<u8>,
 }
 
+/// One entry of the server's bounded per-request log: which API door was
+/// hit, for which photo, how many payload bytes moved, how long it took,
+/// and whether it succeeded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestEntry {
+    /// API name: `"upload"`, `"download"`, `"download_params"`, `"transform"`.
+    pub op: &'static str,
+    /// Photo id the request touched.
+    pub id: u64,
+    /// Payload bytes moved (image + params for uploads, response size for
+    /// downloads, re-encoded size for transforms; 0 on failure).
+    pub bytes: u64,
+    /// Wall-clock service time in nanoseconds.
+    pub dur_ns: u64,
+    /// Whether the request succeeded.
+    pub ok: bool,
+}
+
+/// How many request-log entries the server retains (older ones are evicted
+/// first — the log is a bounded ring, never a leak).
+pub const REQUEST_LOG_CAPACITY: usize = 256;
+
 /// The PSP server. Thread-safe: uploads, downloads and transformations can
 /// run concurrently (the experiment sweeps exploit this).
 #[derive(Debug, Default)]
 pub struct PspServer {
     photos: RwLock<HashMap<PhotoId, StoredPhoto>>,
     next_id: AtomicU64,
+    /// Total stored bytes (image + params across all photos), maintained
+    /// incrementally so reading it never walks the map.
+    footprint: AtomicU64,
+    requests: RwLock<VecDeque<RequestEntry>>,
 }
 
 impl PspServer {
@@ -37,13 +64,67 @@ impl PspServer {
         Self::default()
     }
 
+    fn log_request(&self, op: &'static str, id: u64, bytes: u64, start: Instant, ok: bool) {
+        let entry = RequestEntry {
+            op,
+            id,
+            bytes,
+            dur_ns: start.elapsed().as_nanos() as u64,
+            ok,
+        };
+        let mut log = self.requests.write();
+        if log.len() == REQUEST_LOG_CAPACITY {
+            log.pop_front();
+        }
+        log.push_back(entry);
+    }
+
+    /// Publishes the current aggregate storage footprint and photo count as
+    /// gauges, when a subscriber is installed.
+    fn publish_gauges(&self) {
+        if puppies_obs::enabled() {
+            puppies_obs::gauge_set(
+                "psp.storage_bytes",
+                self.footprint.load(Ordering::Relaxed) as i64,
+            );
+            puppies_obs::gauge_set("psp.photos", self.len() as i64);
+        }
+    }
+
     /// Uploads a photo with its public-parameter blob; returns its id.
-    pub fn upload(&self, bytes: Vec<u8>, params: Vec<u8>) -> PhotoId {
-        let id = PhotoId(self.next_id.fetch_add(1, Ordering::Relaxed));
+    ///
+    /// # Errors
+    /// Returns [`PspError::IdsExhausted`] once the 64-bit id space is spent
+    /// — the allocator saturates instead of wrapping, so a stored photo can
+    /// never be silently overwritten by a recycled id.
+    pub fn upload(&self, bytes: Vec<u8>, params: Vec<u8>) -> Result<PhotoId> {
+        let start = Instant::now();
+        let _span = puppies_obs::span("psp.upload", "psp");
+        let mut cur = self.next_id.load(Ordering::Relaxed);
+        let id = loop {
+            if cur == u64::MAX {
+                self.log_request("upload", u64::MAX, 0, start, false);
+                return Err(PspError::IdsExhausted);
+            }
+            match self.next_id.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break PhotoId(cur),
+                Err(seen) => cur = seen,
+            }
+        };
+        let size = (bytes.len() + params.len()) as u64;
         self.photos
             .write()
             .insert(id, StoredPhoto { bytes, params });
-        id
+        self.footprint.fetch_add(size, Ordering::Relaxed);
+        puppies_obs::counted!("psp.uploads");
+        self.publish_gauges();
+        self.log_request("upload", id.0, size, start, true);
+        Ok(id)
     }
 
     /// Downloads the image bytes (any user may call this — the threat
@@ -52,11 +133,18 @@ impl PspServer {
     /// # Errors
     /// Fails for unknown photos.
     pub fn download(&self, id: PhotoId) -> Result<Vec<u8>> {
-        self.photos
+        let start = Instant::now();
+        let _span = puppies_obs::span("psp.download", "psp");
+        let out = self
+            .photos
             .read()
             .get(&id)
             .map(|p| p.bytes.clone())
-            .ok_or(PspError::UnknownPhoto(id))
+            .ok_or(PspError::UnknownPhoto(id));
+        puppies_obs::counted!("psp.downloads");
+        let bytes = out.as_ref().map(|b| b.len() as u64).unwrap_or(0);
+        self.log_request("download", id.0, bytes, start, out.is_ok());
+        out
     }
 
     /// Downloads the public-parameter blob.
@@ -64,11 +152,16 @@ impl PspServer {
     /// # Errors
     /// Fails for unknown photos.
     pub fn download_params(&self, id: PhotoId) -> Result<Vec<u8>> {
-        self.photos
+        let start = Instant::now();
+        let out = self
+            .photos
             .read()
             .get(&id)
             .map(|p| p.params.clone())
-            .ok_or(PspError::UnknownPhoto(id))
+            .ok_or(PspError::UnknownPhoto(id));
+        let bytes = out.as_ref().map(|b| b.len() as u64).unwrap_or(0);
+        self.log_request("download_params", id.0, bytes, start, out.is_ok());
+        out
     }
 
     /// Applies a transformation to a stored photo *in place*, recording it
@@ -81,6 +174,16 @@ impl PspServer {
     /// Fails for unknown photos, undecodable streams, or invalid
     /// transformations.
     pub fn transform(&self, id: PhotoId, t: &Transformation) -> Result<()> {
+        let start = Instant::now();
+        let _span = puppies_obs::span("psp.transform", "psp");
+        let out = self.transform_inner(id, t);
+        puppies_obs::counted!("psp.transforms");
+        self.publish_gauges();
+        self.log_request("transform", id.0, 0, start, out.is_ok());
+        out
+    }
+
+    fn transform_inner(&self, id: PhotoId, t: &Transformation) -> Result<()> {
         let stored = self
             .photos
             .read()
@@ -109,13 +212,17 @@ impl PspServer {
             ));
         }
         params.transformation = Some(t.clone());
-        self.photos.write().insert(
-            id,
-            StoredPhoto {
-                bytes: new_bytes,
-                params: params.to_bytes(),
-            },
-        );
+        let old_size = (stored.bytes.len() + stored.params.len()) as u64;
+        let replacement = StoredPhoto {
+            bytes: new_bytes,
+            params: params.to_bytes(),
+        };
+        let new_size = (replacement.bytes.len() + replacement.params.len()) as u64;
+        self.photos.write().insert(id, replacement);
+        // Two wrapping steps net out to `footprint + new - old`; the total
+        // stays exact even though the two updates are not one atomic op.
+        self.footprint.fetch_add(new_size, Ordering::Relaxed);
+        self.footprint.fetch_sub(old_size, Ordering::Relaxed);
         Ok(())
     }
 
@@ -141,6 +248,19 @@ impl PspServer {
             .map(|p| p.bytes.len() + p.params.len())
             .ok_or(PspError::UnknownPhoto(id))
     }
+
+    /// Aggregate bytes stored across every photo (images + parameter
+    /// blobs). Maintained incrementally on upload/transform, so this is an
+    /// O(1) read — it backs the `psp.storage_bytes` gauge.
+    pub fn storage_footprint_total(&self) -> u64 {
+        self.footprint.load(Ordering::Relaxed)
+    }
+
+    /// The most recent requests served (oldest first), up to
+    /// [`REQUEST_LOG_CAPACITY`].
+    pub fn recent_requests(&self) -> Vec<RequestEntry> {
+        self.requests.read().iter().cloned().collect()
+    }
 }
 
 #[cfg(test)]
@@ -159,7 +279,9 @@ mod tests {
             &ProtectOptions::default(),
         )
         .unwrap();
-        let id = server.upload(protected.bytes, protected.params.to_bytes());
+        let id = server
+            .upload(protected.bytes, protected.params.to_bytes())
+            .unwrap();
         (id, key)
     }
 
@@ -226,7 +348,7 @@ mod tests {
         let server = PspServer::new();
         let pool = puppies_core::parallel::WorkerPool::new(4);
         let ids: std::collections::HashSet<_> = pool
-            .map_indexed(8, |_| server.upload(vec![1, 2, 3], vec![]))
+            .map_indexed(8, |_| server.upload(vec![1, 2, 3], vec![]).unwrap())
             .into_iter()
             .collect();
         assert_eq!(ids.len(), 8);
@@ -241,5 +363,60 @@ mod tests {
         let img = server.download(id).unwrap().len();
         let params = server.download_params(id).unwrap().len();
         assert_eq!(fp, img + params);
+    }
+
+    #[test]
+    fn footprint_total_tracks_uploads_and_transforms() {
+        let server = PspServer::new();
+        assert_eq!(server.storage_footprint_total(), 0);
+        let (id, _) = upload_test_photo(&server);
+        let id2 = server.upload(vec![0u8; 10], vec![0u8; 5]).unwrap();
+        let expect = server.storage_footprint(id).unwrap() as u64
+            + server.storage_footprint(id2).unwrap() as u64;
+        assert_eq!(server.storage_footprint_total(), expect);
+        server.transform(id, &Transformation::Rotate180).unwrap();
+        let expect = server.storage_footprint(id).unwrap() as u64
+            + server.storage_footprint(id2).unwrap() as u64;
+        assert_eq!(server.storage_footprint_total(), expect);
+    }
+
+    #[test]
+    fn upload_saturates_instead_of_wrapping_ids() {
+        let server = PspServer::new();
+        server.next_id.store(u64::MAX - 1, Ordering::Relaxed);
+        let id = server.upload(vec![1], vec![]).unwrap();
+        assert_eq!(id, PhotoId(u64::MAX - 1));
+        // The id space is now spent: further uploads must fail rather than
+        // recycle an id, and the failure must not clobber the stored photo.
+        assert!(matches!(
+            server.upload(vec![2], vec![]),
+            Err(PspError::IdsExhausted)
+        ));
+        assert!(matches!(
+            server.upload(vec![3], vec![]),
+            Err(PspError::IdsExhausted)
+        ));
+        assert_eq!(server.download(id).unwrap(), vec![1]);
+        assert_eq!(server.len(), 1);
+    }
+
+    #[test]
+    fn request_log_is_structured_and_bounded() {
+        let server = PspServer::new();
+        let id = server.upload(vec![7u8; 12], vec![0u8; 3]).unwrap();
+        server.download(id).unwrap();
+        let _ = server.download(PhotoId(999));
+        let log = server.recent_requests();
+        assert_eq!(log.len(), 3);
+        assert_eq!((log[0].op, log[0].bytes, log[0].ok), ("upload", 15, true));
+        assert_eq!((log[1].op, log[1].bytes, log[1].ok), ("download", 12, true));
+        assert_eq!((log[2].op, log[2].id, log[2].ok), ("download", 999, false));
+        // Bounded: hammer one door past capacity and check eviction.
+        for _ in 0..(REQUEST_LOG_CAPACITY + 10) {
+            server.download(id).unwrap();
+        }
+        let log = server.recent_requests();
+        assert_eq!(log.len(), REQUEST_LOG_CAPACITY);
+        assert!(log.iter().all(|e| e.op == "download"));
     }
 }
