@@ -22,6 +22,10 @@
 //! accept `--trace <file>` (write a Chrome `trace_event` file loadable in
 //! Perfetto / `about:tracing`) and `--stats <file>` (write a JSON metrics
 //! snapshot that `puppies stats` pretty-prints).
+//!
+//! `bench` measures the codec hot path; `bench psp` runs the closed-loop
+//! PSP serving benchmark (sharded store + transform cache vs an embedded
+//! replica of the pre-cache server) — see [`bench_psp`].
 
 use puppies_core::{
     protect, KeyGrant, OwnerKey, PerturbProfile, PrivacyLevel, ProtectOptions, PublicParams, Scheme,
@@ -31,6 +35,7 @@ use puppies_psp::channel::{decode_grant, encode_grant};
 use std::process::exit;
 
 mod bench;
+mod bench_psp;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -451,6 +456,11 @@ fn cmd_inspect(args: &[String]) -> CliResult {
 /// computed speedups; `--obs-overhead-gate` fails the run if the summed
 /// instrumented op time exceeds the plain run by more than PCT percent.
 fn cmd_bench(args: &[String]) -> CliResult {
+    // `bench psp` is the serving-path benchmark; everything else is the
+    // codec bench.
+    if positionals(args).first() == Some(&"psp") {
+        return bench_psp::cmd(args);
+    }
     let parse_num = |name: &str, default: f64| -> Result<f64, String> {
         match flag_value(args, name) {
             Some(v) => v.parse().map_err(|e| format!("bad {name} {v:?}: {e}")),

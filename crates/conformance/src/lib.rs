@@ -15,7 +15,10 @@
 //!   recompression fixed-point convergence;
 //! * [`fuzz`] — seeded campaigns over malformed bitstreams, degenerate
 //!   ROIs, mutated params, and worker-pool widths, with minimized failing
-//!   inputs written to a corpus directory.
+//!   inputs written to a corpus directory;
+//! * [`serving`] — the PSP cache-coherence oracle: cached transform
+//!   results must be byte-identical to freshly computed ones, across
+//!   content addressing, eviction pressure, and the in-place path.
 //!
 //! Entry points: [`run_all`] for the whole harness (what
 //! `puppies-cli conformance` and CI run), or the per-suite `run_*`/
@@ -27,6 +30,7 @@ pub mod fuzz;
 pub mod golden;
 pub mod oracle;
 pub mod report;
+pub mod serving;
 
 use std::path::PathBuf;
 
@@ -46,7 +50,7 @@ pub struct HarnessConfig {
     /// Scale factor for fuzz case counts (1 = the default campaign).
     pub fuzz_scale: usize,
     /// Suites to skip, by name (`golden`, `oracle`, `differential`,
-    /// `fuzz`).
+    /// `fuzz`, `serving`).
     pub skip: Vec<String>,
 }
 
@@ -92,6 +96,10 @@ pub fn run_all(cfg: &HarnessConfig) -> std::io::Result<Report> {
     if !cfg.skipped("differential") {
         let _suite = puppies_obs::span("conformance.differential", "conformance");
         report.merge(differential::run_differential());
+    }
+    if !cfg.skipped("serving") {
+        let _suite = puppies_obs::span("conformance.serving", "conformance");
+        report.merge(serving::run_serving());
     }
     if !cfg.skipped("fuzz") {
         let _suite = puppies_obs::span("conformance.fuzz", "conformance");

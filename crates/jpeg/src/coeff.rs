@@ -485,6 +485,17 @@ impl CoeffImage {
         crate::codec::decode(bytes)
     }
 
+    /// Estimates the IJG quality this image's quantization tables were
+    /// scaled at, from the luminance component's DQT (see
+    /// [`QuantTable::nearest_quality`]). Streams produced by this codec at
+    /// quality `q` estimate exactly `q`; foreign or hand-built tables
+    /// resolve to the closest standard scaling.
+    pub fn quality_estimate(&self) -> u8 {
+        self.components[0]
+            .quant()
+            .nearest_quality(&crate::quant::ANNEX_K_LUMA)
+    }
+
     /// Requantizes every component for recompression at a lower quality.
     pub fn requantize(&mut self, quality: u8) {
         let lq = QuantTable::luma(quality);
@@ -606,6 +617,20 @@ mod tests {
         let b = direct.to_rgb();
         let psnr = psnr_rgb(&a, &b);
         assert!(psnr > 30.0, "requantized diverges from direct: {psnr}");
+    }
+
+    #[test]
+    fn quality_estimate_roundtrips_encode_quality() {
+        let img = test_image(32, 32);
+        for q in [25u8, 50, 75, 90, 95] {
+            let c = CoeffImage::from_rgb(&img, q);
+            assert_eq!(c.quality_estimate(), q);
+            // Survives an encode/decode round trip (the DQT is carried in
+            // the bitstream).
+            let decoded =
+                CoeffImage::decode(&c.encode(&crate::EncodeOptions::default()).unwrap()).unwrap();
+            assert_eq!(decoded.quality_estimate(), q);
+        }
     }
 
     #[test]

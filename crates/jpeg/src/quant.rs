@@ -102,6 +102,34 @@ impl QuantTable {
         FoldedQuant::new(self)
     }
 
+    /// The IJG quality setting (1..=100) whose scaling of `base` lands
+    /// closest to this table, minimizing total absolute step distance.
+    /// Exact matches win outright (ties go to the higher quality, i.e. the
+    /// finer table — the conservative choice when re-encoding). This is the
+    /// standard way to recover "what quality was this stream encoded at"
+    /// from a decoded DQT segment, which the PSP needs so pixel-domain
+    /// re-encodes match the source's compression setting instead of a
+    /// hardcoded default.
+    pub fn nearest_quality(&self, base: &[u16; 64]) -> u8 {
+        let mut best_q = 100u8;
+        let mut best_dist = u64::MAX;
+        for q in 1..=100u8 {
+            let candidate = QuantTable::scaled(base, q);
+            let dist: u64 = candidate
+                .steps
+                .iter()
+                .zip(self.steps.iter())
+                .map(|(&a, &b)| (a as i64 - b as i64).unsigned_abs())
+                .sum();
+            // `<=` so higher qualities win ties (including exact ones).
+            if dist <= best_dist {
+                best_dist = dist;
+                best_q = q;
+            }
+        }
+        best_q
+    }
+
     /// Requantizes coefficients from this table to a `coarser` one, the
     /// coefficient-domain equivalent of JPEG recompression (the paper's
     /// "compression" transformation, §IV-C.2).
@@ -355,6 +383,28 @@ mod tests {
                 fast[i]
             );
         }
+    }
+
+    #[test]
+    fn nearest_quality_roundtrips_ijg_scaling() {
+        for q in [1u8, 10, 25, 50, 75, 90, 95, 99, 100] {
+            assert_eq!(QuantTable::luma(q).nearest_quality(&ANNEX_K_LUMA), q);
+        }
+        // Chroma saturates to an all-255 table for q <= 3 (the base table's
+        // smallest step is 17), so those qualities are indistinguishable —
+        // start at 4 where the scaling is injective again.
+        for q in [4u8, 10, 25, 50, 75, 90, 95, 99, 100] {
+            assert_eq!(QuantTable::chroma(q).nearest_quality(&ANNEX_K_CHROMA), q);
+        }
+    }
+
+    #[test]
+    fn nearest_quality_tolerates_small_perturbations() {
+        // A table one step off in one slot still resolves to the quality
+        // that generated it.
+        let mut steps = *QuantTable::luma(75).steps();
+        steps[5] += 1;
+        assert_eq!(QuantTable::new(steps).nearest_quality(&ANNEX_K_LUMA), 75);
     }
 
     #[test]

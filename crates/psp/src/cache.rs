@@ -1,0 +1,480 @@
+//! Serving-side caches for the PSP fast path.
+//!
+//! Two layers sit in front of the decode→transform→re-encode pipeline:
+//!
+//! - [`TransformCache`] — a byte-budgeted, content-addressed LRU of
+//!   finished transform results. The key is an FNV-1a chain over the
+//!   source bitstream, the source parameter blob, and the
+//!   [`puppies_transform::Transformation::canonical_bytes`] encoding, so a
+//!   hit can *never* serve stale bytes: rewriting a photo changes its
+//!   content hash, which changes every key derived from it, and the
+//!   orphaned entries simply age out of the LRU. Content addressing *is*
+//!   the invalidation story.
+//! - [`DecodeMemo`] — a small entry-bounded LRU of decoded
+//!   [`CoeffImage`]s keyed by the same content hash, so several distinct
+//!   transformations of one hot photo pay for its entropy decode once.
+//!
+//! Both are internally locked ([`parking_lot::Mutex`], held only for map
+//! bookkeeping — never across codec work) and safe to share across server
+//! shards. Hit/miss/eviction counts feed `puppies-obs` counters
+//! (`psp.cache.hit`, `psp.cache.miss`, `psp.cache.eviction`,
+//! `psp.memo.hit`, `psp.memo.miss`) and the `psp.cache.bytes` gauge.
+
+use parking_lot::Mutex;
+use puppies_jpeg::CoeffImage;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A served `(JPEG bytes, public-params blob)` pair behind shared
+/// allocations — what `download_transformed` returns and what the
+/// transform cache stores.
+pub type ServedPair = (Arc<[u8]>, Arc<[u8]>);
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 over a byte slice (same function the conformance manifest
+/// uses — small enough to keep a private copy rather than a dependency).
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    fnv64_chain(FNV_OFFSET, bytes)
+}
+
+/// Continues an FNV-1a 64 hash over more bytes, so multi-part keys
+/// (content hash ⨁ transformation encoding) mix rather than concatenate.
+pub(crate) fn fnv64_chain(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A point-in-time snapshot of a [`TransformCache`]'s counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from cache.
+    pub hits: u64,
+    /// Lookups that fell through to the pipeline.
+    pub misses: u64,
+    /// Entries evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Payload bytes currently resident (image + params per entry).
+    pub bytes: usize,
+    /// The configured byte budget (0 = cache disabled).
+    pub capacity_bytes: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from cache (0 when there were none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One cached transform result: the re-encoded bitstream plus the updated
+/// public-parameter blob (with the transformation recorded), both shared.
+#[derive(Clone)]
+struct CacheEntry {
+    bytes: Arc<[u8]>,
+    params: Arc<[u8]>,
+    stamp: u64,
+}
+
+impl CacheEntry {
+    fn charge(&self) -> usize {
+        self.bytes.len() + self.params.len()
+    }
+}
+
+/// Recency bookkeeping shared by both caches: a stamp queue with lazy
+/// cleanup. Every touch pushes a fresh `(key, stamp)` pair; eviction pops
+/// from the front and skips pairs whose stamp no longer matches the live
+/// entry (they were superseded by a later touch). Amortized O(1) per
+/// operation, no intrusive list.
+struct LruInner {
+    map: HashMap<u64, CacheEntry>,
+    order: VecDeque<(u64, u64)>,
+    next_stamp: u64,
+    bytes: usize,
+}
+
+impl LruInner {
+    fn touch(&mut self, key: u64) -> u64 {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.order.push_back((key, stamp));
+        stamp
+    }
+
+    /// Compacts the stamp queue if superseded pairs dominate it, keeping
+    /// its length proportional to the live entry count.
+    fn maybe_compact(&mut self) {
+        if self.order.len() > 32 && self.order.len() > self.map.len() * 4 {
+            let LruInner { map, order, .. } = self;
+            order.retain(|&(k, stamp)| map.get(&k).is_some_and(|e| e.stamp == stamp));
+        }
+    }
+}
+
+/// Content-addressed, byte-budgeted LRU for finished transform results.
+pub struct TransformCache {
+    budget: usize,
+    inner: Mutex<LruInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for TransformCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("TransformCache")
+            .field("budget", &self.budget)
+            .field("entries", &s.entries)
+            .field("bytes", &s.bytes)
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .finish()
+    }
+}
+
+impl TransformCache {
+    /// Creates a cache with the given byte budget; 0 disables it (every
+    /// lookup misses, inserts are dropped).
+    pub fn new(budget_bytes: usize) -> Self {
+        TransformCache {
+            budget: budget_bytes,
+            inner: Mutex::new(LruInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                next_stamp: 0,
+                bytes: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a transform result, refreshing its recency on hit.
+    pub fn get(&self, key: u64) -> Option<ServedPair> {
+        if self.budget == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            puppies_obs::counted!("psp.cache.miss");
+            return None;
+        }
+        let mut inner = self.inner.lock();
+        let stamp = inner.touch(key);
+        let hit = match inner.map.get_mut(&key) {
+            Some(e) => {
+                e.stamp = stamp;
+                Some((e.bytes.clone(), e.params.clone()))
+            }
+            None => None,
+        };
+        inner.maybe_compact();
+        drop(inner);
+        match hit {
+            Some(found) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                puppies_obs::counted!("psp.cache.hit");
+                Some(found)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                puppies_obs::counted!("psp.cache.miss");
+                None
+            }
+        }
+    }
+
+    /// Inserts a transform result, evicting least-recently-used entries to
+    /// stay within the byte budget. Oversized values (larger than the whole
+    /// budget) are dropped rather than wiping the cache for one entry.
+    pub fn insert(&self, key: u64, bytes: Arc<[u8]>, params: Arc<[u8]>) {
+        let charge = bytes.len() + params.len();
+        if self.budget == 0 || charge > self.budget {
+            return;
+        }
+        let mut evicted = 0u64;
+        let mut inner = self.inner.lock();
+        let stamp = inner.touch(key);
+        if let Some(old) = inner.map.insert(
+            key,
+            CacheEntry {
+                bytes,
+                params,
+                stamp,
+            },
+        ) {
+            inner.bytes -= old.charge();
+        }
+        inner.bytes += charge;
+        while inner.bytes > self.budget {
+            let Some((victim, vstamp)) = inner.order.pop_front() else {
+                break;
+            };
+            // Skip stale queue pairs: the entry was touched again later (or
+            // is the one just inserted) and a fresher pair covers it.
+            if inner.map.get(&victim).is_some_and(|e| e.stamp == vstamp) {
+                let old = inner.map.remove(&victim).expect("checked above");
+                inner.bytes -= old.charge();
+                evicted += 1;
+            }
+        }
+        inner.maybe_compact();
+        let resident = inner.bytes;
+        drop(inner);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            if puppies_obs::enabled() {
+                puppies_obs::counter_add("psp.cache.eviction", evicted);
+            }
+        }
+        if puppies_obs::enabled() {
+            puppies_obs::gauge_set("psp.cache.bytes", resident as i64);
+        }
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: inner.map.len(),
+            bytes: inner.bytes,
+            capacity_bytes: self.budget,
+        }
+    }
+}
+
+/// Entry-bounded LRU of decoded coefficient images, keyed by the photo's
+/// content hash. Bounded by count rather than bytes: decoded images are a
+/// small fixed population of hot photos, and an `Arc` clone out of the memo
+/// is what the transform pipeline works from.
+pub struct DecodeMemo {
+    capacity: usize,
+    inner: Mutex<MemoInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+struct MemoInner {
+    map: HashMap<u64, (Arc<CoeffImage>, u64)>,
+    order: VecDeque<(u64, u64)>,
+    next_stamp: u64,
+}
+
+impl std::fmt::Debug for DecodeMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecodeMemo")
+            .field("capacity", &self.capacity)
+            .field("entries", &self.inner.lock().map.len())
+            .finish()
+    }
+}
+
+impl DecodeMemo {
+    /// Creates a memo holding at most `capacity` decoded images; 0
+    /// disables it.
+    pub fn new(capacity: usize) -> Self {
+        DecodeMemo {
+            capacity,
+            inner: Mutex::new(MemoInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                next_stamp: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a decoded image by content hash.
+    pub fn get(&self, key: u64) -> Option<Arc<CoeffImage>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut inner = self.inner.lock();
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        inner.order.push_back((key, stamp));
+        let hit = inner.map.get_mut(&key).map(|(img, s)| {
+            *s = stamp;
+            img.clone()
+        });
+        drop(inner);
+        match &hit {
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                puppies_obs::counted!("psp.memo.hit");
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                puppies_obs::counted!("psp.memo.miss");
+            }
+        }
+        hit
+    }
+
+    /// Inserts a decoded image, evicting the least-recently-used one past
+    /// capacity.
+    pub fn insert(&self, key: u64, img: Arc<CoeffImage>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        inner.order.push_back((key, stamp));
+        inner.map.insert(key, (img, stamp));
+        while inner.map.len() > self.capacity {
+            let Some((victim, vstamp)) = inner.order.pop_front() else {
+                break;
+            };
+            if inner.map.get(&victim).is_some_and(|(_, s)| *s == vstamp) {
+                inner.map.remove(&victim);
+            }
+        }
+        if inner.order.len() > 32 && inner.order.len() > inner.map.len() * 4 {
+            let MemoInner { map, order, .. } = &mut *inner;
+            order.retain(|&(k, stamp)| map.get(&k).is_some_and(|(_, s)| *s == stamp));
+        }
+    }
+
+    /// Drops the entry for a content hash (used when a photo is rewritten
+    /// in place, so the superseded decode does not linger until eviction).
+    pub fn invalidate(&self, key: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.inner.lock().map.remove(&key);
+    }
+
+    /// (hits, misses) so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(n: usize, fill: u8) -> Arc<[u8]> {
+        vec![fill; n].into()
+    }
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hit_returns_inserted_payload() {
+        let cache = TransformCache::new(1024);
+        cache.insert(7, blob(10, 1), blob(4, 2));
+        let (b, p) = cache.get(7).expect("hit");
+        assert_eq!(b.as_ref(), &[1u8; 10][..]);
+        assert_eq!(p.as_ref(), &[2u8; 4][..]);
+        assert!(cache.get(8).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries, s.bytes), (1, 1, 1, 14));
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_first() {
+        let cache = TransformCache::new(30);
+        cache.insert(1, blob(10, 1), blob(0, 0));
+        cache.insert(2, blob(10, 2), blob(0, 0));
+        cache.insert(3, blob(10, 3), blob(0, 0));
+        // Touch 1 so 2 becomes the LRU, then overflow.
+        assert!(cache.get(1).is_some());
+        cache.insert(4, blob(10, 4), blob(0, 0));
+        assert!(cache.get(2).is_none(), "LRU entry should be evicted");
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        assert!(cache.get(4).is_some());
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert!(s.bytes <= 30);
+    }
+
+    #[test]
+    fn oversized_value_is_dropped_not_cached() {
+        let cache = TransformCache::new(16);
+        cache.insert(1, blob(8, 1), blob(0, 0));
+        cache.insert(2, blob(100, 2), blob(0, 0));
+        assert!(cache.get(2).is_none());
+        assert!(cache.get(1).is_some(), "resident entries survive");
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn reinsert_same_key_updates_accounting() {
+        let cache = TransformCache::new(100);
+        cache.insert(1, blob(40, 1), blob(0, 0));
+        cache.insert(1, blob(20, 2), blob(0, 0));
+        let s = cache.stats();
+        assert_eq!((s.entries, s.bytes), (1, 20));
+        assert_eq!(cache.get(1).unwrap().0.as_ref(), &[2u8; 20][..]);
+    }
+
+    #[test]
+    fn zero_budget_disables() {
+        let cache = TransformCache::new(0);
+        cache.insert(1, blob(4, 1), blob(0, 0));
+        assert!(cache.get(1).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn stamp_queue_stays_bounded_under_rehits() {
+        let cache = TransformCache::new(1024);
+        cache.insert(1, blob(8, 1), blob(0, 0));
+        for _ in 0..10_000 {
+            assert!(cache.get(1).is_some());
+        }
+        let order_len = cache.inner.lock().order.len();
+        assert!(order_len <= 64, "stamp queue grew to {order_len}");
+    }
+
+    #[test]
+    fn memo_lru_and_invalidate() {
+        let img = Arc::new(CoeffImage::from_rgb(
+            &puppies_image::RgbImage::filled(8, 8, puppies_image::Rgb::new(1, 2, 3)),
+            75,
+        ));
+        let memo = DecodeMemo::new(2);
+        memo.insert(1, img.clone());
+        memo.insert(2, img.clone());
+        assert!(memo.get(1).is_some());
+        memo.insert(3, img.clone());
+        assert!(memo.get(2).is_none(), "LRU evicted");
+        assert!(memo.get(1).is_some());
+        assert!(memo.get(3).is_some());
+        memo.invalidate(1);
+        assert!(memo.get(1).is_none());
+        let (h, m) = memo.counters();
+        assert!(h >= 3 && m >= 2);
+    }
+}

@@ -16,14 +16,16 @@
 //! - [`client`] — [`client::Sender`] / [`client::Receiver`] wrapping the
 //!   `puppies-core` protect/recover pipeline against the store
 
+pub mod cache;
 pub mod channel;
 pub mod client;
 pub mod store;
 
+pub use cache::{CacheStats, ServedPair};
 pub use channel::{KeyAgreement, SecureChannel};
 pub use client::{Receiver, Sender};
 use puppies_core::KeyGrant;
-pub use store::{PhotoId, PspServer};
+pub use store::{CacheOutcome, PhotoId, PspConfig, PspServer};
 
 use std::fmt;
 

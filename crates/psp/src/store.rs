@@ -2,77 +2,231 @@
 //! parameters, serves them to any user, and applies standard image
 //! transformations on request — all via "general file store and retrieval
 //! APIs" (§III-C.3), with zero PuPPIeS-specific logic.
+//!
+//! # Serving fast path
+//!
+//! The store is built for the ROADMAP's "heavy traffic" PSP rather than a
+//! single-threaded simulation:
+//!
+//! - **Sharding** — photos live in `N` power-of-two shards (keyed by the
+//!   low bits of [`PhotoId`]), each behind its own `RwLock`, so concurrent
+//!   requests for different photos never serialize on one map lock.
+//! - **Zero-copy payloads** — stored bytes and params are `Arc<[u8]>`;
+//!   [`PspServer::download`] clones a pointer under a brief read lock
+//!   instead of memcpying the bitstream.
+//! - **Transform-result cache** — finished transforms are cached
+//!   content-addressed (FNV over source bytes + params + the canonical
+//!   transformation encoding, see [`crate::cache`]), so repeat transform
+//!   traffic never touches the codec.
+//! - **Decode memo** — transform misses on the same hot photo share one
+//!   entropy decode.
+//! - **Batch APIs** — [`PspServer::download_batch`] /
+//!   [`PspServer::transform_batch`] fan independent requests across the
+//!   ambient [`puppies_core::parallel`] worker pool.
 
+use crate::cache::{fnv64, fnv64_chain, CacheStats, DecodeMemo, ServedPair, TransformCache};
 use crate::{PspError, Result};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use puppies_core::PublicParams;
 use puppies_jpeg::{CoeffImage, EncodeOptions};
 use puppies_transform::Transformation;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Identifies a stored photo.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PhotoId(pub u64);
 
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct StoredPhoto {
-    bytes: Vec<u8>,
+    bytes: Arc<[u8]>,
     /// Opaque public-parameter blob (the PSP never parses it — it lives in
     /// the image "description").
-    params: Vec<u8>,
+    params: Arc<[u8]>,
+    /// `(fnv(bytes), fnv(bytes ‖ params))`, computed lazily on the first
+    /// transform so the upload path never hashes the full bitstream. The
+    /// first component keys the decode memo (decode depends only on the
+    /// bytes), the second is the photo's content address for cache keys.
+    hashes: OnceLock<(u64, u64)>,
+}
+
+impl StoredPhoto {
+    fn hashes(&self) -> (u64, u64) {
+        *self.hashes.get_or_init(|| {
+            let bytes_fnv = fnv64(&self.bytes);
+            (bytes_fnv, fnv64_chain(bytes_fnv, &self.params))
+        })
+    }
+
+    fn size(&self) -> u64 {
+        (self.bytes.len() + self.params.len()) as u64
+    }
+}
+
+/// Whether a request could be served from the transform-result cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheOutcome {
+    /// The operation does not consult the cache (upload/download doors).
+    #[default]
+    NotApplicable,
+    /// Served from the transform-result cache.
+    Hit,
+    /// Fell through to the decode→transform→re-encode pipeline.
+    Miss,
 }
 
 /// One entry of the server's bounded per-request log: which API door was
 /// hit, for which photo, how many payload bytes moved, how long it took,
-/// and whether it succeeded.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// whether it succeeded, and whether the transform cache served it. Small
+/// and `Copy` so snapshotting the log is a memcpy, not a clone-per-entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RequestEntry {
-    /// API name: `"upload"`, `"download"`, `"download_params"`, `"transform"`.
+    /// API name: `"upload"`, `"download"`, `"download_params"`,
+    /// `"transform"`, `"download_transformed"`.
     pub op: &'static str,
     /// Photo id the request touched.
     pub id: u64,
     /// Payload bytes moved (image + params for uploads, response size for
-    /// downloads, re-encoded size for transforms; 0 on failure).
+    /// downloads and transforms; 0 on failure).
     pub bytes: u64,
     /// Wall-clock service time in nanoseconds.
     pub dur_ns: u64,
     /// Whether the request succeeded.
     pub ok: bool,
+    /// Transform-cache outcome for this request.
+    pub cache: CacheOutcome,
+    /// Global admission order (monotonic across all shards) — entries from
+    /// different log shards merge into one timeline by sorting on this.
+    pub seq: u64,
 }
 
 /// How many request-log entries the server retains (older ones are evicted
 /// first — the log is a bounded ring, never a leak).
 pub const REQUEST_LOG_CAPACITY: usize = 256;
 
+/// One store shard: a photo map plus the request-log segment for the
+/// photos that hash here. Logging an op only contends with ops on the same
+/// shard, never globally.
+#[derive(Debug, Default)]
+struct Shard {
+    photos: RwLock<HashMap<PhotoId, Arc<StoredPhoto>>>,
+    log: Mutex<VecDeque<RequestEntry>>,
+}
+
+/// Construction-time tuning for [`PspServer`].
+#[derive(Debug, Clone)]
+pub struct PspConfig {
+    /// Number of store shards; rounded up to a power of two, minimum 1.
+    pub shards: usize,
+    /// Byte budget for the transform-result cache; 0 disables caching.
+    pub cache_budget_bytes: usize,
+    /// Max decoded images retained by the transform-miss memo; 0 disables.
+    pub decode_memo_entries: usize,
+}
+
+impl Default for PspConfig {
+    fn default() -> Self {
+        PspConfig {
+            shards: 16,
+            cache_budget_bytes: 32 << 20,
+            decode_memo_entries: 8,
+        }
+    }
+}
+
+impl PspConfig {
+    /// A configuration with the transform cache and decode memo disabled —
+    /// every transform runs the full pipeline (used by coherence tests and
+    /// as the honest "cold" baseline in benches).
+    pub fn uncached() -> Self {
+        PspConfig {
+            cache_budget_bytes: 0,
+            decode_memo_entries: 0,
+            ..PspConfig::default()
+        }
+    }
+}
+
 /// The PSP server. Thread-safe: uploads, downloads and transformations can
 /// run concurrently (the experiment sweeps exploit this).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PspServer {
-    photos: RwLock<HashMap<PhotoId, StoredPhoto>>,
+    shards: Box<[Shard]>,
+    /// `shards.len() - 1`; shard count is a power of two.
+    shard_mask: u64,
     next_id: AtomicU64,
+    next_seq: AtomicU64,
     /// Total stored bytes (image + params across all photos), maintained
-    /// incrementally so reading it never walks the map.
+    /// incrementally so reading it never walks the maps.
     footprint: AtomicU64,
-    requests: RwLock<VecDeque<RequestEntry>>,
+    /// Stored photo count, maintained incrementally for O(1) `len()`.
+    photo_count: AtomicU64,
+    cache: TransformCache,
+    memo: DecodeMemo,
+}
+
+impl Default for PspServer {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl PspServer {
-    /// Creates an empty server.
+    /// Creates an empty server with the default configuration.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_config(PspConfig::default())
     }
 
-    fn log_request(&self, op: &'static str, id: u64, bytes: u64, start: Instant, ok: bool) {
+    /// Creates an empty server with explicit shard/cache tuning.
+    pub fn with_config(config: PspConfig) -> Self {
+        let n = config.shards.max(1).next_power_of_two();
+        let shards = (0..n).map(|_| Shard::default()).collect::<Vec<_>>();
+        PspServer {
+            shards: shards.into_boxed_slice(),
+            shard_mask: (n - 1) as u64,
+            next_id: AtomicU64::new(0),
+            next_seq: AtomicU64::new(0),
+            footprint: AtomicU64::new(0),
+            photo_count: AtomicU64::new(0),
+            cache: TransformCache::new(config.cache_budget_bytes),
+            memo: DecodeMemo::new(config.decode_memo_entries),
+        }
+    }
+
+    fn shard(&self, id: PhotoId) -> &Shard {
+        &self.shards[(id.0 & self.shard_mask) as usize]
+    }
+
+    fn lookup(&self, id: PhotoId) -> Result<Arc<StoredPhoto>> {
+        self.shard(id)
+            .photos
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(PspError::UnknownPhoto(id))
+    }
+
+    fn log_request(
+        &self,
+        op: &'static str,
+        id: u64,
+        bytes: u64,
+        start: Instant,
+        ok: bool,
+        cache: CacheOutcome,
+    ) {
         let entry = RequestEntry {
             op,
             id,
             bytes,
             dur_ns: start.elapsed().as_nanos() as u64,
             ok,
+            cache,
+            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
         };
-        let mut log = self.requests.write();
+        let mut log = self.shard(PhotoId(id)).log.lock();
         if log.len() == REQUEST_LOG_CAPACITY {
             log.pop_front();
         }
@@ -103,7 +257,14 @@ impl PspServer {
         let mut cur = self.next_id.load(Ordering::Relaxed);
         let id = loop {
             if cur == u64::MAX {
-                self.log_request("upload", u64::MAX, 0, start, false);
+                self.log_request(
+                    "upload",
+                    u64::MAX,
+                    0,
+                    start,
+                    false,
+                    CacheOutcome::NotApplicable,
+                );
                 return Err(PspError::IdsExhausted);
             }
             match self.next_id.compare_exchange_weak(
@@ -116,59 +277,111 @@ impl PspServer {
                 Err(seen) => cur = seen,
             }
         };
-        let size = (bytes.len() + params.len()) as u64;
-        self.photos
-            .write()
-            .insert(id, StoredPhoto { bytes, params });
+        let stored = Arc::new(StoredPhoto {
+            bytes: bytes.into(),
+            params: params.into(),
+            hashes: OnceLock::new(),
+        });
+        let size = stored.size();
+        self.shard(id).photos.write().insert(id, stored);
         self.footprint.fetch_add(size, Ordering::Relaxed);
+        self.photo_count.fetch_add(1, Ordering::Relaxed);
         puppies_obs::counted!("psp.uploads");
         self.publish_gauges();
-        self.log_request("upload", id.0, size, start, true);
+        self.log_request(
+            "upload",
+            id.0,
+            size,
+            start,
+            true,
+            CacheOutcome::NotApplicable,
+        );
         Ok(id)
     }
 
     /// Downloads the image bytes (any user may call this — the threat
     /// model's "unauthorized access at PSP side" is exactly this door).
+    /// Zero-copy: the returned `Arc` shares the stored allocation.
     ///
     /// # Errors
     /// Fails for unknown photos.
-    pub fn download(&self, id: PhotoId) -> Result<Vec<u8>> {
+    pub fn download(&self, id: PhotoId) -> Result<Arc<[u8]>> {
         let start = Instant::now();
         let _span = puppies_obs::span("psp.download", "psp");
-        let out = self
-            .photos
-            .read()
-            .get(&id)
-            .map(|p| p.bytes.clone())
-            .ok_or(PspError::UnknownPhoto(id));
+        let out = self.lookup(id).map(|p| p.bytes.clone());
         puppies_obs::counted!("psp.downloads");
         let bytes = out.as_ref().map(|b| b.len() as u64).unwrap_or(0);
-        self.log_request("download", id.0, bytes, start, out.is_ok());
+        self.log_request(
+            "download",
+            id.0,
+            bytes,
+            start,
+            out.is_ok(),
+            CacheOutcome::NotApplicable,
+        );
         out
     }
 
-    /// Downloads the public-parameter blob.
+    /// Downloads the public-parameter blob. Zero-copy, like
+    /// [`PspServer::download`].
     ///
     /// # Errors
     /// Fails for unknown photos.
-    pub fn download_params(&self, id: PhotoId) -> Result<Vec<u8>> {
+    pub fn download_params(&self, id: PhotoId) -> Result<Arc<[u8]>> {
         let start = Instant::now();
-        let out = self
-            .photos
-            .read()
-            .get(&id)
-            .map(|p| p.params.clone())
-            .ok_or(PspError::UnknownPhoto(id));
+        let out = self.lookup(id).map(|p| p.params.clone());
         let bytes = out.as_ref().map(|b| b.len() as u64).unwrap_or(0);
-        self.log_request("download_params", id.0, bytes, start, out.is_ok());
+        self.log_request(
+            "download_params",
+            id.0,
+            bytes,
+            start,
+            out.is_ok(),
+            CacheOutcome::NotApplicable,
+        );
         out
+    }
+
+    /// Runs (or serves from cache) `t` against the stored photo, returning
+    /// `(transformed bytes, updated params)` **without** modifying the
+    /// store — the serving door for "give me the thumbnail of photo X",
+    /// which is where repeat traffic concentrates. The returned params blob
+    /// records the transformation exactly as the in-place
+    /// [`PspServer::transform`] would store it.
+    ///
+    /// # Errors
+    /// Fails for unknown photos, undecodable streams, invalid
+    /// transformations, or photos that were already transformed in place
+    /// (chains are not supported).
+    pub fn download_transformed(&self, id: PhotoId, t: &Transformation) -> Result<ServedPair> {
+        let start = Instant::now();
+        let _span = puppies_obs::span("psp.download_transformed", "psp");
+        let out = self
+            .lookup(id)
+            .and_then(|stored| self.serve_transform(&stored, t));
+        puppies_obs::counted!("psp.transform_serves");
+        let (bytes, outcome) = match &out {
+            Ok(((b, p), outcome)) => ((b.len() + p.len()) as u64, *outcome),
+            Err(_) => (0, CacheOutcome::NotApplicable),
+        };
+        self.log_request(
+            "download_transformed",
+            id.0,
+            bytes,
+            start,
+            out.is_ok(),
+            outcome,
+        );
+        out.map(|(pair, _)| pair)
     }
 
     /// Applies a transformation to a stored photo *in place*, recording it
     /// in the public parameters so receivers can mirror it (§III-C
     /// scenario 2). Uses the lossless coefficient path when possible and
     /// the ordinary decode–transform–re-encode pipeline otherwise, exactly
-    /// like a jpegtran-aware production service.
+    /// like a jpegtran-aware production service. The result lands in the
+    /// transform cache, so a subsequent identical request on an identical
+    /// source is served without touching the codec.
     ///
     /// # Errors
     /// Fails for unknown photos, undecodable streams, or invalid
@@ -179,27 +392,73 @@ impl PspServer {
         let out = self.transform_inner(id, t);
         puppies_obs::counted!("psp.transforms");
         self.publish_gauges();
-        self.log_request("transform", id.0, 0, start, out.is_ok());
-        out
+        let (bytes, outcome) = match &out {
+            Ok((b, outcome)) => (*b, *outcome),
+            Err(_) => (0, CacheOutcome::NotApplicable),
+        };
+        self.log_request("transform", id.0, bytes, start, out.is_ok(), outcome);
+        out.map(|_| ())
     }
 
-    fn transform_inner(&self, id: PhotoId, t: &Transformation) -> Result<()> {
-        let stored = self
-            .photos
-            .read()
-            .get(&id)
-            .cloned()
-            .ok_or(PspError::UnknownPhoto(id))?;
-        let coeff = CoeffImage::decode(&stored.bytes).map_err(puppies_core::PuppiesError::from)?;
-        let new_bytes = if t.is_coeff_domain(coeff.width(), coeff.height()) {
-            t.apply_to_coeff(&coeff)?
-                .encode(&EncodeOptions::default())
-                .map_err(puppies_core::PuppiesError::from)?
-        } else {
-            let rgb = coeff.to_rgb();
-            let transformed = t.apply_to_rgb(&rgb)?;
-            puppies_jpeg::encode_rgb(&transformed, 75).map_err(puppies_core::PuppiesError::from)?
-        };
+    fn transform_inner(&self, id: PhotoId, t: &Transformation) -> Result<(u64, CacheOutcome)> {
+        let stored = self.lookup(id)?;
+        let ((new_bytes, new_params), outcome) = self.serve_transform(&stored, t)?;
+        let replacement = Arc::new(StoredPhoto {
+            bytes: new_bytes,
+            params: new_params,
+            hashes: OnceLock::new(),
+        });
+        let new_size = replacement.size();
+        let old_size = stored.size();
+        {
+            let mut photos = self.shard(id).photos.write();
+            match photos.get(&id) {
+                // The entry we computed from is still current: swap it.
+                Some(cur) if Arc::ptr_eq(cur, &stored) => {
+                    photos.insert(id, replacement);
+                }
+                // Someone else transformed (or re-uploaded) this photo
+                // between our read and this write. Applying our result
+                // would silently drop theirs, so refuse like any other
+                // chain attempt.
+                Some(_) => {
+                    return Err(PspError::Transform(
+                        puppies_transform::TransformError::InvalidParameter(
+                            "photo changed concurrently; transform chain not supported".into(),
+                        ),
+                    ))
+                }
+                None => return Err(PspError::UnknownPhoto(id)),
+            }
+        }
+        // The old bitstream is gone from the store: drop its decode memo
+        // entry eagerly instead of waiting for LRU pressure. (Transform
+        // *results* keyed by the old content hash stay addressable — they
+        // are still byte-correct answers for that content — and simply age
+        // out.)
+        if let Some(&(bytes_fnv, _)) = stored.hashes.get() {
+            self.memo.invalidate(bytes_fnv);
+        }
+        // Two wrapping steps net out to `footprint + new - old`; the total
+        // stays exact even though the two updates are not one atomic op.
+        self.footprint.fetch_add(new_size, Ordering::Relaxed);
+        self.footprint.fetch_sub(old_size, Ordering::Relaxed);
+        Ok((new_size, outcome))
+    }
+
+    /// The shared serving path: transform-cache lookup, then on a miss the
+    /// decode(memo)→apply→re-encode pipeline plus cache fill. Never locks a
+    /// shard; works entirely from the snapshot `Arc`s.
+    fn serve_transform(
+        &self,
+        stored: &StoredPhoto,
+        t: &Transformation,
+    ) -> Result<(ServedPair, CacheOutcome)> {
+        let (bytes_fnv, content_fnv) = stored.hashes();
+        let key = fnv64_chain(content_fnv, &t.canonical_bytes());
+        if let Some((bytes, params)) = self.cache.get(key) {
+            return Ok(((bytes, params), CacheOutcome::Hit));
+        }
         // Record the transformation in the public parameters. The PSP
         // treats the blob as opaque except for this append-only note; in
         // our wire format that means re-encoding via PublicParams.
@@ -211,29 +470,69 @@ impl PspServer {
                 ),
             ));
         }
-        params.transformation = Some(t.clone());
-        let old_size = (stored.bytes.len() + stored.params.len()) as u64;
-        let replacement = StoredPhoto {
-            bytes: new_bytes,
-            params: params.to_bytes(),
+        let coeff = match self.memo.get(bytes_fnv) {
+            Some(c) => c,
+            None => {
+                let decoded = Arc::new(
+                    CoeffImage::decode(&stored.bytes).map_err(puppies_core::PuppiesError::from)?,
+                );
+                self.memo.insert(bytes_fnv, decoded.clone());
+                decoded
+            }
         };
-        let new_size = (replacement.bytes.len() + replacement.params.len()) as u64;
-        self.photos.write().insert(id, replacement);
-        // Two wrapping steps net out to `footprint + new - old`; the total
-        // stays exact even though the two updates are not one atomic op.
-        self.footprint.fetch_add(new_size, Ordering::Relaxed);
-        self.footprint.fetch_sub(old_size, Ordering::Relaxed);
-        Ok(())
+        let new_bytes = if t.is_coeff_domain(coeff.width(), coeff.height()) {
+            t.apply_to_coeff(&coeff)?
+                .encode(&EncodeOptions::default())
+                .map_err(puppies_core::PuppiesError::from)?
+        } else {
+            let rgb = coeff.to_rgb();
+            let transformed = t.apply_to_rgb(&rgb)?;
+            // Re-encode at the source's own compression setting (recovered
+            // from its quantization tables) — the paper's PSP re-encodes at
+            // a *consistent* quality, not a hardcoded default, which keeps
+            // receiver-side PSNR floors calibrated.
+            puppies_jpeg::encode_rgb(&transformed, coeff.quality_estimate())
+                .map_err(puppies_core::PuppiesError::from)?
+        };
+        params.transformation = Some(t.clone());
+        let new_bytes: Arc<[u8]> = new_bytes.into();
+        let new_params: Arc<[u8]> = params.to_bytes().into();
+        self.cache
+            .insert(key, new_bytes.clone(), new_params.clone());
+        Ok(((new_bytes, new_params), CacheOutcome::Miss))
     }
 
-    /// Number of stored photos.
+    /// Serves many `(photo, transformation)` requests, fanning across the
+    /// ambient worker pool ([`puppies_core::parallel::current`]). Results
+    /// come back in request order; each is exactly what
+    /// [`PspServer::download_transformed`] would return. The store is not
+    /// modified.
+    pub fn transform_batch(
+        &self,
+        requests: &[(PhotoId, Transformation)],
+    ) -> Vec<Result<ServedPair>> {
+        let _span = puppies_obs::span("psp.transform_batch", "psp");
+        puppies_core::parallel::current().map_indexed(requests.len(), |i| {
+            let (id, ref t) = requests[i];
+            self.download_transformed(id, t)
+        })
+    }
+
+    /// Downloads many photos, fanning across the ambient worker pool.
+    /// Results come back in request order.
+    pub fn download_batch(&self, ids: &[PhotoId]) -> Vec<Result<Arc<[u8]>>> {
+        let _span = puppies_obs::span("psp.download_batch", "psp");
+        puppies_core::parallel::current().map_indexed(ids.len(), |i| self.download(ids[i]))
+    }
+
+    /// Number of stored photos (O(1) — maintained incrementally).
     pub fn len(&self) -> usize {
-        self.photos.read().len()
+        self.photo_count.load(Ordering::Relaxed) as usize
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.photos.read().is_empty()
+        self.len() == 0
     }
 
     /// Total bytes stored for a photo (image + parameter blob) — the
@@ -242,11 +541,7 @@ impl PspServer {
     /// # Errors
     /// Fails for unknown photos.
     pub fn storage_footprint(&self, id: PhotoId) -> Result<usize> {
-        self.photos
-            .read()
-            .get(&id)
-            .map(|p| p.bytes.len() + p.params.len())
-            .ok_or(PspError::UnknownPhoto(id))
+        self.lookup(id).map(|p| p.size() as usize)
     }
 
     /// Aggregate bytes stored across every photo (images + parameter
@@ -256,10 +551,32 @@ impl PspServer {
         self.footprint.load(Ordering::Relaxed)
     }
 
+    /// Transform-result cache counters (hits, misses, evictions, resident
+    /// bytes).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
     /// The most recent requests served (oldest first), up to
-    /// [`REQUEST_LOG_CAPACITY`].
+    /// [`REQUEST_LOG_CAPACITY`]. Entries are `Copy`, the snapshot Vec is
+    /// preallocated, and each shard's log lock is held only for the memcpy
+    /// out — a diagnostic read never stalls the serving path.
     pub fn recent_requests(&self) -> Vec<RequestEntry> {
-        self.requests.read().iter().cloned().collect()
+        let mut out: Vec<RequestEntry> =
+            Vec::with_capacity(self.shards.len() * REQUEST_LOG_CAPACITY);
+        for shard in self.shards.iter() {
+            let log = shard.log.lock();
+            out.extend(log.iter().copied());
+        }
+        // Merge shard segments into one timeline. Any globally-recent entry
+        // survives per-shard eviction (an entry is only evicted once 256
+        // newer entries hit the *same* shard), so the newest 256 overall
+        // are always present.
+        out.sort_unstable_by_key(|e| e.seq);
+        if out.len() > REQUEST_LOG_CAPACITY {
+            out.drain(..out.len() - REQUEST_LOG_CAPACITY);
+        }
+        out
     }
 }
 
@@ -293,6 +610,15 @@ mod tests {
         assert!(CoeffImage::decode(&bytes).is_ok());
         assert!(server.download_params(id).is_ok());
         assert_eq!(server.len(), 1);
+    }
+
+    #[test]
+    fn download_is_zero_copy() {
+        let server = PspServer::new();
+        let (id, _) = upload_test_photo(&server);
+        let a = server.download(id).unwrap();
+        let b = server.download(id).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "downloads share the stored allocation");
     }
 
     #[test]
@@ -341,6 +667,153 @@ mod tests {
         let bytes = server.download(id).unwrap();
         let coeff = CoeffImage::decode(&bytes).unwrap();
         assert_eq!((coeff.width(), coeff.height()), (32, 32));
+    }
+
+    #[test]
+    fn pixel_fallback_reencodes_at_source_quality() {
+        // Protect at a non-default quality: the pixel-domain fallback must
+        // re-encode at that quality (recovered from the DQT), not at a
+        // hardcoded 75.
+        let img = RgbImage::from_fn(64, 64, |x, y| Rgb::new(x as u8 * 3, y as u8, 130));
+        let key = OwnerKey::from_seed([9u8; 32]);
+        let protected = protect(
+            &img,
+            &[Rect::new(8, 8, 16, 16)],
+            &key,
+            &ProtectOptions::default().with_quality(60),
+        )
+        .unwrap();
+        let server = PspServer::new();
+        let id = server
+            .upload(protected.bytes, protected.params.to_bytes())
+            .unwrap();
+        server
+            .transform(
+                id,
+                &Transformation::Scale {
+                    width: 32,
+                    height: 32,
+                    filter: puppies_transform::ScaleFilter::Bilinear,
+                },
+            )
+            .unwrap();
+        let coeff = CoeffImage::decode(&server.download(id).unwrap()).unwrap();
+        assert_eq!(coeff.quality_estimate(), 60);
+    }
+
+    #[test]
+    fn download_transformed_serves_without_mutating() {
+        let server = PspServer::new();
+        let (id, _) = upload_test_photo(&server);
+        let original = server.download(id).unwrap();
+        let (tb, tp) = server
+            .download_transformed(id, &Transformation::Rotate90)
+            .unwrap();
+        // Store untouched.
+        assert!(Arc::ptr_eq(&original, &server.download(id).unwrap()));
+        let params = PublicParams::from_bytes(&tp).unwrap();
+        assert_eq!(params.transformation, Some(Transformation::Rotate90));
+        // The served result equals what an in-place transform would store.
+        let server2 = PspServer::new();
+        let (id2, _) = upload_test_photo(&server2);
+        server2.transform(id2, &Transformation::Rotate90).unwrap();
+        assert_eq!(tb, server2.download(id2).unwrap());
+        assert_eq!(tp, server2.download_params(id2).unwrap());
+    }
+
+    #[test]
+    fn repeat_download_transformed_hits_cache() {
+        let server = PspServer::new();
+        let (id, _) = upload_test_photo(&server);
+        let t = Transformation::Rotate180;
+        let first = server.download_transformed(id, &t).unwrap();
+        let stats = server.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1));
+        let second = server.download_transformed(id, &t).unwrap();
+        let stats = server.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!(
+            Arc::ptr_eq(&first.0, &second.0),
+            "hit shares the cached Arc"
+        );
+        assert_eq!(first.1, second.1);
+    }
+
+    #[test]
+    fn cache_content_addressing_spans_identical_photos() {
+        // Two uploads with identical bytes+params are the same content:
+        // the second photo's first transform is already a cache hit.
+        let server = PspServer::new();
+        let img = RgbImage::from_fn(64, 64, |x, y| Rgb::new(x as u8, y as u8, 5));
+        let key = OwnerKey::from_seed([7u8; 32]);
+        let protected = protect(
+            &img,
+            &[Rect::new(0, 0, 16, 16)],
+            &key,
+            &ProtectOptions::default(),
+        )
+        .unwrap();
+        let a = server
+            .upload(protected.bytes.clone(), protected.params.to_bytes())
+            .unwrap();
+        let b = server
+            .upload(protected.bytes, protected.params.to_bytes())
+            .unwrap();
+        let t = Transformation::FlipHorizontal;
+        let ra = server.download_transformed(a, &t).unwrap();
+        let rb = server.download_transformed(b, &t).unwrap();
+        assert_eq!(ra.0, rb.0);
+        let stats = server.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn cache_disabled_still_serves_correct_bytes() {
+        let cached = PspServer::new();
+        let uncached = PspServer::with_config(PspConfig::uncached());
+        let (id_c, _) = upload_test_photo(&cached);
+        let (id_u, _) = upload_test_photo(&uncached);
+        let t = Transformation::Rotate270;
+        let rc = cached.download_transformed(id_c, &t).unwrap();
+        let ru = uncached.download_transformed(id_u, &t).unwrap();
+        assert_eq!(rc.0, ru.0);
+        assert_eq!(rc.1, ru.1);
+        assert_eq!(uncached.cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn batch_apis_match_serial_results() {
+        let server = PspServer::new();
+        let (id1, _) = upload_test_photo(&server);
+        let (id2, _) = upload_test_photo(&server);
+        let requests = vec![
+            (id1, Transformation::Rotate90),
+            (id2, Transformation::FlipVertical),
+            (PhotoId(999), Transformation::Rotate90),
+            (id1, Transformation::Rotate90),
+        ];
+        let batch = server.transform_batch(&requests);
+        assert_eq!(batch.len(), 4);
+        assert!(batch[2].is_err());
+        let serial = server
+            .download_transformed(id1, &Transformation::Rotate90)
+            .unwrap();
+        assert_eq!(batch[0].as_ref().unwrap().0, serial.0);
+        assert_eq!(
+            batch[3].as_ref().unwrap().0,
+            batch[0].as_ref().unwrap().0,
+            "duplicate request in one batch serves identical bytes"
+        );
+        let downloads = server.download_batch(&[id1, PhotoId(999), id2]);
+        assert_eq!(
+            downloads[0].as_ref().unwrap(),
+            &server.download(id1).unwrap()
+        );
+        assert!(downloads[1].is_err());
+        assert_eq!(
+            downloads[2].as_ref().unwrap(),
+            &server.download(id2).unwrap()
+        );
     }
 
     #[test]
@@ -396,7 +869,7 @@ mod tests {
             server.upload(vec![3], vec![]),
             Err(PspError::IdsExhausted)
         ));
-        assert_eq!(server.download(id).unwrap(), vec![1]);
+        assert_eq!(server.download(id).unwrap().as_ref(), &[1u8][..]);
         assert_eq!(server.len(), 1);
     }
 
@@ -411,6 +884,7 @@ mod tests {
         assert_eq!((log[0].op, log[0].bytes, log[0].ok), ("upload", 15, true));
         assert_eq!((log[1].op, log[1].bytes, log[1].ok), ("download", 12, true));
         assert_eq!((log[2].op, log[2].id, log[2].ok), ("download", 999, false));
+        assert!(log.windows(2).all(|w| w[0].seq < w[1].seq));
         // Bounded: hammer one door past capacity and check eviction.
         for _ in 0..(REQUEST_LOG_CAPACITY + 10) {
             server.download(id).unwrap();
@@ -418,5 +892,48 @@ mod tests {
         let log = server.recent_requests();
         assert_eq!(log.len(), REQUEST_LOG_CAPACITY);
         assert!(log.iter().all(|e| e.op == "download"));
+    }
+
+    #[test]
+    fn request_log_records_cache_outcome() {
+        let server = PspServer::new();
+        let (id, _) = upload_test_photo(&server);
+        let t = Transformation::Rotate90;
+        server.download_transformed(id, &t).unwrap();
+        server.download_transformed(id, &t).unwrap();
+        let log = server.recent_requests();
+        let served: Vec<_> = log
+            .iter()
+            .filter(|e| e.op == "download_transformed")
+            .collect();
+        assert_eq!(served.len(), 2);
+        assert_eq!(served[0].cache, CacheOutcome::Miss);
+        assert_eq!(served[1].cache, CacheOutcome::Hit);
+        assert!(log
+            .iter()
+            .filter(|e| e.op == "upload" || e.op == "download")
+            .all(|e| e.cache == CacheOutcome::NotApplicable));
+    }
+
+    #[test]
+    fn request_log_merges_across_shards_in_order() {
+        // Photos land on different shards; the merged log is still one
+        // seq-ordered timeline with the newest entries retained.
+        let server = PspServer::new();
+        let ids: Vec<_> = (0..20)
+            .map(|i| server.upload(vec![i as u8; 8], vec![]).unwrap())
+            .collect();
+        for round in 0..30 {
+            for &id in &ids {
+                let _ = server.download(id);
+                let _ = round;
+            }
+        }
+        let log = server.recent_requests();
+        assert_eq!(log.len(), REQUEST_LOG_CAPACITY);
+        assert!(log.windows(2).all(|w| w[0].seq < w[1].seq));
+        // All retained entries are from the tail of the request stream.
+        let total_requests = 20 + 30 * 20;
+        assert!(log[0].seq >= total_requests - REQUEST_LOG_CAPACITY as u64);
     }
 }

@@ -358,6 +358,74 @@ impl Transformation {
         }
     }
 
+    /// Canonical, injective byte encoding of the transformation, for use as
+    /// a content-address component (e.g. the PSP's transform-result cache
+    /// chains this into the FNV of the source bitstream). Two
+    /// transformations produce the same bytes iff they compare equal:
+    /// every variant starts with a distinct tag, every field is serialized
+    /// in full (floats via their IEEE-754 bit pattern), and all integers
+    /// are little-endian.
+    ///
+    /// This is *not* a wire format — `PublicParams` has its own — so it can
+    /// stay frozen as a cache-key encoding even if the wire format evolves.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24);
+        match *self {
+            Transformation::Scale {
+                width,
+                height,
+                filter,
+            } => {
+                out.push(0x01);
+                out.extend_from_slice(&width.to_le_bytes());
+                out.extend_from_slice(&height.to_le_bytes());
+                out.push(match filter {
+                    ScaleFilter::Nearest => 0,
+                    ScaleFilter::Bilinear => 1,
+                    ScaleFilter::Box => 2,
+                });
+            }
+            Transformation::Crop(r) => {
+                out.push(0x02);
+                for v in [r.x, r.y, r.w, r.h] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Transformation::Rotate90 => out.push(0x03),
+            Transformation::Rotate180 => out.push(0x04),
+            Transformation::Rotate270 => out.push(0x05),
+            Transformation::FlipHorizontal => out.push(0x06),
+            Transformation::FlipVertical => out.push(0x07),
+            Transformation::Recompress { quality } => {
+                out.push(0x08);
+                out.push(quality);
+            }
+            Transformation::Filter(op) => {
+                out.push(0x09);
+                match op {
+                    FilterOp::Gaussian { sigma } => {
+                        out.push(0);
+                        out.extend_from_slice(&sigma.to_bits().to_le_bytes());
+                    }
+                    FilterOp::Sharpen => out.push(1),
+                    FilterOp::Box { side } => {
+                        out.push(2);
+                        out.extend_from_slice(&side.to_le_bytes());
+                    }
+                }
+            }
+            Transformation::Overlay { rect, color, alpha } => {
+                out.push(0x0a);
+                for v in [rect.x, rect.y, rect.w, rect.h] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                out.extend_from_slice(&[color.r, color.g, color.b]);
+                out.extend_from_slice(&alpha.to_bits().to_le_bytes());
+            }
+        }
+        out
+    }
+
     /// Applies the transformation directly on quantized coefficients — the
     /// lossless jpegtran-style path. Block-permuting transforms commute
     /// with per-block perturbation, which is why PuPPIeS receivers can
@@ -813,6 +881,63 @@ mod tests {
         let t = Transformation::scale_by(100, 60, 1, 2).unwrap();
         assert_eq!(t.output_size(100, 60).unwrap(), (50, 30));
         assert!(Transformation::scale_by(1, 1, 1, 10).is_err());
+    }
+
+    #[test]
+    fn canonical_bytes_is_injective_and_stable() {
+        let variants = [
+            Transformation::Scale {
+                width: 32,
+                height: 24,
+                filter: ScaleFilter::Bilinear,
+            },
+            Transformation::Scale {
+                width: 32,
+                height: 24,
+                filter: ScaleFilter::Nearest,
+            },
+            Transformation::Scale {
+                width: 24,
+                height: 32,
+                filter: ScaleFilter::Bilinear,
+            },
+            Transformation::Crop(Rect::new(8, 8, 16, 24)),
+            Transformation::Crop(Rect::new(8, 8, 24, 16)),
+            Transformation::Rotate90,
+            Transformation::Rotate180,
+            Transformation::Rotate270,
+            Transformation::FlipHorizontal,
+            Transformation::FlipVertical,
+            Transformation::Recompress { quality: 50 },
+            Transformation::Recompress { quality: 51 },
+            Transformation::Filter(FilterOp::Gaussian { sigma: 1.0 }),
+            Transformation::Filter(FilterOp::Gaussian { sigma: 1.5 }),
+            Transformation::Filter(FilterOp::Sharpen),
+            Transformation::Filter(FilterOp::Box { side: 3 }),
+            Transformation::Filter(FilterOp::Box { side: 5 }),
+            Transformation::Overlay {
+                rect: Rect::new(0, 0, 8, 8),
+                color: Rgb::WHITE,
+                alpha: 0.5,
+            },
+            Transformation::Overlay {
+                rect: Rect::new(0, 0, 8, 8),
+                color: Rgb::WHITE,
+                alpha: 0.25,
+            },
+        ];
+        let encodings: Vec<Vec<u8>> = variants.iter().map(|t| t.canonical_bytes()).collect();
+        for (i, a) in encodings.iter().enumerate() {
+            for (j, b) in encodings.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b, "{:?} vs {:?}", variants[i], variants[j]);
+                }
+            }
+        }
+        // Stable across calls and across clones.
+        for t in &variants {
+            assert_eq!(t.canonical_bytes(), t.clone().canonical_bytes());
+        }
     }
 
     #[test]
