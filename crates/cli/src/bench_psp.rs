@@ -241,13 +241,13 @@ impl BenchTarget for PspServer {
 // ---------------------------------------------------------------------------
 
 /// xorshift64* — tiny, seedable, good enough to shape a workload.
-struct Rng(u64);
+pub(crate) struct Rng(u64);
 
 impl Rng {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         Rng(seed | 1)
     }
-    fn next(&mut self) -> u64 {
+    pub(crate) fn next(&mut self) -> u64 {
         let mut x = self.0;
         x ^= x >> 12;
         x ^= x << 25;
@@ -255,7 +255,7 @@ impl Rng {
         self.0 = x;
         x.wrapping_mul(0x2545_F491_4F6C_DD1D)
     }
-    fn unit(&mut self) -> f64 {
+    pub(crate) fn unit(&mut self) -> f64 {
         (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 }
@@ -263,12 +263,12 @@ impl Rng {
 /// Zipf(s) over `n` ranks via a precomputed CDF + binary search. Rank 0
 /// is the hottest; callers shuffle the rank→key mapping so "hot" isn't
 /// correlated with upload order.
-struct Zipf {
+pub(crate) struct Zipf {
     cdf: Vec<f64>,
 }
 
 impl Zipf {
-    fn new(n: usize, s: f64) -> Self {
+    pub(crate) fn new(n: usize, s: f64) -> Self {
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for i in 1..=n {
@@ -281,7 +281,7 @@ impl Zipf {
         Zipf { cdf }
     }
 
-    fn sample(&self, u: f64) -> usize {
+    pub(crate) fn sample(&self, u: f64) -> usize {
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
 }
@@ -315,7 +315,7 @@ fn fixture(w: u32, h: u32, roi: Rect, seed: u32, quality: u8) -> (Vec<u8>, Vec<u
 /// Repeat-scenario photos are small (96×72) at quality 75: the codec
 /// work per miss stays in the hundreds of microseconds, so cache hits —
 /// not decode amortization — carry the scenario.
-fn repeat_fixtures(n: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+pub(crate) fn repeat_fixtures(n: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
     (0..n)
         .map(|i| fixture(96, 72, Rect::new(24, 16, 32, 32), i as u32 + 1, 75))
         .collect()
@@ -336,7 +336,7 @@ fn mixed_fixtures(n: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
 /// The four derived views every repeat-scenario photo is requested under:
 /// two lossless coefficient-domain ops, a requantization, and a pixel-path
 /// scale (which also exercises the decode memo and quality derivation).
-fn repeat_transforms() -> Vec<Transformation> {
+pub(crate) fn repeat_transforms() -> Vec<Transformation> {
     vec![
         Transformation::Rotate90,
         Transformation::Rotate180,
@@ -497,7 +497,7 @@ fn run_mixed<T: BenchTarget>(
     })
 }
 
-fn pct(sorted: &[u32], q: f64) -> f64 {
+pub(crate) fn pct(sorted: &[u32], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
@@ -524,7 +524,7 @@ fn scenario_stats(wall_s: f64, lats: &LatBuckets) -> ScenarioStats {
 
 /// Touch a chunk of heap up front so first-run page faults and allocator
 /// growth land outside the timed region (same trick as the codec bench).
-fn warm_allocator() {
+pub(crate) fn warm_allocator() {
     let mut sink = 0u8;
     for _ in 0..4 {
         let block = vec![0xA5u8; 4 << 20];

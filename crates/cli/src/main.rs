@@ -13,6 +13,9 @@
 //! puppies recover <in.jpg> <out.ppm> --params <in.pup> (--key <key-file> | --grant <grant-file>)
 //! puppies inspect --params <in.pup>
 //! puppies stats <stats.json>
+//! puppies serve --dir <store-dir> [--addr host:port] [--no-fsync]
+//! puppies net smoke|flood|verify --addr <host:port> [...]
+//! puppies wal-dump --dir <store-dir>
 //! ```
 //!
 //! Images are read/written as binary PPM (P6); the protected image is a
@@ -35,7 +38,9 @@ use puppies_psp::channel::{decode_grant, encode_grant};
 use std::process::exit;
 
 mod bench;
+mod bench_net;
 mod bench_psp;
+mod serve;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,6 +55,9 @@ fn main() {
         Some("stats") => cmd_stats(&args[1..]),
         Some("conformance") => cmd_conformance(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("serve") => serve::cmd_serve(&args[1..]),
+        Some("net") => serve::cmd_net(&args[1..]),
+        Some("wal-dump") => serve::cmd_wal_dump(&args[1..]),
         Some("help") | None => {
             usage();
             Ok(())
@@ -65,7 +73,8 @@ fn main() {
 fn usage() {
     eprintln!(
         "puppies — privacy-preserving partial image sharing\n\
-         commands: keygen, detect, protect, protect-batch, grant, recover, inspect, stats, conformance, bench\n\
+         commands: keygen, detect, protect, protect-batch, grant, recover, inspect, stats, conformance, bench,\n\
+         \x20         serve, net (smoke|flood|verify), wal-dump\n\
          (see the crate docs or README for full flag reference)"
     );
 }
@@ -456,9 +465,12 @@ fn cmd_inspect(args: &[String]) -> CliResult {
 /// computed speedups; `--obs-overhead-gate` fails the run if the summed
 /// instrumented op time exceeds the plain run by more than PCT percent.
 fn cmd_bench(args: &[String]) -> CliResult {
-    // `bench psp` is the serving-path benchmark; everything else is the
-    // codec bench.
+    // `bench psp` is the serving-path benchmark (`--net` drives it over
+    // real loopback TCP); everything else is the codec bench.
     if positionals(args).first() == Some(&"psp") {
+        if has_flag(args, "--net") {
+            return bench_net::cmd(args);
+        }
         return bench_psp::cmd(args);
     }
     let parse_num = |name: &str, default: f64| -> Result<f64, String> {

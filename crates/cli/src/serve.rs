@@ -1,0 +1,290 @@
+//! `puppies serve` / `puppies net …` / `puppies wal-dump` — the service
+//! side of the PSP, plus the network tooling CI's `service` job drives:
+//!
+//! ```text
+//! puppies serve --dir <store-dir> [--addr 127.0.0.1:0] [--no-fsync]
+//! puppies net smoke  --addr <host:port>
+//! puppies net flood  --addr <host:port> --manifest <file> [--count N] [--bytes N]
+//! puppies net verify --addr <host:port> --manifest <file>
+//! puppies wal-dump --dir <store-dir>
+//! ```
+//!
+//! `smoke` runs the full upload → grant → transform → download flow over
+//! the wire and byte-compares every response against an in-process
+//! [`PspServer`] fed the same inputs. `flood` uploads continuously,
+//! appending `<id> <fnv64 hex>` to the manifest *after* each server ack
+//! (so the manifest is exactly the set of acknowledged uploads — the
+//! durability contract under `kill -9`). `verify` re-downloads every
+//! manifest entry and checks content hashes; a torn final manifest line
+//! (the flood itself was killed mid-write) is tolerated and reported.
+
+use crate::{flag_value, has_flag, CliResult};
+use puppies_core::{protect, OwnerKey, ProtectOptions};
+use puppies_image::{Rect, Rgb, RgbImage};
+use puppies_psp::net::{serve, Client, ServeConfig};
+use puppies_psp::{KeyAgreement, PhotoId, PspServer};
+use puppies_transform::Transformation;
+use std::io::Write;
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+pub fn cmd_serve(args: &[String]) -> CliResult {
+    let dir = flag_value(args, "--dir").ok_or("missing --dir <store-dir>")?;
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:0");
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+    let config = ServeConfig {
+        addr: addr.into(),
+        dir: dir.into(),
+        fsync: !has_flag(args, "--no-fsync"),
+        ..ServeConfig::new(addr, dir)
+    };
+    serve(&config).map_err(|e| e.to_string())
+}
+
+pub fn cmd_net(args: &[String]) -> CliResult {
+    match args.first().map(String::as_str) {
+        Some("smoke") => net_smoke(&args[1..]),
+        Some("flood") => net_flood(&args[1..]),
+        Some("verify") => net_verify(&args[1..]),
+        other => Err(format!(
+            "unknown net subcommand {other:?}; expected smoke|flood|verify"
+        )),
+    }
+}
+
+fn addr_arg(args: &[String]) -> Result<&str, String> {
+    flag_value(args, "--addr").ok_or_else(|| "missing --addr <host:port>".into())
+}
+
+/// A deterministic protected photo for wire checks.
+fn fixture(seed: u8) -> (Vec<u8>, Vec<u8>) {
+    let img = RgbImage::from_fn(96, 64, |x, y| {
+        Rgb::new(
+            seed.wrapping_add((x * 3 + y) as u8),
+            (x + y * 2) as u8,
+            seed ^ (x as u8),
+        )
+    });
+    let p = protect(
+        &img,
+        &[Rect::new(16, 8, 32, 32)],
+        &OwnerKey::from_seed([seed; 32]),
+        &ProtectOptions::default(),
+    )
+    .map_err(|e| e.to_string())
+    .expect("fixture protect");
+    (p.bytes, p.params.to_bytes())
+}
+
+/// Network e2e smoke: every wire response must match the in-process
+/// server byte-for-byte — upload echo, serving-door transform, in-place
+/// transform, and the encrypted grant mailbox round trip.
+fn net_smoke(args: &[String]) -> CliResult {
+    let addr = addr_arg(args)?;
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    client.health().map_err(|e| e.to_string())?;
+
+    let reference = PspServer::new();
+    let (bytes, params) = fixture(11);
+    let receipt = client.upload(&bytes, &params).map_err(|e| e.to_string())?;
+    let ref_id = reference
+        .upload(bytes.clone(), params.clone())
+        .map_err(|e| e.to_string())?;
+
+    let parity = |name: &str, net: &[u8], local: &[u8]| -> CliResult {
+        if net != local {
+            return Err(format!("{name}: wire bytes differ from in-process bytes"));
+        }
+        println!("parity ok: {name} ({} bytes)", net.len());
+        Ok(())
+    };
+    parity(
+        "download",
+        &client.download(receipt.id).map_err(|e| e.to_string())?,
+        &reference.download(ref_id).map_err(|e| e.to_string())?,
+    )?;
+    parity(
+        "params",
+        &client
+            .download_params(receipt.id)
+            .map_err(|e| e.to_string())?,
+        &reference
+            .download_params(ref_id)
+            .map_err(|e| e.to_string())?,
+    )?;
+
+    let t = Transformation::Rotate90;
+    let (net_b, net_p, _) = client
+        .download_transformed(receipt.id, &t)
+        .map_err(|e| e.to_string())?;
+    let (ref_b, ref_p) = reference
+        .download_transformed(ref_id, &t)
+        .map_err(|e| e.to_string())?;
+    parity("transformed bytes", &net_b, &ref_b)?;
+    parity("transformed params", &net_p, &ref_p)?;
+
+    // Grant flow: receiver registers, sender deposits end-to-end
+    // encrypted, receiver drains and decrypts.
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha20Rng::from_seed([42u8; 32]);
+    let receiver_ka = KeyAgreement::new(&mut rng);
+    let sender_ka = KeyAgreement::new(&mut rng);
+    let token = client
+        .register_receiver(receiver_ka.public_value())
+        .map_err(|e| e.to_string())?;
+    let grant_plain = OwnerKey::from_seed([11u8; 32]).grant_all();
+    let grant_bytes = puppies_psp::channel::encode_grant(&grant_plain);
+    let ciphertext = sender_ka
+        .agree(receiver_ka.public_value())
+        .encrypt(&grant_bytes);
+    client
+        .deposit_grant(
+            receiver_ka.public_value(),
+            sender_ka.public_value(),
+            &ciphertext,
+        )
+        .map_err(|e| e.to_string())?;
+    let grants = client.fetch_grants(&token).map_err(|e| e.to_string())?;
+    let (sender_public, fetched) = grants
+        .first()
+        .ok_or("grant mailbox came back empty over the wire")?;
+    let decrypted = receiver_ka
+        .agree(*sender_public)
+        .decrypt(fetched)
+        .map_err(|e| e.to_string())?;
+    if decrypted != grant_bytes {
+        return Err("grant ciphertext did not round-trip".into());
+    }
+    println!(
+        "parity ok: grant mailbox ({} byte ciphertext)",
+        fetched.len()
+    );
+
+    // In-place transform under the owner token, then download parity.
+    client
+        .transform(receipt.id, &receipt.owner_token, &Transformation::Rotate180)
+        .map_err(|e| e.to_string())?;
+    reference
+        .transform(ref_id, &Transformation::Rotate180)
+        .map_err(|e| e.to_string())?;
+    parity(
+        "post-transform download",
+        &client.download(receipt.id).map_err(|e| e.to_string())?,
+        &reference.download(ref_id).map_err(|e| e.to_string())?,
+    )?;
+    println!("net smoke ok: wire and in-process byte-identical");
+    Ok(())
+}
+
+/// Uploads `--count` payloads (default: until killed), appending
+/// `<id> <fnv64 hex>` to `--manifest` after each acknowledged upload,
+/// flushed per line — the manifest is the durability oracle `verify`
+/// replays after a crash.
+fn net_flood(args: &[String]) -> CliResult {
+    let addr = addr_arg(args)?;
+    let manifest = flag_value(args, "--manifest").ok_or("missing --manifest <file>")?;
+    let count: u64 = match flag_value(args, "--count") {
+        Some(v) => v.parse().map_err(|e| format!("bad --count: {e}"))?,
+        None => u64::MAX,
+    };
+    let payload_len: usize = match flag_value(args, "--bytes") {
+        Some(v) => v.parse().map_err(|e| format!("bad --bytes: {e}"))?,
+        None => 4096,
+    };
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let mut out = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(manifest)
+        .map_err(|e| format!("opening {manifest}: {e}"))?;
+    let mut acked = 0u64;
+    for i in 0..count {
+        // Distinct content per upload so content-addressing is exercised.
+        let mut payload = vec![0u8; payload_len];
+        let mut h = fnv64(&i.to_le_bytes());
+        for chunk in payload.chunks_mut(8) {
+            h = fnv64(&h.to_le_bytes());
+            let src = h.to_le_bytes();
+            chunk.copy_from_slice(&src[..chunk.len()]);
+        }
+        let params = i.to_le_bytes().to_vec();
+        let receipt = client
+            .upload(&payload, &params)
+            .map_err(|e| e.to_string())?;
+        writeln!(out, "{} {:016x}", receipt.id.0, fnv64(&payload))
+            .and_then(|()| out.flush())
+            .map_err(|e| format!("writing {manifest}: {e}"))?;
+        acked += 1;
+    }
+    println!("flood: {acked} acknowledged upload(s) recorded in {manifest}");
+    Ok(())
+}
+
+/// Re-downloads every manifest entry and checks content hashes. A torn
+/// final line is tolerated (the flood process was killed mid-write);
+/// anything else missing or mismatched is a durability violation.
+fn net_verify(args: &[String]) -> CliResult {
+    let addr = addr_arg(args)?;
+    let manifest = flag_value(args, "--manifest").ok_or("missing --manifest <file>")?;
+    let text = std::fs::read_to_string(manifest).map_err(|e| format!("reading {manifest}: {e}"))?;
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let lines: Vec<&str> = text.split('\n').collect();
+    let complete = text.ends_with('\n');
+    let mut verified = 0u64;
+    let mut torn = 0u64;
+    for (i, line) in lines.iter().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let last = i + 1 == lines.len();
+        let parsed = line.split_once(' ').and_then(|(id, hash)| {
+            Some((id.parse::<u64>().ok()?, u64::from_str_radix(hash, 16).ok()?))
+        });
+        let Some((id, hash)) = parsed else {
+            if last && !complete {
+                torn += 1;
+                continue; // the flood was killed mid-line: not acknowledged
+            }
+            return Err(format!("{manifest}:{}: unparseable line {line:?}", i + 1));
+        };
+        let bytes = client
+            .download(PhotoId(id))
+            .map_err(|e| format!("photo {id} (acknowledged pre-crash) is gone: {e}"))?;
+        if fnv64(&bytes) != hash {
+            return Err(format!(
+                "photo {id} recovered with wrong content (fnv {:016x}, manifest {hash:016x})",
+                fnv64(&bytes)
+            ));
+        }
+        verified += 1;
+    }
+    println!("verify: {verified} acknowledged upload(s) byte-identical after recovery ({torn} torn manifest line(s) ignored)");
+    Ok(())
+}
+
+/// Human-readable dump of a store's WAL — the failure artifact CI uploads
+/// when the service job trips.
+pub fn cmd_wal_dump(args: &[String]) -> CliResult {
+    let dir = flag_value(args, "--dir").ok_or("missing --dir <store-dir>")?;
+    let path = std::path::Path::new(dir).join("wal.log");
+    // Read-only: scan the bytes rather than `Wal::replay`, which would
+    // truncate a torn tail in place — a dump must not mutate evidence.
+    let data = std::fs::read(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let (records, good) = puppies_psp::wal::scan(&data);
+    println!(
+        "{}: {} record(s), {} torn byte(s) at the tail",
+        path.display(),
+        records.len(),
+        data.len() as u64 - good
+    );
+    for (i, record) in records.iter().enumerate() {
+        println!("{i:>6}: {record:?}");
+    }
+    Ok(())
+}

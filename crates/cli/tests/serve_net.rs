@@ -1,0 +1,151 @@
+//! The CI service-job scenario as an integration test: boot
+//! `puppies-cli serve`, run the network smoke, flood acknowledged
+//! uploads, SIGKILL the server mid-write, restart, and prove every
+//! acknowledged upload recovers byte-identical.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_puppies-cli"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("puppies_serve_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir
+}
+
+struct Serving {
+    child: Child,
+    addr: String,
+}
+
+/// Starts `serve` on an ephemeral port and parses the bound address from
+/// its first stdout line (`psp-serve listening on <addr> ...`).
+fn start_server(store: &Path) -> Serving {
+    let mut child = bin()
+        .args([
+            "serve",
+            "--dir",
+            store.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn serve");
+    let stdout = child.stdout.take().expect("serve stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("banner");
+    let addr = line
+        .split_whitespace()
+        .nth(3)
+        .unwrap_or_else(|| panic!("unexpected serve banner: {line:?}"))
+        .to_string();
+    Serving { child, addr }
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = bin().args(args).output().expect("run cli");
+    assert!(
+        out.status.success(),
+        "`{}` failed:\nstdout: {}\nstderr: {}",
+        args.join(" "),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn smoke_kill9_and_recovery() {
+    let dir = tmp_dir("kill9");
+    let store = dir.join("store");
+    std::fs::create_dir_all(&store).unwrap();
+    let manifest = dir.join("acked.txt");
+    let manifest_s = manifest.to_str().unwrap();
+
+    // Boot and smoke: the wire must match in-process byte-for-byte.
+    let mut server = start_server(&store);
+    run_ok(&["net", "smoke", "--addr", &server.addr]);
+
+    // A first tranche of acknowledged uploads.
+    run_ok(&[
+        "net",
+        "flood",
+        "--addr",
+        &server.addr,
+        "--manifest",
+        manifest_s,
+        "--count",
+        "25",
+    ]);
+
+    // Keep writing in the background, then SIGKILL the server mid-write.
+    let mut flood = bin()
+        .args([
+            "net",
+            "flood",
+            "--addr",
+            &server.addr,
+            "--manifest",
+            manifest_s,
+            "--count",
+            "100000",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn flood");
+    // Let some acks land.
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    loop {
+        let acked = std::fs::read_to_string(&manifest)
+            .map(|t| t.lines().count())
+            .unwrap_or(0);
+        if acked >= 35 || std::time::Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    server.child.kill().expect("kill -9 server"); // SIGKILL
+    server.child.wait().expect("reap server");
+    let _ = flood.kill();
+    let _ = flood.wait();
+
+    let acked = std::fs::read_to_string(&manifest)
+        .map(|t| t.lines().count())
+        .unwrap_or(0);
+    assert!(acked >= 25, "expected acknowledged uploads, got {acked}");
+
+    // The WAL dump must parse (read-only, tolerates a torn tail).
+    let dump = run_ok(&["wal-dump", "--dir", store.to_str().unwrap()]);
+    assert!(dump.contains("record(s)"), "unexpected dump: {dump}");
+
+    // Restart on the same store: every acknowledged upload must come back
+    // byte-identical.
+    let mut server = start_server(&store);
+    let verify = run_ok(&[
+        "net",
+        "verify",
+        "--addr",
+        &server.addr,
+        "--manifest",
+        manifest_s,
+    ]);
+    assert!(
+        verify.contains("byte-identical after recovery"),
+        "unexpected verify output: {verify}"
+    );
+
+    server.child.kill().expect("stop server");
+    server.child.wait().expect("reap server");
+    let _ = std::fs::remove_dir_all(&dir);
+}

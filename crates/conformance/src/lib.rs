@@ -18,7 +18,10 @@
 //!   inputs written to a corpus directory;
 //! * [`serving`] — the PSP cache-coherence oracle: cached transform
 //!   results must be byte-identical to freshly computed ones, across
-//!   content addressing, eviction pressure, and the in-place path.
+//!   content addressing, eviction pressure, and the in-place path;
+//! * [`netcheck`] — the network round-trip oracle: a real `net::Server`
+//!   on loopback must serve every transformation byte-identical to the
+//!   in-process path, and recover every upload across a restart.
 //!
 //! Entry points: [`run_all`] for the whole harness (what
 //! `puppies-cli conformance` and CI run), or the per-suite `run_*`/
@@ -28,6 +31,7 @@
 pub mod differential;
 pub mod fuzz;
 pub mod golden;
+pub mod netcheck;
 pub mod oracle;
 pub mod report;
 pub mod serving;
@@ -50,7 +54,7 @@ pub struct HarnessConfig {
     /// Scale factor for fuzz case counts (1 = the default campaign).
     pub fuzz_scale: usize,
     /// Suites to skip, by name (`golden`, `oracle`, `differential`,
-    /// `fuzz`, `serving`).
+    /// `fuzz`, `serving`, `netcheck`).
     pub skip: Vec<String>,
 }
 
@@ -100,6 +104,10 @@ pub fn run_all(cfg: &HarnessConfig) -> std::io::Result<Report> {
     if !cfg.skipped("serving") {
         let _suite = puppies_obs::span("conformance.serving", "conformance");
         report.merge(serving::run_serving());
+    }
+    if !cfg.skipped("netcheck") {
+        let _suite = puppies_obs::span("conformance.netcheck", "conformance");
+        report.merge(netcheck::run_netcheck());
     }
     if !cfg.skipped("fuzz") {
         let _suite = puppies_obs::span("conformance.fuzz", "conformance");

@@ -251,6 +251,48 @@ pub fn record(name: &str, v: u64) {
     });
 }
 
+/// Drop guard that records its elapsed time, in microseconds, into a
+/// named global histogram — the idiom for request-style latencies where
+/// the same scope must feed several histograms (overall + per-endpoint)
+/// or the name is only known at exit.
+///
+/// ```
+/// let sw = puppies_obs::Stopwatch::start();
+/// // ... handle the request ...
+/// sw.record_us("psp.net.req_us");
+/// ```
+///
+/// Unlike [`span`], nothing is emitted to the trace; when no subscriber
+/// is installed the record is a no-op but the elapsed time is still
+/// available via [`Stopwatch::elapsed_us`].
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: std::time::Instant,
+}
+
+impl Stopwatch {
+    #[must_use]
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Microseconds since [`Stopwatch::start`], saturating at `u64::MAX`.
+    #[must_use]
+    pub fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Records the elapsed time into histogram `name` and returns it, so
+    /// one stopwatch can feed several histograms with one measurement.
+    pub fn record_us(&self, name: &str) -> u64 {
+        let us = self.elapsed_us();
+        record(name, us);
+        us
+    }
+}
+
 /// Opens a span on the global subscriber. True no-op (one relaxed load)
 /// when no subscriber is installed.
 ///
@@ -303,6 +345,36 @@ mod tests {
         let obs = session.finish().unwrap();
         assert_eq!(obs.span_count(), 0);
         assert!(obs.metrics().snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn stopwatch_records_elapsed_into_histograms() {
+        let _l = INSTALL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // Without a subscriber: no panic, elapsed still measurable.
+        let sw = Stopwatch::start();
+        let _ = sw.record_us("sw.disabled_us");
+
+        let session = Obs::install();
+        let sw = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let overall = sw.record_us("sw.total_us");
+        let endpoint = sw.record_us("sw.endpoint_us");
+        assert!(overall >= 2_000, "slept 2ms but measured {overall}us");
+        assert!(endpoint >= overall, "later record must not rewind time");
+        let obs = session.finish().unwrap();
+        let snap = obs.metrics().snapshot();
+        for name in ["sw.total_us", "sw.endpoint_us"] {
+            let (_, stats) = snap
+                .histograms
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("{name} missing from snapshot"));
+            assert_eq!(stats.count, 1);
+        }
+        assert!(
+            !snap.histograms.iter().any(|(n, _)| n == "sw.disabled_us"),
+            "record before install must not leak into the session"
+        );
     }
 
     #[test]

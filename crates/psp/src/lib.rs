@@ -19,13 +19,18 @@
 pub mod cache;
 pub mod channel;
 pub mod client;
+pub mod net;
 pub mod store;
+pub mod store_disk;
+pub mod wal;
 
 pub use cache::{CacheStats, ServedPair};
 pub use channel::{KeyAgreement, SecureChannel};
 pub use client::{Receiver, Sender};
 use puppies_core::KeyGrant;
 pub use store::{CacheOutcome, PhotoId, PspConfig, PspServer};
+pub use store_disk::{DiskStore, RecoveryStats};
+pub use wal::{Wal, WalRecord};
 
 use std::fmt;
 

@@ -1,0 +1,271 @@
+//! Blocking PSP client over one keep-alive connection.
+//!
+//! Mirrors the in-process [`crate::PspServer`] doors one-for-one so
+//! callers (the CLI, the `bench psp --net` load generator, the
+//! conformance oracle) can swap the wire in and compare byte-for-byte.
+
+use super::http;
+use super::proto;
+use crate::store::PhotoId;
+use crate::{PspError, Result};
+use puppies_transform::Transformation;
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Response headers, lowercased names.
+type Headers = Vec<(String, String)>;
+
+/// Whether a transformed download was served from the PSP's cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireCache {
+    /// `x-cache: hit`.
+    Hit,
+    /// `x-cache: miss` (or absent).
+    Miss,
+}
+
+/// A photo id plus the owner token that authorizes in-place transforms.
+#[derive(Debug, Clone)]
+pub struct UploadReceipt {
+    /// The assigned photo id.
+    pub id: PhotoId,
+    /// Bearer token for `POST /photos/<id>/transform`.
+    pub owner_token: String,
+}
+
+/// One blocking keep-alive connection to a PSP server.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+fn net_err(what: &str, e: impl std::fmt::Display) -> PspError {
+    PspError::Channel(format!("{what}: {e}"))
+}
+
+impl Client {
+    /// Connects with a 10 s request timeout.
+    ///
+    /// # Errors
+    /// Fails if the address does not resolve or connect.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr).map_err(|e| net_err("connect", e))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .map_err(|e| net_err("timeout", e))?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone().map_err(|e| net_err("clone", e))?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn call(
+        &mut self,
+        method: &str,
+        path: &str,
+        bearer: Option<&str>,
+        body: &[u8],
+    ) -> Result<http::RawResponse> {
+        http::write_request(&mut self.writer, method, path, bearer, body)
+            .map_err(|e| net_err("write request", e))?;
+        http::read_response(&mut self.reader).map_err(|e| net_err("read response", e))
+    }
+
+    fn expect(
+        &mut self,
+        method: &str,
+        path: &str,
+        bearer: Option<&str>,
+        body: &[u8],
+        want: u16,
+    ) -> Result<(Headers, Vec<u8>)> {
+        let (status, headers, resp) = self.call(method, path, bearer, body)?;
+        if status != want {
+            let text = String::from_utf8_lossy(&resp);
+            return Err(PspError::Channel(format!(
+                "{method} {path}: HTTP {status}: {}",
+                text.trim()
+            )));
+        }
+        Ok((headers, resp))
+    }
+
+    /// `GET /health`.
+    ///
+    /// # Errors
+    /// Fails if the server is unreachable or unhealthy.
+    pub fn health(&mut self) -> Result<()> {
+        self.expect("GET", "/health", None, &[], 200).map(|_| ())
+    }
+
+    /// Uploads a protected bitstream + params; the returned receipt's
+    /// token gates in-place transforms on this photo.
+    ///
+    /// # Errors
+    /// Fails on transport errors or a non-200 response.
+    pub fn upload(&mut self, bytes: &[u8], params: &[u8]) -> Result<UploadReceipt> {
+        let body = proto::encode_pair(bytes, params);
+        let (_, resp) = self.expect("POST", "/photos", None, &body, 200)?;
+        let text = String::from_utf8_lossy(&resp);
+        let field = |key: &str| {
+            text.lines()
+                .find_map(|l| l.strip_prefix(key))
+                .map(str::to_string)
+        };
+        let id = field("id:")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| PspError::Channel("upload response missing id".into()))?;
+        let owner_token = field("token:")
+            .ok_or_else(|| PspError::Channel("upload response missing token".into()))?;
+        Ok(UploadReceipt {
+            id: PhotoId(id),
+            owner_token,
+        })
+    }
+
+    /// Downloads the stored bitstream.
+    ///
+    /// # Errors
+    /// Fails on transport errors or unknown photos.
+    pub fn download(&mut self, id: PhotoId) -> Result<Vec<u8>> {
+        self.expect("GET", &format!("/photos/{}", id.0), None, &[], 200)
+            .map(|(_, body)| body)
+    }
+
+    /// Downloads the stored public params.
+    ///
+    /// # Errors
+    /// Fails on transport errors or unknown photos.
+    pub fn download_params(&mut self, id: PhotoId) -> Result<Vec<u8>> {
+        self.expect("GET", &format!("/photos/{}/params", id.0), None, &[], 200)
+            .map(|(_, body)| body)
+    }
+
+    /// Serving-door transform: returns `(bytes, params, cache outcome)`
+    /// without modifying the stored photo.
+    ///
+    /// # Errors
+    /// Fails on transport errors, unknown photos, or invalid transforms.
+    pub fn download_transformed(
+        &mut self,
+        id: PhotoId,
+        t: &Transformation,
+    ) -> Result<(Vec<u8>, Vec<u8>, WireCache)> {
+        let (headers, body) = self.expect(
+            "POST",
+            &format!("/photos/{}/transformed", id.0),
+            None,
+            &t.canonical_bytes(),
+            200,
+        )?;
+        let (bytes, params) = proto::decode_pair(&body)
+            .ok_or_else(|| PspError::Channel("bad transformed-download body".into()))?;
+        let cache =
+            headers
+                .iter()
+                .find(|(k, _)| k == "x-cache")
+                .map_or(WireCache::Miss, |(_, v)| {
+                    if v == "hit" {
+                        WireCache::Hit
+                    } else {
+                        WireCache::Miss
+                    }
+                });
+        Ok((bytes, params, cache))
+    }
+
+    /// In-place transform, authorized by the upload receipt's owner token.
+    ///
+    /// # Errors
+    /// Fails on transport errors, bad tokens, or invalid transforms.
+    pub fn transform(&mut self, id: PhotoId, owner_token: &str, t: &Transformation) -> Result<()> {
+        self.expect(
+            "POST",
+            &format!("/photos/{}/transform", id.0),
+            Some(owner_token),
+            &t.canonical_bytes(),
+            204,
+        )
+        .map(|_| ())
+    }
+
+    /// Registers this receiver's DH public value; the returned bearer
+    /// token authorizes [`Client::fetch_grants`].
+    ///
+    /// # Errors
+    /// Fails on transport errors.
+    pub fn register_receiver(&mut self, dh_public: u128) -> Result<String> {
+        let (_, resp) = self.expect("POST", "/receivers", None, &dh_public.to_le_bytes(), 200)?;
+        String::from_utf8_lossy(&resp)
+            .lines()
+            .find_map(|l| l.strip_prefix("token:").map(str::to_string))
+            .ok_or_else(|| PspError::Channel("receiver response missing token".into()))
+    }
+
+    /// Deposits an end-to-end-encrypted grant in `receiver`'s mailbox.
+    /// The PSP never sees the plaintext.
+    ///
+    /// # Errors
+    /// Fails on transport errors.
+    pub fn deposit_grant(&mut self, receiver: u128, sender: u128, ciphertext: &[u8]) -> Result<()> {
+        let mut body = Vec::with_capacity(36 + ciphertext.len());
+        body.extend_from_slice(&receiver.to_le_bytes());
+        body.extend_from_slice(&sender.to_le_bytes());
+        proto::put_frame(&mut body, ciphertext);
+        self.expect("POST", "/grants", None, &body, 204).map(|_| ())
+    }
+
+    /// Drains this receiver's mailbox: `(sender public, ciphertext)`
+    /// pairs, oldest first. Durable — a fetched grant stays fetched
+    /// across server restarts.
+    ///
+    /// # Errors
+    /// Fails on transport errors or an unknown token.
+    pub fn fetch_grants(&mut self, receiver_token: &str) -> Result<Vec<(u128, Vec<u8>)>> {
+        let (_, body) = self.expect("GET", "/grants", Some(receiver_token), &[], 200)?;
+        let mut out = Vec::new();
+        let mut pos = 0;
+        while pos < body.len() {
+            let sender_bytes = body
+                .get(pos..pos + 16)
+                .ok_or_else(|| PspError::Channel("torn grant list".into()))?;
+            let sender = u128::from_le_bytes(sender_bytes.try_into().unwrap());
+            pos += 16;
+            let ciphertext = proto::take_frame(&body, &mut pos)
+                .ok_or_else(|| PspError::Channel("torn grant frame".into()))?;
+            out.push((sender, ciphertext.to_vec()));
+        }
+        Ok(out)
+    }
+
+    /// `GET /stats` as `key:value` lines.
+    ///
+    /// # Errors
+    /// Fails on transport errors.
+    pub fn stats(&mut self) -> Result<String> {
+        self.expect("GET", "/stats", None, &[], 200)
+            .map(|(_, body)| String::from_utf8_lossy(&body).into_owned())
+    }
+
+    /// Asks the server to re-read `serve.conf` (admin token required).
+    ///
+    /// # Errors
+    /// Fails on transport errors or a bad token.
+    pub fn reload(&mut self, admin_token: &str) -> Result<String> {
+        self.expect("POST", "/admin/reload", Some(admin_token), &[], 200)
+            .map(|(_, body)| String::from_utf8_lossy(&body).into_owned())
+    }
+
+    /// Asks the server to drain and stop (admin token required).
+    ///
+    /// # Errors
+    /// Fails on transport errors or a bad token.
+    pub fn shutdown(&mut self, admin_token: &str) -> Result<()> {
+        self.expect("POST", "/admin/shutdown", Some(admin_token), &[], 202)
+            .map(|_| ())
+    }
+}

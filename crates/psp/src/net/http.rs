@@ -1,0 +1,359 @@
+//! Minimal HTTP/1.1 over a `TcpStream`: just enough protocol for the PSP
+//! service and its blocking client — request-line + headers,
+//! `Content-Length` framing both ways, keep-alive. Deliberately not a
+//! general server: no chunked encoding, no `Expect: continue`, no TLS.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers) in bytes.
+const MAX_HEAD: usize = 16 * 1024;
+/// Upper bound on header count, to bound the parse loop.
+const MAX_HEADERS: usize = 64;
+
+/// A parsed request: method, percent-free path, lowercased headers, body.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, ... (uppercase as received).
+    pub method: String,
+    /// Request target, e.g. `/photos/3/transformed` (query ignored).
+    pub path: String,
+    /// `(lowercased name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Raw body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The bearer token from `Authorization`, if present.
+    pub fn bearer(&self) -> Option<&str> {
+        self.header("authorization")?.strip_prefix("Bearer ")
+    }
+
+    /// Whether the connection should stay open after this exchange.
+    pub fn keep_alive(&self) -> bool {
+        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Outcome of reading one request off a connection.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// Peer closed the connection cleanly between requests.
+    Closed,
+    /// The bytes on the wire were not a request we accept; the given
+    /// status/reason should be written back before closing.
+    Malformed(u16, &'static str),
+}
+
+/// Reads one request. `max_body` caps `Content-Length`; io timeouts and
+/// errors surface as `Err` so the caller can decide whether the deadline
+/// was a graceful-shutdown poll or a real failure.
+///
+/// # Errors
+/// Propagates socket errors, including read timeouts (`WouldBlock` /
+/// `TimedOut`).
+pub fn read_request(reader: &mut BufReader<TcpStream>, max_body: usize) -> io::Result<ReadOutcome> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(ReadOutcome::Closed);
+    }
+    if line.len() > MAX_HEAD {
+        return Ok(ReadOutcome::Malformed(414, "URI Too Long"));
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v),
+        _ => return Ok(ReadOutcome::Malformed(400, "Bad Request")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(ReadOutcome::Malformed(505, "HTTP Version Not Supported"));
+    }
+    let mut headers = Vec::new();
+    let mut head_bytes = line.len();
+    loop {
+        let mut h = String::new();
+        if reader.read_line(&mut h)? == 0 {
+            return Ok(ReadOutcome::Malformed(400, "Bad Request"));
+        }
+        head_bytes += h.len();
+        if head_bytes > MAX_HEAD || headers.len() > MAX_HEADERS {
+            return Ok(ReadOutcome::Malformed(
+                431,
+                "Request Header Fields Too Large",
+            ));
+        }
+        let trimmed = h.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        match trimmed.split_once(':') {
+            Some((k, v)) => headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string())),
+            None => return Ok(ReadOutcome::Malformed(400, "Bad Request")),
+        }
+    }
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>());
+    let body = match content_length {
+        None => Vec::new(),
+        Some(Err(_)) => return Ok(ReadOutcome::Malformed(400, "Bad Request")),
+        Some(Ok(n)) if n > max_body => return Ok(ReadOutcome::Malformed(413, "Payload Too Large")),
+        Some(Ok(n)) => {
+            let mut body = vec![0u8; n];
+            reader.read_exact(&mut body)?;
+            body
+        }
+    };
+    // Query strings are not part of the API; strip them so routing is exact.
+    let path = path.split('?').next().unwrap_or("").to_string();
+    Ok(ReadOutcome::Request(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+/// A response ready to serialize: status, extra headers, body.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra `(name, value)` headers beyond `Content-Length`/`Connection`.
+    pub headers: Vec<(&'static str, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// 200 with a binary body.
+    pub fn ok(body: Vec<u8>) -> Response {
+        Response {
+            status: 200,
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// 200 with a text body.
+    pub fn text(body: impl Into<String>) -> Response {
+        Response::ok(body.into().into_bytes())
+    }
+
+    /// Status + reason as a one-line text body.
+    pub fn status(status: u16, reason: &str) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: format!("{reason}\n").into_bytes(),
+        }
+    }
+
+    /// Adds a header, builder-style.
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.headers.push((name, value.into()));
+        self
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        204 => "No Content",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        414 => "URI Too Long",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes a response. `keep_alive` selects the `Connection` header.
+///
+/// # Errors
+/// Propagates socket errors.
+pub fn write_response(stream: &mut TcpStream, resp: &Response, keep_alive: bool) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (k, v) in &resp.headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}
+
+/// Client side: writes a request with a binary body.
+///
+/// # Errors
+/// Propagates socket errors.
+pub fn write_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    bearer: Option<&str>,
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: psp\r\ncontent-length: {}\r\n",
+        body.len()
+    );
+    if let Some(token) = bearer {
+        head.push_str("authorization: Bearer ");
+        head.push_str(token);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// A parsed response triple: status, headers (lowercased names), body.
+pub type RawResponse = (u16, Vec<(String, String)>, Vec<u8>);
+
+/// Client side: reads a status line + headers + `Content-Length` body.
+/// Returns `(status, headers, body)`.
+///
+/// # Errors
+/// Fails on socket errors or a response that is not minimal HTTP/1.1.
+pub fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<RawResponse> {
+    let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before response",
+        ));
+    }
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut h = String::new();
+        if reader.read_line(&mut h)? == 0 {
+            return Err(bad("truncated response head"));
+        }
+        let trimmed = h.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        let (k, v) = trimmed.split_once(':').ok_or_else(|| bad("bad header"))?;
+        let (k, v) = (k.trim().to_ascii_lowercase(), v.trim().to_string());
+        if k == "content-length" {
+            content_length = v.parse().map_err(|_| bad("bad content-length"))?;
+        }
+        headers.push((k, v));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok((status, headers, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    fn pipe() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let join = thread::spawn(move || TcpStream::connect(addr).unwrap());
+        let (server, _) = listener.accept().unwrap();
+        (join.join().unwrap(), server)
+    }
+
+    #[test]
+    fn request_roundtrip_with_body_and_bearer() {
+        let (mut client, server) = pipe();
+        write_request(
+            &mut client,
+            "POST",
+            "/photos/7/transform",
+            Some("tok"),
+            b"abc",
+        )
+        .unwrap();
+        let mut reader = BufReader::new(server);
+        match read_request(&mut reader, 1024).unwrap() {
+            ReadOutcome::Request(req) => {
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.path, "/photos/7/transform");
+                assert_eq!(req.bearer(), Some("tok"));
+                assert_eq!(req.body, b"abc");
+                assert!(req.keep_alive());
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let (client, mut server) = pipe();
+        let resp = Response::ok(vec![1, 2, 3]).with_header("x-cache", "hit");
+        write_response(&mut server, &resp, true).unwrap();
+        let mut reader = BufReader::new(client);
+        let (status, headers, body) = read_response(&mut reader).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, vec![1, 2, 3]);
+        assert!(headers.iter().any(|(k, v)| k == "x-cache" && v == "hit"));
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_as_413() {
+        let (mut client, server) = pipe();
+        write_request(&mut client, "POST", "/photos", None, &[0u8; 64]).unwrap();
+        let mut reader = BufReader::new(server);
+        match read_request(&mut reader, 16).unwrap() {
+            ReadOutcome::Malformed(413, _) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_close_between_requests_is_detected() {
+        let (client, server) = pipe();
+        drop(client);
+        let mut reader = BufReader::new(server);
+        assert!(matches!(
+            read_request(&mut reader, 16).unwrap(),
+            ReadOutcome::Closed
+        ));
+    }
+}

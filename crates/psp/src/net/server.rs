@@ -1,0 +1,563 @@
+//! The serving loop: a thread-per-connection HTTP/1.1 front end over
+//! [`DiskStore`], with graceful drain on SIGTERM/SIGINT and `serve.conf`
+//! reload on SIGHUP (or `POST /admin/reload`).
+//!
+//! The accept loop runs nonblocking and polls a shutdown flag every 25 ms,
+//! so `kill -TERM` stops new connections immediately; handler threads
+//! notice the drain at their next idle poll (≤500 ms), finish the request
+//! they are on, and exit. The WAL is synced before [`Server::run`]
+//! returns, so a graceful stop loses nothing even with per-append fsync
+//! disabled. A `kill -9` at any point is also safe — that is the WAL's
+//! job, not the drain's.
+
+use super::http::{self, ReadOutcome, Request, Response};
+use super::proto;
+use crate::cache::{fnv64, fnv64_chain};
+use crate::store::{PhotoId, PspConfig};
+use crate::store_disk::DiskStore;
+use crate::{PspError, Result};
+use parking_lot::RwLock;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// How the server is stood up. Everything here is fixed for the process
+/// lifetime; per-request tunables live in `serve.conf` and reload.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7070` (port 0 for ephemeral).
+    pub addr: String,
+    /// Store directory (WAL, segments, `admin.token`, `serve.conf`).
+    pub dir: PathBuf,
+    /// Whether every WAL append fsyncs (durability) — disable only for
+    /// benchmarks that measure something other than the disk.
+    pub fsync: bool,
+    /// In-memory store configuration (cache budget, shard count...).
+    pub psp: PspConfig,
+}
+
+impl ServeConfig {
+    /// A config with the default [`PspConfig`] and fsync on.
+    pub fn new(addr: impl Into<String>, dir: impl Into<PathBuf>) -> ServeConfig {
+        ServeConfig {
+            addr: addr.into(),
+            dir: dir.into(),
+            fsync: true,
+            psp: PspConfig::default(),
+        }
+    }
+}
+
+/// Settings re-read from `<dir>/serve.conf` on SIGHUP / `/admin/reload`.
+/// The file is `key = value` lines, `#` comments; unknown keys are
+/// ignored so the format can grow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tunables {
+    /// Largest accepted request body in bytes.
+    pub max_body: usize,
+    /// Whether to honour HTTP keep-alive (off forces one request per
+    /// connection — useful when diagnosing connection-state bugs).
+    pub keep_alive: bool,
+}
+
+impl Default for Tunables {
+    fn default() -> Tunables {
+        Tunables {
+            // Two max-size frames plus framing slack.
+            max_body: 2 * proto::MAX_FRAME_LEN + 64,
+            keep_alive: true,
+        }
+    }
+}
+
+impl Tunables {
+    fn parse(text: &str) -> Tunables {
+        let mut t = Tunables::default();
+        for line in text.lines() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            match (key.trim(), value.trim()) {
+                ("max_body", v) => {
+                    if let Ok(n) = v.parse() {
+                        t.max_body = n;
+                    }
+                }
+                ("keep_alive", v) => {
+                    if let Ok(b) = v.parse() {
+                        t.keep_alive = b;
+                    }
+                }
+                _ => {}
+            }
+        }
+        t
+    }
+
+    fn load(dir: &Path) -> Tunables {
+        match std::fs::read_to_string(dir.join("serve.conf")) {
+            Ok(text) => Tunables::parse(&text),
+            Err(_) => Tunables::default(),
+        }
+    }
+}
+
+// Process-wide signal flags. Signal handlers may only do async-signal-safe
+// work; a relaxed store to a static atomic is exactly that.
+static SIG_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+static SIG_RELOAD: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_shutdown(_: i32) {
+        SIG_SHUTDOWN.store(true, Ordering::Relaxed);
+    }
+    extern "C" fn on_reload(_: i32) {
+        SIG_RELOAD.store(true, Ordering::Relaxed);
+    }
+    const SIGINT: i32 = 2;
+    const SIGHUP: i32 = 1;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_shutdown as *const () as usize);
+        signal(SIGINT, on_shutdown as *const () as usize);
+        signal(SIGHUP, on_reload as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+/// Best-effort entropy for token generation: wall clock, monotonic clock,
+/// pid, and a fresh allocation's address, folded through FNV. Tokens gate
+/// a *simulation-grade* service (the key channel itself is a 61-bit toy
+/// group); this does not need CSPRNG strength, it needs uniqueness.
+fn entropy64(salt: u64) -> u64 {
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0);
+    let tick = Instant::now();
+    let addr = &tick as *const _ as u64;
+    let mut h = fnv64_chain(salt, &nanos.to_le_bytes());
+    h = fnv64_chain(h, &std::process::id().to_le_bytes());
+    h = fnv64_chain(h, &addr.to_le_bytes());
+    h
+}
+
+fn random_token() -> [u8; 32] {
+    let mut out = [0u8; 32];
+    let mut h = entropy64(0xcbf2_9ce4_8422_2325);
+    for chunk in out.chunks_mut(8) {
+        h = entropy64(h);
+        chunk.copy_from_slice(&h.to_le_bytes());
+    }
+    out
+}
+
+/// Shared state between the accept loop and handler threads.
+struct Shared {
+    store: DiskStore,
+    dir: PathBuf,
+    admin_token: String,
+    /// Seed for owner-token derivation (from the admin token, so owner
+    /// tokens survive restarts without widening the WAL).
+    owner_seed: u64,
+    tunables: RwLock<Tunables>,
+    draining: AtomicBool,
+    connections: AtomicUsize,
+}
+
+impl Shared {
+    fn owner_token(&self, id: PhotoId) -> String {
+        let mut bytes = [0u8; 32];
+        let mut h = fnv64_chain(self.owner_seed, &id.0.to_le_bytes());
+        for chunk in bytes.chunks_mut(8) {
+            h = fnv64_chain(h, b"owner");
+            chunk.copy_from_slice(&h.to_le_bytes());
+        }
+        proto::hex(&bytes)
+    }
+}
+
+/// A bound, recovered, ready-to-run PSP service.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Opens (recovering) the store, loads or mints `admin.token`, reads
+    /// `serve.conf`, and binds the listener. Nothing is served until
+    /// [`Server::run`].
+    ///
+    /// # Errors
+    /// Fails on recovery errors or if the address cannot be bound.
+    pub fn bind(config: &ServeConfig) -> Result<Server> {
+        let store = DiskStore::open(&config.dir, config.psp.clone(), config.fsync)?;
+        let token_path = config.dir.join("admin.token");
+        let admin_token = match std::fs::read_to_string(&token_path) {
+            Ok(t) if t.trim().len() == 64 => t.trim().to_string(),
+            _ => {
+                let minted = proto::hex(&random_token());
+                std::fs::write(&token_path, &minted)
+                    .map_err(|e| PspError::Channel(format!("writing admin token: {e}")))?;
+                minted
+            }
+        };
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| PspError::Channel(format!("binding {}: {e}", config.addr)))?;
+        let shared = Arc::new(Shared {
+            owner_seed: fnv64(admin_token.as_bytes()),
+            store,
+            dir: config.dir.clone(),
+            admin_token,
+            tunables: RwLock::new(Tunables::load(&config.dir)),
+            draining: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The actual bound address (resolves port 0).
+    ///
+    /// # Errors
+    /// Propagates the socket error.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// What recovery found when the store was opened.
+    pub fn recovery(&self) -> crate::store_disk::RecoveryStats {
+        self.shared.store.recovery()
+    }
+
+    /// Serves until SIGTERM/SIGINT or `POST /admin/shutdown`, then drains:
+    /// stops accepting, lets in-flight requests finish (10 s deadline),
+    /// syncs the WAL, returns.
+    ///
+    /// # Errors
+    /// Fails on listener errors or a failed final WAL sync.
+    pub fn run(self) -> Result<()> {
+        install_signal_handlers();
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| PspError::Channel(format!("nonblocking listener: {e}")))?;
+        while !self.draining() {
+            if SIG_RELOAD.swap(false, Ordering::Relaxed) {
+                self.reload();
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&self.shared);
+                    shared.connections.fetch_add(1, Ordering::Relaxed);
+                    puppies_obs::counter_add("psp.net.conn_accepted", 1);
+                    puppies_obs::gauge_add("psp.net.connections", 1);
+                    std::thread::spawn(move || {
+                        let _ = handle_connection(&shared, stream);
+                        shared.connections.fetch_sub(1, Ordering::Relaxed);
+                        puppies_obs::gauge_add("psp.net.connections", -1);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => return Err(PspError::Channel(format!("accept: {e}"))),
+            }
+        }
+        // Drain: handler threads poll `draining` at least every 500 ms.
+        self.shared.draining.store(true, Ordering::Relaxed);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while self.shared.connections.load(Ordering::Relaxed) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        self.shared.store.sync()
+    }
+
+    fn draining(&self) -> bool {
+        SIG_SHUTDOWN.load(Ordering::Relaxed) || self.shared.draining.load(Ordering::Relaxed)
+    }
+
+    fn reload(&self) {
+        let t = Tunables::load(&self.shared.dir);
+        *self.shared.tunables.write() = t;
+        puppies_obs::counter_add("psp.net.reloads", 1);
+    }
+}
+
+/// One client connection: serve requests until close, malformed input, a
+/// drain, or `connection: close`.
+fn handle_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        // Poll for the start of a request without consuming anything, so a
+        // read timeout here (the idle keep-alive case) can never tear a
+        // half-read request head.
+        match reader.fill_buf() {
+            Ok([]) => return Ok(()), // peer closed
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.draining.load(Ordering::Relaxed) || SIG_SHUTDOWN.load(Ordering::Relaxed) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        let tunables = *shared.tunables.read();
+        let req = match http::read_request(&mut reader, tunables.max_body)? {
+            ReadOutcome::Request(req) => req,
+            ReadOutcome::Closed => return Ok(()),
+            ReadOutcome::Malformed(status, why) => {
+                let _ = http::write_response(&mut writer, &Response::status(status, why), false);
+                return Ok(());
+            }
+        };
+        let keep_alive = tunables.keep_alive && req.keep_alive();
+        let sw = puppies_obs::Stopwatch::start();
+        let resp = route(shared, &req);
+        puppies_obs::counter_add("psp.net.requests", 1);
+        sw.record_us("psp.net.req_us");
+        sw.record_us(endpoint_metric(&req));
+        if resp.status >= 500 {
+            puppies_obs::counter_add("psp.net.errors", 1);
+        }
+        let shutdown_after = resp.status == 202 && req.path == "/admin/shutdown";
+        http::write_response(&mut writer, &resp, keep_alive && !shutdown_after)?;
+        if shutdown_after {
+            shared.draining.store(true, Ordering::Relaxed);
+            return Ok(());
+        }
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+/// Stable per-endpoint latency histogram name.
+fn endpoint_metric(req: &Request) -> &'static str {
+    let mut segs = req.path.split('/').filter(|s| !s.is_empty());
+    match (req.method.as_str(), segs.next(), segs.next(), segs.next()) {
+        ("POST", Some("photos"), None, None) => "psp.net.upload_us",
+        ("GET", Some("photos"), Some(_), None) => "psp.net.download_us",
+        ("GET", Some("photos"), Some(_), Some("params")) => "psp.net.params_us",
+        ("POST", Some("photos"), Some(_), Some("transformed")) => "psp.net.transformed_us",
+        ("POST", Some("photos"), Some(_), Some("transform")) => "psp.net.transform_us",
+        (_, Some("grants"), ..) => "psp.net.grants_us",
+        (_, Some("receivers"), ..) => "psp.net.receivers_us",
+        _ => "psp.net.other_us",
+    }
+}
+
+fn error_response(e: &PspError) -> Response {
+    match e {
+        PspError::UnknownPhoto(_) => Response::status(404, "unknown photo"),
+        PspError::Transform(e) => Response::status(400, &format!("transform: {e}")),
+        PspError::Core(e) => Response::status(400, &format!("core: {e}")),
+        PspError::IdsExhausted => Response::status(503, "id space exhausted"),
+        PspError::Channel(m) => Response::status(500, m),
+    }
+}
+
+fn respond<T>(out: Result<T>, ok: impl FnOnce(T) -> Response) -> Response {
+    match out {
+        Ok(v) => ok(v),
+        Err(e) => error_response(&e),
+    }
+}
+
+fn route(shared: &Shared, req: &Request) -> Response {
+    let segs: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segs.as_slice()) {
+        ("GET", ["health"]) => Response::text("ok\n"),
+        ("GET", ["stats"]) => stats(shared),
+        ("POST", ["photos"]) => upload(shared, req),
+        ("GET", ["photos", id]) => with_id(id, |id| {
+            respond(shared.store.server().download(id), |b| {
+                Response::ok(b.to_vec())
+            })
+        }),
+        ("GET", ["photos", id, "params"]) => with_id(id, |id| {
+            respond(shared.store.server().download_params(id), |p| {
+                Response::ok(p.to_vec())
+            })
+        }),
+        ("POST", ["photos", id, "transformed"]) => {
+            with_id(id, |id| download_transformed(shared, req, id))
+        }
+        ("POST", ["photos", id, "transform"]) => with_id(id, |id| transform(shared, req, id)),
+        ("POST", ["receivers"]) => register_receiver(shared, req),
+        ("POST", ["grants"]) => deposit_grant(shared, req),
+        ("GET", ["grants"]) => drain_grants(shared, req),
+        ("POST", ["admin", "reload"]) => admin(shared, req, |shared| {
+            let t = Tunables::load(&shared.dir);
+            *shared.tunables.write() = t;
+            puppies_obs::counter_add("psp.net.reloads", 1);
+            Response::text(format!(
+                "max_body:{}\nkeep_alive:{}\n",
+                t.max_body, t.keep_alive
+            ))
+        }),
+        ("POST", ["admin", "shutdown"]) => {
+            admin(shared, req, |_| Response::status(202, "draining"))
+        }
+        (_, ["health" | "stats" | "photos" | "receivers" | "grants" | "admin", ..]) => {
+            Response::status(405, "method not allowed")
+        }
+        _ => Response::status(404, "no such endpoint"),
+    }
+}
+
+fn with_id(raw: &str, f: impl FnOnce(PhotoId) -> Response) -> Response {
+    match raw.parse::<u64>() {
+        Ok(id) => f(PhotoId(id)),
+        Err(_) => Response::status(400, "bad photo id"),
+    }
+}
+
+fn admin(shared: &Shared, req: &Request, f: impl FnOnce(&Shared) -> Response) -> Response {
+    match req.bearer() {
+        Some(token) if token == shared.admin_token => f(shared),
+        Some(_) => Response::status(403, "bad admin token"),
+        None => Response::status(401, "admin token required"),
+    }
+}
+
+fn stats(shared: &Shared) -> Response {
+    let server = shared.store.server();
+    let cache = server.cache_stats();
+    Response::text(format!(
+        "photos:{}\ncache_hits:{}\ncache_misses:{}\ncache_entries:{}\ncache_bytes:{}\n",
+        server.len(),
+        cache.hits,
+        cache.misses,
+        cache.entries,
+        cache.bytes,
+    ))
+}
+
+fn upload(shared: &Shared, req: &Request) -> Response {
+    let Some((bytes, params)) = proto::decode_pair(&req.body) else {
+        return Response::status(400, "bad upload body");
+    };
+    respond(shared.store.upload(bytes, params), |id| {
+        Response::text(format!("id:{}\ntoken:{}\n", id.0, shared.owner_token(id)))
+    })
+}
+
+fn download_transformed(shared: &Shared, req: &Request, id: PhotoId) -> Response {
+    let Some(t) = proto::decode_transformation(&req.body) else {
+        return Response::status(400, "bad transformation encoding");
+    };
+    respond(
+        shared.store.server().download_transformed_traced(id, &t),
+        |((bytes, params), outcome)| {
+            let cache = match outcome {
+                crate::store::CacheOutcome::Hit => "hit",
+                _ => "miss",
+            };
+            Response::ok(proto::encode_pair(&bytes, &params)).with_header("x-cache", cache)
+        },
+    )
+}
+
+fn transform(shared: &Shared, req: &Request, id: PhotoId) -> Response {
+    match req.bearer() {
+        Some(token) if token == shared.owner_token(id) => {}
+        Some(_) => return Response::status(403, "bad owner token"),
+        None => return Response::status(401, "owner token required"),
+    }
+    let Some(t) = proto::decode_transformation(&req.body) else {
+        return Response::status(400, "bad transformation encoding");
+    };
+    respond(shared.store.transform(id, &t), |()| {
+        Response::status(204, "transformed")
+    })
+}
+
+fn register_receiver(shared: &Shared, req: &Request) -> Response {
+    let Ok(public): std::result::Result<[u8; 16], _> = req.body.as_slice().try_into() else {
+        return Response::status(400, "body must be a 16-byte DH public value");
+    };
+    let token = random_token();
+    respond(
+        shared
+            .store
+            .register_receiver(u128::from_le_bytes(public), token),
+        |()| Response::text(format!("token:{}\n", proto::hex(&token))),
+    )
+}
+
+fn deposit_grant(shared: &Shared, req: &Request) -> Response {
+    let body = &req.body;
+    if body.len() < 32 {
+        return Response::status(400, "bad grant body");
+    }
+    let receiver = u128::from_le_bytes(body[..16].try_into().unwrap());
+    let sender = u128::from_le_bytes(body[16..32].try_into().unwrap());
+    let mut pos = 32;
+    let Some(ciphertext) = proto::take_frame(body, &mut pos) else {
+        return Response::status(400, "bad grant ciphertext frame");
+    };
+    if pos != body.len() {
+        return Response::status(400, "trailing bytes after grant");
+    }
+    respond(
+        shared
+            .store
+            .deposit_grant(receiver, sender, ciphertext.to_vec()),
+        |()| Response::status(204, "deposited"),
+    )
+}
+
+fn drain_grants(shared: &Shared, req: &Request) -> Response {
+    let Some(token) = req.bearer() else {
+        return Response::status(401, "receiver token required");
+    };
+    let Some(receiver) = proto::unhex(token)
+        .filter(|t| t.len() == 32)
+        .and_then(|t| shared.store.receiver_for_token(&t))
+    else {
+        return Response::status(403, "unknown receiver token");
+    };
+    respond(shared.store.drain_grants(receiver), |deposits| {
+        let mut out = Vec::new();
+        for (sender, ciphertext) in deposits {
+            out.extend_from_slice(&sender.to_le_bytes());
+            proto::put_frame(&mut out, &ciphertext);
+        }
+        Response::ok(out)
+    })
+}
+
+/// Convenience: bind and run in one call (the CLI entry point).
+///
+/// # Errors
+/// As [`Server::bind`] and [`Server::run`].
+pub fn serve(config: &ServeConfig) -> Result<()> {
+    let server = Server::bind(config)?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| PspError::Channel(format!("local addr: {e}")))?;
+    let rec = server.recovery();
+    let mut stdout = io::stdout();
+    let _ = writeln!(
+        stdout,
+        "psp-serve listening on {addr} (recovered {} records, {} photos, truncated {} bytes)",
+        rec.records, rec.photos, rec.truncated_bytes
+    );
+    let _ = stdout.flush();
+    server.run()
+}

@@ -299,6 +299,49 @@ impl PspServer {
         Ok(id)
     }
 
+    /// Reinstates a photo at an explicit id — the persistence layer's
+    /// replay door ([`crate::store_disk`] drives it when rebuilding from
+    /// the WAL). Overwrites any existing entry (a `Transform` WAL record
+    /// replays as an overwrite of the `Upload` before it) and advances the
+    /// id allocator past `id`, so post-recovery uploads never collide with
+    /// restored photos. Not an API door: it bypasses the request log.
+    pub fn restore_photo(&self, id: PhotoId, bytes: Vec<u8>, params: Vec<u8>) {
+        let stored = Arc::new(StoredPhoto {
+            bytes: bytes.into(),
+            params: params.into(),
+            hashes: OnceLock::new(),
+        });
+        let new_size = stored.size();
+        let replaced = self.shard(id).photos.write().insert(id, stored);
+        self.footprint.fetch_add(new_size, Ordering::Relaxed);
+        match replaced {
+            Some(old) => {
+                self.footprint.fetch_sub(old.size(), Ordering::Relaxed);
+                if let Some(&(bytes_fnv, _)) = old.hashes.get() {
+                    self.memo.invalidate(bytes_fnv);
+                }
+            }
+            None => {
+                self.photo_count.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // Advance the allocator monotonically past the restored id; ids at
+        // u64::MAX leave the allocator saturated (exhausted), never wrapped.
+        let next = id.0.saturating_add(1);
+        let mut cur = self.next_id.load(Ordering::Relaxed);
+        while cur < next {
+            match self.next_id.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
     /// Downloads the image bytes (any user may call this — the threat
     /// model's "unauthorized access at PSP side" is exactly this door).
     /// Zero-copy: the returned `Arc` shares the stored allocation.
@@ -354,6 +397,22 @@ impl PspServer {
     /// transformations, or photos that were already transformed in place
     /// (chains are not supported).
     pub fn download_transformed(&self, id: PhotoId, t: &Transformation) -> Result<ServedPair> {
+        self.download_transformed_traced(id, t)
+            .map(|(pair, _)| pair)
+    }
+
+    /// [`PspServer::download_transformed`], but also reports whether the
+    /// result came from the transform cache — the serving layer surfaces
+    /// this on the wire (`x-cache: hit|miss`) so load generators can
+    /// verify cache behaviour end to end.
+    ///
+    /// # Errors
+    /// As [`PspServer::download_transformed`].
+    pub fn download_transformed_traced(
+        &self,
+        id: PhotoId,
+        t: &Transformation,
+    ) -> Result<(ServedPair, CacheOutcome)> {
         let start = Instant::now();
         let _span = puppies_obs::span("psp.download_transformed", "psp");
         let out = self
@@ -372,7 +431,7 @@ impl PspServer {
             out.is_ok(),
             outcome,
         );
-        out.map(|(pair, _)| pair)
+        out
     }
 
     /// Applies a transformation to a stored photo *in place*, recording it
@@ -871,6 +930,24 @@ mod tests {
         ));
         assert_eq!(server.download(id).unwrap().as_ref(), &[1u8][..]);
         assert_eq!(server.len(), 1);
+    }
+
+    #[test]
+    fn restore_photo_replays_uploads_and_overwrites() {
+        let server = PspServer::new();
+        server.restore_photo(PhotoId(3), vec![1, 2, 3], vec![9]);
+        server.restore_photo(PhotoId(7), vec![4, 5], vec![]);
+        assert_eq!(server.len(), 2);
+        assert_eq!(server.download(PhotoId(3)).unwrap().as_ref(), &[1, 2, 3]);
+        assert_eq!(server.storage_footprint_total(), 4 + 2);
+        // A Transform replay overwrites in place without changing counts.
+        server.restore_photo(PhotoId(3), vec![6; 10], vec![7; 2]);
+        assert_eq!(server.len(), 2);
+        assert_eq!(server.download(PhotoId(3)).unwrap().as_ref(), &[6u8; 10]);
+        assert_eq!(server.storage_footprint_total(), 12 + 2);
+        // The allocator resumes past the highest restored id.
+        let id = server.upload(vec![0], vec![]).unwrap();
+        assert_eq!(id, PhotoId(8));
     }
 
     #[test]

@@ -1,0 +1,508 @@
+//! Persistent PSP store: a content-addressed segment directory plus a
+//! write-ahead log wrapped around the in-memory [`PspServer`].
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! <dir>/
+//!   wal.log                  append-only record log (see [`crate::wal`])
+//!   segments/<fnv64 hex>.seg content-addressed blobs (bitstreams, params)
+//! ```
+//!
+//! Blobs are named by the FNV-1a 64 of their content, so a segment write
+//! is idempotent: re-uploading identical bytes re-references the existing
+//! file, and a crashed write can never damage a referenced segment (new
+//! content lands under a temp name and is atomically renamed into place).
+//!
+//! # Durability protocol
+//!
+//! 1. write + fsync the referenced segment files (rename into place);
+//! 2. apply the change to the in-memory [`PspServer`];
+//! 3. append + fsync the WAL record;
+//! 4. acknowledge the client.
+//!
+//! A crash before (3) loses only unacknowledged work; a crash during (3)
+//! tears at most the final record, which replay truncates. Recovery
+//! ([`DiskStore::open`]) replays the log in order, rebuilding the server
+//! with [`PspServer::restore_photo`] and the grant mailbox verbatim.
+//! Serving reads (`download`, `download_transformed`, …) never touch the
+//! disk — they hit the in-memory sharded store and transform cache, so
+//! persistence costs writes only.
+
+use crate::cache::fnv64;
+use crate::store::{PhotoId, PspConfig, PspServer};
+use crate::wal::{Wal, WalRecord};
+use crate::{PspError, Result};
+use parking_lot::Mutex;
+use puppies_transform::Transformation;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// What [`DiskStore::open`] found while recovering.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Intact WAL records replayed.
+    pub records: u64,
+    /// Photos live after replay.
+    pub photos: u64,
+    /// Bytes of torn WAL tail truncated away.
+    pub truncated_bytes: u64,
+}
+
+/// A mailbox of encrypted grants addressed to one receiver public value.
+#[derive(Debug, Default, Clone)]
+pub struct Mailbox {
+    /// `(sender DH public, ciphertext)` deposits, oldest first.
+    pub deposits: Vec<(u128, Vec<u8>)>,
+}
+
+#[derive(Debug, Default)]
+struct GrantState {
+    /// token bytes → receiver DH public value.
+    tokens: std::collections::HashMap<[u8; 32], u128>,
+    /// receiver DH public value → pending deposits.
+    mailboxes: std::collections::HashMap<u128, Mailbox>,
+}
+
+/// The persistent server: [`PspServer`] semantics, plus every
+/// acknowledged mutation is durable and recoverable.
+#[derive(Debug)]
+pub struct DiskStore {
+    server: PspServer,
+    wal: Mutex<Wal>,
+    grants: Mutex<GrantState>,
+    segments: PathBuf,
+    recovery: RecoveryStats,
+}
+
+fn io_err(e: io::Error, what: &str) -> PspError {
+    PspError::Channel(format!("{what}: {e}"))
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) the store rooted at `dir`, replaying the
+    /// WAL: every acknowledged upload/transform/grant is reinstated, a
+    /// torn tail is truncated. `fsync` should be `true` everywhere except
+    /// tests/benches that measure something other than disk latency.
+    ///
+    /// # Errors
+    /// Fails on filesystem errors or a WAL record referencing a missing
+    /// segment (which the durability protocol makes impossible short of
+    /// external tampering).
+    pub fn open(dir: &Path, config: PspConfig, fsync: bool) -> Result<DiskStore> {
+        let segments = dir.join("segments");
+        fs::create_dir_all(&segments).map_err(|e| io_err(e, "creating segment dir"))?;
+        let wal_path = dir.join("wal.log");
+        let replay = Wal::replay(&wal_path).map_err(|e| io_err(e, "replaying wal"))?;
+        let server = PspServer::with_config(config);
+        let mut grants = GrantState::default();
+        let records = replay.records.len() as u64;
+        for record in &replay.records {
+            match record {
+                WalRecord::Upload {
+                    id,
+                    bytes_fnv,
+                    params_fnv,
+                }
+                | WalRecord::Transform {
+                    id,
+                    bytes_fnv,
+                    params_fnv,
+                } => {
+                    let bytes = read_segment(&segments, *bytes_fnv)?;
+                    let params = read_segment(&segments, *params_fnv)?;
+                    server.restore_photo(PhotoId(*id), bytes, params);
+                }
+                WalRecord::Receiver { dh_public, token } => {
+                    grants.tokens.insert(*token, *dh_public);
+                }
+                WalRecord::GrantDeposit {
+                    receiver,
+                    sender,
+                    ciphertext,
+                } => {
+                    grants
+                        .mailboxes
+                        .entry(*receiver)
+                        .or_default()
+                        .deposits
+                        .push((*sender, ciphertext.clone()));
+                }
+                WalRecord::GrantDrain { receiver } => {
+                    grants.mailboxes.remove(receiver);
+                }
+            }
+        }
+        let recovery = RecoveryStats {
+            records,
+            photos: server.len() as u64,
+            truncated_bytes: replay.truncated_bytes,
+        };
+        let wal = Wal::open(&wal_path, fsync).map_err(|e| io_err(e, "opening wal"))?;
+        Ok(DiskStore {
+            server,
+            wal: Mutex::new(wal),
+            grants: Mutex::new(grants),
+            segments,
+            recovery,
+        })
+    }
+
+    /// The in-memory server behind this store — read-only doors
+    /// (`download`, `download_params`, `download_transformed`, batch APIs,
+    /// stats) are safe to call directly; mutations must go through
+    /// [`DiskStore::upload`] / [`DiskStore::transform`] to stay durable.
+    pub fn server(&self) -> &PspServer {
+        &self.server
+    }
+
+    /// What recovery found when this store was opened.
+    pub fn recovery(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// Durable upload: segments + WAL are synced before the id is
+    /// returned, so an acknowledged upload survives `kill -9`.
+    ///
+    /// # Errors
+    /// Fails on id exhaustion or filesystem errors.
+    pub fn upload(&self, bytes: Vec<u8>, params: Vec<u8>) -> Result<PhotoId> {
+        let bytes_fnv = fnv64(&bytes);
+        let params_fnv = fnv64(&params);
+        write_segment(&self.segments, bytes_fnv, &bytes, self.fsync())?;
+        write_segment(&self.segments, params_fnv, &params, self.fsync())?;
+        let id = self.server.upload(bytes, params)?;
+        self.append(&WalRecord::Upload {
+            id: id.0,
+            bytes_fnv,
+            params_fnv,
+        })?;
+        Ok(id)
+    }
+
+    /// Durable in-place transform: runs [`PspServer::transform`], then
+    /// persists the rewritten blobs and the WAL record before returning.
+    ///
+    /// # Errors
+    /// Fails like the in-memory transform (unknown photo, chain attempt,
+    /// codec errors) or on filesystem errors.
+    pub fn transform(&self, id: PhotoId, t: &Transformation) -> Result<()> {
+        self.server.transform(id, t)?;
+        // Chains are rejected and concurrent double transforms refused, so
+        // the bytes now stored are exactly this transform's output.
+        let bytes = self.server.download(id)?;
+        let params = self.server.download_params(id)?;
+        let bytes_fnv = fnv64(&bytes);
+        let params_fnv = fnv64(&params);
+        write_segment(&self.segments, bytes_fnv, &bytes, self.fsync())?;
+        write_segment(&self.segments, params_fnv, &params, self.fsync())?;
+        self.append(&WalRecord::Transform {
+            id: id.0,
+            bytes_fnv,
+            params_fnv,
+        })?;
+        Ok(())
+    }
+
+    /// Registers a receiver token for a DH public value (durable).
+    ///
+    /// # Errors
+    /// Fails on filesystem errors.
+    pub fn register_receiver(&self, dh_public: u128, token: [u8; 32]) -> Result<()> {
+        self.append(&WalRecord::Receiver { dh_public, token })?;
+        self.grants.lock().tokens.insert(token, dh_public);
+        Ok(())
+    }
+
+    /// The DH public value a token authenticates, if the token is known.
+    pub fn receiver_for_token(&self, token: &[u8]) -> Option<u128> {
+        let token: [u8; 32] = token.try_into().ok()?;
+        self.grants.lock().tokens.get(&token).copied()
+    }
+
+    /// Deposits an end-to-end-encrypted grant in a receiver's mailbox
+    /// (durable). The PSP never sees the plaintext.
+    ///
+    /// # Errors
+    /// Fails on filesystem errors.
+    pub fn deposit_grant(&self, receiver: u128, sender: u128, ciphertext: Vec<u8>) -> Result<()> {
+        self.append(&WalRecord::GrantDeposit {
+            receiver,
+            sender,
+            ciphertext: ciphertext.clone(),
+        })?;
+        self.grants
+            .lock()
+            .mailboxes
+            .entry(receiver)
+            .or_default()
+            .deposits
+            .push((sender, ciphertext));
+        Ok(())
+    }
+
+    /// Drains a receiver's mailbox: returns and removes every pending
+    /// deposit (durable — the drain is logged so a restart does not
+    /// resurrect fetched grants).
+    ///
+    /// # Errors
+    /// Fails on filesystem errors.
+    pub fn drain_grants(&self, receiver: u128) -> Result<Vec<(u128, Vec<u8>)>> {
+        let pending = {
+            let mut grants = self.grants.lock();
+            match grants.mailboxes.remove(&receiver) {
+                Some(mb) if !mb.deposits.is_empty() => mb.deposits,
+                _ => return Ok(Vec::new()),
+            }
+        };
+        if let Err(e) = self.append(&WalRecord::GrantDrain { receiver }) {
+            // Logging failed: put the mail back so nothing is lost.
+            let mut grants = self.grants.lock();
+            let mb = grants.mailboxes.entry(receiver).or_default();
+            let mut restored = pending;
+            restored.append(&mut mb.deposits);
+            mb.deposits = restored;
+            return Err(e);
+        }
+        Ok(pending)
+    }
+
+    /// Pending deposits for a receiver without draining (diagnostics).
+    pub fn peek_grants(&self, receiver: u128) -> usize {
+        self.grants
+            .lock()
+            .mailboxes
+            .get(&receiver)
+            .map_or(0, |m| m.deposits.len())
+    }
+
+    /// Forces the WAL to disk (graceful-shutdown path when per-append
+    /// fsync is off).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn sync(&self) -> Result<()> {
+        self.wal.lock().sync().map_err(|e| io_err(e, "syncing wal"))
+    }
+
+    fn fsync(&self) -> bool {
+        // Mirror the WAL's setting for segment writes: one knob.
+        true
+    }
+
+    fn append(&self, record: &WalRecord) -> Result<()> {
+        self.wal
+            .lock()
+            .append(record)
+            .map_err(|e| io_err(e, "appending wal"))
+    }
+}
+
+/// Segment file path for a content hash.
+fn segment_path(dir: &Path, hash: u64) -> PathBuf {
+    dir.join(format!("{hash:016x}.seg"))
+}
+
+fn read_segment(dir: &Path, hash: u64) -> Result<Vec<u8>> {
+    let path = segment_path(dir, hash);
+    let bytes =
+        fs::read(&path).map_err(|e| io_err(e, &format!("reading segment {}", path.display())))?;
+    if fnv64(&bytes) != hash {
+        return Err(PspError::Channel(format!(
+            "segment {} fails its content hash",
+            path.display()
+        )));
+    }
+    Ok(bytes)
+}
+
+/// Writes a blob content-addressed: skip if present (identical content by
+/// construction), else write to a temp name, fsync, rename into place.
+/// Idempotent and crash-safe — a torn temp file is never referenced.
+fn write_segment(dir: &Path, hash: u64, bytes: &[u8], fsync: bool) -> Result<()> {
+    let path = segment_path(dir, hash);
+    if path.exists() {
+        return Ok(());
+    }
+    let tmp = dir.join(format!(
+        "{hash:016x}.tmp.{}.{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let write = || -> io::Result<()> {
+        let mut f = fs::File::create(&tmp)?;
+        io::Write::write_all(&mut f, bytes)?;
+        if fsync {
+            f.sync_data()?;
+        }
+        drop(f);
+        fs::rename(&tmp, &path)?;
+        Ok(())
+    };
+    write().map_err(|e| {
+        let _ = fs::remove_file(&tmp);
+        io_err(e, &format!("writing segment {}", path.display()))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs::OpenOptions;
+    use std::io::Write as _;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "puppies_disk_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn open(dir: &Path) -> DiskStore {
+        DiskStore::open(dir, PspConfig::default(), false).unwrap()
+    }
+
+    #[test]
+    fn upload_survives_reopen() {
+        let dir = tmp("reopen");
+        let (a, b);
+        {
+            let store = open(&dir);
+            a = store.upload(vec![1, 2, 3, 4], vec![9, 9]).unwrap();
+            b = store.upload(vec![5; 100], vec![]).unwrap();
+        }
+        let store = open(&dir);
+        assert_eq!(store.recovery().records, 2);
+        assert_eq!(store.recovery().photos, 2);
+        assert_eq!(store.recovery().truncated_bytes, 0);
+        assert_eq!(store.server().download(a).unwrap().as_ref(), &[1, 2, 3, 4]);
+        assert_eq!(store.server().download(b).unwrap().as_ref(), &[5u8; 100]);
+        assert_eq!(
+            store.server().download_params(a).unwrap().as_ref(),
+            &[9u8, 9]
+        );
+        // Ids keep allocating past the recovered range.
+        let c = store.upload(vec![7], vec![]).unwrap();
+        assert!(c > b);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_wal_tail_loses_only_the_torn_record() {
+        let dir = tmp("torn");
+        {
+            let store = open(&dir);
+            store.upload(vec![1, 1, 1], vec![]).unwrap();
+            store.upload(vec![2, 2, 2], vec![]).unwrap();
+        }
+        // Crash mid-append: garbage tail on the log.
+        {
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(dir.join("wal.log"))
+                .unwrap();
+            f.write_all(&[0x77, 0x88]).unwrap();
+        }
+        let store = open(&dir);
+        assert_eq!(store.recovery().truncated_bytes, 2);
+        assert_eq!(store.recovery().photos, 2);
+        assert_eq!(
+            store.server().download(PhotoId(0)).unwrap().as_ref(),
+            &[1, 1, 1]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transform_is_durable_and_replays_as_overwrite() {
+        use puppies_core::{protect, OwnerKey, ProtectOptions};
+        use puppies_image::{Rect, Rgb, RgbImage};
+        let dir = tmp("transform");
+        let img = RgbImage::from_fn(64, 64, |x, y| Rgb::new(x as u8 * 2, y as u8, 3));
+        let protected = protect(
+            &img,
+            &[Rect::new(8, 8, 16, 16)],
+            &OwnerKey::from_seed([5u8; 32]),
+            &ProtectOptions::default(),
+        )
+        .unwrap();
+        let id;
+        let after: Vec<u8>;
+        {
+            let store = open(&dir);
+            id = store
+                .upload(protected.bytes.clone(), protected.params.to_bytes())
+                .unwrap();
+            store.transform(id, &Transformation::Rotate180).unwrap();
+            after = store.server().download(id).unwrap().to_vec();
+            assert_ne!(after, protected.bytes);
+        }
+        let store = open(&dir);
+        assert_eq!(store.recovery().records, 2);
+        assert_eq!(store.recovery().photos, 1);
+        assert_eq!(store.server().download(id).unwrap().as_ref(), &after[..]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn identical_content_shares_one_segment() {
+        let dir = tmp("dedup");
+        let store = open(&dir);
+        store.upload(vec![42; 500], vec![7]).unwrap();
+        store.upload(vec![42; 500], vec![7]).unwrap();
+        let segs = fs::read_dir(dir.join("segments")).unwrap().count();
+        assert_eq!(segs, 2, "bytes + params, each stored once");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn grant_mailbox_is_durable_and_drains_once() {
+        let dir = tmp("grants");
+        let token = *b"aaaabbbbccccddddeeeeffff00001111";
+        {
+            let store = open(&dir);
+            store.register_receiver(1234, token).unwrap();
+            store.deposit_grant(1234, 99, vec![1, 2, 3]).unwrap();
+            store.deposit_grant(1234, 98, vec![4, 5]).unwrap();
+            store.deposit_grant(5678, 99, vec![6]).unwrap();
+        }
+        {
+            let store = open(&dir);
+            assert_eq!(store.receiver_for_token(&token), Some(1234));
+            assert_eq!(store.peek_grants(1234), 2);
+            let got = store.drain_grants(1234).unwrap();
+            assert_eq!(got, vec![(99, vec![1, 2, 3]), (98, vec![4, 5])]);
+            assert!(store.drain_grants(1234).unwrap().is_empty());
+        }
+        // The drain was logged: a restart does not resurrect the mail.
+        let store = open(&dir);
+        assert_eq!(store.peek_grants(1234), 0);
+        assert_eq!(store.peek_grants(5678), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tampered_segment_detected_at_recovery() {
+        let dir = tmp("tamper");
+        {
+            let store = open(&dir);
+            store.upload(vec![9; 64], vec![]).unwrap();
+        }
+        // Corrupt the bitstream segment.
+        let seg = fs::read_dir(dir.join("segments"))
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| fs::metadata(p).unwrap().len() == 64)
+            .unwrap();
+        let mut bytes = fs::read(&seg).unwrap();
+        bytes[0] ^= 0xFF;
+        fs::write(&seg, bytes).unwrap();
+        assert!(DiskStore::open(&dir, PspConfig::default(), false).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

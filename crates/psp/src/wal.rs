@@ -1,0 +1,481 @@
+//! Write-ahead log for the persistent PSP store.
+//!
+//! Every state change the server acknowledges is appended here *before*
+//! the acknowledgement goes out: a record is length-framed, checksummed,
+//! and fsync'd, so an upload the client saw succeed is recoverable after
+//! any crash — including `kill -9` mid-write.
+//!
+//! # Record framing
+//!
+//! ```text
+//! ┌────────────┬─────────────┬──────────────────────┐
+//! │ len: u32 LE│ crc: u64 LE │ payload (len bytes)  │
+//! └────────────┴─────────────┴──────────────────────┘
+//! ```
+//!
+//! `crc` is FNV-1a 64 over the payload. The payload starts with a one-byte
+//! record tag; integers are little-endian throughout. Large blobs (photo
+//! bitstreams, parameter blobs) do **not** live in the log — they are
+//! content-addressed segment files written and fsync'd before the WAL
+//! record that references them (see [`crate::store_disk`]); the log
+//! carries only their 64-bit content hashes. Grant-mailbox payloads are
+//! small and inlined.
+//!
+//! # Recovery invariants
+//!
+//! Replay ([`Wal::replay`]) reads records front to back and stops at the
+//! first frame that is short, overlong, or fails its checksum — by the
+//! append protocol that can only be a torn tail from a crash mid-write.
+//! The torn suffix is truncated (so the next append extends a clean log)
+//! and everything before it is returned in order. Because a record is
+//! only written after its referenced segments are durable, every replayed
+//! record's blobs are present on disk.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// FNV-1a 64 over a byte slice (frame checksum).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Upper bound on one record's payload. The largest legitimate record is
+/// a grant deposit (a few tens of KB of ciphertext); anything bigger in
+/// the length field is torn/corrupt framing, not data.
+pub const MAX_RECORD_LEN: usize = 1 << 22;
+
+/// One durable state change. Photo payloads are referenced by content
+/// hash (the segment file name); mailbox payloads are inline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A photo was uploaded: `id` now maps to the blobs with these
+    /// content hashes.
+    Upload {
+        /// Photo id the server assigned.
+        id: u64,
+        /// Content hash of the image bitstream segment.
+        bytes_fnv: u64,
+        /// Content hash of the public-parameter segment.
+        params_fnv: u64,
+    },
+    /// A photo was transformed in place: `id` now maps to the new blobs.
+    Transform {
+        /// Photo id that was rewritten.
+        id: u64,
+        /// Content hash of the replacement bitstream segment.
+        bytes_fnv: u64,
+        /// Content hash of the replacement parameter segment.
+        params_fnv: u64,
+    },
+    /// A receiver registered: `token` authenticates fetches of the
+    /// mailbox addressed to `dh_public`.
+    Receiver {
+        /// The receiver's Diffie–Hellman public value.
+        dh_public: u128,
+        /// The bearer token the server issued (32 ASCII hex chars).
+        token: [u8; 32],
+    },
+    /// A sender deposited an encrypted grant for a receiver.
+    GrantDeposit {
+        /// Mailbox address (the receiver's DH public value).
+        receiver: u128,
+        /// The sender's DH public value (the receiver needs it to agree).
+        sender: u128,
+        /// The end-to-end-encrypted grant — opaque to the PSP.
+        ciphertext: Vec<u8>,
+    },
+    /// A receiver drained its mailbox (fetched-and-removed semantics).
+    GrantDrain {
+        /// Mailbox address that was emptied.
+        receiver: u128,
+    },
+}
+
+impl WalRecord {
+    /// Serializes the payload (tag + fields, no frame).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            WalRecord::Upload {
+                id,
+                bytes_fnv,
+                params_fnv,
+            } => {
+                out.push(0x01);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&bytes_fnv.to_le_bytes());
+                out.extend_from_slice(&params_fnv.to_le_bytes());
+            }
+            WalRecord::Transform {
+                id,
+                bytes_fnv,
+                params_fnv,
+            } => {
+                out.push(0x02);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&bytes_fnv.to_le_bytes());
+                out.extend_from_slice(&params_fnv.to_le_bytes());
+            }
+            WalRecord::Receiver { dh_public, token } => {
+                out.push(0x03);
+                out.extend_from_slice(&dh_public.to_le_bytes());
+                out.extend_from_slice(token);
+            }
+            WalRecord::GrantDeposit {
+                receiver,
+                sender,
+                ciphertext,
+            } => {
+                out.push(0x04);
+                out.extend_from_slice(&receiver.to_le_bytes());
+                out.extend_from_slice(&sender.to_le_bytes());
+                out.extend_from_slice(&(ciphertext.len() as u32).to_le_bytes());
+                out.extend_from_slice(ciphertext);
+            }
+            WalRecord::GrantDrain { receiver } => {
+                out.push(0x05);
+                out.extend_from_slice(&receiver.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a payload produced by [`WalRecord::encode`]. Returns `None`
+    /// on any structural mismatch (unknown tag, wrong length) — replay
+    /// treats that exactly like a checksum failure.
+    pub fn decode(payload: &[u8]) -> Option<WalRecord> {
+        let (&tag, rest) = payload.split_first()?;
+        let u64_at = |b: &[u8], at: usize| -> Option<u64> {
+            Some(u64::from_le_bytes(b.get(at..at + 8)?.try_into().ok()?))
+        };
+        let u128_at = |b: &[u8], at: usize| -> Option<u128> {
+            Some(u128::from_le_bytes(b.get(at..at + 16)?.try_into().ok()?))
+        };
+        match tag {
+            0x01 | 0x02 => {
+                if rest.len() != 24 {
+                    return None;
+                }
+                let id = u64_at(rest, 0)?;
+                let bytes_fnv = u64_at(rest, 8)?;
+                let params_fnv = u64_at(rest, 16)?;
+                Some(if tag == 0x01 {
+                    WalRecord::Upload {
+                        id,
+                        bytes_fnv,
+                        params_fnv,
+                    }
+                } else {
+                    WalRecord::Transform {
+                        id,
+                        bytes_fnv,
+                        params_fnv,
+                    }
+                })
+            }
+            0x03 => {
+                if rest.len() != 48 {
+                    return None;
+                }
+                let dh_public = u128_at(rest, 0)?;
+                let token: [u8; 32] = rest[16..48].try_into().ok()?;
+                Some(WalRecord::Receiver { dh_public, token })
+            }
+            0x04 => {
+                if rest.len() < 36 {
+                    return None;
+                }
+                let receiver = u128_at(rest, 0)?;
+                let sender = u128_at(rest, 16)?;
+                let len = u32::from_le_bytes(rest[32..36].try_into().ok()?) as usize;
+                if rest.len() != 36 + len {
+                    return None;
+                }
+                Some(WalRecord::GrantDeposit {
+                    receiver,
+                    sender,
+                    ciphertext: rest[36..].to_vec(),
+                })
+            }
+            0x05 => {
+                if rest.len() != 16 {
+                    return None;
+                }
+                Some(WalRecord::GrantDrain {
+                    receiver: u128_at(rest, 0)?,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Frames the record for appending: `len ‖ crc ‖ payload`.
+    pub fn to_frame(&self) -> Vec<u8> {
+        let payload = self.encode();
+        let mut frame = Vec::with_capacity(12 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv64(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame
+    }
+}
+
+/// What [`Wal::replay`] found.
+#[derive(Debug)]
+pub struct Replay {
+    /// Every intact record, in append order.
+    pub records: Vec<WalRecord>,
+    /// Bytes of torn/corrupt tail that were truncated away (0 on a clean
+    /// shutdown).
+    pub truncated_bytes: u64,
+}
+
+/// An append-only write-ahead log over one file.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    /// `false` trades durability for speed (tests and in-process benches);
+    /// the serve binary always runs with fsync on.
+    fsync: bool,
+}
+
+impl Wal {
+    /// Opens (creating if needed) the log at `path` for appending. Call
+    /// [`Wal::replay`] first — it truncates any torn tail, which keeps
+    /// appends off a corrupt suffix.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn open(path: &Path, fsync: bool) -> std::io::Result<Wal> {
+        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(Wal { file, fsync })
+    }
+
+    /// Appends one record; returns once it is durable (written + fsync'd
+    /// when fsync is on). The caller must hold whatever lock serializes
+    /// appends — the frame is written with a single `write_all` so a crash
+    /// can tear at most the final record.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors; the record must be considered *not*
+    /// acknowledged if this fails.
+    pub fn append(&mut self, record: &WalRecord) -> std::io::Result<()> {
+        self.file.write_all(&record.to_frame())?;
+        if self.fsync {
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Forces any buffered state to disk (used at graceful shutdown even
+    /// when per-append fsync is off).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()
+    }
+
+    /// Reads every intact record from `path`, truncating a torn tail in
+    /// place. Missing file ⇒ empty replay.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors (not corruption — corruption is
+    /// truncation, never an error).
+    pub fn replay(path: &Path) -> std::io::Result<Replay> {
+        let mut data = Vec::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut data)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Replay {
+                    records: Vec::new(),
+                    truncated_bytes: 0,
+                })
+            }
+            Err(e) => return Err(e),
+        }
+        let (records, good) = scan(&data);
+        let truncated = data.len() as u64 - good;
+        if truncated > 0 {
+            let f = OpenOptions::new().write(true).open(path)?;
+            f.set_len(good)?;
+            f.sync_data()?;
+        }
+        Ok(Replay {
+            records,
+            truncated_bytes: truncated,
+        })
+    }
+}
+
+/// Scans a raw log image, returning the intact records and the byte
+/// offset where the clean prefix ends. Pure so the proptest suite can
+/// drive it on arbitrary prefixes without touching the filesystem.
+pub fn scan(data: &[u8]) -> (Vec<WalRecord>, u64) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while let Some(header) = data.get(pos..pos + 12) {
+        let len = u32::from_le_bytes(header[..4].try_into().expect("sliced")) as usize;
+        let want_crc = u64::from_le_bytes(header[4..12].try_into().expect("sliced"));
+        if len > MAX_RECORD_LEN {
+            break;
+        }
+        let Some(payload) = data.get(pos + 12..pos + 12 + len) else {
+            break;
+        };
+        if fnv64(payload) != want_crc {
+            break;
+        }
+        let Some(record) = WalRecord::decode(payload) else {
+            break;
+        };
+        records.push(record);
+        pos += 12 + len;
+    }
+    (records, pos as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Upload {
+                id: 0,
+                bytes_fnv: 0xDEAD,
+                params_fnv: 0xBEEF,
+            },
+            WalRecord::Receiver {
+                dh_public: 42,
+                token: *b"0123456789abcdef0123456789abcdef",
+            },
+            WalRecord::GrantDeposit {
+                receiver: 42,
+                sender: 77,
+                ciphertext: vec![9u8; 300],
+            },
+            WalRecord::Transform {
+                id: 0,
+                bytes_fnv: 0xCAFE,
+                params_fnv: 0xF00D,
+            },
+            WalRecord::GrantDrain { receiver: 42 },
+        ]
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        for r in sample_records() {
+            assert_eq!(WalRecord::decode(&r.encode()).as_ref(), Some(&r));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_payloads() {
+        assert!(WalRecord::decode(&[]).is_none());
+        assert!(WalRecord::decode(&[0xFF, 1, 2]).is_none(), "unknown tag");
+        let mut enc = sample_records()[0].encode();
+        enc.pop();
+        assert!(WalRecord::decode(&enc).is_none(), "short upload");
+        let mut enc = sample_records()[2].encode();
+        enc.push(0);
+        assert!(WalRecord::decode(&enc).is_none(), "overlong deposit");
+    }
+
+    #[test]
+    fn scan_stops_at_torn_tail() {
+        let recs = sample_records();
+        let mut image = Vec::new();
+        for r in &recs {
+            image.extend_from_slice(&r.to_frame());
+        }
+        let clean_len = image.len() as u64;
+        // Clean image: all records, no truncation.
+        let (got, good) = scan(&image);
+        assert_eq!(got, recs);
+        assert_eq!(good, clean_len);
+        // Append half a frame: the tail is ignored, prefix intact.
+        let extra = recs[0].to_frame();
+        image.extend_from_slice(&extra[..extra.len() / 2]);
+        let (got, good) = scan(&image);
+        assert_eq!(got, recs);
+        assert_eq!(good, clean_len);
+    }
+
+    #[test]
+    fn scan_stops_at_corrupt_checksum() {
+        let recs = sample_records();
+        let mut image = Vec::new();
+        for r in &recs {
+            image.extend_from_slice(&r.to_frame());
+        }
+        // Flip one payload byte in the middle record.
+        let second_start = recs[0].to_frame().len() + recs[1].to_frame().len();
+        image[second_start + 12] ^= 0x40;
+        let (got, good) = scan(&image);
+        assert_eq!(got, recs[..2]);
+        assert_eq!(good, second_start as u64);
+    }
+
+    #[test]
+    fn scan_rejects_absurd_length_field() {
+        let mut image = sample_records()[0].to_frame();
+        image.extend_from_slice(&u32::MAX.to_le_bytes());
+        image.extend_from_slice(&[0u8; 8]);
+        let (got, good) = scan(&image);
+        assert_eq!(got.len(), 1);
+        assert_eq!(good, sample_records()[0].to_frame().len() as u64);
+    }
+
+    #[test]
+    fn file_replay_truncates_torn_tail_in_place() {
+        let dir = std::env::temp_dir().join(format!("puppies_wal_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tail.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path, false).unwrap();
+            for r in sample_records() {
+                wal.append(&r).unwrap();
+            }
+        }
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        // Simulate a crash mid-append.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0x11, 0x22, 0x33]).unwrap();
+        }
+        let replay = Wal::replay(&path).unwrap();
+        assert_eq!(replay.records, sample_records());
+        assert_eq!(replay.truncated_bytes, 3);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len);
+        // A further append then replays cleanly.
+        {
+            let mut wal = Wal::open(&path, false).unwrap();
+            wal.append(&WalRecord::GrantDrain { receiver: 1 }).unwrap();
+        }
+        let replay = Wal::replay(&path).unwrap();
+        assert_eq!(replay.records.len(), sample_records().len() + 1);
+        assert_eq!(replay.truncated_bytes, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replay_of_missing_file_is_empty() {
+        let path = std::env::temp_dir().join("puppies_wal_never_exists.wal");
+        let _ = std::fs::remove_file(&path);
+        let replay = Wal::replay(&path).unwrap();
+        assert!(replay.records.is_empty());
+        assert_eq!(replay.truncated_bytes, 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! End-to-end tests of the networked PSP: a real `Server` on an ephemeral
+//! loopback port, driven by the blocking `Client`, checked byte-for-byte
+//! against the in-process `PspServer` it wraps.
+
+use puppies_core::{protect, OwnerKey, ProtectOptions};
+use puppies_image::{Rect, Rgb, RgbImage};
+use puppies_psp::net::{Client, ServeConfig, Server};
+use puppies_psp::{KeyAgreement, PspConfig, PspServer};
+use puppies_transform::Transformation;
+use std::path::{Path, PathBuf};
+use std::thread::JoinHandle;
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "puppies_net_e2e_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn protected_photo(seed: u8) -> (Vec<u8>, Vec<u8>) {
+    let img = RgbImage::from_fn(64, 64, |x, y| {
+        Rgb::new(
+            seed.wrapping_add((x * 3 + y) as u8),
+            (x + y * 2) as u8,
+            seed,
+        )
+    });
+    let p = protect(
+        &img,
+        &[Rect::new(8, 8, 24, 24)],
+        &OwnerKey::from_seed([seed; 32]),
+        &ProtectOptions::default(),
+    )
+    .unwrap();
+    (p.bytes, p.params.to_bytes())
+}
+
+struct Running {
+    addr: String,
+    admin: String,
+    join: JoinHandle<()>,
+}
+
+fn start(dir: &Path) -> Running {
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        dir: dir.to_path_buf(),
+        fsync: false,
+        psp: PspConfig::default(),
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let join = std::thread::spawn(move || server.run().unwrap());
+    let admin = std::fs::read_to_string(dir.join("admin.token"))
+        .unwrap()
+        .trim()
+        .to_string();
+    Running { addr, admin, join }
+}
+
+fn stop(run: Running) {
+    let mut c = Client::connect(&run.addr).unwrap();
+    c.shutdown(&run.admin).unwrap();
+    run.join.join().unwrap();
+}
+
+#[test]
+fn wire_flow_matches_in_process_byte_for_byte() {
+    let dir = tmp("parity");
+    let run = start(&dir);
+    let mut client = Client::connect(&run.addr).unwrap();
+    client.health().unwrap();
+
+    let (bytes, params) = protected_photo(7);
+    let receipt = client.upload(&bytes, &params).unwrap();
+
+    // Raw download round-trips the protected bitstream untouched.
+    assert_eq!(client.download(receipt.id).unwrap(), bytes);
+    assert_eq!(client.download_params(receipt.id).unwrap(), params);
+
+    // The serving-door transform matches the in-process path exactly.
+    let reference = PspServer::new();
+    let ref_id = reference.upload(bytes.clone(), params.clone()).unwrap();
+    let t = Transformation::Rotate90;
+    let (ref_bytes, ref_params) = reference.download_transformed(ref_id, &t).unwrap();
+    let (net_bytes, net_params, _) = client.download_transformed(receipt.id, &t).unwrap();
+    assert_eq!(net_bytes, ref_bytes.to_vec());
+    assert_eq!(net_params, ref_params.to_vec());
+
+    // Second identical request is a cache hit on the wire.
+    let (_, _, cache) = client.download_transformed(receipt.id, &t).unwrap();
+    assert_eq!(cache, puppies_psp::net::client::WireCache::Hit);
+
+    // In-place transform needs the owner token.
+    let err = client
+        .transform(receipt.id, "0000", &Transformation::Rotate180)
+        .unwrap_err();
+    assert!(err.to_string().contains("403"), "got: {err}");
+    client
+        .transform(receipt.id, &receipt.owner_token, &Transformation::Rotate180)
+        .unwrap();
+    reference
+        .transform(ref_id, &Transformation::Rotate180)
+        .unwrap();
+    assert_eq!(
+        client.download(receipt.id).unwrap(),
+        reference.download(ref_id).unwrap().to_vec()
+    );
+
+    stop(run);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn grant_mailbox_is_end_to_end_encrypted_and_durable() {
+    let dir = tmp("grants");
+    let run = start(&dir);
+    let mut client = Client::connect(&run.addr).unwrap();
+
+    // Receiver registers; sender encrypts a grant for them end-to-end.
+    let receiver_ka = KeyAgreement::new(&mut rand_seeded(1));
+    let sender_ka = KeyAgreement::new(&mut rand_seeded(2));
+    let token = client
+        .register_receiver(receiver_ka.public_value())
+        .unwrap();
+
+    let sender_channel = sender_ka.agree(receiver_ka.public_value());
+    let plaintext = b"grant: keys for photo 0".to_vec();
+    let ciphertext = sender_channel.encrypt(&plaintext);
+    client
+        .deposit_grant(
+            receiver_ka.public_value(),
+            sender_ka.public_value(),
+            &ciphertext,
+        )
+        .unwrap();
+
+    // Restart the server: the mailbox and token must survive.
+    stop(run);
+    let run = start(&dir);
+    let mut client = Client::connect(&run.addr).unwrap();
+
+    let grants = client.fetch_grants(&token).unwrap();
+    assert_eq!(grants.len(), 1);
+    let (sender_public, fetched) = &grants[0];
+    let receiver_channel = receiver_ka.agree(*sender_public);
+    assert_eq!(receiver_channel.decrypt(fetched).unwrap(), plaintext);
+
+    // Drained durably: another fetch (and another restart) is empty.
+    assert!(client.fetch_grants(&token).unwrap().is_empty());
+    stop(run);
+    let run = start(&dir);
+    let mut client = Client::connect(&run.addr).unwrap();
+    assert!(client.fetch_grants(&token).unwrap().is_empty());
+    assert!(client.fetch_grants("deadbeef").is_err());
+
+    stop(run);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn uploads_survive_restart_and_ids_keep_allocating() {
+    let dir = tmp("restart");
+    let (bytes, params) = protected_photo(3);
+    let first;
+    {
+        let run = start(&dir);
+        let mut client = Client::connect(&run.addr).unwrap();
+        first = client.upload(&bytes, &params).unwrap();
+        stop(run);
+    }
+    let run = start(&dir);
+    let mut client = Client::connect(&run.addr).unwrap();
+    assert_eq!(client.download(first.id).unwrap(), bytes);
+    // Owner token derivation is stable across restarts.
+    client
+        .transform(first.id, &first.owner_token, &Transformation::FlipVertical)
+        .unwrap();
+    let second = client.upload(&bytes, &params).unwrap();
+    assert!(second.id > first.id);
+    stop(run);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reload_applies_serve_conf() {
+    let dir = tmp("reload");
+    let run = start(&dir);
+    let mut client = Client::connect(&run.addr).unwrap();
+    let (bytes, params) = protected_photo(9);
+
+    std::fs::write(dir.join("serve.conf"), "max_body = 64\n").unwrap();
+    let echo = client.reload(&run.admin).unwrap();
+    assert!(echo.contains("max_body:64"), "got: {echo}");
+
+    // Uploads over the new cap are refused; small bodies still work.
+    let mut fresh = Client::connect(&run.addr).unwrap();
+    assert!(fresh.upload(&bytes, &params).is_err());
+    let mut fresh = Client::connect(&run.addr).unwrap();
+    fresh.health().unwrap();
+
+    std::fs::write(dir.join("serve.conf"), "").unwrap();
+    client.reload(&run.admin).unwrap();
+    let mut fresh = Client::connect(&run.addr).unwrap();
+    fresh.upload(&bytes, &params).unwrap();
+
+    stop(run);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn rand_seeded(seed: u8) -> impl rand::Rng {
+    use rand::SeedableRng;
+    rand_chacha::ChaCha20Rng::from_seed([seed; 32])
+}

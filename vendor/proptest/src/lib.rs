@@ -209,7 +209,7 @@ macro_rules! arbitrary_standard {
     )*};
 }
 
-arbitrary_standard!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, f32, f64);
+arbitrary_standard!(bool, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, f32, f64);
 
 impl<const N: usize> Arbitrary for [u8; N] {
     fn arbitrary(rng: &mut StdRng) -> Self {
@@ -416,6 +416,8 @@ pub mod prelude {
         ProptestConfig, Strategy,
     };
     pub use crate::{Arbitrary, TestCaseError, Union};
+    // Matches real proptest's prelude: `prop::collection::vec(...)` etc.
+    pub use crate as prop;
 }
 
 #[macro_export]

@@ -107,6 +107,18 @@ standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32, i8 => next_u32,
     i16 => next_u32, i32 => next_u32, u64 => next_u64, i64 => next_u64,
     usize => next_u64, isize => next_u64);
 
+impl Standard for u128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Standard for i128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::sample_standard(rng) as i128
+    }
+}
+
 impl Standard for bool {
     fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
         rng.next_u32() & 1 == 1
