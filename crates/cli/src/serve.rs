@@ -277,14 +277,22 @@ pub fn cmd_wal_dump(args: &[String]) -> CliResult {
     // truncate a torn tail in place — a dump must not mutate evidence.
     let data = std::fs::read(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
     let (records, good) = puppies_psp::wal::scan(&data);
-    println!(
+    // Write, don't println!: the dump is routinely piped to `head`, and
+    // println! panics on the EPIPE when the pipe closes early.
+    use std::io::Write as _;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let _ = writeln!(
+        out,
         "{}: {} record(s), {} torn byte(s) at the tail",
         path.display(),
         records.len(),
         data.len() as u64 - good
     );
     for (i, record) in records.iter().enumerate() {
-        println!("{i:>6}: {record:?}");
+        if writeln!(out, "{i:>6}: {record:?}").is_err() {
+            break;
+        }
     }
     Ok(())
 }

@@ -20,6 +20,7 @@ pub mod cache;
 pub mod channel;
 pub mod client;
 pub mod net;
+pub mod sha256;
 pub mod store;
 pub mod store_disk;
 pub mod wal;

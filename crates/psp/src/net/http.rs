@@ -44,6 +44,60 @@ impl Request {
     }
 }
 
+/// Outcome of one bounded line read.
+enum Line {
+    /// Clean EOF before any byte of the line.
+    Eof,
+    /// The line exceeded its byte cap; the connection should be dropped.
+    TooLong,
+    /// A complete line, without its terminator (`\n`, `\r\n` stripped).
+    /// EOF mid-line yields the partial bytes, like `read_line` would.
+    Bytes(Vec<u8>),
+}
+
+/// Reads one `\n`-terminated line, never buffering more than `cap`
+/// bytes. `BufRead::read_line` has no cap — it would buffer an endless
+/// newline-free stream whole, an unbounded-memory DoS — so the head
+/// must be read through this instead.
+fn read_line_capped(reader: &mut impl BufRead, cap: usize) -> io::Result<Line> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let (consumed, done) = {
+            let available = reader.fill_buf()?;
+            if available.is_empty() {
+                return Ok(if line.is_empty() {
+                    Line::Eof
+                } else {
+                    Line::Bytes(line)
+                });
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    if line.len() + i > cap {
+                        return Ok(Line::TooLong);
+                    }
+                    line.extend_from_slice(&available[..i]);
+                    (i + 1, true)
+                }
+                None => {
+                    if line.len() + available.len() > cap {
+                        return Ok(Line::TooLong);
+                    }
+                    line.extend_from_slice(available);
+                    (available.len(), false)
+                }
+            }
+        };
+        reader.consume(consumed);
+        if done {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return Ok(Line::Bytes(line));
+        }
+    }
+}
+
 /// Outcome of reading one request off a connection.
 #[derive(Debug)]
 pub enum ReadOutcome {
@@ -64,13 +118,14 @@ pub enum ReadOutcome {
 /// Propagates socket errors, including read timeouts (`WouldBlock` /
 /// `TimedOut`).
 pub fn read_request(reader: &mut BufReader<TcpStream>, max_body: usize) -> io::Result<ReadOutcome> {
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
-        return Ok(ReadOutcome::Closed);
-    }
-    if line.len() > MAX_HEAD {
-        return Ok(ReadOutcome::Malformed(414, "URI Too Long"));
-    }
+    let line = match read_line_capped(reader, MAX_HEAD)? {
+        Line::Eof => return Ok(ReadOutcome::Closed),
+        Line::TooLong => return Ok(ReadOutcome::Malformed(414, "URI Too Long")),
+        Line::Bytes(bytes) => match String::from_utf8(bytes) {
+            Ok(s) => s,
+            Err(_) => return Ok(ReadOutcome::Malformed(400, "Bad Request")),
+        },
+    };
     let mut parts = line.split_whitespace();
     let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v),
@@ -80,24 +135,32 @@ pub fn read_request(reader: &mut BufReader<TcpStream>, max_body: usize) -> io::R
         return Ok(ReadOutcome::Malformed(505, "HTTP Version Not Supported"));
     }
     let mut headers = Vec::new();
-    let mut head_bytes = line.len();
+    let mut head_budget = MAX_HEAD - line.len().min(MAX_HEAD);
     loop {
-        let mut h = String::new();
-        if reader.read_line(&mut h)? == 0 {
-            return Ok(ReadOutcome::Malformed(400, "Bad Request"));
-        }
-        head_bytes += h.len();
-        if head_bytes > MAX_HEAD || headers.len() > MAX_HEADERS {
+        let h = match read_line_capped(reader, head_budget)? {
+            Line::Eof => return Ok(ReadOutcome::Malformed(400, "Bad Request")),
+            Line::TooLong => {
+                return Ok(ReadOutcome::Malformed(
+                    431,
+                    "Request Header Fields Too Large",
+                ))
+            }
+            Line::Bytes(bytes) => match String::from_utf8(bytes) {
+                Ok(s) => s,
+                Err(_) => return Ok(ReadOutcome::Malformed(400, "Bad Request")),
+            },
+        };
+        head_budget -= (h.len() + 1).min(head_budget);
+        if headers.len() > MAX_HEADERS {
             return Ok(ReadOutcome::Malformed(
                 431,
                 "Request Header Fields Too Large",
             ));
         }
-        let trimmed = h.trim_end_matches(['\r', '\n']);
-        if trimmed.is_empty() {
+        if h.is_empty() {
             break;
         }
-        match trimmed.split_once(':') {
+        match h.split_once(':') {
             Some((k, v)) => headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string())),
             None => return Ok(ReadOutcome::Malformed(400, "Bad Request")),
         }
@@ -250,13 +313,16 @@ pub type RawResponse = (u16, Vec<(String, String)>, Vec<u8>);
 /// Fails on socket errors or a response that is not minimal HTTP/1.1.
 pub fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<RawResponse> {
     let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
-        return Err(io::Error::new(
-            io::ErrorKind::UnexpectedEof,
-            "connection closed before response",
-        ));
-    }
+    let line = match read_line_capped(reader, MAX_HEAD)? {
+        Line::Eof => {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before response",
+            ))
+        }
+        Line::TooLong => return Err(bad("status line too long")),
+        Line::Bytes(bytes) => String::from_utf8(bytes).map_err(|_| bad("non-utf8 status line"))?,
+    };
     let status: u16 = line
         .split_whitespace()
         .nth(1)
@@ -265,11 +331,13 @@ pub fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<RawRespons
     let mut headers = Vec::new();
     let mut content_length = 0usize;
     loop {
-        let mut h = String::new();
-        if reader.read_line(&mut h)? == 0 {
-            return Err(bad("truncated response head"));
-        }
-        let trimmed = h.trim_end_matches(['\r', '\n']);
+        let trimmed = match read_line_capped(reader, MAX_HEAD)? {
+            Line::Eof => return Err(bad("truncated response head")),
+            Line::TooLong => return Err(bad("response header too long")),
+            Line::Bytes(bytes) => {
+                String::from_utf8(bytes).map_err(|_| bad("non-utf8 header"))?
+            }
+        };
         if trimmed.is_empty() {
             break;
         }
@@ -279,6 +347,9 @@ pub fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<RawRespons
             content_length = v.parse().map_err(|_| bad("bad content-length"))?;
         }
         headers.push((k, v));
+        if headers.len() > MAX_HEADERS {
+            return Err(bad("too many response headers"));
+        }
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
@@ -344,6 +415,38 @@ mod tests {
             ReadOutcome::Malformed(413, _) => {}
             other => panic!("unexpected: {other:?}"),
         }
+    }
+
+    #[test]
+    fn newline_free_stream_is_bounded_not_buffered() {
+        let (mut client, server) = pipe();
+        // A head with no newline must be rejected once it exceeds
+        // MAX_HEAD, not buffered without bound while the peer streams.
+        let junk = vec![b'A'; MAX_HEAD + 1024];
+        client.write_all(&junk).unwrap();
+        client.flush().unwrap();
+        let mut reader = BufReader::new(server);
+        match read_request(&mut reader, 1024).unwrap() {
+            ReadOutcome::Malformed(414, _) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_header_line_is_rejected_as_431() {
+        let (mut client, server) = pipe();
+        let mut req = b"GET /health HTTP/1.1\r\nx-junk: ".to_vec();
+        req.resize(req.len() + MAX_HEAD, b'j');
+        let writer = thread::spawn(move || {
+            let _ = client.write_all(&req);
+            client
+        });
+        let mut reader = BufReader::new(server);
+        match read_request(&mut reader, 1024).unwrap() {
+            ReadOutcome::Malformed(431, _) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        drop(writer.join().unwrap());
     }
 
     #[test]

@@ -12,7 +12,8 @@
 
 use super::http::{self, ReadOutcome, Request, Response};
 use super::proto;
-use crate::cache::{fnv64, fnv64_chain};
+use crate::cache::fnv64_chain;
+use crate::sha256::{ct_eq, sha256, sha256_concat};
 use crate::store::{PhotoId, PspConfig};
 use crate::store_disk::DiskStore;
 use crate::{PspError, Result};
@@ -135,10 +136,9 @@ fn install_signal_handlers() {
 #[cfg(not(unix))]
 fn install_signal_handlers() {}
 
-/// Best-effort entropy for token generation: wall clock, monotonic clock,
-/// pid, and a fresh allocation's address, folded through FNV. Tokens gate
-/// a *simulation-grade* service (the key channel itself is a 61-bit toy
-/// group); this does not need CSPRNG strength, it needs uniqueness.
+/// Fallback entropy for platforms without `/dev/urandom`: wall clock,
+/// monotonic clock, pid, and a fresh allocation's address, folded through
+/// FNV. Only ever used hardened through SHA-256 (see [`random_token`]).
 fn entropy64(salt: u64) -> u64 {
     let nanos = SystemTime::now()
         .duration_since(UNIX_EPOCH)
@@ -152,14 +152,23 @@ fn entropy64(salt: u64) -> u64 {
     h
 }
 
+/// 32 token bytes from the OS CSPRNG (`/dev/urandom`) when it exists,
+/// else the clock/pid/address mix whitened through SHA-256.
 fn random_token() -> [u8; 32] {
     let mut out = [0u8; 32];
+    if std::fs::File::open("/dev/urandom")
+        .and_then(|mut f| std::io::Read::read_exact(&mut f, &mut out))
+        .is_ok()
+    {
+        return out;
+    }
+    let mut seed = [0u8; 32];
     let mut h = entropy64(0xcbf2_9ce4_8422_2325);
-    for chunk in out.chunks_mut(8) {
+    for chunk in seed.chunks_mut(8) {
         h = entropy64(h);
         chunk.copy_from_slice(&h.to_le_bytes());
     }
-    out
+    sha256(&seed)
 }
 
 /// Shared state between the accept loop and handler threads.
@@ -167,23 +176,24 @@ struct Shared {
     store: DiskStore,
     dir: PathBuf,
     admin_token: String,
-    /// Seed for owner-token derivation (from the admin token, so owner
-    /// tokens survive restarts without widening the WAL).
-    owner_seed: u64,
     tunables: RwLock<Tunables>,
     draining: AtomicBool,
     connections: AtomicUsize,
 }
 
 impl Shared {
+    /// Per-photo owner token: a one-way keyed derivation from the admin
+    /// secret, `SHA-256(domain ‖ admin token ‖ id)`. Keyed so tokens
+    /// survive restarts without widening the WAL; one-way so no uploader
+    /// can invert their own token back to the secret and forge another
+    /// photo's (an invertible mix like FNV allows exactly that).
     fn owner_token(&self, id: PhotoId) -> String {
-        let mut bytes = [0u8; 32];
-        let mut h = fnv64_chain(self.owner_seed, &id.0.to_le_bytes());
-        for chunk in bytes.chunks_mut(8) {
-            h = fnv64_chain(h, b"owner");
-            chunk.copy_from_slice(&h.to_le_bytes());
-        }
-        proto::hex(&bytes)
+        let digest = sha256_concat(&[
+            b"puppies.owner.v1",
+            self.admin_token.as_bytes(),
+            &id.0.to_le_bytes(),
+        ]);
+        proto::hex(&digest)
     }
 }
 
@@ -215,7 +225,6 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| PspError::Channel(format!("binding {}: {e}", config.addr)))?;
         let shared = Arc::new(Shared {
-            owner_seed: fnv64(admin_token.as_bytes()),
             store,
             dir: config.dir.clone(),
             admin_token,
@@ -429,7 +438,7 @@ fn with_id(raw: &str, f: impl FnOnce(PhotoId) -> Response) -> Response {
 
 fn admin(shared: &Shared, req: &Request, f: impl FnOnce(&Shared) -> Response) -> Response {
     match req.bearer() {
-        Some(token) if token == shared.admin_token => f(shared),
+        Some(token) if ct_eq(token.as_bytes(), shared.admin_token.as_bytes()) => f(shared),
         Some(_) => Response::status(403, "bad admin token"),
         None => Response::status(401, "admin token required"),
     }
@@ -475,7 +484,7 @@ fn download_transformed(shared: &Shared, req: &Request, id: PhotoId) -> Response
 
 fn transform(shared: &Shared, req: &Request, id: PhotoId) -> Response {
     match req.bearer() {
-        Some(token) if token == shared.owner_token(id) => {}
+        Some(token) if ct_eq(token.as_bytes(), shared.owner_token(id).as_bytes()) => {}
         Some(_) => return Response::status(403, "bad owner token"),
         None => return Response::status(401, "owner token required"),
     }

@@ -5,14 +5,17 @@
 //!
 //! ```text
 //! <dir>/
-//!   wal.log                  append-only record log (see [`crate::wal`])
-//!   segments/<fnv64 hex>.seg content-addressed blobs (bitstreams, params)
+//!   wal.log                    append-only record log (see [`crate::wal`])
+//!   segments/<sha256 hex>.seg  content-addressed blobs (bitstreams, params)
 //! ```
 //!
-//! Blobs are named by the FNV-1a 64 of their content, so a segment write
+//! Blobs are named by the SHA-256 of their content, so a segment write
 //! is idempotent: re-uploading identical bytes re-references the existing
 //! file, and a crashed write can never damage a referenced segment (new
 //! content lands under a temp name and is atomically renamed into place).
+//! The hash must be collision-resistant — dedup trusts the file name, so
+//! with a craftable hash (FNV, CRC) one uploader could pre-plant a
+//! colliding blob and alias a later upload's content.
 //!
 //! # Durability protocol
 //!
@@ -29,7 +32,7 @@
 //! disk — they hit the in-memory sharded store and transform cache, so
 //! persistence costs writes only.
 
-use crate::cache::fnv64;
+use crate::sha256::sha256;
 use crate::store::{PhotoId, PspConfig, PspServer};
 use crate::wal::{Wal, WalRecord};
 use crate::{PspError, Result};
@@ -74,6 +77,9 @@ pub struct DiskStore {
     grants: Mutex<GrantState>,
     segments: PathBuf,
     recovery: RecoveryStats,
+    /// Whether segment writes sync (mirrors the WAL's setting from
+    /// [`DiskStore::open`]).
+    fsync: bool,
 }
 
 fn io_err(e: io::Error, what: &str) -> PspError {
@@ -102,16 +108,16 @@ impl DiskStore {
             match record {
                 WalRecord::Upload {
                     id,
-                    bytes_fnv,
-                    params_fnv,
+                    bytes_sha,
+                    params_sha,
                 }
                 | WalRecord::Transform {
                     id,
-                    bytes_fnv,
-                    params_fnv,
+                    bytes_sha,
+                    params_sha,
                 } => {
-                    let bytes = read_segment(&segments, *bytes_fnv)?;
-                    let params = read_segment(&segments, *params_fnv)?;
+                    let bytes = read_segment(&segments, bytes_sha)?;
+                    let params = read_segment(&segments, params_sha)?;
                     server.restore_photo(PhotoId(*id), bytes, params);
                 }
                 WalRecord::Receiver { dh_public, token } => {
@@ -146,6 +152,7 @@ impl DiskStore {
             grants: Mutex::new(grants),
             segments,
             recovery,
+            fsync,
         })
     }
 
@@ -168,15 +175,15 @@ impl DiskStore {
     /// # Errors
     /// Fails on id exhaustion or filesystem errors.
     pub fn upload(&self, bytes: Vec<u8>, params: Vec<u8>) -> Result<PhotoId> {
-        let bytes_fnv = fnv64(&bytes);
-        let params_fnv = fnv64(&params);
-        write_segment(&self.segments, bytes_fnv, &bytes, self.fsync())?;
-        write_segment(&self.segments, params_fnv, &params, self.fsync())?;
+        let bytes_sha = sha256(&bytes);
+        let params_sha = sha256(&params);
+        write_segment(&self.segments, &bytes_sha, &bytes, self.fsync)?;
+        write_segment(&self.segments, &params_sha, &params, self.fsync)?;
         let id = self.server.upload(bytes, params)?;
         self.append(&WalRecord::Upload {
             id: id.0,
-            bytes_fnv,
-            params_fnv,
+            bytes_sha,
+            params_sha,
         })?;
         Ok(id)
     }
@@ -193,14 +200,14 @@ impl DiskStore {
         // the bytes now stored are exactly this transform's output.
         let bytes = self.server.download(id)?;
         let params = self.server.download_params(id)?;
-        let bytes_fnv = fnv64(&bytes);
-        let params_fnv = fnv64(&params);
-        write_segment(&self.segments, bytes_fnv, &bytes, self.fsync())?;
-        write_segment(&self.segments, params_fnv, &params, self.fsync())?;
+        let bytes_sha = sha256(&bytes);
+        let params_sha = sha256(&params);
+        write_segment(&self.segments, &bytes_sha, &bytes, self.fsync)?;
+        write_segment(&self.segments, &params_sha, &params, self.fsync)?;
         self.append(&WalRecord::Transform {
             id: id.0,
-            bytes_fnv,
-            params_fnv,
+            bytes_sha,
+            params_sha,
         })?;
         Ok(())
     }
@@ -210,8 +217,11 @@ impl DiskStore {
     /// # Errors
     /// Fails on filesystem errors.
     pub fn register_receiver(&self, dh_public: u128, token: [u8; 32]) -> Result<()> {
+        // Like every grant-state mutation: WAL append under the grants
+        // lock, so log order always matches in-memory order.
+        let mut grants = self.grants.lock();
         self.append(&WalRecord::Receiver { dh_public, token })?;
-        self.grants.lock().tokens.insert(token, dh_public);
+        grants.tokens.insert(token, dh_public);
         Ok(())
     }
 
@@ -227,13 +237,18 @@ impl DiskStore {
     /// # Errors
     /// Fails on filesystem errors.
     pub fn deposit_grant(&self, receiver: u128, sender: u128, ciphertext: Vec<u8>) -> Result<()> {
+        // The grants lock is held across the WAL append: if a deposit
+        // could slip its record in between a concurrent drain's mailbox
+        // removal and that drain's GrantDrain append, replay would order
+        // the deposit *before* the drain and silently drop acknowledged
+        // mail on recovery.
+        let mut grants = self.grants.lock();
         self.append(&WalRecord::GrantDeposit {
             receiver,
             sender,
             ciphertext: ciphertext.clone(),
         })?;
-        self.grants
-            .lock()
+        grants
             .mailboxes
             .entry(receiver)
             .or_default()
@@ -249,20 +264,16 @@ impl DiskStore {
     /// # Errors
     /// Fails on filesystem errors.
     pub fn drain_grants(&self, receiver: u128) -> Result<Vec<(u128, Vec<u8>)>> {
-        let pending = {
-            let mut grants = self.grants.lock();
-            match grants.mailboxes.remove(&receiver) {
-                Some(mb) if !mb.deposits.is_empty() => mb.deposits,
-                _ => return Ok(Vec::new()),
-            }
+        // Remove-and-log under one critical section (see deposit_grant
+        // for why the lock must span the append).
+        let mut grants = self.grants.lock();
+        let pending = match grants.mailboxes.remove(&receiver) {
+            Some(mb) if !mb.deposits.is_empty() => mb.deposits,
+            _ => return Ok(Vec::new()),
         };
         if let Err(e) = self.append(&WalRecord::GrantDrain { receiver }) {
             // Logging failed: put the mail back so nothing is lost.
-            let mut grants = self.grants.lock();
-            let mb = grants.mailboxes.entry(receiver).or_default();
-            let mut restored = pending;
-            restored.append(&mut mb.deposits);
-            mb.deposits = restored;
+            grants.mailboxes.entry(receiver).or_default().deposits = pending;
             return Err(e);
         }
         Ok(pending)
@@ -286,11 +297,6 @@ impl DiskStore {
         self.wal.lock().sync().map_err(|e| io_err(e, "syncing wal"))
     }
 
-    fn fsync(&self) -> bool {
-        // Mirror the WAL's setting for segment writes: one knob.
-        true
-    }
-
     fn append(&self, record: &WalRecord) -> Result<()> {
         self.wal
             .lock()
@@ -300,15 +306,21 @@ impl DiskStore {
 }
 
 /// Segment file path for a content hash.
-fn segment_path(dir: &Path, hash: u64) -> PathBuf {
-    dir.join(format!("{hash:016x}.seg"))
+fn segment_path(dir: &Path, hash: &[u8; 32]) -> PathBuf {
+    use std::fmt::Write as _;
+    let mut name = String::with_capacity(68);
+    for b in hash {
+        let _ = write!(name, "{b:02x}");
+    }
+    name.push_str(".seg");
+    dir.join(name)
 }
 
-fn read_segment(dir: &Path, hash: u64) -> Result<Vec<u8>> {
+fn read_segment(dir: &Path, hash: &[u8; 32]) -> Result<Vec<u8>> {
     let path = segment_path(dir, hash);
     let bytes =
         fs::read(&path).map_err(|e| io_err(e, &format!("reading segment {}", path.display())))?;
-    if fnv64(&bytes) != hash {
+    if sha256(&bytes) != *hash {
         return Err(PspError::Channel(format!(
             "segment {} fails its content hash",
             path.display()
@@ -317,16 +329,17 @@ fn read_segment(dir: &Path, hash: u64) -> Result<Vec<u8>> {
     Ok(bytes)
 }
 
-/// Writes a blob content-addressed: skip if present (identical content by
-/// construction), else write to a temp name, fsync, rename into place.
+/// Writes a blob content-addressed: skip if present (identical content —
+/// the address is SHA-256, so a differing file at the same name would be
+/// a collision), else write to a temp name, fsync, rename into place.
 /// Idempotent and crash-safe — a torn temp file is never referenced.
-fn write_segment(dir: &Path, hash: u64, bytes: &[u8], fsync: bool) -> Result<()> {
+fn write_segment(dir: &Path, hash: &[u8; 32], bytes: &[u8], fsync: bool) -> Result<()> {
     let path = segment_path(dir, hash);
     if path.exists() {
         return Ok(());
     }
-    let tmp = dir.join(format!(
-        "{hash:016x}.tmp.{}.{:?}",
+    let tmp = path.with_extension(format!(
+        "tmp.{}.{:?}",
         std::process::id(),
         std::thread::current().id()
     ));
@@ -483,6 +496,48 @@ mod tests {
         let store = open(&dir);
         assert_eq!(store.peek_grants(1234), 0);
         assert_eq!(store.peek_grants(5678), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_deposits_and_drains_replay_to_the_acknowledged_state() {
+        // Regression probe for the deposit/drain WAL-ordering race: a
+        // deposit acknowledged between a drain's mailbox removal and the
+        // drain's WAL append would replay as deposit-then-drain and
+        // vanish on recovery. With the append under the grants lock,
+        // replay must land exactly on the pre-shutdown in-memory state.
+        let dir = tmp("grant_race");
+        let (drained, live) = {
+            let store = std::sync::Arc::new(open(&dir));
+            let mut writers = Vec::new();
+            for t in 0..4u8 {
+                let store = std::sync::Arc::clone(&store);
+                writers.push(std::thread::spawn(move || {
+                    for i in 0..50u8 {
+                        store.deposit_grant(7, u128::from(t), vec![t, i]).unwrap();
+                    }
+                }));
+            }
+            let drainer = {
+                let store = std::sync::Arc::clone(&store);
+                std::thread::spawn(move || {
+                    let mut drained = 0usize;
+                    for _ in 0..200 {
+                        drained += store.drain_grants(7).unwrap().len();
+                        std::thread::yield_now();
+                    }
+                    drained
+                })
+            };
+            for w in writers {
+                w.join().unwrap();
+            }
+            let drained = drainer.join().unwrap();
+            (drained, store.peek_grants(7))
+        };
+        assert_eq!(drained + live, 200, "every deposit was acknowledged");
+        let store = open(&dir);
+        assert_eq!(store.peek_grants(7), live);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -18,8 +18,10 @@
 //! bitstreams, parameter blobs) do **not** live in the log — they are
 //! content-addressed segment files written and fsync'd before the WAL
 //! record that references them (see [`crate::store_disk`]); the log
-//! carries only their 64-bit content hashes. Grant-mailbox payloads are
-//! small and inlined.
+//! carries only their SHA-256 content hashes. Grant-mailbox payloads are
+//! small and inlined. (`crc` stays FNV: it detects torn frames from a
+//! crash, an accident, not an adversary — the segment hashes are the
+//! collision-resistant ones.)
 //!
 //! # Recovery invariants
 //!
@@ -59,19 +61,19 @@ pub enum WalRecord {
     Upload {
         /// Photo id the server assigned.
         id: u64,
-        /// Content hash of the image bitstream segment.
-        bytes_fnv: u64,
-        /// Content hash of the public-parameter segment.
-        params_fnv: u64,
+        /// SHA-256 of the image bitstream segment.
+        bytes_sha: [u8; 32],
+        /// SHA-256 of the public-parameter segment.
+        params_sha: [u8; 32],
     },
     /// A photo was transformed in place: `id` now maps to the new blobs.
     Transform {
         /// Photo id that was rewritten.
         id: u64,
-        /// Content hash of the replacement bitstream segment.
-        bytes_fnv: u64,
-        /// Content hash of the replacement parameter segment.
-        params_fnv: u64,
+        /// SHA-256 of the replacement bitstream segment.
+        bytes_sha: [u8; 32],
+        /// SHA-256 of the replacement parameter segment.
+        params_sha: [u8; 32],
     },
     /// A receiver registered: `token` authenticates fetches of the
     /// mailbox addressed to `dh_public`.
@@ -104,23 +106,23 @@ impl WalRecord {
         match self {
             WalRecord::Upload {
                 id,
-                bytes_fnv,
-                params_fnv,
+                bytes_sha,
+                params_sha,
             } => {
                 out.push(0x01);
                 out.extend_from_slice(&id.to_le_bytes());
-                out.extend_from_slice(&bytes_fnv.to_le_bytes());
-                out.extend_from_slice(&params_fnv.to_le_bytes());
+                out.extend_from_slice(bytes_sha);
+                out.extend_from_slice(params_sha);
             }
             WalRecord::Transform {
                 id,
-                bytes_fnv,
-                params_fnv,
+                bytes_sha,
+                params_sha,
             } => {
                 out.push(0x02);
                 out.extend_from_slice(&id.to_le_bytes());
-                out.extend_from_slice(&bytes_fnv.to_le_bytes());
-                out.extend_from_slice(&params_fnv.to_le_bytes());
+                out.extend_from_slice(bytes_sha);
+                out.extend_from_slice(params_sha);
             }
             WalRecord::Receiver { dh_public, token } => {
                 out.push(0x03);
@@ -159,23 +161,23 @@ impl WalRecord {
         };
         match tag {
             0x01 | 0x02 => {
-                if rest.len() != 24 {
+                if rest.len() != 72 {
                     return None;
                 }
                 let id = u64_at(rest, 0)?;
-                let bytes_fnv = u64_at(rest, 8)?;
-                let params_fnv = u64_at(rest, 16)?;
+                let bytes_sha: [u8; 32] = rest[8..40].try_into().ok()?;
+                let params_sha: [u8; 32] = rest[40..72].try_into().ok()?;
                 Some(if tag == 0x01 {
                     WalRecord::Upload {
                         id,
-                        bytes_fnv,
-                        params_fnv,
+                        bytes_sha,
+                        params_sha,
                     }
                 } else {
                     WalRecord::Transform {
                         id,
-                        bytes_fnv,
-                        params_fnv,
+                        bytes_sha,
+                        params_sha,
                     }
                 })
             }
@@ -352,8 +354,8 @@ mod tests {
         vec![
             WalRecord::Upload {
                 id: 0,
-                bytes_fnv: 0xDEAD,
-                params_fnv: 0xBEEF,
+                bytes_sha: [0xAD; 32],
+                params_sha: [0xEF; 32],
             },
             WalRecord::Receiver {
                 dh_public: 42,
@@ -366,8 +368,8 @@ mod tests {
             },
             WalRecord::Transform {
                 id: 0,
-                bytes_fnv: 0xCAFE,
-                params_fnv: 0xF00D,
+                bytes_sha: [0xCA; 32],
+                params_sha: [0x0D; 32],
             },
             WalRecord::GrantDrain { receiver: 42 },
         ]

@@ -8,20 +8,20 @@ use puppies_psp::wal::{scan, WalRecord};
 
 fn arb_record() -> impl Strategy<Value = WalRecord> {
     prop_oneof![
-        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(id, bytes_fnv, params_fnv)| {
-            WalRecord::Upload {
+        (any::<u64>(), any::<[u8; 32]>(), any::<[u8; 32]>()).prop_map(
+            |(id, bytes_sha, params_sha)| WalRecord::Upload {
                 id,
-                bytes_fnv,
-                params_fnv,
+                bytes_sha,
+                params_sha,
             }
-        }),
-        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(id, bytes_fnv, params_fnv)| {
-            WalRecord::Transform {
+        ),
+        (any::<u64>(), any::<[u8; 32]>(), any::<[u8; 32]>()).prop_map(
+            |(id, bytes_sha, params_sha)| WalRecord::Transform {
                 id,
-                bytes_fnv,
-                params_fnv,
+                bytes_sha,
+                params_sha,
             }
-        }),
+        ),
         (any::<u128>(), any::<[u8; 32]>())
             .prop_map(|(dh_public, token)| WalRecord::Receiver { dh_public, token }),
         (
