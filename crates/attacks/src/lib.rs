@@ -14,6 +14,9 @@
 //!   neighbour-correlation inpainting, and PCA reconstruction
 //! - [`user_study`] — the machine proxy for the paper's MTurk study:
 //!   recognizability scoring of attack outputs
+//! - [`sis`] — distinguishers against the k-of-n secret-sharing layer:
+//!   byte-entropy and χ² uniformity statistics a coalition of k−1
+//!   cluster backends would run over its shares
 
 pub mod bruteforce;
 pub mod correlation;
@@ -21,6 +24,7 @@ pub mod edges;
 pub mod faces;
 pub mod features;
 pub mod recognition;
+pub mod sis;
 pub mod user_study;
 
 pub use correlation::{
@@ -28,4 +32,5 @@ pub use correlation::{
 };
 pub use edges::edge_attack;
 pub use features::sift_attack;
+pub use sis::{byte_entropy, chi2_uniform, distinguish, UniformityVerdict};
 pub use user_study::{recognizability_verdict, RECOGNIZABILITY_THRESHOLD};

@@ -1,0 +1,173 @@
+//! Distinguishers against the k-of-n secret-image-sharing layer
+//! (PuPPIeS-SIS): byte-entropy and χ² uniformity statistics that an
+//! adversarial coalition of k−1 cluster backends would run over the
+//! shares it holds.
+//!
+//! Shamir sharing over GF(2⁸) is information-theoretically hiding: any
+//! k−1 shares of a secret are *jointly uniform* random bytes, so every
+//! statistic computed from them must be indistinguishable from the same
+//! statistic over `/dev/urandom`-grade noise. These helpers turn that
+//! claim into a measurable verdict the leakage tests assert — and that
+//! would *fail* if the split ever became biased (e.g. a broken RNG, a
+//! short coefficient reuse, or structure leaking through index 0).
+
+/// Shannon entropy of the byte histogram, in bits per byte (max 8.0).
+pub fn byte_entropy(bytes: &[u8]) -> f64 {
+    if bytes.is_empty() {
+        return 0.0;
+    }
+    let mut hist = [0u64; 256];
+    for &b in bytes {
+        hist[b as usize] += 1;
+    }
+    let n = bytes.len() as f64;
+    let mut h = 0.0;
+    for &c in &hist {
+        if c > 0 {
+            let p = c as f64 / n;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// Pearson χ² statistic of the byte histogram against the uniform
+/// distribution over 256 symbols (255 degrees of freedom).
+pub fn chi2_uniform(bytes: &[u8]) -> f64 {
+    if bytes.is_empty() {
+        return 0.0;
+    }
+    let mut hist = [0u64; 256];
+    for &b in bytes {
+        hist[b as usize] += 1;
+    }
+    let expected = bytes.len() as f64 / 256.0;
+    hist.iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+/// Verdict of the uniformity distinguisher over one byte sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformityVerdict {
+    /// Shannon entropy (bits/byte).
+    pub entropy: f64,
+    /// Minimum entropy a uniform sample of this size would show (the
+    /// finite-sample floor: even perfect randomness can't reach 8.0 with
+    /// few bytes).
+    pub entropy_floor: f64,
+    /// χ² against uniform (255 dof).
+    pub chi2: f64,
+    /// Acceptance ceiling for the χ² statistic.
+    pub chi2_ceiling: f64,
+    /// True when the sample is statistically indistinguishable from
+    /// uniform random bytes under both tests.
+    pub uniform: bool,
+}
+
+/// Runs both distinguishers with sample-size-adaptive bounds.
+///
+/// For χ²(255 dof), mean = 255 and σ = √510 ≈ 22.6; the ceiling is
+/// mean + 6σ ≈ 391 — a one-in-billions false-positive rate, yet any
+/// real bias (a stuck bit costs ≳ n/256 per lost symbol) blows through
+/// it immediately for the sample sizes the leakage tests use (≥ 4 KiB).
+/// The entropy floor follows the Miller–Madow bias: a uniform sample of
+/// `n` bytes has expected entropy ≈ 8 − 255/(2·n·ln 2), derated ×3 for
+/// variance.
+///
+/// Samples under 1 KiB are judged by χ² only (the entropy floor would be
+/// too loose to mean anything); callers should prefer pooling shares
+/// into one large sample.
+pub fn distinguish(bytes: &[u8]) -> UniformityVerdict {
+    let n = bytes.len() as f64;
+    let entropy = byte_entropy(bytes);
+    let chi2 = chi2_uniform(bytes);
+    let chi2_ceiling = 255.0 + 6.0 * (2.0 * 255.0f64).sqrt();
+    let entropy_floor = if bytes.len() >= 1024 {
+        8.0 - 3.0 * 255.0 / (2.0 * n * std::f64::consts::LN_2)
+    } else {
+        0.0
+    };
+    UniformityVerdict {
+        entropy,
+        entropy_floor,
+        chi2,
+        chi2_ceiling,
+        uniform: chi2 <= chi2_ceiling && entropy >= entropy_floor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A cheap xorshift64* stream — good enough to exercise the uniform
+    /// side of the distinguisher.
+    fn pseudo_random(n: usize, mut s: u64) -> Vec<u8> {
+        s |= 1;
+        (0..n)
+            .map(|_| {
+                s ^= s >> 12;
+                s ^= s << 25;
+                s ^= s >> 27;
+                (s.wrapping_mul(0x2545F4914F6CDD1D) >> 56) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn random_bytes_pass() {
+        for seed in 1..=5 {
+            let v = distinguish(&pseudo_random(16 << 10, seed));
+            assert!(v.uniform, "seed {seed}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn constant_bytes_fail() {
+        let v = distinguish(&vec![0x41u8; 4096]);
+        assert!(!v.uniform);
+        assert!(v.entropy < 0.01);
+    }
+
+    #[test]
+    fn text_like_bytes_fail() {
+        // ASCII-range bytes only: entropy ≤ ~6.6, χ² enormous.
+        let text: Vec<u8> = (0..8192u32).map(|i| (32 + i * 7 % 95) as u8).collect();
+        let v = distinguish(&text);
+        assert!(!v.uniform, "{v:?}");
+    }
+
+    #[test]
+    fn jpeg_like_bytes_fail() {
+        // JPEG entropy data is high-entropy but structured: stuffed 0x00
+        // after every 0xFF and marker scaffolding shift the histogram
+        // enough for χ² to fire on real files. Emulate the stuffing bias.
+        let mut data = pseudo_random(8192, 99);
+        for i in (0..data.len()).step_by(17) {
+            data[i] = 0xFF;
+            if i + 1 < data.len() {
+                data[i + 1] = 0x00;
+            }
+        }
+        let v = distinguish(&data);
+        assert!(!v.uniform, "{v:?}");
+    }
+
+    #[test]
+    fn single_stuck_bit_fails() {
+        // A broken RNG that never sets bit 0 halves the support.
+        let data: Vec<u8> = pseudo_random(8192, 7).iter().map(|&b| b & 0xFE).collect();
+        let v = distinguish(&data);
+        assert!(!v.uniform, "{v:?}");
+    }
+
+    #[test]
+    fn entropy_is_zero_for_empty() {
+        assert_eq!(byte_entropy(&[]), 0.0);
+        assert_eq!(chi2_uniform(&[]), 0.0);
+    }
+}

@@ -16,6 +16,7 @@
 //! puppies serve --dir <store-dir> [--addr host:port] [--no-fsync]
 //! puppies net smoke|flood|verify --addr <host:port> [...]
 //! puppies wal-dump --dir <store-dir>
+//! puppies cluster demo [--shape n,k] [--uploads N] [--kill i]... [--corrupt i]...
 //! ```
 //!
 //! Images are read/written as binary PPM (P6); the protected image is a
@@ -28,7 +29,9 @@
 //!
 //! `bench` measures the codec hot path; `bench psp` runs the closed-loop
 //! PSP serving benchmark (sharded store + transform cache vs an embedded
-//! replica of the pre-cache server) — see [`bench_psp`].
+//! replica of the pre-cache server) — see [`bench_psp`]. `bench psp
+//! --cluster` benches the k-of-n Shamir-shared cluster instead — see
+//! [`bench_cluster`].
 
 use puppies_core::{
     protect, KeyGrant, OwnerKey, PerturbProfile, PrivacyLevel, ProtectOptions, PublicParams, Scheme,
@@ -38,8 +41,10 @@ use puppies_psp::channel::{decode_grant, encode_grant};
 use std::process::exit;
 
 mod bench;
+mod bench_cluster;
 mod bench_net;
 mod bench_psp;
+mod cluster;
 mod serve;
 
 fn main() {
@@ -55,6 +60,7 @@ fn main() {
         Some("stats") => cmd_stats(&args[1..]),
         Some("conformance") => cmd_conformance(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("cluster") => cluster::cmd(&args[1..]),
         Some("serve") => serve::cmd_serve(&args[1..]),
         Some("net") => serve::cmd_net(&args[1..]),
         Some("wal-dump") => serve::cmd_wal_dump(&args[1..]),
@@ -74,7 +80,7 @@ fn usage() {
     eprintln!(
         "puppies — privacy-preserving partial image sharing\n\
          commands: keygen, detect, protect, protect-batch, grant, recover, inspect, stats, conformance, bench,\n\
-         \x20         serve, net (smoke|flood|verify), wal-dump\n\
+         \x20         serve, net (smoke|flood|verify), wal-dump, cluster (demo)\n\
          (see the crate docs or README for full flag reference)"
     );
 }
@@ -470,6 +476,9 @@ fn cmd_bench(args: &[String]) -> CliResult {
     if positionals(args).first() == Some(&"psp") {
         if has_flag(args, "--net") {
             return bench_net::cmd(args);
+        }
+        if has_flag(args, "--cluster") {
+            return bench_cluster::cmd(args);
         }
         return bench_psp::cmd(args);
     }

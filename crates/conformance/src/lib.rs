@@ -21,13 +21,18 @@
 //!   content addressing, eviction pressure, and the in-place path;
 //! * [`netcheck`] — the network round-trip oracle: a real `net::Server`
 //!   on loopback must serve every transformation byte-identical to the
-//!   in-process path, and recover every upload across a restart.
+//!   in-process path, and recover every upload across a restart;
+//! * [`cluster`] — the k-of-n Shamir oracle: every k-subset of backends
+//!   reconstructs byte-exactly, every (k−1)-subset fails loudly,
+//!   corrupted shares are detected, and recovery through reconstructed
+//!   matrices matches single-PSP recovery pixel-exactly.
 //!
 //! Entry points: [`run_all`] for the whole harness (what
 //! `puppies-cli conformance` and CI run), or the per-suite `run_*`/
 //! `check`/`bless` functions. Everything reports through
 //! [`report::Report`] so failures render identically everywhere.
 
+pub mod cluster;
 pub mod differential;
 pub mod fuzz;
 pub mod golden;
@@ -54,7 +59,7 @@ pub struct HarnessConfig {
     /// Scale factor for fuzz case counts (1 = the default campaign).
     pub fuzz_scale: usize,
     /// Suites to skip, by name (`golden`, `oracle`, `differential`,
-    /// `fuzz`, `serving`, `netcheck`).
+    /// `fuzz`, `serving`, `netcheck`, `cluster`).
     pub skip: Vec<String>,
 }
 
@@ -108,6 +113,10 @@ pub fn run_all(cfg: &HarnessConfig) -> std::io::Result<Report> {
     if !cfg.skipped("netcheck") {
         let _suite = puppies_obs::span("conformance.netcheck", "conformance");
         report.merge(netcheck::run_netcheck());
+    }
+    if !cfg.skipped("cluster") {
+        let _suite = puppies_obs::span("conformance.cluster", "conformance");
+        report.merge(cluster::run_cluster());
     }
     if !cfg.skipped("fuzz") {
         let _suite = puppies_obs::span("conformance.fuzz", "conformance");

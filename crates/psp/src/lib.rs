@@ -19,6 +19,7 @@
 pub mod cache;
 pub mod channel;
 pub mod client;
+pub mod cluster;
 pub mod net;
 pub mod sha256;
 pub mod store;
@@ -28,6 +29,8 @@ pub mod wal;
 pub use cache::{CacheStats, ServedPair};
 pub use channel::{KeyAgreement, SecureChannel};
 pub use client::{Receiver, Sender};
+pub use cluster::fault::{Fault, FaultPlan};
+pub use cluster::{ClusterConfig, ClusterPhotoId, ShardedPspCluster};
 use puppies_core::KeyGrant;
 pub use store::{CacheOutcome, PhotoId, PspConfig, PspServer};
 pub use store_disk::{DiskStore, RecoveryStats};
@@ -50,6 +53,9 @@ pub enum PspError {
     /// The server's photo-id space is exhausted (u64 wrapped); no further
     /// uploads can be accepted without risking silent id reuse.
     IdsExhausted,
+    /// A multi-backend cluster failure (quorum loss, bad share, bad
+    /// shape...).
+    Cluster(String),
 }
 
 impl fmt::Display for PspError {
@@ -60,6 +66,7 @@ impl fmt::Display for PspError {
             PspError::Core(e) => write!(f, "core error: {e}"),
             PspError::Channel(m) => write!(f, "channel error: {m}"),
             PspError::IdsExhausted => write!(f, "photo id space exhausted"),
+            PspError::Cluster(m) => write!(f, "cluster error: {m}"),
         }
     }
 }

@@ -334,9 +334,7 @@ pub fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<RawRespons
         let trimmed = match read_line_capped(reader, MAX_HEAD)? {
             Line::Eof => return Err(bad("truncated response head")),
             Line::TooLong => return Err(bad("response header too long")),
-            Line::Bytes(bytes) => {
-                String::from_utf8(bytes).map_err(|_| bad("non-utf8 header"))?
-            }
+            Line::Bytes(bytes) => String::from_utf8(bytes).map_err(|_| bad("non-utf8 header"))?,
         };
         if trimmed.is_empty() {
             break;

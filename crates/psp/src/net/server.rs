@@ -377,6 +377,7 @@ fn error_response(e: &PspError) -> Response {
         PspError::Core(e) => Response::status(400, &format!("core: {e}")),
         PspError::IdsExhausted => Response::status(503, "id space exhausted"),
         PspError::Channel(m) => Response::status(500, m),
+        PspError::Cluster(m) => Response::status(500, m),
     }
 }
 

@@ -1,0 +1,142 @@
+//! Property tests for the GF(256) Shamir layer: split/reconstruct
+//! round-trips over random payloads and (n, k) shapes, integrity-tag
+//! corruption detection, and the field axioms checked against the
+//! log/exp-table implementation.
+
+use proptest::prelude::*;
+use puppies_psp::cluster::gf256;
+use puppies_psp::cluster::shamir::{reconstruct, split, ShamirError, Share};
+
+fn arb_seed() -> impl Strategy<Value = [u8; 32]> {
+    any::<[u8; 32]>()
+}
+
+/// (n, k) with 1 ≤ k ≤ n ≤ 10 — small enough that subset selection
+/// stays cheap, wide enough to cover k = 1, k = n, and the middle.
+fn arb_shape() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..=10, any::<usize>()).prop_map(|(n, kr)| (n, 1 + kr % n))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any k distinct shares (here: a random contiguous-free selection)
+    /// reconstruct the exact payload, for any payload length and shape.
+    #[test]
+    fn split_reconstruct_roundtrip(
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+        shape in arb_shape(),
+        generation in any::<u16>(),
+        seed in arb_seed(),
+        pick_seed in any::<u64>(),
+    ) {
+        let (n, k) = shape;
+        let shares = split(&payload, n, k, generation, seed).unwrap();
+        prop_assert_eq!(shares.len(), n);
+        // Pick k distinct indices pseudo-randomly from pick_seed.
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut s = pick_seed | 1;
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let subset: Vec<Share> = order[..k].iter().map(|&i| shares[i].clone()).collect();
+        prop_assert_eq!(reconstruct(&subset).unwrap(), payload);
+    }
+
+    /// k−1 shares never satisfy the threshold.
+    #[test]
+    fn below_threshold_always_fails(
+        payload in prop::collection::vec(any::<u8>(), 1..128),
+        shape in arb_shape(),
+        seed in arb_seed(),
+    ) {
+        let (n, k) = shape;
+        prop_assume!(k > 1);
+        let shares = split(&payload, n, k, 0, seed).unwrap();
+        let err = reconstruct(&shares[..k - 1]).unwrap_err();
+        prop_assert_eq!(err, ShamirError::NotEnoughShares { have: k - 1, need: k });
+    }
+
+    /// Flipping any single bit of any share's payload is caught by the
+    /// integrity tag before interpolation.
+    #[test]
+    fn corrupted_share_detected(
+        payload in prop::collection::vec(any::<u8>(), 1..128),
+        shape in arb_shape(),
+        seed in arb_seed(),
+        victim in any::<usize>(),
+        byte in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let (n, k) = shape;
+        let mut shares = split(&payload, n, k, 0, seed).unwrap();
+        let v = victim % n;
+        let b = byte % shares[v].payload.len();
+        shares[v].payload[b] ^= 1 << bit;
+        prop_assert!(!shares[v].verify());
+        let index = shares[v].index;
+        // Reconstruction that includes the corrupted share rejects it.
+        prop_assert_eq!(
+            reconstruct(&shares).unwrap_err(),
+            ShamirError::BadTag { index }
+        );
+    }
+
+    /// Wire encoding round-trips every share exactly.
+    #[test]
+    fn share_wire_roundtrip(
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+        shape in arb_shape(),
+        generation in any::<u16>(),
+        seed in arb_seed(),
+    ) {
+        let (n, k) = shape;
+        for share in split(&payload, n, k, generation, seed).unwrap() {
+            let back = Share::from_bytes(&share.to_bytes()).unwrap();
+            prop_assert_eq!(&back, &share);
+            prop_assert!(back.verify());
+        }
+    }
+
+    /// Field axioms vs the table implementation: commutativity,
+    /// associativity, distributivity, inverses, and agreement with the
+    /// bitwise reference multiplier.
+    #[test]
+    fn gf256_axioms(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        prop_assert_eq!(gf256::mul(a, b), gf256::mul(b, a));
+        prop_assert_eq!(
+            gf256::mul(gf256::mul(a, b), c),
+            gf256::mul(a, gf256::mul(b, c))
+        );
+        prop_assert_eq!(
+            gf256::mul(a, gf256::add(b, c)),
+            gf256::add(gf256::mul(a, b), gf256::mul(a, c))
+        );
+        prop_assert_eq!(gf256::mul(a, b), gf256::mul_naive(a, b));
+        if a != 0 {
+            prop_assert_eq!(gf256::mul(a, gf256::inv(a)), 1);
+            prop_assert_eq!(gf256::div(gf256::mul(b, a), a), b);
+        }
+    }
+
+    /// Two splits of the same payload under different seeds produce
+    /// different share payloads (k ≥ 2 only: k = 1 replicates), yet both
+    /// reconstruct the same secret — fresh randomness is what makes the
+    /// rebalance generation bump meaningful.
+    #[test]
+    fn reseeding_changes_shares_not_secret(
+        payload in prop::collection::vec(any::<u8>(), 16..128),
+        n in 2usize..=8,
+        seed_a in arb_seed(),
+        seed_b in arb_seed(),
+    ) {
+        prop_assume!(seed_a != seed_b);
+        let k = 2;
+        let a = split(&payload, n, k, 0, seed_a).unwrap();
+        let b = split(&payload, n, k, 0, seed_b).unwrap();
+        prop_assert_ne!(&a[0].payload, &b[0].payload);
+        prop_assert_eq!(reconstruct(&a[n - k..]).unwrap(), payload.clone());
+        prop_assert_eq!(reconstruct(&b[n - k..]).unwrap(), payload);
+    }
+}
