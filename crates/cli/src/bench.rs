@@ -192,8 +192,14 @@ pub fn to_json(
     json.push_str("{\n");
     let _ = writeln!(
         json,
-        "  \"schema\": 1,\n  \"fixture\": {{\"width\": {}, \"height\": {}, \"blocks\": {}, \"quality\": {}, \"threads\": {}}},",
-        res.fixture.0, res.fixture.1, res.fixture.2, res.quality, res.threads
+        "  \"schema\": 1,\n  \"fixture\": {{\"width\": {}, \"height\": {}, \"blocks\": {}, \"quality\": {}, \"threads\": {}, \"simd_backend\": \"{}\", \"f32_lanes\": {}}},",
+        res.fixture.0,
+        res.fixture.1,
+        res.fixture.2,
+        res.quality,
+        res.threads,
+        puppies_image::simd::backend().name(),
+        puppies_image::simd::backend().f32_lanes()
     );
     json.push_str("  \"current\": {\n");
     for (i, &(name, r)) in res.ops.iter().enumerate() {
@@ -333,6 +339,36 @@ pub fn check(
     (lines, ok)
 }
 
+/// The explicit-SIMD protect floor (`--min-protect-speedup`): the
+/// committed results file must itself record a protect speedup of at
+/// least `floor` over its embedded `baseline_pre_pr` section. Both
+/// numbers come from one machine and one run (written by `--pre`), so
+/// the ratio is machine-independent — the fresh-run band in [`check`]
+/// is what keeps the committed `current` numbers honest.
+///
+/// # Errors
+/// Fails if the committed file lacks either section or a `protect` entry.
+pub fn check_protect_floor(committed_json: &str, floor: f64) -> Result<(String, bool), String> {
+    let get = |section: &str| -> Result<OpResult, String> {
+        parse_section(committed_json, section)?
+            .into_iter()
+            .find(|(n, _)| n == "protect")
+            .map(|(_, r)| r)
+            .ok_or_else(|| format!("no protect entry in \"{section}\""))
+    };
+    let current = get("current")?;
+    let pre = get("baseline_pre_pr")?;
+    let speedup = pre.ms / current.ms;
+    let pass = speedup >= floor;
+    let line = format!(
+        "protect speedup in committed file: {speedup:.2}x ({:.3} ms -> {:.3} ms, floor {floor:.2}x) {}",
+        pre.ms,
+        current.ms,
+        if pass { "ok" } else { "BELOW FLOOR" }
+    );
+    Ok((line, pass))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -451,5 +487,33 @@ mod tests {
             .collect();
         let (_, ok) = check(&res, &inflated, 0.4);
         assert!(!ok, "a 2x slowdown must fail the 40% gate");
+    }
+
+    #[test]
+    fn protect_floor_reads_the_committed_speedup() {
+        let res = fake_results();
+        // Embed a 2.5x-slower baseline: the 2x floor passes, 3x fails.
+        let pre: Vec<(String, OpResult)> = res
+            .ops
+            .iter()
+            .map(|&(n, r)| {
+                (
+                    n.to_string(),
+                    OpResult {
+                        ms: r.ms * 2.5,
+                        blocks_per_s: r.blocks_per_s / 2.5,
+                        mb_per_s: r.mb_per_s / 2.5,
+                    },
+                )
+            })
+            .collect();
+        let json = to_json(&res, Some(&pre), None, None);
+        let (_, ok) = check_protect_floor(&json, 2.0).unwrap();
+        assert!(ok, "2.5x committed speedup must clear the 2x floor");
+        let (line, ok) = check_protect_floor(&json, 3.0).unwrap();
+        assert!(!ok, "2.5x committed speedup must fail a 3x floor: {line}");
+        // A file without a baseline section is an error, not a pass.
+        let bare = to_json(&res, None, None, None);
+        assert!(check_protect_floor(&bare, 2.0).is_err());
     }
 }

@@ -26,8 +26,10 @@
 //! the same snapshot and both sides of the wire appear in `--stats` /
 //! `--trace` artifacts.
 
-use crate::bench_psp::{pct, repeat_fixtures, repeat_transforms, warm_allocator, Rng, Zipf};
-use puppies_psp::net::client::WireCache;
+use crate::bench_psp::{
+    pct, repeat_fixtures, repeat_transforms, warm_allocator, Rng, ServeStats, Zipf,
+};
+use puppies_psp::net::client::{WireCache, WireServed};
 use puppies_psp::net::{Client, ServeConfig, Server};
 use puppies_psp::{PhotoId, PspConfig, PspServer};
 use puppies_transform::Transformation;
@@ -51,6 +53,9 @@ pub struct NetResults {
     pub inprocess_uncached: NetScenario,
     /// End-to-end cache hit rate observed from `x-cache` headers.
     pub hit_rate: f64,
+    /// Served-path tallies observed from `x-served-path` headers on the
+    /// cached-transform loop: the wire-visible decode-free claim.
+    pub serve: ServeStats,
 }
 
 #[derive(Clone, Copy)]
@@ -202,9 +207,15 @@ pub fn run(config: NetConfig) -> Result<NetResults, String> {
     let ref_id = reference
         .upload(photos[0].0.clone(), photos[0].1.clone())
         .map_err(|e| e.to_string())?;
-    let (wire_b, wire_p, _) = setup
-        .download_transformed(keys[0].0, &keys[0].1)
+    let (wire_b, wire_p, _, wire_served) = setup
+        .download_transformed_traced(keys[0].0, &keys[0].1)
         .map_err(|e| format!("parity transform: {e}"))?;
+    if wire_served != WireServed::CoeffDomain {
+        return Err(format!(
+            "serve-path violation: coeff-eligible {:?} served {wire_served:?} over the wire",
+            keys[0].1
+        ));
+    }
     let (ref_b, ref_p) = reference
         .download_transformed(ref_id, &keys[0].1)
         .map_err(|e| e.to_string())?;
@@ -216,6 +227,9 @@ pub fn run(config: NetConfig) -> Result<NetResults, String> {
     let zipf = Zipf::new(keys.len(), config.zipf);
     let hits = AtomicU64::new(0);
     let lookups = AtomicU64::new(0);
+    let served_coeff = AtomicU64::new(0);
+    let served_pixel = AtomicU64::new(0);
+    let served_cached = AtomicU64::new(0);
     let per_conn = (config.transform_ops / config.connections).max(1);
     let keys_ref = &keys;
     let (wall, lats) = drive_clients(
@@ -225,19 +239,30 @@ pub fn run(config: NetConfig) -> Result<NetResults, String> {
         "bench.net.transformed_us",
         |client, _i, rng| {
             let (id, t) = &keys_ref[zipf.sample(rng.unit())];
-            let (_, _, cache) = client
-                .download_transformed(*id, t)
+            let (_, _, cache, served) = client
+                .download_transformed_traced(*id, t)
                 .map_err(|e| format!("download_transformed: {e}"))?;
             lookups.fetch_add(1, Ordering::Relaxed);
             if cache == WireCache::Hit {
                 hits.fetch_add(1, Ordering::Relaxed);
             }
+            match served {
+                WireServed::CoeffDomain => served_coeff.fetch_add(1, Ordering::Relaxed),
+                WireServed::PixelFallback => served_pixel.fetch_add(1, Ordering::Relaxed),
+                WireServed::Cached => served_cached.fetch_add(1, Ordering::Relaxed),
+                WireServed::Unknown => return Err("server did not report x-served-path".into()),
+            };
             Ok(())
         },
     )?;
     let net_cached = stats(wall, lats);
     let hit_rate =
         hits.load(Ordering::Relaxed) as f64 / lookups.load(Ordering::Relaxed).max(1) as f64;
+    let serve = ServeStats {
+        coeff_domain: served_coeff.load(Ordering::Relaxed),
+        pixel_fallback: served_pixel.load(Ordering::Relaxed),
+        cached: served_cached.load(Ordering::Relaxed),
+    };
 
     // --- net-mixed: read-mostly door mix over the wire.
     let ids: Vec<PhotoId> = keys
@@ -342,6 +367,7 @@ pub fn run(config: NetConfig) -> Result<NetResults, String> {
         net_mixed,
         inprocess_uncached,
         hit_rate,
+        serve,
     })
 }
 
@@ -365,6 +391,14 @@ pub fn render(res: &NetResults) -> Vec<String> {
             "ratio",
             res.net_vs_inprocess(),
             res.hit_rate * 100.0
+        ),
+        format!(
+            "{:>22}: {} coeff-domain / {} pixel-fallback / {} cached (coeff rate {:.1}%)",
+            "served paths",
+            res.serve.coeff_domain,
+            res.serve.pixel_fallback,
+            res.serve.cached,
+            res.serve.coeff_serve_rate() * 100.0
         ),
     ]
 }
@@ -403,6 +437,13 @@ pub fn to_json(res: &NetResults) -> String {
         scenario_json(&res.inprocess_uncached, None)
     ));
     out.push_str(&format!(
+        "  \"serve\": {{\"coeff_domain\": {}, \"pixel_fallback\": {}, \"cached\": {}, \"coeff_serve_rate\": {:.4}}},\n",
+        res.serve.coeff_domain,
+        res.serve.pixel_fallback,
+        res.serve.cached,
+        res.serve.coeff_serve_rate()
+    ));
+    out.push_str(&format!(
         "  \"ratio_net_cached_vs_inprocess_uncached\": {:.2}\n}}\n",
         res.net_vs_inprocess()
     ));
@@ -417,6 +458,9 @@ pub struct NetCheckLimits {
     pub min_ratio: f64,
     /// Floor on the end-to-end `x-cache` hit rate.
     pub min_hit_rate: f64,
+    /// Floor on the `x-served-path` coeff-domain rate among computed
+    /// (non-cached) responses.
+    pub min_coeff_serve_rate: f64,
 }
 
 impl Default for NetCheckLimits {
@@ -425,6 +469,7 @@ impl Default for NetCheckLimits {
             threshold: 0.85,
             min_ratio: 0.5,
             min_hit_rate: 0.5,
+            min_coeff_serve_rate: 0.5,
         }
     }
 }
@@ -457,6 +502,11 @@ pub fn check(res: &NetResults, committed: &str, limits: &NetCheckLimits) -> (Vec
             limits.min_ratio,
         ),
         ("hit rate", res.hit_rate, limits.min_hit_rate),
+        (
+            "coeff serve rate",
+            res.serve.coeff_serve_rate(),
+            limits.min_coeff_serve_rate,
+        ),
     ] {
         let pass = got >= floor;
         ok &= pass;
@@ -474,8 +524,8 @@ pub fn check(res: &NetResults, committed: &str, limits: &NetCheckLimits) -> (Vec
 
 /// `puppies bench psp --net [--connections N] [--transform-ops N]
 /// [--mixed-ops N] [--photos N] [--zipf S] [--seed N] [--out file]
-/// [--check file [--threshold F] [--min-ratio F] [--min-hit-rate F]]
-/// [--trace file] [--stats file]`
+/// [--check file [--threshold F] [--min-ratio F] [--min-hit-rate F]
+/// [--min-coeff-serve-rate F]] [--trace file] [--stats file]`
 pub fn cmd(args: &[String]) -> Result<(), String> {
     let parse_num = |name: &str, default: f64| -> Result<f64, String> {
         match crate::flag_value(args, name) {
@@ -495,6 +545,10 @@ pub fn cmd(args: &[String]) -> Result<(), String> {
         threshold: parse_num("--threshold", NetCheckLimits::default().threshold)?,
         min_ratio: parse_num("--min-ratio", NetCheckLimits::default().min_ratio)?,
         min_hit_rate: parse_num("--min-hit-rate", NetCheckLimits::default().min_hit_rate)?,
+        min_coeff_serve_rate: parse_num(
+            "--min-coeff-serve-rate",
+            NetCheckLimits::default().min_coeff_serve_rate,
+        )?,
     };
 
     // The obs session wraps the whole run: client-side latency histograms
@@ -559,6 +613,11 @@ mod tests {
             net_mixed: s(12_000.0),
             inprocess_uncached: s(4_000.0),
             hit_rate: 0.93,
+            serve: ServeStats {
+                coeff_domain: 72,
+                pixel_fallback: 24,
+                cached: 904,
+            },
         }
     }
 

@@ -32,7 +32,7 @@ use puppies_core::parallel::{with_pool, WorkerPool};
 use puppies_core::{protect, OwnerKey, ProtectOptions, PublicParams};
 use puppies_image::{Rect, Rgb, RgbImage};
 use puppies_jpeg::{CoeffImage, EncodeOptions};
-use puppies_psp::{CacheStats, PhotoId, PspServer};
+use puppies_psp::{CacheStats, PhotoId, PspServer, ServedPath};
 use puppies_transform::{ScaleFilter, Transformation};
 use std::collections::{HashMap, VecDeque};
 use std::hint::black_box;
@@ -50,6 +50,27 @@ pub struct PspResults {
     /// both scenarios: (op name, p50/p95/p99 in µs).
     pub per_op: Vec<(&'static str, Pcts)>,
     pub cache: CacheStats,
+    pub serve: ServeStats,
+}
+
+/// Served-path tallies from the serve-path audit: how computed transform
+/// responses were produced — straight from quantized coefficients, via
+/// the decode-to-pixels fallback, or from the transform-result cache.
+#[derive(Clone, Copy, Default)]
+pub struct ServeStats {
+    pub coeff_domain: u64,
+    pub pixel_fallback: u64,
+    pub cached: u64,
+}
+
+impl ServeStats {
+    /// Fraction of *computed* (non-cached) transform responses served
+    /// without ever materializing pixels. This is the decode-free floor
+    /// `bench psp --check` gates on.
+    pub fn coeff_serve_rate(&self) -> f64 {
+        let computed = self.coeff_domain + self.pixel_fallback;
+        self.coeff_domain as f64 / computed.max(1) as f64
+    }
 }
 
 #[derive(Clone, Copy)]
@@ -570,6 +591,9 @@ pub fn run(config: RunConfig) -> Result<PspResults, String> {
     // --- Byte-identity verification (also the batch APIs' CLI workout).
     verify_parity(&repeat_photos, &mixed_photos, &transforms, config.threads)?;
 
+    // --- Serve-path audit (counter-verified, before anything is timed).
+    let serve = audit_serve_paths(&repeat_photos, &transforms)?;
+
     // Each scenario alternates legacy/current across short chunks
     // rather than one long run per server: on hosts with burstable CPU
     // (frequency scaling, hypervisor quota), throughput can sag over a
@@ -689,7 +713,87 @@ pub fn run(config: RunConfig) -> Result<PspResults, String> {
         legacy_mixed,
         per_op,
         cache,
+        serve,
     })
+}
+
+/// Replays every (photo, view) pair twice against a fresh server with an
+/// obs subscriber installed, and proves the decode-free serving claim
+/// three ways before anything is timed:
+///
+/// 1. every coefficient-eligible transform is served `coeff-domain` —
+///    zero decode-to-pixels fallbacks among eligible views;
+/// 2. the second pass comes entirely from the transform cache;
+/// 3. the `psp.serve.coeff_domain` / `psp.serve.pixel_fallback` obs
+///    counters agree exactly with the per-request served-path reports.
+fn audit_serve_paths(
+    photos: &[(Vec<u8>, Vec<u8>)],
+    transforms: &[Transformation],
+) -> Result<ServeStats, String> {
+    let session = puppies_obs::Obs::install();
+    let server = PspServer::new();
+    let mut stats = ServeStats::default();
+    for (b, p) in photos {
+        let id = server
+            .upload(b.clone(), p.clone())
+            .map_err(|e| format!("serve audit upload: {e}"))?;
+        let coeff =
+            CoeffImage::decode(b).map_err(|e| format!("serve audit: undecodable fixture: {e}"))?;
+        let (w, h) = (coeff.width(), coeff.height());
+        for pass in 0..2 {
+            for t in transforms {
+                let (_, _, served) = server
+                    .download_transformed_traced(id, t)
+                    .map_err(|e| format!("serve audit transform: {e}"))?;
+                match served {
+                    ServedPath::CoeffDomain => stats.coeff_domain += 1,
+                    ServedPath::PixelFallback => stats.pixel_fallback += 1,
+                    ServedPath::Cached => stats.cached += 1,
+                    ServedPath::NotApplicable => {
+                        return Err(format!(
+                            "serve audit: transform {t:?} reported no served path"
+                        ))
+                    }
+                }
+                if t.is_coeff_domain(w, h) && served == ServedPath::PixelFallback {
+                    return Err(format!(
+                        "serve-path violation: coeff-eligible {t:?} on a {w}x{h} photo \
+                         decoded to pixels"
+                    ));
+                }
+                if pass == 1 && served != ServedPath::Cached {
+                    return Err(format!(
+                        "serve audit: repeated {t:?} missed the transform cache ({})",
+                        served.as_str()
+                    ));
+                }
+            }
+        }
+    }
+    let obs = session
+        .finish()
+        .ok_or_else(|| "serve audit: obs session lost".to_string())?;
+    let counter = |name: &str| obs.metrics().counter(name).map_or(0, |c| c.get());
+    let (coeff_ctr, pixel_ctr) = (
+        counter("psp.serve.coeff_domain"),
+        counter("psp.serve.pixel_fallback"),
+    );
+    if coeff_ctr != stats.coeff_domain || pixel_ctr != stats.pixel_fallback {
+        return Err(format!(
+            "serve audit: obs counters disagree with per-request reports \
+             (coeff {coeff_ctr} vs {}, pixel {pixel_ctr} vs {})",
+            stats.coeff_domain, stats.pixel_fallback
+        ));
+    }
+    eprintln!(
+        "serve audit: {} coeff-domain, {} pixel-fallback, {} cached — coeff rate {:.0}%, \
+         zero eligible fallbacks, counters agree",
+        stats.coeff_domain,
+        stats.pixel_fallback,
+        stats.cached,
+        stats.coeff_serve_rate() * 100.0
+    );
+    Ok(stats)
 }
 
 fn upload_keys<S>(
@@ -787,6 +891,14 @@ pub fn render(res: &PspResults) -> Vec<String> {
         res.cache.evictions,
         res.cache.hit_rate() * 100.0,
     ));
+    out.push(format!(
+        "{:>16}: {} coeff-domain / {} pixel-fallback / {} cached (coeff rate {:.1}%)",
+        "serve paths",
+        res.serve.coeff_domain,
+        res.serve.pixel_fallback,
+        res.serve.cached,
+        res.serve.coeff_serve_rate() * 100.0,
+    ));
     for (name, p) in &res.per_op {
         if p.p50_us > 0.0 || p.p99_us > 0.0 {
             out.push(format!(
@@ -818,8 +930,10 @@ pub fn to_json(res: &PspResults) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"schema\": 1,\n");
     out.push_str(&format!(
-        "  \"config\": {{\"threads\": {}, \"repeat_ops\": {}, \"mixed_ops\": {}, \"repeat_photos\": {}, \"mixed_photos\": {}, \"zipf\": {:.2}, \"seed\": {}}},\n",
-        c.threads, c.repeat_ops, c.mixed_ops, c.repeat_photos, c.mixed_photos, c.zipf, c.seed
+        "  \"config\": {{\"threads\": {}, \"repeat_ops\": {}, \"mixed_ops\": {}, \"repeat_photos\": {}, \"mixed_photos\": {}, \"zipf\": {:.2}, \"seed\": {}, \"simd_backend\": \"{}\", \"f32_lanes\": {}}},\n",
+        c.threads, c.repeat_ops, c.mixed_ops, c.repeat_photos, c.mixed_photos, c.zipf, c.seed,
+        puppies_image::simd::backend().name(),
+        puppies_image::simd::backend().f32_lanes()
     ));
     out.push_str("  \"current\": {\n");
     out.push_str(&format!(
@@ -850,6 +964,13 @@ pub fn to_json(res: &PspResults) -> String {
         res.cache.misses,
         res.cache.evictions,
         res.cache.hit_rate()
+    ));
+    out.push_str(&format!(
+        "  \"serve\": {{\"coeff_domain\": {}, \"pixel_fallback\": {}, \"cached\": {}, \"coeff_serve_rate\": {:.4}}},\n",
+        res.serve.coeff_domain,
+        res.serve.pixel_fallback,
+        res.serve.cached,
+        res.serve.coeff_serve_rate()
     ));
     out.push_str("  \"per_op_us\": {\n");
     for (i, (name, p)) in res.per_op.iter().enumerate() {
@@ -898,6 +1019,11 @@ pub struct CheckLimits {
     pub min_speedup_repeat: f64,
     pub min_speedup_mixed: f64,
     pub min_hit_rate: f64,
+    /// Floor on the fraction of computed transforms served straight from
+    /// quantized coefficients. The audited workload's four views are
+    /// three coeff-eligible + one pixel scale, so a healthy run sits at
+    /// 0.75; 0.5 catches the hot path silently falling back wholesale.
+    pub min_coeff_serve_rate: f64,
 }
 
 impl Default for CheckLimits {
@@ -907,6 +1033,7 @@ impl Default for CheckLimits {
             min_speedup_repeat: 5.0,
             min_speedup_mixed: 2.0,
             min_hit_rate: 0.5,
+            min_coeff_serve_rate: 0.5,
         }
     }
 }
@@ -950,6 +1077,11 @@ pub fn check(res: &PspResults, committed: &str, limits: &CheckLimits) -> (Vec<St
             limits.min_speedup_mixed,
         ),
         ("cache hit rate", res.cache.hit_rate(), limits.min_hit_rate),
+        (
+            "coeff serve rate",
+            res.serve.coeff_serve_rate(),
+            limits.min_coeff_serve_rate,
+        ),
     ] {
         let pass = got >= floor;
         ok &= pass;
@@ -968,7 +1100,8 @@ pub fn check(res: &PspResults, committed: &str, limits: &CheckLimits) -> (Vec<St
 /// `puppies bench psp [--threads N] [--repeat-ops N] [--mixed-ops N]
 /// [--repeat-photos N] [--mixed-photos N] [--zipf S] [--seed N]
 /// [--out file] [--check file [--threshold F] [--min-speedup-repeat F]
-/// [--min-speedup-mixed F] [--min-hit-rate F]] [--trace file] [--stats file]`
+/// [--min-speedup-mixed F] [--min-hit-rate F] [--min-coeff-serve-rate F]]
+/// [--trace file] [--stats file]`
 pub fn cmd(args: &[String]) -> Result<(), String> {
     let parse_num = |name: &str, default: f64| -> Result<f64, String> {
         match crate::flag_value(args, name) {
@@ -996,6 +1129,10 @@ pub fn cmd(args: &[String]) -> Result<(), String> {
             CheckLimits::default().min_speedup_mixed,
         )?,
         min_hit_rate: parse_num("--min-hit-rate", CheckLimits::default().min_hit_rate)?,
+        min_coeff_serve_rate: parse_num(
+            "--min-coeff-serve-rate",
+            CheckLimits::default().min_coeff_serve_rate,
+        )?,
     };
 
     let res = run(config)?;
@@ -1096,6 +1233,11 @@ mod tests {
                 bytes: 1000,
                 capacity_bytes: 1 << 20,
             },
+            serve: ServeStats {
+                coeff_domain: 96,
+                pixel_fallback: 32,
+                cached: 128,
+            },
         }
     }
 
@@ -1130,5 +1272,25 @@ mod tests {
         cold.cache.misses = 990;
         let (lines, ok) = check(&cold, &committed, &CheckLimits::default());
         assert!(!ok, "1% hit rate must fail the 50% floor: {lines:?}");
+        // A wholesale fall-back to the pixel pipeline trips it too.
+        let mut pixels = fake_results();
+        pixels.serve.coeff_domain = 16;
+        pixels.serve.pixel_fallback = 112;
+        let (lines, ok) = check(&pixels, &committed, &CheckLimits::default());
+        assert!(
+            !ok,
+            "12% coeff serve rate must fail the 50% floor: {lines:?}"
+        );
+    }
+
+    #[test]
+    fn coeff_serve_rate_counts_only_computed_responses() {
+        let s = ServeStats {
+            coeff_domain: 3,
+            pixel_fallback: 1,
+            cached: 1000,
+        };
+        assert!((s.coeff_serve_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(ServeStats::default().coeff_serve_rate(), 0.0);
     }
 }

@@ -458,8 +458,9 @@ fn cmd_inspect(args: &[String]) -> CliResult {
 }
 
 /// `puppies bench [--out f.json] [--check committed.json] [--pre old.json]
-/// [--pre-section current] [--threshold 0.4] [--iters N] [--threads N]
-/// [--quality Q] [--obs-overhead-gate PCT] [--trace f.json] [--stats f.json]`
+/// [--pre-section current] [--threshold 0.4] [--min-protect-speedup F]
+/// [--iters N] [--threads N] [--quality Q] [--obs-overhead-gate PCT]
+/// [--trace f.json] [--stats f.json]`
 ///
 /// Measures codec + protect/recover throughput on the deterministic
 /// fixture, then repeats the run with an observability subscriber
@@ -552,6 +553,18 @@ fn cmd_bench(args: &[String]) -> CliResult {
             ));
         }
         println!("within {:.0}% of {path}", threshold * 100.0);
+        if let Some(floor) = flag_value(args, "--min-protect-speedup") {
+            let floor: f64 = floor
+                .parse()
+                .map_err(|e| format!("bad --min-protect-speedup {floor:?}: {e}"))?;
+            let (line, ok) = bench::check_protect_floor(&text, floor)?;
+            println!("{line}");
+            if !ok {
+                return Err(format!(
+                    "committed protect speedup fell below the {floor:.2}x floor in {path}"
+                ));
+            }
+        }
     }
     if let Some(gate) = flag_value(args, "--obs-overhead-gate") {
         let gate: f64 = gate

@@ -13,13 +13,19 @@
 //! * in-place `transform` stores the same bytes with caching on or off;
 //! * a byte-starved cache that is forced to evict still serves correct
 //!   bytes (eviction can cost speed, never correctness);
+//! * every coefficient-eligible transformation is *reported* as served
+//!   `coeff-domain` and its bytes are identical to an independently
+//!   computed coefficient-domain replica, while genuinely pixel-domain
+//!   geometry matches the pixel-fallback replica — a silent decode to
+//!   pixels (or a pixel path masquerading as coeff-domain) cannot pass,
+//!   because the two replicas quantize differently;
 //! * the pixel-domain fallback re-encodes at the *source's* quality
 //!   (recovered from its quantization tables), not a hardcoded default.
 
 use puppies_core::{protect, OwnerKey, ProtectOptions};
 use puppies_image::{Rect, Rgb, RgbImage};
-use puppies_jpeg::CoeffImage;
-use puppies_psp::{PspConfig, PspServer};
+use puppies_jpeg::{CoeffImage, EncodeOptions};
+use puppies_psp::{PspConfig, PspServer, ServedPath};
 use puppies_transform::{FilterOp, ScaleFilter, Transformation};
 
 use crate::report::Report;
@@ -125,6 +131,68 @@ pub fn run_serving() -> Report {
                 case,
                 Some(format!("{} bytes byte-identical", fresh.0.len())),
             );
+        }
+    }
+
+    // Serve-path parity: the reported path must match eligibility, and
+    // the served bytes must equal the independent replica of that path.
+    {
+        let coeff = CoeffImage::decode(&bytes).expect("fixture decodes");
+        let (w, h) = (coeff.width(), coeff.height());
+        for (name, t) in serve_cases() {
+            let case = format!("serving/served-path/{name}");
+            let server = PspServer::new();
+            let id = server
+                .upload(bytes.clone(), params.clone())
+                .expect("upload");
+            let ((served_bytes, _), _, served) = match server.download_transformed_traced(id, &t) {
+                Ok(r) => r,
+                Err(e) => {
+                    report.fail(case, format!("serve failed: {e}"));
+                    continue;
+                }
+            };
+            let eligible = t.is_coeff_domain(w, h);
+            let expected = if eligible {
+                ServedPath::CoeffDomain
+            } else {
+                ServedPath::PixelFallback
+            };
+            if served != expected {
+                report.fail(
+                    case,
+                    format!(
+                        "expected {} (eligible={eligible}), server reported {}",
+                        expected.as_str(),
+                        served.as_str()
+                    ),
+                );
+                continue;
+            }
+            let replica = if eligible {
+                t.apply_to_coeff(&coeff)
+                    .expect("coeff replica")
+                    .encode(&EncodeOptions::default())
+                    .expect("replica encode")
+            } else {
+                let rgb = coeff.to_rgb();
+                puppies_jpeg::encode_rgb(
+                    &t.apply_to_rgb(&rgb).expect("pixel replica"),
+                    coeff.quality_estimate(),
+                )
+                .expect("replica encode")
+            };
+            if served_bytes.as_ref() != replica.as_slice() {
+                report.fail(
+                    case,
+                    format!("served bytes diverge from the {} replica", served.as_str()),
+                );
+            } else {
+                report.pass(
+                    case,
+                    Some(format!("{} ({} bytes)", served.as_str(), replica.len())),
+                );
+            }
         }
     }
 

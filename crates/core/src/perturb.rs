@@ -29,11 +29,11 @@
 //!   near-exact (see `crate::shadow` for the full fidelity discussion).
 
 use crate::keys::{KeyGrant, MatrixId, MatrixKind};
-use crate::matrix::{wrap_ac, wrap_dc, PrivateMatrix, RangeMatrix};
+use crate::matrix::{wrap_dc, PrivateMatrix, RangeMatrix, MATRIX_LEN};
 use crate::privacy::PrivacyLevel;
 use crate::{PuppiesError, Result};
 use puppies_image::Rect;
-use puppies_jpeg::{CoeffImage, AC_MAX, AC_MODULUS, COEFF_MAX, COEFF_MODULUS};
+use puppies_jpeg::{CoeffImage, AC_MAX, AC_MIN, AC_MODULUS, COEFF_MAX, COEFF_MODULUS};
 /// Which PuPPIeS perturbation variant to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Scheme {
@@ -306,6 +306,117 @@ pub fn ac_perturbation(profile: &PerturbProfile, keys: &RoiKeys, q: &RangeMatrix
     }
 }
 
+/// The per-block AC perturbation vector in natural order. It depends only
+/// on `(profile, keys, q)` — not on block data — so it is hoisted out of the
+/// block loop and applied with integer lanes. Slot 0 is zero so the DC lane
+/// passes through the vector pass untouched (DC wraps mod 2048, handled
+/// scalar per block).
+fn ac_perturbation_vector(
+    profile: &PerturbProfile,
+    keys: &RoiKeys,
+    q: &RangeMatrix,
+) -> [i32; MATRIX_LEN] {
+    let mut pvec = [0i32; MATRIX_LEN];
+    for (i, slot) in pvec.iter_mut().enumerate().skip(1) {
+        *slot = ac_perturbation(profile, keys, q, i);
+    }
+    pvec
+}
+
+/// AC lane pass of [`perturb_component`] over one block.
+///
+/// Per lane, exactly the scalar loop: `active` lanes (nonzero perturbation,
+/// and under `skip_zeros` also a nonzero coefficient) get
+/// `wrap_ac(coeff + p)`; others pass through. Since `p` is in `[0, 2046]`
+/// and coefficients in `[-1023, 1023]`, the wrap is a single masked
+/// subtract of `AC_MODULUS`, and its mask is exactly the ring-overflow
+/// (`WInd`) condition. `wind`/`zind` get one bit per natural coefficient
+/// index needing a [`ZeroEntry`]. (`inline(always)`: must fuse into the
+/// `#[target_feature]` dispatch wrapper or the intrinsics inside cannot
+/// be inlined.)
+#[inline(always)]
+unsafe fn perturb_block_kernel<S: puppies_image::simd::Simd8>(
+    block: &mut [i32; MATRIX_LEN],
+    pvec: &[i32; MATRIX_LEN],
+    skip_zeros: bool,
+    wind: &mut u64,
+    zind: &mut u64,
+) {
+    unsafe {
+        let groups = &mut *(block.as_mut_ptr() as *mut [[i32; 8]; 8]);
+        let pgroups = &*(pvec.as_ptr() as *const [[i32; 8]; 8]);
+        let zero = S::i_splat(0);
+        let ones = S::i_splat(-1);
+        let ac_max = S::i_splat(AC_MAX);
+        let ac_mod = S::i_splat(AC_MODULUS);
+        let (mut wbits, mut zbits) = (0u64, 0u64);
+        for g in 0..8 {
+            let coeff = S::i_load(&groups[g]);
+            let p = S::i_load(&pgroups[g]);
+            let mut active = S::i_andnot(S::i_cmp_eq(p, zero), ones);
+            if skip_zeros {
+                active = S::i_andnot(S::i_cmp_eq(coeff, zero), active);
+            }
+            let raw = S::i_add(coeff, p);
+            let over = S::i_cmp_gt(raw, ac_max);
+            let wrapped = S::i_sub(raw, S::i_and(over, ac_mod));
+            let out = S::i_or(S::i_and(active, wrapped), S::i_andnot(active, coeff));
+            S::i_store(out, &mut groups[g]);
+            wbits |= u64::from(S::i_nonzero_mask(S::i_and(active, over))) << (8 * g);
+            if skip_zeros {
+                let zeroed = S::i_and(active, S::i_cmp_eq(wrapped, zero));
+                zbits |= u64::from(S::i_nonzero_mask(zeroed)) << (8 * g);
+            }
+        }
+        *wind = wbits;
+        *zind = zbits;
+    }
+}
+
+/// AC lane pass of [`recover_component`] over one block: the exact inverse
+/// of [`perturb_block_kernel`]. `force` is an all-ones lane mask of `ZInd`
+/// coefficients (wrapped to zero during perturbation, so they must be
+/// un-wrapped even though they read as zero now).
+#[inline(always)]
+unsafe fn recover_block_kernel<S: puppies_image::simd::Simd8>(
+    block: &mut [i32; MATRIX_LEN],
+    pvec: &[i32; MATRIX_LEN],
+    force: &[i32; MATRIX_LEN],
+    skip_zeros: bool,
+) {
+    unsafe {
+        let groups = &mut *(block.as_mut_ptr() as *mut [[i32; 8]; 8]);
+        let pgroups = &*(pvec.as_ptr() as *const [[i32; 8]; 8]);
+        let fgroups = &*(force.as_ptr() as *const [[i32; 8]; 8]);
+        let zero = S::i_splat(0);
+        let ones = S::i_splat(-1);
+        let ac_min = S::i_splat(AC_MIN);
+        let ac_mod = S::i_splat(AC_MODULUS);
+        for g in 0..8 {
+            let coeff = S::i_load(&groups[g]);
+            let p = S::i_load(&pgroups[g]);
+            let mut active = S::i_andnot(S::i_cmp_eq(p, zero), ones);
+            if skip_zeros {
+                let touched = S::i_or(
+                    S::i_andnot(S::i_cmp_eq(coeff, zero), ones),
+                    S::i_load(&fgroups[g]),
+                );
+                active = S::i_and(active, touched);
+            }
+            let raw = S::i_sub(coeff, p);
+            let under = S::i_cmp_gt(ac_min, raw);
+            let wrapped = S::i_add(raw, S::i_and(under, ac_mod));
+            let out = S::i_or(S::i_and(active, wrapped), S::i_andnot(active, coeff));
+            S::i_store(out, &mut groups[g]);
+        }
+    }
+}
+
+puppies_image::simd_dispatch! {
+    fn perturb_block_lanes / perturb_block_lanes_with(block: &mut [i32; MATRIX_LEN], pvec: &[i32; MATRIX_LEN], skip_zeros: bool, wind: &mut u64, zind: &mut u64) = perturb_block_kernel;
+    fn recover_block_lanes / recover_block_lanes_with(block: &mut [i32; MATRIX_LEN], pvec: &[i32; MATRIX_LEN], force: &[i32; MATRIX_LEN], skip_zeros: bool) = recover_block_kernel;
+}
+
 /// Perturbs one ROI of one component in place. `rect` must be
 /// block-aligned; `k_offset` shifts the block sequence index (0 for whole
 /// ROIs — nonzero is used by transformed-recovery code paths).
@@ -319,6 +430,8 @@ pub fn perturb_component(
     record: &mut PerturbRecord,
 ) {
     let positions = comp.blocks_in_region(rect);
+    let pvec = ac_perturbation_vector(profile, keys, q);
+    let skip_zeros = profile.scheme == Scheme::Zero;
     for (k, &(bx, by)) in positions.iter().enumerate() {
         let k32 = k as u32;
         let block = comp.block_mut(bx, by);
@@ -332,30 +445,25 @@ pub fn perturb_component(
             });
         }
         block[0] = wrap_dc(raw);
-        for (i, coeff) in block.iter_mut().enumerate().skip(1) {
-            let p = ac_perturbation(profile, keys, q, i);
-            if p == 0 {
-                continue;
-            }
-            if profile.scheme == Scheme::Zero && *coeff == 0 {
-                continue; // skip original zeros
-            }
-            let raw = *coeff + p;
-            if raw > AC_MAX {
-                record.wind.push(ZeroEntry {
-                    component: component_index,
-                    block: k32,
-                    coeff: i as u8,
-                });
-            }
-            *coeff = wrap_ac(raw);
-            if profile.scheme == Scheme::Zero && *coeff == 0 {
-                record.zind.push(ZeroEntry {
-                    component: component_index,
-                    block: k32,
-                    coeff: i as u8,
-                });
-            }
+        let (mut wbits, mut zbits) = (0u64, 0u64);
+        perturb_block_lanes(block, &pvec, skip_zeros, &mut wbits, &mut zbits);
+        // Scan the lane masks lowest-bit-first so entries land in the same
+        // coefficient order the scalar loop produced.
+        while wbits != 0 {
+            record.wind.push(ZeroEntry {
+                component: component_index,
+                block: k32,
+                coeff: wbits.trailing_zeros() as u8,
+            });
+            wbits &= wbits - 1;
+        }
+        while zbits != 0 {
+            record.zind.push(ZeroEntry {
+                component: component_index,
+                block: k32,
+                coeff: zbits.trailing_zeros() as u8,
+            });
+            zbits &= zbits - 1;
         }
     }
 }
@@ -370,26 +478,35 @@ pub fn recover_component(
     q: &RangeMatrix,
     zind: &ZeroIndex,
 ) {
-    let zset = zind.to_set();
     let positions = comp.blocks_in_region(rect);
+    let pvec = ac_perturbation_vector(profile, keys, q);
+    let skip_zeros = profile.scheme == Scheme::Zero;
+    // Per-block ZInd bitmasks for this component (an untouched zero without
+    // a ZInd bit was an original zero and must be left alone).
+    let mut zmap = std::collections::HashMap::new();
+    if skip_zeros {
+        for e in zind.entries() {
+            if e.component == component_index {
+                *zmap.entry(e.block).or_insert(0u64) |= 1 << e.coeff;
+            }
+        }
+    }
+    let no_force = [0i32; MATRIX_LEN];
     for (k, &(bx, by)) in positions.iter().enumerate() {
         let k32 = k as u32;
         let block = comp.block_mut(bx, by);
         block[0] = wrap_dc(block[0] - dc_perturbation(profile, keys, k32));
-        for (i, coeff) in block.iter_mut().enumerate().skip(1) {
-            let p = ac_perturbation(profile, keys, q, i);
-            if p == 0 {
-                continue;
-            }
-            match profile.scheme {
-                Scheme::Zero => {
-                    if *coeff != 0 || zset.contains(&(component_index, k32, i as u8)) {
-                        *coeff = wrap_ac(*coeff - p);
-                    }
-                    // An untouched zero was an original zero: leave it.
+        match zmap.get(&k32) {
+            Some(&bits) => {
+                let mut force = [0i32; MATRIX_LEN];
+                let mut b = bits;
+                while b != 0 {
+                    force[b.trailing_zeros() as usize] = -1;
+                    b &= b - 1;
                 }
-                _ => *coeff = wrap_ac(*coeff - p),
+                recover_block_lanes(block, &pvec, &force, skip_zeros);
             }
+            None => recover_block_lanes(block, &pvec, &no_force, skip_zeros),
         }
     }
 }
@@ -589,7 +706,113 @@ pub fn effective_delta(
 mod tests {
     use super::*;
     use crate::keys::OwnerKey;
+    use crate::matrix::wrap_ac;
     use puppies_image::{Rgb, RgbImage};
+
+    /// Straight transcription of the pre-lane scalar AC loop, kept as the
+    /// reference the lane kernels must match exactly on every backend.
+    fn perturb_block_reference(
+        block: &mut [i32; MATRIX_LEN],
+        pvec: &[i32; MATRIX_LEN],
+        skip_zeros: bool,
+    ) -> (u64, u64) {
+        let (mut wind, mut zind) = (0u64, 0u64);
+        for (i, coeff) in block.iter_mut().enumerate().skip(1) {
+            let p = pvec[i];
+            if p == 0 || (skip_zeros && *coeff == 0) {
+                continue;
+            }
+            let raw = *coeff + p;
+            if raw > AC_MAX {
+                wind |= 1 << i;
+            }
+            *coeff = wrap_ac(raw);
+            if skip_zeros && *coeff == 0 {
+                zind |= 1 << i;
+            }
+        }
+        (wind, zind)
+    }
+
+    fn recover_block_reference(
+        block: &mut [i32; MATRIX_LEN],
+        pvec: &[i32; MATRIX_LEN],
+        force: &[i32; MATRIX_LEN],
+        skip_zeros: bool,
+    ) {
+        for (i, coeff) in block.iter_mut().enumerate().skip(1) {
+            let p = pvec[i];
+            if p == 0 || (skip_zeros && *coeff == 0 && force[i] == 0) {
+                continue;
+            }
+            *coeff = wrap_ac(*coeff - p);
+        }
+    }
+
+    #[test]
+    fn block_lane_kernels_match_reference_on_every_backend() {
+        use puppies_image::simd::Backend;
+        let mut state = 0x9E37_79B9_u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..200 {
+            let mut block = [0i32; MATRIX_LEN];
+            let mut pvec = [0i32; MATRIX_LEN];
+            let mut force = [0i32; MATRIX_LEN];
+            for i in 0..MATRIX_LEN {
+                // Bias toward sparsity and ring-boundary values like real
+                // blocks; case 0 stresses the extremes everywhere.
+                block[i] = match rng() % 5 {
+                    0 => 0,
+                    1 => AC_MAX - (rng() % 8) as i32,
+                    2 => AC_MIN + (rng() % 8) as i32,
+                    _ => (rng() % 2047) as i32 - 1023,
+                };
+                pvec[i] = if rng() % 3 == 0 {
+                    0
+                } else {
+                    (rng() % 2047) as i32
+                };
+                force[i] = if rng() % 8 == 0 { -1 } else { 0 };
+            }
+            pvec[0] = 0;
+            force[0] = 0;
+            let skip_zeros = case % 2 == 0;
+
+            let mut want = block;
+            let (want_w, want_z) = perturb_block_reference(&mut want, &pvec, skip_zeros);
+            for backend in Backend::ALL {
+                if !backend.available() {
+                    continue;
+                }
+                let mut got = block;
+                let (mut gw, mut gz) = (0u64, 0u64);
+                perturb_block_lanes_with(backend, &mut got, &pvec, skip_zeros, &mut gw, &mut gz);
+                assert_eq!(got, want, "perturb {} case {case}", backend.name());
+                assert_eq!(
+                    (gw, gz),
+                    (want_w, want_z),
+                    "masks {} case {case}",
+                    backend.name()
+                );
+            }
+
+            let mut want_rec = want;
+            recover_block_reference(&mut want_rec, &pvec, &force, skip_zeros);
+            for backend in Backend::ALL {
+                if !backend.available() {
+                    continue;
+                }
+                let mut got = want;
+                recover_block_lanes_with(backend, &mut got, &pvec, &force, skip_zeros);
+                assert_eq!(got, want_rec, "recover {} case {case}", backend.name());
+            }
+        }
+    }
 
     fn test_image() -> RgbImage {
         RgbImage::from_fn(64, 64, |x, y| {

@@ -150,16 +150,12 @@ impl RgbImage {
 
     /// Splits into full-range Y, Cb, Cr planes.
     pub fn to_ycbcr_planes(&self) -> [Plane; 3] {
-        let mut yp = Plane::new(self.width, self.height);
-        let mut cbp = Plane::new(self.width, self.height);
-        let mut crp = Plane::new(self.width, self.height);
-        crate::color::rgb_to_ycbcr_slice(
-            &self.data,
-            yp.samples_mut(),
-            cbp.samples_mut(),
-            crp.samples_mut(),
-        );
-        [yp, cbp, crp]
+        let (y, cb, cr) = crate::color::rgb_to_ycbcr_vecs(&self.data);
+        [
+            Plane::from_raw(self.width, self.height, y),
+            Plane::from_raw(self.width, self.height, cb),
+            Plane::from_raw(self.width, self.height, cr),
+        ]
     }
 
     /// Reassembles an RGB image from Y, Cb, Cr planes, rounding and clamping

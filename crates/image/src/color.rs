@@ -5,7 +5,14 @@
 //! per-plane DCT; PuPPIeS perturbs each plane independently (§II-A of the
 //! paper notes each layer is processed independently).
 
+use crate::simd::Simd8;
+
 /// An 8-bit RGB color triple.
+///
+/// `repr(C)` pins the layout to three packed bytes in field order, which
+/// the slice converters rely on to reinterpret `&[Rgb]` runs as raw
+/// `r g b r g b …` bytes for [`Simd8::rgb_widen`].
+#[repr(C)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Rgb {
     /// Red channel, 0..=255.
@@ -118,7 +125,10 @@ impl From<Rgb> for YCbCr {
 }
 
 /// [`round_clamp_u8`] staying in `f32` (every value in `0..=255` is exactly
-/// representable), for conversion lanes whose next consumer wants floats.
+/// representable). This is the scalar reference for [`quant255_v`]; the
+/// production slice converters run the lane form, and a test pins the two
+/// bit-identical.
+#[cfg(test)]
 #[inline]
 fn quant255(v: f32) -> f32 {
     let c = v.clamp(0.0, 255.0);
@@ -139,6 +149,135 @@ fn quant255(v: f32) -> f32 {
 /// in L1.
 const LANES: usize = 128;
 
+/// 8-wide groups per staging buffer.
+const GROUPS: usize = LANES / 8;
+
+/// [`quant255`] on a lane: the exact scalar operation sequence expressed in
+/// [`Simd8`] ops. The compare masks are all-ones, so ANDing with 1.0
+/// reproduces the scalar `(cond) as i32 as f32` terms bit-for-bit, and every
+/// arithmetic step is the same IEEE op in the same order — vector output is
+/// bit-identical to the scalar reference for finite inputs (the converters
+/// only see finite samples).
+#[inline(always)]
+unsafe fn quant255_v<S: Simd8>(v: S::F) -> S::F {
+    unsafe {
+        let c = S::f_min(S::f_max(v, S::f_splat(0.0)), S::f_splat(255.0));
+        let r = S::f_sub(
+            S::f_add(c, S::f_splat(8_388_608.0)),
+            S::f_splat(8_388_608.0),
+        );
+        let t = S::f_sub(r, S::f_and(S::f_cmp_gt(r, c), S::f_splat(1.0)));
+        let half_up = S::f_and(
+            S::f_cmp_ge(S::f_sub(c, t), S::f_splat(0.5)),
+            S::f_splat(1.0),
+        );
+        S::f_add(t, half_up)
+    }
+}
+
+/// Packed RGB bytes per staging buffer (`LANES` pixels × 3 channels).
+const PX_BYTES: usize = LANES * 3;
+
+/// [`rgb_to_ycbcr_slice`] arithmetic on one staging buffer: same channel
+/// expressions as [`rgb_to_ycbcr`], evaluated left-to-right per lane.
+/// (`inline(always)`: must fuse into the `#[target_feature]` dispatch
+/// wrapper or the intrinsics inside cannot be inlined.)
+///
+/// Pixels arrive as packed `r g b` bytes and are deinterleaved in-lane by
+/// [`Simd8::rgb_widen`]; `i_to_f` is exact on `0..=255`, so the values
+/// match the scalar `u8 as f32` path bit-for-bit while the byte shuffles
+/// replace three scalar loads per pixel.
+#[inline(always)]
+unsafe fn rgb_to_ycbcr_kernel<S: Simd8>(
+    px: &[u8; PX_BYTES],
+    y: &mut [f32; LANES],
+    cb: &mut [f32; LANES],
+    cr: &mut [f32; LANES],
+) {
+    unsafe {
+        let pg = &*(px.as_ptr() as *const [[u8; 24]; GROUPS]);
+        let yg = &mut *(y.as_mut_ptr() as *mut [[f32; 8]; GROUPS]);
+        let cbg = &mut *(cb.as_mut_ptr() as *mut [[f32; 8]; GROUPS]);
+        let crg = &mut *(cr.as_mut_ptr() as *mut [[f32; 8]; GROUPS]);
+        for i in 0..GROUPS {
+            let (rw, gw, bw) = S::rgb_widen(&pg[i]);
+            let r = S::i_to_f(rw);
+            let g = S::i_to_f(gw);
+            let b = S::i_to_f(bw);
+            // y = 0.299 r + 0.587 g + 0.114 b
+            let yv = S::f_add(
+                S::f_add(
+                    S::f_mul(S::f_splat(0.299), r),
+                    S::f_mul(S::f_splat(0.587), g),
+                ),
+                S::f_mul(S::f_splat(0.114), b),
+            );
+            // cb = 128 - 0.1687359 r - 0.3312641 g + 0.5 b
+            let cbv = S::f_add(
+                S::f_sub(
+                    S::f_sub(S::f_splat(128.0), S::f_mul(S::f_splat(0.168_735_9), r)),
+                    S::f_mul(S::f_splat(0.331_264_1), g),
+                ),
+                S::f_mul(S::f_splat(0.5), b),
+            );
+            // cr = 128 + 0.5 r - 0.4186876 g - 0.0813124 b
+            let crv = S::f_sub(
+                S::f_sub(
+                    S::f_add(S::f_splat(128.0), S::f_mul(S::f_splat(0.5), r)),
+                    S::f_mul(S::f_splat(0.418_687_6), g),
+                ),
+                S::f_mul(S::f_splat(0.081_312_4), b),
+            );
+            S::f_store(quant255_v::<S>(yv), &mut yg[i]);
+            S::f_store(quant255_v::<S>(cbv), &mut cbg[i]);
+            S::f_store(quant255_v::<S>(crv), &mut crg[i]);
+        }
+    }
+}
+
+/// [`ycbcr_to_rgb_slice`] arithmetic on one staging buffer: quantize the raw
+/// samples, center the chroma, then the [`ycbcr_to_rgb`] expressions.
+#[inline(always)]
+unsafe fn ycbcr_to_rgb_kernel<S: Simd8>(
+    y: &[f32; LANES],
+    cb: &[f32; LANES],
+    cr: &[f32; LANES],
+    rf: &mut [f32; LANES],
+    gf: &mut [f32; LANES],
+    bf: &mut [f32; LANES],
+) {
+    unsafe {
+        let yg = &*(y.as_ptr() as *const [[f32; 8]; GROUPS]);
+        let cbg = &*(cb.as_ptr() as *const [[f32; 8]; GROUPS]);
+        let crg = &*(cr.as_ptr() as *const [[f32; 8]; GROUPS]);
+        let rg = &mut *(rf.as_mut_ptr() as *mut [[f32; 8]; GROUPS]);
+        let gg = &mut *(gf.as_mut_ptr() as *mut [[f32; 8]; GROUPS]);
+        let bg = &mut *(bf.as_mut_ptr() as *mut [[f32; 8]; GROUPS]);
+        for i in 0..GROUPS {
+            let yq = quant255_v::<S>(S::f_load(&yg[i]));
+            let cbq = S::f_sub(quant255_v::<S>(S::f_load(&cbg[i])), S::f_splat(128.0));
+            let crq = S::f_sub(quant255_v::<S>(S::f_load(&crg[i])), S::f_splat(128.0));
+            // r = y + 1.402 cr
+            let rv = S::f_add(yq, S::f_mul(S::f_splat(1.402), crq));
+            // g = y - 0.3441363 cb - 0.7141363 cr
+            let gv = S::f_sub(
+                S::f_sub(yq, S::f_mul(S::f_splat(0.344_136_3), cbq)),
+                S::f_mul(S::f_splat(0.714_136_3), crq),
+            );
+            // b = y + 1.772 cb
+            let bv = S::f_add(yq, S::f_mul(S::f_splat(1.772), cbq));
+            S::f_store(quant255_v::<S>(rv), &mut rg[i]);
+            S::f_store(quant255_v::<S>(gv), &mut gg[i]);
+            S::f_store(quant255_v::<S>(bv), &mut bg[i]);
+        }
+    }
+}
+
+crate::simd_dispatch! {
+    fn rgb_to_ycbcr_lanes / rgb_to_ycbcr_lanes_with(px: &[u8; PX_BYTES], y: &mut [f32; LANES], cb: &mut [f32; LANES], cr: &mut [f32; LANES]) = rgb_to_ycbcr_kernel;
+    fn ycbcr_to_rgb_lanes / ycbcr_to_rgb_lanes_with(y: &[f32; LANES], cb: &[f32; LANES], cr: &[f32; LANES], rf: &mut [f32; LANES], gf: &mut [f32; LANES], bf: &mut [f32; LANES]) = ycbcr_to_rgb_kernel;
+}
+
 /// Slice form of [`rgb_to_ycbcr`]: converts `px` into u8-quantized Y, Cb,
 /// Cr values stored as `f32`, one output slice per channel.
 ///
@@ -153,29 +292,66 @@ pub fn rgb_to_ycbcr_slice(px: &[Rgb], y: &mut [f32], cb: &mut [f32], cr: &mut [f
         px.len() == y.len() && px.len() == cb.len() && px.len() == cr.len(),
         "channel slice lengths differ"
     );
-    let mut rf = [0.0f32; LANES];
-    let mut gf = [0.0f32; LANES];
-    let mut bf = [0.0f32; LANES];
+    // SAFETY: the destinations are initialized slices of length `px.len()`.
+    unsafe { rgb_to_ycbcr_raw(px, y.as_mut_ptr(), cb.as_mut_ptr(), cr.as_mut_ptr()) }
+}
+
+/// [`rgb_to_ycbcr_slice`] into freshly-allocated channel vectors, skipping
+/// the zero-fill a `vec![0.0; n]` destination would pay (the converter
+/// writes every element before the lengths are published).
+pub fn rgb_to_ycbcr_vecs(px: &[Rgb]) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let n = px.len();
+    let mut y: Vec<f32> = Vec::with_capacity(n);
+    let mut cb: Vec<f32> = Vec::with_capacity(n);
+    let mut cr: Vec<f32> = Vec::with_capacity(n);
+    // SAFETY: each destination has capacity for `n` values and
+    // `rgb_to_ycbcr_raw` writes all `n` of them before `set_len`.
+    unsafe {
+        rgb_to_ycbcr_raw(px, y.as_mut_ptr(), cb.as_mut_ptr(), cr.as_mut_ptr());
+        y.set_len(n);
+        cb.set_len(n);
+        cr.set_len(n);
+    }
+    (y, cb, cr)
+}
+
+/// Driver shared by the slice and vec converters.
+///
+/// # Safety
+/// `y`, `cb`, `cr` must each be valid for `px.len()` `f32` writes. They may
+/// point at uninitialized memory: every element is written, none is read.
+unsafe fn rgb_to_ycbcr_raw(px: &[Rgb], y: *mut f32, cb: *mut f32, cr: *mut f32) {
     let mut base = 0;
     while base < px.len() {
         let m = LANES.min(px.len() - base);
         let chunk = &px[base..base + m];
-        for i in 0..m {
-            rf[i] = chunk[i].r as f32;
-            gf[i] = chunk[i].g as f32;
-            bf[i] = chunk[i].b as f32;
-        }
-        let yo = &mut y[base..base + m];
-        for i in 0..m {
-            yo[i] = quant255(0.299 * rf[i] + 0.587 * gf[i] + 0.114 * bf[i]);
-        }
-        let cbo = &mut cb[base..base + m];
-        for i in 0..m {
-            cbo[i] = quant255(128.0 - 0.168_735_9 * rf[i] - 0.331_264_1 * gf[i] + 0.5 * bf[i]);
-        }
-        let cro = &mut cr[base..base + m];
-        for i in 0..m {
-            cro[i] = quant255(128.0 + 0.5 * rf[i] - 0.418_687_6 * gf[i] - 0.081_312_4 * bf[i]);
+        if m == LANES {
+            // Full chunk: `Rgb` is `repr(C)` (three packed bytes), so the
+            // pixel run *is* the kernel's byte layout — reinterpret it in
+            // place and write straight into the destination planes.
+            unsafe {
+                let pb = &*(chunk.as_ptr() as *const [u8; PX_BYTES]);
+                let yd = &mut *(y.add(base) as *mut [f32; LANES]);
+                let cbd = &mut *(cb.add(base) as *mut [f32; LANES]);
+                let crd = &mut *(cr.add(base) as *mut [f32; LANES]);
+                rgb_to_ycbcr_lanes(pb, yd, cbd, crd);
+            }
+        } else {
+            // Tail chunk: stage the live bytes (lanes past `m` hold zeros
+            // and are never copied out), then copy the live prefix.
+            let mut pb = [0u8; PX_BYTES];
+            // SAFETY: `chunk` is `m` contiguous 3-byte `repr(C)` pixels.
+            let live = unsafe { std::slice::from_raw_parts(chunk.as_ptr() as *const u8, 3 * m) };
+            pb[..3 * m].copy_from_slice(live);
+            let mut yo = [0.0f32; LANES];
+            let mut cbo = [0.0f32; LANES];
+            let mut cro = [0.0f32; LANES];
+            rgb_to_ycbcr_lanes(&pb, &mut yo, &mut cbo, &mut cro);
+            unsafe {
+                std::ptr::copy_nonoverlapping(yo.as_ptr(), y.add(base), m);
+                std::ptr::copy_nonoverlapping(cbo.as_ptr(), cb.add(base), m);
+                std::ptr::copy_nonoverlapping(cro.as_ptr(), cr.add(base), m);
+            }
         }
         base += m;
     }
@@ -194,34 +370,39 @@ pub fn ycbcr_to_rgb_slice(y: &[f32], cb: &[f32], cr: &[f32], out: &mut [Rgb]) {
         y.len() == out.len() && cb.len() == out.len() && cr.len() == out.len(),
         "channel slice lengths differ"
     );
-    let mut yq = [0.0f32; LANES];
-    let mut cbq = [0.0f32; LANES];
-    let mut crq = [0.0f32; LANES];
+    let mut ys = [0.0f32; LANES];
+    let mut cbs = [0.0f32; LANES];
+    let mut crs = [0.0f32; LANES];
     let mut rf = [0.0f32; LANES];
     let mut gf = [0.0f32; LANES];
     let mut bf = [0.0f32; LANES];
     let mut base = 0;
     while base < out.len() {
         let m = LANES.min(out.len() - base);
-        let (ys, cbs, crs) = (&y[base..base + m], &cb[base..base + m], &cr[base..base + m]);
-        for i in 0..m {
-            yq[i] = quant255(ys[i]);
+        if m == LANES {
+            // Full chunk: feed the source planes to the kernel in place.
+            let yd: &[f32; LANES] = (&y[base..base + LANES]).try_into().unwrap();
+            let cbd: &[f32; LANES] = (&cb[base..base + LANES]).try_into().unwrap();
+            let crd: &[f32; LANES] = (&cr[base..base + LANES]).try_into().unwrap();
+            ycbcr_to_rgb_lanes(yd, cbd, crd, &mut rf, &mut gf, &mut bf);
+            let chunk = &mut out[base..base + LANES];
+            for i in 0..LANES {
+                // See the tail path for why this byte extraction is exact.
+                chunk[i] = Rgb::new(
+                    (rf[i] + 8_388_608.0).to_bits() as u8,
+                    (gf[i] + 8_388_608.0).to_bits() as u8,
+                    (bf[i] + 8_388_608.0).to_bits() as u8,
+                );
+            }
+            base += LANES;
+            continue;
         }
-        for i in 0..m {
-            cbq[i] = quant255(cbs[i]) - 128.0;
-        }
-        for i in 0..m {
-            crq[i] = quant255(crs[i]) - 128.0;
-        }
-        for i in 0..m {
-            rf[i] = quant255(yq[i] + 1.402 * crq[i]);
-        }
-        for i in 0..m {
-            gf[i] = quant255(yq[i] - 0.344_136_3 * cbq[i] - 0.714_136_3 * crq[i]);
-        }
-        for i in 0..m {
-            bf[i] = quant255(yq[i] + 1.772 * cbq[i]);
-        }
+        ys[..m].copy_from_slice(&y[base..base + m]);
+        cbs[..m].copy_from_slice(&cb[base..base + m]);
+        crs[..m].copy_from_slice(&cr[base..base + m]);
+        // Tail chunks run the kernel over the full staging buffer; lanes
+        // past `m` hold stale-but-finite values and are never packed.
+        ycbcr_to_rgb_lanes(&ys, &cbs, &crs, &mut rf, &mut gf, &mut bf);
         let chunk = &mut out[base..base + m];
         for i in 0..m {
             // quant255 output is an exact integer in [0, 255], so adding
@@ -377,6 +558,71 @@ mod tests {
                 "v = {v}"
             );
             v += 0.0625;
+        }
+    }
+
+    #[test]
+    fn quant255_lane_matches_scalar_reference() {
+        // quant255_v must be the exact op-for-op lane form of quant255;
+        // sweep the tie-handling region plus out-of-range values.
+        let mut buf = [0.0f32; 8];
+        let mut v = -40.0f32;
+        'sweep: loop {
+            for slot in buf.iter_mut() {
+                *slot = v;
+                v += 0.0625;
+                if v >= 300.0 {
+                    break 'sweep;
+                }
+            }
+            let mut got = [0.0f32; 8];
+            unsafe {
+                let lanes = crate::simd::Scalar8::f_load(&buf);
+                crate::simd::Scalar8::f_store(quant255_v::<crate::simd::Scalar8>(lanes), &mut got);
+            }
+            for i in 0..8 {
+                assert_eq!(
+                    got[i].to_bits(),
+                    quant255(buf[i]).to_bits(),
+                    "v = {}",
+                    buf[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn color_convert_bit_identical_across_backends() {
+        use crate::simd::Backend;
+        // Forward staging: the full 8-bit sample range as packed RGB bytes
+        // (exercises every backend's `rgb_widen`). Inverse staging:
+        // adversarial f32 values — ties, out-of-range, negatives —
+        // everything the quantizer sequence branches on.
+        let mut px = [0u8; PX_BYTES];
+        let mut yf = [0.0f32; LANES];
+        let mut cbf = [0.0f32; LANES];
+        let mut crf = [0.0f32; LANES];
+        for i in 0..LANES {
+            px[3 * i] = ((i * 97) % 256) as u8;
+            px[3 * i + 1] = ((i * 41) % 256) as u8;
+            px[3 * i + 2] = (255 - (i * 2) % 256) as u8;
+            yf[i] = (i as f32 * 2.31) - 20.0 + if i % 4 == 0 { 0.5 } else { 0.0 };
+            cbf[i] = 300.0 - i as f32 * 2.77;
+            crf[i] = (i as f32 * 1.13).rem_euclid(256.0) - 0.5;
+        }
+        let run = |backend| {
+            let (mut y, mut cb, mut cr) = ([0.0f32; LANES], [0.0f32; LANES], [0.0f32; LANES]);
+            rgb_to_ycbcr_lanes_with(backend, &px, &mut y, &mut cb, &mut cr);
+            let (mut r, mut g, mut b) = ([0.0f32; LANES], [0.0f32; LANES], [0.0f32; LANES]);
+            ycbcr_to_rgb_lanes_with(backend, &yf, &cbf, &crf, &mut r, &mut g, &mut b);
+            [y, cb, cr, r, g, b].map(|a| a.map(f32::to_bits))
+        };
+        let scalar = run(Backend::Scalar);
+        for backend in Backend::ALL {
+            if !backend.available() {
+                continue;
+            }
+            assert_eq!(run(backend), scalar, "backend {}", backend.name());
         }
     }
 

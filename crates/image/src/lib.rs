@@ -36,6 +36,7 @@ pub mod integral;
 pub mod io;
 pub mod metrics;
 pub mod resample;
+pub mod simd;
 
 pub use buffer::{GrayImage, Plane, RgbImage};
 pub use color::{Rgb, YCbCr};

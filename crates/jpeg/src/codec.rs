@@ -10,8 +10,9 @@
 
 use crate::coeff::{CoeffImage, Component};
 use crate::huffman::{
-    decode_block_natural_into, encode_block_natural, tally_block_natural, BitReader, BitWriter,
-    HuffDecoder, HuffEncoder, HuffTable, SymbolFreqs,
+    decode_block_natural_into, encode_block_natural, encode_block_natural_masked,
+    tally_block_natural_mask, BitReader, BitWriter, HuffDecoder, HuffEncoder, HuffTable,
+    SymbolFreqs,
 };
 use crate::quant::QuantTable;
 use crate::{JpegError, Result};
@@ -88,14 +89,18 @@ pub fn encode(img: &CoeffImage, opts: &EncodeOptions) -> Result<Vec<u8>> {
 
     // Choose Huffman tables. Table class 0 = DC, 1 = AC; id 0 = luma,
     // id 1 = chroma.
-    let (dc_tables, ac_tables) = match opts.huffman {
+    let (dc_tables, ac_tables, band_masks) = match opts.huffman {
         HuffmanMode::Standard => (
             vec![HuffTable::std_dc_luma(), HuffTable::std_dc_chroma()],
             vec![HuffTable::std_ac_luma(), HuffTable::std_ac_chroma()],
+            None,
         ),
         HuffmanMode::Optimized => {
             let _span = puppies_obs::span("jpeg.huffman_build", "jpeg");
-            build_optimized_tables(img)
+            // The tally pass records each block's zigzag nonzero mask so
+            // the emission pass below skips its own 64-lane rescan.
+            let (dc, ac, masks) = build_optimized_tables(img);
+            (dc, ac, Some(masks))
         }
     };
 
@@ -161,11 +166,24 @@ pub fn encode(img: &CoeffImage, opts: &EncodeOptions) -> Result<Vec<u8>> {
     let bands = crate::coeff::band_rows(comps[0].blocks_h());
     let pool = puppies_parallel::current();
     let bw_blocks = comps[0].blocks_w() as usize;
-    let writers = pool.map_slice(&bands, |band| {
+    // Pair each band with its tally-pass masks (`build_optimized_tables`
+    // iterates the same `band_rows` split, so index `i` lines up).
+    if let Some(masks) = &band_masks {
+        debug_assert_eq!(masks.len(), bands.len());
+    }
+    let band_inputs: Vec<(std::ops::Range<u32>, Option<&[u64]>)> = bands
+        .iter()
+        .enumerate()
+        .map(|(i, band)| {
+            let m = band_masks.as_ref().map(|ms| ms[i].as_slice());
+            (band.clone(), m)
+        })
+        .collect();
+    let writers = pool.map_slice(&band_inputs, |(band, masks)| {
         // ~8 entropy bytes per block is a comfortable overestimate for
         // photographic content; growing past it is still amortized.
         let mut w = BitWriter::with_capacity(band.len() * bw_blocks * ncomp * 8);
-        encode_band(img, band.clone(), &enc_dc, &enc_ac, &mut w).map(|()| w)
+        encode_band(img, band.clone(), &enc_dc, &enc_ac, *masks, &mut w).map(|()| w)
     });
     let mut w = BitWriter::with_capacity(bw_blocks * comps[0].blocks_h() as usize * ncomp * 8);
     for band_writer in writers {
@@ -201,24 +219,38 @@ fn encode_band(
     rows: std::ops::Range<u32>,
     enc_dc: &[HuffEncoder],
     enc_ac: &[HuffEncoder],
+    masks: Option<&[u64]>,
     w: &mut BitWriter,
 ) -> Result<()> {
     let comps = img.components();
     let bw = comps[0].blocks_w();
     let mut pred = band_entry_predictors(img, rows.start);
+    let mut mi = 0;
     for by in rows {
         for bx in 0..bw {
             for (ci, c) in comps.iter().enumerate() {
                 let tid = if ci == 0 { 0 } else { 1 };
-                pred[ci] =
-                    encode_block_natural(w, c.block(bx, by), pred[ci], &enc_dc[tid], &enc_ac[tid])?;
+                let block = c.block(bx, by);
+                pred[ci] = if let Some(ms) = masks {
+                    // Reuse the zigzag mask the tally pass computed for
+                    // this block (same scan order, same index).
+                    let m = ms[mi];
+                    mi += 1;
+                    encode_block_natural_masked(w, block, m, pred[ci], &enc_dc[tid], &enc_ac[tid])?
+                } else {
+                    encode_block_natural(w, block, pred[ci], &enc_dc[tid], &enc_ac[tid])?
+                };
             }
         }
     }
     Ok(())
 }
 
-fn build_optimized_tables(img: &CoeffImage) -> (Vec<HuffTable>, Vec<HuffTable>) {
+/// Builds optimized Huffman tables and returns, per band of
+/// [`crate::coeff::band_rows`], each block's zigzag nonzero mask in scan
+/// order (by, bx, component) so the emission pass can skip recomputing
+/// them.
+fn build_optimized_tables(img: &CoeffImage) -> (Vec<HuffTable>, Vec<HuffTable>, Vec<Vec<u64>>) {
     let comps = img.components();
     let ncomp = comps.len();
     let ntab = ncomp.min(2);
@@ -227,24 +259,30 @@ fn build_optimized_tables(img: &CoeffImage) -> (Vec<HuffTable>, Vec<HuffTable>) 
     // frequencies are additive so the merged tally is exact.
     let bands = crate::coeff::band_rows(comps[0].blocks_h());
     let pool = puppies_parallel::current();
-    let band_freqs = pool.map_slice(&bands, |band| {
+    let band_results = pool.map_slice(&bands, |band| {
         let mut freqs: Vec<SymbolFreqs> = (0..ntab).map(|_| SymbolFreqs::new()).collect();
+        let mut masks: Vec<u64> = Vec::with_capacity(band.len() * bw as usize * ncomp);
         let mut pred = band_entry_predictors(img, band.start);
         for by in band.clone() {
             for bx in 0..bw {
                 for (ci, c) in comps.iter().enumerate() {
                     let tid = if ci == 0 { 0 } else { 1 };
-                    pred[ci] = tally_block_natural(&mut freqs[tid], c.block(bx, by), pred[ci]);
+                    let (p, m) =
+                        tally_block_natural_mask(&mut freqs[tid], c.block(bx, by), pred[ci]);
+                    pred[ci] = p;
+                    masks.push(m);
                 }
             }
         }
-        freqs
+        (freqs, masks)
     });
     let mut freqs: Vec<SymbolFreqs> = (0..ntab).map(|_| SymbolFreqs::new()).collect();
-    for band in &band_freqs {
-        for (total, part) in freqs.iter_mut().zip(band.iter()) {
+    let mut all_masks = Vec::with_capacity(band_results.len());
+    for (band_freqs, masks) in band_results {
+        for (total, part) in freqs.iter_mut().zip(band_freqs.iter()) {
             total.merge(part);
         }
+        all_masks.push(masks);
     }
     let dc = freqs
         .iter()
@@ -254,7 +292,7 @@ fn build_optimized_tables(img: &CoeffImage) -> (Vec<HuffTable>, Vec<HuffTable>) 
         .iter()
         .map(|f| HuffTable::build_optimized(&f.ac))
         .collect();
-    (dc, ac)
+    (dc, ac, all_masks)
 }
 
 fn emit_quant_table(out: &mut Vec<u8>, id: u8, table: &QuantTable) {

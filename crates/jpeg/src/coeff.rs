@@ -82,43 +82,76 @@ impl Component {
         let folded = quant.folded();
         let samples = plane.samples();
         let band_blocks = pool.map_slice(&bands, |band| {
-            let mut blocks = vec![[0i32; BLOCK_LEN]; (band.len() as u32 * blocks_w) as usize];
-            let mut spatial = [0.0f32; BLOCK_LEN];
-            let mut freq = [0.0f64; BLOCK_LEN];
+            // Every slot is fully written below (the fused fdct+quantize
+            // fills all 64 coefficients of each block in order), so the
+            // band buffer skips the zero-fill a `vec![...]` would pay.
+            let n = (band.len() as u32 * blocks_w) as usize;
+            let mut blocks: Vec<Block> = Vec::with_capacity(n);
+            let spare = blocks.spare_capacity_mut();
+            let mut raw = [0.0f32; BLOCK_LEN];
+            // Columns whose 8 samples all lie inside the plane; the run
+            // `0..full_cols` of each full-height block row goes through
+            // the batched kernel in one dispatch.
+            let full_cols = width / BLOCK_SIZE;
+            let w = width as usize;
             let mut idx = 0;
             for by in band.clone() {
-                for bx in 0..blocks_w {
-                    if bx * BLOCK_SIZE + BLOCK_SIZE <= width
-                        && by * BLOCK_SIZE + BLOCK_SIZE <= height
-                    {
-                        // Interior block: gather straight from the sample
-                        // rows, skipping the per-sample clamp arithmetic.
-                        let base = (by * BLOCK_SIZE) as usize * width as usize
-                            + (bx * BLOCK_SIZE) as usize;
-                        for y in 0..BLOCK_SIZE as usize {
-                            let row = &samples[base + y * width as usize..][..BLOCK_SIZE as usize];
-                            for x in 0..BLOCK_SIZE as usize {
-                                spatial[y * BLOCK_SIZE as usize + x] = row[x] - 128.0;
-                            }
-                        }
-                    } else {
-                        // Edge block: replicate-pad via the clamped accessor.
-                        for y in 0..BLOCK_SIZE {
-                            for x in 0..BLOCK_SIZE {
-                                let sx = (bx * BLOCK_SIZE + x) as i64;
-                                let sy = (by * BLOCK_SIZE + y) as i64;
-                                spatial[(y * BLOCK_SIZE + x) as usize] =
-                                    plane.get_clamped(sx, sy) - 128.0;
-                            }
+                let row_full = by * BLOCK_SIZE + BLOCK_SIZE <= height;
+                let mut bx = 0;
+                if row_full && full_cols > 0 {
+                    // Interior span: one dispatch transforms the whole
+                    // run of full blocks (level shift, DCT, quantize and
+                    // range clamp fused), reading the sample rows in
+                    // place and writing the blocks' spare capacity
+                    // back-to-back.
+                    let base = (by * BLOCK_SIZE) as usize * w;
+                    debug_assert!(base + 7 * w + 8 * full_cols as usize <= samples.len());
+                    debug_assert!(idx + full_cols as usize <= n);
+
+                    // SAFETY: `row_full` bounds all 8 sample rows and the
+                    // destination blocks are in-capacity (see the debug
+                    // assertions); every slot of each block is written.
+                    // The pointer derives from the whole spare slice (not
+                    // one element) because the batched write spans
+                    // `full_cols` consecutive blocks.
+                    unsafe {
+                        folded.fdct_quantize_row_band_into(
+                            samples.as_ptr().add(base),
+                            w,
+                            full_cols as usize,
+                            spare.as_mut_ptr().add(idx) as *mut i32,
+                        );
+                    }
+                    idx += full_cols as usize;
+                    bx = full_cols;
+                }
+                for bx in bx..blocks_w {
+                    // Edge block: replicate-pad via the clamped accessor,
+                    // then run the same fused kernel over the staged raw
+                    // samples.
+                    for y in 0..BLOCK_SIZE {
+                        for x in 0..BLOCK_SIZE {
+                            let sx = (bx * BLOCK_SIZE + x) as i64;
+                            let sy = (by * BLOCK_SIZE + y) as i64;
+                            raw[(y * BLOCK_SIZE + x) as usize] = plane.get_clamped(sx, sy);
                         }
                     }
-                    dct::forward_scaled_into(&spatial, &mut freq);
-                    let q = &mut blocks[idx];
-                    folded.quantize_scaled_into(&freq, q);
-                    clamp_block(q);
+                    // SAFETY: `raw` is a full contiguous block and the
+                    // destination addresses 64 writable slots in spare
+                    // capacity; all 64 are written.
+                    unsafe {
+                        folded.fdct_quantize_rows_into(
+                            raw.as_ptr(),
+                            8,
+                            spare[idx].as_mut_ptr() as *mut i32,
+                        );
+                    }
                     idx += 1;
                 }
             }
+            debug_assert_eq!(idx, n);
+            // SAFETY: the loop initialized all `n` blocks.
+            unsafe { blocks.set_len(n) };
             blocks
         });
         // With a single band (serial pools) its vector is the whole
@@ -159,7 +192,7 @@ impl Component {
         let folded = self.quant.folded();
         let band_samples = pool.map_slice(&bands, |band| {
             let mut samples = vec![0.0f32; (band.len() as u32 * BLOCK_SIZE * full_w) as usize];
-            let mut raw = [0.0f64; BLOCK_LEN];
+            let mut raw = [0.0f32; BLOCK_LEN];
             let mut spatial = [0.0f32; BLOCK_LEN];
             for (row_in_band, by) in band.clone().enumerate() {
                 for bx in 0..self.blocks_w {

@@ -124,8 +124,10 @@ pub fn inverse(block: &[f32; 64]) -> [f32; 64] {
 }
 
 // ---------------------------------------------------------------------------
-// AAN scaled fast path.
+// AAN scaled fast path (f32 workspaces, explicit SIMD lanes).
 // ---------------------------------------------------------------------------
+
+use puppies_image::simd::Simd8;
 
 // Rotation constants for the AAN flowgraph, with ck = cos(kπ/16).
 const C4: f64 = std::f64::consts::FRAC_1_SQRT_2; // c4
@@ -136,6 +138,18 @@ const SQRT2: f64 = std::f64::consts::SQRT_2; // 2·c4
 const TWO_C2: f64 = 1.847_759_065_022_573_5; // 2·c2
 const TWO_C2_SUB_C6: f64 = 1.082_392_200_292_394; // 2·(c2 − c6)
 const TWO_C2_ADD_C6: f64 = 2.613_125_929_752_753; // 2·(c2 + c6)
+
+// f32 narrowings for the lane kernels. The fast path runs entirely in
+// single precision; the f64 pair above stays for `aan_scale` and the
+// orthonormal reference.
+const C4F: f32 = C4 as f32;
+const C6F: f32 = C6 as f32;
+const C2_SUB_C6F: f32 = C2_SUB_C6 as f32;
+const C2_ADD_C6F: f32 = C2_ADD_C6 as f32;
+const SQRT2F: f32 = SQRT2 as f32;
+const TWO_C2F: f32 = TWO_C2 as f32;
+const TWO_C2_SUB_C6F: f32 = TWO_C2_SUB_C6 as f32;
+const TWO_C2_ADD_C6F: f32 = TWO_C2_ADD_C6 as f32;
 
 /// The AAN per-axis scale factor: `aan(0) = 1`, `aan(k) = √2·cos(kπ/16)`.
 ///
@@ -151,268 +165,182 @@ pub fn aan_scale(k: usize) -> f64 {
 }
 
 /// One 1-D AAN forward pass (jfdctflt flowgraph): 5 multiplies, 29 adds.
-/// Output `u` is the 1-D orthonormal DCT times `2√2·aan(u)`.
-#[inline]
-fn fdct8(d: &mut [f64; N]) {
-    let tmp0 = d[0] + d[7];
-    let tmp7 = d[0] - d[7];
-    let tmp1 = d[1] + d[6];
-    let tmp6 = d[1] - d[6];
-    let tmp2 = d[2] + d[5];
-    let tmp5 = d[2] - d[5];
-    let tmp3 = d[3] + d[4];
-    let tmp4 = d[3] - d[4];
+/// Lane-parallel: each lane of the eight vectors is an independent 1-D
+/// transform, so every backend performs the identical per-lane op sequence
+/// (the bit-exactness contract of [`puppies_image::simd`]).
+#[inline(always)]
+unsafe fn fdct8_v<S: Simd8>(d: &mut [S::F; 8]) {
+    unsafe {
+        let tmp0 = S::f_add(d[0], d[7]);
+        let tmp7 = S::f_sub(d[0], d[7]);
+        let tmp1 = S::f_add(d[1], d[6]);
+        let tmp6 = S::f_sub(d[1], d[6]);
+        let tmp2 = S::f_add(d[2], d[5]);
+        let tmp5 = S::f_sub(d[2], d[5]);
+        let tmp3 = S::f_add(d[3], d[4]);
+        let tmp4 = S::f_sub(d[3], d[4]);
 
-    // Even part.
-    let tmp10 = tmp0 + tmp3;
-    let tmp13 = tmp0 - tmp3;
-    let tmp11 = tmp1 + tmp2;
-    let tmp12 = tmp1 - tmp2;
+        // Even part.
+        let tmp10 = S::f_add(tmp0, tmp3);
+        let tmp13 = S::f_sub(tmp0, tmp3);
+        let tmp11 = S::f_add(tmp1, tmp2);
+        let tmp12 = S::f_sub(tmp1, tmp2);
 
-    d[0] = tmp10 + tmp11;
-    d[4] = tmp10 - tmp11;
+        d[0] = S::f_add(tmp10, tmp11);
+        d[4] = S::f_sub(tmp10, tmp11);
 
-    let z1 = (tmp12 + tmp13) * C4;
-    d[2] = tmp13 + z1;
-    d[6] = tmp13 - z1;
+        let z1 = S::f_mul(S::f_add(tmp12, tmp13), S::f_splat(C4F));
+        d[2] = S::f_add(tmp13, z1);
+        d[6] = S::f_sub(tmp13, z1);
 
-    // Odd part.
-    let tmp10 = tmp4 + tmp5;
-    let tmp11 = tmp5 + tmp6;
-    let tmp12 = tmp6 + tmp7;
+        // Odd part.
+        let tmp10 = S::f_add(tmp4, tmp5);
+        let tmp11 = S::f_add(tmp5, tmp6);
+        let tmp12 = S::f_add(tmp6, tmp7);
 
-    let z5 = (tmp10 - tmp12) * C6;
-    let z2 = C2_SUB_C6 * tmp10 + z5;
-    let z4 = C2_ADD_C6 * tmp12 + z5;
-    let z3 = tmp11 * C4;
+        let z5 = S::f_mul(S::f_sub(tmp10, tmp12), S::f_splat(C6F));
+        let z2 = S::f_add(S::f_mul(S::f_splat(C2_SUB_C6F), tmp10), z5);
+        let z4 = S::f_add(S::f_mul(S::f_splat(C2_ADD_C6F), tmp12), z5);
+        let z3 = S::f_mul(tmp11, S::f_splat(C4F));
 
-    let z11 = tmp7 + z3;
-    let z13 = tmp7 - z3;
+        let z11 = S::f_add(tmp7, z3);
+        let z13 = S::f_sub(tmp7, z3);
 
-    d[5] = z13 + z2;
-    d[3] = z13 - z2;
-    d[1] = z11 + z4;
-    d[7] = z11 - z4;
-}
-
-/// One 1-D AAN inverse pass (jidctflt flowgraph). Input `u` must be the
-/// 1-D orthonormal coefficient times `aan(u)/(2√2)`.
-#[inline]
-fn idct8(d: &mut [f64; N]) {
-    // Even part.
-    let tmp10 = d[0] + d[4];
-    let tmp11 = d[0] - d[4];
-    let tmp13 = d[2] + d[6];
-    let tmp12 = (d[2] - d[6]) * SQRT2 - tmp13;
-
-    let tmp0 = tmp10 + tmp13;
-    let tmp3 = tmp10 - tmp13;
-    let tmp1 = tmp11 + tmp12;
-    let tmp2 = tmp11 - tmp12;
-
-    // Odd part.
-    let z13 = d[5] + d[3];
-    let z10 = d[5] - d[3];
-    let z11 = d[1] + d[7];
-    let z12 = d[1] - d[7];
-
-    let tmp7 = z11 + z13;
-    let tmp11o = (z11 - z13) * SQRT2;
-
-    let z5 = (z10 + z12) * TWO_C2;
-    let tmp10o = TWO_C2_SUB_C6 * z12 - z5;
-    let tmp12o = z5 - TWO_C2_ADD_C6 * z10;
-
-    let tmp6 = tmp12o - tmp7;
-    let tmp5 = tmp11o - tmp6;
-    let tmp4 = tmp10o + tmp5;
-
-    d[0] = tmp0 + tmp7;
-    d[7] = tmp0 - tmp7;
-    d[1] = tmp1 + tmp6;
-    d[6] = tmp1 - tmp6;
-    d[2] = tmp2 + tmp5;
-    d[5] = tmp2 - tmp5;
-    d[4] = tmp3 + tmp4;
-    d[3] = tmp3 - tmp4;
-}
-
-// Whole-row helpers for the column passes: each operation applies the
-// same f64 arithmetic to all 8 columns at once (lane k is column k), so
-// the column pass is bit-identical to running the 1-D kernel per column
-// while giving the vectorizer contiguous 8-wide loops instead of strided
-// gathers.
-
-#[inline]
-fn radd(a: &[f64; N], b: &[f64; N]) -> [f64; N] {
-    let mut o = [0.0; N];
-    for i in 0..N {
-        o[i] = a[i] + b[i];
+        d[5] = S::f_add(z13, z2);
+        d[3] = S::f_sub(z13, z2);
+        d[1] = S::f_add(z11, z4);
+        d[7] = S::f_sub(z11, z4);
     }
-    o
 }
 
-#[inline]
-fn rsub(a: &[f64; N], b: &[f64; N]) -> [f64; N] {
-    let mut o = [0.0; N];
-    for i in 0..N {
-        o[i] = a[i] - b[i];
+/// One 1-D AAN inverse pass (jidctflt flowgraph), lane-parallel like
+/// [`fdct8_v`]. Input `u` must be the 1-D orthonormal coefficient times
+/// `aan(u)/(2√2)`.
+#[inline(always)]
+unsafe fn idct8_v<S: Simd8>(d: &mut [S::F; 8]) {
+    unsafe {
+        // Even part.
+        let tmp10 = S::f_add(d[0], d[4]);
+        let tmp11 = S::f_sub(d[0], d[4]);
+        let tmp13 = S::f_add(d[2], d[6]);
+        let tmp12 = S::f_sub(S::f_mul(S::f_sub(d[2], d[6]), S::f_splat(SQRT2F)), tmp13);
+
+        let tmp0 = S::f_add(tmp10, tmp13);
+        let tmp3 = S::f_sub(tmp10, tmp13);
+        let tmp1 = S::f_add(tmp11, tmp12);
+        let tmp2 = S::f_sub(tmp11, tmp12);
+
+        // Odd part.
+        let z13 = S::f_add(d[5], d[3]);
+        let z10 = S::f_sub(d[5], d[3]);
+        let z11 = S::f_add(d[1], d[7]);
+        let z12 = S::f_sub(d[1], d[7]);
+
+        let tmp7 = S::f_add(z11, z13);
+        let tmp11o = S::f_mul(S::f_sub(z11, z13), S::f_splat(SQRT2F));
+
+        let z5 = S::f_mul(S::f_add(z10, z12), S::f_splat(TWO_C2F));
+        let tmp10o = S::f_sub(S::f_mul(S::f_splat(TWO_C2_SUB_C6F), z12), z5);
+        let tmp12o = S::f_sub(z5, S::f_mul(S::f_splat(TWO_C2_ADD_C6F), z10));
+
+        let tmp6 = S::f_sub(tmp12o, tmp7);
+        let tmp5 = S::f_sub(tmp11o, tmp6);
+        let tmp4 = S::f_add(tmp10o, tmp5);
+
+        d[0] = S::f_add(tmp0, tmp7);
+        d[7] = S::f_sub(tmp0, tmp7);
+        d[1] = S::f_add(tmp1, tmp6);
+        d[6] = S::f_sub(tmp1, tmp6);
+        d[2] = S::f_add(tmp2, tmp5);
+        d[5] = S::f_sub(tmp2, tmp5);
+        d[4] = S::f_add(tmp3, tmp4);
+        d[3] = S::f_sub(tmp3, tmp4);
     }
-    o
 }
 
-#[inline]
-fn rscale(a: &[f64; N], s: f64) -> [f64; N] {
-    let mut o = [0.0; N];
-    for i in 0..N {
-        o[i] = a[i] * s;
+/// Forward scaled DCT kernel: load the 8 rows into lane registers, then
+/// transpose → butterfly (row pass) → transpose → butterfly (column pass).
+/// The transposes are pure data movement, so per-element dataflow is
+/// identical to running [`fdct8_v`] on every row then every column.
+///
+/// `#[inline(always)]` is load-bearing on every dispatched kernel: the
+/// monomorphization must fuse into the `#[target_feature]` wrapper the
+/// dispatch macro generates, or the `core::arch` intrinsics inside stay
+/// un-inlinable opaque calls (the kernel itself carries no feature
+/// attribute) and every lane op pays a function call through memory.
+#[inline(always)]
+pub(crate) unsafe fn fdct_scaled_kernel<S: Simd8>(block: &[f32; 64], ws: &mut [f32; 64]) {
+    unsafe {
+        let rows_in = &*(block.as_ptr() as *const [[f32; 8]; 8]);
+        let mut d = [S::f_load(&rows_in[0]); 8];
+        for i in 1..8 {
+            d[i] = S::f_load(&rows_in[i]);
+        }
+        fdct_core::<S>(&mut d);
+        let rows_out = &mut *(ws.as_mut_ptr() as *mut [[f32; 8]; 8]);
+        for i in 0..8 {
+            S::f_store(d[i], &mut rows_out[i]);
+        }
     }
-    o
 }
 
-#[inline]
-fn row(ws: &[f64; 64], r: usize) -> [f64; N] {
-    ws[r * N..(r + 1) * N].try_into().unwrap()
+/// The fdct dataflow on already-loaded row registers: transpose → row pass
+/// → transpose → column pass. Shared by [`fdct_scaled_kernel`] and the
+/// fused quantizing kernel in `quant`, so both run the identical IEEE op
+/// sequence.
+#[inline(always)]
+pub(crate) unsafe fn fdct_core<S: Simd8>(d: &mut [S::F; 8]) {
+    unsafe {
+        S::f_transpose8(d); // register k = source column k
+        fdct8_v::<S>(d); // row pass (per lane = per source row)
+        S::f_transpose8(d); // back to natural row-major layout
+        fdct8_v::<S>(d); // column pass
+    }
 }
 
-#[inline]
-fn set_row(ws: &mut [f64; 64], r: usize, v: &[f64; N]) {
-    ws[r * N..(r + 1) * N].copy_from_slice(v);
+/// Inverse scaled DCT kernel: butterfly (column pass) → transpose →
+/// butterfly (row pass) → transpose → store, mirroring the scalar
+/// columns-then-rows order.
+#[inline(always)]
+unsafe fn idct_scaled_kernel<S: Simd8>(block: &[f32; 64], out: &mut [f32; 64]) {
+    unsafe {
+        let rows_in = &*(block.as_ptr() as *const [[f32; 8]; 8]);
+        let mut d = [S::f_load(&rows_in[0]); 8];
+        for i in 1..8 {
+            d[i] = S::f_load(&rows_in[i]);
+        }
+        idct8_v::<S>(&mut d); // column pass
+        S::f_transpose8(&mut d);
+        idct8_v::<S>(&mut d); // row pass (per lane = per output row)
+        S::f_transpose8(&mut d);
+        let rows_out = &mut *(out.as_mut_ptr() as *mut [[f32; 8]; 8]);
+        for i in 0..8 {
+            S::f_store(d[i], &mut rows_out[i]);
+        }
+    }
 }
 
-/// [`fdct8`] applied to all 8 columns of `ws` at once.
-fn fdct8_cols(ws: &mut [f64; 64]) {
-    let (d0, d1, d2, d3) = (row(ws, 0), row(ws, 1), row(ws, 2), row(ws, 3));
-    let (d4, d5, d6, d7) = (row(ws, 4), row(ws, 5), row(ws, 6), row(ws, 7));
-    let tmp0 = radd(&d0, &d7);
-    let tmp7 = rsub(&d0, &d7);
-    let tmp1 = radd(&d1, &d6);
-    let tmp6 = rsub(&d1, &d6);
-    let tmp2 = radd(&d2, &d5);
-    let tmp5 = rsub(&d2, &d5);
-    let tmp3 = radd(&d3, &d4);
-    let tmp4 = rsub(&d3, &d4);
-
-    // Even part.
-    let tmp10 = radd(&tmp0, &tmp3);
-    let tmp13 = rsub(&tmp0, &tmp3);
-    let tmp11 = radd(&tmp1, &tmp2);
-    let tmp12 = rsub(&tmp1, &tmp2);
-
-    set_row(ws, 0, &radd(&tmp10, &tmp11));
-    set_row(ws, 4, &rsub(&tmp10, &tmp11));
-
-    let z1 = rscale(&radd(&tmp12, &tmp13), C4);
-    set_row(ws, 2, &radd(&tmp13, &z1));
-    set_row(ws, 6, &rsub(&tmp13, &z1));
-
-    // Odd part.
-    let tmp10 = radd(&tmp4, &tmp5);
-    let tmp11 = radd(&tmp5, &tmp6);
-    let tmp12 = radd(&tmp6, &tmp7);
-
-    let z5 = rscale(&rsub(&tmp10, &tmp12), C6);
-    let z2 = radd(&rscale(&tmp10, C2_SUB_C6), &z5);
-    let z4 = radd(&rscale(&tmp12, C2_ADD_C6), &z5);
-    let z3 = rscale(&tmp11, C4);
-
-    let z11 = radd(&tmp7, &z3);
-    let z13 = rsub(&tmp7, &z3);
-
-    set_row(ws, 5, &radd(&z13, &z2));
-    set_row(ws, 3, &rsub(&z13, &z2));
-    set_row(ws, 1, &radd(&z11, &z4));
-    set_row(ws, 7, &rsub(&z11, &z4));
+puppies_image::simd_dispatch! {
+    pub fn forward_scaled_into / forward_scaled_into_with(block: &[f32; 64], ws: &mut [f32; 64]) = fdct_scaled_kernel;
+    pub fn inverse_scaled_into / inverse_scaled_into_with(block: &[f32; 64], out: &mut [f32; 64]) = idct_scaled_kernel;
 }
 
-/// [`idct8`] applied to all 8 columns of `ws` at once.
-fn idct8_cols(ws: &mut [f64; 64]) {
-    let (d0, d1, d2, d3) = (row(ws, 0), row(ws, 1), row(ws, 2), row(ws, 3));
-    let (d4, d5, d6, d7) = (row(ws, 4), row(ws, 5), row(ws, 6), row(ws, 7));
-    // Even part.
-    let tmp10 = radd(&d0, &d4);
-    let tmp11 = rsub(&d0, &d4);
-    let tmp13 = radd(&d2, &d6);
-    let tmp12 = rsub(&rscale(&rsub(&d2, &d6), SQRT2), &tmp13);
-
-    let tmp0 = radd(&tmp10, &tmp13);
-    let tmp3 = rsub(&tmp10, &tmp13);
-    let tmp1 = radd(&tmp11, &tmp12);
-    let tmp2 = rsub(&tmp11, &tmp12);
-
-    // Odd part.
-    let z13 = radd(&d5, &d3);
-    let z10 = rsub(&d5, &d3);
-    let z11 = radd(&d1, &d7);
-    let z12 = rsub(&d1, &d7);
-
-    let tmp7 = radd(&z11, &z13);
-    let tmp11o = rscale(&rsub(&z11, &z13), SQRT2);
-
-    let z5 = rscale(&radd(&z10, &z12), TWO_C2);
-    let tmp10o = rsub(&rscale(&z12, TWO_C2_SUB_C6), &z5);
-    let tmp12o = rsub(&z5, &rscale(&z10, TWO_C2_ADD_C6));
-
-    let tmp6 = rsub(&tmp12o, &tmp7);
-    let tmp5 = rsub(&tmp11o, &tmp6);
-    let tmp4 = radd(&tmp10o, &tmp5);
-
-    set_row(ws, 0, &radd(&tmp0, &tmp7));
-    set_row(ws, 7, &rsub(&tmp0, &tmp7));
-    set_row(ws, 1, &radd(&tmp1, &tmp6));
-    set_row(ws, 6, &rsub(&tmp1, &tmp6));
-    set_row(ws, 2, &radd(&tmp2, &tmp5));
-    set_row(ws, 5, &rsub(&tmp2, &tmp5));
-    set_row(ws, 4, &radd(&tmp3, &tmp4));
-    set_row(ws, 3, &rsub(&tmp3, &tmp4));
-}
-
-/// Fast forward 8×8 DCT (AAN). The output at row-major position
+/// Fast forward 8×8 DCT (AAN, f32). The output at row-major position
 /// `(u, v)` is the [`forward`] coefficient times `8·aan(u)·aan(v)`;
 /// quantize it with `quant::FoldedQuant`, which folds the descale in.
-pub fn forward_scaled(block: &[f32; 64]) -> [f64; 64] {
-    let mut ws = [0.0f64; 64];
+pub fn forward_scaled(block: &[f32; 64]) -> [f32; 64] {
+    let mut ws = [0.0f32; 64];
     forward_scaled_into(block, &mut ws);
     ws
 }
 
-/// [`forward_scaled`] writing into a caller-provided buffer, so per-block
-/// loops can reuse one scratch array instead of copying 512-byte returns.
-pub fn forward_scaled_into(block: &[f32; 64], ws: &mut [f64; 64]) {
-    for (w, &b) in ws.iter_mut().zip(block.iter()) {
-        *w = b as f64;
-    }
-    // Rows, in place.
-    for r in 0..N {
-        let d: &mut [f64; N] = (&mut ws[r * N..(r + 1) * N]).try_into().unwrap();
-        fdct8(d);
-    }
-    // Columns, 8 lanes at a time.
-    fdct8_cols(ws);
-}
-
-/// Fast inverse 8×8 DCT (AAN), the inverse of [`forward_scaled`]: input at
-/// `(u, v)` must be the orthonormal coefficient times `aan(u)·aan(v)/8`
-/// (produced by `quant::FoldedQuant::dequantize_scaled`).
-pub fn inverse_scaled(block: &[f64; 64]) -> [f32; 64] {
+/// Fast inverse 8×8 DCT (AAN, f32), the inverse of [`forward_scaled`]:
+/// input at `(u, v)` must be the orthonormal coefficient times
+/// `aan(u)·aan(v)/8` (produced by `quant::FoldedQuant::dequantize_scaled`).
+pub fn inverse_scaled(block: &[f32; 64]) -> [f32; 64] {
     let mut out = [0.0f32; 64];
     inverse_scaled_into(block, &mut out);
     out
-}
-
-/// [`inverse_scaled`] writing into a caller-provided buffer.
-pub fn inverse_scaled_into(block: &[f64; 64], out: &mut [f32; 64]) {
-    let mut ws = *block;
-    // Columns, 8 lanes at a time.
-    idct8_cols(&mut ws);
-    // Rows, in place, narrowing to f32 on the way out.
-    for r in 0..N {
-        let d: &mut [f64; N] = (&mut ws[r * N..(r + 1) * N]).try_into().unwrap();
-        idct8(d);
-        for (x, &s) in d.iter().enumerate() {
-            out[r * N + x] = s as f32;
-        }
-    }
 }
 
 #[cfg(test)]
@@ -514,10 +442,10 @@ mod tests {
             for u in 0..N {
                 for v in 0..N {
                     let i = u * N + v;
-                    let descaled = scaled[i] / (8.0 * aan_scale(u) * aan_scale(v));
-                    // Tolerance bounded by the reference's f32 output rounding.
+                    let descaled = scaled[i] as f64 / (8.0 * aan_scale(u) * aan_scale(v));
+                    // Tolerance bounded by f32 accumulation in the fast path.
                     assert!(
-                        (descaled - reference[i] as f64).abs() < 1e-3,
+                        (descaled - reference[i] as f64).abs() < 5e-3,
                         "seed {seed} idx {i}: {descaled} vs {}",
                         reference[i]
                     );
@@ -532,17 +460,17 @@ mod tests {
             let block = sample_block(seed);
             // Treat the sample as frequency coefficients.
             let reference = inverse(&block);
-            let mut scaled = [0.0f64; 64];
+            let mut scaled = [0.0f32; 64];
             for u in 0..N {
                 for v in 0..N {
                     let i = u * N + v;
-                    scaled[i] = block[i] as f64 * aan_scale(u) * aan_scale(v) / 8.0;
+                    scaled[i] = (block[i] as f64 * aan_scale(u) * aan_scale(v) / 8.0) as f32;
                 }
             }
             let fast = inverse_scaled(&scaled);
             for i in 0..64 {
                 assert!(
-                    (fast[i] - reference[i]).abs() < 1e-4,
+                    (fast[i] - reference[i]).abs() < 1e-3,
                     "seed {seed} idx {i}: {} vs {}",
                     fast[i],
                     reference[i]
@@ -558,7 +486,7 @@ mod tests {
             let scaled = forward_scaled(&block);
             // Undo the combined forward/inverse scale: ÷(8·aan·aan) for the
             // forward factor, ×(aan·aan/8) for the inverse convention.
-            let mut freq = [0.0f64; 64];
+            let mut freq = [0.0f32; 64];
             for u in 0..N {
                 for v in 0..N {
                     let i = u * N + v;
@@ -567,7 +495,37 @@ mod tests {
             }
             let back = inverse_scaled(&freq);
             for (a, b) in block.iter().zip(back.iter()) {
-                assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+                assert!((a - b).abs() < 5e-3, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_dct_bit_identical_across_backends() {
+        use puppies_image::simd::Backend;
+        for seed in [1u32, 77, 90210, 0xDEAD, 0xBEEF] {
+            let block = sample_block(seed);
+            let mut want_f = [0.0f32; 64];
+            forward_scaled_into_with(Backend::Scalar, &block, &mut want_f);
+            let mut want_i = [0.0f32; 64];
+            inverse_scaled_into_with(Backend::Scalar, &want_f, &mut want_i);
+            for backend in Backend::ALL.into_iter().filter(|b| b.available()) {
+                let mut got_f = [0.0f32; 64];
+                forward_scaled_into_with(backend, &block, &mut got_f);
+                assert_eq!(
+                    want_f.map(f32::to_bits),
+                    got_f.map(f32::to_bits),
+                    "forward_scaled diverges on {} (seed {seed})",
+                    backend.name()
+                );
+                let mut got_i = [0.0f32; 64];
+                inverse_scaled_into_with(backend, &want_f, &mut got_i);
+                assert_eq!(
+                    want_i.map(f32::to_bits),
+                    got_i.map(f32::to_bits),
+                    "inverse_scaled diverges on {} (seed {seed})",
+                    backend.name()
+                );
             }
         }
     }

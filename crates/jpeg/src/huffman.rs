@@ -796,30 +796,38 @@ pub fn encode_block_natural(
     dc: &HuffEncoder,
     ac: &HuffEncoder,
 ) -> Result<i32> {
+    encode_block_natural_masked(w, block, zigzag_nonzero_mask(block), prev_dc, dc, ac)
+}
+
+/// [`encode_block_natural`] with the block's zigzag nonzero mask supplied
+/// by the caller — bit `k` set iff the coefficient at zigzag position `k`
+/// is nonzero, exactly what [`tally_block_natural_mask`] returns. Reusing
+/// the tally pass's mask saves one 64-lane scan per block on the
+/// optimized-Huffman path. The mask must describe this `block`: a stale
+/// mask yields a corrupt (but memory-safe) stream.
+///
+/// # Errors
+/// Same conditions as [`encode_block`].
+pub fn encode_block_natural_masked(
+    w: &mut BitWriter,
+    block: &[i32; 64],
+    mask: u64,
+    prev_dc: i32,
+    dc: &HuffEncoder,
+    ac: &HuffEncoder,
+) -> Result<i32> {
     if !(crate::COEFF_MIN..=crate::COEFF_MAX).contains(&block[0]) {
         return Err(JpegError::CoefficientRange { value: block[0] });
-    }
-    let mut bad = false;
-    for &v in &block[1..] {
-        bad |= !(crate::AC_MIN..=crate::AC_MAX).contains(&v);
-    }
-    if bad {
-        let value = *block[1..]
-            .iter()
-            .find(|v| !(crate::AC_MIN..=crate::AC_MAX).contains(v))
-            .expect("sweep found an out-of-range value");
-        return Err(JpegError::CoefficientRange { value });
     }
     let diff = block[0] - prev_dc;
     let cat = category(diff);
     dc.emit_with(w, cat as u8, magnitude_bits(diff, cat), cat)?;
 
-    // Walk only the nonzero coefficients: bit k of the mask is set iff
-    // the coefficient at zigzag position k is nonzero, so the run length
-    // before each symbol is the gap between consecutive set bits. A
-    // typical photographic block has ~10-20 nonzero ACs, so this skips
-    // the ~3/4 of the scan a coefficient-at-a-time loop burns on zeros.
-    let mut mask = zigzag_nonzero_mask(block) & !1;
+    // Walk only the nonzero coefficients: the run length before each
+    // symbol is the gap between consecutive set bits. A typical
+    // photographic block has ~10-20 nonzero ACs, so this skips the ~3/4
+    // of the scan a coefficient-at-a-time loop burns on zeros.
+    let mut mask = mask & !1;
     let mut prev_k = 0u32;
     while mask != 0 {
         let k = mask.trailing_zeros();
@@ -830,6 +838,13 @@ pub fn encode_block_natural(
             run -= 16;
         }
         let v = block[crate::zigzag::ZIGZAG[k as usize & 63] & 63];
+        // Range-check inside the nonzero walk: zeros are trivially in
+        // range, so this sees every coefficient the old whole-block sweep
+        // could reject (the writer holds a partial block on error, which
+        // is fine — the caller discards the stream).
+        if !(crate::AC_MIN..=crate::AC_MAX).contains(&v) {
+            return Err(JpegError::CoefficientRange { value: v });
+        }
         let size = category(v);
         ac.emit_with(
             w,
@@ -871,27 +886,26 @@ static ZZ_SCATTER: [[u64; 256]; 8] = {
     t
 };
 
-/// Bit `k` of the result is set iff the coefficient at *zigzag* position
-/// `k` of the natural-order `block` is nonzero.
-#[inline]
-fn zigzag_nonzero_mask(block: &[i32; 64]) -> u64 {
-    // 0/1 bytes via a vectorizable compare loop, then a SWAR bit-gather
-    // per 8-byte group (the 0x0102_0408_1020_4080 multiply collects each
-    // byte's low bit into the top byte, carry-free), scattered to zigzag
-    // positions through the per-byte tables.
-    let mut nz = [0u8; 64];
-    for i in 0..64 {
-        nz[i] = (block[i] != 0) as u8;
+/// [`zigzag_nonzero_mask`] kernel: one lane compare + movemask per 8-wide
+/// natural-order group; the 8-bit group mask indexes the scatter table
+/// directly (the table already maps natural byte `c` to zigzag positions).
+unsafe fn nonzero_mask_kernel<S: puppies_image::simd::Simd8>(block: &[i32; 64]) -> u64 {
+    unsafe {
+        let groups = &*(block.as_ptr() as *const [[i32; 8]; 8]);
+        let mut m = 0u64;
+        for (c, g) in groups.iter().enumerate() {
+            let bits = S::i_nonzero_mask(S::i_load(g)) as usize;
+            m |= ZZ_SCATTER[c][bits];
+        }
+        m
     }
-    let mut m = 0u64;
-    let mut c = 0;
-    while c < 8 {
-        let w = u64::from_le_bytes(nz[c * 8..c * 8 + 8].try_into().unwrap());
-        let bits = (w.wrapping_mul(0x0102_0408_1020_4080) >> 56) as usize;
-        m |= ZZ_SCATTER[c][bits];
-        c += 1;
-    }
-    m
+}
+
+puppies_image::simd_dispatch! {
+    // Bit `k` of the result is set iff the coefficient at *zigzag* position
+    // `k` of the natural-order `block` is nonzero. Used twice per block on
+    // the encode path (symbol tally + emission).
+    fn zigzag_nonzero_mask / zigzag_nonzero_mask_with(block: &[i32; 64]) -> u64 = nonzero_mask_kernel;
 }
 
 /// The identity permutation: [`encode_block`]'s input is already in scan
@@ -969,10 +983,22 @@ pub fn tally_block(freqs: &mut SymbolFreqs, zz: &[i32; 64], prev_dc: i32) -> i32
 /// [`tally_block`] for a row-major (natural) order block; the counterpart
 /// of [`encode_block_natural`].
 pub fn tally_block_natural(freqs: &mut SymbolFreqs, block: &[i32; 64], prev_dc: i32) -> i32 {
+    tally_block_natural_mask(freqs, block, prev_dc).0
+}
+
+/// [`tally_block_natural`] that also returns the block's zigzag nonzero
+/// mask, so the emission pass can reuse it via
+/// [`encode_block_natural_masked`] instead of rescanning the block.
+pub fn tally_block_natural_mask(
+    freqs: &mut SymbolFreqs,
+    block: &[i32; 64],
+    prev_dc: i32,
+) -> (i32, u64) {
     let diff = block[0] - prev_dc;
     freqs.dc[category(diff) as usize] += 1;
     // Same nonzero-bitmask walk as `encode_block_natural`.
-    let mut mask = zigzag_nonzero_mask(block) & !1;
+    let zmask = zigzag_nonzero_mask(block);
+    let mut mask = zmask & !1;
     let mut prev_k = 0u32;
     while mask != 0 {
         let k = mask.trailing_zeros();
@@ -989,7 +1015,7 @@ pub fn tally_block_natural(freqs: &mut SymbolFreqs, block: &[i32; 64], prev_dc: 
     if prev_k != 63 {
         freqs.ac[0x00] += 1;
     }
-    block[0]
+    (block[0], zmask)
 }
 
 fn tally_block_perm(

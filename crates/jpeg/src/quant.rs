@@ -153,50 +153,231 @@ impl QuantTable {
 /// A quantization table with the AAN scale factors folded in, pairing with
 /// [`crate::dct::forward_scaled`] / [`crate::dct::inverse_scaled`].
 ///
-/// Bit-identity with the reference path is preserved by *staging*: the
-/// forward side first descales the AAN output to the orthonormal
-/// coefficient and rounds it through f32 — reproducing exactly the f32
-/// value [`crate::dct::forward`] emits — then performs the same f32
-/// divide-and-round that [`QuantTable::quantize`] performs. Folding the
-/// descale and the step into one multiplier would be one multiply cheaper
-/// but rounds differently on half-step ties (e.g. a coefficient of exactly
-/// 4.5 against step 3), which would break fast == reference.
+/// The forward side folds the AAN descale *and* the quantization step into
+/// a single f32 multiplier per coefficient (`1/(8·aan·aan·step)`, computed
+/// in f64 and narrowed once), so quantizing is one multiply plus a
+/// magic-number round. The contract this preserves is exact **integer
+/// identity across SIMD backends** — every backend performs the identical
+/// IEEE f32 op sequence — while the f64 orthonormal reference pipeline
+/// (`QuantTable::quantize(dct::forward(..))`) becomes a bounded
+/// differential (±1 on half-step ties), pinned by
+/// `folded_quantize_matches_reference_pipeline`.
 #[derive(Debug, Clone)]
 pub struct FoldedQuant {
-    /// `1/(8·aan(u)·aan(v))`: descales `forward_scaled` output to the
-    /// orthonormal coefficient the reference `forward` produces.
-    descale: [f64; 64],
-    /// Step sizes as f32, so the divide matches `quantize` bit for bit.
-    steps_f32: [f32; 64],
+    /// `1/(8·aan(u)·aan(v)·step)`: takes `forward_scaled` output straight
+    /// to the (unrounded) quantized value.
+    fold: [f32; 64],
     /// `step·aan(u)·aan(v)/8`: dequantizes integer coefficients straight
     /// into `inverse_scaled` input, one multiply per coefficient.
-    idct_mult: [f64; 64],
+    idct_mult: [f32; 64],
+}
+
+use puppies_image::simd::Simd8;
+
+/// Adding/subtracting 1.5·2^23 rounds an f32 to the nearest integer (ties
+/// to even) exactly for |q| < 2^22; see the kernel comments.
+const ROUND_MAGIC: f32 = 12_582_912.0;
+const ROUND_MAGIC_BITS: i32 = 0x4B40_0000;
+const ROUND_LIMIT: f32 = 4_194_304.0;
+
+/// Quantize kernel: `out = round_half_away(scaled · fold)` per coefficient.
+/// (`inline(always)`: must fuse into the `#[target_feature]` dispatch
+/// wrapper or the intrinsics inside cannot be inlined.)
+#[inline(always)]
+unsafe fn quantize_kernel<S: Simd8>(scaled: &[f32; 64], fold: &[f32; 64], out: &mut [i32; 64]) {
+    unsafe {
+        let magic = S::f_splat(ROUND_MAGIC);
+        let limit = S::f_splat(ROUND_LIMIT);
+        let magic_bits = S::i_splat(ROUND_MAGIC_BITS);
+        let half = S::f_splat(0.5);
+        let neg_half = S::f_splat(-0.5);
+        let zero = S::f_splat(0.0);
+        let s8 = &*(scaled.as_ptr() as *const [[f32; 8]; 8]);
+        let f8 = &*(fold.as_ptr() as *const [[f32; 8]; 8]);
+        let o8 = &mut *(out.as_mut_ptr() as *mut [[i32; 8]; 8]);
+        for g in 0..8 {
+            let q = S::f_mul(S::f_load(&s8[g]), S::f_load(&f8[g]));
+            // Range check: a NaN lane fails `lt` exactly like the scalar
+            // guard `!(q.abs() < limit)`, so it reaches the fallback too.
+            if !S::f_all(S::f_cmp_lt(S::f_abs(q), limit)) {
+                // Rare out-of-range/NaN group. The same scalar sequence on
+                // every backend keeps results deterministic everywhere.
+                for i in 0..8 {
+                    o8[g][i] = (s8[g][i] * f8[g][i]).round() as i32;
+                }
+                continue;
+            }
+            let y = S::f_add(q, magic);
+            let r = S::f_sub(y, magic);
+            // For y in [2^23, 2^24) the mantissa bits *are* y − 2^23, so
+            // round_even(q) = bits(y) − bits(1.5·2^23) as plain integers —
+            // no float→int cast (whose saturating semantics cost extra
+            // instructions) anywhere in the loop.
+            let base = S::i_sub(S::f_bits(y), magic_bits);
+            // The residual d = q − r is exact (Sterbenz) with |d| ≤ 0.5; a
+            // tie (|d| = 0.5) is where round-to-even may disagree with the
+            // round-half-away the reference uses. The compare masks are
+            // all-ones (−1 as i32), so subtract/add fixes up by ±1.
+            let d = S::f_sub(q, r);
+            let up = S::f_and(S::f_cmp_ge(d, half), S::f_cmp_gt(q, zero));
+            let down = S::f_and(S::f_cmp_le(d, neg_half), S::f_cmp_lt(q, zero));
+            let v = S::i_add(S::i_sub(base, S::f_bits(up)), S::f_bits(down));
+            S::i_store(v, &mut o8[g]);
+        }
+    }
+}
+
+/// Dequantize kernel: `out = q · idct_mult` per coefficient (exact: |q| is
+/// far below 2^24, so the int→float conversion never rounds).
+#[inline(always)]
+unsafe fn dequantize_kernel<S: Simd8>(q: &[i32; 64], mult: &[f32; 64], out: &mut [f32; 64]) {
+    unsafe {
+        let q8 = &*(q.as_ptr() as *const [[i32; 8]; 8]);
+        let m8 = &*(mult.as_ptr() as *const [[f32; 8]; 8]);
+        let o8 = &mut *(out.as_mut_ptr() as *mut [[f32; 8]; 8]);
+        for g in 0..8 {
+            let v = S::f_mul(S::i_to_f(S::i_load(&q8[g])), S::f_load(&m8[g]));
+            S::f_store(v, &mut o8[g]);
+        }
+    }
+}
+
+/// Per-group f32 clamp floors for the fused kernel: DC (group 0, lane 0)
+/// admits `COEFF_MIN = -1024`, every AC lane `AC_MIN = -1023`. The ceiling
+/// is uniformly `1023.0`. Clamping the *unrounded* product against exact
+/// integer bounds before magic-rounding equals clamping after rounding:
+/// an in-range product is untouched, and a clamped lane lands exactly on
+/// the integer bound, where the rounder is the identity and the tie fixup
+/// a no-op.
+const FUSED_CLAMP_LO: [f32; 8] = [
+    -1024.0, -1023.0, -1023.0, -1023.0, -1023.0, -1023.0, -1023.0, -1023.0,
+];
+
+/// Fused level-shift + forward DCT + quantize + range clamp, reading the
+/// 8 sample rows of a block directly at `stride` spacing: one dispatch per
+/// block, no spatial staging, and the scaled-frequency intermediate stays
+/// in lane registers between the stages. The op sequence is exactly the
+/// staged pipeline's — lane-subtract 128 (the gather's level shift),
+/// [`crate::dct::fdct_core`], then [`quantize_kernel`]'s rounding — so
+/// outputs are bit-identical to
+/// `quantize_scaled_into(&forward_scaled(shifted), ..)` + `clamp_block`.
+///
+/// # Safety
+/// `src` must be valid for reads of `7 * stride + 8` `f32`s, and `out`
+/// valid for writes of 64 `i32`s (it may be uninitialized — every slot is
+/// written, which is what lets `from_plane` fill fresh capacity without a
+/// zero-fill pass).
+#[inline(always)]
+unsafe fn fdct_quantize_rows_kernel<S: Simd8>(
+    src: *const f32,
+    stride: usize,
+    fold: &[f32; 64],
+    out: *mut i32,
+) {
+    unsafe {
+        let shift = S::f_splat(128.0);
+        let mut d = [S::f_sub(S::f_load(&*(src as *const [f32; 8])), shift); 8];
+        for (i, row) in d.iter_mut().enumerate().skip(1) {
+            *row = S::f_sub(S::f_load(&*(src.add(i * stride) as *const [f32; 8])), shift);
+        }
+        crate::dct::fdct_core::<S>(&mut d);
+
+        let magic = S::f_splat(ROUND_MAGIC);
+        let limit = S::f_splat(ROUND_LIMIT);
+        let magic_bits = S::i_splat(ROUND_MAGIC_BITS);
+        let half = S::f_splat(0.5);
+        let neg_half = S::f_splat(-0.5);
+        let zero = S::f_splat(0.0);
+        let hi = S::f_splat(1023.0);
+        let f8 = &*(fold.as_ptr() as *const [[f32; 8]; 8]);
+        let o8 = out as *mut [i32; 8];
+        for g in 0..8 {
+            let q = S::f_mul(d[g], S::f_load(&f8[g]));
+            // Same NaN/out-of-range guard as `quantize_kernel`, evaluated
+            // *before* the clamp so a NaN lane still takes the scalar
+            // fallback (min/max would silently absorb it).
+            if !S::f_all(S::f_cmp_lt(S::f_abs(q), limit)) {
+                let mut tmp = [0.0f32; 8];
+                S::f_store(d[g], &mut tmp);
+                for i in 0..8 {
+                    let v = (tmp[i] * f8[g][i]).round() as i32;
+                    (*o8.add(g))[i] = if g == 0 && i == 0 {
+                        v.clamp(crate::COEFF_MIN, crate::COEFF_MAX)
+                    } else {
+                        v.clamp(crate::AC_MIN, crate::AC_MAX)
+                    };
+                }
+                continue;
+            }
+            let lo = if g == 0 {
+                S::f_load(&FUSED_CLAMP_LO)
+            } else {
+                S::f_splat(-1023.0)
+            };
+            let c = S::f_min(S::f_max(q, lo), hi);
+            let y = S::f_add(c, magic);
+            let r = S::f_sub(y, magic);
+            let base = S::i_sub(S::f_bits(y), magic_bits);
+            let dd = S::f_sub(c, r);
+            let up = S::f_and(S::f_cmp_ge(dd, half), S::f_cmp_gt(c, zero));
+            let down = S::f_and(S::f_cmp_le(dd, neg_half), S::f_cmp_lt(c, zero));
+            let v = S::i_add(S::i_sub(base, S::f_bits(up)), S::f_bits(down));
+            S::i_store(v, &mut *o8.add(g));
+        }
+    }
+}
+
+/// [`fdct_quantize_rows_kernel`] over `nblocks` horizontally adjacent
+/// blocks: block `i` reads rows at `src + 8i` and writes `out + 64i`. One
+/// dispatch per block *row* instead of per block lets the compiler hoist
+/// every splat constant of the DCT and quantizer out of the block loop.
+///
+/// # Safety
+/// `src` must be valid for reads of `7 * stride + 8 * nblocks` `f32`s and
+/// `out` for `64 * nblocks` `i32` writes (may be uninitialized; every slot
+/// is written).
+#[inline(always)]
+unsafe fn fdct_quantize_row_band_kernel<S: Simd8>(
+    src: *const f32,
+    stride: usize,
+    nblocks: usize,
+    fold: &[f32; 64],
+    out: *mut i32,
+) {
+    unsafe {
+        for i in 0..nblocks {
+            fdct_quantize_rows_kernel::<S>(src.add(8 * i), stride, fold, out.add(64 * i));
+        }
+    }
+}
+
+puppies_image::simd_dispatch! {
+    fn quantize_folded / quantize_folded_with(scaled: &[f32; 64], fold: &[f32; 64], out: &mut [i32; 64]) = quantize_kernel;
+    fn dequantize_folded / dequantize_folded_with(q: &[i32; 64], mult: &[f32; 64], out: &mut [f32; 64]) = dequantize_kernel;
+    fn fdct_quantize_rows / fdct_quantize_rows_with(src: *const f32, stride: usize, fold: &[f32; 64], out: *mut i32) = fdct_quantize_rows_kernel;
+    fn fdct_quantize_row_band / fdct_quantize_row_band_with(src: *const f32, stride: usize, nblocks: usize, fold: &[f32; 64], out: *mut i32) = fdct_quantize_row_band_kernel;
 }
 
 impl FoldedQuant {
     fn new(table: &QuantTable) -> Self {
-        let mut descale = [0.0f64; 64];
-        let mut steps_f32 = [0.0f32; 64];
-        let mut idct_mult = [0.0f64; 64];
+        let mut fold = [0.0f32; 64];
+        let mut idct_mult = [0.0f32; 64];
         for u in 0..8 {
             for v in 0..8 {
                 let i = u * 8 + v;
                 let aan = crate::dct::aan_scale(u) * crate::dct::aan_scale(v);
-                descale[i] = 1.0 / (8.0 * aan);
-                steps_f32[i] = table.steps[i] as f32;
-                idct_mult[i] = table.steps[i] as f64 * aan / 8.0;
+                fold[i] = (1.0 / (8.0 * aan * table.steps[i] as f64)) as f32;
+                idct_mult[i] = (table.steps[i] as f64 * aan / 8.0) as f32;
             }
         }
-        FoldedQuant {
-            descale,
-            steps_f32,
-            idct_mult,
-        }
+        FoldedQuant { fold, idct_mult }
     }
 
     /// Quantizes the output of [`crate::dct::forward_scaled`]. Produces the
-    /// same integers as `QuantTable::quantize(dct::forward(..))`.
-    pub fn quantize_scaled(&self, scaled: &[f64; 64]) -> [i32; 64] {
+    /// same integers as `QuantTable::quantize(dct::forward(..))` up to ±1
+    /// on half-step ties (see the type-level docs), identically on every
+    /// SIMD backend.
+    pub fn quantize_scaled(&self, scaled: &[f32; 64]) -> [i32; 64] {
         let mut out = [0i32; 64];
         self.quantize_scaled_into(scaled, &mut out);
         out
@@ -204,64 +385,94 @@ impl FoldedQuant {
 
     /// [`Self::quantize_scaled`] writing into a caller-provided block, so
     /// per-block loops can fill their destination in place.
-    pub fn quantize_scaled_into(&self, scaled: &[f64; 64], out: &mut [i32; 64]) {
-        // Stage through f32 so both paths round the identical value. Kept
-        // as its own (2-wide f64) loop so the f32 divide loop below stays
-        // uniform for the vectorizer.
-        let mut un = [0.0f32; 64];
-        for i in 0..64 {
-            un[i] = (scaled[i] * self.descale[i]) as f32;
-        }
-        // Exact round-half-away-from-zero, equal to `q.round() as i32`,
-        // without the libm `roundf` call that keeps the SSE2 baseline from
-        // vectorizing this loop. Adding/subtracting 1.5·2^23 rounds q to
-        // the nearest integer (ties to even) exactly for |q| < 2^22; the
-        // residual d = q - r is then exact (Sterbenz) and |d| <= 0.5, so a
-        // tie (|d| = 0.5, where round-to-even may disagree with
-        // round-half-away) is fixed up by one sign-aware compare per side.
-        // NaN, ±inf, and finite |q| >= 2^22 all trip the (negated, so NaN
-        // is caught) range check and take the scalar `.round()` fallback,
-        // keeping every input bit-identical to the reference.
-        let mut fallback = false;
-        for i in 0..64 {
-            let q = un[i] / self.steps_f32[i];
-            // The negated compare is load-bearing: unlike `>=`, it is true
-            // for NaN, which must take the fallback path.
-            #[allow(clippy::neg_cmp_op_on_partial_ord)]
-            {
-                fallback |= !(q.abs() < 4_194_304.0);
-            }
-            let y = q + 12_582_912.0;
-            // For y in [2^23, 2^24) the mantissa bits *are* y - 2^23, so
-            // round_even(q) = bits(y) - bits(1.5·2^23) as a plain integer
-            // subtraction — no float→int cast (whose saturating semantics
-            // keep it scalar) anywhere in the loop.
-            let base = (y.to_bits() as i32).wrapping_sub(0x4B40_0000);
-            let d = q - (y - 12_582_912.0);
-            let up = (d >= 0.5 && q > 0.0) as i32;
-            let down = (d <= -0.5 && q < 0.0) as i32;
-            out[i] = base + up - down;
-        }
-        if fallback {
-            for i in 0..64 {
-                out[i] = (un[i] / self.steps_f32[i]).round() as i32;
-            }
-        }
+    pub fn quantize_scaled_into(&self, scaled: &[f32; 64], out: &mut [i32; 64]) {
+        quantize_folded(scaled, &self.fold, out);
+    }
+
+    /// Fused level shift + forward DCT + quantize + range clamp over a
+    /// block whose 8 sample rows start at `src` spaced `stride` `f32`s
+    /// apart (raw `[0, 255]`-nominal samples — the kernel applies the
+    /// `-128` level shift in-lane). Bit-identical to staging the shifted
+    /// block, running `forward_scaled_into` + `quantize_scaled_into`, and
+    /// `clamp_block`ing the result.
+    ///
+    /// # Safety
+    /// `src` must be valid for reads of `7 * stride + 8` `f32`s, and `out`
+    /// for writes of 64 `i32`s. `out` may point at uninitialized memory:
+    /// every slot is written, so `from_plane` can quantize straight into
+    /// fresh `Vec` capacity without a zero-fill pass.
+    pub unsafe fn fdct_quantize_rows_into(&self, src: *const f32, stride: usize, out: *mut i32) {
+        fdct_quantize_rows(src, stride, &self.fold, out);
+    }
+
+    /// [`Self::fdct_quantize_rows_into`] over `nblocks` horizontally
+    /// adjacent blocks (block `i` at `src + 8i` → `out + 64i`): one
+    /// dispatch per block row.
+    ///
+    /// # Safety
+    /// `src` must be valid for reads of `7 * stride + 8 * nblocks` `f32`s
+    /// and `out` for `64 * nblocks` `i32` writes (may be uninitialized;
+    /// every slot is written).
+    pub unsafe fn fdct_quantize_row_band_into(
+        &self,
+        src: *const f32,
+        stride: usize,
+        nblocks: usize,
+        out: *mut i32,
+    ) {
+        fdct_quantize_row_band(src, stride, nblocks, &self.fold, out);
+    }
+
+    /// [`Self::fdct_quantize_rows_into`] over a contiguous row-major block
+    /// of raw samples — the safe form used for edge blocks and tests.
+    pub fn fdct_quantize_block_into(&self, raw: &[f32; 64], out: &mut [i32; 64]) {
+        fdct_quantize_rows(raw.as_ptr(), 8, &self.fold, out.as_mut_ptr());
+    }
+
+    /// [`Self::fdct_quantize_block_into`] on an explicit SIMD backend
+    /// (test-facing; asserts the backend is available).
+    pub fn fdct_quantize_block_into_with(
+        &self,
+        backend: puppies_image::simd::Backend,
+        raw: &[f32; 64],
+        out: &mut [i32; 64],
+    ) {
+        fdct_quantize_rows_with(backend, raw.as_ptr(), 8, &self.fold, out.as_mut_ptr());
+    }
+
+    /// [`Self::quantize_scaled_into`] on an explicit SIMD backend
+    /// (test-facing; asserts the backend is available).
+    pub fn quantize_scaled_into_with(
+        &self,
+        backend: puppies_image::simd::Backend,
+        scaled: &[f32; 64],
+        out: &mut [i32; 64],
+    ) {
+        quantize_folded_with(backend, scaled, &self.fold, out);
     }
 
     /// Dequantizes integer coefficients into [`crate::dct::inverse_scaled`]
     /// input. Equivalent to `dct`-scaling `QuantTable::dequantize` output.
-    pub fn dequantize_scaled(&self, q: &[i32; 64]) -> [f64; 64] {
-        let mut out = [0.0f64; 64];
+    pub fn dequantize_scaled(&self, q: &[i32; 64]) -> [f32; 64] {
+        let mut out = [0.0f32; 64];
         self.dequantize_scaled_into(q, &mut out);
         out
     }
 
     /// [`Self::dequantize_scaled`] writing into a caller-provided buffer.
-    pub fn dequantize_scaled_into(&self, q: &[i32; 64], out: &mut [f64; 64]) {
-        for i in 0..64 {
-            out[i] = q[i] as f64 * self.idct_mult[i];
-        }
+    pub fn dequantize_scaled_into(&self, q: &[i32; 64], out: &mut [f32; 64]) {
+        dequantize_folded(q, &self.idct_mult, out);
+    }
+
+    /// [`Self::dequantize_scaled_into`] on an explicit SIMD backend
+    /// (test-facing; asserts the backend is available).
+    pub fn dequantize_scaled_into_with(
+        &self,
+        backend: puppies_image::simd::Backend,
+        q: &[i32; 64],
+        out: &mut [f32; 64],
+    ) {
+        dequantize_folded_with(backend, q, &self.idct_mult, out);
     }
 }
 
@@ -348,6 +559,13 @@ mod tests {
 
     #[test]
     fn folded_quantize_matches_reference_pipeline() {
+        // The fast path is all-f32 with a folded multiplier, so against the
+        // f64 orthonormal reference it is a bounded differential: every
+        // coefficient within ±1 (half-step ties land either way), and the
+        // overwhelming majority identical. Exactness lives in the
+        // cross-backend identity test below instead.
+        let mut total = 0u64;
+        let mut mismatched = 0u64;
         for quality in [25u8, 50, 75, 92] {
             for table in [QuantTable::luma(quality), QuantTable::chroma(quality)] {
                 let folded = table.folded();
@@ -355,7 +573,92 @@ mod tests {
                     let block = sample_block(seed ^ quality as u32);
                     let reference = table.quantize(&crate::dct::forward(&block));
                     let fast = folded.quantize_scaled(&crate::dct::forward_scaled(&block));
-                    assert_eq!(reference, fast, "q{quality} seed {seed}");
+                    for i in 0..64 {
+                        assert!(
+                            (reference[i] - fast[i]).abs() <= 1,
+                            "q{quality} seed {seed} idx {i}: {} vs {}",
+                            reference[i],
+                            fast[i]
+                        );
+                        total += 1;
+                        mismatched += u64::from(reference[i] != fast[i]);
+                    }
+                }
+            }
+        }
+        assert!(
+            mismatched * 100 <= total,
+            "more than 1% of coefficients off-by-one: {mismatched}/{total}"
+        );
+    }
+
+    #[test]
+    fn folded_quantize_bit_identical_across_backends() {
+        use puppies_image::simd::Backend;
+        for quality in [25u8, 50, 75, 90] {
+            let table = QuantTable::luma(quality);
+            let folded = table.folded();
+            for seed in [1u32, 77, 90210] {
+                let block = sample_block(seed ^ quality as u32);
+                let scaled = crate::dct::forward_scaled(&block);
+                let mut want = [0i32; 64];
+                folded.quantize_scaled_into_with(Backend::Scalar, &scaled, &mut want);
+                let mut want_dq = [0.0f32; 64];
+                folded.dequantize_scaled_into_with(Backend::Scalar, &want, &mut want_dq);
+                for backend in Backend::ALL.into_iter().filter(|b| b.available()) {
+                    let mut got = [0i32; 64];
+                    folded.quantize_scaled_into_with(backend, &scaled, &mut got);
+                    assert_eq!(want, got, "quantize diverges on {}", backend.name());
+                    let mut got_dq = [0.0f32; 64];
+                    folded.dequantize_scaled_into_with(backend, &got, &mut got_dq);
+                    assert_eq!(
+                        want_dq.map(f32::to_bits),
+                        got_dq.map(f32::to_bits),
+                        "dequantize diverges on {}",
+                        backend.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_rows_matches_staged_pipeline_and_clamp() {
+        use puppies_image::simd::Backend;
+        // Ordinary, clamp-triggering (huge amplitude), and NaN-poisoned
+        // blocks: the fused kernel must match stage-shift →
+        // `forward_scaled_into` → `quantize_scaled_into` → clamp exactly,
+        // on every backend.
+        let mut cases: Vec<[f32; 64]> = vec![sample_block(42), sample_block(0xBEEF)];
+        let mut big = [0.0f32; 64];
+        for (i, v) in big.iter_mut().enumerate() {
+            *v = if i % 2 == 0 { 1.0e7 } else { -9.5e6 };
+        }
+        cases.push(big);
+        let mut poisoned = sample_block(7);
+        poisoned[3] = f32::NAN;
+        poisoned[60] = f32::INFINITY;
+        cases.push(poisoned);
+
+        for quality in [25u8, 50, 75, 90] {
+            let folded = QuantTable::luma(quality).folded();
+            for raw in &cases {
+                let mut shifted = [0.0f32; 64];
+                for i in 0..64 {
+                    shifted[i] = raw[i] - 128.0;
+                }
+                let mut scaled = [0.0f32; 64];
+                crate::dct::forward_scaled_into(&shifted, &mut scaled);
+                let mut want = [0i32; 64];
+                folded.quantize_scaled_into(&scaled, &mut want);
+                want[0] = want[0].clamp(crate::COEFF_MIN, crate::COEFF_MAX);
+                for v in &mut want[1..] {
+                    *v = (*v).clamp(crate::AC_MIN, crate::AC_MAX);
+                }
+                for backend in Backend::ALL.into_iter().filter(|b| b.available()) {
+                    let mut got = [0i32; 64];
+                    folded.fdct_quantize_block_into_with(backend, raw, &mut got);
+                    assert_eq!(want, got, "fused diverges on {}", backend.name());
                 }
             }
         }
@@ -377,7 +680,7 @@ mod tests {
         let fast = crate::dct::inverse_scaled(&folded.dequantize_scaled(&q));
         for i in 0..64 {
             assert!(
-                (reference[i] - fast[i]).abs() < 1e-4,
+                (reference[i] - fast[i]).abs() < 1e-3,
                 "idx {i}: {} vs {}",
                 reference[i],
                 fast[i]

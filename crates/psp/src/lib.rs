@@ -32,7 +32,7 @@ pub use client::{Receiver, Sender};
 pub use cluster::fault::{Fault, FaultPlan};
 pub use cluster::{ClusterConfig, ClusterPhotoId, ShardedPspCluster};
 use puppies_core::KeyGrant;
-pub use store::{CacheOutcome, PhotoId, PspConfig, PspServer};
+pub use store::{CacheOutcome, PhotoId, PspConfig, PspServer, ServedPath};
 pub use store_disk::{DiskStore, RecoveryStats};
 pub use wal::{Wal, WalRecord};
 

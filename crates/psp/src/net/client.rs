@@ -25,6 +25,33 @@ pub enum WireCache {
     Miss,
 }
 
+/// Which pipeline produced a transformed download, as reported by the
+/// server's `x-served-path` response header — the wire-visible face of
+/// [`crate::ServedPath`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireServed {
+    /// `x-served-path: coeff-domain` — transformed on quantized
+    /// coefficients, no pixels materialized.
+    CoeffDomain,
+    /// `x-served-path: pixel-fallback` — decode → transform → re-encode.
+    PixelFallback,
+    /// `x-served-path: cached` — transform-result cache, no codec work.
+    Cached,
+    /// Header absent or unrecognized (an older server).
+    Unknown,
+}
+
+impl WireServed {
+    fn from_header(v: &str) -> WireServed {
+        match v {
+            "coeff-domain" => WireServed::CoeffDomain,
+            "pixel-fallback" => WireServed::PixelFallback,
+            "cached" => WireServed::Cached,
+            _ => WireServed::Unknown,
+        }
+    }
+}
+
 /// A photo id plus the owner token that authorizes in-place transforms.
 #[derive(Debug, Clone)]
 pub struct UploadReceipt {
@@ -155,6 +182,21 @@ impl Client {
         id: PhotoId,
         t: &Transformation,
     ) -> Result<(Vec<u8>, Vec<u8>, WireCache)> {
+        self.download_transformed_traced(id, t)
+            .map(|(b, p, cache, _)| (b, p, cache))
+    }
+
+    /// [`Client::download_transformed`], but also reports which pipeline
+    /// produced the response (the `x-served-path` header) so load
+    /// generators can verify the decode-free serving claim end to end.
+    ///
+    /// # Errors
+    /// As [`Client::download_transformed`].
+    pub fn download_transformed_traced(
+        &mut self,
+        id: PhotoId,
+        t: &Transformation,
+    ) -> Result<(Vec<u8>, Vec<u8>, WireCache, WireServed)> {
         let (headers, body) = self.expect(
             "POST",
             &format!("/photos/{}/transformed", id.0),
@@ -175,7 +217,11 @@ impl Client {
                         WireCache::Miss
                     }
                 });
-        Ok((bytes, params, cache))
+        let served = headers
+            .iter()
+            .find(|(k, _)| k == "x-served-path")
+            .map_or(WireServed::Unknown, |(_, v)| WireServed::from_header(v));
+        Ok((bytes, params, cache, served))
     }
 
     /// In-place transform, authorized by the upload receipt's owner token.

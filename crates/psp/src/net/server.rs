@@ -473,12 +473,14 @@ fn download_transformed(shared: &Shared, req: &Request, id: PhotoId) -> Response
     };
     respond(
         shared.store.server().download_transformed_traced(id, &t),
-        |((bytes, params), outcome)| {
+        |((bytes, params), outcome, served)| {
             let cache = match outcome {
                 crate::store::CacheOutcome::Hit => "hit",
                 _ => "miss",
             };
-            Response::ok(proto::encode_pair(&bytes, &params)).with_header("x-cache", cache)
+            Response::ok(proto::encode_pair(&bytes, &params))
+                .with_header("x-cache", cache)
+                .with_header("x-served-path", served.as_str())
         },
     )
 }

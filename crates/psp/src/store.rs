@@ -77,6 +77,37 @@ pub enum CacheOutcome {
     Miss,
 }
 
+/// Which pipeline produced a transform response: the quantized-coefficient
+/// hot path (no decode to pixels), the pixel-domain fallback (decode →
+/// transform → re-encode), or the transform-result cache (no codec work at
+/// all). The PSP's decode-free serving claim is measured from these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServedPath {
+    /// The operation does not serve transforms (upload/download doors).
+    #[default]
+    NotApplicable,
+    /// Served by `apply_to_coeff` on the cached coefficient memo — the
+    /// stream was transformed without ever materializing pixels.
+    CoeffDomain,
+    /// Genuinely pixel-domain geometry (e.g. scaling): decoded to RGB,
+    /// transformed, re-encoded.
+    PixelFallback,
+    /// Served from the transform-result cache; no codec ran.
+    Cached,
+}
+
+impl ServedPath {
+    /// Stable wire/log token for the path (`x-served-path` header values).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServedPath::NotApplicable => "none",
+            ServedPath::CoeffDomain => "coeff-domain",
+            ServedPath::PixelFallback => "pixel-fallback",
+            ServedPath::Cached => "cached",
+        }
+    }
+}
+
 /// One entry of the server's bounded per-request log: which API door was
 /// hit, for which photo, how many payload bytes moved, how long it took,
 /// whether it succeeded, and whether the transform cache served it. Small
@@ -97,6 +128,8 @@ pub struct RequestEntry {
     pub ok: bool,
     /// Transform-cache outcome for this request.
     pub cache: CacheOutcome,
+    /// Which pipeline served this request (transform doors only).
+    pub served: ServedPath,
     /// Global admission order (monotonic across all shards) — entries from
     /// different log shards merge into one timeline by sorting on this.
     pub seq: u64,
@@ -208,6 +241,7 @@ impl PspServer {
             .ok_or(PspError::UnknownPhoto(id))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn log_request(
         &self,
         op: &'static str,
@@ -216,6 +250,7 @@ impl PspServer {
         start: Instant,
         ok: bool,
         cache: CacheOutcome,
+        served: ServedPath,
     ) {
         let entry = RequestEntry {
             op,
@@ -224,6 +259,7 @@ impl PspServer {
             dur_ns: start.elapsed().as_nanos() as u64,
             ok,
             cache,
+            served,
             seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
         };
         let mut log = self.shard(PhotoId(id)).log.lock();
@@ -264,6 +300,7 @@ impl PspServer {
                     start,
                     false,
                     CacheOutcome::NotApplicable,
+                    ServedPath::NotApplicable,
                 );
                 return Err(PspError::IdsExhausted);
             }
@@ -295,6 +332,7 @@ impl PspServer {
             start,
             true,
             CacheOutcome::NotApplicable,
+            ServedPath::NotApplicable,
         );
         Ok(id)
     }
@@ -361,6 +399,7 @@ impl PspServer {
             start,
             out.is_ok(),
             CacheOutcome::NotApplicable,
+            ServedPath::NotApplicable,
         );
         out
     }
@@ -381,6 +420,7 @@ impl PspServer {
             start,
             out.is_ok(),
             CacheOutcome::NotApplicable,
+            ServedPath::NotApplicable,
         );
         out
     }
@@ -398,13 +438,15 @@ impl PspServer {
     /// (chains are not supported).
     pub fn download_transformed(&self, id: PhotoId, t: &Transformation) -> Result<ServedPair> {
         self.download_transformed_traced(id, t)
-            .map(|(pair, _)| pair)
+            .map(|(pair, _, _)| pair)
     }
 
     /// [`PspServer::download_transformed`], but also reports whether the
-    /// result came from the transform cache — the serving layer surfaces
-    /// this on the wire (`x-cache: hit|miss`) so load generators can
-    /// verify cache behaviour end to end.
+    /// result came from the transform cache and which pipeline produced it
+    /// — the serving layer surfaces both on the wire (`x-cache: hit|miss`,
+    /// `x-served-path: coeff-domain|pixel-fallback|cached`) so load
+    /// generators can verify cache behaviour and the decode-free claim end
+    /// to end.
     ///
     /// # Errors
     /// As [`PspServer::download_transformed`].
@@ -412,16 +454,16 @@ impl PspServer {
         &self,
         id: PhotoId,
         t: &Transformation,
-    ) -> Result<(ServedPair, CacheOutcome)> {
+    ) -> Result<(ServedPair, CacheOutcome, ServedPath)> {
         let start = Instant::now();
         let _span = puppies_obs::span("psp.download_transformed", "psp");
         let out = self
             .lookup(id)
             .and_then(|stored| self.serve_transform(&stored, t));
         puppies_obs::counted!("psp.transform_serves");
-        let (bytes, outcome) = match &out {
-            Ok(((b, p), outcome)) => ((b.len() + p.len()) as u64, *outcome),
-            Err(_) => (0, CacheOutcome::NotApplicable),
+        let (bytes, outcome, served) = match &out {
+            Ok(((b, p), outcome, served)) => ((b.len() + p.len()) as u64, *outcome, *served),
+            Err(_) => (0, CacheOutcome::NotApplicable, ServedPath::NotApplicable),
         };
         self.log_request(
             "download_transformed",
@@ -430,6 +472,7 @@ impl PspServer {
             start,
             out.is_ok(),
             outcome,
+            served,
         );
         out
     }
@@ -451,17 +494,29 @@ impl PspServer {
         let out = self.transform_inner(id, t);
         puppies_obs::counted!("psp.transforms");
         self.publish_gauges();
-        let (bytes, outcome) = match &out {
-            Ok((b, outcome)) => (*b, *outcome),
-            Err(_) => (0, CacheOutcome::NotApplicable),
+        let (bytes, outcome, served) = match &out {
+            Ok((b, outcome, served)) => (*b, *outcome, *served),
+            Err(_) => (0, CacheOutcome::NotApplicable, ServedPath::NotApplicable),
         };
-        self.log_request("transform", id.0, bytes, start, out.is_ok(), outcome);
+        self.log_request(
+            "transform",
+            id.0,
+            bytes,
+            start,
+            out.is_ok(),
+            outcome,
+            served,
+        );
         out.map(|_| ())
     }
 
-    fn transform_inner(&self, id: PhotoId, t: &Transformation) -> Result<(u64, CacheOutcome)> {
+    fn transform_inner(
+        &self,
+        id: PhotoId,
+        t: &Transformation,
+    ) -> Result<(u64, CacheOutcome, ServedPath)> {
         let stored = self.lookup(id)?;
-        let ((new_bytes, new_params), outcome) = self.serve_transform(&stored, t)?;
+        let ((new_bytes, new_params), outcome, served) = self.serve_transform(&stored, t)?;
         let replacement = Arc::new(StoredPhoto {
             bytes: new_bytes,
             params: new_params,
@@ -502,7 +557,7 @@ impl PspServer {
         // stays exact even though the two updates are not one atomic op.
         self.footprint.fetch_add(new_size, Ordering::Relaxed);
         self.footprint.fetch_sub(old_size, Ordering::Relaxed);
-        Ok((new_size, outcome))
+        Ok((new_size, outcome, served))
     }
 
     /// The shared serving path: transform-cache lookup, then on a miss the
@@ -512,11 +567,11 @@ impl PspServer {
         &self,
         stored: &StoredPhoto,
         t: &Transformation,
-    ) -> Result<(ServedPair, CacheOutcome)> {
+    ) -> Result<(ServedPair, CacheOutcome, ServedPath)> {
         let (bytes_fnv, content_fnv) = stored.hashes();
         let key = fnv64_chain(content_fnv, &t.canonical_bytes());
         if let Some((bytes, params)) = self.cache.get(key) {
-            return Ok(((bytes, params), CacheOutcome::Hit));
+            return Ok(((bytes, params), CacheOutcome::Hit, ServedPath::Cached));
         }
         // Record the transformation in the public parameters. The PSP
         // treats the blob as opaque except for this append-only note; in
@@ -539,26 +594,34 @@ impl PspServer {
                 decoded
             }
         };
-        let new_bytes = if t.is_coeff_domain(coeff.width(), coeff.height()) {
-            t.apply_to_coeff(&coeff)?
+        // Every coefficient-eligible transformation is served from the
+        // quantized coefficients — never by decoding to pixels. The pixel
+        // pipeline survives only for genuinely pixel-domain geometry.
+        let (new_bytes, served) = if t.is_coeff_domain(coeff.width(), coeff.height()) {
+            puppies_obs::counted!("psp.serve.coeff_domain");
+            let bytes = t
+                .apply_to_coeff(&coeff)?
                 .encode(&EncodeOptions::default())
-                .map_err(puppies_core::PuppiesError::from)?
+                .map_err(puppies_core::PuppiesError::from)?;
+            (bytes, ServedPath::CoeffDomain)
         } else {
+            puppies_obs::counted!("psp.serve.pixel_fallback");
             let rgb = coeff.to_rgb();
             let transformed = t.apply_to_rgb(&rgb)?;
             // Re-encode at the source's own compression setting (recovered
             // from its quantization tables) — the paper's PSP re-encodes at
             // a *consistent* quality, not a hardcoded default, which keeps
             // receiver-side PSNR floors calibrated.
-            puppies_jpeg::encode_rgb(&transformed, coeff.quality_estimate())
-                .map_err(puppies_core::PuppiesError::from)?
+            let bytes = puppies_jpeg::encode_rgb(&transformed, coeff.quality_estimate())
+                .map_err(puppies_core::PuppiesError::from)?;
+            (bytes, ServedPath::PixelFallback)
         };
         params.transformation = Some(t.clone());
         let new_bytes: Arc<[u8]> = new_bytes.into();
         let new_params: Arc<[u8]> = params.to_bytes().into();
         self.cache
             .insert(key, new_bytes.clone(), new_params.clone());
-        Ok(((new_bytes, new_params), CacheOutcome::Miss))
+        Ok(((new_bytes, new_params), CacheOutcome::Miss, served))
     }
 
     /// Serves many `(photo, transformation)` requests, fanning across the
