@@ -298,6 +298,13 @@ pub fn run(config: NetConfig) -> Result<NetResults, String> {
     )?;
     let net_mixed = stats(wall, lats);
 
+    // --- Stitched end-to-end trace: only when a subscriber is live (the
+    // `--trace` / `--obs-overhead-gate` rerun), so the plain run stays
+    // untouched by the extra ops.
+    if puppies_obs::enabled() {
+        trace_stitch(&addr, &photos[0])?;
+    }
+
     // --- Graceful shutdown before the in-process baseline so the server's
     // threads aren't competing for cores.
     setup
@@ -369,6 +376,33 @@ pub fn run(config: NetConfig) -> Result<NetResults, String> {
         hit_rate,
         serve,
     })
+}
+
+/// One fully stitched operation for the committed trace artifact: a root
+/// span owning a wire upload + transform (client → server through the
+/// `x-puppies-trace` header) and a k-of-n cluster upload + reconstruct
+/// (root → per-backend spans through explicit parents), so a single trace
+/// id covers client, server, worker pool, and all n backends.
+fn trace_stitch(addr: &str, photo: &(Vec<u8>, Vec<u8>)) -> Result<(), String> {
+    let _root = puppies_obs::span("bench.net.e2e", "bench");
+    let mut client = Client::connect(addr).map_err(|e| format!("stitch connect: {e}"))?;
+    let receipt = client
+        .upload(&photo.0, &photo.1)
+        .map_err(|e| format!("stitch upload: {e}"))?;
+    client
+        .download_transformed_traced(receipt.id, &Transformation::Rotate90)
+        .map_err(|e| format!("stitch transform: {e}"))?;
+    let mut cfg = puppies_psp::ClusterConfig::new(3, 2);
+    cfg.backend = PspConfig::uncached();
+    let cluster = puppies_psp::ShardedPspCluster::new(cfg).map_err(|e| e.to_string())?;
+    let grant = puppies_core::OwnerKey::from_seed([7u8; 32]).grant_all();
+    let id = cluster
+        .upload(photo.0.clone(), photo.1.clone(), &grant)
+        .map_err(|e| format!("stitch cluster upload: {e}"))?;
+    cluster
+        .reconstruct(id)
+        .map_err(|e| format!("stitch cluster reconstruct: {e}"))?;
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -525,7 +559,14 @@ pub fn check(res: &NetResults, committed: &str, limits: &NetCheckLimits) -> (Vec
 /// `puppies bench psp --net [--connections N] [--transform-ops N]
 /// [--mixed-ops N] [--photos N] [--zipf S] [--seed N] [--out file]
 /// [--check file [--threshold F] [--min-ratio F] [--min-hit-rate F]
-/// [--min-coeff-serve-rate F]] [--trace file] [--stats file]`
+/// [--min-coeff-serve-rate F]] [--obs-overhead-gate PCT]
+/// [--trace file] [--stats file]`
+///
+/// With `--obs-overhead-gate` the bench runs twice: a plain pass whose
+/// numbers feed `--out`/`--check`, then an instrumented rerun (whose
+/// snapshot feeds `--trace`/`--stats` and includes the stitched
+/// end-to-end trace); the gate fails if instrumentation costs more than
+/// PCT percent of cached-transform throughput.
 pub fn cmd(args: &[String]) -> Result<(), String> {
     let parse_num = |name: &str, default: f64| -> Result<f64, String> {
         match crate::flag_value(args, name) {
@@ -551,13 +592,42 @@ pub fn cmd(args: &[String]) -> Result<(), String> {
         )?,
     };
 
-    // The obs session wraps the whole run: client-side latency histograms
-    // and the in-process server's psp.net.* metrics land in one snapshot.
-    let obs = crate::obs_from_args(args);
-    let res = run(config)?;
-    if let Some(o) = obs {
-        o.finish()?;
-    }
+    let gate: Option<f64> = match crate::flag_value(args, "--obs-overhead-gate") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|e| format!("bad --obs-overhead-gate {v:?}: {e}"))?,
+        ),
+        None => None,
+    };
+
+    // Gated mode measures a plain pass first, so the committed numbers
+    // are never produced with a subscriber attached; otherwise one run,
+    // with the obs session (when requested) wrapping it so client-side
+    // histograms and the in-process server's psp.net.* metrics land in
+    // one snapshot.
+    let (res, overhead) = if gate.is_some() {
+        let plain = run(config)?;
+        let obs = crate::obs_from_args(args);
+        let session = obs.is_none().then(puppies_obs::Obs::install);
+        let instr = run(config)?;
+        let overhead = (plain.net_cached.ops_per_s / instr.net_cached.ops_per_s - 1.0) * 100.0;
+        if let Some(o) = obs {
+            o.finish()?;
+        }
+        drop(session);
+        println!(
+            "instrumented rerun: {:.0} ops/s vs plain {:.0} ops/s (overhead {overhead:+.2}%)",
+            instr.net_cached.ops_per_s, plain.net_cached.ops_per_s
+        );
+        (plain, Some(overhead))
+    } else {
+        let obs = crate::obs_from_args(args);
+        let res = run(config)?;
+        if let Some(o) = obs {
+            o.finish()?;
+        }
+        (res, None)
+    };
     for line in render(&res) {
         println!("{line}");
     }
@@ -583,6 +653,14 @@ pub fn cmd(args: &[String]) -> Result<(), String> {
             return Err(format!("psp net bench failed the gate against {path}"));
         }
         println!("psp net gate passed against {path}");
+    }
+    if let (Some(gate), Some(overhead)) = (gate, overhead) {
+        if overhead > gate {
+            return Err(format!(
+                "instrumentation overhead {overhead:.2}% exceeds the {gate:.2}% gate"
+            ));
+        }
+        println!("instrumentation overhead {overhead:.2}% within the {gate:.2}% gate");
     }
     Ok(())
 }

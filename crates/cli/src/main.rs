@@ -14,7 +14,9 @@
 //! puppies inspect --params <in.pup>
 //! puppies stats <stats.json>
 //! puppies serve --dir <store-dir> [--addr host:port] [--no-fsync]
-//! puppies net smoke|flood|verify --addr <host:port> [...]
+//! puppies net smoke|flood|verify|ready --addr <host:port> [...]
+//! puppies top --addr <host:port> [--samples N] [--interval-ms M] [--plain]
+//!         [--assert-monotonic] [--assert-nonzero <series>]...
 //! puppies wal-dump --dir <store-dir>
 //! puppies cluster demo [--shape n,k] [--uploads N] [--kill i]... [--corrupt i]...
 //! ```
@@ -46,6 +48,7 @@ mod bench_net;
 mod bench_psp;
 mod cluster;
 mod serve;
+mod top;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,6 +66,7 @@ fn main() {
         Some("cluster") => cluster::cmd(&args[1..]),
         Some("serve") => serve::cmd_serve(&args[1..]),
         Some("net") => serve::cmd_net(&args[1..]),
+        Some("top") => top::cmd(&args[1..]),
         Some("wal-dump") => serve::cmd_wal_dump(&args[1..]),
         Some("help") | None => {
             usage();
@@ -80,7 +84,7 @@ fn usage() {
     eprintln!(
         "puppies — privacy-preserving partial image sharing\n\
          commands: keygen, detect, protect, protect-batch, grant, recover, inspect, stats, conformance, bench,\n\
-         \x20         serve, net (smoke|flood|verify), wal-dump, cluster (demo)\n\
+         \x20         serve, net (smoke|flood|verify|ready), top, wal-dump, cluster (demo)\n\
          (see the crate docs or README for full flag reference)"
     );
 }

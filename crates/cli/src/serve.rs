@@ -6,6 +6,7 @@
 //! puppies net smoke  --addr <host:port>
 //! puppies net flood  --addr <host:port> --manifest <file> [--count N] [--bytes N]
 //! puppies net verify --addr <host:port> --manifest <file>
+//! puppies net ready  --addr <host:port> [--timeout-ms N]
 //! puppies wal-dump --dir <store-dir>
 //! ```
 //!
@@ -52,14 +53,51 @@ pub fn cmd_net(args: &[String]) -> CliResult {
         Some("smoke") => net_smoke(&args[1..]),
         Some("flood") => net_flood(&args[1..]),
         Some("verify") => net_verify(&args[1..]),
+        Some("ready") => net_ready(&args[1..]),
         other => Err(format!(
-            "unknown net subcommand {other:?}; expected smoke|flood|verify"
+            "unknown net subcommand {other:?}; expected smoke|flood|verify|ready"
         )),
     }
 }
 
 fn addr_arg(args: &[String]) -> Result<&str, String> {
     flag_value(args, "--addr").ok_or_else(|| "missing --addr <host:port>".into())
+}
+
+/// Connects (retrying while the listener comes up) and polls `/readyz`
+/// until the store is recovered or the timeout lapses. The serving loop
+/// binds before WAL replay, so tooling must not take "connected" for
+/// "ready".
+fn connect_ready(addr: &str, timeout_ms: u64) -> Result<Client, String> {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(timeout_ms);
+    let mut last: String;
+    loop {
+        match Client::connect(addr) {
+            Ok(mut client) => match client.ready() {
+                Ok(true) => return Ok(client),
+                Ok(false) => last = "readyz: 503".into(),
+                Err(e) => last = e.to_string(),
+            },
+            Err(e) => last = e.to_string(),
+        }
+        if std::time::Instant::now() >= deadline {
+            return Err(format!("{addr} not ready after {timeout_ms}ms ({last})"));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+}
+
+/// `puppies net ready --addr <host:port> [--timeout-ms N]` — block until
+/// `/readyz` is 200 (CI's boot barrier), default timeout 10 s.
+fn net_ready(args: &[String]) -> CliResult {
+    let addr = addr_arg(args)?;
+    let timeout_ms: u64 = match flag_value(args, "--timeout-ms") {
+        Some(v) => v.parse().map_err(|e| format!("bad --timeout-ms: {e}"))?,
+        None => 10_000,
+    };
+    connect_ready(addr, timeout_ms)?;
+    println!("ready: {addr}");
+    Ok(())
 }
 
 /// A deterministic protected photo for wire checks.
@@ -87,7 +125,7 @@ fn fixture(seed: u8) -> (Vec<u8>, Vec<u8>) {
 /// transform, and the encrypted grant mailbox round trip.
 fn net_smoke(args: &[String]) -> CliResult {
     let addr = addr_arg(args)?;
-    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let mut client = connect_ready(addr, 10_000)?;
     client.health().map_err(|e| e.to_string())?;
 
     let reference = PspServer::new();
@@ -197,7 +235,7 @@ fn net_flood(args: &[String]) -> CliResult {
         Some(v) => v.parse().map_err(|e| format!("bad --bytes: {e}"))?,
         None => 4096,
     };
-    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let mut client = connect_ready(addr, 10_000)?;
     let mut out = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
@@ -233,7 +271,7 @@ fn net_verify(args: &[String]) -> CliResult {
     let addr = addr_arg(args)?;
     let manifest = flag_value(args, "--manifest").ok_or("missing --manifest <file>")?;
     let text = std::fs::read_to_string(manifest).map_err(|e| format!("reading {manifest}: {e}"))?;
-    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let mut client = connect_ready(addr, 10_000)?;
     let lines: Vec<&str> = text.split('\n').collect();
     let complete = text.ends_with('\n');
     let mut verified = 0u64;

@@ -18,6 +18,12 @@
 //! * a server restart on the same store directory recovers every upload
 //!   byte-identical (WAL + segment replay as observed by a client).
 //!
+//! * the observability surface holds its contract: `/healthz` and
+//!   `/readyz` answer 200 on a recovered server, `/metrics` is
+//!   Prometheus text when a subscriber is installed (an explicit 503
+//!   when not), and a malformed `x-puppies-trace` header never turns
+//!   into an error response.
+//!
 //! The server runs in-process on an ephemeral loopback port with a
 //! throwaway store; each case is an honest client round trip.
 
@@ -113,6 +119,25 @@ fn boot(dir: &PathBuf) -> Result<Wire, String> {
     })
 }
 
+/// One raw GET with arbitrary extra header lines; returns the HTTP status.
+fn raw_get(addr: &str, path: &str, extra: &str) -> Result<u16, String> {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nhost: c\r\n{extra}connection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("write: {e}"))?;
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).map_err(|e| format!("read: {e}"))?;
+    String::from_utf8_lossy(&buf)
+        .split_whitespace()
+        .nth(1)
+        .ok_or_else(|| "no status line".to_string())?
+        .parse()
+        .map_err(|e| format!("bad status: {e}"))
+}
+
 impl Wire {
     fn stop(self) -> Result<(), String> {
         let mut client = Client::connect(&self.addr).map_err(|e| format!("connect: {e}"))?;
@@ -144,6 +169,43 @@ fn run_inner(dir: &PathBuf, report: &mut Report) -> Result<(), String> {
     let wire = boot(dir)?;
     let mut client = Client::connect(&wire.addr).map_err(|e| format!("connect: {e}"))?;
     let reference = PspServer::new();
+
+    // Observability surface: health/readiness/metrics contract plus
+    // trace-header robustness, before any traffic flows.
+    {
+        let case = "netcheck/obs/health";
+        match (
+            raw_get(&wire.addr, "/healthz", ""),
+            raw_get(&wire.addr, "/readyz", ""),
+        ) {
+            (Ok(200), Ok(200)) => report.pass(case, Some("healthz and readyz answer 200".into())),
+            (h, r) => report.fail(case, format!("healthz={h:?} readyz={r:?}, want 200/200")),
+        }
+    }
+    {
+        let case = "netcheck/obs/trace-header";
+        match raw_get(&wire.addr, "/healthz", "x-puppies-trace: not-a-trace\r\n") {
+            Ok(200) => report.pass(case, Some("malformed trace header ignored".into())),
+            other => report.fail(case, format!("malformed trace header gave {other:?}")),
+        }
+    }
+    {
+        let case = "netcheck/obs/metrics";
+        match client.metrics_text() {
+            Ok(text) if puppies_obs::enabled() => {
+                if text.contains("psp_ready 1") && text.contains("# TYPE") {
+                    report.pass(case, Some(format!("{} bytes of exposition", text.len())));
+                } else {
+                    report.fail(case, "metrics text missing psp_ready/# TYPE lines");
+                }
+            }
+            Ok(_) => report.fail(case, "metrics served without a subscriber installed"),
+            Err(e) if !puppies_obs::enabled() && e.to_string().contains("503") => {
+                report.pass(case, Some("explicit 503 without a subscriber".into()))
+            }
+            Err(e) => report.fail(case, format!("metrics scrape: {e}")),
+        }
+    }
 
     let (bytes, params) = fixture(11);
     let receipt = client

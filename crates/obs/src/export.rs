@@ -5,7 +5,7 @@
 //! Both formats are emitted and parsed by hand — the workspace has no
 //! serde, and both schemas are small and ours.
 
-use crate::metrics::{HistStats, MetricsSnapshot};
+use crate::metrics::{HistStats, MetricRegistry, MetricsSnapshot};
 use crate::span::SpanRecord;
 use std::fmt::Write as _;
 
@@ -262,6 +262,103 @@ fn unescape_json(s: &str) -> String {
     out
 }
 
+/// Maps a dotted metric name onto the Prometheus identifier charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: dots (and anything else illegal) become
+/// underscores, and a leading digit gets an underscore prefix.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if ok {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes a label value per the Prometheus text format: backslash,
+/// double quote, and line feed.
+pub fn escape_prom_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes `# HELP` text per the Prometheus text format: backslash and
+/// line feed only (quotes are legal in help text).
+pub fn escape_prom_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders every metric in `reg` in the Prometheus text exposition
+/// format (version 0.0.4, the `text/plain` scrape format).
+///
+/// * Counters gain the conventional `_total` suffix.
+/// * Histograms render cumulative `le` buckets from the log-linear grid
+///   (occupied buckets only — the grid has 593 cells, almost all empty),
+///   always ending with `+Inf`, `_sum`, and `_count`; an empty histogram
+///   still renders all three so scrapers see a well-formed family.
+/// * The original dotted name is preserved in `# HELP` (escaped), so the
+///   mapping back to `--stats` names is mechanical.
+///
+/// Values are raw (the pipeline records ns for spans, µs for request
+/// latencies); unit suffixes in the metric name carry the unit.
+pub fn prometheus_text(reg: &MetricRegistry) -> String {
+    let snap = reg.snapshot();
+    let mut out = String::with_capacity(4096);
+    for (name, v) in &snap.counters {
+        let pname = prometheus_name(name);
+        let _ = writeln!(out, "# HELP {pname}_total {}", escape_prom_help(name));
+        let _ = writeln!(out, "# TYPE {pname}_total counter");
+        let _ = writeln!(out, "{pname}_total {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let pname = prometheus_name(name);
+        let _ = writeln!(out, "# HELP {pname} {}", escape_prom_help(name));
+        let _ = writeln!(out, "# TYPE {pname} gauge");
+        let _ = writeln!(out, "{pname} {v}");
+    }
+    for (name, _) in &snap.histograms {
+        // The name is registered as a histogram, so the lookup cannot
+        // conflict; a racing kind-conflict would return None and the
+        // family is simply skipped this scrape.
+        let Some(h) = reg.histogram(name) else {
+            continue;
+        };
+        let cum = h.cumulative();
+        let pname = prometheus_name(name);
+        let _ = writeln!(out, "# HELP {pname} {}", escape_prom_help(name));
+        let _ = writeln!(out, "# TYPE {pname} histogram");
+        for &(le, c) in &cum.buckets {
+            let _ = writeln!(out, "{pname}_bucket{{le=\"{le}\"}} {c}");
+        }
+        let _ = writeln!(out, "{pname}_bucket{{le=\"+Inf\"}} {}", cum.count);
+        let _ = writeln!(out, "{pname}_sum {}", cum.sum);
+        let _ = writeln!(out, "{pname}_count {}", cum.count);
+    }
+    out
+}
+
 /// Renders a snapshot as the human-readable table `puppies stats` prints.
 /// Histograms are shown in milliseconds (recorded values are ns).
 pub fn render_stats(snap: &MetricsSnapshot) -> String {
@@ -362,6 +459,92 @@ mod tests {
         assert_eq!(name, "jpeg.encode");
         assert_eq!(h.count, 10);
         assert!((h.p95 - 190.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitized() {
+        assert_eq!(prometheus_name("psp.net.requests"), "psp_net_requests");
+        assert_eq!(prometheus_name("bench.net p99"), "bench_net_p99");
+        assert_eq!(prometheus_name("9lives"), "_9lives");
+        assert_eq!(prometheus_name("a:b_c9"), "a:b_c9");
+    }
+
+    #[test]
+    fn prometheus_escaping_per_text_format_spec() {
+        // Label values escape backslash, quote, and newline.
+        assert_eq!(escape_prom_label(r"a\b"), r"a\\b");
+        assert_eq!(escape_prom_label(r#"say "hi""#), r#"say \"hi\""#);
+        assert_eq!(escape_prom_label("two\nlines"), r"two\nlines");
+        // Help text escapes backslash and newline but leaves quotes alone.
+        assert_eq!(escape_prom_help(r"a\b"), r"a\\b");
+        assert_eq!(escape_prom_help("two\nlines"), r"two\nlines");
+        assert_eq!(escape_prom_help(r#"say "hi""#), r#"say "hi""#);
+    }
+
+    #[test]
+    fn prometheus_text_renders_all_three_kinds() {
+        let reg = MetricRegistry::default();
+        reg.counter("psp.net.requests").unwrap().add(3);
+        reg.gauge("psp.photos").unwrap().set(-2);
+        let h = reg.histogram("psp.net.req_us").unwrap();
+        h.record(5);
+        h.record(5);
+        h.record(700);
+        let text = prometheus_text(&reg);
+        assert!(text.contains("# TYPE psp_net_requests_total counter"));
+        assert!(text.contains("\npsp_net_requests_total 3\n"));
+        assert!(text.contains("# TYPE psp_photos gauge"));
+        assert!(text.contains("\npsp_photos -2\n"));
+        assert!(text.contains("# TYPE psp_net_req_us histogram"));
+        assert!(text.contains("psp_net_req_us_bucket{le=\"5\"} 2\n"));
+        assert!(text.contains("psp_net_req_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("\npsp_net_req_us_sum 710\n"));
+        assert!(text.contains("\npsp_net_req_us_count 3\n"));
+        // The dotted names survive in HELP lines.
+        assert!(text.contains("# HELP psp_net_req_us psp.net.req_us\n"));
+        // Cumulative buckets are monotone non-decreasing in both fields.
+        let mut prev = (0u64, 0u64);
+        for line in text
+            .lines()
+            .filter(|l| l.contains("_bucket{le=\"") && !l.contains("+Inf"))
+        {
+            let le: u64 = line
+                .split("le=\"")
+                .nth(1)
+                .unwrap()
+                .split('"')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            let c: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(le >= prev.0 && c >= prev.1, "{line}");
+            prev = (le, c);
+        }
+    }
+
+    #[test]
+    fn prometheus_empty_histogram_still_renders_inf_sum_count() {
+        let reg = MetricRegistry::default();
+        reg.histogram("empty.hist").unwrap();
+        let text = prometheus_text(&reg);
+        assert!(text.contains("empty_hist_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("empty_hist_sum 0\n"));
+        assert!(text.contains("empty_hist_count 0\n"));
+        // No finite buckets for an empty histogram.
+        assert!(!text.contains("empty_hist_bucket{le=\"0\""));
+    }
+
+    #[test]
+    fn prometheus_help_escapes_metric_names_with_specials() {
+        let reg = MetricRegistry::default();
+        reg.counter("weird\\name\nwith specials").unwrap().add(1);
+        let text = prometheus_text(&reg);
+        assert!(text.contains(r"# HELP weird_name_with_specials_total weird\\name\nwith specials"));
+        // The body never contains a raw newline inside a HELP line.
+        for line in text.lines() {
+            assert!(!line.is_empty());
+        }
     }
 
     #[test]

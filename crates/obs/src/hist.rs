@@ -65,6 +65,26 @@ fn bucket_hi(i: usize) -> u64 {
     bucket_lo(i) + (1u64 << (e - LINEAR_BITS))
 }
 
+/// One-pass cumulative view of a histogram for exposition.
+///
+/// `buckets` holds `(le, cumulative)` pairs for every *occupied* bucket,
+/// where `le` is the largest value that lands in the bucket (Prometheus'
+/// inclusive upper bound — our buckets hold integers, so the inclusive
+/// edge is `bucket_hi - 1`). The overflow bucket is folded into `count`
+/// only: exposition renders it as `+Inf`. `count` is re-derived from the
+/// bucket array in the same pass, so a renderer's `+Inf` sample can never
+/// disagree with its `_count` even while other threads keep recording.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// `(inclusive upper bound, cumulative count)`, ascending, occupied
+    /// buckets only.
+    pub buckets: Vec<(u64, u64)>,
+    /// Total observations as summed from the buckets.
+    pub count: u64,
+    /// Sum of observations at snapshot time.
+    pub sum: u64,
+}
+
 /// A concurrent log-linear histogram. All operations are lock-free;
 /// `record` is safe from any number of threads.
 pub struct Histogram {
@@ -142,6 +162,44 @@ impl Histogram {
             .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
         self.max
             .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Zeroes every bucket and summary statistic. Concurrent `record`s
+    /// racing with a reset may survive partially (a bucket increment
+    /// without its count, or vice versa) — callers using reset for
+    /// rolling windows accept losing a handful of edge samples.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// Cumulative bucket snapshot for exposition (see
+    /// [`HistogramSnapshot`]). One pass over the bucket array; the
+    /// returned `count` is the pass's own total so renderers stay
+    /// internally consistent under concurrent recording.
+    pub fn cumulative(&self) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot {
+            sum: self.sum(),
+            ..HistogramSnapshot::default()
+        };
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            if i < BUCKETS - 1 {
+                out.buckets.push((bucket_hi(i) - 1, cum));
+            }
+        }
+        out.count = cum;
+        out
     }
 
     /// Estimates the `q`-quantile (`0.0..=1.0`) by linear interpolation
@@ -262,5 +320,55 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn cumulative_snapshot_is_monotone_and_complete() {
+        let h = Histogram::new();
+        for v in [0u64, 3, 3, 17, 900, 900, 1 << 41] {
+            h.record(v);
+        }
+        let snap = h.cumulative();
+        assert_eq!(snap.count, 7);
+        assert_eq!(snap.sum, 6 + 17 + 1800 + (1 << 41));
+        // Occupied finite buckets only, ascending bounds, cumulative counts.
+        let mut prev_le = 0;
+        let mut prev_cum = 0;
+        for &(le, cum) in &snap.buckets {
+            assert!(le >= prev_le && cum >= prev_cum, "({le},{cum})");
+            prev_le = le;
+            prev_cum = cum;
+        }
+        // The overflow observation appears in count but not in any finite bucket.
+        assert_eq!(snap.buckets.last().unwrap().1, 6);
+        // The exact small values land at their inclusive bounds.
+        assert_eq!(snap.buckets[0], (0, 1));
+        assert_eq!(snap.buckets[1], (3, 3));
+    }
+
+    #[test]
+    fn cumulative_snapshot_of_empty_histogram() {
+        let h = Histogram::new();
+        let snap = h.cumulative();
+        assert!(snap.buckets.is_empty());
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.sum, 0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let h = Histogram::new();
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert!(h.cumulative().buckets.is_empty());
+        h.record(5);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 5);
     }
 }

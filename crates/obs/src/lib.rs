@@ -40,8 +40,11 @@ mod hist;
 mod metrics;
 mod span;
 
-pub use export::{chrome_trace, escape_json, parse_stats_json, render_stats, stats_json};
-pub use hist::Histogram;
+pub use export::{
+    chrome_trace, escape_json, escape_prom_help, escape_prom_label, parse_stats_json,
+    prometheus_name, prometheus_text, render_stats, stats_json,
+};
+pub use hist::{Histogram, HistogramSnapshot};
 pub use metrics::{Counter, Gauge, HistStats, MetricRegistry, MetricsSnapshot};
 pub use span::{current_span_id, SpanGuard, SpanRecord};
 
@@ -146,6 +149,17 @@ impl Obs {
             .unwrap_or_else(|e| e.into_inner())
             .len()
     }
+
+    /// A copy of the finished-span buffer, for programmatic inspection
+    /// of trace topology (tests asserting parentage, tooling walking the
+    /// span tree without going through the Chrome JSON).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.trace
+            .spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
 }
 
 /// RAII handle for a globally installed subscriber; uninstalls on
@@ -249,6 +263,63 @@ pub fn record(name: &str, v: u64) {
             h.record(v);
         }
     });
+}
+
+/// Cross-process trace propagation context: a trace id (the installing
+/// subscriber's generation, constant for the life of a session) plus the
+/// span that should become the remote side's parent.
+///
+/// The wire form — the value of the `x-puppies-trace` HTTP header — is
+/// two 16-digit lowercase hex fields joined by a dash:
+///
+/// ```text
+/// x-puppies-trace: 0000000000000003-00000000000000a1
+/// ```
+///
+/// A receiver that shares the sender's subscriber (in-process benches,
+/// tests) reconnects the span tree exactly; a genuinely remote receiver
+/// records the foreign parent id verbatim, which trace viewers render as
+/// a cross-process link. Malformed values must be ignored, never fail a
+/// request — [`TraceContext::parse`] returns `None` and the receiver
+/// proceeds rootless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Groups every span of one distributed request flow.
+    pub trace_id: u64,
+    /// The span to adopt as parent on the receiving side.
+    pub span_id: u64,
+}
+
+impl TraceContext {
+    /// The context to propagate from the calling thread: the global
+    /// subscriber's generation and the innermost open span. `None` when
+    /// no subscriber is installed (callers then omit the header).
+    pub fn current() -> Option<TraceContext> {
+        with(|obs| TraceContext {
+            trace_id: obs.generation,
+            span_id: span::current_span_id(),
+        })
+    }
+
+    /// Renders the header value (`<trace>-<span>`, 16 hex digits each).
+    pub fn header_value(&self) -> String {
+        format!("{:016x}-{:016x}", self.trace_id, self.span_id)
+    }
+
+    /// Parses a header value produced by [`TraceContext::header_value`].
+    /// Lenient in length (1–16 hex digits per field), strict in shape;
+    /// anything else is `None`.
+    pub fn parse(s: &str) -> Option<TraceContext> {
+        let s = s.trim();
+        let (t, p) = s.split_once('-')?;
+        if t.is_empty() || p.is_empty() || t.len() > 16 || p.len() > 16 {
+            return None;
+        }
+        Some(TraceContext {
+            trace_id: u64::from_str_radix(t, 16).ok()?,
+            span_id: u64::from_str_radix(p, 16).ok()?,
+        })
+    }
 }
 
 /// Drop guard that records its elapsed time, in microseconds, into a
@@ -419,6 +490,52 @@ mod tests {
         assert!(trace.contains("\"remote\""));
         assert!(trace.contains(&format!("\"parent\":{root_id}")));
         assert_ne!(child_parent, 0);
+    }
+
+    #[test]
+    fn trace_context_roundtrips_and_rejects_garbage() {
+        let ctx = TraceContext {
+            trace_id: 3,
+            span_id: 0xa1,
+        };
+        let header = ctx.header_value();
+        assert_eq!(header, "0000000000000003-00000000000000a1");
+        assert_eq!(TraceContext::parse(&header), Some(ctx));
+        // Lenient lengths, surrounding whitespace tolerated.
+        assert_eq!(
+            TraceContext::parse(" 3-a1 "),
+            Some(TraceContext {
+                trace_id: 3,
+                span_id: 0xa1
+            })
+        );
+        for bad in [
+            "",
+            "-",
+            "3-",
+            "-a1",
+            "nothex-a1",
+            "3-a1-7",
+            "00000000000000003-a1", // 17 digits
+            "3 a1",
+        ] {
+            assert_eq!(TraceContext::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn trace_context_current_tracks_subscriber_and_span() {
+        let _l = INSTALL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(TraceContext::current().is_none());
+        let session = Obs::install();
+        let outside = TraceContext::current().unwrap();
+        assert_eq!(outside.span_id, 0, "no open span yet");
+        let g = span!("ctx.root");
+        let inside = TraceContext::current().unwrap();
+        assert_eq!(inside.span_id, g.id());
+        assert_eq!(inside.trace_id, outside.trace_id);
+        drop(g);
+        session.finish();
     }
 
     #[test]

@@ -210,6 +210,13 @@ impl ShardedPspCluster {
         self.faults.dead_backends()
     }
 
+    /// `(healthy, total, k)` — the readiness quorum summary the serving
+    /// layer's `/readyz` probe wants (see `net::server::QuorumProbe`).
+    pub fn quorum_status(&self) -> (usize, usize, usize) {
+        let n = self.config.n;
+        (n - self.faults.dead_backends().len(), n, self.config.k)
+    }
+
     fn derive_split_seed(&self, id: u64, generation: u16) -> [u8; 32] {
         let nonce = self.split_nonce.fetch_add(1, Ordering::Relaxed);
         sha256_concat(&[
@@ -235,7 +242,11 @@ impl ShardedPspCluster {
         let seed = self.derive_split_seed(id, generation);
         let shares = shamir::split(secret, self.config.n, self.config.k, generation, seed)
             .map_err(|e| cluster_err(e.to_string()))?;
+        // Worker threads have their own span stacks, so each backend call
+        // parents itself explicitly to keep the trace tree connected.
+        let parent = puppies_obs::current_span_id();
         let stored = parallel::current().map_indexed(self.config.n, |i| {
+            let _span = puppies_obs::span_with_parent("cluster.backend.store", "cluster", parent);
             let outcome = self.faults.apply(i);
             if outcome == FaultOutcome::Dead {
                 return (None, false);
@@ -350,8 +361,11 @@ impl ShardedPspCluster {
                 .ok_or_else(|| cluster_err(format!("unknown cluster photo {}", id.0)))?;
             (meta.generation, meta.secret_sha)
         };
+        let parent = puppies_obs::current_span_id();
         let shares: Vec<Share> = parallel::current()
             .map_indexed(subset.len(), |j| {
+                let _span =
+                    puppies_obs::span_with_parent("cluster.backend.fetch", "cluster", parent);
                 let b = subset[j];
                 if b >= self.config.n {
                     return None;

@@ -97,7 +97,21 @@ impl Client {
         bearer: Option<&str>,
         body: &[u8],
     ) -> Result<http::RawResponse> {
-        http::write_request(&mut self.writer, method, path, bearer, body)
+        // When a subscriber is installed, every wire call gets its own
+        // client-side span, and that span rides the request as an
+        // `x-puppies-trace` header so the server (and anything it fans
+        // out to) can parent itself under this call.
+        let _span = puppies_obs::span("psp.net.client_call", "net.client");
+        let trace = puppies_obs::TraceContext::current().map(|c| c.header_value());
+        let header;
+        let extra: &[(&str, &str)] = match trace.as_deref() {
+            Some(v) => {
+                header = [("x-puppies-trace", v)];
+                &header
+            }
+            None => &[],
+        };
+        http::write_request(&mut self.writer, method, path, bearer, extra, body)
             .map_err(|e| net_err("write request", e))?;
         http::read_response(&mut self.reader).map_err(|e| net_err("read response", e))
     }
@@ -127,6 +141,33 @@ impl Client {
     /// Fails if the server is unreachable or unhealthy.
     pub fn health(&mut self) -> Result<()> {
         self.expect("GET", "/health", None, &[], 200).map(|_| ())
+    }
+
+    /// `GET /readyz`: `Ok(true)` when the server reports ready (200),
+    /// `Ok(false)` while it is up but still recovering or degraded (503).
+    ///
+    /// # Errors
+    /// Fails only on transport errors or unexpected statuses.
+    pub fn ready(&mut self) -> Result<bool> {
+        let (status, _, body) = self.call("GET", "/readyz", None, &[])?;
+        match status {
+            200 => Ok(true),
+            503 => Ok(false),
+            other => Err(PspError::Channel(format!(
+                "GET /readyz: HTTP {other}: {}",
+                String::from_utf8_lossy(&body).trim()
+            ))),
+        }
+    }
+
+    /// `GET /metrics`: the Prometheus text exposition.
+    ///
+    /// # Errors
+    /// Fails on transport errors or if the server has no live metrics
+    /// subscriber (503).
+    pub fn metrics_text(&mut self) -> Result<String> {
+        self.expect("GET", "/metrics", None, &[], 200)
+            .map(|(_, body)| String::from_utf8_lossy(&body).into_owned())
     }
 
     /// Uploads a protected bitstream + params; the returned receipt's

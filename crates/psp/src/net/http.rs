@@ -277,7 +277,9 @@ pub fn write_response(stream: &mut TcpStream, resp: &Response, keep_alive: bool)
     stream.flush()
 }
 
-/// Client side: writes a request with a binary body.
+/// Client side: writes a request with a binary body and optional extra
+/// headers (e.g. `x-puppies-trace`). Header names and values must be
+/// CR/LF-free; this is a programming contract, not validated.
 ///
 /// # Errors
 /// Propagates socket errors.
@@ -286,6 +288,7 @@ pub fn write_request(
     method: &str,
     path: &str,
     bearer: Option<&str>,
+    extra: &[(&str, &str)],
     body: &[u8],
 ) -> io::Result<()> {
     let mut head = format!(
@@ -295,6 +298,12 @@ pub fn write_request(
     if let Some(token) = bearer {
         head.push_str("authorization: Bearer ");
         head.push_str(token);
+        head.push_str("\r\n");
+    }
+    for (k, v) in extra {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
@@ -376,6 +385,7 @@ mod tests {
             "POST",
             "/photos/7/transform",
             Some("tok"),
+            &[("x-puppies-trace", "1-2a")],
             b"abc",
         )
         .unwrap();
@@ -385,6 +395,7 @@ mod tests {
                 assert_eq!(req.method, "POST");
                 assert_eq!(req.path, "/photos/7/transform");
                 assert_eq!(req.bearer(), Some("tok"));
+                assert_eq!(req.header("x-puppies-trace"), Some("1-2a"));
                 assert_eq!(req.body, b"abc");
                 assert!(req.keep_alive());
             }
@@ -407,7 +418,7 @@ mod tests {
     #[test]
     fn oversized_body_is_rejected_as_413() {
         let (mut client, server) = pipe();
-        write_request(&mut client, "POST", "/photos", None, &[0u8; 64]).unwrap();
+        write_request(&mut client, "POST", "/photos", None, &[], &[0u8; 64]).unwrap();
         let mut reader = BufReader::new(server);
         match read_request(&mut reader, 16).unwrap() {
             ReadOutcome::Malformed(413, _) => {}

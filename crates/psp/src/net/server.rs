@@ -9,20 +9,35 @@
 //! returns, so a graceful stop loses nothing even with per-append fsync
 //! disabled. A `kill -9` at any point is also safe — that is the WAL's
 //! job, not the drain's.
+//!
+//! # Observability
+//!
+//! The listener comes up *before* WAL replay ([`Server::bind_unready`] +
+//! [`Recovery::run`]), so `/healthz` answers from the first instant while
+//! `/readyz` returns 503 until recovery publishes the store — orchestrators
+//! can distinguish "booting" from "dead" during long replays. `/metrics`
+//! serves the process-wide [`puppies_obs`] registry in Prometheus text
+//! format plus per-endpoint rolling-window SLO families ([`super::slo`]).
+//! Requests carrying an `x-puppies-trace` header are adopted as children
+//! of the caller's span, so one Chrome trace stitches client, server, and
+//! backends. A sampled structured access log (JSON lines, `access.log` in
+//! the store dir) records what the fixed in-memory ring cannot retain.
 
 use super::http::{self, ReadOutcome, Request, Response};
 use super::proto;
+use super::slo::{Sample, SloConfig, SloRegistry};
 use crate::cache::fnv64_chain;
 use crate::sha256::{ct_eq, sha256, sha256_concat};
 use crate::store::{PhotoId, PspConfig};
-use crate::store_disk::DiskStore;
+use crate::store_disk::{DiskStore, RecoveryStats};
 use crate::{PspError, Result};
-use parking_lot::RwLock;
-use std::io::{self, BufRead, BufReader, Write};
+use parking_lot::{Mutex, RwLock};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// How the server is stood up. Everything here is fixed for the process
@@ -62,6 +77,11 @@ pub struct Tunables {
     /// Whether to honour HTTP keep-alive (off forces one request per
     /// connection — useful when diagnosing connection-state bugs).
     pub keep_alive: bool,
+    /// Access-log sampling: log every Nth request (1 = all, 0 = none).
+    /// Slow requests are always logged regardless of sampling.
+    pub access_log_sample: u64,
+    /// Threshold above which a request is logged as slow, microseconds.
+    pub slow_request_us: u64,
 }
 
 impl Default for Tunables {
@@ -70,6 +90,8 @@ impl Default for Tunables {
             // Two max-size frames plus framing slack.
             max_body: 2 * proto::MAX_FRAME_LEN + 64,
             keep_alive: true,
+            access_log_sample: 1,
+            slow_request_us: 250_000,
         }
     }
 }
@@ -91,6 +113,16 @@ impl Tunables {
                 ("keep_alive", v) => {
                     if let Ok(b) = v.parse() {
                         t.keep_alive = b;
+                    }
+                }
+                ("access_log_sample", v) => {
+                    if let Ok(n) = v.parse() {
+                        t.access_log_sample = n;
+                    }
+                }
+                ("slow_request_us", v) => {
+                    if let Ok(n) = v.parse() {
+                        t.slow_request_us = n;
                     }
                 }
                 _ => {}
@@ -171,17 +203,37 @@ fn random_token() -> [u8; 32] {
     sha256(&seed)
 }
 
+/// Reports cluster backend health as `(healthy, total, k)` for readiness:
+/// ready needs `healthy >= k`. Attached via [`Server::set_quorum_probe`]
+/// when the store fronts a [`crate::cluster::ShardedPspCluster`].
+pub type QuorumProbe = Box<dyn Fn() -> (usize, usize, usize) + Send + Sync>;
+
 /// Shared state between the accept loop and handler threads.
 struct Shared {
-    store: DiskStore,
+    /// Published by [`Recovery::run`] once WAL replay finishes; every
+    /// store-touching route is gated on `ready` first.
+    store: OnceLock<DiskStore>,
+    ready: AtomicBool,
     dir: PathBuf,
     admin_token: String,
     tunables: RwLock<Tunables>,
     draining: AtomicBool,
     connections: AtomicUsize,
+    slo: SloRegistry,
+    quorum: RwLock<Option<QuorumProbe>>,
+    access_log: Mutex<Option<BufWriter<File>>>,
+    access_seq: AtomicU64,
 }
 
 impl Shared {
+    fn store(&self) -> &DiskStore {
+        self.store.get().expect("store-touching route before ready")
+    }
+
+    fn ready(&self) -> bool {
+        self.ready.load(Ordering::Acquire)
+    }
+
     /// Per-photo owner token: a one-way keyed derivation from the admin
     /// secret, `SHA-256(domain ‖ admin token ‖ id)`. Keyed so tokens
     /// survive restarts without widening the WAL; one-way so no uploader
@@ -197,10 +249,45 @@ impl Shared {
     }
 }
 
-/// A bound, recovered, ready-to-run PSP service.
+/// A bound, ready-to-run PSP service.
 pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
+}
+
+/// The deferred store-recovery step from [`Server::bind_unready`]: the
+/// listener is already answering `/healthz` (and 503ing `/readyz`) while
+/// this replays the WAL. [`Recovery::run`] publishes the store and flips
+/// the server ready.
+pub struct Recovery {
+    shared: Arc<Shared>,
+    dir: PathBuf,
+    psp: PspConfig,
+    fsync: bool,
+}
+
+impl Recovery {
+    /// Opens the store (replaying the WAL), publishes it, and marks the
+    /// server ready.
+    ///
+    /// # Errors
+    /// Fails on recovery errors; the paired server is put into drain so
+    /// its accept loop exits rather than 503 forever.
+    pub fn run(self) -> Result<RecoveryStats> {
+        match DiskStore::open(&self.dir, self.psp, self.fsync) {
+            Ok(store) => {
+                let stats = store.recovery();
+                let _ = self.shared.store.set(store);
+                self.shared.ready.store(true, Ordering::Release);
+                puppies_obs::gauge_set("psp.net.ready", 1);
+                Ok(stats)
+            }
+            Err(e) => {
+                self.shared.draining.store(true, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
 }
 
 impl Server {
@@ -211,7 +298,21 @@ impl Server {
     /// # Errors
     /// Fails on recovery errors or if the address cannot be bound.
     pub fn bind(config: &ServeConfig) -> Result<Server> {
-        let store = DiskStore::open(&config.dir, config.psp.clone(), config.fsync)?;
+        let (server, recovery) = Server::bind_unready(config)?;
+        recovery.run()?;
+        Ok(server)
+    }
+
+    /// Binds the listener and mints tokens but defers store recovery to
+    /// the returned [`Recovery`], so the caller can serve liveness checks
+    /// during a long WAL replay. Until `Recovery::run` completes, every
+    /// store-touching endpoint answers 503 and `/readyz` says why.
+    ///
+    /// # Errors
+    /// Fails if the address cannot be bound or the token cannot persist.
+    pub fn bind_unready(config: &ServeConfig) -> Result<(Server, Recovery)> {
+        std::fs::create_dir_all(&config.dir)
+            .map_err(|e| PspError::Channel(format!("creating {}: {e}", config.dir.display())))?;
         let token_path = config.dir.join("admin.token");
         let admin_token = match std::fs::read_to_string(&token_path) {
             Ok(t) if t.trim().len() == 64 => t.trim().to_string(),
@@ -224,15 +325,32 @@ impl Server {
         };
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| PspError::Channel(format!("binding {}: {e}", config.addr)))?;
+        let access_log = File::options()
+            .create(true)
+            .append(true)
+            .open(config.dir.join("access.log"))
+            .ok()
+            .map(BufWriter::new);
         let shared = Arc::new(Shared {
-            store,
+            store: OnceLock::new(),
+            ready: AtomicBool::new(false),
             dir: config.dir.clone(),
             admin_token,
             tunables: RwLock::new(Tunables::load(&config.dir)),
             draining: AtomicBool::new(false),
             connections: AtomicUsize::new(0),
+            slo: SloRegistry::new(SloConfig::default()),
+            quorum: RwLock::new(None),
+            access_log: Mutex::new(access_log),
+            access_seq: AtomicU64::new(0),
         });
-        Ok(Server { listener, shared })
+        let recovery = Recovery {
+            shared: Arc::clone(&shared),
+            dir: config.dir.clone(),
+            psp: config.psp.clone(),
+            fsync: config.fsync,
+        };
+        Ok((Server { listener, shared }, recovery))
     }
 
     /// The actual bound address (resolves port 0).
@@ -243,9 +361,23 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// What recovery found when the store was opened.
-    pub fn recovery(&self) -> crate::store_disk::RecoveryStats {
-        self.shared.store.recovery()
+    /// What recovery found when the store was opened. Meaningful only
+    /// after recovery has run (always true for [`Server::bind`]).
+    pub fn recovery(&self) -> RecoveryStats {
+        self.shared
+            .store
+            .get()
+            .map(DiskStore::recovery)
+            .unwrap_or_default()
+    }
+
+    /// Attaches a cluster-quorum health probe that `/readyz` and
+    /// `/metrics` consult (see [`QuorumProbe`]).
+    pub fn set_quorum_probe(
+        &self,
+        probe: impl Fn() -> (usize, usize, usize) + Send + Sync + 'static,
+    ) {
+        *self.shared.quorum.write() = Some(Box::new(probe));
     }
 
     /// Serves until SIGTERM/SIGINT or `POST /admin/shutdown`, then drains:
@@ -287,7 +419,14 @@ impl Server {
         while self.shared.connections.load(Ordering::Relaxed) > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(25));
         }
-        self.shared.store.sync()
+        if let Some(log) = self.shared.access_log.lock().as_mut() {
+            let _ = log.flush();
+        }
+        match self.shared.store.get() {
+            Some(store) => store.sync(),
+            // Recovery never published a store; nothing to sync.
+            None => Ok(()),
+        }
     }
 
     fn draining(&self) -> bool {
@@ -335,14 +474,38 @@ fn handle_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> {
             }
         };
         let keep_alive = tunables.keep_alive && req.keep_alive();
+        // Adopt the caller's trace context when the header parses; a
+        // malformed or absent header degrades to a fresh root span, never
+        // an error — tracing must not be able to fail a request.
+        let trace = req
+            .header("x-puppies-trace")
+            .and_then(puppies_obs::TraceContext::parse);
+        let endpoint = endpoint_key(&req);
         let sw = puppies_obs::Stopwatch::start();
-        let resp = route(shared, &req);
+        let resp = {
+            let _span = match &trace {
+                Some(ctx) => {
+                    puppies_obs::span_with_parent("psp.net.request", "net.server", ctx.span_id)
+                }
+                None => puppies_obs::span("psp.net.request", "net.server"),
+            };
+            route(shared, &req)
+        };
         puppies_obs::counter_add("psp.net.requests", 1);
-        sw.record_us("psp.net.req_us");
-        sw.record_us(endpoint_metric(&req));
+        let dur_us = sw.record_us("psp.net.req_us");
+        sw.record_us(endpoint_metric(endpoint));
         if resp.status >= 500 {
             puppies_obs::counter_add("psp.net.errors", 1);
         }
+        observe_request(
+            shared,
+            &tunables,
+            endpoint,
+            &req,
+            &resp,
+            dur_us,
+            trace.as_ref(),
+        );
         let shutdown_after = resp.status == 202 && req.path == "/admin/shutdown";
         http::write_response(&mut writer, &resp, keep_alive && !shutdown_after)?;
         if shutdown_after {
@@ -355,18 +518,106 @@ fn handle_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> {
     }
 }
 
-/// Stable per-endpoint latency histogram name.
-fn endpoint_metric(req: &Request) -> &'static str {
+/// Stable per-endpoint key, shared by the latency histograms and the SLO
+/// trackers (see [`super::slo::ENDPOINTS`]).
+fn endpoint_key(req: &Request) -> &'static str {
     let mut segs = req.path.split('/').filter(|s| !s.is_empty());
     match (req.method.as_str(), segs.next(), segs.next(), segs.next()) {
-        ("POST", Some("photos"), None, None) => "psp.net.upload_us",
-        ("GET", Some("photos"), Some(_), None) => "psp.net.download_us",
-        ("GET", Some("photos"), Some(_), Some("params")) => "psp.net.params_us",
-        ("POST", Some("photos"), Some(_), Some("transformed")) => "psp.net.transformed_us",
-        ("POST", Some("photos"), Some(_), Some("transform")) => "psp.net.transform_us",
-        (_, Some("grants"), ..) => "psp.net.grants_us",
-        (_, Some("receivers"), ..) => "psp.net.receivers_us",
+        ("POST", Some("photos"), None, None) => "upload",
+        ("GET", Some("photos"), Some(_), None) => "download",
+        ("GET", Some("photos"), Some(_), Some("params")) => "params",
+        ("POST", Some("photos"), Some(_), Some("transformed")) => "transformed",
+        ("POST", Some("photos"), Some(_), Some("transform")) => "transform",
+        (_, Some("grants"), ..) => "grants",
+        (_, Some("receivers"), ..) => "receivers",
+        _ => "other",
+    }
+}
+
+/// Per-endpoint latency histogram name for an [`endpoint_key`].
+fn endpoint_metric(key: &'static str) -> &'static str {
+    match key {
+        "upload" => "psp.net.upload_us",
+        "download" => "psp.net.download_us",
+        "params" => "psp.net.params_us",
+        "transformed" => "psp.net.transformed_us",
+        "transform" => "psp.net.transform_us",
+        "grants" => "psp.net.grants_us",
+        "receivers" => "psp.net.receivers_us",
         _ => "psp.net.other_us",
+    }
+}
+
+/// Feeds one finished request into the SLO window and, subject to
+/// sampling and the slow threshold, the structured access log.
+fn observe_request(
+    shared: &Shared,
+    tunables: &Tunables,
+    endpoint: &'static str,
+    req: &Request,
+    resp: &Response,
+    dur_us: u64,
+    trace: Option<&puppies_obs::TraceContext>,
+) {
+    let resp_header = |name: &str| {
+        resp.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    let cache = resp_header("x-cache");
+    let served = resp_header("x-served-path");
+    shared.slo.record(
+        endpoint,
+        Sample {
+            ok: resp.status < 500,
+            latency_us: dur_us,
+            cache_hit: cache.map(|c| c == "hit"),
+            coeff_served: match served {
+                Some("coeff-domain") => Some(true),
+                Some("pixel-fallback") => Some(false),
+                _ => None,
+            },
+        },
+    );
+    let slow = dur_us >= tunables.slow_request_us;
+    let seq = shared.access_seq.fetch_add(1, Ordering::Relaxed);
+    let sampled = tunables.access_log_sample > 0 && seq % tunables.access_log_sample == 0;
+    if !sampled && !slow {
+        return;
+    }
+    let ts_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let mut line = format!(
+        "{{\"ts_ms\":{ts_ms},\"seq\":{seq},\"method\":\"{}\",\"path\":\"{}\",\"status\":{},\"dur_us\":{dur_us},\"bytes_in\":{},\"bytes_out\":{},\"endpoint\":\"{endpoint}\"",
+        puppies_obs::escape_json(&req.method),
+        puppies_obs::escape_json(&req.path),
+        resp.status,
+        req.body.len(),
+        resp.body.len(),
+    );
+    if let Some(c) = cache {
+        line.push_str(&format!(",\"cache\":\"{}\"", puppies_obs::escape_json(c)));
+    }
+    if let Some(s) = served {
+        line.push_str(&format!(",\"served\":\"{}\"", puppies_obs::escape_json(s)));
+    }
+    if let Some(t) = trace {
+        line.push_str(&format!(",\"trace\":\"{}\"", t.header_value()));
+    }
+    if slow {
+        line.push_str(",\"slow\":true");
+    }
+    line.push_str("}\n");
+    let mut guard = shared.access_log.lock();
+    if let Some(log) = guard.as_mut() {
+        let healthy = log.write_all(line.as_bytes()).and_then(|()| log.flush());
+        // A dead log must not take requests down with it.
+        if healthy.is_err() {
+            *guard = None;
+        }
     }
 }
 
@@ -391,16 +642,21 @@ fn respond<T>(out: Result<T>, ok: impl FnOnce(T) -> Response) -> Response {
 fn route(shared: &Shared, req: &Request) -> Response {
     let segs: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segs.as_slice()) {
-        ("GET", ["health"]) => Response::text("ok\n"),
+        // Liveness, readiness, and metrics answer before the store is
+        // recovered; everything below the ready guard needs the store.
+        ("GET", ["health" | "healthz"]) => Response::text("ok\n"),
+        ("GET", ["readyz"]) => readyz(shared),
+        ("GET", ["metrics"]) => metrics(shared),
+        _ if !shared.ready() => Response::status(503, "starting: store recovery in progress"),
         ("GET", ["stats"]) => stats(shared),
         ("POST", ["photos"]) => upload(shared, req),
         ("GET", ["photos", id]) => with_id(id, |id| {
-            respond(shared.store.server().download(id), |b| {
+            respond(shared.store().server().download(id), |b| {
                 Response::ok(b.to_vec())
             })
         }),
         ("GET", ["photos", id, "params"]) => with_id(id, |id| {
-            respond(shared.store.server().download_params(id), |p| {
+            respond(shared.store().server().download_params(id), |p| {
                 Response::ok(p.to_vec())
             })
         }),
@@ -416,18 +672,77 @@ fn route(shared: &Shared, req: &Request) -> Response {
             *shared.tunables.write() = t;
             puppies_obs::counter_add("psp.net.reloads", 1);
             Response::text(format!(
-                "max_body:{}\nkeep_alive:{}\n",
-                t.max_body, t.keep_alive
+                "max_body:{}\nkeep_alive:{}\naccess_log_sample:{}\nslow_request_us:{}\n",
+                t.max_body, t.keep_alive, t.access_log_sample, t.slow_request_us
             ))
         }),
         ("POST", ["admin", "shutdown"]) => {
             admin(shared, req, |_| Response::status(202, "draining"))
         }
-        (_, ["health" | "stats" | "photos" | "receivers" | "grants" | "admin", ..]) => {
-            Response::status(405, "method not allowed")
-        }
+        (
+            _,
+            ["health" | "healthz" | "readyz" | "metrics" | "stats" | "photos" | "receivers"
+            | "grants" | "admin", ..],
+        ) => Response::status(405, "method not allowed"),
         _ => Response::status(404, "no such endpoint"),
     }
+}
+
+/// Readiness: 200 only when the store is recovered, its IO is healthy,
+/// and (when a probe is attached) the cluster has write quorum. The 503
+/// body lists every failing condition, one per line.
+fn readyz(shared: &Shared) -> Response {
+    let mut reasons: Vec<String> = Vec::new();
+    if !shared.ready() {
+        reasons.push("store: wal replay in progress".to_string());
+    } else if !shared.store().io_healthy() {
+        reasons.push(format!(
+            "store: {} io failures recorded",
+            shared.store().io_failures()
+        ));
+    }
+    if let Some(probe) = shared.quorum.read().as_ref() {
+        let (healthy, total, k) = probe();
+        if healthy < k {
+            reasons.push(format!(
+                "cluster: {healthy}/{total} backends healthy, quorum needs {k}"
+            ));
+        }
+    }
+    if reasons.is_empty() {
+        Response::text("ready\n")
+    } else {
+        Response::status(503, &reasons.join("\n"))
+    }
+}
+
+/// The Prometheus text exposition: the process-wide [`puppies_obs`]
+/// registry, the per-endpoint SLO families, and the server's own
+/// readiness/quorum gauges. 503 when no subscriber is installed, so a
+/// scrape of a metrics-less process is an explicit failure rather than
+/// an empty success.
+fn metrics(shared: &Shared) -> Response {
+    let Some(mut out) = puppies_obs::with(|obs| puppies_obs::prometheus_text(obs.metrics())) else {
+        return Response::status(503, "no metrics subscriber installed");
+    };
+    out.push_str(&shared.slo.render_prometheus());
+    out.push_str("# HELP psp_ready whether the store is recovered and serving\n");
+    out.push_str("# TYPE psp_ready gauge\n");
+    out.push_str(if shared.ready() {
+        "psp_ready 1\n"
+    } else {
+        "psp_ready 0\n"
+    });
+    if let Some(probe) = shared.quorum.read().as_ref() {
+        let (healthy, total, k) = probe();
+        out.push_str("# TYPE psp_cluster_backends_healthy gauge\n");
+        out.push_str(&format!("psp_cluster_backends_healthy {healthy}\n"));
+        out.push_str("# TYPE psp_cluster_backends_total gauge\n");
+        out.push_str(&format!("psp_cluster_backends_total {total}\n"));
+        out.push_str("# TYPE psp_cluster_quorum_k gauge\n");
+        out.push_str(&format!("psp_cluster_quorum_k {k}\n"));
+    }
+    Response::ok(out.into_bytes()).with_header("content-type", "text/plain; version=0.0.4")
 }
 
 fn with_id(raw: &str, f: impl FnOnce(PhotoId) -> Response) -> Response {
@@ -446,7 +761,7 @@ fn admin(shared: &Shared, req: &Request, f: impl FnOnce(&Shared) -> Response) ->
 }
 
 fn stats(shared: &Shared) -> Response {
-    let server = shared.store.server();
+    let server = shared.store().server();
     let cache = server.cache_stats();
     Response::text(format!(
         "photos:{}\ncache_hits:{}\ncache_misses:{}\ncache_entries:{}\ncache_bytes:{}\n",
@@ -462,7 +777,7 @@ fn upload(shared: &Shared, req: &Request) -> Response {
     let Some((bytes, params)) = proto::decode_pair(&req.body) else {
         return Response::status(400, "bad upload body");
     };
-    respond(shared.store.upload(bytes, params), |id| {
+    respond(shared.store().upload(bytes, params), |id| {
         Response::text(format!("id:{}\ntoken:{}\n", id.0, shared.owner_token(id)))
     })
 }
@@ -472,7 +787,7 @@ fn download_transformed(shared: &Shared, req: &Request, id: PhotoId) -> Response
         return Response::status(400, "bad transformation encoding");
     };
     respond(
-        shared.store.server().download_transformed_traced(id, &t),
+        shared.store().server().download_transformed_traced(id, &t),
         |((bytes, params), outcome, served)| {
             let cache = match outcome {
                 crate::store::CacheOutcome::Hit => "hit",
@@ -494,7 +809,7 @@ fn transform(shared: &Shared, req: &Request, id: PhotoId) -> Response {
     let Some(t) = proto::decode_transformation(&req.body) else {
         return Response::status(400, "bad transformation encoding");
     };
-    respond(shared.store.transform(id, &t), |()| {
+    respond(shared.store().transform(id, &t), |()| {
         Response::status(204, "transformed")
     })
 }
@@ -506,7 +821,7 @@ fn register_receiver(shared: &Shared, req: &Request) -> Response {
     let token = random_token();
     respond(
         shared
-            .store
+            .store()
             .register_receiver(u128::from_le_bytes(public), token),
         |()| Response::text(format!("token:{}\n", proto::hex(&token))),
     )
@@ -528,7 +843,7 @@ fn deposit_grant(shared: &Shared, req: &Request) -> Response {
     }
     respond(
         shared
-            .store
+            .store()
             .deposit_grant(receiver, sender, ciphertext.to_vec()),
         |()| Response::status(204, "deposited"),
     )
@@ -540,11 +855,11 @@ fn drain_grants(shared: &Shared, req: &Request) -> Response {
     };
     let Some(receiver) = proto::unhex(token)
         .filter(|t| t.len() == 32)
-        .and_then(|t| shared.store.receiver_for_token(&t))
+        .and_then(|t| shared.store().receiver_for_token(&t))
     else {
         return Response::status(403, "unknown receiver token");
     };
-    respond(shared.store.drain_grants(receiver), |deposits| {
+    respond(shared.store().drain_grants(receiver), |deposits| {
         let mut out = Vec::new();
         for (sender, ciphertext) in deposits {
             out.extend_from_slice(&sender.to_le_bytes());
@@ -556,20 +871,44 @@ fn drain_grants(shared: &Shared, req: &Request) -> Response {
 
 /// Convenience: bind and run in one call (the CLI entry point).
 ///
+/// Installs a [`puppies_obs`] subscriber when none is active (so
+/// `/metrics` always has something to serve), announces the bound address
+/// immediately, and replays the WAL on a side thread while the listener
+/// already answers `/healthz` — the `ready` line prints when recovery
+/// lands.
+///
 /// # Errors
-/// As [`Server::bind`] and [`Server::run`].
+/// As [`Server::bind`] and [`Server::run`]; a recovery failure surfaces
+/// after the accept loop drains.
 pub fn serve(config: &ServeConfig) -> Result<()> {
-    let server = Server::bind(config)?;
+    if !puppies_obs::enabled() {
+        // Deliberately leaked: metrics stay live for the process lifetime.
+        std::mem::forget(puppies_obs::Obs::install());
+    }
+    let (server, recovery) = Server::bind_unready(config)?;
     let addr = server
         .local_addr()
         .map_err(|e| PspError::Channel(format!("local addr: {e}")))?;
-    let rec = server.recovery();
     let mut stdout = io::stdout();
-    let _ = writeln!(
-        stdout,
-        "psp-serve listening on {addr} (recovered {} records, {} photos, truncated {} bytes)",
-        rec.records, rec.photos, rec.truncated_bytes
-    );
+    let _ = writeln!(stdout, "psp-serve listening on {addr}");
     let _ = stdout.flush();
-    server.run()
+    let replay = std::thread::spawn(move || {
+        let result = recovery.run();
+        if let Ok(rec) = &result {
+            let mut stdout = io::stdout();
+            let _ = writeln!(
+                stdout,
+                "psp-serve ready (recovered {} records, {} photos, truncated {} bytes)",
+                rec.records, rec.photos, rec.truncated_bytes
+            );
+            let _ = stdout.flush();
+        }
+        result
+    });
+    let ran = server.run();
+    let recovered = replay
+        .join()
+        .map_err(|_| PspError::Channel("recovery thread panicked".into()))?;
+    recovered?;
+    ran
 }

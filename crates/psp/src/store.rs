@@ -135,8 +135,9 @@ pub struct RequestEntry {
     pub seq: u64,
 }
 
-/// How many request-log entries the server retains (older ones are evicted
-/// first — the log is a bounded ring, never a leak).
+/// Default cap on retained request-log entries (older ones are evicted
+/// first — the log is a bounded ring, never a leak). Tunable per server
+/// via [`PspConfig::request_log_capacity`].
 pub const REQUEST_LOG_CAPACITY: usize = 256;
 
 /// One store shard: a photo map plus the request-log segment for the
@@ -157,6 +158,9 @@ pub struct PspConfig {
     pub cache_budget_bytes: usize,
     /// Max decoded images retained by the transform-miss memo; 0 disables.
     pub decode_memo_entries: usize,
+    /// Request-log ring capacity per server (clamped to ≥1); defaults to
+    /// [`REQUEST_LOG_CAPACITY`].
+    pub request_log_capacity: usize,
 }
 
 impl Default for PspConfig {
@@ -165,6 +169,7 @@ impl Default for PspConfig {
             shards: 16,
             cache_budget_bytes: 32 << 20,
             decode_memo_entries: 8,
+            request_log_capacity: REQUEST_LOG_CAPACITY,
         }
     }
 }
@@ -198,6 +203,8 @@ pub struct PspServer {
     photo_count: AtomicU64,
     cache: TransformCache,
     memo: DecodeMemo,
+    /// Request-log ring capacity ([`PspConfig::request_log_capacity`]).
+    log_capacity: usize,
 }
 
 impl Default for PspServer {
@@ -225,7 +232,13 @@ impl PspServer {
             photo_count: AtomicU64::new(0),
             cache: TransformCache::new(config.cache_budget_bytes),
             memo: DecodeMemo::new(config.decode_memo_entries),
+            log_capacity: config.request_log_capacity.max(1),
         }
+    }
+
+    /// The request-log ring capacity this server was built with.
+    pub fn request_log_capacity(&self) -> usize {
+        self.log_capacity
     }
 
     fn shard(&self, id: PhotoId) -> &Shard {
@@ -263,7 +276,7 @@ impl PspServer {
             seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
         };
         let mut log = self.shard(PhotoId(id)).log.lock();
-        if log.len() == REQUEST_LOG_CAPACITY {
+        if log.len() == self.log_capacity {
             log.pop_front();
         }
         log.push_back(entry);
@@ -679,24 +692,24 @@ impl PspServer {
         self.cache.stats()
     }
 
-    /// The most recent requests served (oldest first), up to
-    /// [`REQUEST_LOG_CAPACITY`]. Entries are `Copy`, the snapshot Vec is
-    /// preallocated, and each shard's log lock is held only for the memcpy
-    /// out — a diagnostic read never stalls the serving path.
+    /// The most recent requests served (oldest first), up to the
+    /// configured [`PspConfig::request_log_capacity`]. Entries are `Copy`,
+    /// the snapshot Vec is preallocated, and each shard's log lock is held
+    /// only for the memcpy out — a diagnostic read never stalls the
+    /// serving path.
     pub fn recent_requests(&self) -> Vec<RequestEntry> {
-        let mut out: Vec<RequestEntry> =
-            Vec::with_capacity(self.shards.len() * REQUEST_LOG_CAPACITY);
+        let mut out: Vec<RequestEntry> = Vec::with_capacity(self.shards.len() * self.log_capacity);
         for shard in self.shards.iter() {
             let log = shard.log.lock();
             out.extend(log.iter().copied());
         }
         // Merge shard segments into one timeline. Any globally-recent entry
-        // survives per-shard eviction (an entry is only evicted once 256
-        // newer entries hit the *same* shard), so the newest 256 overall
-        // are always present.
+        // survives per-shard eviction (an entry is only evicted once
+        // `log_capacity` newer entries hit the *same* shard), so the newest
+        // `log_capacity` overall are always present.
         out.sort_unstable_by_key(|e| e.seq);
-        if out.len() > REQUEST_LOG_CAPACITY {
-            out.drain(..out.len() - REQUEST_LOG_CAPACITY);
+        if out.len() > self.log_capacity {
+            out.drain(..out.len() - self.log_capacity);
         }
         out
     }
@@ -1032,6 +1045,28 @@ mod tests {
         let log = server.recent_requests();
         assert_eq!(log.len(), REQUEST_LOG_CAPACITY);
         assert!(log.iter().all(|e| e.op == "download"));
+    }
+
+    #[test]
+    fn request_log_capacity_is_configurable() {
+        let server = PspServer::with_config(PspConfig {
+            request_log_capacity: 8,
+            ..PspConfig::default()
+        });
+        assert_eq!(server.request_log_capacity(), 8);
+        let id = server.upload(vec![1u8; 4], vec![]).unwrap();
+        for _ in 0..40 {
+            server.download(id).unwrap();
+        }
+        let log = server.recent_requests();
+        assert_eq!(log.len(), 8);
+        assert!(log.windows(2).all(|w| w[0].seq < w[1].seq));
+        // A zero request stays usable (clamped to 1).
+        let min = PspServer::with_config(PspConfig {
+            request_log_capacity: 0,
+            ..PspConfig::default()
+        });
+        assert_eq!(min.request_log_capacity(), 1);
     }
 
     #[test]

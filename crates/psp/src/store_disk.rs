@@ -41,6 +41,7 @@ use puppies_transform::Transformation;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// What [`DiskStore::open`] found while recovering.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -80,6 +81,10 @@ pub struct DiskStore {
     /// Whether segment writes sync (mirrors the WAL's setting from
     /// [`DiskStore::open`]).
     fsync: bool,
+    /// Durability-path failures (segment write or WAL append/sync) since
+    /// open. Nonzero means acknowledged-durability can no longer be
+    /// promised, so `/readyz` reports the store degraded.
+    io_failures: AtomicU64,
 }
 
 fn io_err(e: io::Error, what: &str) -> PspError {
@@ -153,7 +158,34 @@ impl DiskStore {
             segments,
             recovery,
             fsync,
+            io_failures: AtomicU64::new(0),
         })
+    }
+
+    /// Durability-path failures (segment writes, WAL appends/syncs)
+    /// since open. See [`DiskStore::io_healthy`].
+    pub fn io_failures(&self) -> u64 {
+        self.io_failures.load(Ordering::Relaxed)
+    }
+
+    /// `true` while every durability-path write has succeeded. Once a
+    /// segment or WAL write fails the store keeps serving reads but stops
+    /// claiming readiness — acknowledged writes may no longer be durable.
+    pub fn io_healthy(&self) -> bool {
+        self.io_failures() == 0
+    }
+
+    /// Whether per-append fsync is on (the durable configuration).
+    pub fn fsync_enabled(&self) -> bool {
+        self.fsync
+    }
+
+    /// Counts durability-path failures as they propagate.
+    fn note_io<T>(&self, r: Result<T>) -> Result<T> {
+        if r.is_err() {
+            self.io_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        r
     }
 
     /// The in-memory server behind this store — read-only doors
@@ -177,8 +209,18 @@ impl DiskStore {
     pub fn upload(&self, bytes: Vec<u8>, params: Vec<u8>) -> Result<PhotoId> {
         let bytes_sha = sha256(&bytes);
         let params_sha = sha256(&params);
-        write_segment(&self.segments, &bytes_sha, &bytes, self.fsync)?;
-        write_segment(&self.segments, &params_sha, &params, self.fsync)?;
+        self.note_io(write_segment(
+            &self.segments,
+            &bytes_sha,
+            &bytes,
+            self.fsync,
+        ))?;
+        self.note_io(write_segment(
+            &self.segments,
+            &params_sha,
+            &params,
+            self.fsync,
+        ))?;
         let id = self.server.upload(bytes, params)?;
         self.append(&WalRecord::Upload {
             id: id.0,
@@ -202,8 +244,18 @@ impl DiskStore {
         let params = self.server.download_params(id)?;
         let bytes_sha = sha256(&bytes);
         let params_sha = sha256(&params);
-        write_segment(&self.segments, &bytes_sha, &bytes, self.fsync)?;
-        write_segment(&self.segments, &params_sha, &params, self.fsync)?;
+        self.note_io(write_segment(
+            &self.segments,
+            &bytes_sha,
+            &bytes,
+            self.fsync,
+        ))?;
+        self.note_io(write_segment(
+            &self.segments,
+            &params_sha,
+            &params,
+            self.fsync,
+        ))?;
         self.append(&WalRecord::Transform {
             id: id.0,
             bytes_sha,
@@ -294,14 +346,17 @@ impl DiskStore {
     /// # Errors
     /// Propagates filesystem errors.
     pub fn sync(&self) -> Result<()> {
-        self.wal.lock().sync().map_err(|e| io_err(e, "syncing wal"))
+        let r = self.wal.lock().sync().map_err(|e| io_err(e, "syncing wal"));
+        self.note_io(r)
     }
 
     fn append(&self, record: &WalRecord) -> Result<()> {
-        self.wal
+        let r = self
+            .wal
             .lock()
             .append(record)
-            .map_err(|e| io_err(e, "appending wal"))
+            .map_err(|e| io_err(e, "appending wal"));
+        self.note_io(r)
     }
 }
 

@@ -216,3 +216,217 @@ fn rand_seeded(seed: u8) -> impl rand::Rng {
     use rand::SeedableRng;
     rand_chacha::ChaCha20Rng::from_seed([seed; 32])
 }
+
+/// Serializes the tests that install the process-global obs subscriber
+/// (and the one asserting its absence).
+static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// One raw HTTP GET with arbitrary extra header lines; returns the status.
+fn raw_get(addr: &str, path: &str, extra: &str) -> u16 {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nhost: t\r\n{extra}connection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).unwrap();
+    String::from_utf8_lossy(&buf)
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status")
+}
+
+#[test]
+fn readyz_is_503_until_recovery_publishes_the_store() {
+    let dir = tmp("readyz");
+    // Seed the store with one upload so recovery has something to replay.
+    let (bytes, params) = protected_photo(5);
+    let seeded_id = {
+        let run = start(&dir);
+        let mut client = Client::connect(&run.addr).unwrap();
+        let id = client.upload(&bytes, &params).unwrap().id;
+        stop(run);
+        id
+    };
+    let (server, recovery) = Server::bind_unready(&ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        dir: dir.clone(),
+        fsync: false,
+        psp: PspConfig::default(),
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let admin = std::fs::read_to_string(dir.join("admin.token"))
+        .unwrap()
+        .trim()
+        .to_string();
+    let join = std::thread::spawn(move || server.run().unwrap());
+
+    // Liveness answers before replay; readiness and the store do not.
+    assert_eq!(raw_get(&addr, "/healthz", ""), 200);
+    assert_eq!(raw_get(&addr, "/health", ""), 200);
+    assert_eq!(raw_get(&addr, "/readyz", ""), 503);
+    let mut client = Client::connect(&addr).unwrap();
+    assert!(!client.ready().unwrap());
+    assert!(client.download(seeded_id).is_err());
+
+    let stats = recovery.run().unwrap();
+    assert!(stats.records > 0, "seeded WAL should replay records");
+    assert_eq!(raw_get(&addr, "/readyz", ""), 200);
+    let mut client = Client::connect(&addr).unwrap();
+    assert!(client.ready().unwrap());
+    assert_eq!(client.download(seeded_id).unwrap(), bytes);
+
+    let mut c = Client::connect(&addr).unwrap();
+    c.shutdown(&admin).unwrap();
+    join.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_scrape_is_prometheus_text_and_counters_are_monotone() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let dir = tmp("metrics");
+    let run = start(&dir);
+
+    // Without a subscriber the scrape is an explicit 503, not empty-200.
+    assert!(!puppies_obs::enabled());
+    let mut client = Client::connect(&run.addr).unwrap();
+    let err = client.metrics_text().unwrap_err();
+    assert!(err.to_string().contains("503"), "got: {err}");
+
+    let session = puppies_obs::Obs::install();
+    let (bytes, params) = protected_photo(6);
+    let receipt = client.upload(&bytes, &params).unwrap();
+    client
+        .download_transformed(receipt.id, &Transformation::Rotate90)
+        .unwrap();
+    client
+        .download_transformed(receipt.id, &Transformation::Rotate90)
+        .unwrap();
+
+    let first = client.metrics_text().unwrap();
+    assert!(first.contains("# TYPE psp_net_requests_total counter"));
+    assert!(first.contains("psp_ready 1"));
+    assert!(first.contains("psp_slo_requests_total{endpoint=\"transformed\"}"));
+    assert!(first.contains("psp_slo_window_coeff_serve_rate{endpoint=\"transformed\"} 1"));
+    assert!(first.contains("psp_slo_window_cache_hit_rate{endpoint=\"transformed\"} 0.5"));
+    let parse = |text: &str, name: &str| -> f64 {
+        text.lines()
+            .find(|l| l.starts_with(name) && !l.starts_with('#'))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("series {name} missing"))
+    };
+    client.download(receipt.id).unwrap();
+    let second = client.metrics_text().unwrap();
+    assert!(
+        parse(&second, "psp_net_requests_total") > parse(&first, "psp_net_requests_total"),
+        "request counter must be monotone across scrapes"
+    );
+    // The structured access log captured the served-path fields.
+    let log = std::fs::read_to_string(dir.join("access.log")).unwrap();
+    assert!(log.contains("\"served\":\"coeff-domain\""), "got: {log}");
+    assert!(log.contains("\"cache\":\"hit\""), "got: {log}");
+
+    drop(session.finish());
+    stop(run);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_header_stitches_one_tree_and_malformed_headers_are_safe() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let dir = tmp("trace");
+    let run = start(&dir);
+
+    // Malformed or absent trace headers must never fail a request.
+    for extra in [
+        "",
+        "x-puppies-trace: zzzz\r\n",
+        "x-puppies-trace: 123\r\n",
+        "x-puppies-trace: -\r\n",
+        "x-puppies-trace: 1-2-3\r\n",
+        "x-puppies-trace: ffffffffffffffffff-1\r\n",
+    ] {
+        assert_eq!(raw_get(&run.addr, "/health", extra), 200, "extra={extra:?}");
+    }
+
+    let session = puppies_obs::Obs::install();
+    let (bytes, params) = protected_photo(8);
+    {
+        let _root = puppies_obs::span("test.e2e", "test");
+        let mut client = Client::connect(&run.addr).unwrap();
+        let receipt = client.upload(&bytes, &params).unwrap();
+        client
+            .download_transformed(receipt.id, &Transformation::Rotate90)
+            .unwrap();
+        let mut cfg = puppies_psp::ClusterConfig::new(3, 2);
+        cfg.backend = PspConfig::uncached();
+        let cluster = puppies_psp::ShardedPspCluster::new(cfg).unwrap();
+        let grant = OwnerKey::from_seed([8u8; 32]).grant_all();
+        let id = cluster
+            .upload(bytes.clone(), params.clone(), &grant)
+            .unwrap();
+        cluster.reconstruct(id).unwrap();
+    }
+    let obs = session.finish().unwrap();
+    let spans = obs.spans();
+    let by_id: std::collections::HashMap<u64, &puppies_obs::SpanRecord> =
+        spans.iter().map(|s| (s.id, s)).collect();
+    let root = spans
+        .iter()
+        .find(|s| s.name == "test.e2e")
+        .expect("root span recorded");
+    let descends_from_root = |mut id: u64| -> bool {
+        // Walk parents; depth-capped in case of concurrent-test noise.
+        for _ in 0..64 {
+            if id == root.id {
+                return true;
+            }
+            match by_id.get(&id) {
+                Some(s) if s.parent != 0 => id = s.parent,
+                _ => return false,
+            }
+        }
+        false
+    };
+    let client_ids: Vec<u64> = spans
+        .iter()
+        .filter(|s| s.name == "psp.net.client_call" && descends_from_root(s.id))
+        .map(|s| s.id)
+        .collect();
+    assert!(!client_ids.is_empty(), "client spans under the test root");
+    // The server adopted the wire trace context: its request spans hang
+    // off this process's client spans, completing one connected tree.
+    let adopted = spans
+        .iter()
+        .filter(|s| s.name == "psp.net.request" && client_ids.contains(&s.parent))
+        .count();
+    assert!(
+        adopted >= 2,
+        "server spans parented to client spans (upload + transform), got {adopted}"
+    );
+    // Cluster fan-out spans joined the same tree: one per backend for the
+    // store, at least k for the reconstruct fetch.
+    let backend_stores = spans
+        .iter()
+        .filter(|s| s.name == "cluster.backend.store" && descends_from_root(s.id))
+        .count();
+    let backend_fetches = spans
+        .iter()
+        .filter(|s| s.name == "cluster.backend.fetch" && descends_from_root(s.id))
+        .count();
+    assert_eq!(backend_stores, 3, "one store span per backend");
+    assert!(
+        backend_fetches >= 2,
+        "at least k fetch spans, got {backend_fetches}"
+    );
+
+    stop(run);
+    let _ = std::fs::remove_dir_all(&dir);
+}
