@@ -249,7 +249,9 @@ pub fn run(config: NetConfig) -> Result<NetResults, String> {
             match served {
                 WireServed::CoeffDomain => served_coeff.fetch_add(1, Ordering::Relaxed),
                 WireServed::PixelFallback => served_pixel.fetch_add(1, Ordering::Relaxed),
-                WireServed::Cached => served_cached.fetch_add(1, Ordering::Relaxed),
+                WireServed::Cached | WireServed::SigCached => {
+                    served_cached.fetch_add(1, Ordering::Relaxed)
+                }
                 WireServed::Unknown => return Err("server did not report x-served-path".into()),
             };
             Ok(())

@@ -748,7 +748,7 @@ fn audit_serve_paths(
                 match served {
                     ServedPath::CoeffDomain => stats.coeff_domain += 1,
                     ServedPath::PixelFallback => stats.pixel_fallback += 1,
-                    ServedPath::Cached => stats.cached += 1,
+                    ServedPath::Cached | ServedPath::SigCached => stats.cached += 1,
                     ServedPath::NotApplicable => {
                         return Err(format!(
                             "serve audit: transform {t:?} reported no served path"
@@ -761,7 +761,7 @@ fn audit_serve_paths(
                          decoded to pixels"
                     ));
                 }
-                if pass == 1 && served != ServedPath::Cached {
+                if pass == 1 && !matches!(served, ServedPath::Cached | ServedPath::SigCached) {
                     return Err(format!(
                         "serve audit: repeated {t:?} missed the transform cache ({})",
                         served.as_str()

@@ -14,7 +14,8 @@
 //! puppies inspect --params <in.pup>
 //! puppies stats <stats.json>
 //! puppies serve --dir <store-dir> [--addr host:port] [--no-fsync]
-//! puppies net smoke|flood|verify|ready --addr <host:port> [...]
+//! puppies net smoke|flood|verify|ready|dup --addr <host:port> [...]
+//! puppies search <probe.jpg> --addr <host:port> [--params <in.pup>]
 //! puppies top --addr <host:port> [--samples N] [--interval-ms M] [--plain]
 //!         [--assert-monotonic] [--assert-nonzero <series>]...
 //! puppies wal-dump --dir <store-dir>
@@ -33,7 +34,8 @@
 //! PSP serving benchmark (sharded store + transform cache vs an embedded
 //! replica of the pre-cache server) — see [`bench_psp`]. `bench psp
 //! --cluster` benches the k-of-n Shamir-shared cluster instead — see
-//! [`bench_cluster`].
+//! [`bench_cluster`] — and `bench psp --dup` the recompressed-duplicate
+//! dedup path and near-duplicate search scaling — see [`bench_dedup`].
 
 use puppies_core::{
     protect, KeyGrant, OwnerKey, PerturbProfile, PrivacyLevel, ProtectOptions, PublicParams, Scheme,
@@ -44,6 +46,7 @@ use std::process::exit;
 
 mod bench;
 mod bench_cluster;
+mod bench_dedup;
 mod bench_net;
 mod bench_psp;
 mod cluster;
@@ -66,6 +69,7 @@ fn main() {
         Some("cluster") => cluster::cmd(&args[1..]),
         Some("serve") => serve::cmd_serve(&args[1..]),
         Some("net") => serve::cmd_net(&args[1..]),
+        Some("search") => serve::cmd_search(&args[1..]),
         Some("top") => top::cmd(&args[1..]),
         Some("wal-dump") => serve::cmd_wal_dump(&args[1..]),
         Some("help") | None => {
@@ -84,7 +88,7 @@ fn usage() {
     eprintln!(
         "puppies — privacy-preserving partial image sharing\n\
          commands: keygen, detect, protect, protect-batch, grant, recover, inspect, stats, conformance, bench,\n\
-         \x20         serve, net (smoke|flood|verify|ready), top, wal-dump, cluster (demo)\n\
+         \x20         serve, net (smoke|flood|verify|ready|dup), search, top, wal-dump, cluster (demo)\n\
          (see the crate docs or README for full flag reference)"
     );
 }
@@ -119,7 +123,10 @@ fn positionals(args: &[String]) -> Vec<&str> {
         }
         if a.starts_with("--") {
             // Boolean flags take no value.
-            let boolean = matches!(a.as_str(), "--auto" | "--transform-friendly" | "--bless");
+            let boolean = matches!(
+                a.as_str(),
+                "--auto" | "--transform-friendly" | "--bless" | "--dup"
+            );
             if !boolean && i + 1 < args.len() {
                 skip = true;
             }
@@ -484,6 +491,9 @@ fn cmd_bench(args: &[String]) -> CliResult {
         }
         if has_flag(args, "--cluster") {
             return bench_cluster::cmd(args);
+        }
+        if has_flag(args, "--dup") {
+            return bench_dedup::cmd(args);
         }
         return bench_psp::cmd(args);
     }

@@ -7,6 +7,8 @@
 //! puppies net flood  --addr <host:port> --manifest <file> [--count N] [--bytes N]
 //! puppies net verify --addr <host:port> --manifest <file>
 //! puppies net ready  --addr <host:port> [--timeout-ms N]
+//! puppies net dup    --addr <host:port>
+//! puppies search <probe.jpg> --addr <host:port> [--params <in.pup>]
 //! puppies wal-dump --dir <store-dir>
 //! ```
 //!
@@ -18,6 +20,10 @@
 //! durability contract under `kill -9`). `verify` re-downloads every
 //! manifest entry and checks content hashes; a torn final manifest line
 //! (the flood itself was killed mid-write) is tolerated and reported.
+//! `dup` proves the perceptual-identity fast path end to end: a
+//! recompressed copy's first transformed serve must come back
+//! `x-served-path: sig-cached` and byte-identical to the original's.
+//! `search` probes the server's near-duplicate index with a local image.
 
 use crate::{flag_value, has_flag, CliResult};
 use puppies_core::{protect, OwnerKey, ProtectOptions};
@@ -54,8 +60,9 @@ pub fn cmd_net(args: &[String]) -> CliResult {
         Some("flood") => net_flood(&args[1..]),
         Some("verify") => net_verify(&args[1..]),
         Some("ready") => net_ready(&args[1..]),
+        Some("dup") => net_dup(&args[1..]),
         other => Err(format!(
-            "unknown net subcommand {other:?}; expected smoke|flood|verify|ready"
+            "unknown net subcommand {other:?}; expected smoke|flood|verify|ready|dup"
         )),
     }
 }
@@ -303,6 +310,97 @@ fn net_verify(args: &[String]) -> CliResult {
         verified += 1;
     }
     println!("verify: {verified} acknowledged upload(s) byte-identical after recovery ({torn} torn manifest line(s) ignored)");
+    Ok(())
+}
+
+/// `puppies net dup --addr <host:port>` — end-to-end check of the
+/// perceptual-identity fast path over the wire: upload an original, warm
+/// one transformed view, upload a byte-distinct recompressed copy of the
+/// same image, and require the copy's *first* transformed serve to come
+/// back `x-served-path: sig-cached` with bytes identical to the
+/// original's cached result. Finishes with a `/search` probe that must
+/// rank both photos as near-duplicates of the original bytes.
+fn net_dup(args: &[String]) -> CliResult {
+    use puppies_psp::net::client::WireServed;
+    let addr = addr_arg(args)?;
+    let mut client = connect_ready(addr, 10_000)?;
+
+    let (bytes, params) = fixture(23);
+    let original = client.upload(&bytes, &params).map_err(|e| e.to_string())?;
+    let t = Transformation::Rotate90;
+    let (orig_b, orig_p, _, _) = client
+        .download_transformed_traced(original.id, &t)
+        .map_err(|e| e.to_string())?;
+
+    // A client re-saving the downloaded photo: byte-distinct, same image.
+    let mut coeff = puppies_jpeg::CoeffImage::decode(&bytes).map_err(|e| e.to_string())?;
+    coeff.requantize(55);
+    let copy_bytes = coeff
+        .encode(&puppies_jpeg::EncodeOptions::default())
+        .map_err(|e| e.to_string())?;
+    if copy_bytes == bytes {
+        return Err("net dup: recompressed copy is not byte-distinct".into());
+    }
+    let copy = client
+        .upload(&copy_bytes, &params)
+        .map_err(|e| e.to_string())?;
+    let (dup_b, dup_p, _, served) = client
+        .download_transformed_traced(copy.id, &t)
+        .map_err(|e| e.to_string())?;
+    if served != WireServed::SigCached {
+        return Err(format!(
+            "net dup: copy's first transformed serve was not sig-cached (got {served:?})"
+        ));
+    }
+    if dup_b != orig_b || dup_p != orig_p {
+        return Err("net dup: sig-cached serve differs from the original's bytes".into());
+    }
+    println!(
+        "dup ok: first serve of the recompressed copy was sig-cached ({} bytes, byte-identical)",
+        dup_b.len()
+    );
+
+    let (sig, matches) = client
+        .search(&bytes, Some(&params))
+        .map_err(|e| e.to_string())?;
+    let ids: Vec<u64> = matches.iter().map(|(id, _)| id.0).collect();
+    if !ids.contains(&original.id.0) || !ids.contains(&copy.id.0) {
+        return Err(format!(
+            "net dup: /search for sig {sig:016x} missed the family (got ids {ids:?})"
+        ));
+    }
+    println!(
+        "search ok: sig {sig:016x} matched {} photo(s) including both family members",
+        matches.len()
+    );
+    Ok(())
+}
+
+/// `puppies search <probe.jpg> --addr <host:port> [--params <in.pup>]` —
+/// asks a serving PSP for stored photos perceptually near the probe
+/// image. The probe's private regions (if `--params` names them) are
+/// excluded from its signature, exactly as at upload time.
+pub fn cmd_search(args: &[String]) -> CliResult {
+    let probe_path = crate::positional(args, 0)?;
+    let addr = addr_arg(args)?;
+    let bytes = std::fs::read(probe_path).map_err(|e| format!("reading {probe_path}: {e}"))?;
+    let params = match flag_value(args, "--params") {
+        Some(p) => Some(std::fs::read(p).map_err(|e| format!("reading {p}: {e}"))?),
+        None => None,
+    };
+    let mut client = connect_ready(addr, 10_000)?;
+    let (sig, matches) = client
+        .search(&bytes, params.as_deref())
+        .map_err(|e| e.to_string())?;
+    println!("probe signature: {sig:016x}");
+    if matches.is_empty() {
+        println!("no near-duplicates stored");
+        return Ok(());
+    }
+    for (id, distance) in &matches {
+        println!("  photo {:>6}  hamming distance {distance}", id.0);
+    }
+    println!("{} near-duplicate(s)", matches.len());
     Ok(())
 }
 

@@ -76,6 +76,13 @@ fn render(scrape: &Scrape, prev: Option<&Scrape>, interval_ms: u64) -> String {
         value(scrape, "psp_ready"),
         value(scrape, "psp_net_connections"),
     ));
+    if let Some(entries) = scrape.get("psp_sig_index_entries") {
+        out.push_str(&format!(
+            "sig index: {entries:.0} entries, {:.0} family hit(s), {:.0} search(es)\n",
+            value(scrape, "psp_sig_hit_total"),
+            value(scrape, "psp_sig_search_total"),
+        ));
+    }
     let healthy = scrape.get("psp_cluster_backends_healthy");
     if let Some(h) = healthy {
         out.push_str(&format!(
@@ -90,8 +97,16 @@ fn render(scrape: &Scrape, prev: Option<&Scrape>, interval_ms: u64) -> String {
     endpoints.sort_unstable();
     if !endpoints.is_empty() {
         out.push_str(&format!(
-            "{:<12} {:>9} {:>7} {:>9} {:>9} {:>7} {:>7} {:>7}\n",
-            "endpoint", "requests", "errors", "req/s", "p99 ms", "err %", "cache %", "coeff %"
+            "{:<12} {:>9} {:>7} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7}\n",
+            "endpoint",
+            "requests",
+            "errors",
+            "req/s",
+            "p99 ms",
+            "err %",
+            "cache %",
+            "coeff %",
+            "sig %"
         ));
     }
     let slo = |name: &str, ep: &str| value(scrape, &format!("{name}{{endpoint=\"{ep}\"}}"));
@@ -110,7 +125,7 @@ fn render(scrape: &Scrape, prev: Option<&Scrape>, interval_ms: u64) -> String {
                 .unwrap_or(-1.0)
         };
         out.push_str(&format!(
-            "{ep:<12} {:>9.0} {:>7.0} {:>9.2} {:>9.2} {:>7} {:>7} {:>7}\n",
+            "{ep:<12} {:>9.0} {:>7.0} {:>9.2} {:>9.2} {:>7} {:>7} {:>7} {:>7}\n",
             slo("psp_slo_requests_total", ep),
             slo("psp_slo_errors_total", ep),
             slo("psp_slo_window_request_rate", ep),
@@ -118,6 +133,7 @@ fn render(scrape: &Scrape, prev: Option<&Scrape>, interval_ms: u64) -> String {
             pct(slo("psp_slo_window_error_rate", ep)),
             pct(opt("psp_slo_window_cache_hit_rate")),
             pct(opt("psp_slo_window_coeff_serve_rate")),
+            pct(opt("psp_slo_window_sig_hit_rate")),
         ));
     }
     out

@@ -19,6 +19,10 @@
 //! * [`serving`] — the PSP cache-coherence oracle: cached transform
 //!   results must be byte-identical to freshly computed ones, across
 //!   content addressing, eviction pressure, and the in-place path;
+//! * [`identity`] — the perceptual-identity oracle: recompression keeps a
+//!   protected photo inside its signature family, geometry leaves it,
+//!   and content changes confined to the private ROI cannot move a
+//!   single signature bit (blindness, checked exactly);
 //! * [`netcheck`] — the network round-trip oracle: a real `net::Server`
 //!   on loopback must serve every transformation byte-identical to the
 //!   in-process path, and recover every upload across a restart;
@@ -36,6 +40,7 @@ pub mod cluster;
 pub mod differential;
 pub mod fuzz;
 pub mod golden;
+pub mod identity;
 pub mod netcheck;
 pub mod oracle;
 pub mod report;
@@ -59,7 +64,7 @@ pub struct HarnessConfig {
     /// Scale factor for fuzz case counts (1 = the default campaign).
     pub fuzz_scale: usize,
     /// Suites to skip, by name (`golden`, `oracle`, `differential`,
-    /// `fuzz`, `serving`, `netcheck`, `cluster`).
+    /// `fuzz`, `serving`, `identity`, `netcheck`, `cluster`).
     pub skip: Vec<String>,
 }
 
@@ -109,6 +114,10 @@ pub fn run_all(cfg: &HarnessConfig) -> std::io::Result<Report> {
     if !cfg.skipped("serving") {
         let _suite = puppies_obs::span("conformance.serving", "conformance");
         report.merge(serving::run_serving());
+    }
+    if !cfg.skipped("identity") {
+        let _suite = puppies_obs::span("conformance.identity", "conformance");
+        report.merge(identity::run_identity());
     }
     if !cfg.skipped("netcheck") {
         let _suite = puppies_obs::span("conformance.netcheck", "conformance");

@@ -53,6 +53,34 @@ pub(crate) fn fnv64_chain(seed: u64, bytes: &[u8]) -> u64 {
     h
 }
 
+/// Word-at-a-time content hash for bulk payloads (stored bitstreams):
+/// FNV-style multiply/xor over 8-byte little-endian chunks plus a
+/// length-mixed tail. Byte-at-a-time FNV tops out around 1 GB/s — a real
+/// tax on the upload door, which hashes every incoming image — while the
+/// chunked walk keeps the same distribution quality for the runtime-only
+/// keys it feeds (byte interner, decode memo, transform-cache content
+/// addresses; every consumer verifies candidates by byte comparison, so
+/// a collision costs a compare, never a wrong answer). Not FNV-1a
+/// compatible, and never persisted: WAL checksums and conformance
+/// manifests keep their own byte-exact hashes.
+pub(crate) fn content_hash64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET ^ (bytes.len() as u64).wrapping_mul(FNV_PRIME);
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        h = (h ^ word).wrapping_mul(FNV_PRIME);
+        // A second mix step: one multiply leaves the low bytes of `word`
+        // underdiffused into the high bits the shard/bucket maps use.
+        h ^= h >> 29;
+    }
+    let mut tail = 0u64;
+    for (i, &b) in chunks.remainder().iter().enumerate() {
+        tail |= (b as u64) << (8 * i);
+    }
+    h = (h ^ tail).wrapping_mul(FNV_PRIME);
+    h ^ (h >> 31)
+}
+
 /// A point-in-time snapshot of a [`TransformCache`]'s counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
@@ -196,6 +224,23 @@ impl TransformCache {
                 puppies_obs::counted!("psp.cache.miss");
                 None
             }
+        }
+    }
+
+    /// Two-level lookup for the perceptual-identity layer: the exact
+    /// content key is checked first; only on a miss, and only when the
+    /// photo belongs to a signature family rooted at a *different*
+    /// content key, is the family key consulted. Returns the pair plus
+    /// whether the family key (level 2) served it — the caller owns the
+    /// `psp.sig.hit` / `psp.sig.miss` accounting, since only it knows
+    /// whether a family existed to consult.
+    pub fn get_two_level(&self, exact: u64, family: Option<u64>) -> Option<(ServedPair, bool)> {
+        if let Some(pair) = self.get(exact) {
+            return Some((pair, false));
+        }
+        match family {
+            Some(f) if f != exact => self.get(f).map(|pair| (pair, true)),
+            _ => None,
         }
     }
 
@@ -437,6 +482,24 @@ mod tests {
         let s = cache.stats();
         assert_eq!((s.entries, s.bytes), (1, 20));
         assert_eq!(cache.get(1).unwrap().0.as_ref(), &[2u8; 20][..]);
+    }
+
+    #[test]
+    fn two_level_prefers_exact_then_falls_back_to_family() {
+        let cache = TransformCache::new(1024);
+        cache.insert(100, blob(4, 1), blob(0, 0));
+        // Exact hit never consults the family key.
+        let (pair, via_family) = cache.get_two_level(100, Some(200)).unwrap();
+        assert_eq!(pair.0.as_ref(), &[1u8; 4][..]);
+        assert!(!via_family);
+        // Exact miss + family resident: level-2 hit.
+        let (pair, via_family) = cache.get_two_level(999, Some(100)).unwrap();
+        assert_eq!(pair.0.as_ref(), &[1u8; 4][..]);
+        assert!(via_family);
+        // Family equal to the exact key is not re-probed.
+        assert!(cache.get_two_level(999, Some(999)).is_none());
+        // No family: plain miss.
+        assert!(cache.get_two_level(999, None).is_none());
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod client;
 pub mod cluster;
 pub mod net;
 pub mod sha256;
+pub mod sig;
 pub mod store;
 pub mod store_disk;
 pub mod wal;
@@ -32,6 +33,7 @@ pub use client::{Receiver, Sender};
 pub use cluster::fault::{Fault, FaultPlan};
 pub use cluster::{ClusterConfig, ClusterPhotoId, ShardedPspCluster};
 use puppies_core::KeyGrant;
+pub use sig::{coeff_signature, hamming, SigEntry, SigIndex, SigMatch, NEAR_DUP_DISTANCE};
 pub use store::{CacheOutcome, PhotoId, PspConfig, PspServer, ServedPath};
 pub use store_disk::{DiskStore, RecoveryStats};
 pub use wal::{Wal, WalRecord};

@@ -37,6 +37,10 @@ pub enum WireServed {
     PixelFallback,
     /// `x-served-path: cached` — transform-result cache, no codec work.
     Cached,
+    /// `x-served-path: sig-cached` — transform-result cache via the
+    /// perceptual-identity (signature family) key: this photo is a
+    /// recompressed near-duplicate of a photo already served.
+    SigCached,
     /// Header absent or unrecognized (an older server).
     Unknown,
 }
@@ -47,6 +51,7 @@ impl WireServed {
             "coeff-domain" => WireServed::CoeffDomain,
             "pixel-fallback" => WireServed::PixelFallback,
             "cached" => WireServed::Cached,
+            "sig-cached" => WireServed::SigCached,
             _ => WireServed::Unknown,
         }
     }
@@ -327,6 +332,42 @@ impl Client {
             out.push((sender, ciphertext.to_vec()));
         }
         Ok(out)
+    }
+
+    /// `POST /search` — near-duplicate search by probe image. The probe
+    /// is hashed server-side from public data only (its params blob, when
+    /// given, masks the private ROIs); returns `(probe signature,
+    /// matches)` with each match a `(photo id, Hamming distance)` pair,
+    /// nearest first.
+    ///
+    /// # Errors
+    /// Fails on transport errors or undecodable probes.
+    pub fn search(
+        &mut self,
+        bytes: &[u8],
+        params: Option<&[u8]>,
+    ) -> Result<(u64, Vec<(PhotoId, u32)>)> {
+        let body = proto::encode_pair(bytes, params.unwrap_or(&[]));
+        let (_, resp) = self.expect("POST", "/search", None, &body, 200)?;
+        let text = String::from_utf8_lossy(&resp);
+        let mut lines = text.lines();
+        let sig = lines
+            .next()
+            .and_then(|l| l.strip_prefix("sig:"))
+            .and_then(|v| u64::from_str_radix(v, 16).ok())
+            .ok_or_else(|| PspError::Channel("search response missing sig".into()))?;
+        let mut matches = Vec::new();
+        for line in lines {
+            let mut parts = line.split_whitespace();
+            let (Some(id), Some(dist)) = (parts.next(), parts.next()) else {
+                continue;
+            };
+            let (Ok(id), Ok(dist)) = (id.parse::<u64>(), dist.parse::<u32>()) else {
+                return Err(PspError::Channel(format!("bad search line: {line}")));
+            };
+            matches.push((PhotoId(id), dist));
+        }
+        Ok((sig, matches))
     }
 
     /// `GET /stats` as `key:value` lines.

@@ -528,6 +528,7 @@ fn endpoint_key(req: &Request) -> &'static str {
         ("GET", Some("photos"), Some(_), Some("params")) => "params",
         ("POST", Some("photos"), Some(_), Some("transformed")) => "transformed",
         ("POST", Some("photos"), Some(_), Some("transform")) => "transform",
+        ("POST", Some("search"), None, None) => "search",
         (_, Some("grants"), ..) => "grants",
         (_, Some("receivers"), ..) => "receivers",
         _ => "other",
@@ -542,6 +543,7 @@ fn endpoint_metric(key: &'static str) -> &'static str {
         "params" => "psp.net.params_us",
         "transformed" => "psp.net.transformed_us",
         "transform" => "psp.net.transform_us",
+        "search" => "psp.net.search_us",
         "grants" => "psp.net.grants_us",
         "receivers" => "psp.net.receivers_us",
         _ => "psp.net.other_us",
@@ -576,6 +578,11 @@ fn observe_request(
             coeff_served: match served {
                 Some("coeff-domain") => Some(true),
                 Some("pixel-fallback") => Some(false),
+                _ => None,
+            },
+            sig_hit: match served {
+                Some("sig-cached") => Some(true),
+                Some("cached") => Some(false),
                 _ => None,
             },
         },
@@ -664,6 +671,7 @@ fn route(shared: &Shared, req: &Request) -> Response {
             with_id(id, |id| download_transformed(shared, req, id))
         }
         ("POST", ["photos", id, "transform"]) => with_id(id, |id| transform(shared, req, id)),
+        ("POST", ["search"]) => search(shared, req),
         ("POST", ["receivers"]) => register_receiver(shared, req),
         ("POST", ["grants"]) => deposit_grant(shared, req),
         ("GET", ["grants"]) => drain_grants(shared, req),
@@ -764,12 +772,13 @@ fn stats(shared: &Shared) -> Response {
     let server = shared.store().server();
     let cache = server.cache_stats();
     Response::text(format!(
-        "photos:{}\ncache_hits:{}\ncache_misses:{}\ncache_entries:{}\ncache_bytes:{}\n",
+        "photos:{}\ncache_hits:{}\ncache_misses:{}\ncache_entries:{}\ncache_bytes:{}\nsig_index:{}\n",
         server.len(),
         cache.hits,
         cache.misses,
         cache.entries,
         cache.bytes,
+        server.sig_index_len(),
     ))
 }
 
@@ -780,6 +789,31 @@ fn upload(shared: &Shared, req: &Request) -> Response {
     respond(shared.store().upload(bytes, params), |id| {
         Response::text(format!("id:{}\ntoken:{}\n", id.0, shared.owner_token(id)))
     })
+}
+
+/// `POST /search` — near-duplicate lookup over the whole store. The body
+/// is an [`proto::encode_pair`] of (probe image bytes, public-parameter
+/// blob; empty for none). The probe is hashed exactly like an upload —
+/// public data only — and matched against the sublinear signature index.
+/// Response: `sig:<hex>` then one `<photo id> <hamming distance>` line
+/// per match, nearest first.
+fn search(shared: &Shared, req: &Request) -> Response {
+    let Some((bytes, params)) = proto::decode_pair(&req.body) else {
+        return Response::status(400, "bad search body");
+    };
+    let params = (!params.is_empty()).then_some(params);
+    let Some(sig) = crate::store::PspServer::probe_signature(&bytes, params.as_deref()) else {
+        return Response::status(400, "probe image did not decode");
+    };
+    let matches = shared
+        .store()
+        .server()
+        .search_similar(sig, crate::sig::NEAR_DUP_DISTANCE, 256);
+    let mut body = format!("sig:{sig:016x}\n");
+    for (id, distance) in matches {
+        body.push_str(&format!("{} {distance}\n", id.0));
+    }
+    Response::text(body)
 }
 
 fn download_transformed(shared: &Shared, req: &Request, id: PhotoId) -> Response {

@@ -23,12 +23,13 @@ use std::time::Instant;
 
 /// The endpoints tracked, in exposition order. `other` absorbs anything
 /// unrecognized so the label set stays bounded.
-pub const ENDPOINTS: [&str; 8] = [
+pub const ENDPOINTS: [&str; 9] = [
     "upload",
     "download",
     "params",
     "transformed",
     "transform",
+    "search",
     "grants",
     "receivers",
     "other",
@@ -69,6 +70,9 @@ pub struct Sample {
     /// Transform door only, cache misses only: coefficient-domain
     /// (`true`) vs pixel-fallback (`false`).
     pub coeff_served: Option<bool>,
+    /// Transform door only, cache hits only: served via the perceptual
+    /// signature (family) key (`true`) vs the exact content key (`false`).
+    pub sig_hit: Option<bool>,
 }
 
 /// A slot's epoch tag is `epoch + 1` so the zero-initialized ring reads
@@ -82,6 +86,8 @@ struct Slot {
     cache_lookups: AtomicU64,
     coeff: AtomicU64,
     coeff_lookups: AtomicU64,
+    sig_hits: AtomicU64,
+    sig_lookups: AtomicU64,
     latency: Histogram,
 }
 
@@ -93,6 +99,8 @@ impl Slot {
         self.cache_lookups.store(0, Ordering::Relaxed);
         self.coeff.store(0, Ordering::Relaxed);
         self.coeff_lookups.store(0, Ordering::Relaxed);
+        self.sig_hits.store(0, Ordering::Relaxed);
+        self.sig_lookups.store(0, Ordering::Relaxed);
         self.latency.reset();
     }
 }
@@ -118,6 +126,10 @@ pub struct WindowStats {
     pub cache_hit_rate: Option<f64>,
     /// Coeff-domain serves / (coeff + pixel) misses, transform door only.
     pub coeff_serve_rate: Option<f64>,
+    /// Signature-family hits / cache hits, transform door only — the
+    /// share of cached serves that only the perceptual-identity key could
+    /// satisfy.
+    pub sig_hit_rate: Option<f64>,
 }
 
 /// Cumulative + windowed view of one endpoint.
@@ -184,6 +196,12 @@ impl Tracker {
                 slot.coeff.fetch_add(1, Ordering::Relaxed);
             }
         }
+        if let Some(sig) = sample.sig_hit {
+            slot.sig_lookups.fetch_add(1, Ordering::Relaxed);
+            if sig {
+                slot.sig_hits.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         self.requests_total.fetch_add(1, Ordering::Relaxed);
         if !sample.ok {
             slot.errors.fetch_add(1, Ordering::Relaxed);
@@ -203,6 +221,7 @@ impl Tracker {
         let mut w = WindowStats::default();
         let merged = Histogram::new();
         let (mut hits, mut lookups, mut coeff, mut coeff_lookups) = (0u64, 0u64, 0u64, 0u64);
+        let (mut sig_hits, mut sig_lookups) = (0u64, 0u64);
         let mut live = 0u64;
         for s in self.live_slots(epoch) {
             live += 1;
@@ -212,6 +231,8 @@ impl Tracker {
             lookups += s.cache_lookups.load(Ordering::Relaxed);
             coeff += s.coeff.load(Ordering::Relaxed);
             coeff_lookups += s.coeff_lookups.load(Ordering::Relaxed);
+            sig_hits += s.sig_hits.load(Ordering::Relaxed);
+            sig_lookups += s.sig_lookups.load(Ordering::Relaxed);
             merged.merge(&s.latency);
         }
         // Idle slots never get claimed, so count covered time from the
@@ -230,6 +251,9 @@ impl Tracker {
         }
         if coeff_lookups > 0 {
             w.coeff_serve_rate = Some(coeff as f64 / coeff_lookups as f64);
+        }
+        if sig_lookups > 0 {
+            w.sig_hit_rate = Some(sig_hits as f64 / sig_lookups as f64);
         }
         SloSnapshot {
             requests_total: self.requests_total.load(Ordering::Relaxed),
@@ -393,6 +417,12 @@ impl SloRegistry {
             "coeff-domain share of uncached transforms over the rolling window",
             &|s| s.window.coeff_serve_rate,
         );
+        gauge(
+            &mut out,
+            "psp_slo_window_sig_hit_rate",
+            "signature-family share of cached transform serves over the rolling window",
+            &|s| s.window.sig_hit_rate,
+        );
         out
     }
 }
@@ -496,6 +526,7 @@ mod tests {
                     latency_us: 200,
                     cache_hit: Some(hit),
                     coeff_served: if hit { None } else { Some(true) },
+                    sig_hit: if hit { Some(false) } else { None },
                 },
             );
         }
@@ -507,11 +538,48 @@ mod tests {
                 latency_us: 900,
                 cache_hit: Some(false),
                 coeff_served: Some(false),
+                sig_hit: None,
             },
         );
         let w = reg.snapshot_at(0, "transformed").window;
         assert_eq!(w.cache_hit_rate, Some(0.2));
         assert_eq!(w.coeff_serve_rate, Some(0.75));
+        assert_eq!(w.sig_hit_rate, Some(0.0), "one cached serve, exact key");
+    }
+
+    #[test]
+    fn sig_hit_rate_tracks_family_served_share() {
+        let reg = SloRegistry::default();
+        // Three cached serves: two via the signature-family key.
+        for sig in [true, true, false] {
+            reg.record_at(
+                0,
+                "transformed",
+                Sample {
+                    ok: true,
+                    latency_us: 40,
+                    cache_hit: Some(true),
+                    coeff_served: None,
+                    sig_hit: Some(sig),
+                },
+            );
+        }
+        let w = reg.snapshot_at(0, "transformed").window;
+        assert_eq!(w.cache_hit_rate, Some(1.0));
+        assert!((w.sig_hit_rate.unwrap() - 2.0 / 3.0).abs() < 1e-9);
+        let text = reg.render_prometheus();
+        assert!(text.contains("psp_slo_window_sig_hit_rate{endpoint=\"transformed\"}"));
+        // The search endpoint is a first-class label.
+        reg.record_at(
+            0,
+            "search",
+            Sample {
+                ok: true,
+                latency_us: 10,
+                ..Sample::default()
+            },
+        );
+        assert_eq!(reg.snapshot_at(0, "search").requests_total, 1);
     }
 
     #[test]
@@ -536,6 +604,7 @@ mod tests {
                 latency_us: 5000,
                 cache_hit: Some(false),
                 coeff_served: Some(true),
+                sig_hit: None,
             },
         );
         let text = reg.render_prometheus();

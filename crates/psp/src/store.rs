@@ -15,19 +15,24 @@
 //!   [`PspServer::download`] clones a pointer under a brief read lock
 //!   instead of memcpying the bitstream.
 //! - **Transform-result cache** — finished transforms are cached
-//!   content-addressed (FNV over source bytes + params + the canonical
-//!   transformation encoding, see [`crate::cache`]), so repeat transform
-//!   traffic never touches the codec.
+//!   content-addressed (a word-at-a-time hash over source bytes, chained
+//!   over params + the canonical transformation encoding, see
+//!   [`crate::cache`]), so repeat transform traffic never touches the
+//!   codec.
 //! - **Decode memo** — transform misses on the same hot photo share one
 //!   entropy decode.
 //! - **Batch APIs** — [`PspServer::download_batch`] /
 //!   [`PspServer::transform_batch`] fan independent requests across the
 //!   ambient [`puppies_core::parallel`] worker pool.
 
-use crate::cache::{fnv64, fnv64_chain, CacheStats, DecodeMemo, ServedPair, TransformCache};
+use crate::cache::{
+    content_hash64, fnv64, fnv64_chain, CacheStats, DecodeMemo, ServedPair, TransformCache,
+};
+use crate::sig::{coeff_signature, SigEntry, SigIndex, SigMatch};
 use crate::{PspError, Result};
 use parking_lot::{Mutex, RwLock};
 use puppies_core::PublicParams;
+use puppies_image::Rect;
 use puppies_jpeg::{CoeffImage, EncodeOptions};
 use puppies_transform::Transformation;
 use std::collections::{HashMap, VecDeque};
@@ -45,18 +50,25 @@ struct StoredPhoto {
     /// Opaque public-parameter blob (the PSP never parses it — it lives in
     /// the image "description").
     params: Arc<[u8]>,
-    /// `(fnv(bytes), fnv(bytes ‖ params))`, computed lazily on the first
-    /// transform so the upload path never hashes the full bitstream. The
-    /// first component keys the decode memo (decode depends only on the
-    /// bytes), the second is the photo's content address for cache keys.
+    /// `(content_hash64(bytes), chain(that, params))`, primed at upload
+    /// from the single hashing pass the byte interner already pays — the
+    /// bitstream is never hashed twice. The first component keys the
+    /// decode memo (decode depends only on the bytes), the second is the
+    /// photo's content address for transform-cache and signature-memo
+    /// keys.
     hashes: OnceLock<(u64, u64)>,
+    /// Perceptual identity: `Some((signature, family-root content key))`
+    /// once the upload-time indexer has run and the bytes decoded; `None`
+    /// inside when the bytes are not a decodable JPEG. Unset while the
+    /// signature layer is disabled (see [`PspConfig::signature`]).
+    identity: OnceLock<Option<(u64, u64)>>,
 }
 
 impl StoredPhoto {
     fn hashes(&self) -> (u64, u64) {
         *self.hashes.get_or_init(|| {
-            let bytes_fnv = fnv64(&self.bytes);
-            (bytes_fnv, fnv64_chain(bytes_fnv, &self.params))
+            let bytes_key = content_hash64(&self.bytes);
+            (bytes_key, fnv64_chain(bytes_key, &self.params))
         })
     }
 
@@ -94,6 +106,10 @@ pub enum ServedPath {
     PixelFallback,
     /// Served from the transform-result cache; no codec ran.
     Cached,
+    /// Served from the transform-result cache via the *perceptual-identity*
+    /// key: this photo is a recompressed near-duplicate of another stored
+    /// photo whose result was already cached. No codec ran.
+    SigCached,
 }
 
 impl ServedPath {
@@ -104,6 +120,7 @@ impl ServedPath {
             ServedPath::CoeffDomain => "coeff-domain",
             ServedPath::PixelFallback => "pixel-fallback",
             ServedPath::Cached => "cached",
+            ServedPath::SigCached => "sig-cached",
         }
     }
 }
@@ -149,6 +166,66 @@ struct Shard {
     log: Mutex<VecDeque<RequestEntry>>,
 }
 
+/// One interner bucket: candidate allocations sharing a hash, each with
+/// its reference count.
+type InternBucket = Vec<(Arc<[u8]>, usize)>;
+
+/// What the signature memo remembers per content address:
+/// `Some((signature, width, height))` for decodable content, `None` for
+/// content whose decode failed.
+type SigMemoEntry = Option<(u64, u32, u32)>;
+
+/// Refcounted exact-duplicate byte sharing for the in-memory store:
+/// uploads with identical bytes share one `Arc<[u8]>` allocation (the
+/// memory-side mirror of the disk store's SHA-addressed segments), and the
+/// aggregate footprint counts each distinct allocation once. Buckets are
+/// keyed by [`content_hash64`] and verified by byte comparison, so hash
+/// collisions cost a compare, never a false share.
+#[derive(Debug, Default)]
+struct ByteInterner {
+    table: Mutex<HashMap<u64, InternBucket>>,
+}
+
+impl ByteInterner {
+    /// Returns the canonical shared `Arc` for `bytes`, whether this call
+    /// added a fresh allocation (the caller accounts footprint only then),
+    /// and the content hash it keyed the bucket by — the caller reuses it
+    /// so each uploaded bitstream is hashed exactly once.
+    fn intern(&self, bytes: Arc<[u8]>) -> (Arc<[u8]>, bool, u64) {
+        let key = content_hash64(&bytes);
+        let mut table = self.table.lock();
+        let bucket = table.entry(key).or_default();
+        for (existing, refs) in bucket.iter_mut() {
+            if **existing == *bytes {
+                *refs += 1;
+                return (existing.clone(), false, key);
+            }
+        }
+        bucket.push((bytes.clone(), 1));
+        (bytes, true, key)
+    }
+
+    /// Drops one reference to `bytes` (bucketed under `key`, the hash
+    /// `intern` returned for them); returns whether the allocation left
+    /// the interner (the caller subtracts footprint only then).
+    fn release(&self, key: u64, bytes: &Arc<[u8]>) -> bool {
+        let mut table = self.table.lock();
+        if let Some(bucket) = table.get_mut(&key) {
+            if let Some(pos) = bucket.iter().position(|(e, _)| Arc::ptr_eq(e, bytes)) {
+                bucket[pos].1 -= 1;
+                if bucket[pos].1 > 0 {
+                    return false;
+                }
+                bucket.swap_remove(pos);
+                if bucket.is_empty() {
+                    table.remove(&key);
+                }
+            }
+        }
+        true
+    }
+}
+
 /// Construction-time tuning for [`PspServer`].
 #[derive(Debug, Clone)]
 pub struct PspConfig {
@@ -161,6 +238,11 @@ pub struct PspConfig {
     /// Request-log ring capacity per server (clamped to ≥1); defaults to
     /// [`REQUEST_LOG_CAPACITY`].
     pub request_log_capacity: usize,
+    /// Whether the perceptual-identity layer runs: upload-time signature
+    /// extraction, near-duplicate indexing, decode-memo pre-warming and
+    /// the second-level (signature-family) transform-cache key. On by
+    /// default; benches disable it to measure the exact-key-only baseline.
+    pub signature: bool,
 }
 
 impl Default for PspConfig {
@@ -170,6 +252,7 @@ impl Default for PspConfig {
             cache_budget_bytes: 32 << 20,
             decode_memo_entries: 8,
             request_log_capacity: REQUEST_LOG_CAPACITY,
+            signature: true,
         }
     }
 }
@@ -205,6 +288,20 @@ pub struct PspServer {
     memo: DecodeMemo,
     /// Request-log ring capacity ([`PspConfig::request_log_capacity`]).
     log_capacity: usize,
+    /// Whether the perceptual-identity layer is on
+    /// ([`PspConfig::signature`]).
+    signature: bool,
+    /// The near-duplicate signature index (see [`crate::sig`]).
+    index: Mutex<SigIndex>,
+    /// Content-addressed signature memo: `content_fnv → Some((sig, w, h))`
+    /// for contents whose upload-time decode succeeded, `None` for
+    /// contents that failed to decode. Re-uploads of bytes the server has
+    /// already seen (the dominant duplicate workload) skip the JPEG decode
+    /// entirely — the signature is a pure function of `(bytes, params)`,
+    /// which is exactly what `content_fnv` addresses.
+    sig_memo: Mutex<HashMap<u64, SigMemoEntry>>,
+    /// Exact-duplicate byte sharing across stored photos.
+    interner: ByteInterner,
 }
 
 impl Default for PspServer {
@@ -233,6 +330,10 @@ impl PspServer {
             cache: TransformCache::new(config.cache_budget_bytes),
             memo: DecodeMemo::new(config.decode_memo_entries),
             log_capacity: config.request_log_capacity.max(1),
+            signature: config.signature,
+            index: Mutex::new(SigIndex::new()),
+            sig_memo: Mutex::new(HashMap::new()),
+            interner: ByteInterner::default(),
         }
     }
 
@@ -291,7 +392,118 @@ impl PspServer {
                 self.footprint.load(Ordering::Relaxed) as i64,
             );
             puppies_obs::gauge_set("psp.photos", self.len() as i64);
+            if self.signature {
+                puppies_obs::gauge_set("psp.sig.index_entries", self.index.lock().len() as i64);
+            }
         }
+    }
+
+    /// Runs the upload-time perceptual-identity pass for a freshly stored
+    /// photo: decode, signature extraction over public data, family
+    /// resolution against the near-duplicate index, decode-memo pre-warm
+    /// for flagged near-duplicates, and index insertion. Records the
+    /// photo's `(signature, family root)` on its `identity` slot. A blob
+    /// that does not decode simply stays unindexed — the store accepts
+    /// arbitrary bytes and the identity layer is best-effort by design.
+    fn index_photo(&self, id: PhotoId, stored: &StoredPhoto) {
+        if !self.signature {
+            return;
+        }
+        // The signature is a pure function of `(bytes, params)` —
+        // precisely what `content_fnv` addresses — so a re-upload of
+        // content the server has already hashed never pays the JPEG
+        // decode again. Re-uploading identical bytes is the dominant
+        // duplicate workload and must stay as cheap as storing them.
+        let (bytes_fnv, content_fnv) = stored.hashes();
+        let memoized = self.sig_memo.lock().get(&content_fnv).copied();
+        let (sig, w, h, coeff) = match memoized {
+            Some(None) => {
+                // Known-undecodable content: stays unindexed, no retry.
+                let _ = stored.identity.set(None);
+                return;
+            }
+            Some(Some((sig, w, h))) => {
+                puppies_obs::counted!("psp.sig.memo_hit");
+                (sig, w, h, None)
+            }
+            None => {
+                let coeff = match CoeffImage::decode(&stored.bytes) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        self.sig_memo.lock().insert(content_fnv, None);
+                        let _ = stored.identity.set(None);
+                        return;
+                    }
+                };
+                let rois: Vec<Rect> = PublicParams::from_bytes(&stored.params)
+                    .map(|p| p.rois.iter().map(|r| r.rect).collect())
+                    .unwrap_or_default();
+                let sig = coeff_signature(&coeff, &rois);
+                puppies_obs::counted!("psp.sig.computed");
+                let (w, h) = (coeff.width(), coeff.height());
+                self.sig_memo.lock().insert(content_fnv, Some((sig, w, h)));
+                (sig, w, h, Some(coeff))
+            }
+        };
+        let params_fnv = fnv64(&stored.params);
+        let family = {
+            let mut index = self.index.lock();
+            let family = index.family_of(sig, params_fnv, w, h);
+            let family_fnv = match &family {
+                Some(root) => root.family_fnv,
+                None => content_fnv,
+            };
+            index.insert(SigEntry {
+                sig,
+                id,
+                content_fnv,
+                family_fnv,
+                params_fnv,
+                width: w,
+                height: h,
+            });
+            let _ = stored.identity.set(Some((sig, family_fnv)));
+            family
+        };
+        if let Some(root) = family {
+            if root.content_fnv == content_fnv {
+                puppies_obs::counted!("psp.sig.dedup_exact");
+            } else {
+                puppies_obs::counted!("psp.sig.neardup");
+                // A recompressed copy of a known photo is about to draw the
+                // same transform traffic its family does: pre-warm the
+                // decode memo with the decode we already paid for, so a
+                // cold family (nothing cached yet) skips the entropy
+                // decode on this copy's first transform miss. (A re-upload
+                // served from the signature memo has no fresh decode to
+                // donate — and its first copy already pre-warmed.)
+                if let Some(coeff) = coeff {
+                    self.memo.insert(bytes_fnv, Arc::new(coeff));
+                    puppies_obs::counted!("psp.sig.prewarm");
+                }
+            }
+        }
+    }
+
+    /// Removes a replaced photo's index entry and byte allocation; called
+    /// with the `StoredPhoto` that just left the map.
+    fn retire_photo(&self, id: PhotoId, old: &StoredPhoto) {
+        if let Some(Some((sig, _))) = old.identity.get() {
+            self.index.lock().remove(*sig, id);
+        }
+        let (bytes_key, content_key) = old.hashes();
+        if self.interner.release(bytes_key, &old.bytes) {
+            self.footprint
+                .fetch_sub(old.bytes.len() as u64, Ordering::Relaxed);
+            // Last copy of these bytes is gone — drop the signature memo
+            // entry with it so churn workloads don't accumulate hashes of
+            // content the store no longer holds.
+            if self.signature {
+                self.sig_memo.lock().remove(&content_key);
+            }
+        }
+        self.footprint
+            .fetch_sub(old.params.len() as u64, Ordering::Relaxed);
     }
 
     /// Uploads a photo with its public-parameter blob; returns its id.
@@ -327,15 +539,29 @@ impl PspServer {
                 Err(seen) => cur = seen,
             }
         };
+        // Exact-duplicate sharing: identical bytes resolve to one shared
+        // allocation and the aggregate footprint counts it once (the
+        // per-photo logical size is unchanged).
+        let (shared, fresh, bytes_key) = self.interner.intern(bytes.into());
         let stored = Arc::new(StoredPhoto {
-            bytes: bytes.into(),
+            bytes: shared,
             params: params.into(),
             hashes: OnceLock::new(),
+            identity: OnceLock::new(),
         });
+        // Prime the content address from the pass the interner already
+        // paid — nothing downstream (decode memo, transform cache,
+        // signature memo) ever re-hashes the bitstream.
+        let _ = stored
+            .hashes
+            .set((bytes_key, fnv64_chain(bytes_key, &stored.params)));
         let size = stored.size();
-        self.shard(id).photos.write().insert(id, stored);
-        self.footprint.fetch_add(size, Ordering::Relaxed);
+        let accounted =
+            stored.params.len() as u64 + if fresh { stored.bytes.len() as u64 } else { 0 };
+        self.shard(id).photos.write().insert(id, stored.clone());
+        self.footprint.fetch_add(accounted, Ordering::Relaxed);
         self.photo_count.fetch_add(1, Ordering::Relaxed);
+        self.index_photo(id, &stored);
         puppies_obs::counted!("psp.uploads");
         self.publish_gauges();
         self.log_request(
@@ -357,17 +583,23 @@ impl PspServer {
     /// id allocator past `id`, so post-recovery uploads never collide with
     /// restored photos. Not an API door: it bypasses the request log.
     pub fn restore_photo(&self, id: PhotoId, bytes: Vec<u8>, params: Vec<u8>) {
+        let (shared, fresh, bytes_key) = self.interner.intern(bytes.into());
         let stored = Arc::new(StoredPhoto {
-            bytes: bytes.into(),
+            bytes: shared,
             params: params.into(),
             hashes: OnceLock::new(),
+            identity: OnceLock::new(),
         });
-        let new_size = stored.size();
-        let replaced = self.shard(id).photos.write().insert(id, stored);
-        self.footprint.fetch_add(new_size, Ordering::Relaxed);
+        let _ = stored
+            .hashes
+            .set((bytes_key, fnv64_chain(bytes_key, &stored.params)));
+        let accounted =
+            stored.params.len() as u64 + if fresh { stored.bytes.len() as u64 } else { 0 };
+        let replaced = self.shard(id).photos.write().insert(id, stored.clone());
+        self.footprint.fetch_add(accounted, Ordering::Relaxed);
         match replaced {
             Some(old) => {
-                self.footprint.fetch_sub(old.size(), Ordering::Relaxed);
+                self.retire_photo(id, &old);
                 if let Some(&(bytes_fnv, _)) = old.hashes.get() {
                     self.memo.invalidate(bytes_fnv);
                 }
@@ -376,6 +608,7 @@ impl PspServer {
                 self.photo_count.fetch_add(1, Ordering::Relaxed);
             }
         }
+        self.index_photo(id, &stored);
         // Advance the allocator monotonically past the restored id; ids at
         // u64::MAX leave the allocator saturated (exhausted), never wrapped.
         let next = id.0.saturating_add(1);
@@ -530,32 +763,48 @@ impl PspServer {
     ) -> Result<(u64, CacheOutcome, ServedPath)> {
         let stored = self.lookup(id)?;
         let ((new_bytes, new_params), outcome, served) = self.serve_transform(&stored, t)?;
+        let (shared, fresh, bytes_key) = self.interner.intern(new_bytes);
         let replacement = Arc::new(StoredPhoto {
-            bytes: new_bytes,
+            bytes: shared,
             params: new_params,
             hashes: OnceLock::new(),
+            identity: OnceLock::new(),
         });
+        let _ = replacement
+            .hashes
+            .set((bytes_key, fnv64_chain(bytes_key, &replacement.params)));
         let new_size = replacement.size();
-        let old_size = stored.size();
+        let accounted = replacement.params.len() as u64
+            + if fresh {
+                replacement.bytes.len() as u64
+            } else {
+                0
+            };
         {
             let mut photos = self.shard(id).photos.write();
             match photos.get(&id) {
                 // The entry we computed from is still current: swap it.
                 Some(cur) if Arc::ptr_eq(cur, &stored) => {
-                    photos.insert(id, replacement);
+                    photos.insert(id, replacement.clone());
                 }
                 // Someone else transformed (or re-uploaded) this photo
                 // between our read and this write. Applying our result
                 // would silently drop theirs, so refuse like any other
                 // chain attempt.
                 Some(_) => {
+                    drop(photos);
+                    self.interner.release(bytes_key, &replacement.bytes);
                     return Err(PspError::Transform(
                         puppies_transform::TransformError::InvalidParameter(
                             "photo changed concurrently; transform chain not supported".into(),
                         ),
-                    ))
+                    ));
                 }
-                None => return Err(PspError::UnknownPhoto(id)),
+                None => {
+                    drop(photos);
+                    self.interner.release(bytes_key, &replacement.bytes);
+                    return Err(PspError::UnknownPhoto(id));
+                }
             }
         }
         // The old bitstream is gone from the store: drop its decode memo
@@ -568,8 +817,9 @@ impl PspServer {
         }
         // Two wrapping steps net out to `footprint + new - old`; the total
         // stays exact even though the two updates are not one atomic op.
-        self.footprint.fetch_add(new_size, Ordering::Relaxed);
-        self.footprint.fetch_sub(old_size, Ordering::Relaxed);
+        self.footprint.fetch_add(accounted, Ordering::Relaxed);
+        self.retire_photo(id, &stored);
+        self.index_photo(id, &replacement);
         Ok((new_size, outcome, served))
     }
 
@@ -582,9 +832,31 @@ impl PspServer {
         t: &Transformation,
     ) -> Result<(ServedPair, CacheOutcome, ServedPath)> {
         let (bytes_fnv, content_fnv) = stored.hashes();
-        let key = fnv64_chain(content_fnv, &t.canonical_bytes());
-        if let Some((bytes, params)) = self.cache.get(key) {
-            return Ok(((bytes, params), CacheOutcome::Hit, ServedPath::Cached));
+        let t_canonical = t.canonical_bytes();
+        let key = fnv64_chain(content_fnv, &t_canonical);
+        // Second-level key: a recompressed near-duplicate shares its family
+        // root's cached results. Results are only ever *inserted* under a
+        // photo's own exact key, so the family probe can only surface bytes
+        // the root itself produced — the root always serves its own bytes.
+        let family_key = match stored.identity.get() {
+            Some(Some((_, family_fnv))) if *family_fnv != content_fnv => {
+                Some(fnv64_chain(*family_fnv, &t_canonical))
+            }
+            _ => None,
+        };
+        match self.cache.get_two_level(key, family_key) {
+            Some(((bytes, params), true)) => {
+                puppies_obs::counted!("psp.sig.hit");
+                return Ok(((bytes, params), CacheOutcome::Hit, ServedPath::SigCached));
+            }
+            Some(((bytes, params), false)) => {
+                return Ok(((bytes, params), CacheOutcome::Hit, ServedPath::Cached));
+            }
+            None => {
+                if family_key.is_some() {
+                    puppies_obs::counted!("psp.sig.miss");
+                }
+            }
         }
         // Record the transformation in the public parameters. The PSP
         // treats the blob as opaque except for this append-only note; in
@@ -690,6 +962,57 @@ impl PspServer {
     /// bytes).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The perceptual signature recorded for a stored photo, or `None`
+    /// when its bytes did not decode (or the signature layer is off).
+    ///
+    /// # Errors
+    /// Fails for unknown photos.
+    pub fn signature_of(&self, id: PhotoId) -> Result<Option<u64>> {
+        self.lookup(id)
+            .map(|p| p.identity.get().copied().flatten().map(|(sig, _)| sig))
+    }
+
+    /// Computes the perceptual signature of an arbitrary candidate image
+    /// the way the store would at upload: decode, then hash the public
+    /// data only (private ROIs from `params`, when given, are masked out).
+    /// Returns `None` for undecodable bytes. This is the probe side of
+    /// [`PspServer::search_similar`] — a client hashes its query image
+    /// locally or ships the bytes to the `/search` door.
+    pub fn probe_signature(bytes: &[u8], params: Option<&[u8]>) -> Option<u64> {
+        let coeff = CoeffImage::decode(bytes).ok()?;
+        let rois: Vec<Rect> = params
+            .and_then(|p| PublicParams::from_bytes(p).ok())
+            .map(|p| p.rois.iter().map(|r| r.rect).collect())
+            .unwrap_or_default();
+        Some(coeff_signature(&coeff, &rois))
+    }
+
+    /// Sublinear near-duplicate search: every stored photo whose signature
+    /// sits within `max_dist` of `sig`, nearest first, truncated to
+    /// `limit`. Probes the four-band multi-index — per query it scans the
+    /// union of four buckets (expected `4·n/65536` candidates), never the
+    /// whole store.
+    pub fn search_similar(&self, sig: u64, max_dist: u32, limit: usize) -> Vec<(PhotoId, u32)> {
+        puppies_obs::counted!("psp.sig.search");
+        let matches: Vec<SigMatch> = self.index.lock().lookup(sig, max_dist);
+        matches
+            .into_iter()
+            .take(limit)
+            .map(|m| (m.entry.id, m.distance))
+            .collect()
+    }
+
+    /// Live entries in the near-duplicate signature index.
+    pub fn sig_index_len(&self) -> usize {
+        self.index.lock().len()
+    }
+
+    /// Total candidate entries scanned by index lookups so far — the
+    /// observable `bench psp --dup` uses to demonstrate sublinear search.
+    pub fn sig_index_scanned(&self) -> u64 {
+        self.index.lock().scanned()
     }
 
     /// The most recent requests served (oldest first), up to the
@@ -1088,6 +1411,135 @@ mod tests {
             .iter()
             .filter(|e| e.op == "upload" || e.op == "download")
             .all(|e| e.cache == CacheOutcome::NotApplicable));
+    }
+
+    /// Re-encodes a stored JPEG at `quality` — the "recompressed copy"
+    /// that circulates between platforms: different bytes, same picture.
+    fn recompress(bytes: &[u8], quality: u8) -> Vec<u8> {
+        let mut coeff = CoeffImage::decode(bytes).unwrap();
+        coeff.requantize(quality);
+        coeff.encode(&EncodeOptions::default()).unwrap()
+    }
+
+    fn protected_fixture(seed: u8) -> (Vec<u8>, Vec<u8>) {
+        let img = RgbImage::from_fn(96, 72, |x, y| {
+            Rgb::new(
+                seed.wrapping_add((x * 5 + y * 3) as u8),
+                ((x + 2 * y) % 240) as u8,
+                seed ^ (y as u8).wrapping_mul(7),
+            )
+        });
+        let key = OwnerKey::from_seed([seed.max(1); 32]);
+        let protected = protect(
+            &img,
+            &[Rect::new(24, 16, 32, 32)],
+            &key,
+            &ProtectOptions::default(),
+        )
+        .unwrap();
+        (protected.bytes, protected.params.to_bytes())
+    }
+
+    #[test]
+    fn recompressed_duplicate_serves_from_family_cache() {
+        let server = PspServer::new();
+        let (bytes, params) = protected_fixture(3);
+        let a = server.upload(bytes.clone(), params.clone()).unwrap();
+        let b = server
+            .upload(recompress(&bytes, 55), params.clone())
+            .unwrap();
+        assert_eq!(server.sig_index_len(), 2);
+        let t = Transformation::Rotate180;
+        // Warm the family root, then the duplicate's *first* serve is
+        // already a hit — via the signature family key — and returns the
+        // root's exact cached bytes.
+        let (pair_a, oa, sa) = server.download_transformed_traced(a, &t).unwrap();
+        assert_eq!((oa, sa), (CacheOutcome::Miss, ServedPath::CoeffDomain));
+        let (pair_b, ob, sb) = server.download_transformed_traced(b, &t).unwrap();
+        assert_eq!((ob, sb), (CacheOutcome::Hit, ServedPath::SigCached));
+        assert!(Arc::ptr_eq(&pair_a.0, &pair_b.0), "family shares the Arc");
+        assert_eq!(pair_a.1, pair_b.1);
+        // The root itself keeps serving its own entry under the exact key.
+        let (_, oa2, sa2) = server.download_transformed_traced(a, &t).unwrap();
+        assert_eq!((oa2, sa2), (CacheOutcome::Hit, ServedPath::Cached));
+    }
+
+    #[test]
+    fn signature_off_restores_exact_key_only_behaviour() {
+        let server = PspServer::with_config(PspConfig {
+            signature: false,
+            ..PspConfig::default()
+        });
+        let (bytes, params) = protected_fixture(3);
+        let a = server.upload(bytes.clone(), params.clone()).unwrap();
+        let b = server
+            .upload(recompress(&bytes, 55), params.clone())
+            .unwrap();
+        assert_eq!(server.sig_index_len(), 0);
+        assert_eq!(server.signature_of(a).unwrap(), None);
+        let t = Transformation::Rotate180;
+        let (_, oa, _) = server.download_transformed_traced(a, &t).unwrap();
+        let (_, ob, _) = server.download_transformed_traced(b, &t).unwrap();
+        assert_eq!(oa, CacheOutcome::Miss);
+        assert_eq!(ob, CacheOutcome::Miss, "no signature layer, no sharing");
+    }
+
+    #[test]
+    fn exact_duplicate_uploads_share_bytes_and_account_once() {
+        let server = PspServer::new();
+        let (bytes, params) = protected_fixture(9);
+        let a = server.upload(bytes.clone(), params.clone()).unwrap();
+        let b = server.upload(bytes.clone(), params.clone()).unwrap();
+        let da = server.download(a).unwrap();
+        let db = server.download(b).unwrap();
+        assert!(
+            Arc::ptr_eq(&da, &db),
+            "exact duplicates share one allocation"
+        );
+        // Bytes counted once, params per photo; per-photo logical size is
+        // unchanged.
+        assert_eq!(
+            server.storage_footprint_total(),
+            (bytes.len() + 2 * params.len()) as u64
+        );
+        assert_eq!(
+            server.storage_footprint(b).unwrap(),
+            bytes.len() + params.len()
+        );
+    }
+
+    #[test]
+    fn search_similar_finds_the_family_and_skips_strangers() {
+        let server = PspServer::new();
+        let (bytes, params) = protected_fixture(3);
+        let (other_bytes, other_params) = protected_fixture(200);
+        let a = server.upload(bytes.clone(), params.clone()).unwrap();
+        let b = server
+            .upload(recompress(&bytes, 45), params.clone())
+            .unwrap();
+        let c = server.upload(other_bytes, other_params).unwrap();
+        let probe = PspServer::probe_signature(&bytes, Some(&params)).unwrap();
+        let hits = server.search_similar(probe, crate::sig::NEAR_DUP_DISTANCE, 10);
+        let ids: Vec<PhotoId> = hits.iter().map(|(id, _)| *id).collect();
+        assert!(ids.contains(&a) && ids.contains(&b));
+        assert!(!ids.contains(&c));
+        assert_eq!(hits[0], (a, 0), "the exact photo ranks first");
+        // Undecodable probes are rejected, not hashed.
+        assert_eq!(PspServer::probe_signature(&[1, 2, 3], None), None);
+    }
+
+    #[test]
+    fn in_place_transform_reindexes_the_photo() {
+        let server = PspServer::new();
+        let (bytes, params) = protected_fixture(5);
+        let id = server.upload(bytes, params).unwrap();
+        let before = server.signature_of(id).unwrap().unwrap();
+        assert_eq!(server.sig_index_len(), 1);
+        server.transform(id, &Transformation::Rotate90).unwrap();
+        assert_eq!(server.sig_index_len(), 1, "old entry replaced, not leaked");
+        let after = server.signature_of(id).unwrap().unwrap();
+        assert_ne!(before, after, "rotation is a different picture");
+        assert!(server.search_similar(before, 0, 10).is_empty());
     }
 
     #[test]

@@ -391,6 +391,10 @@ fn read_segment(dir: &Path, hash: &[u8; 32]) -> Result<Vec<u8>> {
 fn write_segment(dir: &Path, hash: &[u8; 32], bytes: &[u8], fsync: bool) -> Result<()> {
     let path = segment_path(dir, hash);
     if path.exists() {
+        // Exact duplicate of a stored blob: the SHA-addressed segment is
+        // shared, no new disk bytes. Counted so the dedup layer's savings
+        // show up on /metrics alongside the in-memory interner's.
+        puppies_obs::counted!("psp.sig.segment_shared");
         return Ok(());
     }
     let tmp = path.with_extension(format!(

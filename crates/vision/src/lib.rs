@@ -22,6 +22,8 @@
 //!   pipeline (Fig. 12)
 //! - [`preference`] — the per-owner personalization model §IV-A sketches
 //!   (learned accept-rates per detector kind)
+//! - [`signature`] — 64-bit perceptual DCT signatures (pHash) for the
+//!   PSP's identification-without-decryption layer (ROADMAP Open item 4)
 
 pub mod detect;
 pub mod edges;
@@ -32,6 +34,7 @@ pub mod pca;
 pub mod preference;
 pub mod retrieval;
 pub mod sift;
+pub mod signature;
 pub mod text;
 
 pub use detect::{recommend_rois, Detection, DetectorKind, RoiRecommendation};

@@ -1,0 +1,264 @@
+//! Perceptual DCT signatures (pHash) over low-resolution intensity grids.
+//!
+//! This is the vision-side half of the perceptual-identity layer (ROADMAP
+//! Open item 4, after Iida–Kiya): a 64-bit signature of a coarse
+//! brightness map that survives recompression but flips under geometric
+//! edits. The PSP builds the input grid from the *public* data of a
+//! perturbed JPEG — the per-block DC envelope with private-ROI blocks
+//! masked out — so the signature is a function of information the PSP
+//! already holds in the clear and can never leak private-ROI content
+//! (see `puppies-psp`'s `sig` module for the masking rules).
+//!
+//! The pipeline is the classic pHash shape:
+//!
+//! 1. area-resample the `w × h` grid to [`SIDE`]`×`[`SIDE`];
+//! 2. take the lowest [`BAND`]`×`[`BAND`] 2-D DCT-II coefficients
+//!    (two small matrix products — straight-line `f32` loops the
+//!    autovectorizer turns into the same SIMD the codec kernels use);
+//! 3. threshold the 63 non-DC coefficients at their median.
+//!
+//! Bit 0 of the signature is always zero (the DC slot carries no
+//! comparison); bits 1..=63 are the thresholded band coefficients in
+//! row-major order. Matching uses Hamming distance ([`hamming`]), and
+//! [`bands`] splits a signature into the four 16-bit multi-index keys the
+//! PSP's sublinear near-duplicate index probes: two signatures within
+//! Hamming distance 3 share at least one exact band (pigeonhole), and the
+//! PSP re-checks real distances on every candidate, so wider thresholds
+//! only cost extra probes, never correctness.
+
+/// Side length of the resampled grid the DCT runs on.
+pub const SIDE: usize = 32;
+/// Side length of the retained low-frequency DCT band.
+pub const BAND: usize = 8;
+/// Bits in a signature.
+pub const SIG_BITS: u32 = 64;
+
+/// Area-resamples one axis: every destination cell averages the source
+/// span it covers, with fractional edge weights. Handles both up- and
+/// down-sampling (a span shorter than one source cell reads that cell's
+/// neighbourhood proportionally).
+fn resample_axis(src: &[f32], src_len: usize, dst: &mut [f32], dst_len: usize, stride: usize) {
+    debug_assert!(src_len > 0 && dst_len > 0);
+    let scale = src_len as f32 / dst_len as f32;
+    for (d, out) in dst.iter_mut().enumerate() {
+        let lo = d as f32 * scale;
+        let hi = (d + 1) as f32 * scale;
+        let first = lo.floor() as usize;
+        let last = ((hi.ceil() as usize).max(first + 1)).min(src_len);
+        let mut acc = 0.0f32;
+        let mut weight = 0.0f32;
+        for s in first..last {
+            let cell_lo = s as f32;
+            let cell_hi = cell_lo + 1.0;
+            let w = (hi.min(cell_hi) - lo.max(cell_lo)).max(0.0);
+            acc += src[s * stride] * w;
+            weight += w;
+        }
+        *out = if weight > 0.0 { acc / weight } else { 0.0 };
+    }
+}
+
+/// Area-resamples `grid` (`w × h`, row-major) to [`SIDE`]`×`[`SIDE`].
+fn resample(grid: &[f32], w: usize, h: usize) -> [f32; SIDE * SIDE] {
+    // Rows first (w → SIDE per row), then columns (h → SIDE per column).
+    let mut rows = vec![0.0f32; h * SIDE];
+    let mut row_buf = [0.0f32; SIDE];
+    for y in 0..h {
+        resample_axis(&grid[y * w..(y + 1) * w], w, &mut row_buf, SIDE, 1);
+        rows[y * SIDE..(y + 1) * SIDE].copy_from_slice(&row_buf);
+    }
+    let mut out = [0.0f32; SIDE * SIDE];
+    let mut col_buf = [0.0f32; SIDE];
+    for x in 0..SIDE {
+        resample_axis(&rows[x..], h, &mut col_buf, SIDE, SIDE);
+        for y in 0..SIDE {
+            out[y * SIDE + x] = col_buf[y];
+        }
+    }
+    out
+}
+
+/// The `BAND × SIDE` DCT-II basis slice: `C[u][x] = cos((2x+1)uπ / 2N)`.
+fn dct_basis() -> [[f32; SIDE]; BAND] {
+    let mut c = [[0.0f32; SIDE]; BAND];
+    let n = SIDE as f64;
+    for (u, row) in c.iter_mut().enumerate() {
+        for (x, v) in row.iter_mut().enumerate() {
+            *v = ((std::f64::consts::PI * u as f64 * (2.0 * x as f64 + 1.0)) / (2.0 * n)).cos()
+                as f32;
+        }
+    }
+    c
+}
+
+/// Lowest `BAND × BAND` 2-D DCT-II coefficients of a `SIDE × SIDE` grid,
+/// unnormalized (thresholding is scale-invariant so the `a(u)a(v)`
+/// factors are irrelevant).
+fn low_band(grid: &[f32; SIDE * SIDE]) -> [f32; BAND * BAND] {
+    let c = dct_basis();
+    // rows: R[y][u] = Σ_x g[y][x] · C[u][x]
+    let mut rows = [[0.0f32; BAND]; SIDE];
+    for y in 0..SIDE {
+        let g = &grid[y * SIDE..(y + 1) * SIDE];
+        for u in 0..BAND {
+            let mut acc = 0.0f32;
+            for x in 0..SIDE {
+                acc += g[x] * c[u][x];
+            }
+            rows[y][u] = acc;
+        }
+    }
+    // columns: F[v][u] = Σ_y R[y][u] · C[v][y]
+    let mut out = [0.0f32; BAND * BAND];
+    for v in 0..BAND {
+        for u in 0..BAND {
+            let mut acc = 0.0f32;
+            for (y, row) in rows.iter().enumerate() {
+                acc += row[u] * c[v][y];
+            }
+            out[v * BAND + u] = acc;
+        }
+    }
+    out
+}
+
+/// Computes the 64-bit perceptual signature of a `w × h` intensity grid
+/// (row-major; any positive dimensions). Deterministic: the same grid
+/// always yields the same signature.
+///
+/// # Panics
+/// Panics if `grid.len() != w * h`.
+pub fn phash64(grid: &[f32], w: usize, h: usize) -> u64 {
+    assert_eq!(grid.len(), w * h, "grid length must be w*h");
+    if w == 0 || h == 0 {
+        return 0;
+    }
+    let band = low_band(&resample(grid, w, h));
+    // Median of the 63 non-DC coefficients.
+    let mut sorted: Vec<f32> = band[1..].to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let median = sorted[sorted.len() / 2];
+    // Threshold with a DC-relative epsilon so float round-off in the basis
+    // sums (a flat grid's AC terms are ~1e-7 of its DC, not exactly zero)
+    // can never set bits; real image structure sits orders of magnitude
+    // above this.
+    let eps = band[0].abs() * 1e-6 + 1e-12;
+    let mut sig = 0u64;
+    for (i, &v) in band[1..].iter().enumerate() {
+        if v > median + eps {
+            sig |= 1u64 << (i + 1);
+        }
+    }
+    sig
+}
+
+/// Hamming distance between two signatures.
+pub fn hamming(a: u64, b: u64) -> u32 {
+    (a ^ b).count_ones()
+}
+
+/// The four 16-bit multi-index bands of a signature, low bits first.
+/// Signatures within Hamming distance 3 agree on at least one band.
+pub fn bands(sig: u64) -> [u16; 4] {
+    [
+        sig as u16,
+        (sig >> 16) as u16,
+        (sig >> 32) as u16,
+        (sig >> 48) as u16,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textured(w: usize, h: usize, seed: u32) -> Vec<f32> {
+        (0..w * h)
+            .map(|i| {
+                let x = i % w;
+                let y = i / w;
+                ((x * 7 + y * 13 + seed as usize * 31) % 251) as f32
+                    + ((x as f32 * 0.37).sin() + (y as f32 * 0.21).cos()) * 40.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let g = textured(24, 18, 1);
+        assert_eq!(phash64(&g, 24, 18), phash64(&g, 24, 18));
+        let other = textured(24, 18, 9);
+        assert_ne!(phash64(&g, 24, 18), phash64(&other, 24, 18));
+    }
+
+    #[test]
+    fn constant_grid_hashes_to_zero() {
+        let g = vec![128.0f32; 16 * 16];
+        assert_eq!(phash64(&g, 16, 16), 0);
+    }
+
+    #[test]
+    fn small_perturbation_stays_close_large_edit_moves_far() {
+        let g = textured(32, 24, 3);
+        let sig = phash64(&g, 32, 24);
+        // Simulated requantization noise: bounded, zero-mean-ish jitter.
+        let noisy: Vec<f32> = g
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v + if i % 2 == 0 { 4.0 } else { -4.0 })
+            .collect();
+        let d_noise = hamming(sig, phash64(&noisy, 32, 24));
+        assert!(d_noise <= 8, "noise moved the signature {d_noise} bits");
+        // Horizontal flip is a different picture.
+        let mut flipped = g.clone();
+        for y in 0..24 {
+            flipped[y * 32..(y + 1) * 32].reverse();
+        }
+        let d_flip = hamming(sig, phash64(&flipped, 32, 24));
+        assert!(d_flip > 8, "flip only moved the signature {d_flip} bits");
+    }
+
+    #[test]
+    fn resampling_is_scale_stable() {
+        // The same scene sampled at two grid resolutions should hash
+        // nearby: build a coarse grid by 2×2 box-averaging a fine one.
+        let fine = textured(48, 32, 5);
+        let mut coarse = vec![0.0f32; 24 * 16];
+        for y in 0..16 {
+            for x in 0..24 {
+                let mut acc = 0.0;
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        acc += fine[(y * 2 + dy) * 48 + x * 2 + dx];
+                    }
+                }
+                coarse[y * 24 + x] = acc / 4.0;
+            }
+        }
+        let d = hamming(phash64(&fine, 48, 32), phash64(&coarse, 24, 16));
+        assert!(d <= 10, "scale change moved the signature {d} bits");
+    }
+
+    #[test]
+    fn bands_split_round_trips() {
+        let sig = 0x0123_4567_89ab_cdefu64;
+        let b = bands(sig);
+        assert_eq!(b, [0xcdef, 0x89ab, 0x4567, 0x0123]);
+        let joined = (b[3] as u64) << 48 | (b[2] as u64) << 32 | (b[1] as u64) << 16 | b[0] as u64;
+        assert_eq!(joined, sig);
+    }
+
+    #[test]
+    fn bit_zero_is_reserved() {
+        for seed in 0..8 {
+            let g = textured(20, 20, seed);
+            assert_eq!(phash64(&g, 20, 20) & 1, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "grid length")]
+    fn wrong_length_panics() {
+        let _ = phash64(&[1.0, 2.0], 3, 4);
+    }
+}
